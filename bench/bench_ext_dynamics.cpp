@@ -1,0 +1,140 @@
+// Extension experiments from the paper's future-work list (Section 7.3):
+//
+//   1. Time-varying traffic matrices — chain demands oscillate with
+//      per-chain phases; compare a static routing (computed once) against
+//      periodic SB-DP re-optimization.
+//   2. Compute failures — the busiest VNF site fails; how much traffic a
+//      static routing strands vs what re-optimization recovers.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "switchboard/switchboard.hpp"
+
+namespace {
+
+using namespace switchboard;
+
+model::ScenarioParams base_params() {
+  model::ScenarioParams params;
+  params.topology.core_count = 5;
+  params.topology.access_per_core = 2;
+  params.vnf_count = 10;
+  params.chain_count = 60;
+  params.coverage = 0.4;
+  params.total_chain_traffic = 900.0;
+  params.site_capacity = 600.0;
+  params.seed = 404;
+  return params;
+}
+
+/// Applies epoch t's sinusoidal demand to a fresh copy of the scenario.
+model::NetworkModel scenario_at_epoch(int epoch, int epochs) {
+  model::NetworkModel m = model::make_scenario(base_params());
+  const double phase_step = 2.0 * M_PI / static_cast<double>(epochs);
+  for (const model::Chain& chain : m.chains()) {
+    const double phase =
+        static_cast<double>(chain.id.value() % 8) * (M_PI / 4.0);
+    const double factor =
+        1.0 + 0.6 * std::sin(phase + epoch * phase_step);
+    model::Chain& mutable_chain = m.chain_mutable(chain.id);
+    for (auto& w : mutable_chain.forward_traffic) w *= factor;
+    for (auto& v : mutable_chain.reverse_traffic) v *= factor;
+  }
+  return m;
+}
+
+void time_varying_experiment() {
+  std::printf("\n-- 1. time-varying traffic: static routing vs periodic "
+              "re-optimization --\n");
+  constexpr int kEpochs = 8;
+
+  // Static: SB-DP routing computed on the epoch-0 matrix, reused.
+  const model::NetworkModel base = scenario_at_epoch(0, kEpochs);
+  const te::DpResult static_routing = te::solve_dp_routing(base);
+
+  std::printf("%8s %16s %16s %14s %14s\n", "epoch", "static tput",
+              "reopt tput", "static ms", "reopt ms");
+  double static_total = 0.0;
+  double reopt_total = 0.0;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    const model::NetworkModel m = scenario_at_epoch(epoch, kEpochs);
+    const te::RoutingMetrics stale = te::evaluate(m, static_routing.routing);
+    const te::DpResult fresh = te::solve_dp_routing(m);
+    const te::RoutingMetrics reopt = te::evaluate(m, fresh.routing);
+    static_total += stale.feasible_throughput;
+    reopt_total += reopt.feasible_throughput;
+    std::printf("%8d %16.1f %16.1f %14.2f %14.2f\n", epoch,
+                stale.feasible_throughput, reopt.feasible_throughput,
+                stale.mean_latency_ms, reopt.mean_latency_ms);
+  }
+  std::printf("mean gain from re-optimization: %+.1f%% throughput\n",
+              100.0 * (reopt_total / static_total - 1.0));
+}
+
+void failure_experiment() {
+  std::printf("\n-- 2. compute-site failure: stranded vs recovered traffic "
+              "--\n");
+  model::NetworkModel m = model::make_scenario(base_params());
+  const te::DpResult before = te::solve_dp_routing(m);
+  const te::RoutingMetrics healthy = te::evaluate(m, before.routing);
+
+  // Find the VNF site carrying the most load under the healthy routing.
+  const te::Loads loads = te::accumulate_loads(m, before.routing);
+  SiteId victim;
+  double victim_load = -1.0;
+  for (const model::CloudSite& site : m.sites()) {
+    if (loads.site_load(site.id) > victim_load) {
+      victim_load = loads.site_load(site.id);
+      victim = site.id;
+    }
+  }
+  const NodeId victim_node = m.site(victim).node;
+
+  // Traffic the static routing sends through the dead site is stranded.
+  double stranded = 0.0;
+  for (const model::Chain& chain : m.chains()) {
+    double through_victim = 0.0;
+    for (std::size_t z = 1; z < chain.stage_count(); ++z) {
+      double fraction = 0.0;
+      for (const te::StageFlow& flow : before.routing.flows(chain.id, z)) {
+        if (flow.dst == victim_node) fraction += flow.fraction;
+      }
+      through_victim = std::max(through_victim, fraction);
+    }
+    stranded += through_victim * chain.total_traffic();
+  }
+
+  // Fail the site: its VNF deployments disappear; re-optimize.
+  std::vector<std::pair<VnfId, SiteId>> removed;
+  for (const model::Vnf& vnf : m.vnfs()) {
+    if (vnf.deployed_at(victim)) removed.push_back({vnf.id, victim});
+  }
+  for (const auto& [vnf, site] : removed) m.undeploy_vnf(vnf, site);
+  m.set_site_capacity(victim, 0.0);
+
+  const te::DpResult after = te::solve_dp_routing(m);
+  const te::RoutingMetrics recovered = te::evaluate(m, after.routing);
+
+  std::printf("healthy routing:       %.1f units at %.2f ms\n",
+              healthy.feasible_throughput, healthy.mean_latency_ms);
+  std::printf("site %u fails (%zu VNF deployments, %.1f load):\n",
+              victim.value(), removed.size(), victim_load);
+  std::printf("  static routing strands %.1f units (%.0f%% of demand)\n",
+              stranded, 100.0 * stranded / healthy.demand_volume);
+  std::printf("  re-optimized routing:  %.1f units at %.2f ms "
+              "(%.0f%% of healthy)\n",
+              recovered.feasible_throughput, recovered.mean_latency_ms,
+              100.0 * recovered.feasible_throughput /
+                  healthy.feasible_throughput);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: dynamics (time-varying traffic, failures) "
+              "===\n");
+  time_varying_experiment();
+  failure_experiment();
+  return 0;
+}

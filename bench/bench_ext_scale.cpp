@@ -1,0 +1,87 @@
+// Extension: optimizer runtime scaling (Section 7.3's operational claim).
+//
+// The paper reports SB-LP taking up to 3 hours on the tier-1 dataset while
+// SB-DP "should perform well in practice and scale to larger topologies" —
+// hence DP as the primary scheme with LP refining in the background.  This
+// benchmark measures both solvers' wall-clock across instance sizes, up to
+// the paper's full scale of 10,000 chains for SB-DP.
+#include <chrono>
+#include <cstdio>
+
+#include "switchboard/switchboard.hpp"
+
+namespace {
+
+using namespace switchboard;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: optimizer runtime scaling ===\n");
+
+  // ---- SB-LP vs SB-DP on growing joint instances ----------------------
+  std::printf("\n-- SB-LP vs SB-DP wall-clock (same instance) --\n");
+  std::printf("%8s %8s %12s %12s %14s\n", "chains", "sites", "LP sec",
+              "DP sec", "LP/DP");
+  for (const std::size_t chains : {5, 10, 20, 40}) {
+    model::ScenarioParams params;
+    params.topology.core_count = 4;
+    params.topology.access_per_core = 1;
+    params.vnf_count = 6;
+    params.chain_count = chains;
+    params.coverage = 0.5;
+    params.total_chain_traffic = 150.0;
+    params.seed = 3;
+    const model::NetworkModel m = model::make_scenario(params);
+
+    auto start = std::chrono::steady_clock::now();
+    te::LpRoutingOptions options;
+    options.objective = te::LpObjective::kMaxThroughput;
+    const te::LpRoutingResult lp = te::solve_lp_routing(m, options);
+    const double lp_sec = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const te::DpResult dp = te::solve_dp_routing(m);
+    const double dp_sec = seconds_since(start);
+    (void)dp;
+
+    std::printf("%8zu %8zu %12.3f %12.4f %13.0fx%s\n", chains,
+                m.sites().size(), lp_sec, dp_sec, lp_sec / dp_sec,
+                lp.optimal() ? "" : "  (LP not optimal)");
+  }
+
+  // ---- SB-DP at the paper's full scale ---------------------------------
+  std::printf("\n-- SB-DP at paper scale (LP would take hours) --\n");
+  std::printf("%8s %8s %8s %12s %16s %12s\n", "chains", "sites", "vnfs",
+              "DP sec", "throughput", "latency ms");
+  for (const std::size_t chains : {1000, 5000, 10000}) {
+    model::ScenarioParams params;
+    params.topology.core_count = 8;
+    params.topology.access_per_core = 3;   // 32 nodes, paper-like scale
+    params.vnf_count = 100;                // the paper's catalog size
+    params.chain_count = chains;
+    params.coverage = 0.5;
+    params.total_chain_traffic = 4000.0;
+    params.site_capacity = 2000.0;
+    params.seed = 3;
+    const model::NetworkModel m = model::make_scenario(params);
+
+    const auto start = std::chrono::steady_clock::now();
+    const te::DpResult dp = te::solve_dp_routing(m);
+    const double dp_sec = seconds_since(start);
+    const te::RoutingMetrics metrics = te::evaluate(m, dp.routing);
+    std::printf("%8zu %8zu %8zu %12.2f %16.1f %12.2f\n", chains,
+                m.sites().size(), m.vnfs().size(), dp_sec,
+                metrics.feasible_throughput, metrics.mean_latency_ms);
+  }
+  std::printf(
+      "\nPaper: SB-LP ran for up to 3 hours on the tier-1 dataset; SB-DP's\n"
+      "simple heuristic makes it usable as the primary online scheme.\n");
+  return 0;
+}

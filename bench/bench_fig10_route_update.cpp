@@ -1,0 +1,125 @@
+// Figure 10: dynamic chain-route creation.
+//
+// Paper setup: one AWS site split into virtual sites A and B; a chain
+// (ingress A, egress B) initially runs its NAT only at site A.  A new
+// route via B is requested at runtime.  Findings:
+//   (a) the route update completes in 595 ms and load is balanced evenly
+//       between the two routes afterwards;
+//   (b) total chain throughput doubles, commensurate with the added
+//       capacity, while the existing route is unaffected.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "switchboard/switchboard.hpp"
+
+namespace {
+
+using namespace switchboard;
+
+dataplane::FiveTuple flow_tuple(std::uint32_t i) {
+  return dataplane::FiveTuple{0x0A000000u + i, 0xC0A80001u,
+                              static_cast<std::uint16_t>(1024 + i % 50000),
+                              80, 6};
+}
+
+}  // namespace
+
+int main() {
+  // Two virtual sites joined by a fast local link (same-site split).
+  net::Topology topo;
+  const NodeId node_a = topo.add_node("A", 0, 0);
+  const NodeId node_b = topo.add_node("B", 100, 0);
+  topo.add_duplex_link(node_a, node_b, 1000.0, 0.5);
+
+  model::NetworkModel m{std::move(topo)};
+  const SiteId site_a = m.add_site(node_a, 1000.0, "A");
+  const SiteId site_b = m.add_site(node_b, 1000.0, "B");
+  const VnfId nat = m.add_vnf("nat", 1.0);
+  const double kInstanceCapacity = 10.0;   // traffic units of NAT capacity
+  m.deploy_vnf(nat, site_a, kInstanceCapacity);
+  m.deploy_vnf(nat, site_b, kInstanceCapacity);
+
+  core::Middleware mw{std::move(m)};
+  const EdgeServiceId edge = mw.register_edge_service("edge");
+
+  control::ChainSpec spec;
+  spec.name = "nat-chain";
+  spec.ingress_service = edge;
+  spec.ingress_node = node_a;
+  spec.egress_service = edge;
+  spec.egress_node = node_b;
+  spec.vnfs = {nat};
+  spec.forward_traffic = 4.0;
+  const auto created = mw.create_chain(spec);
+  if (!created.ok()) {
+    std::printf("chain creation failed: %s\n",
+                created.error().to_string().c_str());
+    return 1;
+  }
+  const ChainId chain = created->chain;
+
+  std::printf("=== Figure 10: dynamic route addition ===\n\n");
+  std::printf("chain created in %.0f ms (simulated control plane)\n",
+              sim::to_ms(created->elapsed()));
+
+  // ---- throughput timeline ------------------------------------------
+  // Each second, 50 new connections arrive, each demanding 0.4 units:
+  // 20 units/s offered against 10 units of single-instance capacity.
+  // The new route is requested at t = 10 s.
+  constexpr int kSeconds = 20;
+  constexpr int kFlowsPerSecond = 50;
+  constexpr double kPerFlowDemand = 0.4;
+  auto& elements = mw.deployment().elements();
+
+  std::printf("\n-- (b) offered 20.0 units/s; instance capacity %.0f --\n",
+              kInstanceCapacity);
+  std::printf("%6s %12s %12s %12s %14s\n", "t(s)", "via-A", "via-B", "total",
+              "update");
+
+  std::uint32_t next_flow = 0;
+  double update_ms = 0.0;
+  for (int second = 0; second < kSeconds; ++second) {
+    if (second == 10) {
+      const auto added = mw.add_route(chain, {site_b});
+      if (!added.ok()) {
+        std::printf("route addition failed: %s\n",
+                    added.error().to_string().c_str());
+        return 1;
+      }
+      update_ms = sim::to_ms(added->elapsed());
+    }
+
+    // New connections of this interval pick routes via the current rules.
+    std::map<std::uint32_t, int> flows_at_site;
+    for (int f = 0; f < kFlowsPerSecond; ++f) {
+      const auto walk = mw.send(chain, flow_tuple(next_flow++));
+      if (!walk.delivered) continue;
+      for (const auto instance : walk.vnf_instances()) {
+        flows_at_site[elements.info(instance).site.value()]++;
+      }
+    }
+    const double demand_a = flows_at_site[site_a.value()] * kPerFlowDemand;
+    const double demand_b = flows_at_site[site_b.value()] * kPerFlowDemand;
+    const double tput_a = std::min(demand_a, kInstanceCapacity);
+    const double tput_b = std::min(demand_b, kInstanceCapacity);
+    const std::string note =
+        second == 10
+            ? "+route (" + std::to_string(static_cast<int>(update_ms)) + " ms)"
+            : "";
+    std::printf("%6d %12.1f %12.1f %12.1f %14s\n", second, tput_a, tput_b,
+                tput_a + tput_b, note.c_str());
+  }
+
+  const auto& record = mw.chain_record(chain);
+  std::printf("\n-- (a) route weights after update --\n");
+  for (const auto& route : record.routes) {
+    std::printf("route %u via site %u: weight %.2f\n", route.id.value(),
+                route.vnf_sites[0].value(), route.weight);
+  }
+  std::printf(
+      "\nroute update completed in %.0f ms (paper prototype: 595 ms);\n"
+      "throughput doubles after the update and load splits evenly.\n",
+      update_ms);
+  return 0;
+}

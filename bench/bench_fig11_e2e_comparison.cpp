@@ -1,0 +1,170 @@
+// Figure 11: end-to-end comparison of Switchboard's globally-optimized
+// routing against distributed load balancing (ANYCAST, COMPUTE-AWARE).
+//
+// Paper setup: two testbeds — Amazon (two sites, 150 ms RTT) and a private
+// OpenStack cloud (80 ms RTT emulated).  A stateful firewall with one
+// instance per site, two chain routes.  ANYCAST piles both routes onto the
+// instance at site A (nearest by propagation delay); COMPUTE-AWARE avoids
+// saturation but is network-blind and detours traffic; Switchboard's LP
+// places load to maximize throughput at the lowest propagation delay.
+// Findings: Switchboard beats ANYCAST by 34% / 57% TCP throughput and 10%
+// / 19% latency, and COMPUTE-AWARE by 39% / 7% throughput and 49% / 43%
+// latency.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "switchboard/switchboard.hpp"
+
+namespace {
+
+using namespace switchboard;
+
+struct Testbed {
+  const char* name;
+  double rtt_ms;       // inter-site round trip
+  double loss;         // wide-area loss probability (per packet)
+};
+
+struct SchemeResult {
+  double tcp_throughput{0.0};   // traffic units/s actually sustained
+  double mean_latency_ms{0.0};  // RTT incl. VNF queueing
+};
+
+/// Builds the two-chain scenario on a two-site model.
+model::NetworkModel make_model(double one_way_ms) {
+  net::Topology topo;
+  const NodeId a = topo.add_node("A", 0, 0);
+  const NodeId b = topo.add_node("B", one_way_ms * 200.0, 0);
+  topo.add_duplex_link(a, b, 1000.0, one_way_ms);
+  model::NetworkModel m{std::move(topo)};
+  const SiteId sa = m.add_site(a, 100.0, "A");
+  const SiteId sb = m.add_site(b, 100.0, "B");
+  const VnfId fw = m.add_vnf("firewall", 1.0);
+  // One instance per site, each fitting exactly one chain's load
+  // (in + out = 2.5 units of load against 3.0 of capacity).
+  m.deploy_vnf(fw, sa, 3.0);
+  m.deploy_vnf(fw, sb, 3.0);
+
+  // Route 1: A -> fw -> B.  Route 2: A -> fw -> A.
+  model::Chain c1;
+  c1.name = "route1";
+  c1.ingress = a;
+  c1.egress = b;
+  c1.vnfs = {fw};
+  c1.forward_traffic = {1.0, 1.0};
+  c1.reverse_traffic = {0.25, 0.25};
+  m.add_chain(std::move(c1));
+
+  model::Chain c2;
+  c2.name = "route2";
+  c2.ingress = a;
+  c2.egress = a;
+  c2.vnfs = {fw};
+  c2.forward_traffic = {1.0, 1.0};
+  c2.reverse_traffic = {0.25, 0.25};
+  m.add_chain(std::move(c2));
+  return m;
+}
+
+/// TCP throughput model (Mathis): rate = k / (rtt * sqrt(loss)); capped by
+/// the capacity share the routing actually gives the chain.
+double tcp_rate(double rtt_ms, double loss, double capacity_share) {
+  constexpr double kTcpConstant = 0.03;   // units scaled to this testbed
+  const double mathis =
+      kTcpConstant / ((rtt_ms / 1000.0) * std::sqrt(std::max(loss, 1e-6)));
+  return std::min(capacity_share, mathis);
+}
+
+SchemeResult score(const model::NetworkModel& m, const te::ChainRouting& routing,
+                   const Testbed& bed) {
+  const te::Loads loads = te::accumulate_loads(m, routing);
+  SchemeResult result;
+  double latency_weight = 0.0;
+
+  for (const model::Chain& chain : m.chains()) {
+    // Propagation RTT of the chain's (possibly split) path.
+    double path_one_way = 0.0;
+    double extra_queue_ms = 0.0;
+    double capacity_share = 0.0;
+    for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
+      for (const te::StageFlow& flow : routing.flows(chain.id, z)) {
+        path_one_way += m.delay_ms(flow.src, flow.dst) * flow.fraction;
+      }
+    }
+    // The VNF instance's share available to this chain and its queueing.
+    const VnfId fw = chain.vnfs[0];
+    for (const te::StageFlow& flow : routing.flows(chain.id, 1)) {
+      const auto site = m.site_at(flow.dst);
+      const double utilization =
+          std::min(loads.vnf_site_utilization(fw, *site), 0.98);
+      // M/M/1-style queueing on a 1 ms service time.
+      extra_queue_ms += flow.fraction * utilization / (1.0 - utilization);
+      // Capacity share: instance capacity split in proportion to demand.
+      const double chain_demand = (chain.stage_traffic(1) +
+                                   chain.stage_traffic(2)) * flow.fraction;
+      const double total_load = loads.vnf_site_load(fw, *site);
+      const double cap = m.vnf(fw).capacity_at(*site);
+      capacity_share += total_load > 0
+          ? std::min(chain_demand, cap * chain_demand / total_load) / 2.0
+          : 0.0;
+    }
+    const double rtt = 2.0 * path_one_way + extra_queue_ms;
+    result.tcp_throughput += tcp_rate(std::max(rtt, 1.0), bed.loss,
+                                      capacity_share);
+    result.mean_latency_ms += rtt * chain.total_traffic();
+    latency_weight += chain.total_traffic();
+  }
+  result.mean_latency_ms /= std::max(latency_weight, 1e-9);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const Testbed beds[] = {
+      {"amazon-150ms", 150.0, 0.010},
+      {"private-80ms", 80.0, 0.002},
+  };
+
+  std::printf("=== Figure 11: Switchboard vs distributed load balancing ===\n");
+  for (const Testbed& bed : beds) {
+    model::NetworkModel m = make_model(bed.rtt_ms / 2.0);
+
+    const te::ChainRouting anycast = te::solve_anycast(m);
+    const te::ChainRouting compute_aware = te::solve_compute_aware(m);
+    te::LpRoutingOptions lp_options;
+    lp_options.objective = te::LpObjective::kMinLatency;
+    const te::LpRoutingResult lp = te::solve_lp_routing(m, lp_options);
+
+    std::printf("\n-- testbed %s (RTT %.0f ms, loss %.1f%%) --\n", bed.name,
+                bed.rtt_ms, bed.loss * 100.0);
+    std::printf("%-14s %18s %16s\n", "scheme", "tcp-throughput", "rtt-ms");
+    const SchemeResult any = score(m, anycast, bed);
+    const SchemeResult ca = score(m, compute_aware, bed);
+    std::printf("%-14s %18.3f %16.1f\n", "anycast", any.tcp_throughput,
+                any.mean_latency_ms);
+    std::printf("%-14s %18.3f %16.1f\n", "compute-aware", ca.tcp_throughput,
+                ca.mean_latency_ms);
+    if (lp.optimal()) {
+      const SchemeResult sb = score(m, lp.routing, bed);
+      std::printf("%-14s %18.3f %16.1f\n", "switchboard", sb.tcp_throughput,
+                  sb.mean_latency_ms);
+      std::printf(
+          "switchboard vs anycast: %+.0f%% throughput, %+.0f%% latency\n",
+          100.0 * (sb.tcp_throughput / any.tcp_throughput - 1.0),
+          100.0 * (sb.mean_latency_ms / any.mean_latency_ms - 1.0));
+      std::printf(
+          "switchboard vs compute-aware: %+.0f%% throughput, %+.0f%% latency\n",
+          100.0 * (sb.tcp_throughput / ca.tcp_throughput - 1.0),
+          100.0 * (sb.mean_latency_ms / ca.mean_latency_ms - 1.0));
+    } else {
+      std::printf("switchboard LP infeasible on this instance\n");
+    }
+  }
+  std::printf(
+      "\nPaper: Switchboard +34%%/+57%% TCP throughput and -10%%/-19%% latency\n"
+      "vs ANYCAST; +39%%/+7%% throughput and -49%%/-43%% latency vs\n"
+      "COMPUTE-AWARE (Amazon / private cloud).\n");
+  return 0;
+}

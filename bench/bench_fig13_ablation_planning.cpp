@@ -1,0 +1,151 @@
+// Figure 13: SB-DP ablations and capacity planning.
+//
+// Paper findings:
+//   (a) SB-DP beats DP-LATENCY (latency-only cost) by up to 6x and ONEHOP
+//       (per-hop greedy with the full cost) by up to 2.3x in throughput;
+//       DP-LATENCY catches up only at coverage >= 0.75;
+//   (b) LP-planned cloud capacity placement sustains up to 22% more
+//       throughput than spreading the same budget uniformly;
+//   (c) Switchboard's VNF placement hints give up to 27% lower latency
+//       than adding the same number of sites at random.
+#include <cstdio>
+
+#include "switchboard/switchboard.hpp"
+
+namespace {
+
+using namespace switchboard;
+
+model::ScenarioParams dp_params() {
+  model::ScenarioParams params;
+  params.topology.core_count = 6;
+  params.topology.access_per_core = 2;   // 18 nodes
+  params.vnf_count = 12;
+  params.chain_count = 80;
+  params.total_chain_traffic = 2000.0;
+  params.site_capacity = 900.0;
+  params.seed = 77;
+  return params;
+}
+
+model::ScenarioParams lp_params() {
+  model::ScenarioParams params;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;   // 8 nodes (LP-friendly)
+  // Fat links + thin sites: compute is the binding resource, which is the
+  // regime where capacity *placement* matters (Fig. 13b).
+  params.topology.core_link_capacity = 400.0;
+  params.topology.access_link_capacity = 250.0;
+  params.background_ratio = 0.05;
+  params.vnf_count = 6;
+  params.chain_count = 15;
+  params.total_chain_traffic = 250.0;
+  params.site_capacity = 120.0;
+  params.coverage = 0.5;
+  params.seed = 31;
+  return params;
+}
+
+double dp_throughput(const model::NetworkModel& m, const te::DpOptions& options) {
+  const te::DpResult result = te::solve_dp_routing(m, options);
+  return te::evaluate(m, result.routing).feasible_throughput;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 13: DP ablations and capacity planning ===\n");
+
+  // ---- (a) SB-DP vs DP-LATENCY vs ONEHOP ------------------------------
+  std::printf("\n-- (a) throughput of SB-DP cost/holism ablations --\n");
+  std::printf("%10s %12s %14s %12s %10s %10s\n", "coverage", "SB-DP",
+              "DP-LATENCY", "ONEHOP", "vs-lat", "vs-1hop");
+  for (const double coverage : {0.25, 0.5, 0.75, 1.0}) {
+    model::ScenarioParams params = dp_params();
+    params.coverage = coverage;
+    const model::NetworkModel m = model::make_scenario(params);
+
+    const double full = dp_throughput(m, {});
+    te::DpOptions latency_only;
+    latency_only.use_utilization_costs = false;
+    const double dp_latency = dp_throughput(m, latency_only);
+    te::DpOptions one_hop;
+    one_hop.per_hop = true;
+    const double onehop = dp_throughput(m, one_hop);
+
+    std::printf("%10.2f %12.1f %14.1f %12.1f %9.2fx %9.2fx\n", coverage, full,
+                dp_latency, onehop,
+                dp_latency > 0 ? full / dp_latency : 0.0,
+                onehop > 0 ? full / onehop : 0.0);
+  }
+
+  // ---- (b) cloud capacity planning ------------------------------------
+  std::printf("\n-- (b) cloud capacity planning: LP-planned vs uniform --\n");
+  std::printf("%12s %14s %14s %10s\n", "budget", "planned-alpha",
+              "uniform-alpha", "gain");
+  for (const double budget_fraction : {0.1, 0.25, 0.5}) {
+    const model::ScenarioParams params = lp_params();
+    const model::NetworkModel planned_model = model::make_scenario(params);
+    const double total_capacity =
+        params.site_capacity *
+        static_cast<double>(planned_model.sites().size());
+    const double budget = budget_fraction * total_capacity;
+
+    const te::CloudPlanResult planned =
+        te::plan_cloud_capacity(planned_model, budget);
+
+    model::NetworkModel uniform_model = model::make_scenario(params);
+    te::apply_capacity_increase(uniform_model,
+                                te::uniform_allocation(uniform_model, budget));
+    const te::CloudPlanResult uniform =
+        te::plan_cloud_capacity(uniform_model, 0.0);
+
+    if (planned.status == lp::SolveStatus::kOptimal &&
+        uniform.status == lp::SolveStatus::kOptimal && uniform.alpha > 0) {
+      std::printf("%11.0f%% %14.3f %14.3f %9.1f%%\n", budget_fraction * 100.0,
+                  planned.alpha, uniform.alpha,
+                  100.0 * (planned.alpha / uniform.alpha - 1.0));
+    } else {
+      std::printf("%11.0f%% %14s %14s\n", budget_fraction * 100.0,
+                  lp::to_string(planned.status), lp::to_string(uniform.status));
+    }
+  }
+
+  // ---- (c) VNF placement hints ----------------------------------------
+  std::printf("\n-- (c) VNF placement: greedy hints vs random sites --\n");
+  model::ScenarioParams placement_params = lp_params();
+  placement_params.coverage = 0.25;
+  placement_params.chain_count = 25;
+
+  model::NetworkModel greedy_model = model::make_scenario(placement_params);
+  te::VnfPlacementOptions options;
+  options.new_sites_per_vnf = 1;
+  const te::VnfPlacementResult greedy =
+      te::plan_vnf_placement_greedy(greedy_model, options);
+
+  double random_after = 0.0;
+  const int kTrials = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    model::NetworkModel random_model = model::make_scenario(placement_params);
+    Rng rng{static_cast<std::uint64_t>(500 + t)};
+    random_after +=
+        te::plan_vnf_placement_random(random_model, options, rng)
+            .latency_after_ms;
+  }
+  random_after /= kTrials;
+
+  std::printf("%-28s %12s\n", "placement", "latency-ms");
+  std::printf("%-28s %12.2f\n", "before (no new sites)",
+              greedy.latency_before_ms);
+  std::printf("%-28s %12.2f\n", "switchboard greedy hints",
+              greedy.latency_after_ms);
+  std::printf("%-28s %12.2f\n", "random sites (mean of 5)", random_after);
+  std::printf("greedy vs random: %.1f%% lower latency\n",
+              100.0 * (1.0 - greedy.latency_after_ms / random_after));
+
+  std::printf(
+      "\nPaper: SB-DP up to 6x over DP-LATENCY and 2.3x over ONEHOP; planned\n"
+      "capacity +22%% throughput over uniform; placement hints -27%% latency\n"
+      "vs random.\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Figure 8: DPDK-based forwarder throughput scaling.
+//
+// Paper setup: forwarder instances pinned one per core behind SR-IOV VFs;
+// 64-byte UDP packets uniform over a fixed number of flows.  Findings:
+//   * ~7 Mpps on one core,
+//   * +3-4 Mpps per additional forwarder instance,
+//   * 6 instances with 512K flows each (3M total) still >20 Mpps,
+//   * throughput decreases with flow count (flow-table entries fall out
+//     of the CPU cache), converging to >3 Mpps/core for huge tables.
+//
+// Here each "core" is a thread running an independent Switchboard
+// forwarder engine (the real flow-table/rule pipeline, shared-nothing as
+// in the paper's deployment).  Absolute Mpps depends on the host; the
+// scaling *shape* is the reproduction target.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "dataplane/forwarder.hpp"
+#include "dataplane/traffic_gen.hpp"
+
+namespace {
+
+using namespace switchboard::dataplane;
+
+/// Builds a forwarder with an installed rule and pre-learned flows.
+Forwarder make_loaded_forwarder(std::uint32_t flows, std::uint64_t seed) {
+  Forwarder forwarder{1, flows * 2};
+  LoadBalanceRule rule;
+  rule.vnf_instances.add(100, 1.0);
+  rule.next_forwarders.add(200, 1.0);
+  forwarder.rules().install(Labels{1, 1}, std::move(rule));
+
+  TrafficGenConfig config;
+  config.flow_count = flows;
+  config.seed = seed;
+  PacketStream stream{config};
+  for (std::uint32_t f = 0; f < flows; ++f) {
+    Packet packet = stream.next();
+    packet.arrival_source = 50;
+    forwarder.process_from_wire(packet);   // create the flow entry
+  }
+  return forwarder;
+}
+
+/// Packets/sec of one forwarder core over `flows` established flows.
+double run_single_core(std::uint32_t flows, std::uint64_t seed,
+                       std::size_t packets_target) {
+  Forwarder forwarder = make_loaded_forwarder(flows, seed);
+  TrafficGenConfig config;
+  config.flow_count = flows;
+  config.seed = seed;
+  // Stream packets round-robin over ALL flows so the whole flow table is
+  // touched (that is what creates the cache-miss effect at large tables).
+  PacketStream stream{config};
+
+  std::size_t processed = 0;
+  std::uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (processed < packets_target) {
+    for (std::size_t burst = 0; burst < 8192; ++burst) {
+      Packet p = stream.next();
+      p.arrival_source = 50;
+      const ForwardAction action = forwarder.process_from_wire(p);
+      sink += action.element;
+    }
+    processed += 8192;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchmark::DoNotOptimize(sink);
+  return static_cast<double>(processed) / elapsed;
+}
+
+/// Aggregate packets/sec of `cores` shared-nothing forwarders.
+double run_multi_core(std::size_t cores, std::uint32_t flows_per_core,
+                      std::size_t packets_per_core) {
+  std::vector<std::thread> threads;
+  std::vector<double> pps(cores, 0.0);
+  for (std::size_t c = 0; c < cores; ++c) {
+    threads.emplace_back([&, c] {
+      pps[c] = run_single_core(flows_per_core, 7'000 + c, packets_per_core);
+    });
+  }
+  for (auto& t : threads) t.join();
+  double total = 0.0;
+  for (const double p : pps) total += p;
+  return total;
+}
+
+void BM_SingleCoreByFlows(benchmark::State& state) {
+  const auto flows = static_cast<std::uint32_t>(state.range(0));
+  Forwarder forwarder = make_loaded_forwarder(flows, 42);
+  TrafficGenConfig config;
+  config.flow_count = flows;
+  config.seed = 42;
+  PacketStream stream{config};
+  for (auto _ : state) {
+    Packet p = stream.next();
+    p.arrival_source = 50;
+    benchmark::DoNotOptimize(forwarder.process_from_wire(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_SingleCoreByFlows)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Arg(524288)
+    ->Arg(2097152);
+
+void print_figure8_tables() {
+  std::printf("\n=== Figure 8: forwarder scaling (this host) ===\n");
+  std::printf("-- single core, throughput vs established flows --\n");
+  std::printf("%12s %14s\n", "flows", "Mpps");
+  double single_core_512k = 0.0;
+  for (const std::uint32_t flows : {1u << 10, 1u << 16, 1u << 19, 1u << 21}) {
+    const double pps = run_single_core(flows, 42, 8'000'000);
+    if (flows == (1u << 19)) single_core_512k = pps;
+    std::printf("%12u %14.2f\n", flows, pps / 1e6);
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("-- scale-out: cores x 512K flows each (host has %u CPU%s) --\n",
+              hw, hw == 1 ? "" : "s");
+  std::printf("%8s %12s %14s %18s\n", "cores", "flows", "measured Mpps",
+              "shared-nothing Mpps");
+  const double per_core = run_single_core(1u << 19, 4242, 6'000'000);
+  for (const std::size_t cores : {1, 2, 4, 6}) {
+    const double pps = run_multi_core(cores, 1u << 19, 6'000'000);
+    // The forwarders share no state, so aggregate throughput on a machine
+    // with enough cores is cores x single-core rate; the measured column
+    // collapses when threads contend for fewer physical CPUs.
+    std::printf("%8zu %12zu %14.2f %18.2f\n", cores,
+                cores * (std::size_t{1} << 19), pps / 1e6,
+                static_cast<double>(cores) * per_core / 1e6);
+  }
+  std::printf(
+      "Paper (Xeon E5-2470 + XL710): 7 Mpps @ 1 core, +3-4 Mpps/core, \n"
+      ">20 Mpps @ 6 cores x 512K flows; throughput declines with flow count\n"
+      "as the table falls out of cache (steady-state >3 Mpps/core).\n");
+  (void)single_core_512k;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_figure8_tables();
+  return 0;
+}

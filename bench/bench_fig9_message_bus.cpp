@@ -1,0 +1,122 @@
+// Figure 9: global message bus vs full-mesh broadcast.
+//
+// Paper setup: VMs at one site with emulated wide-area delays; a publisher
+// fans control state out to subscribers spread over many sites.  Full mesh
+// sends one copy per *subscriber* and suffers queuing at the publisher's
+// egress (an order of magnitude higher latency) plus buffer-overflow drops
+// (Switchboard delivers 57% more).  The proxy topology sends one copy per
+// subscribed *site*.
+#include <cstdio>
+#include <memory>
+
+#include "bus/message_bus.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace switchboard;
+using namespace switchboard::bus;
+
+struct RunResult {
+  double mean_latency_ms{0.0};
+  double p99_latency_ms{0.0};
+  std::uint64_t delivered{0};
+  std::uint64_t drops{0};
+  std::uint64_t wide_area_messages{0};
+  double delivered_rate{0.0};   // deliveries per second of sim time
+};
+
+RunResult run(bool full_mesh, std::size_t sites, int subscribers_per_site,
+              int burst, sim::Duration inter_publish) {
+  sim::Simulator sim;
+  BusConfig config;
+  config.site_count = sites;
+  config.inter_site_delay = [](SiteId, SiteId) { return sim::from_ms(25.0); };
+  config.per_message_service = sim::microseconds(100);
+  config.egress_buffer = 3000;
+  config.retain_messages = false;   // a live feed, not config state
+
+  std::unique_ptr<MessageBus> bus;
+  if (full_mesh) {
+    bus = std::make_unique<FullMeshBus>(sim, config);
+  } else {
+    bus = std::make_unique<ProxyBus>(sim, config);
+  }
+
+  const Topic topic{"/telemetry", SiteId{0}};
+  for (std::size_t s = 1; s < sites; ++s) {
+    for (int i = 0; i < subscribers_per_site; ++i) {
+      bus->subscribe(SiteId{static_cast<SiteId::underlying_type>(s)}, topic,
+                     [](const Message&) {});
+    }
+  }
+
+  for (int i = 0; i < burst; ++i) {
+    sim.schedule(i * inter_publish, [&bus, topic] {
+      bus->publish(topic, "state-update");
+    });
+  }
+  const sim::SimTime end = sim.run();
+
+  RunResult result;
+  const BusStats& stats = bus->stats();
+  result.delivered = stats.local_deliveries;
+  result.drops = stats.drops;
+  result.wide_area_messages = stats.wide_area_messages;
+  if (stats.delivery_latency_ms.count() > 0) {
+    result.mean_latency_ms = stats.delivery_latency_ms.mean();
+    result.p99_latency_ms = stats.delivery_latency_ms.percentile(99.0);
+  }
+  result.delivered_rate = end > 0
+      ? static_cast<double>(result.delivered) / sim::to_seconds(end)
+      : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kSites = 12;
+  constexpr int kSubsPerSite = 10;
+  constexpr int kBurst = 400;
+  // 2 ms between publishes: one copy per *site* fits in the interval
+  // (proxy topology), one copy per *subscriber* does not (full mesh).
+  const sim::Duration kInterPublish = sim::milliseconds(2);
+
+  std::printf("=== Figure 9: message bus vs full-mesh broadcast ===\n");
+  std::printf("sites=%zu, subscribers/site=%d, burst=%d messages\n\n", kSites,
+              kSubsPerSite, kBurst);
+  std::printf("%-12s %12s %12s %10s %8s %10s %12s\n", "scheme", "mean-ms",
+              "p99-ms", "delivered", "drops", "wan-msgs", "delivs/sec");
+
+  const RunResult proxy =
+      run(false, kSites, kSubsPerSite, kBurst, kInterPublish);
+  const RunResult mesh = run(true, kSites, kSubsPerSite, kBurst, kInterPublish);
+
+  std::printf("%-12s %12.2f %12.2f %10llu %8llu %10llu %12.0f\n",
+              "switchboard", proxy.mean_latency_ms, proxy.p99_latency_ms,
+              static_cast<unsigned long long>(proxy.delivered),
+              static_cast<unsigned long long>(proxy.drops),
+              static_cast<unsigned long long>(proxy.wide_area_messages),
+              proxy.delivered_rate);
+  std::printf("%-12s %12.2f %12.2f %10llu %8llu %10llu %12.0f\n", "full-mesh",
+              mesh.mean_latency_ms, mesh.p99_latency_ms,
+              static_cast<unsigned long long>(mesh.delivered),
+              static_cast<unsigned long long>(mesh.drops),
+              static_cast<unsigned long long>(mesh.wide_area_messages),
+              mesh.delivered_rate);
+
+  std::printf("\nlatency ratio (mesh/proxy): %.1fx   throughput gain: +%.0f%%\n",
+              proxy.mean_latency_ms > 0
+                  ? mesh.mean_latency_ms / proxy.mean_latency_ms
+                  : 0.0,
+              mesh.delivered > 0
+                  ? 100.0 * (static_cast<double>(proxy.delivered) /
+                                 static_cast<double>(mesh.delivered) -
+                             1.0)
+                  : 0.0);
+  std::printf(
+      "Paper: full mesh suffers >10x higher latency from publisher-side\n"
+      "queuing; Switchboard delivers 57%% more due to mesh buffer drops.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table 2: control-plane latency of adding a new edge site to a chain
+// (the mobility use case of Section 6).
+//
+// Paper measurements:
+//   Local SB chooses the 1st VNF's site ................  0 ms
+//   Edge instance's fwrdr receives 1st VNF's info ...... 63 ms
+//   Edge instance's fwrdr dataplane configured ......... 93 ms
+//   1st VNF's fwrdr receives edge's fwrdr info ......... 74 ms
+//   1st VNF's fwrdr starts dataplane configuration .... 233 ms
+//   1st VNF's fwrdr finishes configuration ............ 104 ms
+//   (per-row latencies; total < 600 ms)
+#include <cstdio>
+
+#include "switchboard/switchboard.hpp"
+
+int main() {
+  using namespace switchboard;
+
+  // Line of 4 sites; chain 0 -> 3 with one firewall at site 1; the user
+  // then appears at site 2.
+  model::NetworkModel m{net::make_line_topology(4, 100.0, 8.0)};
+  m.add_site(NodeId{0}, 1000.0);
+  const SiteId s1 = m.add_site(NodeId{1}, 1000.0);
+  const SiteId s2 = m.add_site(NodeId{2}, 1000.0);
+  m.add_site(NodeId{3}, 1000.0);
+  const VnfId fw = m.add_vnf("firewall", 1.0);
+  m.deploy_vnf(fw, s1, 100.0);
+
+  // Control timings in the range observed on the paper's ODL-based
+  // prototype (tens to low-hundreds of ms per operation).
+  core::DeploymentConfig config;
+  config.timings.controller_rpc = sim::from_ms(20.0);
+  config.timings.controller_processing = sim::from_ms(40.0);
+  config.timings.route_compute = sim::from_ms(30.0);
+  config.timings.rule_install = sim::from_ms(60.0);
+  config.timings.tunnel_setup = sim::from_ms(120.0);
+
+  core::Middleware mw{std::move(m), config};
+  const EdgeServiceId edge = mw.register_edge_service("cellular");
+  control::ChainSpec spec;
+  spec.name = "mobile-user";
+  spec.ingress_service = edge;
+  spec.ingress_node = NodeId{0};
+  spec.egress_service = edge;
+  spec.egress_node = NodeId{3};
+  spec.vnfs = {fw};
+  const auto created = mw.create_chain(spec);
+  if (!created.ok()) {
+    std::printf("chain creation failed: %s\n",
+                created.error().to_string().c_str());
+    return 1;
+  }
+
+  const auto result = mw.attach_edge(created->chain, s2, edge);
+  if (!result.ok()) {
+    std::printf("edge addition failed: %s\n",
+                result.error().to_string().c_str());
+    return 1;
+  }
+  const auto& t = result.value();
+
+  std::printf("=== Table 2: latency of adding a new edge site ===\n\n");
+  std::printf("%-52s %10s %10s\n", "Operation", "measured", "paper");
+  const auto row = [](const char* name, double measured_ms, int paper_ms) {
+    std::printf("%-52s %7.0f ms %7d ms\n", name, measured_ms, paper_ms);
+  };
+  row("Local SB chooses the 1st VNF's site",
+      sim::to_ms(t.site_chosen - t.started), 0);
+  row("Edge instance's fwrdr receives 1st VNF's info",
+      sim::to_ms(t.forwarder_info_received - t.site_chosen), 63);
+  row("Edge instance's fwrdr dataplane configured",
+      sim::to_ms(t.edge_configured - t.forwarder_info_received), 93);
+  row("1st VNF's fwrdr receives edge's fwrdr info",
+      sim::to_ms(t.remote_received - t.edge_configured), 74);
+  row("1st VNF's fwrdr starts dataplane configuration",
+      sim::to_ms(t.remote_config_started - t.remote_received), 233);
+  row("1st VNF's fwrdr finishes configuration",
+      sim::to_ms(t.remote_config_finished - t.remote_config_started), 104);
+  std::printf("%-52s %7.0f ms %7d ms\n", "TOTAL",
+              sim::to_ms(t.remote_config_finished - t.started), 567);
+  std::printf(
+      "\nPaper: the total stays under 600 ms and is paid only by the first\n"
+      "packet at the new edge site.\n");
+  return 0;
+}

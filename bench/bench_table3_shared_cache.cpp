@@ -1,0 +1,46 @@
+// Table 3: advantage of sharing a cache VNF instance across chains.
+//
+// Paper setup: five service chains using a Squid web cache; two Amazon
+// sites with a 60 ms RTT; Zipf(1.0) object popularity, 50 KB mean size.
+// Shared: one cache instance serves all chains.  Siloed: one instance per
+// chain at one-fifth the capacity (the unified-controller approach).
+// Findings: shared achieves 57.45% hit rate and 56.49 ms mean download
+// vs 44.25% and 70.02 ms siloed.
+#include <cstdio>
+
+#include "cache/experiment.hpp"
+
+int main() {
+  using namespace switchboard::cache;
+
+  ExperimentParams params;
+  params.chain_count = 5;
+  params.total_cache_bytes = 220ull * 1024 * 1024;
+  params.requests_per_chain = 150'000;
+  params.workload.object_count = 150'000;
+  params.workload.zipf_exponent = 1.0;
+  params.workload.mean_object_bytes = 50 * 1024;
+  params.wide_area_rtt_ms = 60.0;
+  params.local_rtt_ms = 25.0;   // client <-> edge cache + proxy processing
+
+  const ExperimentResult shared = run_shared(params);
+  const ExperimentResult siloed = run_siloed(params);
+
+  std::printf("=== Table 3: shared vs vertically siloed cache ===\n\n");
+  std::printf("chains=5, Zipf(%.1f), mean object %.0f KB, 60 ms WAN RTT\n",
+              params.workload.zipf_exponent,
+              params.workload.mean_object_bytes / 1024.0);
+  std::printf("%-32s %10s %16s\n", "Scheme", "Hit rate", "Download time");
+  std::printf("%-32s %9.2f%% %13.2f ms\n", "Shared cache inst.",
+              shared.hit_rate * 100.0, shared.mean_download_ms);
+  std::printf("%-32s %9.2f%% %13.2f ms\n", "Vertically siloed cache inst.",
+              siloed.hit_rate * 100.0, siloed.mean_download_ms);
+  std::printf("\nrelative: +%.0f%% hit rate, %.0f%% faster downloads\n",
+              100.0 * (shared.hit_rate / siloed.hit_rate - 1.0),
+              100.0 * (1.0 - shared.mean_download_ms /
+                                 siloed.mean_download_ms));
+  std::printf(
+      "Paper: shared 57.45%% / 56.49 ms vs siloed 44.25%% / 70.02 ms\n"
+      "(+30%% hit rate, 19%% faster) - object reuse across chains.\n");
+  return 0;
+}

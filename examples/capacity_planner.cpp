@@ -1,0 +1,90 @@
+// Capacity planning with Switchboard's optimizer (Section 4.2):
+//
+//   * chain routing — where should existing demand run? (SB-LP vs SB-DP)
+//   * cloud capacity planning — where should the operator add compute?
+//   * VNF capacity planning — which new sites should a VNF vendor pick?
+//
+//   ./capacity_planner
+#include <cstdio>
+
+#include "switchboard/switchboard.hpp"
+
+using namespace switchboard;
+
+int main() {
+  model::ScenarioParams params;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+  params.vnf_count = 6;
+  params.chain_count = 15;
+  params.coverage = 0.4;
+  params.total_chain_traffic = 200.0;
+  params.site_capacity = 150.0;
+  params.seed = 9;
+  model::NetworkModel m = model::make_scenario(params);
+
+  std::printf("network: %zu nodes, %zu links, %zu sites, %zu VNFs, "
+              "%zu chains\n",
+              m.topology().node_count(), m.topology().link_count(),
+              m.sites().size(), m.vnfs().size(), m.chains().size());
+
+  // --- routing today ----------------------------------------------------
+  te::LpRoutingOptions lp_options;
+  lp_options.objective = te::LpObjective::kMaxThroughput;
+  const te::LpRoutingResult lp = te::solve_lp_routing(m, lp_options);
+  const te::DpResult dp = te::solve_dp_routing(m);
+  const te::RoutingMetrics dp_metrics = te::evaluate(m, dp.routing);
+  std::printf("\n-- chain routing --\n");
+  if (lp.optimal()) {
+    const te::RoutingMetrics lp_metrics = te::evaluate(m, lp.routing);
+    std::printf("SB-LP: %.1f units carried at %.2f ms mean latency\n",
+                lp_metrics.feasible_throughput, lp_metrics.mean_latency_ms);
+  }
+  std::printf("SB-DP: %.1f units carried at %.2f ms mean latency "
+              "(%zu/%zu chains fully routed)\n",
+              dp_metrics.feasible_throughput, dp_metrics.mean_latency_ms,
+              dp.fully_routed_chains, m.chains().size());
+
+  // --- cloud capacity planning ------------------------------------------
+  std::printf("\n-- cloud capacity planning: +25%% compute budget --\n");
+  const double budget =
+      0.25 * params.site_capacity * static_cast<double>(m.sites().size());
+  const te::CloudPlanResult plan = te::plan_cloud_capacity(m, budget);
+  if (plan.status == lp::SolveStatus::kOptimal) {
+    std::printf("sustainable demand growth with planned placement: %.2fx\n",
+                plan.alpha);
+    std::printf("allocation (site: extra):");
+    for (const model::CloudSite& site : m.sites()) {
+      const double extra = plan.extra_site_capacity[site.id.value()];
+      if (extra > 0.5) std::printf("  %s:+%.0f", site.name.c_str(), extra);
+    }
+    std::printf("\n");
+    model::NetworkModel uniform = model::make_scenario(params);
+    te::apply_capacity_increase(uniform, te::uniform_allocation(uniform,
+                                                                budget));
+    const te::CloudPlanResult baseline = te::plan_cloud_capacity(uniform, 0.0);
+    if (baseline.status == lp::SolveStatus::kOptimal && baseline.alpha > 0) {
+      std::printf("uniform spreading sustains %.2fx -> planning is %+.1f%%\n",
+                  baseline.alpha,
+                  100.0 * (plan.alpha / baseline.alpha - 1.0));
+    }
+  } else {
+    std::printf("planning LP: %s\n", lp::to_string(plan.status));
+  }
+
+  // --- VNF placement hints -----------------------------------------------
+  std::printf("\n-- VNF placement hints: one new site per VNF --\n");
+  te::VnfPlacementOptions placement;
+  placement.new_sites_per_vnf = 1;
+  const te::VnfPlacementResult hints =
+      te::plan_vnf_placement_greedy(m, placement);
+  std::printf("mean chain latency: %.2f ms -> %.2f ms after expansion\n",
+              hints.latency_before_ms, hints.latency_after_ms);
+  for (const model::Vnf& vnf : m.vnfs()) {
+    for (const SiteId site : hints.new_sites[vnf.id.value()]) {
+      std::printf("  %s -> %s\n", vnf.name.c_str(),
+                  m.site(site).name.c_str());
+    }
+  }
+  return 0;
+}

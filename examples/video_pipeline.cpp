@@ -1,0 +1,92 @@
+// The face-blurring demo of Section 2 (Figure 3), reconstructed.
+//
+// A customer-premise box (CPE) hosts a webcam and a laptop; a remote cloud
+// site runs a GPU-backed face-anonymization VNF.  Before activation, the
+// default chain (no VNFs) routes the webcam's stream straight to the
+// laptop.  Activating the chain inserts the video-processing VNF at the
+// remote site: frames now detour through the cloud and come back blurred,
+// with end-to-end latency dominated by the GPU processing — under a
+// second, as measured on the paper's testbed.
+//
+//   ./video_pipeline
+#include <cstdio>
+
+#include "switchboard/switchboard.hpp"
+
+using namespace switchboard;
+
+int main() {
+  // CPE at node 0 and a third-party cloud (EC2-like) at node 1, 35 ms away
+  // (one way) over the Internet.
+  net::Topology topo;
+  const NodeId cpe_node = topo.add_node("cpe", 0, 0);
+  const NodeId cloud_node = topo.add_node("ec2", 7000, 0);
+  topo.add_duplex_link(cpe_node, cloud_node, 100.0, 35.0);
+
+  model::NetworkModel m{std::move(topo)};
+  const SiteId cpe = m.add_site(cpe_node, 10.0, "cpe");
+  const SiteId cloud = m.add_site(cloud_node, 1000.0, "ec2");
+  (void)cpe;
+
+  const VnfId face_blur = m.add_vnf("face-blur-gpu", 1.0);
+  m.deploy_vnf(face_blur, cloud, 100.0);
+
+  // The GPU inference dominates the frame latency (paper: most of the
+  // <1 s end-to-end came from video processing).
+  core::DeploymentConfig config;
+  config.vnf_processing_ms = 700.0;
+  core::Middleware mw{std::move(m), config};
+  const EdgeServiceId lan = mw.register_edge_service("cpe-lan");
+
+  // --- before activation: default chain, no VNFs ----------------------
+  control::ChainSpec passthrough;
+  passthrough.name = "webcam-to-laptop";
+  passthrough.ingress_service = lan;
+  passthrough.ingress_node = cpe_node;   // webcam subnet
+  passthrough.egress_service = lan;
+  passthrough.egress_node = cpe_node;    // laptop subnet, same premises
+  const auto plain = mw.create_chain(passthrough);
+  if (!plain.ok()) {
+    std::printf("default chain failed: %s\n",
+                plain.error().to_string().c_str());
+    return 1;
+  }
+
+  const dataplane::FiveTuple stream{0x0A000010, 0x0A000020, 5004, 5004, 17};
+  const auto direct = mw.send(plain->chain, stream);
+  std::printf("[before activation] frame delivered=%s, latency %.1f ms "
+              "(original video, no processing)\n",
+              direct.delivered ? "yes" : "no", direct.latency_ms);
+
+  // --- activation: insert the face-blur VNF ---------------------------
+  control::ChainSpec blurred;
+  blurred.name = "webcam-blur-laptop";
+  blurred.ingress_service = lan;
+  blurred.ingress_node = cpe_node;
+  blurred.egress_service = lan;
+  blurred.egress_node = cpe_node;
+  blurred.vnfs = {face_blur};
+  blurred.forward_traffic = 0.5;   // ~a video stream
+  const auto active = mw.create_chain(blurred);
+  if (!active.ok()) {
+    std::printf("chain activation failed: %s\n",
+                active.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("[activation] chain ready in %.0f ms\n",
+              sim::to_ms(active->elapsed()));
+
+  const auto processed = mw.send(active->chain, stream);
+  if (!processed.delivered) {
+    std::printf("frame dropped: %s\n", processed.failure.c_str());
+    return 1;
+  }
+  std::printf("[after activation] frame delivered via %zu VNF instance(s), "
+              "end-to-end %.1f ms (%.0f ms WAN transit + %.0f ms GPU)\n",
+              processed.vnf_instances().size(), processed.latency_ms,
+              processed.latency_ms - config.vnf_processing_ms,
+              config.vnf_processing_ms);
+  std::printf("faces are anonymized; latency stays under a second, as in\n"
+              "the paper's CPE + EC2 demo.\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "bus/message_bus.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace switchboard::bus {
+
+bool ProxyEgress::send(SiteId from, SiteId to, std::function<void()> deliver) {
+  const sim::SimTime now = sim_.now();
+  // Outstanding serialization backlog, in messages.
+  const sim::SimTime backlog = std::max<sim::SimTime>(0, egress_free_at_ - now);
+  const auto queued = static_cast<std::size_t>(
+      backlog / std::max<sim::Duration>(1, config_.per_message_service));
+  if (queued >= config_.egress_buffer) return false;
+
+  const sim::SimTime start = std::max(now, egress_free_at_);
+  egress_free_at_ = start + config_.per_message_service;
+  const sim::Duration propagation = config_.inter_site_delay(from, to);
+  sim_.schedule_at(egress_free_at_ + propagation, std::move(deliver));
+  return true;
+}
+
+// ------------------------------------------------------------------ ProxyBus
+
+ProxyBus::ProxyBus(sim::Simulator& sim, BusConfig config)
+    : sim_{sim}, config_{std::move(config)} {
+  assert(config_.site_count > 0);
+  assert(config_.inter_site_delay);
+  proxies_.resize(config_.site_count);
+  for (SiteProxy& proxy : proxies_) {
+    proxy.egress = std::make_unique<ProxyEgress>(sim_, config_);
+  }
+}
+
+void ProxyBus::subscribe(SiteId subscriber_site, const Topic& topic,
+                         SubscriberCallback callback) {
+  assert(subscriber_site.value() < proxies_.size());
+  assert(topic.publisher_site.value() < proxies_.size());
+  SiteProxy& publisher_proxy = proxies_[topic.publisher_site.value()];
+  // Filter at the publisher's proxy: remember the subscriber *site*.
+  auto& sites = publisher_proxy.filters[topic.path];
+  if (std::find(sites.begin(), sites.end(), subscriber_site) == sites.end()) {
+    sites.push_back(subscriber_site);
+  }
+  // Local fan-out at the subscriber's proxy.
+  SubscriberCallback stored = callback;   // copy for retained replay
+  proxies_[subscriber_site.value()].locals[topic.path].push_back(
+      LocalSubscriber{std::move(callback)});
+
+  // Replay retained state to the late subscriber only.
+  if (config_.retain_messages) {
+    const auto it = publisher_proxy.retained.find(topic.path);
+    if (it == publisher_proxy.retained.end()) return;
+    for (const std::string& payload : it->second) {
+      Message message{topic.path, payload, sim_.now()};
+      auto deliver = [this, stored, message] {
+        ++stats_.local_deliveries;
+        stats_.delivery_latency_ms.add(
+            sim::to_ms(sim_.now() - message.published_at));
+        stored(message);
+      };
+      if (subscriber_site == topic.publisher_site) {
+        sim_.schedule(config_.local_delivery_delay, std::move(deliver));
+      } else if (publisher_proxy.egress->send(topic.publisher_site,
+                                              subscriber_site,
+                                              std::move(deliver))) {
+        ++stats_.wide_area_messages;
+      } else {
+        ++stats_.drops;
+      }
+    }
+  }
+}
+
+void ProxyBus::publish(const Topic& topic, std::string payload) {
+  ++stats_.published;
+  const SiteId origin = topic.publisher_site;
+  SiteProxy& proxy = proxies_[origin.value()];
+  if (config_.retain_messages) {
+    auto& retained = proxy.retained[topic.path];
+    if (std::find(retained.begin(), retained.end(), payload) ==
+        retained.end()) {
+      retained.push_back(payload);
+    }
+  }
+  Message message{topic.path, std::move(payload), sim_.now()};
+
+  const auto it = proxy.filters.find(topic.path);
+  if (it == proxy.filters.end()) return;   // nobody anywhere subscribed
+  for (const SiteId site : it->second) {
+    if (site == origin) {
+      // Same-site subscriber: local queue only.
+      sim_.schedule(config_.local_delivery_delay,
+                    [this, site, message] { deliver_locally(site, message); });
+      continue;
+    }
+    // One wide-area copy per subscribed *site*, whatever the number of
+    // subscribers there.
+    const bool sent = proxy.egress->send(origin, site, [this, site, message] {
+      deliver_locally(site, message);
+    });
+    if (sent) {
+      ++stats_.wide_area_messages;
+    } else {
+      ++stats_.drops;
+    }
+  }
+}
+
+void ProxyBus::deliver_locally(SiteId site, const Message& message) {
+  const auto it = proxies_[site.value()].locals.find(message.topic_path);
+  if (it == proxies_[site.value()].locals.end()) return;
+  for (const LocalSubscriber& sub : it->second) {
+    ++stats_.local_deliveries;
+    stats_.delivery_latency_ms.add(
+        sim::to_ms(sim_.now() - message.published_at));
+    sub.callback(message);
+  }
+}
+
+// --------------------------------------------------------------- FullMeshBus
+
+FullMeshBus::FullMeshBus(sim::Simulator& sim, BusConfig config)
+    : sim_{sim}, config_{std::move(config)} {
+  assert(config_.site_count > 0);
+  assert(config_.inter_site_delay);
+  egress_.resize(config_.site_count);
+  for (auto& egress : egress_) {
+    egress = std::make_unique<ProxyEgress>(sim_, config_);
+  }
+}
+
+void FullMeshBus::subscribe(SiteId subscriber_site, const Topic& topic,
+                            SubscriberCallback callback) {
+  SubscriberCallback stored = callback;   // copy for retained replay
+  subscribers_[topic.path].push_back(
+      Subscriber{subscriber_site, std::move(callback)});
+  if (config_.retain_messages) {
+    const auto it = retained_.find(topic.path);
+    if (it == retained_.end()) return;
+    const SiteId origin = topic.publisher_site;
+    for (const std::string& payload : it->second) {
+      Message message{topic.path, payload, sim_.now()};
+      auto deliver = [this, stored, message] {
+        ++stats_.local_deliveries;
+        stats_.delivery_latency_ms.add(
+            sim::to_ms(sim_.now() - message.published_at));
+        stored(message);
+      };
+      if (subscriber_site == origin) {
+        sim_.schedule(config_.local_delivery_delay, std::move(deliver));
+      } else if (egress_[origin.value()]->send(origin, subscriber_site,
+                                               std::move(deliver))) {
+        ++stats_.wide_area_messages;
+      } else {
+        ++stats_.drops;
+      }
+    }
+  }
+}
+
+void FullMeshBus::publish(const Topic& topic, std::string payload) {
+  ++stats_.published;
+  const SiteId origin = topic.publisher_site;
+  if (config_.retain_messages) {
+    auto& retained = retained_[topic.path];
+    if (std::find(retained.begin(), retained.end(), payload) ==
+        retained.end()) {
+      retained.push_back(payload);
+    }
+  }
+  const auto it = subscribers_.find(topic.path);
+  if (it == subscribers_.end()) return;
+  Message message{topic.path, std::move(payload), sim_.now()};
+
+  // A separate copy per *subscriber*: this is what overloads the
+  // publisher's egress under fan-out.
+  for (const Subscriber& sub : it->second) {
+    auto deliver = [this, callback = sub.callback, message] {
+      ++stats_.local_deliveries;
+      stats_.delivery_latency_ms.add(
+          sim::to_ms(sim_.now() - message.published_at));
+      callback(message);
+    };
+    if (sub.site == origin) {
+      sim_.schedule(config_.local_delivery_delay, std::move(deliver));
+      continue;
+    }
+    if (egress_[origin.value()]->send(origin, sub.site, std::move(deliver))) {
+      ++stats_.wide_area_messages;
+    } else {
+      ++stats_.drops;
+    }
+  }
+}
+
+}  // namespace switchboard::bus

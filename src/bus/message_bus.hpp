@@ -1,0 +1,153 @@
+// The global message bus (Section 6) and its full-mesh baseline (Fig. 9).
+//
+// Switchboard topology (ProxyBus): a message-queuing proxy at every site.
+// Publishers publish to their own site's proxy; subscription filters are
+// installed at the *publisher's* proxy (the publisher site is named in the
+// topic).  A site with no subscribers for a topic receives nothing; a site
+// with any subscribers receives exactly one copy over the shared
+// inter-proxy connection, and its proxy fans out locally.
+//
+// Baseline (FullMeshBus): the publisher sends a separate wide-area copy to
+// every individual subscriber — the per-subscriber copies queue at the
+// publisher's egress, which is what blows up latency and drops messages
+// under load in Fig. 9.
+//
+// Both run on the discrete-event simulator; the egress of each proxy is a
+// finite-rate, finite-buffer queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/topic.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace switchboard::bus {
+
+struct Message {
+  std::string topic_path;
+  std::string payload;
+  sim::SimTime published_at{0};
+};
+
+using SubscriberCallback = std::function<void(const Message&)>;
+
+struct BusConfig {
+  std::size_t site_count{0};
+  /// One-way message propagation delay between two sites.
+  std::function<sim::Duration(SiteId, SiteId)> inter_site_delay;
+  /// Serialization/processing time per wide-area message at a proxy egress.
+  sim::Duration per_message_service{sim::microseconds(100)};
+  /// Egress buffer (messages); sends beyond it are dropped.
+  std::size_t egress_buffer{1024};
+  /// Delay of a local (same-site) delivery.
+  sim::Duration local_delivery_delay{sim::microseconds(50)};
+  /// Retain published control state per topic and replay it to late
+  /// subscribers (control-plane topics carry configuration state, so a
+  /// subscriber arriving after the publish must still converge — the
+  /// prototype's bus replicates state the same way, Section 6).
+  bool retain_messages{true};
+};
+
+struct BusStats {
+  std::uint64_t published{0};
+  std::uint64_t wide_area_messages{0};
+  std::uint64_t local_deliveries{0};
+  std::uint64_t drops{0};
+  /// Publish-to-delivery latency (ms) over all deliveries.
+  SampleStats delivery_latency_ms;
+};
+
+/// Common interface so experiments can swap topologies.
+class MessageBus {
+ public:
+  virtual ~MessageBus() = default;
+
+  /// Subscribes a callback running at `subscriber_site`.
+  virtual void subscribe(SiteId subscriber_site, const Topic& topic,
+                         SubscriberCallback callback) = 0;
+
+  /// Publishes from the topic's publisher site.
+  virtual void publish(const Topic& topic, std::string payload) = 0;
+
+  [[nodiscard]] const BusStats& stats() const { return stats_; }
+  [[nodiscard]] BusStats& stats_mutable() { return stats_; }
+
+ protected:
+  BusStats stats_;
+};
+
+/// Shared egress-queue model for a site proxy.
+class ProxyEgress {
+ public:
+  ProxyEgress(sim::Simulator& sim, const BusConfig& config)
+      : sim_{sim}, config_{config} {}
+
+  /// Attempts to enqueue a wide-area send; returns false on buffer
+  /// overflow.  On success `deliver` runs at the arrival time at `to`.
+  bool send(SiteId from, SiteId to, std::function<void()> deliver);
+
+ private:
+  sim::Simulator& sim_;
+  const BusConfig& config_;
+  sim::SimTime egress_free_at_{0};
+};
+
+class ProxyBus final : public MessageBus {
+ public:
+  ProxyBus(sim::Simulator& sim, BusConfig config);
+
+  void subscribe(SiteId subscriber_site, const Topic& topic,
+                 SubscriberCallback callback) override;
+  void publish(const Topic& topic, std::string payload) override;
+
+ private:
+  struct LocalSubscriber {
+    SubscriberCallback callback;
+  };
+  struct SiteProxy {
+    /// Subscription filters installed at this (publisher-side) proxy:
+    /// topic path -> subscriber sites (deduplicated).
+    std::unordered_map<std::string, std::vector<SiteId>> filters;
+    /// Local fan-out at this (subscriber-side) proxy.
+    std::unordered_map<std::string, std::vector<LocalSubscriber>> locals;
+    /// Retained state per topic (distinct payloads, publish order).
+    std::unordered_map<std::string, std::vector<std::string>> retained;
+    std::unique_ptr<ProxyEgress> egress;
+  };
+
+  void deliver_locally(SiteId site, const Message& message);
+
+  sim::Simulator& sim_;
+  BusConfig config_;
+  std::vector<SiteProxy> proxies_;
+};
+
+class FullMeshBus final : public MessageBus {
+ public:
+  FullMeshBus(sim::Simulator& sim, BusConfig config);
+
+  void subscribe(SiteId subscriber_site, const Topic& topic,
+                 SubscriberCallback callback) override;
+  void publish(const Topic& topic, std::string payload) override;
+
+ private:
+  struct Subscriber {
+    SiteId site;
+    SubscriberCallback callback;
+  };
+
+  sim::Simulator& sim_;
+  BusConfig config_;
+  std::unordered_map<std::string, std::vector<Subscriber>> subscribers_;
+  std::unordered_map<std::string, std::vector<std::string>> retained_;
+  std::vector<std::unique_ptr<ProxyEgress>> egress_;   // per publisher site
+};
+
+}  // namespace switchboard::bus

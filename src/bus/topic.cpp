@@ -1,0 +1,32 @@
+#include "bus/topic.hpp"
+
+namespace switchboard::bus {
+namespace {
+
+std::string prefix(ChainId chain, std::uint32_t egress_label, VnfId vnf) {
+  return "/c" + std::to_string(chain.value()) + "/e" +
+         std::to_string(egress_label) + "/vnf_" + std::to_string(vnf.value());
+}
+
+}  // namespace
+
+Topic instances_topic(ChainId chain, std::uint32_t egress_label, VnfId vnf,
+                      SiteId site) {
+  return Topic{prefix(chain, egress_label, vnf) + "/site_" +
+                   std::to_string(site.value()) + "_instances",
+               site};
+}
+
+Topic forwarders_topic(ChainId chain, std::uint32_t egress_label, VnfId vnf,
+                       SiteId site) {
+  return Topic{prefix(chain, egress_label, vnf) + "/site_" +
+                   std::to_string(site.value()) + "_forwarders",
+               site};
+}
+
+Topic chain_routes_topic(ChainId chain, SiteId controller_site) {
+  return Topic{"/chains/" + std::to_string(chain.value()) + "/routes",
+               controller_site};
+}
+
+}  // namespace switchboard::bus

@@ -1,0 +1,42 @@
+// Topic naming for the global message bus (Section 6).
+//
+// Topics follow the paper's convention, e.g.
+//     /c1/e3/vnf_O/site_B_forwarders
+// (chain c1, egress site e3, VNF O, the forwarders at site B).  The
+// *publisher's site* is part of the topic — that is what lets the bus
+// install subscription filters at the publisher-side proxy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace switchboard::bus {
+
+struct Topic {
+  std::string path;
+  /// The site whose elements publish on this topic; subscription filters
+  /// install at this site's proxy.
+  SiteId publisher_site;
+
+  friend bool operator==(const Topic&, const Topic&) = default;
+};
+
+/// "/c<chain>/e<egress>/vnf_<vnf>/site_<site>_instances" — the VNF's
+/// instances (IPs + load-balancing weights) at a site, for one chain route.
+[[nodiscard]] Topic instances_topic(ChainId chain, std::uint32_t egress_label,
+                                    VnfId vnf, SiteId site);
+
+/// "/c<chain>/e<egress>/vnf_<vnf>/site_<site>_forwarders" — the forwarders
+/// fronting the VNF's instances at a site.
+[[nodiscard]] Topic forwarders_topic(ChainId chain, std::uint32_t egress_label,
+                                     VnfId vnf, SiteId site);
+
+/// "/chains/<chain>/routes" — wide-area routes + labels of a chain,
+/// published by Global Switchboard (hosted at `controller_site`) and
+/// replicated to Local Switchboards at every site (Section 6, edge-site
+/// extension).
+[[nodiscard]] Topic chain_routes_topic(ChainId chain, SiteId controller_site);
+
+}  // namespace switchboard::bus

@@ -1,0 +1,78 @@
+#include "cache/experiment.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace switchboard::cache {
+
+double download_time_ms(const ExperimentParams& params, bool hit,
+                        std::uint64_t size_bytes) {
+  if (hit) {
+    return params.local_rtt_ms +
+           static_cast<double>(size_bytes) /
+               params.edge_bandwidth_bytes_per_ms;
+  }
+  return params.local_rtt_ms + params.wide_area_rtt_ms +
+         static_cast<double>(size_bytes) /
+             params.origin_bandwidth_bytes_per_ms;
+}
+
+namespace {
+
+/// Runs the request streams of all chains round-robin (interleaved, as
+/// concurrent chains would be) against per-chain caches.
+/// `cache_of[i]` maps chain i to its cache.
+ExperimentResult run(const ExperimentParams& params,
+                     std::vector<LruCache*> cache_of) {
+  assert(cache_of.size() == params.chain_count);
+  std::vector<WebWorkload> workloads;
+  workloads.reserve(params.chain_count);
+  for (std::size_t c = 0; c < params.chain_count; ++c) {
+    WorkloadParams wp = params.workload;
+    wp.seed = params.workload.seed + c + 1;   // independent request streams
+    workloads.emplace_back(wp);
+  }
+
+  ExperimentResult result;
+  double total_download_ms = 0.0;
+  std::uint64_t hits = 0;
+  for (std::size_t r = 0; r < params.requests_per_chain; ++r) {
+    for (std::size_t c = 0; c < params.chain_count; ++c) {
+      const WebWorkload::Request request = workloads[c].next();
+      const bool hit = cache_of[c]->request(request.object,
+                                            request.size_bytes);
+      if (hit) ++hits;
+      total_download_ms += download_time_ms(params, hit, request.size_bytes);
+      ++result.requests;
+    }
+  }
+  result.hit_rate = result.requests == 0
+      ? 0.0
+      : static_cast<double>(hits) / static_cast<double>(result.requests);
+  result.mean_download_ms =
+      result.requests == 0
+          ? 0.0
+          : total_download_ms / static_cast<double>(result.requests);
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_shared(const ExperimentParams& params) {
+  LruCache shared{params.total_cache_bytes};
+  std::vector<LruCache*> cache_of(params.chain_count, &shared);
+  return run(params, std::move(cache_of));
+}
+
+ExperimentResult run_siloed(const ExperimentParams& params) {
+  std::vector<std::unique_ptr<LruCache>> caches;
+  std::vector<LruCache*> cache_of;
+  for (std::size_t c = 0; c < params.chain_count; ++c) {
+    caches.push_back(std::make_unique<LruCache>(
+        params.total_cache_bytes / params.chain_count));
+    cache_of.push_back(caches.back().get());
+  }
+  return run(params, std::move(cache_of));
+}
+
+}  // namespace switchboard::cache

@@ -1,0 +1,51 @@
+// Shared-vs-siloed cache experiment (Section 7.2, Table 3).
+//
+// Five service chains use a web-cache VNF.  In the *shared* deployment one
+// cache instance serves all chains (the service-oriented design: a VNF
+// controller may share instances across chains); in the *siloed*
+// deployment each chain gets its own instance with one-fifth the capacity
+// (the unified-controller approach of E2/Stratos).  Chains request objects
+// from a common universe, so a shared cache reuses objects across chains.
+//
+// The download-time model mirrors the testbed: clients and caches colocate
+// at one site; origin servers sit across a wide-area RTT.  A hit costs the
+// local RTT plus transfer at the edge bandwidth; a miss adds the wide-area
+// RTT and transfer at the (slower) origin bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/web_workload.hpp"
+
+namespace switchboard::cache {
+
+struct ExperimentParams {
+  std::size_t chain_count{5};
+  std::uint64_t total_cache_bytes{512ull * 1024 * 1024};
+  std::size_t requests_per_chain{200'000};
+  WorkloadParams workload{};
+
+  double wide_area_rtt_ms{60.0};   // paper: two Amazon sites, 60 ms RTT
+  double local_rtt_ms{2.0};
+  double edge_bandwidth_bytes_per_ms{1.0 * 1024 * 1024};    // ~8 Gbps
+  double origin_bandwidth_bytes_per_ms{0.25 * 1024 * 1024}; // WAN path
+};
+
+struct ExperimentResult {
+  double hit_rate{0.0};
+  double mean_download_ms{0.0};
+  std::uint64_t requests{0};
+};
+
+/// One cache instance of `total_cache_bytes` shared by all chains.
+[[nodiscard]] ExperimentResult run_shared(const ExperimentParams& params);
+
+/// One instance per chain, each with total/chains capacity.
+[[nodiscard]] ExperimentResult run_siloed(const ExperimentParams& params);
+
+/// Download time of one request under the experiment's latency model.
+[[nodiscard]] double download_time_ms(const ExperimentParams& params,
+                                      bool hit, std::uint64_t size_bytes);
+
+}  // namespace switchboard::cache

@@ -1,0 +1,49 @@
+#include "cache/lru_cache.hpp"
+
+#include <cassert>
+
+namespace switchboard::cache {
+
+LruCache::LruCache(std::uint64_t capacity_bytes) : capacity_{capacity_bytes} {
+  assert(capacity_bytes > 0);
+}
+
+bool LruCache::request(ObjectId object, std::uint64_t size_bytes) {
+  const auto it = index_.find(object);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    stats_.bytes_served_from_cache += it->second->size;
+    lru_.splice(lru_.begin(), lru_, it->second);   // promote
+    return true;
+  }
+  ++stats_.misses;
+  stats_.bytes_fetched += size_bytes;
+  if (size_bytes > capacity_) return false;   // never admitted
+  evict_until_fits(size_bytes);
+  lru_.push_front(Entry{object, size_bytes});
+  index_[object] = lru_.begin();
+  used_ += size_bytes;
+  return false;
+}
+
+bool LruCache::contains(ObjectId object) const {
+  return index_.find(object) != index_.end();
+}
+
+void LruCache::evict_until_fits(std::uint64_t needed) {
+  while (used_ + needed > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.size;
+    index_.erase(victim.object);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void LruCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+}  // namespace switchboard::cache

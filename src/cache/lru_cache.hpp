@@ -1,0 +1,60 @@
+// Byte-capacity LRU object cache — the web-cache VNF (Squid substitute)
+// used in the shared-vs-siloed experiment of Section 7.2 (Table 3).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace switchboard::cache {
+
+using ObjectId = std::uint64_t;
+
+struct CacheStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t evictions{0};
+  std::uint64_t bytes_served_from_cache{0};
+  std::uint64_t bytes_fetched{0};
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class LruCache {
+ public:
+  explicit LruCache(std::uint64_t capacity_bytes);
+
+  /// Requests an object of `size_bytes`.  On hit, the object is promoted;
+  /// on miss, it is admitted (evicting LRU objects as needed).  Objects
+  /// larger than the whole cache are never admitted.
+  /// Returns true on hit.
+  bool request(ObjectId object, std::uint64_t size_bytes);
+
+  /// Peeks without promoting or admitting.
+  [[nodiscard]] bool contains(ObjectId object) const;
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::uint64_t used_bytes() const { return used_; }
+  [[nodiscard]] std::size_t object_count() const { return index_.size(); }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void clear();
+
+ private:
+  struct Entry {
+    ObjectId object;
+    std::uint64_t size;
+  };
+
+  void evict_until_fits(std::uint64_t needed);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_{0};
+  std::list<Entry> lru_;   // front = most recent
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace switchboard::cache

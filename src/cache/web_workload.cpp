@@ -1,0 +1,31 @@
+#include "cache/web_workload.hpp"
+
+#include <cmath>
+
+#include "dataplane/packet.hpp"   // mix64
+
+namespace switchboard::cache {
+
+WebWorkload::WebWorkload(const WorkloadParams& params)
+    : params_{params},
+      zipf_{params.object_count, params.zipf_exponent},
+      rng_{params.seed} {}
+
+std::uint64_t WebWorkload::object_size(ObjectId object) const {
+  // Deterministic exponential-ish size around the mean: invert a uniform
+  // derived from the object id.  Clamp to [1 KB, 20 x mean].
+  const std::uint64_t h = dataplane::mix64(object ^ params_.seed);
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u <= 0.0) u = 1e-12;
+  const double mean = static_cast<double>(params_.mean_object_bytes);
+  double size = -mean * std::log(u);
+  size = std::max(1024.0, std::min(size, 20.0 * mean));
+  return static_cast<std::uint64_t>(size);
+}
+
+WebWorkload::Request WebWorkload::next() {
+  const ObjectId object = zipf_.sample(rng_);
+  return Request{object, object_size(object)};
+}
+
+}  // namespace switchboard::cache

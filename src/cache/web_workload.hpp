@@ -1,0 +1,45 @@
+// Web request workload for the cache experiment (Section 7.2): object
+// popularity follows Zipf (exponent 1 in the paper), object sizes follow a
+// distribution with a 50 KB mean, and size is a pure function of the
+// object id (the same object always has the same size).
+#pragma once
+
+#include <cstdint>
+
+#include "cache/lru_cache.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace switchboard::cache {
+
+struct WorkloadParams {
+  std::size_t object_count{100'000};
+  double zipf_exponent{1.0};
+  std::uint64_t mean_object_bytes{50 * 1024};
+  std::uint64_t seed{21};
+};
+
+class WebWorkload {
+ public:
+  explicit WebWorkload(const WorkloadParams& params);
+
+  struct Request {
+    ObjectId object;
+    std::uint64_t size_bytes;
+  };
+
+  /// Draws the next request.
+  [[nodiscard]] Request next();
+
+  /// Size of a given object (deterministic in the object id).
+  [[nodiscard]] std::uint64_t object_size(ObjectId object) const;
+
+  [[nodiscard]] const WorkloadParams& params() const { return params_; }
+
+ private:
+  WorkloadParams params_;
+  ZipfSampler zipf_;
+  Rng rng_;
+};
+
+}  // namespace switchboard::cache

@@ -1,0 +1,59 @@
+#include "common/cost.hpp"
+
+#include <cassert>
+
+namespace switchboard {
+
+UtilizationCost::UtilizationCost()
+    : UtilizationCost({1.0 / 3, 2.0 / 3, 0.9, 1.0, 1.1},
+                      {1, 3, 10, 70, 500, 5000}) {}
+
+UtilizationCost::UtilizationCost(std::vector<double> breakpoints,
+                                 std::vector<double> slopes)
+    : breakpoints_{std::move(breakpoints)}, slopes_{std::move(slopes)} {
+  assert(slopes_.size() == breakpoints_.size() + 1);
+  for (std::size_t i = 0; i + 1 < breakpoints_.size(); ++i) {
+    assert(breakpoints_[i] < breakpoints_[i + 1]);
+  }
+  for (std::size_t i = 0; i + 1 < slopes_.size(); ++i) {
+    assert(slopes_[i] <= slopes_[i + 1]);  // convexity
+  }
+  values_at_breakpoints_.reserve(breakpoints_.size());
+  double value = 0.0;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < breakpoints_.size(); ++i) {
+    value += slopes_[i] * (breakpoints_[i] - prev);
+    values_at_breakpoints_.push_back(value);
+    prev = breakpoints_[i];
+  }
+}
+
+double UtilizationCost::operator()(double utilization) const {
+  assert(utilization >= 0);
+  double prev_bp = 0.0;
+  for (std::size_t i = 0; i < breakpoints_.size(); ++i) {
+    if (utilization <= breakpoints_[i]) {
+      const double base = (i == 0) ? 0.0 : values_at_breakpoints_[i - 1];
+      const double from = (i == 0) ? 0.0 : breakpoints_[i - 1];
+      return base + slopes_[i] * (utilization - from);
+    }
+    prev_bp = breakpoints_[i];
+  }
+  return values_at_breakpoints_.back() +
+         slopes_.back() * (utilization - prev_bp);
+}
+
+double UtilizationCost::slope_at(double utilization) const {
+  assert(utilization >= 0);
+  for (std::size_t i = 0; i < breakpoints_.size(); ++i) {
+    if (utilization < breakpoints_[i]) return slopes_[i];
+  }
+  return slopes_.back();
+}
+
+double UtilizationCost::delta(double from, double to) const {
+  assert(from <= to);
+  return (*this)(to) - (*this)(from);
+}
+
+}  // namespace switchboard

@@ -1,0 +1,39 @@
+// Piecewise-linear convex utilization cost (Fortz & Thorup, INFOCOM 2000).
+//
+// Both SB-DP's network-utilization and compute-utilization cost terms use
+// this function (Section 4.4 of the paper): cost grows mildly below 50%
+// utilization and exponentially above it, discouraging routes through
+// near-saturated links or VNF sites.
+#pragma once
+
+#include <vector>
+
+namespace switchboard {
+
+/// The classic Fortz–Thorup penalty: a convex piecewise-linear function of
+/// utilization u = load / capacity with breakpoints at
+/// u = 1/3, 2/3, 9/10, 1, 11/10 and slopes 1, 3, 10, 70, 500, 5000.
+class UtilizationCost {
+ public:
+  UtilizationCost();
+
+  /// Construct with custom breakpoints/slopes.  `slopes` must have exactly
+  /// one more element than `breakpoints`, and be non-decreasing (convexity).
+  UtilizationCost(std::vector<double> breakpoints, std::vector<double> slopes);
+
+  /// Φ(u): cost at utilization u (u >= 0; u may exceed 1 — overload).
+  [[nodiscard]] double operator()(double utilization) const;
+
+  /// Marginal cost dΦ/du at utilization u (right derivative).
+  [[nodiscard]] double slope_at(double utilization) const;
+
+  /// Cost increase of moving from utilization `from` to `to` (to >= from).
+  [[nodiscard]] double delta(double from, double to) const;
+
+ private:
+  std::vector<double> breakpoints_;
+  std::vector<double> slopes_;
+  std::vector<double> values_at_breakpoints_;  // prefix-evaluated Φ
+};
+
+}  // namespace switchboard

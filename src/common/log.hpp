@@ -1,0 +1,45 @@
+// Minimal leveled logger.  Defaults to warnings-only so tests and benchmarks
+// stay quiet; examples raise the level to narrate what the middleware does.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace switchboard {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+/// Log a message built from stream-style arguments:
+///   SB_LOG(kInfo) << "chain " << id << " activated";
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_{level} {}
+  ~LogStream() {
+    if (level_ >= log_level()) detail::log_line(level_, os_.str());
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (level_ >= log_level()) os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace switchboard
+
+#define SB_LOG(severity) \
+  ::switchboard::LogStream(::switchboard::LogLevel::severity)

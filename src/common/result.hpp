@@ -1,0 +1,111 @@
+// A minimal expected-like Result<T> for recoverable control-plane errors.
+//
+// The control plane reports failures (e.g., a VNF controller rejecting a
+// route during two-phase commit) as values rather than exceptions, because
+// rejection is part of the protocol, not an exceptional condition.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace switchboard {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kResourceExhausted,   // VNF/site capacity shortage
+  kRejected,            // 2PC participant voted abort
+  kInfeasible,          // optimizer could not find a feasible solution
+  kUnavailable,         // component not reachable / not registered
+  kAlreadyExists,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kRejected: return "rejected";
+    case ErrorCode::kInfeasible: return "infeasible";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorCode code{ErrorCode::kInternal};
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(switchboard::to_string(code)) +
+           (message.empty() ? "" : (": " + message));
+  }
+};
+
+/// Holds either a value of type T or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_{std::move(value)} {}          // NOLINT(implicit)
+  Result(Error error) : data_{std::move(error)} {}      // NOLINT(implicit)
+  Result(ErrorCode code, std::string msg)
+      : data_{Error{code, std::move(msg)}} {}
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_{std::move(error)} {}     // NOLINT(implicit)
+  Status(ErrorCode code, std::string msg)
+      : error_{Error{code, std::move(msg)}} {}
+
+  [[nodiscard]] static Status ok_status() { return {}; }
+
+  [[nodiscard]] bool ok() const { return error_.code == ErrorCode::kOk; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const { return error_; }
+
+ private:
+  Error error_{ErrorCode::kOk, {}};
+};
+
+}  // namespace switchboard

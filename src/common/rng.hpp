@@ -1,0 +1,62 @@
+// Deterministic random number generation for simulations and workloads.
+//
+// All stochastic components take an explicit Rng so that every experiment is
+// reproducible from a single seed and sub-streams can be split per component.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace switchboard {
+
+/// xoshiro256** — fast, high-quality, 64-bit PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Exponential with given mean (> 0).
+  double exponential(double mean);
+  /// Standard normal via Box–Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// True with probability p.
+  bool bernoulli(double p);
+  /// Index drawn proportionally to non-negative `weights` (at least one > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+  /// A fresh, independently-seeded generator (stream splitting).
+  Rng split();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Choose k distinct indices from [0, n) uniformly (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_{false};
+  double cached_normal_{0.0};
+};
+
+}  // namespace switchboard

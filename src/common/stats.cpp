@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace switchboard {
+
+void SampleStats::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_valid_ = false;
+}
+
+void SampleStats::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sum_ = 0.0;
+  sorted_valid_ = false;
+}
+
+double SampleStats::mean() const {
+  assert(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (const double s : samples_) ss += (s - m) * (s - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+  assert(lo < hi);
+  assert(bins > 0);
+}
+
+void Histogram::add(double sample) {
+  ++total_;
+  if (sample < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (sample >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>(
+      (sample - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  counts_[std::min(bin, counts_.size() - 1)]++;
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::ostringstream os;
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double bin_lo = lo_ + width * static_cast<double>(i);
+    os << "[" << bin_lo << ", " << bin_lo + width << ") ";
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_width / peak;
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace switchboard

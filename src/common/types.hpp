@@ -1,0 +1,75 @@
+// Strongly-typed identifiers used across every Switchboard subsystem.
+//
+// Each entity class (network node, cloud site, VNF, chain, ...) gets its own
+// id type so that, e.g., a SiteId cannot be passed where a ChainId is
+// expected.  Ids are small value types: an index wrapped in a tag.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace switchboard {
+
+/// A type-safe integer id.  `Tag` is an empty struct that distinguishes id
+/// families at compile time; `value()` is an index into the owning registry.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_{v} {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  underlying_type value_{kInvalid};
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct SiteTag {};
+struct VnfTag {};
+struct ChainTag {};
+struct InstanceTag {};   // a VNF or edge instance (VM/container)
+struct ForwarderTag {};
+struct EdgeServiceTag {};
+struct RouteTag {};      // one wide-area route of a chain
+struct ActorTag {};      // a simulation actor (controller, proxy, ...)
+
+using NodeId = StrongId<NodeTag>;
+using LinkId = StrongId<LinkTag>;
+using SiteId = StrongId<SiteTag>;
+using VnfId = StrongId<VnfTag>;
+using ChainId = StrongId<ChainTag>;
+using InstanceId = StrongId<InstanceTag>;
+using ForwarderId = StrongId<ForwarderTag>;
+using EdgeServiceId = StrongId<EdgeServiceTag>;
+using RouteId = StrongId<RouteTag>;
+using ActorId = StrongId<ActorTag>;
+
+}  // namespace switchboard
+
+namespace std {
+template <typename Tag>
+struct hash<switchboard::StrongId<Tag>> {
+  size_t operator()(switchboard::StrongId<Tag> id) const noexcept {
+    return std::hash<typename switchboard::StrongId<Tag>::underlying_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,32 @@
+// Zipf-distributed sampling, used by the web-cache workload (Table 3) and
+// skewed flow popularity in data-plane benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace switchboard {
+
+/// Samples ranks in [0, n) with P(rank = k) ∝ 1 / (k+1)^exponent.
+/// Uses an inverse-CDF table: O(n) setup, O(log n) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t n() const { return cdf_.size(); }
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+  /// Draws one rank.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// P(rank = k).
+  [[nodiscard]] double probability(std::size_t k) const;
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;   // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace switchboard

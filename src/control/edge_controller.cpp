@@ -1,0 +1,52 @@
+#include "control/edge_controller.hpp"
+
+#include <cassert>
+
+namespace switchboard::control {
+
+EdgeController::EdgeController(ControlContext& context, EdgeServiceId id,
+                               std::string name)
+    : context_{context},
+      id_{id},
+      name_{std::move(name)},
+      instance_at_site_(context.model.sites().size(), dataplane::kNoElement) {}
+
+Result<SiteId> EdgeController::resolve_site(NodeId node) const {
+  const auto site = context_.model.site_at(node);
+  if (!site.has_value()) {
+    return Result<SiteId>{ErrorCode::kNotFound,
+                          name_ + ": no cloud site at node " +
+                              std::to_string(node.value())};
+  }
+  return Result<SiteId>{*site};
+}
+
+dataplane::ElementId EdgeController::ensure_edge_instance(SiteId site) {
+  assert(site.value() < instance_at_site_.size());
+  dataplane::ElementId& slot = instance_at_site_[site.value()];
+  if (slot != dataplane::kNoElement) return slot;
+  // The edge gets a dedicated forwarder at the site (one forwarder per
+  // fronted service — the rule-disambiguation invariant).
+  const dataplane::ElementId forwarder =
+      context_.elements.create_forwarder(site);
+  slot = context_.elements.create_edge_instance(site, forwarder);
+  return slot;
+}
+
+void EdgeController::announce_edge_instance(ChainId chain,
+                                            std::uint32_t egress_label,
+                                            SiteId site) {
+  const dataplane::ElementId instance = ensure_edge_instance(site);
+  InstanceAnnouncement announcement;
+  announcement.instance = instance;
+  announcement.forwarder = context_.elements.info(instance).attached_forwarder;
+  announcement.weight = 1.0;
+  const bus::Topic topic = bus::instances_topic(
+      chain, egress_label, ControlContext::edge_marker(), site);
+  context_.sim.schedule(context_.timings.controller_processing,
+                        [this, topic, announcement] {
+                          context_.bus.publish(topic, serialize(announcement));
+                        });
+}
+
+}  // namespace switchboard::control

@@ -1,0 +1,47 @@
+// Edge service controller (Section 3, "prior to chain specification").
+//
+// An edge service is a multi-site service of edge instances plus this
+// centralized controller.  It resolves a customer's ingress/egress
+// specification (here: a network node) to a cloud site, manages edge
+// instances, and publishes their info on the message bus when a chain
+// route commits.
+#pragma once
+
+#include <string>
+
+#include "bus/topic.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "control/context.hpp"
+#include "control/messages.hpp"
+
+namespace switchboard::control {
+
+class EdgeController {
+ public:
+  EdgeController(ControlContext& context, EdgeServiceId id, std::string name);
+
+  [[nodiscard]] EdgeServiceId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Resolves a customer-specified attachment node to its cloud site.
+  [[nodiscard]] Result<SiteId> resolve_site(NodeId node) const;
+
+  /// Ensures an edge instance (attached to a forwarder) exists at `site`;
+  /// returns the edge instance element id.
+  dataplane::ElementId ensure_edge_instance(SiteId site);
+
+  /// Publishes the edge instance at `site` on the chain's instances topic
+  /// (as the pseudo-VNF edge marker) after controller processing delay.
+  void announce_edge_instance(ChainId chain, std::uint32_t egress_label,
+                              SiteId site);
+
+ private:
+  ControlContext& context_;
+  EdgeServiceId id_;
+  std::string name_;
+  // One edge instance per site, created on demand.
+  std::vector<dataplane::ElementId> instance_at_site_;
+};
+
+}  // namespace switchboard::control

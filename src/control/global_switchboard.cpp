@@ -1,0 +1,418 @@
+#include "control/global_switchboard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace switchboard::control {
+
+GlobalSwitchboard::GlobalSwitchboard(ControlContext& context, SiteId home_site)
+    : context_{context}, home_site_{home_site}, loads_{context.model} {}
+
+bus::Topic GlobalSwitchboard::routes_topic() const {
+  return bus::Topic{"/chains/all", home_site_};
+}
+
+void GlobalSwitchboard::register_edge_controller(EdgeController* controller) {
+  assert(controller != nullptr);
+  if (edge_controllers_.size() <= controller->id().value()) {
+    edge_controllers_.resize(controller->id().value() + 1, nullptr);
+  }
+  edge_controllers_[controller->id().value()] = controller;
+}
+
+void GlobalSwitchboard::register_vnf_controller(VnfController* controller) {
+  assert(controller != nullptr);
+  if (vnf_controllers_.size() <= controller->vnf().value()) {
+    vnf_controllers_.resize(controller->vnf().value() + 1, nullptr);
+  }
+  vnf_controllers_[controller->vnf().value()] = controller;
+}
+
+void GlobalSwitchboard::register_local_switchboard(LocalSwitchboard* local) {
+  assert(local != nullptr);
+  if (local_switchboards_.size() <= local->site().value()) {
+    local_switchboards_.resize(local->site().value() + 1, nullptr);
+  }
+  local_switchboards_[local->site().value()] = local;
+}
+
+const ChainRecord& GlobalSwitchboard::record(ChainId chain) const {
+  for (const ChainRecord& r : chains_) {
+    if (r.id == chain) return r;
+  }
+  assert(false && "unknown chain");
+  static const ChainRecord kEmpty{};
+  return kEmpty;
+}
+
+RouteAnnouncement GlobalSwitchboard::to_announcement(
+    const ChainRecord& record, const RouteRecord& route) const {
+  RouteAnnouncement announcement;
+  announcement.chain = record.id;
+  announcement.route = route.id;
+  announcement.chain_label = record.labels.chain;
+  announcement.egress_label = record.labels.egress_site;
+  announcement.ingress_site = record.ingress_site;
+  announcement.egress_site = record.egress_site;
+  announcement.weight = route.weight;
+  for (std::size_t z = 1; z <= record.spec.vnfs.size(); ++z) {
+    announcement.hops.push_back(RouteHop{z, record.spec.vnfs[z - 1],
+                                         route.vnf_sites[z - 1]});
+  }
+  return announcement;
+}
+
+std::set<std::uint32_t> GlobalSwitchboard::involved_sites(
+    const ChainRecord& record, const RouteRecord& route) const {
+  std::set<std::uint32_t> sites;
+  sites.insert(record.ingress_site.value());
+  sites.insert(record.egress_site.value());
+  for (const SiteId site : route.vnf_sites) sites.insert(site.value());
+  return sites;
+}
+
+void GlobalSwitchboard::publish_routes(const ChainRecord& record) {
+  for (const RouteRecord& route : record.routes) {
+    context_.bus.publish(routes_topic(),
+                         serialize(to_announcement(record, route)));
+  }
+}
+
+void GlobalSwitchboard::rebuild_loads() {
+  loads_.reset();
+  for (const ChainRecord& record : chains_) {
+    if (!record.active) continue;
+    const model::Chain& chain = context_.model.chain(record.id);
+    for (const RouteRecord& route : record.routes) {
+      const NodeId ingress_node = context_.model.site(record.ingress_site).node;
+      const NodeId egress_node = context_.model.site(record.egress_site).node;
+      NodeId prev = ingress_node;
+      for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
+        const NodeId next = z <= route.vnf_sites.size()
+            ? context_.model.site(route.vnf_sites[z - 1]).node
+            : egress_node;
+        loads_.add_stage_flow(chain, z, prev, next, route.weight);
+        prev = next;
+      }
+    }
+  }
+}
+
+void GlobalSwitchboard::create_chain(const ChainSpec& spec,
+                                     CreationCallback done) {
+  CreationReport report;
+  report.started = context_.sim.now();
+  report.events.push_back({"spec_received", context_.sim.now()});
+
+  // Fig. 4 step 1: obtain ingress/egress sites from the edge controllers
+  // (parallel RPC round trip + controller processing).
+  const sim::Duration resolve_delay = 2 * context_.timings.controller_rpc +
+                                      context_.timings.controller_processing;
+  context_.sim.schedule(resolve_delay, [this, spec, report,
+                                        done = std::move(done)]() mutable {
+    if (spec.ingress_service.value() >= edge_controllers_.size() ||
+        edge_controllers_[spec.ingress_service.value()] == nullptr ||
+        spec.egress_service.value() >= edge_controllers_.size() ||
+        edge_controllers_[spec.egress_service.value()] == nullptr) {
+      done(Result<CreationReport>{ErrorCode::kUnavailable,
+                                  "edge service not registered"});
+      return;
+    }
+    const auto ingress =
+        edge_controllers_[spec.ingress_service.value()]->resolve_site(
+            spec.ingress_node);
+    const auto egress =
+        edge_controllers_[spec.egress_service.value()]->resolve_site(
+            spec.egress_node);
+    if (!ingress.ok() || !egress.ok()) {
+      done(Result<CreationReport>{ErrorCode::kNotFound,
+                                  "cannot resolve ingress/egress site"});
+      return;
+    }
+    report.events.push_back({"sites_resolved", context_.sim.now()});
+
+    // Register the chain in the network model.
+    model::Chain chain;
+    chain.name = spec.name;
+    chain.ingress = spec.ingress_node;
+    chain.egress = spec.egress_node;
+    chain.vnfs = spec.vnfs;
+    chain.forward_traffic.assign(spec.vnfs.size() + 1, spec.forward_traffic);
+    chain.reverse_traffic.assign(spec.vnfs.size() + 1, spec.reverse_traffic);
+    const ChainId chain_id = context_.model.add_chain(std::move(chain));
+
+    ChainRecord record;
+    record.id = chain_id;
+    record.spec = spec;
+    record.labels = dataplane::Labels{1000 + chain_id.value(),
+                                      egress.value().value()};
+    record.ingress_site = *ingress;
+    record.egress_site = *egress;
+    chains_.push_back(record);
+    report.chain = chain_id;
+    report.labels = record.labels;
+
+    // Fig. 4 step 2: compute the wide-area route.
+    context_.sim.schedule(
+        context_.timings.route_compute,
+        [this, chain_id, report, done = std::move(done)]() mutable {
+          ChainRecord* rec = nullptr;
+          for (ChainRecord& r : chains_) {
+            if (r.id == chain_id) rec = &r;
+          }
+          assert(rec != nullptr);
+          te::DpOptions options = dp_options_;
+          rebuild_loads();   // also resizes after late VNF registration
+          const te::SingleRoute route = te::find_single_route(
+              context_.model, context_.model.chain(chain_id), loads_,
+              options);
+          report.events.push_back({"route_computed", context_.sim.now()});
+          if (!route.found || route.admissible_fraction <= 0) {
+            done(Result<CreationReport>{ErrorCode::kInfeasible,
+                                        "no feasible wide-area route"});
+            return;
+          }
+          RouteRecord route_record;
+          route_record.id = RouteId{next_route_id_++};
+          route_record.weight = 1.0;
+          for (std::size_t z = 1; z <= rec->spec.vnfs.size(); ++z) {
+            route_record.vnf_sites.push_back(route.sites[z]);
+          }
+          report.route = route_record.id;
+          commit_route(*rec, std::move(route_record), std::move(report),
+                       std::move(done), {}, 0);
+        });
+  });
+}
+
+void GlobalSwitchboard::commit_route(
+    ChainRecord& record, RouteRecord route, CreationReport report,
+    CreationCallback done,
+    std::set<std::pair<std::uint32_t, std::uint32_t>> excluded,
+    std::size_t attempt) {
+  const ChainId chain_id = record.id;
+
+  // Two-phase commit, prepare round: parallel RPCs to each VNF controller
+  // (round trip + processing).
+  const sim::Duration prepare_delay = 2 * context_.timings.controller_rpc +
+                                      context_.timings.controller_processing;
+  context_.sim.schedule(prepare_delay, [this, chain_id, route, report,
+                                        done = std::move(done), excluded,
+                                        attempt]() mutable {
+    ChainRecord* rec = nullptr;
+    for (ChainRecord& r : chains_) {
+      if (r.id == chain_id) rec = &r;
+    }
+    assert(rec != nullptr);
+    const model::Chain& chain = context_.model.chain(chain_id);
+
+    bool all_prepared = true;
+    std::pair<std::uint32_t, std::uint32_t> rejected{0, 0};
+    std::set<std::uint32_t> prepared_vnfs;
+    for (std::size_t z = 1; z <= rec->spec.vnfs.size(); ++z) {
+      const VnfId vnf = rec->spec.vnfs[z - 1];
+      const SiteId site = route.vnf_sites[z - 1];
+      VnfController* controller = vnf_controllers_[vnf.value()];
+      assert(controller != nullptr);
+      const double load =
+          context_.model.vnf(vnf).load_per_unit *
+          (chain.stage_traffic(z) + chain.stage_traffic(z + 1)) *
+          route.weight;
+      if (controller->prepare(chain_id, route.id, site, load)) {
+        prepared_vnfs.insert(vnf.value());
+      } else {
+        all_prepared = false;
+        rejected = {vnf.value(), site.value()};
+        break;
+      }
+    }
+
+    if (!all_prepared) {
+      // Abort the reservations made so far and recompute with the
+      // rejecting placement excluded (Section 3, chain creation).
+      for (const std::uint32_t vnf : prepared_vnfs) {
+        vnf_controllers_[vnf]->abort(chain_id, route.id);
+      }
+      excluded.insert(rejected);
+      report.events.push_back({"route_rejected", context_.sim.now()});
+      if (attempt + 1 >= 4) {
+        done(Result<CreationReport>{
+            ErrorCode::kResourceExhausted,
+            "2PC: no feasible route after repeated rejections"});
+        return;
+      }
+      context_.sim.schedule(
+          context_.timings.route_compute,
+          [this, chain_id, report, done = std::move(done), excluded,
+           attempt]() mutable {
+            ChainRecord* rec2 = nullptr;
+            for (ChainRecord& r : chains_) {
+              if (r.id == chain_id) rec2 = &r;
+            }
+            assert(rec2 != nullptr);
+            te::DpOptions options = dp_options_;
+            options.site_allowed = [excluded](VnfId vnf, SiteId site) {
+              return excluded.count({vnf.value(), site.value()}) == 0;
+            };
+            rebuild_loads();
+            const te::SingleRoute retry = te::find_single_route(
+                context_.model, context_.model.chain(chain_id), loads_,
+                options);
+            report.events.push_back({"route_recomputed", context_.sim.now()});
+            if (!retry.found || retry.admissible_fraction <= 0) {
+              done(Result<CreationReport>{ErrorCode::kInfeasible,
+                                          "no feasible route after 2PC "
+                                          "rejection"});
+              return;
+            }
+            RouteRecord route_record;
+            route_record.id = RouteId{next_route_id_++};
+            route_record.weight = 1.0;
+            for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
+              route_record.vnf_sites.push_back(retry.sites[z]);
+            }
+            report.route = route_record.id;
+            commit_route(*rec2, std::move(route_record), std::move(report),
+                         std::move(done), std::move(excluded), attempt + 1);
+          });
+      return;
+    }
+    report.events.push_back({"prepared", context_.sim.now()});
+
+    // Commit round.
+    context_.sim.schedule(
+        context_.timings.controller_rpc +
+            context_.timings.controller_processing,
+        [this, chain_id, route, report, done = std::move(done)]() mutable {
+          ChainRecord* rec2 = nullptr;
+          for (ChainRecord& r : chains_) {
+            if (r.id == chain_id) rec2 = &r;
+          }
+          assert(rec2 != nullptr);
+          for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
+            const VnfId vnf = rec2->spec.vnfs[z - 1];
+            vnf_controllers_[vnf.value()]->commit(
+                chain_id, route.id, rec2->labels.egress_site);
+          }
+          report.events.push_back({"committed", context_.sim.now()});
+
+          rec2->routes.push_back(route);
+          // Route weights rebalance equally (Fig. 10: the new route takes
+          // an even share of new connections).
+          const double weight =
+              1.0 / static_cast<double>(rec2->routes.size());
+          for (RouteRecord& r : rec2->routes) r.weight = weight;
+          rec2->active = true;
+          rebuild_loads();
+
+          publish_routes(*rec2);
+          report.events.push_back({"routes_published", context_.sim.now()});
+
+          // Edge controllers allocate + announce instances (Fig. 4 step 4).
+          edge_controllers_[rec2->spec.ingress_service.value()]
+              ->announce_edge_instance(chain_id, rec2->labels.egress_site,
+                                       rec2->ingress_site);
+          edge_controllers_[rec2->spec.egress_service.value()]
+              ->announce_edge_instance(chain_id, rec2->labels.egress_site,
+                                       rec2->egress_site);
+
+          // Track readiness of every involved site.
+          PendingActivation pending;
+          pending.chain = chain_id;
+          pending.route = route.id;
+          pending.waiting_sites = involved_sites(*rec2, route);
+          pending.report = std::move(report);
+          pending.done = std::move(done);
+          pending_.push_back(std::move(pending));
+        });
+  });
+}
+
+void GlobalSwitchboard::add_route(ChainId chain,
+                                  const std::vector<SiteId>& preferred_vnf_sites,
+                                  CreationCallback done) {
+  ChainRecord* rec = nullptr;
+  for (ChainRecord& r : chains_) {
+    if (r.id == chain) rec = &r;
+  }
+  if (rec == nullptr || !rec->active) {
+    context_.sim.schedule(0, [done = std::move(done)] {
+      done(Result<CreationReport>{ErrorCode::kNotFound,
+                                  "chain not active"});
+    });
+    return;
+  }
+
+  CreationReport report;
+  report.started = context_.sim.now();
+  report.chain = chain;
+  report.labels = rec->labels;
+  report.events.push_back({"route_requested", context_.sim.now()});
+
+  context_.sim.schedule(
+      context_.timings.route_compute,
+      [this, chain, preferred_vnf_sites, report,
+       done = std::move(done)]() mutable {
+        ChainRecord* rec2 = nullptr;
+        for (ChainRecord& r : chains_) {
+          if (r.id == chain) rec2 = &r;
+        }
+        assert(rec2 != nullptr);
+        RouteRecord route_record;
+        route_record.id = RouteId{next_route_id_++};
+        // The new route takes an equal share of traffic.
+        route_record.weight =
+            1.0 / static_cast<double>(rec2->routes.size() + 1);
+        if (!preferred_vnf_sites.empty()) {
+          if (preferred_vnf_sites.size() != rec2->spec.vnfs.size()) {
+            done(Result<CreationReport>{ErrorCode::kInvalidArgument,
+                                        "preferred sites must cover every "
+                                        "VNF in the chain"});
+            return;
+          }
+          route_record.vnf_sites = preferred_vnf_sites;
+        } else {
+          rebuild_loads();
+          const te::SingleRoute route = te::find_single_route(
+              context_.model, context_.model.chain(chain), loads_,
+              dp_options_);
+          if (!route.found) {
+            done(Result<CreationReport>{ErrorCode::kInfeasible,
+                                        "no feasible additional route"});
+            return;
+          }
+          for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
+            route_record.vnf_sites.push_back(route.sites[z]);
+          }
+        }
+        report.events.push_back({"route_computed", context_.sim.now()});
+        report.route = route_record.id;
+        commit_route(*rec2, std::move(route_record), std::move(report),
+                     std::move(done), {}, 0);
+      });
+}
+
+void GlobalSwitchboard::on_route_ready(ChainId chain, RouteId route,
+                                       SiteId site) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingActivation& pending = pending_[i];
+    if (pending.chain != chain || pending.route != route) continue;
+    pending.waiting_sites.erase(site.value());
+    pending.report.events.push_back(
+        {"site_" + std::to_string(site.value()) + "_ready",
+         context_.sim.now()});
+    if (!pending.waiting_sites.empty()) return;
+    pending.report.completed = context_.sim.now();
+    pending.report.events.push_back({"activated", context_.sim.now()});
+    CreationCallback done = std::move(pending.done);
+    CreationReport report = std::move(pending.report);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (done) done(Result<CreationReport>{std::move(report)});
+    return;
+  }
+}
+
+}  // namespace switchboard::control

@@ -1,0 +1,143 @@
+// Global Switchboard (Sections 3 and 4): the centralized controller.
+//
+// Chain creation follows Fig. 4: (1) resolve ingress/egress sites via the
+// edge controllers; (2) compute a wide-area route (SB-DP against current
+// loads) and allocate labels; run two-phase commit with the VNF
+// controllers, recomputing with the rejecting site excluded when a
+// participant votes abort; (3) publish routes + labels on the message bus
+// (replicated to every Local Switchboard); (4-5) controllers allocate
+// instances, Local Switchboards derive and install load-balancing rules
+// and report readiness.  Dynamic route addition (Fig. 10) reuses the same
+// machinery and rebalances route weights.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bus/topic.hpp"
+#include "common/result.hpp"
+#include "control/context.hpp"
+#include "control/edge_controller.hpp"
+#include "control/local_switchboard.hpp"
+#include "control/messages.hpp"
+#include "control/vnf_controller.hpp"
+#include "te/dp_routing.hpp"
+
+namespace switchboard::control {
+
+struct ChainSpec {
+  std::string name;
+  EdgeServiceId ingress_service;
+  NodeId ingress_node;
+  EdgeServiceId egress_service;
+  NodeId egress_node;
+  std::vector<VnfId> vnfs;
+  /// Estimated per-stage traffic (customer estimate at first deployment).
+  double forward_traffic{1.0};
+  double reverse_traffic{0.0};
+};
+
+struct RouteRecord {
+  RouteId id;
+  std::vector<SiteId> vnf_sites;   // one per VNF in the chain
+  double weight{1.0};
+};
+
+struct ChainRecord {
+  ChainId id;
+  ChainSpec spec;
+  dataplane::Labels labels;
+  SiteId ingress_site;
+  SiteId egress_site;
+  std::vector<RouteRecord> routes;
+  bool active{false};
+};
+
+struct CreationEvent {
+  std::string name;
+  sim::SimTime at{0};
+};
+
+struct CreationReport {
+  ChainId chain;
+  RouteId route;
+  dataplane::Labels labels;
+  sim::SimTime started{0};
+  sim::SimTime completed{0};
+  std::vector<CreationEvent> events;
+
+  [[nodiscard]] sim::Duration elapsed() const { return completed - started; }
+};
+
+class GlobalSwitchboard {
+ public:
+  using CreationCallback = std::function<void(Result<CreationReport>)>;
+
+  GlobalSwitchboard(ControlContext& context, SiteId home_site);
+
+  [[nodiscard]] SiteId home_site() const { return home_site_; }
+  /// The topic on which all route announcements are published; every
+  /// Local Switchboard subscribes to it at start().
+  [[nodiscard]] bus::Topic routes_topic() const;
+
+  void register_edge_controller(EdgeController* controller);
+  void register_vnf_controller(VnfController* controller);
+  void register_local_switchboard(LocalSwitchboard* local);
+
+  /// Creates and activates a chain (Fig. 4).  `done` fires when every
+  /// involved site reported its rules installed.
+  void create_chain(const ChainSpec& spec, CreationCallback done);
+
+  /// Adds a wide-area route to an active chain (Fig. 10).  When
+  /// `preferred_vnf_sites` is non-empty it pins the new route's VNF
+  /// placement; otherwise SB-DP chooses.  Route weights rebalance to
+  /// 1/N and all routes are re-published.
+  void add_route(ChainId chain, const std::vector<SiteId>& preferred_vnf_sites,
+                 CreationCallback done);
+
+  [[nodiscard]] const ChainRecord& record(ChainId chain) const;
+  [[nodiscard]] const te::Loads& loads() const { return loads_; }
+  [[nodiscard]] te::DpOptions& dp_options() { return dp_options_; }
+
+  /// Readiness callback target for Local Switchboards.
+  void on_route_ready(ChainId chain, RouteId route, SiteId site);
+
+ private:
+  struct PendingActivation {
+    ChainId chain;
+    RouteId route;
+    std::set<std::uint32_t> waiting_sites;
+    CreationReport report;
+    CreationCallback done;
+  };
+
+  /// Runs 2PC for a route, then publishes and tracks readiness.
+  void commit_route(ChainRecord& record, RouteRecord route,
+                    CreationReport report, CreationCallback done,
+                    std::set<std::pair<std::uint32_t, std::uint32_t>> excluded,
+                    std::size_t attempt);
+
+  void publish_routes(const ChainRecord& record);
+  void rebuild_loads();
+  [[nodiscard]] RouteAnnouncement to_announcement(const ChainRecord& record,
+                                                  const RouteRecord& route)
+      const;
+  [[nodiscard]] std::set<std::uint32_t> involved_sites(
+      const ChainRecord& record, const RouteRecord& route) const;
+
+  ControlContext& context_;
+  SiteId home_site_;
+  std::vector<EdgeController*> edge_controllers_;     // by EdgeServiceId
+  std::vector<VnfController*> vnf_controllers_;       // by VnfId
+  std::vector<LocalSwitchboard*> local_switchboards_; // by SiteId
+  std::vector<ChainRecord> chains_;
+  std::vector<PendingActivation> pending_;
+  te::Loads loads_;
+  te::DpOptions dp_options_;
+  std::uint32_t next_route_id_{0};
+};
+
+}  // namespace switchboard::control

@@ -1,0 +1,519 @@
+#include "control/local_switchboard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace switchboard::control {
+namespace {
+
+/// Upserts an announcement list by element id.
+template <typename T, typename IdFn>
+void upsert(std::vector<T>& list, const T& item, IdFn id_of) {
+  for (T& existing : list) {
+    if (id_of(existing) == id_of(item)) {
+      existing = item;
+      return;
+    }
+  }
+  list.push_back(item);
+}
+
+}  // namespace
+
+LocalSwitchboard::LocalSwitchboard(ControlContext& context, SiteId site)
+    : context_{context}, site_{site} {}
+
+void LocalSwitchboard::set_ready_callback(ReadyCallback callback) {
+  ready_callback_ = std::move(callback);
+}
+
+void LocalSwitchboard::set_peer_lookup(PeerLookup lookup) {
+  peer_lookup_ = std::move(lookup);
+}
+
+void LocalSwitchboard::start(const bus::Topic& routes_topic) {
+  context_.bus.subscribe(site_, routes_topic, [this](const bus::Message& m) {
+    const auto route = parse_route(m.payload);
+    if (route.has_value()) {
+      handle_route(*route);
+    } else {
+      SB_LOG(kWarn) << "local-sb site " << site_ << ": bad route payload";
+    }
+  });
+}
+
+LocalSwitchboard::PerChain& LocalSwitchboard::chain_state(
+    const RouteAnnouncement& announcement) {
+  PerChain& pc = chains_[announcement.chain.value()];
+  pc.chain = announcement.chain;
+  pc.labels =
+      dataplane::Labels{announcement.chain_label, announcement.egress_label};
+  pc.ingress_site = announcement.ingress_site;
+  pc.egress_site = announcement.egress_site;
+  return pc;
+}
+
+void LocalSwitchboard::subscribe_instances(PerChain& pc, VnfId vnf,
+                                           SiteId site) {
+  const bus::Topic topic = bus::instances_topic(
+      pc.chain, pc.labels.egress_site, vnf, site);
+  if (!pc.subscribed.insert(topic.path).second) return;
+  const ChainId chain = pc.chain;
+  context_.bus.subscribe(
+      site_, topic, [this, chain, path = topic.path](const bus::Message& m) {
+        const auto announcement = parse_instance(m.payload);
+        if (!announcement.has_value()) return;
+        PerChain& state = chains_[chain.value()];
+        upsert(state.instances[path], *announcement,
+               [](const InstanceAnnouncement& a) { return a.instance; });
+        reconcile(state);
+      });
+}
+
+void LocalSwitchboard::subscribe_forwarders(PerChain& pc, VnfId vnf,
+                                            SiteId site) {
+  const bus::Topic topic = bus::forwarders_topic(
+      pc.chain, pc.labels.egress_site, vnf, site);
+  if (!pc.subscribed.insert(topic.path).second) return;
+  const ChainId chain = pc.chain;
+  context_.bus.subscribe(
+      site_, topic,
+      [this, chain, vnf, site, path = topic.path](const bus::Message& m) {
+        const auto announcement = parse_forwarder(m.payload);
+        if (!announcement.has_value()) return;
+        PerChain& state = chains_[chain.value()];
+        upsert(state.forwarders[path], *announcement,
+               [](const ForwarderAnnouncement& a) { return a.forwarder; });
+        reconcile(state);
+        if (vnf == ControlContext::edge_marker() && site != site_) {
+          handle_new_edge_forwarder(state, site, *announcement);
+        }
+      });
+}
+
+void LocalSwitchboard::handle_new_edge_forwarder(
+    PerChain& pc, SiteId edge_site, const ForwarderAnnouncement& announcement) {
+  // On-demand edge addition, remote side (Table 2 steps 4-6): this site
+  // hosts the first VNF of some route; a forwarder at a *new* edge site
+  // appeared; configure the return path (rule + tunnel endpoint) and tell
+  // the initiating Local Switchboard.
+  if (edge_site == pc.ingress_site) return;   // the original ingress
+  if (edge_site == pc.egress_site) return;    // the egress edge, not mobility
+  bool hosts_first_vnf = false;
+  for (const RouteAnnouncement& route : pc.routes) {
+    if (!route.hops.empty() && route.hops.front().site == site_) {
+      hosts_first_vnf = true;
+      break;
+    }
+  }
+  if (!hosts_first_vnf) return;
+  if (!pc.return_paths_configured.insert(announcement.forwarder).second) {
+    return;   // already configured for this edge forwarder
+  }
+
+  const sim::SimTime received = context_.sim.now();
+  const ChainId chain = pc.chain;
+  context_.sim.schedule(
+      context_.timings.controller_processing,
+      [this, chain, edge_site, received] {
+        const sim::SimTime started = context_.sim.now();
+        context_.sim.schedule(
+            context_.timings.tunnel_setup + context_.timings.rule_install,
+            [this, chain, edge_site, received, started] {
+              const sim::SimTime finished = context_.sim.now();
+              if (!peer_lookup_) return;
+              LocalSwitchboard* peer = peer_lookup_(edge_site);
+              if (peer == nullptr) return;
+              context_.sim.schedule(
+                  context_.timings.controller_rpc,
+                  [peer, chain, received, started, finished] {
+                    peer->on_return_path_configured(chain, received, started,
+                                                    finished);
+                  });
+            });
+      });
+}
+
+void LocalSwitchboard::handle_route(const RouteAnnouncement& announcement) {
+  PerChain& pc = chain_state(announcement);
+  upsert(pc.routes, announcement,
+         [](const RouteAnnouncement& r) { return r.route; });
+
+  // Set up this site's subscriptions.
+  for (const RouteAnnouncement& route : pc.routes) {
+    for (std::size_t i = 0; i < route.hops.size(); ++i) {
+      const RouteHop& hop = route.hops[i];
+      if (hop.site != site_) continue;
+      subscribe_instances(pc, hop.vnf, site_);
+      // Next hop: following VNF's forwarders, or the egress edge's.
+      if (i + 1 < route.hops.size()) {
+        subscribe_forwarders(pc, route.hops[i + 1].vnf, route.hops[i + 1].site);
+      } else {
+        subscribe_forwarders(pc, ControlContext::edge_marker(),
+                             route.egress_site);
+      }
+      // Mobility: the first VNF's site listens for edge forwarders
+      // appearing at any site (on-demand edge addition, Section 6).
+      if (i == 0) {
+        for (const model::CloudSite& any_site : context_.model.sites()) {
+          subscribe_forwarders(pc, ControlContext::edge_marker(),
+                               any_site.id);
+        }
+      }
+    }
+    if (pc.ingress_site == site_) {
+      subscribe_instances(pc, ControlContext::edge_marker(), site_);
+      if (!route.hops.empty()) {
+        subscribe_forwarders(pc, route.hops.front().vnf,
+                             route.hops.front().site);
+      } else {
+        // A chain with no VNFs: the ingress forwards straight to the
+        // egress edge (the demo's "default chain", Section 2).
+        subscribe_forwarders(pc, ControlContext::edge_marker(),
+                             route.egress_site);
+      }
+    }
+    if (pc.egress_site == site_) {
+      subscribe_instances(pc, ControlContext::edge_marker(), site_);
+    }
+  }
+  reconcile(pc);
+}
+
+void LocalSwitchboard::install_rule(PerChain& pc,
+                                    dataplane::ElementId forwarder) {
+  dataplane::Forwarder& engine = context_.elements.forwarder(forwarder);
+  dataplane::LoadBalanceRule rule;
+
+  // Local attachments this forwarder fronts (VNF instances, or the edge
+  // instance at the egress).  One forwarder fronts one service per site.
+  VnfId fronted_vnf;   // invalid if this forwarder fronts an edge
+  bool is_ingress_forwarder = false;
+  bool is_egress_forwarder = false;
+  for (const auto& [path, instances] : pc.instances) {
+    for (const InstanceAnnouncement& ann : instances) {
+      if (ann.forwarder != forwarder) continue;
+      const ElementInfo& info = context_.elements.info(ann.instance);
+      if (info.type == ElementType::kVnfInstance) {
+        fronted_vnf = info.vnf;
+        rule.vnf_instances.add(ann.instance, ann.weight);
+        engine.register_attachment(ann.instance, pc.labels);
+      } else if (info.type == ElementType::kEdgeInstance) {
+        engine.register_attachment(ann.instance, pc.labels);
+        if (pc.egress_site == site_) {
+          is_egress_forwarder = true;
+          rule.vnf_instances.add(ann.instance, ann.weight);
+        }
+        if (pc.ingress_site == site_) is_ingress_forwarder = true;
+      }
+    }
+  }
+
+  // Next-hop forwarders, merged across routes.
+  for (const RouteAnnouncement& route : pc.routes) {
+    if (route.weight <= 0) continue;
+    // The stage this forwarder serves in this route.
+    if (fronted_vnf.valid()) {
+      for (std::size_t i = 0; i < route.hops.size(); ++i) {
+        if (route.hops[i].site != site_ || route.hops[i].vnf != fronted_vnf) {
+          continue;
+        }
+        const bus::Topic next = i + 1 < route.hops.size()
+            ? bus::forwarders_topic(pc.chain, pc.labels.egress_site,
+                                    route.hops[i + 1].vnf,
+                                    route.hops[i + 1].site)
+            : bus::forwarders_topic(pc.chain, pc.labels.egress_site,
+                                    ControlContext::edge_marker(),
+                                    route.egress_site);
+        const auto it = pc.forwarders.find(next.path);
+        if (it == pc.forwarders.end()) continue;
+        for (const ForwarderAnnouncement& ann : it->second) {
+          rule.next_forwarders.add(ann.forwarder,
+                                   route.weight * ann.weight);
+        }
+      }
+    } else if (is_ingress_forwarder) {
+      const bus::Topic next = route.hops.empty()
+          ? bus::forwarders_topic(pc.chain, pc.labels.egress_site,
+                                  ControlContext::edge_marker(),
+                                  route.egress_site)
+          : bus::forwarders_topic(pc.chain, pc.labels.egress_site,
+                                  route.hops.front().vnf,
+                                  route.hops.front().site);
+      const auto it = pc.forwarders.find(next.path);
+      if (it == pc.forwarders.end()) continue;
+      for (const ForwarderAnnouncement& ann : it->second) {
+        rule.next_forwarders.add(ann.forwarder, route.weight * ann.weight);
+      }
+    }
+  }
+  (void)is_egress_forwarder;
+
+  engine.rules().install(pc.labels, std::move(rule));
+}
+
+void LocalSwitchboard::reconcile(PerChain& pc) {
+  // Forwarders at this site involved in the chain: those fronting any
+  // announced local instance (VNF or edge).
+  std::set<dataplane::ElementId> local_forwarders;
+  double published_weight_sum = 0.0;
+  (void)published_weight_sum;
+  for (const auto& [path, instances] : pc.instances) {
+    for (const InstanceAnnouncement& ann : instances) {
+      if (context_.elements.exists(ann.instance) &&
+          context_.elements.info(ann.instance).site == site_) {
+        local_forwarders.insert(ann.forwarder);
+      }
+    }
+  }
+  for (const dataplane::ElementId forwarder : local_forwarders) {
+    install_rule(pc, forwarder);
+  }
+
+  // Publish forwarder announcements for fronted services whose aggregate
+  // weight changed (weight = sum of fronted instance weights, Sec. 5.2).
+  for (const dataplane::ElementId forwarder : local_forwarders) {
+    double weight = 0.0;
+    VnfId fronted;
+    bool edge_fronted = false;
+    for (const auto& [path, instances] : pc.instances) {
+      for (const InstanceAnnouncement& ann : instances) {
+        if (ann.forwarder != forwarder) continue;
+        weight += ann.weight;
+        const ElementInfo& info = context_.elements.info(ann.instance);
+        if (info.type == ElementType::kVnfInstance) {
+          fronted = info.vnf;
+        } else {
+          edge_fronted = true;
+        }
+      }
+    }
+    if (weight <= 0) continue;
+    auto& last = pc.published_weight[forwarder];
+    if (std::abs(last - weight) < 1e-12) continue;
+    last = weight;
+    ForwarderAnnouncement announcement;
+    announcement.forwarder = forwarder;
+    announcement.weight = weight;
+    const VnfId topic_vnf =
+        edge_fronted ? ControlContext::edge_marker() : fronted;
+    const bus::Topic topic = bus::forwarders_topic(
+        pc.chain, pc.labels.egress_site, topic_vnf, site_);
+    context_.sim.schedule(
+        context_.timings.controller_processing,
+        [this, topic, announcement] {
+          context_.bus.publish(topic, serialize(announcement));
+        });
+  }
+
+  // Route readiness.
+  for (const RouteAnnouncement& route : pc.routes) {
+    if (pc.ready_routes.count(route.route.value()) != 0) continue;
+    bool ready = true;
+    bool involved = false;
+    for (std::size_t i = 0; i < route.hops.size() && ready; ++i) {
+      const RouteHop& hop = route.hops[i];
+      if (hop.site != site_) continue;
+      involved = true;
+      const bus::Topic mine = bus::instances_topic(
+          pc.chain, pc.labels.egress_site, hop.vnf, site_);
+      const auto have_instances = pc.instances.find(mine.path);
+      if (have_instances == pc.instances.end() ||
+          have_instances->second.empty()) {
+        ready = false;
+        break;
+      }
+      const bus::Topic next = i + 1 < route.hops.size()
+          ? bus::forwarders_topic(pc.chain, pc.labels.egress_site,
+                                  route.hops[i + 1].vnf,
+                                  route.hops[i + 1].site)
+          : bus::forwarders_topic(pc.chain, pc.labels.egress_site,
+                                  ControlContext::edge_marker(),
+                                  route.egress_site);
+      const auto have_next = pc.forwarders.find(next.path);
+      if (have_next == pc.forwarders.end() || have_next->second.empty()) {
+        ready = false;
+      }
+    }
+    if (pc.ingress_site == site_) {
+      involved = true;
+      const bus::Topic edge = bus::instances_topic(
+          pc.chain, pc.labels.egress_site, ControlContext::edge_marker(),
+          site_);
+      const auto have_edge = pc.instances.find(edge.path);
+      if (have_edge == pc.instances.end() || have_edge->second.empty()) {
+        ready = false;
+      }
+      const bus::Topic first = route.hops.empty()
+          ? bus::forwarders_topic(pc.chain, pc.labels.egress_site,
+                                  ControlContext::edge_marker(),
+                                  route.egress_site)
+          : bus::forwarders_topic(pc.chain, pc.labels.egress_site,
+                                  route.hops.front().vnf,
+                                  route.hops.front().site);
+      const auto have_first = pc.forwarders.find(first.path);
+      if (have_first == pc.forwarders.end() || have_first->second.empty()) {
+        ready = false;
+      }
+    }
+    if (pc.egress_site == site_) {
+      involved = true;
+      const bus::Topic edge = bus::instances_topic(
+          pc.chain, pc.labels.egress_site, ControlContext::edge_marker(),
+          site_);
+      const auto have_edge = pc.instances.find(edge.path);
+      if (have_edge == pc.instances.end() || have_edge->second.empty()) {
+        ready = false;
+      }
+    }
+    if (involved && ready) {
+      pc.ready_routes.insert(route.route.value());
+      if (ready_callback_) {
+        const ChainId chain = pc.chain;
+        const RouteId route_id = route.route;
+        context_.sim.schedule(
+            context_.timings.rule_install + context_.timings.tunnel_setup,
+            [this, chain, route_id] { ready_callback_(chain, route_id, site_); });
+      }
+    }
+  }
+
+}
+
+void LocalSwitchboard::attach_edge(
+    ChainId chain, dataplane::ElementId edge_instance,
+    std::function<void(Result<EdgeAdditionTrace>)> done) {
+  const auto it = chains_.find(chain.value());
+  if (it == chains_.end() || it->second.routes.empty()) {
+    context_.sim.schedule(0, [done = std::move(done)] {
+      done(Result<EdgeAdditionTrace>{ErrorCode::kNotFound,
+                                     "chain has no replicated routes"});
+    });
+    return;
+  }
+  PerChain& pc = it->second;
+
+  // Step 1 (0 ms): pick the route with the least latency from this edge
+  // site to the egress.
+  const NodeId here = context_.model.site(site_).node;
+  const RouteAnnouncement* best = nullptr;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (const RouteAnnouncement& route : pc.routes) {
+    if (route.hops.empty()) continue;
+    double latency = context_.model.delay_ms(
+        here, context_.model.site(route.hops.front().site).node);
+    for (std::size_t i = 0; i + 1 < route.hops.size(); ++i) {
+      latency += context_.model.delay_ms(
+          context_.model.site(route.hops[i].site).node,
+          context_.model.site(route.hops[i + 1].site).node);
+    }
+    latency += context_.model.delay_ms(
+        context_.model.site(route.hops.back().site).node,
+        context_.model.site(route.egress_site).node);
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = &route;
+    }
+  }
+  if (best == nullptr) {
+    context_.sim.schedule(0, [done = std::move(done)] {
+      done(Result<EdgeAdditionTrace>{ErrorCode::kNotFound,
+                                     "no usable route for chain"});
+    });
+    return;
+  }
+
+  PendingEdgeAddition pending;
+  pending.chain = chain;
+  pending.edge_instance = edge_instance;
+  pending.edge_forwarder =
+      context_.elements.info(edge_instance).attached_forwarder;
+  pending.target_site = best->hops.front().site;
+  pending.trace.started = context_.sim.now();
+  pending.trace.site_chosen = context_.sim.now();
+  pending.done = std::move(done);
+  pending_edges_.push_back(std::move(pending));
+  const std::size_t index = pending_edges_.size() - 1;
+
+  // Step 2: receive the first VNF's forwarder info (bus-replicated state;
+  // retained messages serve late subscribers).
+  const VnfId first_vnf = best->hops.front().vnf;
+  const SiteId first_site = best->hops.front().site;
+  const bus::Topic topic = bus::forwarders_topic(
+      pc.chain, pc.labels.egress_site, first_vnf, first_site);
+  const dataplane::Labels labels = pc.labels;
+  context_.bus.subscribe(
+      site_, topic,
+      [this, index, labels](const bus::Message& m) {
+        const auto announcement = parse_forwarder(m.payload);
+        if (!announcement.has_value()) return;
+        if (index >= pending_edges_.size()) return;
+        PendingEdgeAddition& p = pending_edges_[index];
+        if (p.local_configured) return;
+        p.trace.forwarder_info_received = context_.sim.now();
+
+        // Step 3: configure the edge forwarder's data plane.
+        dataplane::Forwarder& engine =
+            context_.elements.forwarder(p.edge_forwarder);
+        engine.register_attachment(p.edge_instance, labels);
+        dataplane::LoadBalanceRule rule;
+        rule.next_forwarders.add(announcement->forwarder,
+                                 announcement->weight);
+        context_.sim.schedule(
+            context_.timings.rule_install,
+            [this, index, labels, rule = std::move(rule)]() mutable {
+              if (index >= pending_edges_.size()) return;
+              PendingEdgeAddition& p2 = pending_edges_[index];
+              context_.elements.forwarder(p2.edge_forwarder)
+                  .rules()
+                  .install(labels, std::move(rule));
+              p2.trace.edge_configured = context_.sim.now();
+              p2.local_configured = true;
+
+              // Publish our edge forwarder so the first VNF's Local SB
+              // configures the return path (steps 4-6).
+              ForwarderAnnouncement mine;
+              mine.forwarder = p2.edge_forwarder;
+              mine.weight = 1.0;
+              const bus::Topic my_topic = bus::forwarders_topic(
+                  p2.chain, labels.egress_site,
+                  ControlContext::edge_marker(), site_);
+              context_.bus.publish(my_topic, serialize(mine));
+              maybe_finish_edge_addition(p2);
+            });
+      });
+}
+
+void LocalSwitchboard::on_return_path_configured(ChainId chain,
+                                                 sim::SimTime received,
+                                                 sim::SimTime started,
+                                                 sim::SimTime finished) {
+  for (PendingEdgeAddition& pending : pending_edges_) {
+    if (pending.chain != chain || pending.remote_configured) continue;
+    pending.trace.remote_received = received;
+    pending.trace.remote_config_started = started;
+    pending.trace.remote_config_finished = finished;
+    pending.remote_configured = true;
+    maybe_finish_edge_addition(pending);
+    return;
+  }
+}
+
+void LocalSwitchboard::maybe_finish_edge_addition(
+    PendingEdgeAddition& pending) {
+  if (!pending.local_configured || !pending.remote_configured) return;
+  if (!pending.done) return;
+  auto done = std::move(pending.done);
+  pending.done = nullptr;
+  done(Result<EdgeAdditionTrace>{pending.trace});
+}
+
+std::size_t LocalSwitchboard::active_chain_count() const {
+  return chains_.size();
+}
+
+}  // namespace switchboard::control

@@ -1,0 +1,136 @@
+// Local Switchboard (Sections 3, 5.2, 6): the per-site control agent.
+//
+// It learns chain routes from the bus (replicated to every site), figures
+// out this site's roles in each route (VNF host, ingress, egress),
+// subscribes to the instance/forwarder topics those roles require,
+// derives the hierarchical weighted load-balancing rules (site-level
+// routing weight x instance weight), installs them on the site's
+// forwarders, publishes forwarder announcements, and reports readiness
+// back to Global Switchboard.
+//
+// It also implements on-demand edge-site addition (Section 6, Table 2):
+// when a chain's user appears at a new edge site, the Local Switchboard
+// picks the nearest existing route, configures the local edge forwarder
+// from the bus-replicated state, and triggers the return-path
+// configuration at the first VNF's forwarder.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/topic.hpp"
+#include "common/result.hpp"
+#include "control/context.hpp"
+#include "control/messages.hpp"
+
+namespace switchboard::control {
+
+/// Timestamps of the six operations in Table 2.
+struct EdgeAdditionTrace {
+  sim::SimTime started{0};
+  sim::SimTime site_chosen{0};              // Local SB picks the route
+  sim::SimTime forwarder_info_received{0};  // edge fwrdr gets 1st VNF info
+  sim::SimTime edge_configured{0};          // edge fwrdr dataplane ready
+  sim::SimTime remote_received{0};          // VNF fwrdr gets edge info
+  sim::SimTime remote_config_started{0};
+  sim::SimTime remote_config_finished{0};
+};
+
+class LocalSwitchboard {
+ public:
+  using ReadyCallback = std::function<void(ChainId, RouteId, SiteId)>;
+  using PeerLookup = std::function<LocalSwitchboard*(SiteId)>;
+
+  LocalSwitchboard(ControlContext& context, SiteId site);
+
+  [[nodiscard]] SiteId site() const { return site_; }
+
+  /// Readiness notifications toward Global Switchboard.
+  void set_ready_callback(ReadyCallback callback);
+  /// Peer Local Switchboards, for return-path RPCs in edge addition.
+  void set_peer_lookup(PeerLookup lookup);
+
+  /// Subscribes to the global routes topic (call once, before any chain
+  /// is created).  `routes_topic` is Global Switchboard's announcement
+  /// topic for all chains.
+  void start(const bus::Topic& routes_topic);
+
+  /// Entry point for route announcements (normally via the bus).
+  void handle_route(const RouteAnnouncement& announcement);
+
+  /// On-demand edge-site addition for mobility (Table 2).  The chain must
+  /// already be active elsewhere.  `edge_instance` is the local edge
+  /// instance taking the traffic (created via the edge controller or
+  /// directly in the registry).
+  void attach_edge(ChainId chain, dataplane::ElementId edge_instance,
+                   std::function<void(Result<EdgeAdditionTrace>)> done);
+
+  /// Number of chains this site participates in (for tests).
+  [[nodiscard]] std::size_t active_chain_count() const;
+
+  /// Called by a peer when it finished configuring the return path for an
+  /// edge addition started at this site.
+  void on_return_path_configured(ChainId chain, sim::SimTime received,
+                                 sim::SimTime started, sim::SimTime finished);
+
+ private:
+  struct PerChain {
+    ChainId chain;
+    dataplane::Labels labels;
+    SiteId ingress_site;
+    SiteId egress_site;
+    /// Routes merged by route id (weights update in place).
+    std::vector<RouteAnnouncement> routes;
+    /// Announcements gathered from the bus, keyed by topic path; within a
+    /// topic, entries are upserted by element id.
+    std::unordered_map<std::string, std::vector<InstanceAnnouncement>>
+        instances;
+    std::unordered_map<std::string, std::vector<ForwarderAnnouncement>>
+        forwarders;
+    std::set<std::string> subscribed;
+    std::set<std::uint32_t> ready_routes;           // notified route ids
+    std::map<dataplane::ElementId, double> published_weight;
+    /// Edge forwarders whose return path this site already configured.
+    std::set<dataplane::ElementId> return_paths_configured;
+  };
+
+  struct PendingEdgeAddition {
+    ChainId chain;
+    dataplane::ElementId edge_instance{dataplane::kNoElement};
+    dataplane::ElementId edge_forwarder{dataplane::kNoElement};
+    SiteId target_site;                // first VNF's site on chosen route
+    EdgeAdditionTrace trace;
+    bool local_configured{false};
+    bool remote_configured{false};
+    std::function<void(Result<EdgeAdditionTrace>)> done;
+  };
+
+  PerChain& chain_state(const RouteAnnouncement& announcement);
+  void subscribe_instances(PerChain& pc, VnfId vnf, SiteId site);
+  void subscribe_forwarders(PerChain& pc, VnfId vnf, SiteId site);
+  void handle_new_edge_forwarder(PerChain& pc, SiteId edge_site,
+                                 const ForwarderAnnouncement& announcement);
+  void reconcile(PerChain& pc);
+  void maybe_finish_edge_addition(PendingEdgeAddition& pending);
+
+  /// Rebuilds and installs the LB rule on one forwarder for one chain.
+  void install_rule(PerChain& pc, dataplane::ElementId forwarder);
+
+  /// Topic helpers bound to this chain's labels.
+  [[nodiscard]] static std::string topic_key(const bus::Topic& topic) {
+    return topic.path;
+  }
+
+  ControlContext& context_;
+  SiteId site_;
+  ReadyCallback ready_callback_;
+  PeerLookup peer_lookup_;
+  std::map<std::uint32_t, PerChain> chains_;          // by chain id
+  std::vector<PendingEdgeAddition> pending_edges_;
+};
+
+}  // namespace switchboard::control

@@ -1,0 +1,150 @@
+#include "control/messages.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace switchboard::control {
+namespace {
+
+/// Parses "k1=v1;k2=v2;..." into a map.
+std::unordered_map<std::string, std::string> parse_fields(
+    const std::string& payload) {
+  std::unordered_map<std::string, std::string> fields;
+  std::istringstream in{payload};
+  std::string pair;
+  while (std::getline(in, pair, ';')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    fields[pair.substr(0, eq)] = pair.substr(eq + 1);
+  }
+  return fields;
+}
+
+bool get_u64(const std::unordered_map<std::string, std::string>& fields,
+             const std::string& key, std::uint64_t& out) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return false;
+  try {
+    out = std::stoull(it->second);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool get_double(const std::unordered_map<std::string, std::string>& fields,
+                const std::string& key, double& out) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return false;
+  try {
+    out = std::stod(it->second);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string serialize(const InstanceAnnouncement& m) {
+  std::ostringstream out;
+  out << "type=instance;id=" << m.instance << ";fw=" << m.forwarder
+      << ";w=" << m.weight;
+  return out.str();
+}
+
+std::string serialize(const ForwarderAnnouncement& m) {
+  std::ostringstream out;
+  out << "type=forwarder;id=" << m.forwarder << ";w=" << m.weight;
+  return out.str();
+}
+
+std::string serialize(const RouteAnnouncement& m) {
+  std::ostringstream out;
+  out << "type=route;chain=" << m.chain.value() << ";route=" << m.route.value()
+      << ";cl=" << m.chain_label << ";el=" << m.egress_label
+      << ";in=" << m.ingress_site.value() << ";out=" << m.egress_site.value()
+      << ";w=" << m.weight << ";hops=";
+  for (std::size_t i = 0; i < m.hops.size(); ++i) {
+    if (i > 0) out << ',';
+    out << m.hops[i].stage << ':' << m.hops[i].vnf.value() << ':'
+        << m.hops[i].site.value();
+  }
+  return out.str();
+}
+
+std::optional<InstanceAnnouncement> parse_instance(const std::string& payload) {
+  const auto fields = parse_fields(payload);
+  std::uint64_t id = 0;
+  std::uint64_t fw = 0;
+  InstanceAnnouncement m;
+  if (!get_u64(fields, "id", id) || !get_u64(fields, "fw", fw) ||
+      !get_double(fields, "w", m.weight)) {
+    return std::nullopt;
+  }
+  m.instance = static_cast<dataplane::ElementId>(id);
+  m.forwarder = static_cast<dataplane::ElementId>(fw);
+  return m;
+}
+
+std::optional<ForwarderAnnouncement> parse_forwarder(
+    const std::string& payload) {
+  const auto fields = parse_fields(payload);
+  std::uint64_t id = 0;
+  ForwarderAnnouncement m;
+  if (!get_u64(fields, "id", id) || !get_double(fields, "w", m.weight)) {
+    return std::nullopt;
+  }
+  m.forwarder = static_cast<dataplane::ElementId>(id);
+  return m;
+}
+
+std::optional<RouteAnnouncement> parse_route(const std::string& payload) {
+  const auto fields = parse_fields(payload);
+  std::uint64_t chain = 0;
+  std::uint64_t route = 0;
+  std::uint64_t cl = 0;
+  std::uint64_t el = 0;
+  std::uint64_t in = 0;
+  std::uint64_t out = 0;
+  RouteAnnouncement m;
+  if (!get_u64(fields, "chain", chain) || !get_u64(fields, "route", route) ||
+      !get_u64(fields, "cl", cl) || !get_u64(fields, "el", el) ||
+      !get_u64(fields, "in", in) || !get_u64(fields, "out", out) ||
+      !get_double(fields, "w", m.weight)) {
+    return std::nullopt;
+  }
+  m.chain = ChainId{static_cast<ChainId::underlying_type>(chain)};
+  m.route = RouteId{static_cast<RouteId::underlying_type>(route)};
+  m.chain_label = static_cast<std::uint32_t>(cl);
+  m.egress_label = static_cast<std::uint32_t>(el);
+  m.ingress_site = SiteId{static_cast<SiteId::underlying_type>(in)};
+  m.egress_site = SiteId{static_cast<SiteId::underlying_type>(out)};
+
+  const auto hops_it = fields.find("hops");
+  if (hops_it == fields.end()) return std::nullopt;
+  std::istringstream hops_in{hops_it->second};
+  std::string hop;
+  while (std::getline(hops_in, hop, ',')) {
+    if (hop.empty()) continue;
+    RouteHop h;
+    const auto c1 = hop.find(':');
+    const auto c2 = hop.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      return std::nullopt;
+    }
+    try {
+      h.stage = std::stoul(hop.substr(0, c1));
+      h.vnf = VnfId{static_cast<VnfId::underlying_type>(
+          std::stoul(hop.substr(c1 + 1, c2 - c1 - 1)))};
+      h.site = SiteId{static_cast<SiteId::underlying_type>(
+          std::stoul(hop.substr(c2 + 1)))};
+    } catch (...) {
+      return std::nullopt;
+    }
+    m.hops.push_back(h);
+  }
+  return m;
+}
+
+}  // namespace switchboard::control

@@ -1,0 +1,64 @@
+// Control-plane message payloads exchanged over the global message bus,
+// with a compact key=value serialization (the prototype shipped JSON over
+// ZeroMQ; the wire format is irrelevant to the protocol, the parse/build
+// cost is real either way).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dataplane/flow_table.hpp"
+
+namespace switchboard::control {
+
+/// Published on .../site_<s>_instances by a VNF controller: one VNF
+/// instance allocated to a chain at a site, with its LB weight.
+struct InstanceAnnouncement {
+  dataplane::ElementId instance{dataplane::kNoElement};
+  dataplane::ElementId forwarder{dataplane::kNoElement};
+  double weight{1.0};
+};
+
+/// Published on .../site_<s>_forwarders by a Local Switchboard: a
+/// forwarder fronting a chain's VNF instances at a site; weight is the sum
+/// of the weights of the instances it fronts (Section 5.2).
+struct ForwarderAnnouncement {
+  dataplane::ElementId forwarder{dataplane::kNoElement};
+  double weight{1.0};
+};
+
+/// One hop of a wide-area chain route: the site hosting the z-th VNF.
+struct RouteHop {
+  std::size_t stage{0};   // z in 1..|F_c| (VNF stages only)
+  VnfId vnf;
+  SiteId site;
+};
+
+/// Published on /chains/<c>/routes by Global Switchboard after commit:
+/// a wide-area route with its traffic fraction and labels.
+struct RouteAnnouncement {
+  ChainId chain;
+  RouteId route;
+  std::uint32_t chain_label{0};
+  std::uint32_t egress_label{0};
+  SiteId ingress_site;
+  SiteId egress_site;
+  double weight{1.0};   // fraction of the chain's traffic on this route
+  std::vector<RouteHop> hops;
+};
+
+[[nodiscard]] std::string serialize(const InstanceAnnouncement& m);
+[[nodiscard]] std::string serialize(const ForwarderAnnouncement& m);
+[[nodiscard]] std::string serialize(const RouteAnnouncement& m);
+
+[[nodiscard]] std::optional<InstanceAnnouncement> parse_instance(
+    const std::string& payload);
+[[nodiscard]] std::optional<ForwarderAnnouncement> parse_forwarder(
+    const std::string& payload);
+[[nodiscard]] std::optional<RouteAnnouncement> parse_route(
+    const std::string& payload);
+
+}  // namespace switchboard::control

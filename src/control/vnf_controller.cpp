@@ -1,0 +1,135 @@
+#include "control/vnf_controller.hpp"
+
+#include <cassert>
+
+namespace switchboard::control {
+namespace {
+
+std::pair<std::uint32_t, std::uint32_t> key(ChainId chain, RouteId route) {
+  return {chain.value(), route.value()};
+}
+
+}  // namespace
+
+VnfController::VnfController(ControlContext& context, VnfId vnf)
+    : context_{context},
+      vnf_{vnf},
+      committed_load_(context.model.sites().size(), 0.0),
+      pending_load_(context.model.sites().size(), 0.0) {}
+
+bool VnfController::prepare(ChainId chain, RouteId route, SiteId site,
+                            double load) {
+  assert(load >= 0);
+  assert(site.value() < committed_load_.size());
+  const double capacity = context_.model.vnf(vnf_).capacity_at(site);
+  const double in_use =
+      committed_load_[site.value()] + pending_load_[site.value()];
+  if (in_use + load > capacity + 1e-9) {
+    return false;   // vote abort: resource shortage at this site
+  }
+  pending_load_[site.value()] += load;
+  pending_[key(chain, route)].push_back(Reservation{site, load});
+  return true;
+}
+
+void VnfController::commit(ChainId chain, RouteId route,
+                           std::uint32_t egress_label) {
+  const auto it = pending_.find(key(chain, route));
+  if (it == pending_.end()) return;
+  for (const Reservation& r : it->second) {
+    pending_load_[r.site.value()] -= r.load;
+    committed_load_[r.site.value()] += r.load;
+    ensure_instance(r.site);
+
+    // Publish the allocation (Fig. 4 step 4).
+    InstanceAnnouncement announcement;
+    announcement.instance = ensure_instance(r.site);
+    announcement.forwarder =
+        context_.elements.info(announcement.instance).attached_forwarder;
+    announcement.weight =
+        context_.elements.info(announcement.instance).weight;
+    const bus::Topic topic =
+        bus::instances_topic(chain, egress_label, vnf_, r.site);
+    announced_.insert({chain.value(), egress_label, r.site.value()});
+    context_.sim.schedule(
+        context_.timings.controller_processing,
+        [this, topic, announcement] {
+          context_.bus.publish(topic, serialize(announcement));
+        });
+  }
+  pending_.erase(it);
+}
+
+void VnfController::abort(ChainId chain, RouteId route) {
+  const auto it = pending_.find(key(chain, route));
+  if (it == pending_.end()) return;
+  for (const Reservation& r : it->second) {
+    pending_load_[r.site.value()] -= r.load;
+  }
+  pending_.erase(it);
+}
+
+double VnfController::allocated(SiteId site) const {
+  assert(site.value() < committed_load_.size());
+  return committed_load_[site.value()] + pending_load_[site.value()];
+}
+
+double VnfController::headroom(SiteId site) const {
+  return context_.model.vnf(vnf_).capacity_at(site) - allocated(site);
+}
+
+std::vector<dataplane::ElementId> VnfController::scale_instances(
+    SiteId site, std::size_t count) {
+  std::vector<dataplane::ElementId> created;
+  const auto existing = context_.elements.vnf_instances_at(site, vnf_);
+  if (existing.size() >= count) return created;
+
+  // All instances of a VNF at a site share the VNF's forwarder (Fig. 5);
+  // bootstrap via ensure_instance if none exists yet.
+  const dataplane::ElementId first = ensure_instance(site);
+  const dataplane::ElementId forwarder =
+      context_.elements.info(first).attached_forwarder;
+  while (context_.elements.vnf_instances_at(site, vnf_).size() < count) {
+    created.push_back(context_.elements.create_vnf_instance(
+        site, vnf_, forwarder, /*weight=*/1.0,
+        context_.model.vnf(vnf_).capacity_at(site)));
+  }
+
+  // Re-announce the whole pool on every committed chain topic at the site
+  // so Local Switchboards rebuild their weighted rules.
+  for (const auto& [chain_raw, egress_label, site_raw] : announced_) {
+    if (site_raw != site.value()) continue;
+    const ChainId chain{chain_raw};
+    for (const dataplane::ElementId instance :
+         context_.elements.vnf_instances_at(site, vnf_)) {
+      InstanceAnnouncement announcement;
+      announcement.instance = instance;
+      announcement.forwarder =
+          context_.elements.info(instance).attached_forwarder;
+      announcement.weight = context_.elements.info(instance).weight;
+      const bus::Topic topic =
+          bus::instances_topic(chain, egress_label, vnf_, site);
+      context_.sim.schedule(
+          context_.timings.controller_processing,
+          [this, topic, announcement] {
+            context_.bus.publish(topic, serialize(announcement));
+          });
+    }
+  }
+  return created;
+}
+
+dataplane::ElementId VnfController::ensure_instance(SiteId site) {
+  const auto existing = context_.elements.vnf_instances_at(site, vnf_);
+  if (!existing.empty()) return existing.front();
+  // Each service gets its own forwarder at a site: a forwarder fronting
+  // two different services of the same chain could not disambiguate which
+  // next hop a returning packet needs (rules are keyed by labels only).
+  const dataplane::ElementId forwarder =
+      context_.elements.create_forwarder(site);
+  return context_.elements.create_vnf_instance(
+      site, vnf_, forwarder, /*weight=*/1.0,
+      /*capacity=*/context_.model.vnf(vnf_).capacity_at(site));
+}
+
+}  // namespace switchboard::control

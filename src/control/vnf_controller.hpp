@@ -1,0 +1,81 @@
+// VNF service controller (Sections 3 and 4): manages one VNF's instances
+// across sites, participates in Global Switchboard's two-phase commit
+// (voting abort when a site lacks compute headroom), and publishes
+// committed instance allocations on the message bus.
+//
+// Instances are shared across chains by default (the paper's
+// service-oriented design, evaluated in Section 7.2's shared-cache
+// experiment); capacity accounting is per site.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <tuple>
+#include <string>
+#include <vector>
+
+#include "bus/topic.hpp"
+#include "common/types.hpp"
+#include "control/context.hpp"
+#include "control/messages.hpp"
+
+namespace switchboard::control {
+
+class VnfController {
+ public:
+  VnfController(ControlContext& context, VnfId vnf);
+
+  [[nodiscard]] VnfId vnf() const { return vnf_; }
+
+  /// --- two-phase commit participant ------------------------------------
+  /// Reserves `load` compute at `site` for (chain, route).  Returns false
+  /// (vote abort) when committed + pending load would exceed the site
+  /// capacity m_sf.
+  bool prepare(ChainId chain, RouteId route, SiteId site, double load);
+
+  /// Converts the reservation into a committed allocation, allocates (or
+  /// reuses) an instance at each reserved site, and publishes the
+  /// instance on the chain's instances topic.
+  void commit(ChainId chain, RouteId route, std::uint32_t egress_label);
+
+  /// Drops the reservation.
+  void abort(ChainId chain, RouteId route);
+
+  /// Committed + pending load at a site.
+  [[nodiscard]] double allocated(SiteId site) const;
+  /// Remaining headroom at a site (capacity m_sf minus allocated).
+  [[nodiscard]] double headroom(SiteId site) const;
+
+  /// Ensures an instance of this VNF exists at `site` (reusing a shared
+  /// instance if present); returns its element id.
+  dataplane::ElementId ensure_instance(SiteId site);
+
+  /// Horizontal scaling (Fig. 5: instances G1, G2 behind forwarder F1):
+  /// grows the instance pool at `site` to `count` instances, all behind
+  /// the VNF's forwarder, and re-announces them on every chain topic this
+  /// controller has committed at the site so Local Switchboards rebalance.
+  /// Returns the new instance ids (existing ones excluded).
+  std::vector<dataplane::ElementId> scale_instances(SiteId site,
+                                                    std::size_t count);
+
+ private:
+  struct Reservation {
+    SiteId site;
+    double load{0.0};
+  };
+
+  ControlContext& context_;
+  VnfId vnf_;
+  // Pending 2PC reservations keyed by (chain, route).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Reservation>>
+      pending_;
+  // Committed announcement topics: (chain, egress label, site) — used to
+  // re-announce when instances scale.
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>>
+      announced_;
+  std::vector<double> committed_load_;   // per site
+  std::vector<double> pending_load_;     // per site
+};
+
+}  // namespace switchboard::control

@@ -1,0 +1,192 @@
+#include "core/deployment.hpp"
+
+#include <cassert>
+
+namespace switchboard::core {
+
+Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
+    : config_{config}, model_{std::move(model)} {
+  assert(!model_.sites().empty());
+
+  bus::BusConfig bus_config;
+  bus_config.site_count = model_.sites().size();
+  bus_config.per_message_service = config_.bus_message_service;
+  bus_config.egress_buffer = config_.bus_egress_buffer;
+  bus_config.inter_site_delay = [this](SiteId a, SiteId b) {
+    const double ms =
+        model_.delay_ms(model_.site(a).node, model_.site(b).node);
+    return sim::from_ms(ms);
+  };
+  bus_ = std::make_unique<bus::ProxyBus>(sim_, bus_config);
+
+  context_ = std::make_unique<control::ControlContext>(
+      control::ControlContext{sim_, *bus_, model_, elements_,
+                              config_.timings});
+
+  global_ = std::make_unique<control::GlobalSwitchboard>(
+      *context_, config_.controller_site);
+
+  for (const model::CloudSite& site : model_.sites()) {
+    auto local =
+        std::make_unique<control::LocalSwitchboard>(*context_, site.id);
+    local->set_ready_callback(
+        [this](ChainId chain, RouteId route, SiteId at) {
+          global_->on_route_ready(chain, route, at);
+        });
+    local->set_peer_lookup([this](SiteId at) -> control::LocalSwitchboard* {
+      return at.value() < locals_.size() ? locals_[at.value()].get()
+                                         : nullptr;
+    });
+    local->start(global_->routes_topic());
+    global_->register_local_switchboard(local.get());
+    locals_.push_back(std::move(local));
+  }
+
+  sync_vnf_controllers();
+}
+
+control::LocalSwitchboard& Deployment::local(SiteId site) {
+  assert(site.value() < locals_.size());
+  return *locals_[site.value()];
+}
+
+control::VnfController& Deployment::vnf_controller(VnfId vnf) {
+  assert(vnf.value() < vnf_controllers_.size());
+  return *vnf_controllers_[vnf.value()];
+}
+
+control::EdgeController& Deployment::edge_controller(EdgeServiceId id) {
+  assert(id.value() < edge_controllers_.size());
+  return *edge_controllers_[id.value()];
+}
+
+EdgeServiceId Deployment::create_edge_service(std::string name) {
+  const EdgeServiceId id{
+      static_cast<EdgeServiceId::underlying_type>(edge_controllers_.size())};
+  auto controller = std::make_unique<control::EdgeController>(
+      *context_, id, std::move(name));
+  global_->register_edge_controller(controller.get());
+  edge_controllers_.push_back(std::move(controller));
+  return id;
+}
+
+void Deployment::sync_vnf_controllers() {
+  for (const model::Vnf& vnf : model_.vnfs()) {
+    if (vnf.id.value() < vnf_controllers_.size()) continue;
+    auto controller =
+        std::make_unique<control::VnfController>(*context_, vnf.id);
+    global_->register_vnf_controller(controller.get());
+    vnf_controllers_.push_back(std::move(controller));
+  }
+}
+
+std::vector<dataplane::ElementId> Deployment::WalkResult::vnf_instances()
+    const {
+  std::vector<dataplane::ElementId> instances;
+  for (const HopTrace& hop : path) {
+    if (hop.type == control::ElementType::kVnfInstance) {
+      instances.push_back(hop.element);
+    }
+  }
+  return instances;
+}
+
+Deployment::WalkResult Deployment::inject(ChainId chain,
+                                          const dataplane::FiveTuple& flow,
+                                          dataplane::Direction direction,
+                                          std::uint16_t size_bytes) {
+  const control::ChainRecord& record = global_->record(chain);
+  if (!record.active) {
+    WalkResult result;
+    result.failure = "chain not active";
+    return result;
+  }
+  // The walk starts at the edge instance on the sending side.
+  const SiteId start_site = direction == dataplane::Direction::kForward
+      ? record.ingress_site
+      : record.egress_site;
+  const EdgeServiceId edge_service =
+      direction == dataplane::Direction::kForward
+          ? record.spec.ingress_service
+          : record.spec.egress_service;
+  const dataplane::ElementId edge_instance =
+      edge_controller(edge_service).ensure_edge_instance(start_site);
+  return inject_from(chain, edge_instance, flow, direction, size_bytes);
+}
+
+Deployment::WalkResult Deployment::inject_from(
+    ChainId chain, dataplane::ElementId edge_instance,
+    const dataplane::FiveTuple& flow, dataplane::Direction direction,
+    std::uint16_t size_bytes) {
+  WalkResult result;
+  const control::ChainRecord& record = global_->record(chain);
+  if (!record.active) {
+    result.failure = "chain not active";
+    return result;
+  }
+
+  dataplane::Packet packet;
+  packet.flow = direction == dataplane::Direction::kForward
+      ? flow
+      : flow.reversed();
+  packet.labels = record.labels;
+  packet.direction = direction;
+  packet.size_bytes = size_bytes;
+  packet.arrival_source = edge_instance;
+
+  result.path.push_back(
+      {edge_instance, control::ElementType::kEdgeInstance, 0.0});
+
+  dataplane::ElementId current_forwarder =
+      elements_.info(edge_instance).attached_forwarder;
+  dataplane::ForwardAction action =
+      elements_.forwarder(current_forwarder).process_from_attached(packet);
+  result.path.push_back(
+      {current_forwarder, control::ElementType::kForwarder, 0.0});
+
+  for (int hops = 0; hops < 64; ++hops) {
+    switch (action.type) {
+      case dataplane::ActionType::kDrop: {
+        result.failure = "dropped at forwarder " +
+                         std::to_string(current_forwarder);
+        return result;
+      }
+      case dataplane::ActionType::kSendToForwarder: {
+        const SiteId from = elements_.info(current_forwarder).site;
+        const SiteId to = elements_.info(action.element).site;
+        const double hop_ms =
+            model_.delay_ms(model_.site(from).node, model_.site(to).node);
+        result.latency_ms += hop_ms;
+        packet.arrival_source = current_forwarder;
+        current_forwarder = action.element;
+        result.path.push_back(
+            {current_forwarder, control::ElementType::kForwarder, hop_ms});
+        action =
+            elements_.forwarder(current_forwarder).process_from_wire(packet);
+        break;
+      }
+      case dataplane::ActionType::kDeliverToAttached: {
+        const control::ElementInfo& info = elements_.info(action.element);
+        if (info.type == control::ElementType::kEdgeInstance) {
+          result.path.push_back(
+              {action.element, control::ElementType::kEdgeInstance, 0.0});
+          result.delivered = true;
+          return result;
+        }
+        // A VNF instance: processing latency, then back to the forwarder.
+        result.latency_ms += config_.vnf_processing_ms;
+        result.path.push_back({action.element,
+                               control::ElementType::kVnfInstance,
+                               config_.vnf_processing_ms});
+        packet.arrival_source = action.element;
+        action = elements_.forwarder(current_forwarder)
+                     .process_from_attached(packet);
+        break;
+      }
+    }
+  }
+  result.failure = "hop limit exceeded (routing loop?)";
+  return result;
+}
+
+}  // namespace switchboard::core

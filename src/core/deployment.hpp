@@ -1,0 +1,101 @@
+// Deployment: wires a complete Switchboard installation over one network
+// model — simulator, message bus, element registry, Global Switchboard,
+// per-site Local Switchboards, edge controllers, and per-VNF controllers —
+// and provides the data-plane packet walk used by examples and tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/message_bus.hpp"
+#include "control/context.hpp"
+#include "control/edge_controller.hpp"
+#include "control/global_switchboard.hpp"
+#include "control/local_switchboard.hpp"
+#include "control/vnf_controller.hpp"
+#include "model/network_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace switchboard::core {
+
+struct DeploymentConfig {
+  control::ControlTimings timings{};
+  /// Per-message egress service time at bus proxies.
+  sim::Duration bus_message_service{sim::microseconds(100)};
+  std::size_t bus_egress_buffer{4096};
+  /// Site hosting Global Switchboard (default: site 0).
+  SiteId controller_site{0};
+  /// Latency a VNF instance adds to a packet (data-plane walk).
+  double vnf_processing_ms{0.1};
+};
+
+class Deployment {
+ public:
+  /// Takes ownership of the model.  Every site gets a Local Switchboard;
+  /// every VNF already in the model gets a controller.
+  explicit Deployment(model::NetworkModel model, DeploymentConfig config = {});
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] model::NetworkModel& network_model() { return model_; }
+  [[nodiscard]] bus::ProxyBus& bus() { return *bus_; }
+  [[nodiscard]] control::ElementRegistry& elements() { return elements_; }
+  [[nodiscard]] control::GlobalSwitchboard& global() { return *global_; }
+  [[nodiscard]] control::LocalSwitchboard& local(SiteId site);
+  [[nodiscard]] control::VnfController& vnf_controller(VnfId vnf);
+  [[nodiscard]] control::EdgeController& edge_controller(EdgeServiceId id);
+  [[nodiscard]] const DeploymentConfig& config() const { return config_; }
+
+  /// Registers an edge service and its controller.
+  EdgeServiceId create_edge_service(std::string name);
+
+  /// Creates controllers for VNFs added to the model after construction.
+  void sync_vnf_controllers();
+
+  // ---- data-plane packet walk -------------------------------------------
+  struct HopTrace {
+    dataplane::ElementId element{dataplane::kNoElement};
+    control::ElementType type{control::ElementType::kForwarder};
+    double latency_ms{0.0};   // latency of reaching this element
+  };
+
+  struct WalkResult {
+    bool delivered{false};
+    double latency_ms{0.0};
+    std::vector<HopTrace> path;
+    std::string failure;
+
+    /// The VNF instances the packet visited, in order.
+    [[nodiscard]] std::vector<dataplane::ElementId> vnf_instances() const;
+  };
+
+  /// Drives one packet of `flow` through the chain's data plane, starting
+  /// at the ingress edge (forward) or egress edge (reverse).  `flow` is
+  /// always the *forward-direction* 5-tuple.
+  WalkResult inject(ChainId chain, const dataplane::FiveTuple& flow,
+                    dataplane::Direction direction =
+                        dataplane::Direction::kForward,
+                    std::uint16_t size_bytes = 64);
+
+  /// Like inject(), but entering at an arbitrary edge instance — e.g. an
+  /// edge stitched in later by attach_edge (mobility).
+  WalkResult inject_from(ChainId chain, dataplane::ElementId edge_instance,
+                         const dataplane::FiveTuple& flow,
+                         dataplane::Direction direction =
+                             dataplane::Direction::kForward,
+                         std::uint16_t size_bytes = 64);
+
+ private:
+  DeploymentConfig config_;
+  model::NetworkModel model_;
+  sim::Simulator sim_;
+  control::ElementRegistry elements_;
+  std::unique_ptr<bus::ProxyBus> bus_;
+  std::unique_ptr<control::ControlContext> context_;
+  std::unique_ptr<control::GlobalSwitchboard> global_;
+  std::vector<std::unique_ptr<control::LocalSwitchboard>> locals_;
+  std::vector<std::unique_ptr<control::VnfController>> vnf_controllers_;
+  std::vector<std::unique_ptr<control::EdgeController>> edge_controllers_;
+};
+
+}  // namespace switchboard::core

@@ -1,0 +1,139 @@
+#include "dataplane/dht_flow_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace switchboard::dataplane {
+
+DhtFlowTable::DhtFlowTable(std::size_t node_count,
+                           std::size_t virtual_nodes_per_node) {
+  assert(node_count >= 2);
+  assert(virtual_nodes_per_node >= 1);
+  shards_.reserve(node_count);
+  alive_.assign(node_count, true);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    shards_.push_back(std::make_unique<FlowTable>(1024));
+    for (std::size_t v = 0; v < virtual_nodes_per_node; ++v) {
+      ring_.push_back(RingPoint{
+          mix64(0xD147ull << 32 | (n << 8) | v),
+          static_cast<std::uint32_t>(n)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              return a.hash < b.hash;
+            });
+}
+
+std::vector<std::size_t> DhtFlowTable::owners(std::uint64_t key_hash) const {
+  std::vector<std::size_t> result;
+  const auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), key_hash,
+      [](const RingPoint& p, std::uint64_t h) { return p.hash < h; });
+  const std::size_t begin =
+      static_cast<std::size_t>(start - ring_.begin()) % ring_.size();
+  for (std::size_t i = 0; i < ring_.size() && result.size() < 2; ++i) {
+    const std::uint32_t node = ring_[(begin + i) % ring_.size()].node;
+    if (!alive_[node]) continue;
+    if (std::find(result.begin(), result.end(), node) == result.end()) {
+      result.push_back(node);
+    }
+  }
+  return result;
+}
+
+void DhtFlowTable::insert(const Labels& labels, const FiveTuple& tuple,
+                          const FlowEntry& entry) {
+  for (const std::size_t node : owners(flow_hash(labels, tuple))) {
+    shards_[node]->insert(labels, tuple, entry);
+  }
+}
+
+std::optional<FlowEntry> DhtFlowTable::find(const Labels& labels,
+                                            const FiveTuple& tuple) const {
+  for (const std::size_t node : owners(flow_hash(labels, tuple))) {
+    if (const FlowEntry* entry = shards_[node]->find(labels, tuple)) {
+      return *entry;
+    }
+  }
+  return std::nullopt;
+}
+
+bool DhtFlowTable::erase(const Labels& labels, const FiveTuple& tuple) {
+  bool erased = false;
+  for (const std::size_t node : owners(flow_hash(labels, tuple))) {
+    erased |= shards_[node]->erase(labels, tuple);
+  }
+  return erased;
+}
+
+void DhtFlowTable::fail_node(std::size_t node) {
+  assert(node < shards_.size());
+  if (!alive_[node]) return;
+  alive_[node] = false;
+  shards_[node]->clear();   // the node's state is gone
+  re_replicate();
+}
+
+void DhtFlowTable::recover_node(std::size_t node) {
+  assert(node < shards_.size());
+  if (alive_[node]) return;
+  alive_[node] = true;
+  re_replicate();
+}
+
+bool DhtFlowTable::node_alive(std::size_t node) const {
+  assert(node < shards_.size());
+  return alive_[node];
+}
+
+std::size_t DhtFlowTable::live_node_count() const {
+  std::size_t count = 0;
+  for (const bool a : alive_) count += a ? 1 : 0;
+  return count;
+}
+
+std::size_t DhtFlowTable::shard_size(std::size_t node) const {
+  assert(node < shards_.size());
+  return shards_[node]->size();
+}
+
+std::size_t DhtFlowTable::total_flows() const {
+  // Count distinct keys by visiting every shard and asking the ring who
+  // the primary is; count each key only at its primary.
+  std::size_t total = 0;
+  for (std::size_t n = 0; n < shards_.size(); ++n) {
+    if (!alive_[n]) continue;
+    shards_[n]->for_each([&](const Labels& labels, const FiveTuple& tuple,
+                             FlowEntry&) {
+      const auto current = owners(flow_hash(labels, tuple));
+      if (!current.empty() && current.front() == n) ++total;
+    });
+  }
+  return total;
+}
+
+void DhtFlowTable::re_replicate() {
+  // Re-home every entry so each key again lives on its (new) primary and
+  // successor, and nowhere else.  A production system would stream only
+  // affected ranges; correctness is what matters here.
+  struct Pending {
+    Labels labels;
+    FiveTuple tuple;
+    FlowEntry entry;
+  };
+  std::vector<Pending> all;
+  for (std::size_t n = 0; n < shards_.size(); ++n) {
+    if (!alive_[n]) continue;
+    shards_[n]->for_each([&](const Labels& labels, const FiveTuple& tuple,
+                             FlowEntry& entry) {
+      all.push_back(Pending{labels, tuple, entry});
+    });
+    shards_[n]->clear();
+  }
+  for (const Pending& p : all) {
+    insert(p.labels, p.tuple, p.entry);   // dedupes via overwrite
+  }
+}
+
+}  // namespace switchboard::dataplane

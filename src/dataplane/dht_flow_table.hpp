@@ -1,0 +1,72 @@
+// Replicated, distributed flow table — the extension Section 5.3 sketches:
+// "a solution that supports elastic scaling and fault tolerance of
+// forwarders by maintaining the flow table as a replicated distributed
+// hash table across forwarder nodes".
+//
+// Keys (labels + 5-tuple) map onto a consistent-hash ring of nodes; each
+// entry lives on its primary node and the next live successor (replication
+// factor 2).  When a node fails, lookups transparently fall through to the
+// surviving replica, so established connections keep their VNF pinning
+// (flow affinity survives forwarder failure); when a node joins, only the
+// keys whose primary moved are re-homed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dataplane/flow_table.hpp"
+#include "dataplane/packet.hpp"
+
+namespace switchboard::dataplane {
+
+class DhtFlowTable {
+ public:
+  /// `node_count` initial nodes, each holding one shard.
+  explicit DhtFlowTable(std::size_t node_count,
+                        std::size_t virtual_nodes_per_node = 16);
+
+  /// Inserts (or overwrites) an entry; written to the primary shard and
+  /// its successor replica.
+  void insert(const Labels& labels, const FiveTuple& tuple,
+              const FlowEntry& entry);
+
+  /// Looks up an entry; consults the primary first, then the replica.
+  [[nodiscard]] std::optional<FlowEntry> find(const Labels& labels,
+                                              const FiveTuple& tuple) const;
+
+  /// Removes an entry from all shards holding it.
+  bool erase(const Labels& labels, const FiveTuple& tuple);
+
+  /// Marks a node failed: its shard is lost; replicas keep serving, and
+  /// surviving entries are re-replicated to restore the factor-2 target.
+  void fail_node(std::size_t node);
+  /// Brings a failed node back (empty); affected keys re-home to it
+  /// lazily via re-replication.
+  void recover_node(std::size_t node);
+  [[nodiscard]] bool node_alive(std::size_t node) const;
+
+  [[nodiscard]] std::size_t node_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t live_node_count() const;
+  /// Entries on one node's shard (replicas included).
+  [[nodiscard]] std::size_t shard_size(std::size_t node) const;
+  /// Distinct flows reachable through the DHT.
+  [[nodiscard]] std::size_t total_flows() const;
+
+ private:
+  struct RingPoint {
+    std::uint64_t hash;
+    std::uint32_t node;
+  };
+
+  /// The first two *distinct live* nodes at or after the key's position.
+  [[nodiscard]] std::vector<std::size_t> owners(std::uint64_t key_hash) const;
+  void re_replicate();
+
+  std::vector<std::unique_ptr<FlowTable>> shards_;
+  std::vector<bool> alive_;
+  std::vector<RingPoint> ring_;   // sorted by hash
+};
+
+}  // namespace switchboard::dataplane

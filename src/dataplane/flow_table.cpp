@@ -1,0 +1,101 @@
+#include "dataplane/flow_table.hpp"
+
+#include <bit>
+#include <cassert>
+#include <utility>
+
+namespace switchboard::dataplane {
+
+FlowTable::FlowTable(std::size_t initial_capacity) {
+  const std::size_t capacity =
+      std::bit_ceil(std::max<std::size_t>(initial_capacity, 16));
+  slots_.resize(capacity);
+  mask_ = capacity - 1;
+}
+
+FlowEntry* FlowTable::find(const Labels& labels, const FiveTuple& tuple) {
+  std::size_t index = probe_start(labels, tuple);
+  for (;;) {
+    Slot& slot = slots_[index];
+    if (slot.state == SlotState::kEmpty) return nullptr;
+    if (slot.state == SlotState::kOccupied && slot.labels == labels &&
+        slot.tuple == tuple) {
+      return &slot.entry;
+    }
+    index = (index + 1) & mask_;
+  }
+}
+
+const FlowEntry* FlowTable::find(const Labels& labels,
+                                 const FiveTuple& tuple) const {
+  return const_cast<FlowTable*>(this)->find(labels, tuple);
+}
+
+FlowEntry& FlowTable::insert(const Labels& labels, const FiveTuple& tuple,
+                             FlowEntry entry) {
+  if ((size_ + tombstones_ + 1) * 10 > slots_.size() * 7) grow();
+  std::size_t index = probe_start(labels, tuple);
+  std::size_t first_tombstone = slots_.size();
+  for (;;) {
+    Slot& slot = slots_[index];
+    if (slot.state == SlotState::kOccupied && slot.labels == labels &&
+        slot.tuple == tuple) {
+      slot.entry = entry;
+      return slot.entry;
+    }
+    if (slot.state == SlotState::kTombstone &&
+        first_tombstone == slots_.size()) {
+      first_tombstone = index;
+    }
+    if (slot.state == SlotState::kEmpty) {
+      Slot& target = first_tombstone != slots_.size()
+          ? slots_[first_tombstone]
+          : slot;
+      if (target.state == SlotState::kTombstone) --tombstones_;
+      target.labels = labels;
+      target.tuple = tuple;
+      target.entry = entry;
+      target.state = SlotState::kOccupied;
+      ++size_;
+      return target.entry;
+    }
+    index = (index + 1) & mask_;
+  }
+}
+
+bool FlowTable::erase(const Labels& labels, const FiveTuple& tuple) {
+  std::size_t index = probe_start(labels, tuple);
+  for (;;) {
+    Slot& slot = slots_[index];
+    if (slot.state == SlotState::kEmpty) return false;
+    if (slot.state == SlotState::kOccupied && slot.labels == labels &&
+        slot.tuple == tuple) {
+      slot.state = SlotState::kTombstone;
+      --size_;
+      ++tombstones_;
+      return true;
+    }
+    index = (index + 1) & mask_;
+  }
+}
+
+void FlowTable::clear() {
+  for (Slot& slot : slots_) slot.state = SlotState::kEmpty;
+  size_ = 0;
+  tombstones_ = 0;
+}
+
+void FlowTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  size_ = 0;
+  tombstones_ = 0;
+  for (Slot& slot : old) {
+    if (slot.state == SlotState::kOccupied) {
+      insert(slot.labels, slot.tuple, slot.entry);
+    }
+  }
+}
+
+}  // namespace switchboard::dataplane

@@ -1,0 +1,94 @@
+// The forwarder's per-connection flow table (Section 3, "connection setup
+// time"; Section 5.3 flow affinity / symmetric return).
+//
+// One entry per connection, keyed by (labels, forward-direction 5-tuple),
+// holding the load-balancing selections made on the first packet:
+//   * the VNF instance serving the connection at this forwarder,
+//   * the next-hop forwarder (forward direction),
+//   * the previous-hop element (reverse direction / symmetric return).
+//
+// Implementation: open-addressing, linear-probing hash table with
+// power-of-two capacity, sized for millions of entries (the paper's DPDK
+// forwarder holds 512K flows per core).  This is the hot path of the
+// Fig. 8 benchmark.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/packet.hpp"
+
+namespace switchboard::dataplane {
+
+/// Compact id of a data-plane element. ~0 means "not set".
+using ElementId = std::uint32_t;
+inline constexpr ElementId kNoElement = ~ElementId{0};
+
+/// The per-connection state stored at a forwarder.
+struct FlowEntry {
+  ElementId vnf_instance{kNoElement};    // instance pinned to the flow
+  ElementId next_forwarder{kNoElement};  // forward direction next hop
+  ElementId prev_element{kNoElement};    // reverse direction next hop
+};
+
+class FlowTable {
+ public:
+  /// `initial_capacity` rounds up to a power of two.  The table grows
+  /// automatically at 70% occupancy.
+  explicit FlowTable(std::size_t initial_capacity = 1024);
+
+  /// Finds the entry for (labels, tuple); nullptr if absent.
+  [[nodiscard]] FlowEntry* find(const Labels& labels, const FiveTuple& tuple);
+  [[nodiscard]] const FlowEntry* find(const Labels& labels,
+                                      const FiveTuple& tuple) const;
+
+  /// Inserts (overwrites if present).  Returns the stored entry.
+  FlowEntry& insert(const Labels& labels, const FiveTuple& tuple,
+                    FlowEntry entry);
+
+  /// Removes the entry; returns true if it existed.
+  bool erase(const Labels& labels, const FiveTuple& tuple);
+
+  /// Visits every live entry (used by state migration and replication).
+  template <typename Fn>   // Fn(const Labels&, const FiveTuple&, FlowEntry&)
+  void for_each(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.state == SlotState::kOccupied) {
+        fn(slot.labels, slot.tuple, slot.entry);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] double load_factor() const {
+    return slots_.empty()
+        ? 0.0
+        : static_cast<double>(size_) / static_cast<double>(slots_.size());
+  }
+  void clear();
+
+ private:
+  enum class SlotState : std::uint8_t { kEmpty, kOccupied, kTombstone };
+
+  struct Slot {
+    Labels labels;
+    FiveTuple tuple;
+    FlowEntry entry;
+    SlotState state{SlotState::kEmpty};
+  };
+
+  void grow();
+  [[nodiscard]] std::size_t probe_start(const Labels& labels,
+                                        const FiveTuple& tuple) const {
+    return flow_hash(labels, tuple) & mask_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_{0};
+  std::size_t size_{0};
+  std::size_t tombstones_{0};
+};
+
+}  // namespace switchboard::dataplane

@@ -1,0 +1,132 @@
+#include "dataplane/forwarder.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace switchboard::dataplane {
+
+Forwarder::Forwarder(ElementId id, std::size_t flow_capacity)
+    : id_{id},
+      table_{flow_capacity},
+      selector_state_{mix64(0x5B1CEB00ULL + id)} {}
+
+void Forwarder::register_attachment(ElementId instance, const Labels& labels) {
+  attachment_labels_[instance] = labels;
+}
+
+std::uint64_t Forwarder::next_selector() {
+  selector_state_ = mix64(selector_state_ + 0x9E3779B97F4A7C15ULL);
+  return selector_state_;
+}
+
+ForwardAction Forwarder::process_from_wire(const Packet& packet) {
+  ++counters_.from_wire;
+  const FiveTuple key = canonical_tuple(packet);
+  if (FlowEntry* entry = table_.find(packet.labels, key)) {
+    if (entry->vnf_instance == kNoElement) {
+      ++counters_.drops;
+      return {ActionType::kDrop, kNoElement};
+    }
+    return {ActionType::kDeliverToAttached, entry->vnf_instance};
+  }
+
+  // First packet of the connection at this forwarder.
+  ++counters_.flow_misses;
+  if (packet.direction == Direction::kReverse) {
+    // Reverse packets must hit state created by the forward direction;
+    // a miss means the flow is unknown (e.g. expired) — drop.
+    ++counters_.drops;
+    return {ActionType::kDrop, kNoElement};
+  }
+  const LoadBalanceRule* rule = rules_.find(packet.labels);
+  if (rule == nullptr || rule->vnf_instances.empty()) {
+    ++counters_.drops;
+    return {ActionType::kDrop, kNoElement};
+  }
+
+  FlowEntry entry;
+  entry.vnf_instance = rule->vnf_instances.pick(next_selector());
+  entry.next_forwarder = rule->next_forwarders.empty()
+      ? kNoElement
+      : rule->next_forwarders.pick(next_selector());
+  entry.prev_element = packet.arrival_source;
+  const FlowEntry& stored = table_.insert(packet.labels, key, entry);
+  return {ActionType::kDeliverToAttached, stored.vnf_instance};
+}
+
+ForwardAction Forwarder::process_from_attached(Packet& packet) {
+  ++counters_.from_attached;
+
+  // Re-affix labels for attached VNFs that stripped them (Section 5.3):
+  // the attachment uniquely identifies the labels.
+  if (packet.labels == Labels{}) {
+    const auto it = attachment_labels_.find(packet.arrival_source);
+    if (it == attachment_labels_.end()) {
+      ++counters_.drops;
+      return {ActionType::kDrop, kNoElement};
+    }
+    packet.labels = it->second;
+    ++counters_.label_reaffixed;
+  }
+
+  const FiveTuple key = canonical_tuple(packet);
+  FlowEntry* entry = table_.find(packet.labels, key);
+  if (entry == nullptr) {
+    // First packet of a connection entering from an attached ingress edge.
+    ++counters_.flow_misses;
+    if (packet.direction == Direction::kReverse) {
+      ++counters_.drops;
+      return {ActionType::kDrop, kNoElement};
+    }
+    const LoadBalanceRule* rule = rules_.find(packet.labels);
+    if (rule == nullptr) {
+      ++counters_.drops;
+      return {ActionType::kDrop, kNoElement};
+    }
+    FlowEntry fresh;
+    fresh.vnf_instance = packet.arrival_source;   // the ingress edge
+    fresh.next_forwarder = rule->next_forwarders.empty()
+        ? kNoElement
+        : rule->next_forwarders.pick(next_selector());
+    fresh.prev_element = kNoElement;
+    entry = &table_.insert(packet.labels, key, fresh);
+  }
+
+  const ElementId target = packet.direction == Direction::kForward
+      ? entry->next_forwarder
+      : entry->prev_element;
+  if (target == kNoElement) {
+    ++counters_.drops;
+    return {ActionType::kDrop, kNoElement};
+  }
+  return {ActionType::kSendToForwarder, target};
+}
+
+bool Forwarder::complete_flow(const Labels& labels, const FiveTuple& tuple) {
+  return table_.erase(labels, tuple);
+}
+
+std::size_t Forwarder::migrate_flows(Forwarder& target, ElementId instance,
+                                     ElementId replacement) {
+  struct Moved {
+    Labels labels;
+    FiveTuple tuple;
+    FlowEntry entry;
+  };
+  std::vector<Moved> moved;
+  table_.for_each([&](const Labels& labels, const FiveTuple& tuple,
+                      FlowEntry& entry) {
+    if (entry.vnf_instance == instance) {
+      FlowEntry updated = entry;
+      updated.vnf_instance = replacement;
+      moved.push_back(Moved{labels, tuple, updated});
+    }
+  });
+  for (const Moved& m : moved) {
+    target.table_.insert(m.labels, m.tuple, m.entry);
+    table_.erase(m.labels, m.tuple);
+  }
+  return moved.size();
+}
+
+}  // namespace switchboard::dataplane

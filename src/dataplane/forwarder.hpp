@@ -1,0 +1,103 @@
+// The Switchboard forwarder: a cloud-agnostic data-plane proxy (Section 5).
+//
+// Deployment model (Fig. 5): VNF instances and edge instances *attach* to a
+// forwarder (same L2 domain, forwarder as their gateway); forwarders reach
+// each other over wide-area tunnels.  Per connection the forwarder pins
+//   * the attached instance serving the flow (VNF instance, or the edge
+//     instance at ingress/egress sites),
+//   * the next-hop forwarder toward the egress,
+//   * the previous-hop element toward the ingress (learned from the first
+//     packet's arrival source),
+// giving flow affinity and symmetric return (Section 5.3).  The paper
+// describes these as two flow-table entries (forward + reverse); this
+// implementation stores one entry carrying both pointers — the semantics
+// are identical.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dataplane/flow_table.hpp"
+#include "dataplane/load_balancer.hpp"
+#include "dataplane/packet.hpp"
+
+namespace switchboard::dataplane {
+
+enum class ActionType : std::uint8_t {
+  kDeliverToAttached,   // hand to the local VNF/edge instance
+  kSendToForwarder,     // tunnel to another forwarder
+  kDrop,
+};
+
+struct ForwardAction {
+  ActionType type{ActionType::kDrop};
+  ElementId element{kNoElement};
+
+  friend constexpr bool operator==(const ForwardAction&,
+                                   const ForwardAction&) = default;
+};
+
+struct ForwarderCounters {
+  std::uint64_t from_wire{0};
+  std::uint64_t from_attached{0};
+  std::uint64_t flow_misses{0};     // first packets (created state)
+  std::uint64_t drops{0};
+  std::uint64_t label_reaffixed{0};
+};
+
+class Forwarder {
+ public:
+  explicit Forwarder(ElementId id, std::size_t flow_capacity = 1024);
+
+  [[nodiscard]] ElementId id() const { return id_; }
+
+  /// Load-balancing rules, installed by the Local Switchboard.
+  [[nodiscard]] RuleTable& rules() { return rules_; }
+  [[nodiscard]] const RuleTable& rules() const { return rules_; }
+
+  /// Associates an attached instance with its chain labels, so labels can
+  /// be re-affixed for VNFs that strip or do not support them (Sec. 5.3).
+  void register_attachment(ElementId instance, const Labels& labels);
+
+  /// Packet arriving over a wide-area tunnel (or from the ingress edge's
+  /// wire side).  Delivers to the attached instance pinned for the flow.
+  ForwardAction process_from_wire(const Packet& packet);
+
+  /// Packet handed back by an attached instance; `packet.arrival_source`
+  /// must be that instance's id.  Forwards toward the next (forward
+  /// direction) or previous (reverse) element.
+  ForwardAction process_from_attached(Packet& packet);
+
+  /// Connection teardown: drop the flow state.
+  bool complete_flow(const Labels& labels, const FiveTuple& tuple);
+
+  /// OpenNF-style state transfer (Section 5.3): moves every flow pinned
+  /// to attached instance `instance` into `target`'s flow table,
+  /// re-pinning it to `replacement` (the equivalent instance behind the
+  /// target forwarder).  Used for elastic scaling / draining a forwarder
+  /// without breaking flow affinity.  Returns the number of flows moved.
+  std::size_t migrate_flows(Forwarder& target, ElementId instance,
+                            ElementId replacement);
+
+  [[nodiscard]] const ForwarderCounters& counters() const { return counters_; }
+  [[nodiscard]] const FlowTable& flow_table() const { return table_; }
+  [[nodiscard]] FlowTable& flow_table() { return table_; }
+
+  /// Deterministic per-forwarder selector stream for load-balancing picks.
+  [[nodiscard]] std::uint64_t next_selector();
+
+ private:
+  [[nodiscard]] FiveTuple canonical_tuple(const Packet& packet) const {
+    return packet.direction == Direction::kForward ? packet.flow
+                                                   : packet.flow.reversed();
+  }
+
+  ElementId id_;
+  FlowTable table_;
+  RuleTable rules_;
+  ForwarderCounters counters_;
+  std::uint64_t selector_state_;
+  std::unordered_map<ElementId, Labels> attachment_labels_;
+};
+
+}  // namespace switchboard::dataplane

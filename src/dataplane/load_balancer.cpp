@@ -1,0 +1,56 @@
+#include "dataplane/load_balancer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace switchboard::dataplane {
+
+void WeightedChoice::add(ElementId element, double weight) {
+  assert(weight > 0);
+  elements_.push_back(element);
+  cumulative_.push_back(total_weight() + weight);
+}
+
+void WeightedChoice::clear() {
+  elements_.clear();
+  cumulative_.clear();
+}
+
+ElementId WeightedChoice::pick(std::uint64_t selector) const {
+  assert(!elements_.empty());
+  // Map the selector uniformly onto [0, total_weight).
+  const double u =
+      static_cast<double>(selector >> 11) * 0x1.0p-53 * total_weight();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t index = std::min(
+      static_cast<std::size_t>(it - cumulative_.begin()),
+      elements_.size() - 1);
+  return elements_[index];
+}
+
+double WeightedChoice::weight_of(ElementId element) const {
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i] == element) {
+      return cumulative_[i] - (i == 0 ? 0.0 : cumulative_[i - 1]);
+    }
+  }
+  return 0.0;
+}
+
+void RuleTable::install(const Labels& labels, LoadBalanceRule rule) {
+  rules_[labels] = std::move(rule);
+}
+
+void RuleTable::remove(const Labels& labels) { rules_.erase(labels); }
+
+const LoadBalanceRule* RuleTable::find(const Labels& labels) const {
+  const auto it = rules_.find(labels);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+LoadBalanceRule* RuleTable::find_mutable(const Labels& labels) {
+  const auto it = rules_.find(labels);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+}  // namespace switchboard::dataplane

@@ -1,0 +1,77 @@
+// Hierarchical weighted load balancing rules (Section 5.2).
+//
+// A forwarder holds, per (chain label, egress-site label):
+//   1. the VNF instances it fronts, weighted by instance weight;
+//   2. the forwarders adjoining the *next* VNF in the chain, weighted by
+//      site-level routing weight x forwarder weight;
+//   3. the forwarders adjoining the *previous* VNF (reverse direction).
+// Selections are made per connection on the first packet and then pinned
+// in the flow table.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/flow_table.hpp"
+#include "dataplane/packet.hpp"
+
+namespace switchboard::dataplane {
+
+/// A weighted set of candidate elements with O(log n) selection by
+/// cumulative weight.
+class WeightedChoice {
+ public:
+  void add(ElementId element, double weight);
+  void clear();
+  [[nodiscard]] bool empty() const { return elements_.empty(); }
+  [[nodiscard]] std::size_t size() const { return elements_.size(); }
+
+  /// Picks deterministically from a 64-bit selector (e.g. a flow hash or
+  /// an RNG draw): the same selector always picks the same element for an
+  /// unchanged rule.
+  [[nodiscard]] ElementId pick(std::uint64_t selector) const;
+
+  [[nodiscard]] const std::vector<ElementId>& elements() const {
+    return elements_;
+  }
+  [[nodiscard]] double total_weight() const {
+    return cumulative_.empty() ? 0.0 : cumulative_.back();
+  }
+  [[nodiscard]] double weight_of(ElementId element) const;
+
+ private:
+  std::vector<ElementId> elements_;
+  std::vector<double> cumulative_;
+};
+
+/// The three weighted rule sets for one (chain, egress) pair.
+struct LoadBalanceRule {
+  WeightedChoice vnf_instances;
+  WeightedChoice next_forwarders;
+  WeightedChoice prev_forwarders;
+  /// When the chain ends at this site, the egress edge element.
+  ElementId egress_edge{kNoElement};
+};
+
+class RuleTable {
+ public:
+  /// Inserts or replaces the rule for (chain, egress) labels.
+  void install(const Labels& labels, LoadBalanceRule rule);
+  void remove(const Labels& labels);
+  [[nodiscard]] const LoadBalanceRule* find(const Labels& labels) const;
+  [[nodiscard]] LoadBalanceRule* find_mutable(const Labels& labels);
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+
+ private:
+  struct LabelsHash {
+    std::size_t operator()(const Labels& labels) const {
+      return static_cast<std::size_t>(
+          mix64((static_cast<std::uint64_t>(labels.chain) << 32) |
+                labels.egress_site));
+    }
+  };
+  std::unordered_map<Labels, LoadBalanceRule, LabelsHash> rules_;
+};
+
+}  // namespace switchboard::dataplane

@@ -1,0 +1,73 @@
+// Packet and label definitions for the Switchboard data plane (Section 3).
+//
+// An ingress edge instance affixes two labels to the first packet of a
+// connection: the service-chain label (identifying customer + chain) and
+// the egress-site label.  Forwarders key their flow tables on
+// (labels, 5-tuple).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace switchboard::dataplane {
+
+struct FiveTuple {
+  std::uint32_t src_ip{0};
+  std::uint32_t dst_ip{0};
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint8_t protocol{0};
+
+  friend constexpr bool operator==(const FiveTuple&, const FiveTuple&) =
+      default;
+
+  /// The same connection seen from the opposite direction.
+  [[nodiscard]] constexpr FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+};
+
+/// The two Switchboard overlay labels (MPLS labels in the prototype).
+struct Labels {
+  std::uint32_t chain{0};        // customer + service chain
+  std::uint32_t egress_site{0};  // egress edge site
+
+  friend constexpr bool operator==(const Labels&, const Labels&) = default;
+};
+
+enum class Direction : std::uint8_t { kForward, kReverse };
+
+struct Packet {
+  FiveTuple flow;
+  Labels labels;
+  Direction direction{Direction::kForward};
+  std::uint16_t size_bytes{64};
+  /// Data-plane element (forwarder or edge instance) the packet arrived
+  /// from; used to learn the previous hop for symmetric return.
+  std::uint32_t arrival_source{0};
+};
+
+/// 64-bit mix (splitmix64 finalizer) used by all data-plane hash tables.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hash of a connection within a chain: combines labels and 5-tuple.
+constexpr std::uint64_t flow_hash(const Labels& labels,
+                                  const FiveTuple& tuple) {
+  const std::uint64_t a =
+      (static_cast<std::uint64_t>(tuple.src_ip) << 32) | tuple.dst_ip;
+  const std::uint64_t b =
+      (static_cast<std::uint64_t>(tuple.src_port) << 48) |
+      (static_cast<std::uint64_t>(tuple.dst_port) << 32) |
+      (static_cast<std::uint64_t>(tuple.protocol) << 24) | labels.chain;
+  const std::uint64_t c = labels.egress_site;
+  return mix64(a ^ mix64(b ^ mix64(c)));
+}
+
+}  // namespace switchboard::dataplane

@@ -1,0 +1,51 @@
+#include "dataplane/traffic_gen.hpp"
+
+#include <cassert>
+
+namespace switchboard::dataplane {
+
+PacketStream::PacketStream(const TrafficGenConfig& config) : config_{config} {
+  assert(config.flow_count > 0);
+  assert(config.reverse_fraction >= 0.0 && config.reverse_fraction <= 1.0);
+}
+
+FiveTuple PacketStream::flow_tuple(std::uint32_t flow_index) const {
+  const std::uint64_t h = mix64(config_.seed ^ (0xF10Cull << 32) ^ flow_index);
+  FiveTuple tuple;
+  tuple.src_ip = 0x0A000000u | (flow_index & 0x00FFFFFFu);        // 10.x.y.z
+  tuple.dst_ip = 0xC0A80000u | static_cast<std::uint32_t>(h & 0xFFFF);
+  tuple.src_port = static_cast<std::uint16_t>(1024 + (h >> 16 & 0x7FFF));
+  tuple.dst_port = 80;
+  tuple.protocol = 17;   // UDP
+  return tuple;
+}
+
+Packet PacketStream::next() {
+  Packet packet;
+  packet.flow = flow_tuple(next_flow_);
+  packet.labels = config_.labels;
+  packet.size_bytes = config_.packet_size;
+  // Deterministic direction pattern approximating the requested mix.
+  if (config_.reverse_fraction > 0.0) {
+    const std::uint64_t h = mix64(packet_counter_ ^ config_.seed);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < config_.reverse_fraction) {
+      packet.direction = Direction::kReverse;
+      packet.flow = packet.flow.reversed();
+    }
+  }
+  ++packet_counter_;
+  next_flow_ = (next_flow_ + 1) % config_.flow_count;
+  return packet;
+}
+
+std::vector<Packet> make_packet_batch(const TrafficGenConfig& config,
+                                      std::size_t count) {
+  PacketStream stream{config};
+  std::vector<Packet> packets;
+  packets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) packets.push_back(stream.next());
+  return packets;
+}
+
+}  // namespace switchboard::dataplane

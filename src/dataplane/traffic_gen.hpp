@@ -1,0 +1,43 @@
+// Synthetic packet generation (substitute for the paper's MoonGen traffic
+// generator): minimum-size UDP packets distributed uniformly over a fixed
+// number of flows, as in the Fig. 8 setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/packet.hpp"
+
+namespace switchboard::dataplane {
+
+struct TrafficGenConfig {
+  std::uint32_t flow_count{1};
+  Labels labels{1, 1};
+  std::uint16_t packet_size{64};
+  /// Fraction of generated packets in the reverse direction.
+  double reverse_fraction{0.0};
+  std::uint64_t seed{1};
+};
+
+/// Deterministic stream of packets, round-robin across flows (uniform flow
+/// distribution).  Flow k's 5-tuple is a pure function of (seed, k).
+class PacketStream {
+ public:
+  explicit PacketStream(const TrafficGenConfig& config);
+
+  [[nodiscard]] Packet next();
+  /// 5-tuple of a given flow index (forward direction).
+  [[nodiscard]] FiveTuple flow_tuple(std::uint32_t flow_index) const;
+  [[nodiscard]] const TrafficGenConfig& config() const { return config_; }
+
+ private:
+  TrafficGenConfig config_;
+  std::uint32_t next_flow_{0};
+  std::uint64_t packet_counter_{0};
+};
+
+/// Materializes `count` packets (convenience for benchmarks).
+[[nodiscard]] std::vector<Packet> make_packet_batch(
+    const TrafficGenConfig& config, std::size_t count);
+
+}  // namespace switchboard::dataplane

@@ -1,0 +1,123 @@
+#include "lp/mip.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace switchboard::lp {
+namespace {
+
+struct Fixing {
+  VarIndex var;
+  double value;   // 0.0 or 1.0
+};
+
+Problem with_fixings(const Problem& base, const std::vector<Fixing>& fixings) {
+  Problem p = base;
+  for (const Fixing& f : fixings) {
+    p.add_constraint(Relation::kEqual, f.value, {{f.var, 1.0}}, "branch");
+  }
+  return p;
+}
+
+}  // namespace
+
+MipSolution solve_mip(const Problem& problem,
+                      const std::vector<VarIndex>& binary_vars,
+                      const MipOptions& options) {
+  MipSolution best;
+  const bool minimize = problem.sense() == Sense::kMinimize;
+  const double worst = minimize ? std::numeric_limits<double>::infinity()
+                                : -std::numeric_limits<double>::infinity();
+  double incumbent = worst;
+
+  // `improves(a, b)`: is objective a strictly better than b?
+  const auto improves = [minimize](double a, double b) {
+    return minimize ? a < b : a > b;
+  };
+  // Can a relaxation bound still beat the incumbent (within gap)?
+  const auto promising = [&](double bound) {
+    if (incumbent == worst) return true;
+    const double slack = std::abs(incumbent) * options.gap_tol + 1e-12;
+    return minimize ? bound < incumbent - slack : bound > incumbent + slack;
+  };
+
+  // Depth-first stack of fixings.
+  std::vector<std::vector<Fixing>> stack;
+  stack.push_back({});
+  bool any_feasible = false;
+
+  while (!stack.empty() && best.nodes_explored < options.max_nodes) {
+    const std::vector<Fixing> fixings = std::move(stack.back());
+    stack.pop_back();
+    ++best.nodes_explored;
+
+    const Problem node = with_fixings(problem, fixings);
+    const Solution relax = solve(node, options.lp);
+    if (relax.status == SolveStatus::kInfeasible) continue;
+    if (relax.status == SolveStatus::kUnbounded) {
+      best.status = SolveStatus::kUnbounded;
+      return best;
+    }
+    if (relax.status == SolveStatus::kIterationLimit) continue;
+    any_feasible = true;
+    if (!promising(relax.objective)) continue;
+
+    // Most fractional binary variable.
+    VarIndex branch_var = problem.variable_count();
+    double branch_score = options.integrality_tol;
+    for (const VarIndex v : binary_vars) {
+      const double x = relax.values[v];
+      const double frac = std::abs(x - std::round(x));
+      if (frac > branch_score) {
+        branch_score = frac;
+        branch_var = v;
+      }
+    }
+
+    if (branch_var == problem.variable_count()) {
+      // Integral solution.
+      if (incumbent == worst || improves(relax.objective, incumbent)) {
+        incumbent = relax.objective;
+        best.objective = relax.objective;
+        best.values = relax.values;
+        // Snap binaries exactly.
+        for (const VarIndex v : binary_vars) {
+          best.values[v] = std::round(best.values[v]);
+        }
+      }
+      continue;
+    }
+
+    // Branch: explore the rounded-toward side first (DFS order means the
+    // later-pushed child is explored first).
+    const double x = relax.values[branch_var];
+    std::vector<Fixing> lo = fixings;
+    lo.push_back({branch_var, 0.0});
+    std::vector<Fixing> hi = fixings;
+    hi.push_back({branch_var, 1.0});
+    if (x >= 0.5) {
+      stack.push_back(std::move(lo));
+      stack.push_back(std::move(hi));
+    } else {
+      stack.push_back(std::move(hi));
+      stack.push_back(std::move(lo));
+    }
+  }
+
+  if (!best.values.empty()) {
+    best.status = SolveStatus::kOptimal;
+  } else if (stack.empty()) {
+    // Search tree exhausted with no integral solution: the MIP itself is
+    // infeasible, even if LP relaxations along the way were feasible.
+    best.status = SolveStatus::kInfeasible;
+  } else {
+    best.status =
+        any_feasible ? SolveStatus::kIterationLimit : SolveStatus::kInfeasible;
+  }
+  return best;
+}
+
+}  // namespace switchboard::lp

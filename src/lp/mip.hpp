@@ -1,0 +1,42 @@
+// Branch-and-bound solver for mixed-integer programs with binary variables.
+//
+// Used by the VNF capacity-planning formulation (Section 4.3), where a
+// binary w_{fs} decides whether VNF f is newly placed at site s.  The LP
+// relaxations are solved by the revised simplex in simplex.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+
+namespace switchboard::lp {
+
+struct MipOptions {
+  SimplexOptions lp;
+  std::size_t max_nodes{10'000};
+  double integrality_tol{1e-6};
+  /// Relative optimality gap at which search stops.
+  double gap_tol{1e-6};
+};
+
+struct MipSolution {
+  SolveStatus status{SolveStatus::kIterationLimit};
+  double objective{0.0};
+  std::vector<double> values;
+  std::size_t nodes_explored{0};
+
+  [[nodiscard]] bool optimal() const {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+/// Solves `problem` where every variable listed in `binary_vars` must take
+/// a value in {0, 1}.  The problem must already contain the x <= 1 bound
+/// rows for those variables (the solver adds branching bounds on top).
+[[nodiscard]] MipSolution solve_mip(const Problem& problem,
+                                    const std::vector<VarIndex>& binary_vars,
+                                    const MipOptions& options = {});
+
+}  // namespace switchboard::lp

@@ -1,0 +1,81 @@
+// Linear-program builder.
+//
+// Switchboard's traffic-engineering formulations (Section 4.3) are
+// constructed as Problem instances and handed to the simplex solver — our
+// from-scratch substitute for the CPLEX suite the paper's prototype used.
+// All structural variables are non-negative; upper bounds, where a
+// formulation needs them, are expressed as explicit constraints.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace switchboard::lp {
+
+enum class Sense { kMinimize, kMaximize };
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+using VarIndex = std::size_t;
+
+/// One coefficient of a constraint row: `coeff * x[var]`.
+struct Term {
+  VarIndex var;
+  double coeff;
+};
+
+struct Constraint {
+  Relation relation;
+  double rhs;
+  std::vector<Term> terms;
+  std::string name;
+};
+
+class Problem {
+ public:
+  explicit Problem(Sense sense = Sense::kMinimize) : sense_{sense} {}
+
+  /// Adds a non-negative variable with the given objective coefficient.
+  VarIndex add_variable(double objective_coeff, std::string name = "");
+
+  /// Adds `sum(terms) relation rhs`.  Duplicate `var` entries in `terms`
+  /// are summed.  Returns the row index.
+  std::size_t add_constraint(Relation relation, double rhs,
+                             std::vector<Term> terms, std::string name = "");
+
+  void set_objective_coeff(VarIndex var, double coeff);
+  void set_sense(Sense sense) { sense_ = sense; }
+
+  [[nodiscard]] Sense sense() const { return sense_; }
+  [[nodiscard]] std::size_t variable_count() const { return objective_.size(); }
+  [[nodiscard]] std::size_t constraint_count() const {
+    return constraints_.size();
+  }
+  [[nodiscard]] double objective_coeff(VarIndex var) const;
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+  [[nodiscard]] const std::string& variable_name(VarIndex var) const;
+
+ private:
+  Sense sense_;
+  std::vector<double> objective_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> constraints_;
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+[[nodiscard]] const char* to_string(SolveStatus status);
+
+struct Solution {
+  SolveStatus status{SolveStatus::kIterationLimit};
+  double objective{0.0};
+  std::vector<double> values;   // one per structural variable
+
+  [[nodiscard]] bool optimal() const {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+}  // namespace switchboard::lp

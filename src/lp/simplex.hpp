@@ -1,0 +1,33 @@
+// Two-phase revised primal simplex.
+//
+// Engineering choices suited to Switchboard's TE problems (thousands of
+// sparse columns, hundreds-to-thousands of rows):
+//   * constraint matrix stored column-sparse,
+//   * dense basis inverse updated in O(m^2) per pivot,
+//   * periodic refactorization (Gauss-Jordan) to bound numerical drift,
+//   * Dantzig pricing with an automatic switch to Bland's rule when
+//     degeneracy stalls progress, guaranteeing termination.
+#pragma once
+
+#include <cstddef>
+
+#include "lp/problem.hpp"
+
+namespace switchboard::lp {
+
+struct SimplexOptions {
+  std::size_t max_iterations{200'000};
+  double feasibility_tol{1e-7};
+  double optimality_tol{1e-7};
+  double pivot_tol{1e-9};
+  /// Rebuild the basis inverse from scratch every this many pivots.
+  std::size_t refactor_interval{256};
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  std::size_t degeneracy_threshold{64};
+};
+
+/// Solves `problem`; `options` tunes tolerances and limits.
+[[nodiscard]] Solution solve(const Problem& problem,
+                             const SimplexOptions& options = {});
+
+}  // namespace switchboard::lp

@@ -1,0 +1,224 @@
+#include "model/network_model.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace switchboard::model {
+
+bool Vnf::deployed_at(SiteId site) const {
+  for (const VnfDeployment& d : deployments) {
+    if (d.site == site) return true;
+  }
+  return false;
+}
+
+double Vnf::capacity_at(SiteId site) const {
+  for (const VnfDeployment& d : deployments) {
+    if (d.site == site) return d.capacity;
+  }
+  return 0.0;
+}
+
+double Chain::total_traffic() const {
+  double total = 0.0;
+  for (std::size_t z = 1; z <= stage_count(); ++z) total += stage_traffic(z);
+  return total;
+}
+
+NetworkModel::NetworkModel(net::Topology topology)
+    : topology_{std::make_unique<net::Topology>(std::move(topology))},
+      routing_{std::make_unique<net::Routing>(*topology_)},
+      background_(topology_->link_count(), 0.0),
+      site_at_node_(topology_->node_count()) {}
+
+void NetworkModel::set_background_traffic(LinkId link, double volume) {
+  assert(link.value() < background_.size());
+  assert(volume >= 0);
+  background_[link.value()] = volume;
+}
+
+double NetworkModel::background_traffic(LinkId link) const {
+  assert(link.value() < background_.size());
+  return background_[link.value()];
+}
+
+void NetworkModel::set_mlu_limit(double beta) {
+  assert(beta > 0 && beta <= 1.0);
+  beta_ = beta;
+}
+
+SiteId NetworkModel::add_site(NodeId node, double compute_capacity,
+                              std::string name) {
+  assert(node.value() < topology_->node_count());
+  assert(!site_at_node_[node.value()].has_value());   // one site per node
+  const SiteId id{static_cast<SiteId::underlying_type>(sites_.size())};
+  if (name.empty()) name = "site@" + topology_->node(node).name;
+  sites_.push_back(CloudSite{id, node, compute_capacity, std::move(name)});
+  site_at_node_[node.value()] = id;
+  return id;
+}
+
+const CloudSite& NetworkModel::site(SiteId id) const {
+  assert(id.valid() && id.value() < sites_.size());
+  return sites_[id.value()];
+}
+
+std::optional<SiteId> NetworkModel::site_at(NodeId node) const {
+  assert(node.value() < site_at_node_.size());
+  return site_at_node_[node.value()];
+}
+
+VnfId NetworkModel::add_vnf(std::string name, double load_per_unit) {
+  assert(load_per_unit >= 0);
+  const VnfId id{static_cast<VnfId::underlying_type>(vnfs_.size())};
+  vnfs_.push_back(Vnf{id, std::move(name), load_per_unit, {}});
+  return id;
+}
+
+void NetworkModel::deploy_vnf(VnfId vnf_id, SiteId site_id, double capacity) {
+  assert(capacity > 0);
+  Vnf& f = vnf_mutable(vnf_id);
+  assert(!f.deployed_at(site_id));
+  assert(site_id.value() < sites_.size());
+  f.deployments.push_back(VnfDeployment{site_id, capacity});
+}
+
+void NetworkModel::undeploy_vnf(VnfId vnf_id, SiteId site_id) {
+  Vnf& f = vnf_mutable(vnf_id);
+  std::erase_if(f.deployments, [site_id](const VnfDeployment& d) {
+    return d.site == site_id;
+  });
+}
+
+void NetworkModel::set_vnf_site_capacity(VnfId vnf_id, SiteId site_id,
+                                         double capacity) {
+  assert(capacity > 0);
+  Vnf& f = vnf_mutable(vnf_id);
+  for (VnfDeployment& d : f.deployments) {
+    if (d.site == site_id) {
+      d.capacity = capacity;
+      return;
+    }
+  }
+  assert(false && "set_vnf_site_capacity: VNF not deployed at site");
+}
+
+void NetworkModel::set_site_capacity(SiteId site_id, double capacity) {
+  assert(site_id.valid() && site_id.value() < sites_.size());
+  assert(capacity >= 0);
+  sites_[site_id.value()].compute_capacity = capacity;
+}
+
+const Vnf& NetworkModel::vnf(VnfId id) const {
+  assert(id.valid() && id.value() < vnfs_.size());
+  return vnfs_[id.value()];
+}
+
+Vnf& NetworkModel::vnf_mutable(VnfId id) {
+  assert(id.valid() && id.value() < vnfs_.size());
+  return vnfs_[id.value()];
+}
+
+ChainId NetworkModel::add_chain(Chain chain) {
+  const ChainId id{static_cast<ChainId::underlying_type>(chains_.size())};
+  chain.id = id;
+  if (chain.name.empty()) chain.name = "chain" + std::to_string(id.value());
+  chains_.push_back(std::move(chain));
+  return id;
+}
+
+const Chain& NetworkModel::chain(ChainId id) const {
+  assert(id.valid() && id.value() < chains_.size());
+  return chains_[id.value()];
+}
+
+Chain& NetworkModel::chain_mutable(ChainId id) {
+  assert(id.valid() && id.value() < chains_.size());
+  return chains_[id.value()];
+}
+
+std::vector<StageEndpoint> NetworkModel::stage_sources(
+    const Chain& chain, std::size_t z) const {
+  assert(z >= 1 && z <= chain.stage_count());
+  std::vector<StageEndpoint> endpoints;
+  if (z == 1) {
+    endpoints.push_back(StageEndpoint{chain.ingress, SiteId{}});
+    return endpoints;
+  }
+  const Vnf& f = vnf(chain.vnfs[z - 2]);
+  endpoints.reserve(f.deployments.size());
+  for (const VnfDeployment& d : f.deployments) {
+    endpoints.push_back(StageEndpoint{site(d.site).node, d.site});
+  }
+  return endpoints;
+}
+
+std::vector<StageEndpoint> NetworkModel::stage_destinations(
+    const Chain& chain, std::size_t z) const {
+  assert(z >= 1 && z <= chain.stage_count());
+  std::vector<StageEndpoint> endpoints;
+  if (z == chain.stage_count()) {
+    endpoints.push_back(StageEndpoint{chain.egress, SiteId{}});
+    return endpoints;
+  }
+  const Vnf& f = vnf(chain.vnfs[z - 1]);
+  endpoints.reserve(f.deployments.size());
+  for (const VnfDeployment& d : f.deployments) {
+    endpoints.push_back(StageEndpoint{site(d.site).node, d.site});
+  }
+  return endpoints;
+}
+
+Status NetworkModel::validate() const {
+  for (const Chain& c : chains_) {
+    if (c.ingress.value() >= topology_->node_count() ||
+        c.egress.value() >= topology_->node_count()) {
+      return Status{ErrorCode::kInvalidArgument,
+                    c.name + ": ingress/egress node out of range"};
+    }
+    if (c.forward_traffic.size() != c.stage_count() ||
+        c.reverse_traffic.size() != c.stage_count()) {
+      return Status{ErrorCode::kInvalidArgument,
+                    c.name + ": traffic vectors must have |F_c|+1 entries"};
+    }
+    for (const VnfId f : c.vnfs) {
+      if (!f.valid() || f.value() >= vnfs_.size()) {
+        return Status{ErrorCode::kInvalidArgument,
+                      c.name + ": unknown VNF in chain"};
+      }
+      if (vnfs_[f.value()].deployments.empty()) {
+        return Status{ErrorCode::kInvalidArgument,
+                      c.name + ": VNF " + vnfs_[f.value()].name +
+                          " has no deployment sites"};
+      }
+    }
+    for (std::size_t z = 1; z <= c.stage_count(); ++z) {
+      if (c.forward_traffic[z - 1] < 0 || c.reverse_traffic[z - 1] < 0) {
+        return Status{ErrorCode::kInvalidArgument,
+                      c.name + ": negative stage traffic"};
+      }
+    }
+  }
+  for (const Vnf& f : vnfs_) {
+    double total = 0.0;
+    for (const VnfDeployment& d : f.deployments) {
+      if (d.site.value() >= sites_.size()) {
+        return Status{ErrorCode::kInvalidArgument,
+                      f.name + ": deployment at unknown site"};
+      }
+      total += d.capacity;
+    }
+    (void)total;
+  }
+  return Status::ok_status();
+}
+
+void NetworkModel::scale_all_traffic(double factor) {
+  assert(factor >= 0);
+  for (Chain& c : chains_) {
+    for (auto& w : c.forward_traffic) w *= factor;
+    for (auto& v : c.reverse_traffic) v *= factor;
+  }
+}
+
+}  // namespace switchboard::model

@@ -1,0 +1,142 @@
+// Global Switchboard's network model (paper Table 1).
+//
+// Aggregates everything the traffic-engineering layer needs:
+//   * the underlay: nodes N, links E (b_e), routing fractions r_{n1 n2 e},
+//     delays d_{n1 n2}, background traffic g_e, and the MLU bound beta;
+//   * cloud sites S (subset of N) with compute capacity m_s;
+//   * the VNF catalog F: deployment sites S_f, per-site capacity m_sf, and
+//     load per unit traffic l_f;
+//   * customer chains C: ingress i_c, egress e_c, VNF list F_c, and
+//     per-stage forward/reverse traffic w_cz / v_cz.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace switchboard::model {
+
+struct CloudSite {
+  SiteId id;
+  NodeId node;                 // colocated network node
+  double compute_capacity{0};  // m_s
+  std::string name;
+};
+
+/// One deployment of a VNF at a site, with capacity m_sf.
+struct VnfDeployment {
+  SiteId site;
+  double capacity{0};
+};
+
+struct Vnf {
+  VnfId id;
+  std::string name;
+  double load_per_unit{1.0};   // l_f: compute load per unit of traffic
+  std::vector<VnfDeployment> deployments;   // the sites S_f
+
+  [[nodiscard]] bool deployed_at(SiteId site) const;
+  [[nodiscard]] double capacity_at(SiteId site) const;   // 0 if absent
+};
+
+struct Chain {
+  ChainId id;
+  std::string name;
+  NodeId ingress;   // i_c
+  NodeId egress;    // e_c
+  std::vector<VnfId> vnfs;             // F_c, ordered
+  std::vector<double> forward_traffic; // w_cz, size |F_c| + 1
+  std::vector<double> reverse_traffic; // v_cz, size |F_c| + 1
+
+  /// Number of stages = |F_c| + 1 (paper's z ranges over 1..|F_c|+1).
+  [[nodiscard]] std::size_t stage_count() const { return vnfs.size() + 1; }
+  [[nodiscard]] double stage_traffic(std::size_t z) const {
+    return forward_traffic[z - 1] + reverse_traffic[z - 1];
+  }
+  [[nodiscard]] double total_traffic() const;
+};
+
+/// One candidate endpoint of a chain stage: a network node, plus the cloud
+/// site when the endpoint is a VNF location (invalid SiteId for the chain's
+/// ingress/egress edge nodes).
+struct StageEndpoint {
+  NodeId node;
+  SiteId site;   // invalid for ingress/egress endpoints
+};
+
+class NetworkModel {
+ public:
+  /// Takes ownership of the topology; routing (delays + ECMP fractions) is
+  /// computed immediately.  The topology lives behind a pointer so the
+  /// model is safely movable (Routing holds a reference to it).
+  explicit NetworkModel(net::Topology topology);
+
+  NetworkModel(NetworkModel&&) = default;
+  NetworkModel& operator=(NetworkModel&&) = default;
+
+  // --- underlay -----------------------------------------------------------
+  [[nodiscard]] const net::Topology& topology() const { return *topology_; }
+  [[nodiscard]] const net::Routing& routing() const { return *routing_; }
+  [[nodiscard]] double delay_ms(NodeId a, NodeId b) const {
+    return routing_->delay_ms(a, b);
+  }
+  void set_background_traffic(LinkId link, double volume);
+  [[nodiscard]] double background_traffic(LinkId link) const;
+  void set_mlu_limit(double beta);   // in (0, 1]
+  [[nodiscard]] double mlu_limit() const { return beta_; }
+
+  // --- cloud sites --------------------------------------------------------
+  SiteId add_site(NodeId node, double compute_capacity, std::string name = "");
+  [[nodiscard]] const CloudSite& site(SiteId id) const;
+  [[nodiscard]] const std::vector<CloudSite>& sites() const { return sites_; }
+  /// The site colocated with `node`, if any.
+  [[nodiscard]] std::optional<SiteId> site_at(NodeId node) const;
+
+  // --- VNF catalog --------------------------------------------------------
+  VnfId add_vnf(std::string name, double load_per_unit);
+  void deploy_vnf(VnfId vnf, SiteId site, double capacity);
+  /// Removes a deployment (used by planners for what-if evaluation).
+  void undeploy_vnf(VnfId vnf, SiteId site);
+  void set_vnf_site_capacity(VnfId vnf, SiteId site, double capacity);
+  void set_site_capacity(SiteId site, double capacity);
+  [[nodiscard]] const Vnf& vnf(VnfId id) const;
+  [[nodiscard]] Vnf& vnf_mutable(VnfId id);
+  [[nodiscard]] const std::vector<Vnf>& vnfs() const { return vnfs_; }
+
+  // --- chains -------------------------------------------------------------
+  ChainId add_chain(Chain chain);   // id assigned by the model
+  [[nodiscard]] const Chain& chain(ChainId id) const;
+  [[nodiscard]] Chain& chain_mutable(ChainId id);
+  [[nodiscard]] const std::vector<Chain>& chains() const { return chains_; }
+
+  /// Candidate sources of stage z of a chain: Eq. (1).
+  [[nodiscard]] std::vector<StageEndpoint> stage_sources(
+      const Chain& chain, std::size_t z) const;
+  /// Candidate destinations of stage z of a chain: Eq. (2).
+  [[nodiscard]] std::vector<StageEndpoint> stage_destinations(
+      const Chain& chain, std::size_t z) const;
+
+  /// Structural validation (sizes, references, deployments).
+  [[nodiscard]] Status validate() const;
+
+  /// Scales the traffic of every chain (and stage) by `factor`.
+  void scale_all_traffic(double factor);
+
+ private:
+  std::unique_ptr<net::Topology> topology_;
+  std::unique_ptr<net::Routing> routing_;
+  std::vector<double> background_;   // per link
+  double beta_{1.0};
+  std::vector<CloudSite> sites_;
+  std::vector<std::optional<SiteId>> site_at_node_;
+  std::vector<Vnf> vnfs_;
+  std::vector<Chain> chains_;
+};
+
+}  // namespace switchboard::model

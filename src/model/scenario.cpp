@@ -1,0 +1,175 @@
+#include "model/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/traffic_matrix.hpp"
+
+namespace switchboard::model {
+
+NetworkModel make_scenario(const ScenarioParams& params) {
+  assert(params.coverage > 0.0 && params.coverage <= 1.0);
+  assert(params.min_chain_length >= 1);
+  assert(params.min_chain_length <= params.max_chain_length);
+
+  Rng rng{params.seed};
+  NetworkModel model{net::make_tier1_topology(params.topology)};
+  const net::Topology& topo = model.topology();
+  const std::size_t n = topo.node_count();
+
+  model.set_mlu_limit(params.mlu_limit);
+
+  // Every node hosts a homogeneous cloud site.
+  std::vector<SiteId> sites;
+  sites.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sites.push_back(
+        model.add_site(NodeId{static_cast<NodeId::underlying_type>(i)},
+                       params.site_capacity));
+  }
+
+  // VNF catalog: each VNF picks a random `coverage` fraction of sites.
+  const std::size_t sites_per_vnf = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params.coverage *
+                                  static_cast<double>(sites.size()) + 0.5));
+  std::vector<VnfId> catalog;
+  std::vector<double> traffic_multiplier;
+  std::vector<std::vector<VnfId>> vnfs_at_site(sites.size());
+  catalog.reserve(params.vnf_count);
+  for (std::size_t f = 0; f < params.vnf_count; ++f) {
+    const VnfId vnf =
+        model.add_vnf("vnf" + std::to_string(f), params.cpu_per_unit);
+    catalog.push_back(vnf);
+    traffic_multiplier.push_back(
+        params.vnf_traffic_sigma > 0
+            ? std::exp(rng.normal(0.0, params.vnf_traffic_sigma))
+            : 1.0);
+    for (const std::size_t s :
+         rng.sample_without_replacement(sites.size(), sites_per_vnf)) {
+      vnfs_at_site[s].push_back(vnf);
+    }
+  }
+  // Site capacity divides equally among the VNFs present at the site.
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const auto& present = vnfs_at_site[s];
+    if (present.empty()) continue;
+    const double share =
+        params.site_capacity / static_cast<double>(present.size());
+    for (const VnfId vnf : present) {
+      model.deploy_vnf(vnf, sites[s], share);
+    }
+  }
+
+  // Chain demand weights follow a gravity traffic matrix: a chain sourced
+  // at a heavy node carries proportionally more traffic.
+  net::GravityParams gravity;
+  gravity.seed = rng();
+  gravity.total_volume = params.total_chain_traffic;
+  const net::TrafficMatrix tm = net::make_gravity_matrix(topo, gravity);
+
+  struct PendingChain {
+    NodeId ingress;
+    NodeId egress;
+    std::vector<VnfId> vnfs;
+    double weight;
+  };
+  std::vector<PendingChain> pending;
+  pending.reserve(params.chain_count);
+  double weight_total = 0.0;
+  for (std::size_t c = 0; c < params.chain_count; ++c) {
+    PendingChain pc;
+    pc.ingress = NodeId{static_cast<NodeId::underlying_type>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))};
+    do {
+      pc.egress = NodeId{static_cast<NodeId::underlying_type>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))};
+    } while (pc.egress == pc.ingress);
+
+    const auto length = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(
+            std::min(params.min_chain_length, params.vnf_count)),
+        static_cast<std::int64_t>(
+            std::min(params.max_chain_length, params.vnf_count))));
+    // Pick distinct VNFs, then order them by catalog id: the "canonical
+    // order of VNFs in service chains" (firewall before NAT, etc.).
+    auto picks = rng.sample_without_replacement(params.vnf_count, length);
+    std::sort(picks.begin(), picks.end());
+    pc.vnfs.reserve(length);
+    for (const std::size_t p : picks) pc.vnfs.push_back(catalog[p]);
+
+    pc.weight = tm.node_out_volume(pc.ingress);
+    weight_total += pc.weight;
+    pending.push_back(std::move(pc));
+  }
+
+  for (PendingChain& pc : pending) {
+    Chain chain;
+    chain.ingress = pc.ingress;
+    chain.egress = pc.egress;
+    chain.vnfs = std::move(pc.vnfs);
+    const double traffic = weight_total > 0
+        ? params.total_chain_traffic * pc.weight / weight_total
+        : params.total_chain_traffic /
+              static_cast<double>(params.chain_count);
+    const std::size_t stages = chain.vnfs.size() + 1;
+    chain.forward_traffic.resize(stages);
+    chain.reverse_traffic.resize(stages);
+    double stage_traffic = traffic;
+    for (std::size_t z = 0; z < stages; ++z) {
+      chain.forward_traffic[z] = stage_traffic;
+      chain.reverse_traffic[z] = stage_traffic * params.reverse_ratio;
+      if (z < chain.vnfs.size()) {
+        stage_traffic *= traffic_multiplier[chain.vnfs[z].value()];
+      }
+    }
+    model.add_chain(std::move(chain));
+  }
+
+  // Background (non-Switchboard) traffic: a second gravity matrix routed
+  // over the underlay's ECMP shares, at `background_ratio` of chain volume.
+  net::GravityParams bg;
+  bg.seed = rng();
+  bg.total_volume = params.background_ratio * params.total_chain_traffic;
+  const net::TrafficMatrix bg_tm = net::make_gravity_matrix(topo, bg);
+  std::vector<double> link_load(topo.link_count(), 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const NodeId src{static_cast<NodeId::underlying_type>(s)};
+      const NodeId dst{static_cast<NodeId::underlying_type>(t)};
+      const double demand = bg_tm.demand(src, dst);
+      if (demand <= 0) continue;
+      for (const net::LinkShare& share : model.routing().link_shares(src, dst)) {
+        link_load[share.link.value()] += demand * share.fraction;
+      }
+    }
+  }
+  for (std::size_t e = 0; e < link_load.size(); ++e) {
+    model.set_background_traffic(LinkId{static_cast<LinkId::underlying_type>(e)},
+                                 link_load[e]);
+  }
+
+  return model;
+}
+
+TwoSiteModel make_two_site_model(const TwoSiteParams& params) {
+  net::Topology topo;
+  const NodeId a = topo.add_node("siteA", 0, 0);
+  const NodeId b = topo.add_node("siteB",
+                                 params.inter_site_delay_ms * 200.0, 0);
+  topo.add_duplex_link(a, b, params.link_capacity,
+                       params.inter_site_delay_ms);
+
+  NetworkModel model{std::move(topo)};
+  const SiteId sa = model.add_site(a, params.site_capacity, "A");
+  const SiteId sb = model.add_site(b, params.site_capacity, "B");
+  const VnfId vnf = model.add_vnf("firewall", params.vnf_load_per_unit);
+  model.deploy_vnf(vnf, sa, params.vnf_capacity_a);
+  model.deploy_vnf(vnf, sb, params.vnf_capacity_b);
+  return TwoSiteModel{std::move(model), sa, sb, vnf, a, b};
+}
+
+}  // namespace switchboard::model

@@ -1,0 +1,71 @@
+// Random scenario generator mirroring the simulation setup of Section 7.3:
+// a tier-1-like backbone where every node hosts a homogeneous cloud site, a
+// VNF catalog placed at a random `coverage` fraction of sites (site capacity
+// divided equally among the VNFs present), and randomly-sourced chains of
+// 3-5 VNFs whose order respects a global VNF ordering and whose traffic is
+// proportional to the gravity-model volume at the ingress.
+#pragma once
+
+#include <cstdint>
+
+#include "model/network_model.hpp"
+#include "net/topology_gen.hpp"
+
+namespace switchboard::model {
+
+struct ScenarioParams {
+  net::Tier1Params topology{};
+
+  // Cloud.
+  double site_capacity{1000.0};   // m_s, homogeneous (paper Section 7.3)
+
+  // VNF catalog.
+  std::size_t vnf_count{20};
+  double coverage{0.5};           // fraction of sites hosting each VNF
+  double cpu_per_unit{1.0};       // l_f (the paper's CPU/byte knob)
+
+  // Chains.
+  std::size_t chain_count{200};
+  std::size_t min_chain_length{3};
+  std::size_t max_chain_length{5};
+  double total_chain_traffic{400.0};   // sum of w_c over chains
+  double reverse_ratio{0.25};          // v_cz = ratio * w_cz
+  /// Lognormal sigma of each VNF's traffic multiplier: a VNF may shrink
+  /// (compressor, cache) or grow (decryptor) the traffic it forwards, so
+  /// stage traffic w_cz varies along the chain.  0 = volume-preserving.
+  double vnf_traffic_sigma{0.0};
+
+  // Underlay.
+  double background_ratio{0.25};   // background:switchboard = 1:4
+  double mlu_limit{1.0};
+
+  std::uint64_t seed{11};
+};
+
+/// Builds the full network model for one experiment run.
+[[nodiscard]] NetworkModel make_scenario(const ScenarioParams& params);
+
+/// A small two-site model used by end-to-end comparison experiments
+/// (Fig. 11): sites A and B joined by one wide-area link with the given
+/// one-way delay, a single VNF deployed at both with the given capacities.
+struct TwoSiteParams {
+  double inter_site_delay_ms{75.0};   // one-way (AWS testbed: 150 ms RTT)
+  double link_capacity{100.0};
+  double site_capacity{100.0};
+  double vnf_capacity_a{10.0};
+  double vnf_capacity_b{10.0};
+  double vnf_load_per_unit{1.0};
+};
+
+struct TwoSiteModel {
+  NetworkModel model;
+  SiteId site_a;
+  SiteId site_b;
+  VnfId vnf;
+  NodeId node_a;
+  NodeId node_b;
+};
+
+[[nodiscard]] TwoSiteModel make_two_site_model(const TwoSiteParams& params);
+
+}  // namespace switchboard::model

@@ -1,0 +1,146 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace switchboard::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Tolerance for "lies on a shortest path" comparisons of summed latencies.
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+Routing::Routing(const Topology& topo)
+    : topo_{topo}, n_{topo.node_count()} {
+  delay_.assign(n_ * n_, kInf);
+  shares_.resize(n_ * n_);
+
+  std::vector<double> dist(n_);
+  std::vector<double> flow(n_);
+  std::vector<NodeId> order;   // nodes by decreasing distance-to-destination
+  order.reserve(n_);
+
+  // One Dijkstra per *destination* over reversed links, then ECMP flow
+  // propagation from every source over the shortest-path DAG.
+  for (std::size_t t_idx = 0; t_idx < n_; ++t_idx) {
+    const NodeId t{static_cast<NodeId::underlying_type>(t_idx)};
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[t_idx] = 0.0;
+
+    using QueueEntry = std::pair<double, std::uint32_t>;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<>> frontier;
+    frontier.emplace(0.0, t.value());
+    while (!frontier.empty()) {
+      const auto [d, u] = frontier.top();
+      frontier.pop();
+      if (d > dist[u] + kEps) continue;
+      // Relax reversed: incoming links of u move us "backward" from u.
+      for (const LinkId lid : topo_.in_links(NodeId{u})) {
+        const Link& link = topo_.link(lid);
+        const auto v = link.src.value();
+        const double nd = d + link.latency_ms;
+        if (nd + kEps < dist[v]) {
+          dist[v] = nd;
+          frontier.emplace(nd, v);
+        }
+      }
+    }
+
+    for (std::size_t s_idx = 0; s_idx < n_; ++s_idx) {
+      delay_[s_idx * n_ + t_idx] = dist[s_idx];
+    }
+
+    // ECMP next hops per node for this destination.
+    std::vector<std::vector<LinkId>> next_hops(n_);
+    for (std::size_t u = 0; u < n_; ++u) {
+      if (!std::isfinite(dist[u]) || u == t_idx) continue;
+      for (const LinkId lid : topo_.out_links(
+               NodeId{static_cast<NodeId::underlying_type>(u)})) {
+        const Link& link = topo_.link(lid);
+        const auto v = link.dst.value();
+        if (std::isfinite(dist[v]) &&
+            std::abs(dist[u] - (link.latency_ms + dist[v])) <= kEps) {
+          next_hops[u].push_back(lid);
+        }
+      }
+    }
+
+    order.clear();
+    for (std::size_t u = 0; u < n_; ++u) {
+      if (std::isfinite(dist[u]) && u != t_idx) {
+        order.push_back(NodeId{static_cast<NodeId::underlying_type>(u)});
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return dist[a.value()] > dist[b.value()];
+    });
+
+    for (std::size_t s_idx = 0; s_idx < n_; ++s_idx) {
+      if (s_idx == t_idx || !std::isfinite(dist[s_idx])) continue;
+      std::fill(flow.begin(), flow.end(), 0.0);
+      flow[s_idx] = 1.0;
+      auto& shares = shares_[s_idx * n_ + t_idx];
+      for (const NodeId u : order) {
+        // Skip nodes the s->t DAG never reaches, and nodes strictly
+        // farther than s (they cannot carry s's traffic).
+        if (flow[u.value()] <= 0.0) continue;
+        const auto& hops = next_hops[u.value()];
+        assert(!hops.empty());
+        const double split =
+            flow[u.value()] / static_cast<double>(hops.size());
+        for (const LinkId lid : hops) {
+          shares.push_back(LinkShare{lid, split});
+          flow[topo_.link(lid).dst.value()] += split;
+        }
+      }
+    }
+  }
+}
+
+double Routing::delay_ms(NodeId n1, NodeId n2) const {
+  assert(n1.value() < n_ && n2.value() < n_);
+  return delay_[pair_index(n1, n2)];
+}
+
+bool Routing::reachable(NodeId n1, NodeId n2) const {
+  return std::isfinite(delay_ms(n1, n2));
+}
+
+const std::vector<LinkShare>& Routing::link_shares(NodeId n1,
+                                                   NodeId n2) const {
+  assert(n1.value() < n_ && n2.value() < n_);
+  return shares_[pair_index(n1, n2)];
+}
+
+std::vector<NodeId> Routing::shortest_path(NodeId n1, NodeId n2) const {
+  std::vector<NodeId> path;
+  if (!reachable(n1, n2)) return path;
+  path.push_back(n1);
+  NodeId current = n1;
+  while (current != n2) {
+    const double remaining = delay_ms(current, n2);
+    bool advanced = false;
+    for (const LinkId lid : topo_.out_links(current)) {
+      const Link& link = topo_.link(lid);
+      if (std::abs(remaining -
+                   (link.latency_ms + delay_ms(link.dst, n2))) <= kEps) {
+        current = link.dst;
+        path.push_back(current);
+        advanced = true;
+        break;
+      }
+    }
+    assert(advanced);
+    if (!advanced) break;   // defensive: avoid infinite loop in release
+  }
+  return path;
+}
+
+}  // namespace switchboard::net

@@ -1,0 +1,53 @@
+// Shortest-path routing with ECMP splitting.
+//
+// Produces the two network-model inputs Global Switchboard consumes
+// (Table 1): the delay matrix d_{n1 n2} and the link fractions r_{n1 n2 e}
+// (the fraction of n1->n2 traffic crossing link e under the underlay's
+// equal-cost multipath routing).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace switchboard::net {
+
+/// One (link, fraction) element of a pair's routing footprint.
+struct LinkShare {
+  LinkId link;
+  double fraction;   // in (0, 1]
+};
+
+class Routing {
+ public:
+  /// Computes all-pairs shortest paths by latency and the ECMP splits.
+  /// ECMP semantics: at every node, traffic toward a destination divides
+  /// equally among all next hops that lie on some shortest path.
+  explicit Routing(const Topology& topo);
+
+  /// Propagation delay n1 -> n2 in ms (+inf if unreachable; 0 if n1 == n2).
+  [[nodiscard]] double delay_ms(NodeId n1, NodeId n2) const;
+
+  /// True if a path exists.
+  [[nodiscard]] bool reachable(NodeId n1, NodeId n2) const;
+
+  /// r_{n1 n2 e} for all links with a non-zero fraction.
+  [[nodiscard]] const std::vector<LinkShare>& link_shares(NodeId n1,
+                                                          NodeId n2) const;
+
+  /// One concrete shortest path (node sequence), for display/tracing.
+  [[nodiscard]] std::vector<NodeId> shortest_path(NodeId n1, NodeId n2) const;
+
+ private:
+  [[nodiscard]] std::size_t pair_index(NodeId n1, NodeId n2) const {
+    return static_cast<std::size_t>(n1.value()) * n_ + n2.value();
+  }
+
+  const Topology& topo_;
+  std::size_t n_;
+  std::vector<double> delay_;                    // n_ * n_ matrix
+  std::vector<std::vector<LinkShare>> shares_;   // per (src,dst)
+};
+
+}  // namespace switchboard::net

@@ -1,0 +1,63 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace switchboard::net {
+
+NodeId Topology::add_node(std::string name, double x, double y) {
+  const NodeId id{static_cast<NodeId::underlying_type>(nodes_.size())};
+  nodes_.push_back(Node{id, std::move(name), x, y});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(NodeId src, NodeId dst, double capacity,
+                          double latency_ms) {
+  assert(src.valid() && src.value() < nodes_.size());
+  assert(dst.valid() && dst.value() < nodes_.size());
+  assert(src != dst);
+  assert(capacity > 0);
+  assert(latency_ms >= 0);
+  const LinkId id{static_cast<LinkId::underlying_type>(links_.size())};
+  links_.push_back(Link{id, src, dst, capacity, latency_ms});
+  out_[src.value()].push_back(id);
+  in_[dst.value()].push_back(id);
+  return id;
+}
+
+LinkId Topology::add_duplex_link(NodeId a, NodeId b, double capacity,
+                                 double latency_ms) {
+  const LinkId forward = add_link(a, b, capacity, latency_ms);
+  add_link(b, a, capacity, latency_ms);
+  return forward;
+}
+
+const Node& Topology::node(NodeId id) const {
+  assert(id.valid() && id.value() < nodes_.size());
+  return nodes_[id.value()];
+}
+
+const Link& Topology::link(LinkId id) const {
+  assert(id.valid() && id.value() < links_.size());
+  return links_[id.value()];
+}
+
+const std::vector<LinkId>& Topology::out_links(NodeId id) const {
+  assert(id.valid() && id.value() < nodes_.size());
+  return out_[id.value()];
+}
+
+const std::vector<LinkId>& Topology::in_links(NodeId id) const {
+  assert(id.valid() && id.value() < nodes_.size());
+  return in_[id.value()];
+}
+
+double Topology::distance_km(NodeId a, NodeId b) const {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  return std::hypot(na.x - nb.x, na.y - nb.y);
+}
+
+}  // namespace switchboard::net

@@ -1,0 +1,63 @@
+// Wide-area network topology: nodes and directed capacitated links.
+//
+// This is the substrate under Global Switchboard's network model (Table 1):
+// link set E with bandwidth b_e, and the propagation latencies from which
+// the delay matrix d_{n1 n2} is derived.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace switchboard::net {
+
+struct Node {
+  NodeId id;
+  std::string name;
+  double x{0.0};   // planar coordinates (km); used by generators for latency
+  double y{0.0};
+};
+
+struct Link {
+  LinkId id;
+  NodeId src;
+  NodeId dst;
+  double capacity{0.0};    // traffic units/sec (experiment-defined unit)
+  double latency_ms{0.0};  // one-way propagation delay
+};
+
+/// A directed multigraph.  `add_duplex_link` is the common case: it creates
+/// one directed link in each direction with the same capacity and latency.
+class Topology {
+ public:
+  NodeId add_node(std::string name, double x = 0.0, double y = 0.0);
+  LinkId add_link(NodeId src, NodeId dst, double capacity, double latency_ms);
+  /// Adds src->dst and dst->src; returns the id of the src->dst direction.
+  LinkId add_duplex_link(NodeId a, NodeId b, double capacity,
+                         double latency_ms);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Outgoing links of a node.
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId id) const;
+  /// Incoming links of a node.
+  [[nodiscard]] const std::vector<LinkId>& in_links(NodeId id) const;
+
+  /// Euclidean distance between two nodes' coordinates (km).
+  [[nodiscard]] double distance_km(NodeId a, NodeId b) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_;
+  std::vector<std::vector<LinkId>> in_;
+};
+
+}  // namespace switchboard::net

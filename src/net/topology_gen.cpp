@@ -1,0 +1,122 @@
+#include "net/topology_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace switchboard::net {
+namespace {
+
+// Fiber propagation: light travels ~200 km per ms in glass.
+constexpr double kKmPerMs = 200.0;
+
+double jittered(double base, double jitter, Rng& rng) {
+  return base * rng.uniform(1.0 - jitter, 1.0 + jitter);
+}
+
+}  // namespace
+
+Topology make_tier1_topology(const Tier1Params& params) {
+  assert(params.core_count >= 3);
+  Rng rng{params.seed};
+  Topology topo;
+
+  // Place cores roughly evenly: jittered grid positions.
+  std::vector<NodeId> cores;
+  cores.reserve(params.core_count);
+  const auto columns = static_cast<std::size_t>(
+      std::max<std::size_t>(2, (params.core_count + 1) / 2));
+  for (std::size_t i = 0; i < params.core_count; ++i) {
+    const double gx = static_cast<double>(i % columns) /
+                      static_cast<double>(columns - 1);
+    const double gy = (i / columns) % 2 == 0 ? 0.25 : 0.75;
+    const double x =
+        gx * params.plane_width_km + rng.uniform(-150.0, 150.0);
+    const double y =
+        gy * params.plane_height_km + rng.uniform(-150.0, 150.0);
+    cores.push_back(topo.add_node("core" + std::to_string(i), x, y));
+  }
+
+  // Core ring guarantees connectivity; chords add path diversity.
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const NodeId a = cores[i];
+    const NodeId b = cores[(i + 1) % cores.size()];
+    topo.add_duplex_link(
+        a, b, jittered(params.core_link_capacity, params.capacity_jitter, rng),
+        topo.distance_km(a, b) / kKmPerMs);
+  }
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    for (std::size_t j = i + 2; j < cores.size(); ++j) {
+      if ((i == 0 && j == cores.size() - 1)) continue;  // ring already has it
+      if (!rng.bernoulli(params.core_mesh_density)) continue;
+      topo.add_duplex_link(
+          cores[i], cores[j],
+          jittered(params.core_link_capacity, params.capacity_jitter, rng),
+          topo.distance_km(cores[i], cores[j]) / kKmPerMs);
+    }
+  }
+
+  // Access PoPs: each near a random core, dual-homed to the two nearest
+  // cores for resilience (mirrors real metro-to-backbone homing).
+  const std::size_t access_count =
+      params.core_count * params.access_per_core;
+  for (std::size_t i = 0; i < access_count; ++i) {
+    const auto home = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cores.size()) - 1));
+    const Node& core_node = topo.node(cores[home]);
+    const double x = core_node.x + rng.uniform(-300.0, 300.0);
+    const double y = core_node.y + rng.uniform(-300.0, 300.0);
+    const NodeId pop = topo.add_node("pop" + std::to_string(i), x, y);
+
+    // Find the two nearest cores.
+    std::vector<std::size_t> core_order(cores.size());
+    for (std::size_t k = 0; k < cores.size(); ++k) core_order[k] = k;
+    std::sort(core_order.begin(), core_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return topo.distance_km(pop, cores[a]) <
+                       topo.distance_km(pop, cores[b]);
+              });
+    const std::size_t homes = std::min<std::size_t>(2, cores.size());
+    for (std::size_t k = 0; k < homes; ++k) {
+      const NodeId core = cores[core_order[k]];
+      topo.add_duplex_link(
+          pop, core,
+          jittered(params.access_link_capacity, params.capacity_jitter, rng),
+          std::max(0.1, topo.distance_km(pop, core) / kKmPerMs));
+    }
+  }
+
+  return topo;
+}
+
+Topology make_square_topology(double capacity, double latency_ms) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", 0, 0);
+  const NodeId b = topo.add_node("b", 1, 0);
+  const NodeId c = topo.add_node("c", 1, 1);
+  const NodeId d = topo.add_node("d", 0, 1);
+  topo.add_duplex_link(a, b, capacity, latency_ms);
+  topo.add_duplex_link(b, c, capacity, latency_ms);
+  topo.add_duplex_link(c, d, capacity, latency_ms);
+  topo.add_duplex_link(d, a, capacity, latency_ms);
+  return topo;
+}
+
+Topology make_line_topology(std::size_t n, double capacity,
+                            double latency_ms) {
+  assert(n >= 2);
+  Topology topo;
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(
+        topo.add_node("n" + std::to_string(i), static_cast<double>(i), 0));
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    topo.add_duplex_link(nodes[i], nodes[i + 1], capacity, latency_ms);
+  }
+  return topo;
+}
+
+}  // namespace switchboard::net

@@ -1,0 +1,41 @@
+// Synthetic tier-1 backbone generator.
+//
+// Substitutes for the proprietary tier-1 topology used in Section 7.3.
+// The generator builds a two-level ISP-like topology: a mesh of core PoPs
+// placed on a continental plane, plus access PoPs each homed to its two
+// nearest cores.  Latencies follow fiber propagation (~1 ms per 200 km);
+// core links are fat, access links thinner.
+#pragma once
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+
+namespace switchboard::net {
+
+struct Tier1Params {
+  std::size_t core_count{8};
+  std::size_t access_per_core{2};   // access PoPs homed per core (average)
+  double plane_width_km{4200};      // ~continental US
+  double plane_height_km{2400};
+  double core_link_capacity{100.0};
+  double access_link_capacity{40.0};
+  double capacity_jitter{0.2};      // +/- fraction applied per link
+  /// Extra chords added to the core ring, as a fraction of core pairs.
+  double core_mesh_density{0.5};
+  std::uint64_t seed{1};
+};
+
+/// Generates the topology.  Node naming: "core<i>" and "pop<i>".
+[[nodiscard]] Topology make_tier1_topology(const Tier1Params& params);
+
+/// A tiny fixed topology for unit tests: 4 nodes in a square,
+/// unit capacities, 10 ms per side.
+[[nodiscard]] Topology make_square_topology(double capacity = 10.0,
+                                            double latency_ms = 10.0);
+
+/// A linear chain of `n` nodes (useful for deterministic tests).
+[[nodiscard]] Topology make_line_topology(std::size_t n,
+                                          double capacity = 10.0,
+                                          double latency_ms = 5.0);
+
+}  // namespace switchboard::net

@@ -1,0 +1,79 @@
+#include "net/traffic_matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace switchboard::net {
+
+TrafficMatrix::TrafficMatrix(std::size_t node_count, double initial)
+    : n_{node_count}, demand_(node_count * node_count, initial) {
+  for (std::size_t i = 0; i < n_; ++i) demand_[i * n_ + i] = 0.0;
+}
+
+double TrafficMatrix::demand(NodeId src, NodeId dst) const {
+  assert(src.value() < n_ && dst.value() < n_);
+  return demand_[static_cast<std::size_t>(src.value()) * n_ + dst.value()];
+}
+
+void TrafficMatrix::set_demand(NodeId src, NodeId dst, double volume) {
+  assert(src.value() < n_ && dst.value() < n_);
+  assert(volume >= 0);
+  demand_[static_cast<std::size_t>(src.value()) * n_ + dst.value()] = volume;
+}
+
+void TrafficMatrix::add_demand(NodeId src, NodeId dst, double volume) {
+  assert(src.value() < n_ && dst.value() < n_);
+  demand_[static_cast<std::size_t>(src.value()) * n_ + dst.value()] += volume;
+}
+
+double TrafficMatrix::total() const {
+  return std::accumulate(demand_.begin(), demand_.end(), 0.0);
+}
+
+double TrafficMatrix::node_out_volume(NodeId src) const {
+  assert(src.value() < n_);
+  const std::size_t row = static_cast<std::size_t>(src.value()) * n_;
+  return std::accumulate(demand_.begin() + static_cast<std::ptrdiff_t>(row),
+                         demand_.begin() + static_cast<std::ptrdiff_t>(row + n_),
+                         0.0);
+}
+
+void TrafficMatrix::scale(double factor) {
+  assert(factor >= 0);
+  for (auto& d : demand_) d *= factor;
+}
+
+TrafficMatrix make_gravity_matrix(const Topology& topo,
+                                  const GravityParams& params) {
+  Rng rng{params.seed};
+  const std::size_t n = topo.node_count();
+  std::vector<double> weights(n);
+  for (auto& w : weights) {
+    w = std::exp(rng.normal(0.0, params.weight_sigma));
+  }
+  const double weight_total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  TrafficMatrix tm{n};
+  double raw_total = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (s == t) continue;
+      raw_total += weights[s] * weights[t] / weight_total;
+    }
+  }
+  assert(raw_total > 0);
+  const double scale = params.total_volume / raw_total;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (s == t) continue;
+      tm.set_demand(NodeId{static_cast<NodeId::underlying_type>(s)},
+                    NodeId{static_cast<NodeId::underlying_type>(t)},
+                    scale * weights[s] * weights[t] / weight_total);
+    }
+  }
+  return tm;
+}
+
+}  // namespace switchboard::net

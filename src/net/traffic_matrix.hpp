@@ -1,0 +1,48 @@
+// Gravity-model traffic matrix generation.
+//
+// Substitutes for the tier-1 backbone traffic snapshot (March 2015) used in
+// Section 7.3: per-node weights are drawn log-normally (a few large metros
+// dominate), and pair demand is proportional to the product of endpoint
+// weights — the standard gravity model for ISP traffic matrices.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace switchboard::net {
+
+class TrafficMatrix {
+ public:
+  TrafficMatrix(std::size_t node_count, double initial = 0.0);
+
+  [[nodiscard]] std::size_t node_count() const { return n_; }
+  [[nodiscard]] double demand(NodeId src, NodeId dst) const;
+  void set_demand(NodeId src, NodeId dst, double volume);
+  void add_demand(NodeId src, NodeId dst, double volume);
+
+  /// Sum of all demands.
+  [[nodiscard]] double total() const;
+  /// Total traffic sourced at a node.
+  [[nodiscard]] double node_out_volume(NodeId src) const;
+  /// Multiplies every entry by `factor`.
+  void scale(double factor);
+
+ private:
+  std::size_t n_;
+  std::vector<double> demand_;
+};
+
+struct GravityParams {
+  double total_volume{1000.0};   // sum over all pairs
+  double weight_sigma{1.0};      // lognormal sigma of node weights
+  std::uint64_t seed{7};
+};
+
+/// Builds a gravity-model matrix over all ordered pairs (diagonal = 0).
+[[nodiscard]] TrafficMatrix make_gravity_matrix(const Topology& topo,
+                                                const GravityParams& params);
+
+}  // namespace switchboard::net

@@ -1,0 +1,68 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace switchboard::sim {
+
+EventHandle Simulator::schedule(Duration delay, Callback fn) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
+  assert(when >= now_);
+  assert(fn);
+  const std::uint64_t seq = next_sequence_++;
+  queue_.push(Event{when, seq, std::move(fn)});
+  return EventHandle{seq};
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid() || handle.sequence >= next_sequence_) return false;
+  // Lazy deletion: remember the sequence, skip it when popped.
+  return cancelled_.insert(handle.sequence).second;
+}
+
+void Simulator::drop_cancelled_head() {
+  while (!queue_.empty()) {
+    const auto it = cancelled_.find(queue_.top().sequence);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Simulator::step() {
+  drop_cancelled_head();
+  if (queue_.empty()) return false;
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.when;
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  assert(deadline >= now_);
+  for (;;) {
+    drop_cancelled_head();
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    step();
+  }
+  now_ = deadline;
+  return now_;
+}
+
+std::size_t Simulator::pending_events() const {
+  return queue_.size() - cancelled_.size();
+}
+
+}  // namespace switchboard::sim

@@ -1,0 +1,75 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop with a deterministic tie-break: events at the
+// same timestamp fire in scheduling order.  All wide-area experiments
+// (message bus, control plane, TCP model) run on this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace switchboard::sim {
+
+/// Handle for cancelling a scheduled event.
+struct EventHandle {
+  std::uint64_t sequence{0};
+  [[nodiscard]] bool valid() const { return sequence != 0; }
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after now (delay >= 0).
+  EventHandle schedule(Duration delay, Callback fn);
+
+  /// Schedules `fn` at an absolute time (>= now).
+  EventHandle schedule_at(SimTime when, Callback fn);
+
+  /// Cancels a pending event.  Returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventHandle handle);
+
+  /// Runs until the event queue drains.  Returns the final time.
+  SimTime run();
+
+  /// Runs events with timestamp <= `deadline`; leaves later events queued
+  /// and sets now() to `deadline` (or the last event time if queue drained).
+  SimTime run_until(SimTime deadline);
+
+  /// Executes at most one event.  Returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const;
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  void drop_cancelled_head();
+
+  struct Event {
+    SimTime when;
+    std::uint64_t sequence;   // scheduling order; also the cancel key
+    Callback fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return sequence > other.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_{0};
+  std::uint64_t next_sequence_{1};
+  std::uint64_t executed_{0};
+  std::unordered_set<std::uint64_t> cancelled_;   // lazily-deleted events
+};
+
+}  // namespace switchboard::sim

@@ -1,0 +1,30 @@
+// Simulated time.  All simulation timestamps are integer microseconds to
+// keep event ordering exact (no floating-point tie ambiguity).
+#pragma once
+
+#include <cstdint>
+
+namespace switchboard::sim {
+
+/// Microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, also in microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration microseconds(std::int64_t us) { return us; }
+constexpr Duration milliseconds(std::int64_t ms) { return ms * 1000; }
+constexpr Duration seconds(std::int64_t s) { return s * 1'000'000; }
+
+/// Converts a floating-point quantity of milliseconds to a Duration,
+/// rounding to the nearest microsecond.
+constexpr Duration from_ms(double ms) {
+  return static_cast<Duration>(ms * 1000.0 + (ms >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1000.0; }
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / 1'000'000.0;
+}
+
+}  // namespace switchboard::sim

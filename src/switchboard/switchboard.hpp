@@ -1,0 +1,35 @@
+// Umbrella header: everything a downstream user of the Switchboard
+// middleware needs.
+//
+//   #include "switchboard/switchboard.hpp"
+//
+// Layers (bottom to top):
+//   common/     ids, results, RNG, cost functions, stats
+//   sim/        discrete-event simulator
+//   net/        topology, ECMP routing, generators, traffic matrices
+//   lp/         simplex + branch-and-bound (CPLEX substitute)
+//   model/      the paper's Table-1 network model
+//   te/         SB-LP, SB-DP, baselines, capacity planning, evaluator
+//   bus/        global message bus (proxy topology + full-mesh baseline)
+//   dataplane/  forwarders, flow tables, load balancing, traffic gen
+//   control/    Global/Local Switchboard, VNF/edge controllers, 2PC
+//   core/       Deployment wiring + the Middleware facade
+#pragma once
+
+#include "common/cost.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "common/zipf.hpp"
+#include "core/deployment.hpp"
+#include "core/middleware.hpp"
+#include "model/network_model.hpp"
+#include "model/scenario.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic_matrix.hpp"
+#include "te/baselines.hpp"
+#include "te/capacity_planning.hpp"
+#include "te/dp_routing.hpp"
+#include "te/evaluator.hpp"
+#include "te/lp_routing.hpp"

@@ -1,0 +1,86 @@
+#include "te/baselines.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "te/loads.hpp"
+
+namespace switchboard::te {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-hop greedy routing shared by both baselines.  `admission` decides
+/// whether a candidate endpoint may be selected given current loads.
+template <typename AdmissionFn>
+ChainRouting greedy_route(const model::NetworkModel& model,
+                          AdmissionFn admission) {
+  ChainRouting routing{model.chains().size()};
+  Loads loads{model};
+
+  for (const model::Chain& chain : model.chains()) {
+    routing.init_chain(chain.id, chain.stage_count());
+    NodeId current = chain.ingress;
+    for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
+      const auto dests = model.stage_destinations(chain, z);
+      assert(!dests.empty());
+
+      // Candidates in latency order; the first admitted one wins.
+      std::size_t best = dests.size();
+      double best_delay = kInf;
+      std::size_t fallback = 0;        // least-loaded site if none admitted
+      double fallback_headroom = -kInf;
+      for (std::size_t i = 0; i < dests.size(); ++i) {
+        const double delay = model.delay_ms(current, dests[i].node);
+        if (!std::isfinite(delay)) continue;
+        const bool admitted = admission(loads, chain, z, dests[i]);
+        if (admitted && delay < best_delay) {
+          best_delay = delay;
+          best = i;
+        }
+        if (z < chain.stage_count()) {
+          const double headroom =
+              loads.vnf_site_headroom(chain.vnfs[z - 1], dests[i].site);
+          if (headroom > fallback_headroom) {
+            fallback_headroom = headroom;
+            fallback = i;
+          }
+        }
+      }
+      const std::size_t chosen = best != dests.size() ? best : fallback;
+      const model::StageEndpoint& ep = dests[chosen];
+      routing.add_flow(chain.id, z, current, ep.node, 1.0);
+      loads.add_stage_flow(chain, z, current, ep.node, 1.0);
+      current = ep.node;
+    }
+  }
+  return routing;
+}
+
+}  // namespace
+
+ChainRouting solve_anycast(const model::NetworkModel& model) {
+  return greedy_route(model,
+                      [](const Loads&, const model::Chain&, std::size_t,
+                         const model::StageEndpoint&) { return true; });
+}
+
+ChainRouting solve_compute_aware(const model::NetworkModel& model) {
+  return greedy_route(
+      model,
+      [&model](const Loads& loads, const model::Chain& chain, std::size_t z,
+               const model::StageEndpoint& ep) {
+        if (z == chain.stage_count()) return true;   // egress edge
+        const VnfId f = chain.vnfs[z - 1];
+        // Load the chain would add to this VNF instance: traffic entering
+        // (stage z) plus leaving (stage z+1), times load-per-unit.
+        const double added =
+            model.vnf(f).load_per_unit *
+            (chain.stage_traffic(z) + chain.stage_traffic(z + 1));
+        return loads.vnf_site_headroom(f, ep.site) >= added &&
+               loads.site_headroom(ep.site) >= added;
+      });
+}
+
+}  // namespace switchboard::te

@@ -1,0 +1,25 @@
+// Baseline chain-routing schemes the paper compares against (Section 7.2
+// and 7.3):
+//   * ANYCAST       — per-hop nearest-site selection by propagation delay,
+//                     oblivious to network and compute load.
+//   * COMPUTE-AWARE — like ANYCAST, but skips sites whose VNF lacks the
+//                     compute headroom for the chain (still network-blind).
+#pragma once
+
+#include "model/network_model.hpp"
+#include "te/routing_solution.hpp"
+
+namespace switchboard::te {
+
+/// ANYCAST: routes every chain fully; resulting loads may exceed capacity
+/// (the evaluator's uniform-scale metric exposes the overload).
+[[nodiscard]] ChainRouting solve_anycast(const model::NetworkModel& model);
+
+/// COMPUTE-AWARE: greedy latency-ordered site choice with compute
+/// admission.  When no site has enough headroom for the whole chain, the
+/// least-loaded site takes the traffic (overload becomes visible to the
+/// evaluator, as with a real deployment that under-provisions).
+[[nodiscard]] ChainRouting solve_compute_aware(
+    const model::NetworkModel& model);
+
+}  // namespace switchboard::te

@@ -1,0 +1,279 @@
+#include "te/dp_routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace switchboard::te {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// cost(s', z, s): move stage-z traffic from node n1 to node n2, entering
+/// the stage's destination VNF (if any) at `dst_site`.
+double edge_cost(const model::NetworkModel& model, const Loads& loads,
+                 const DpOptions& opt, NodeId n1, NodeId n2,
+                 VnfId dst_vnf, SiteId dst_site) {
+  double cost = model.delay_ms(n1, n2);
+  if (!std::isfinite(cost)) return kInf;
+  if (!opt.use_utilization_costs) return cost;
+
+  if (n1 != n2) {
+    double network = 0.0;
+    for (const net::LinkShare& share : model.routing().link_shares(n1, n2)) {
+      network +=
+          share.fraction * opt.utilization_cost(
+                               std::max(0.0, loads.link_utilization(share.link)));
+    }
+    cost += opt.network_cost_weight * network;
+  }
+  if (dst_vnf.valid()) {
+    cost += opt.compute_cost_weight *
+            opt.utilization_cost(
+                std::max(0.0, loads.vnf_site_utilization(dst_vnf, dst_site)));
+  }
+  return cost;
+}
+
+/// The node/site sequence of one candidate route through the chain:
+/// path[0] = ingress, path[K] = VNF K's site node, path[K+1] = egress.
+struct CandidateRoute {
+  std::vector<NodeId> nodes;
+  std::vector<SiteId> sites;   // invalid at positions 0 and K+1
+  bool found{false};
+};
+
+/// Full-chain DP (Eq. 8) or greedy per-hop (ONEHOP ablation).
+CandidateRoute find_route(const model::NetworkModel& model, const Loads& loads,
+                          const model::Chain& chain, const DpOptions& opt) {
+  const std::size_t stages = chain.stage_count();
+  CandidateRoute route;
+
+  // Per stage z (1..K+1), candidate destinations with positive headroom.
+  std::vector<std::vector<model::StageEndpoint>> dests(stages + 1);
+  for (std::size_t z = 1; z <= stages; ++z) {
+    for (const model::StageEndpoint& ep : model.stage_destinations(chain, z)) {
+      if (z < stages) {
+        const VnfId f = chain.vnfs[z - 1];
+        if (opt.site_allowed && !opt.site_allowed(f, ep.site)) continue;
+        if (loads.vnf_site_headroom(f, ep.site) <= 0.0) continue;
+        if (loads.site_headroom(ep.site) <= 0.0) continue;
+      }
+      dests[z].push_back(ep);
+    }
+    if (dests[z].empty()) return route;   // no feasible site for some VNF
+  }
+
+  if (opt.per_hop) {
+    // Greedy: from the current node, take the cheapest next endpoint.
+    route.nodes.push_back(chain.ingress);
+    route.sites.push_back(SiteId{});
+    NodeId current = chain.ingress;
+    for (std::size_t z = 1; z <= stages; ++z) {
+      const VnfId dst_vnf = z < stages ? chain.vnfs[z - 1] : VnfId{};
+      double best = kInf;
+      std::size_t best_i = dests[z].size();
+      for (std::size_t i = 0; i < dests[z].size(); ++i) {
+        const model::StageEndpoint& ep = dests[z][i];
+        const double c = edge_cost(model, loads, opt, current, ep.node,
+                                   dst_vnf, ep.site);
+        if (c < best) {
+          best = c;
+          best_i = i;
+        }
+      }
+      if (best_i == dests[z].size()) return route;
+      current = dests[z][best_i].node;
+      route.nodes.push_back(current);
+      route.sites.push_back(dests[z][best_i].site);
+    }
+    route.found = true;
+    return route;
+  }
+
+  // Holistic DP over the whole chain.
+  // E[z][i]: least cost of reaching dests[z][i]; prev[z][i]: argmin index.
+  std::vector<std::vector<double>> E(stages + 1);
+  std::vector<std::vector<std::size_t>> prev(stages + 1);
+  std::vector<model::StageEndpoint> start{
+      model::StageEndpoint{chain.ingress, SiteId{}}};
+
+  for (std::size_t z = 1; z <= stages; ++z) {
+    const auto& sources = z == 1 ? start : dests[z - 1];
+    const VnfId dst_vnf = z < stages ? chain.vnfs[z - 1] : VnfId{};
+    E[z].assign(dests[z].size(), kInf);
+    prev[z].assign(dests[z].size(), 0);
+    for (std::size_t i = 0; i < dests[z].size(); ++i) {
+      const model::StageEndpoint& to = dests[z][i];
+      for (std::size_t j = 0; j < sources.size(); ++j) {
+        const double base = z == 1 ? 0.0 : E[z - 1][j];
+        if (!std::isfinite(base)) continue;
+        const double c = base + edge_cost(model, loads, opt, sources[j].node,
+                                          to.node, dst_vnf, to.site);
+        if (c < E[z][i]) {
+          E[z][i] = c;
+          prev[z][i] = j;
+        }
+      }
+    }
+  }
+
+  // Egress stage has exactly one destination.
+  assert(dests[stages].size() == 1);
+  if (!std::isfinite(E[stages][0])) return route;
+
+  // Reconstruct back-to-front.
+  route.nodes.assign(stages + 1, NodeId{});
+  route.sites.assign(stages + 1, SiteId{});
+  route.nodes[stages] = chain.egress;
+  std::size_t index = 0;
+  for (std::size_t z = stages; z >= 1; --z) {
+    const std::size_t source_index = prev[z][index];
+    if (z == 1) {
+      route.nodes[0] = chain.ingress;
+    } else {
+      route.nodes[z - 1] = dests[z - 1][source_index].node;
+      route.sites[z - 1] = dests[z - 1][source_index].site;
+    }
+    index = source_index;
+  }
+  route.found = true;
+  return route;
+}
+
+/// Largest fraction of the chain the route can carry against residual
+/// capacity (links under MLU, sites, VNF-site deployments).
+double max_admissible_fraction(const model::NetworkModel& model,
+                               const Loads& loads, const model::Chain& chain,
+                               const CandidateRoute& route,
+                               double remaining) {
+  const std::size_t stages = chain.stage_count();
+
+  // Per-unit-fraction loads this route imposes, aggregated per resource
+  // (a link or a site can appear in several stages of the same chain).
+  std::unordered_map<LinkId::underlying_type, double> link_demand;
+  std::unordered_map<SiteId::underlying_type, double> site_demand;
+  std::unordered_map<std::size_t, double> vnf_site_demand;   // f * S + s
+
+  const std::size_t site_count = model.sites().size();
+  for (std::size_t z = 1; z <= stages; ++z) {
+    const NodeId n1 = route.nodes[z - 1];
+    const NodeId n2 = route.nodes[z];
+    const double w = chain.forward_traffic[z - 1];
+    const double v = chain.reverse_traffic[z - 1];
+    if (n1 != n2) {
+      for (const net::LinkShare& share : model.routing().link_shares(n1, n2)) {
+        link_demand[share.link.value()] += w * share.fraction;
+      }
+      for (const net::LinkShare& share : model.routing().link_shares(n2, n1)) {
+        link_demand[share.link.value()] += v * share.fraction;
+      }
+    }
+    if (z < stages) {
+      const VnfId f = chain.vnfs[z - 1];
+      const SiteId s = route.sites[z];
+      const double load =
+          model.vnf(f).load_per_unit * (w + v + chain.forward_traffic[z] +
+                                        chain.reverse_traffic[z]);
+      vnf_site_demand[static_cast<std::size_t>(f.value()) * site_count +
+                      s.value()] += load;
+      site_demand[s.value()] += load;
+    }
+  }
+
+  double fraction = remaining;
+  for (const auto& [link_raw, demand] : link_demand) {
+    if (demand <= 0) continue;
+    const double headroom = loads.link_headroom(LinkId{link_raw});
+    fraction = std::min(fraction, std::max(0.0, headroom) / demand);
+  }
+  for (const auto& [site_raw, demand] : site_demand) {
+    if (demand <= 0) continue;
+    const double headroom = loads.site_headroom(SiteId{site_raw});
+    fraction = std::min(fraction, std::max(0.0, headroom) / demand);
+  }
+  for (const auto& [key, demand] : vnf_site_demand) {
+    if (demand <= 0) continue;
+    const VnfId f{static_cast<VnfId::underlying_type>(key / site_count)};
+    const SiteId s{static_cast<SiteId::underlying_type>(key % site_count)};
+    const double headroom = loads.vnf_site_headroom(f, s);
+    fraction = std::min(fraction, std::max(0.0, headroom) / demand);
+  }
+  return fraction;
+}
+
+}  // namespace
+
+SingleRoute find_single_route(const model::NetworkModel& model,
+                              const model::Chain& chain, const Loads& loads,
+                              const DpOptions& options, double remaining) {
+  const CandidateRoute candidate = find_route(model, loads, chain, options);
+  SingleRoute route;
+  if (!candidate.found) return route;
+  route.nodes = candidate.nodes;
+  route.sites = candidate.sites;
+  route.admissible_fraction =
+      max_admissible_fraction(model, loads, chain, candidate, remaining);
+  route.found = true;
+  return route;
+}
+
+double route_admissible_fraction(const model::NetworkModel& model,
+                                 const model::Chain& chain,
+                                 const std::vector<NodeId>& route_nodes,
+                                 const std::vector<SiteId>& route_sites,
+                                 const Loads& loads, double remaining) {
+  CandidateRoute candidate;
+  candidate.nodes = route_nodes;
+  candidate.sites = route_sites;
+  candidate.found = true;
+  return max_admissible_fraction(model, loads, chain, candidate, remaining);
+}
+
+double route_chain_dp(const model::NetworkModel& model,
+                      const model::Chain& chain, Loads& loads,
+                      ChainRouting& routing, const DpOptions& options) {
+  double remaining = 1.0;
+  for (std::size_t round = 0;
+       round < options.max_routes_per_chain && remaining > options.min_fraction;
+       ++round) {
+    const CandidateRoute route = find_route(model, loads, chain, options);
+    if (!route.found) break;
+    const double fraction =
+        max_admissible_fraction(model, loads, chain, route, remaining);
+    if (fraction <= options.min_fraction) break;
+    for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
+      routing.add_flow(chain.id, z, route.nodes[z - 1], route.nodes[z],
+                       fraction);
+      loads.add_stage_flow(chain, z, route.nodes[z - 1], route.nodes[z],
+                           fraction);
+    }
+    remaining -= fraction;
+  }
+  return 1.0 - remaining;
+}
+
+DpResult solve_dp_routing(const model::NetworkModel& model,
+                          const DpOptions& options) {
+  DpResult result;
+  result.routing.resize(model.chains().size());
+  Loads loads{model};
+  for (const model::Chain& chain : model.chains()) {
+    result.routing.init_chain(chain.id, chain.stage_count());
+    result.demand_volume += chain.total_traffic();
+    const double routed =
+        route_chain_dp(model, chain, loads, result.routing, options);
+    result.routed_volume += routed * chain.total_traffic();
+    if (routed >= 1.0 - 1e-9) {
+      ++result.fully_routed_chains;
+    } else if (routed <= 1e-9) {
+      ++result.unrouted_chains;
+    }
+  }
+  return result;
+}
+
+}  // namespace switchboard::te

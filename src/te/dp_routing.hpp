@@ -1,0 +1,94 @@
+// SB-DP: Switchboard's dynamic-programming chain router (Section 4.4).
+//
+// For one chain, the algorithm builds the table
+//     E(z+1, s) = min_{s'} E(z, s') + cost(s', z, s)          (Eq. 8)
+// where cost combines propagation latency, Fortz-Thorup network-utilization
+// cost along the underlay path, and compute-utilization cost of the entered
+// VNF.  If the least-cost route cannot carry the whole chain (resource
+// headroom), the routed fraction is admitted, loads updated, and the
+// algorithm repeats on residual capacity until the chain is fully routed or
+// no capacity remains.
+//
+// Two ablation switches reproduce the paper's Figure 13a variants:
+//   * use_utilization_costs = false  ->  DP-LATENCY
+//   * per_hop = true                 ->  ONEHOP
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/cost.hpp"
+#include "model/network_model.hpp"
+#include "te/loads.hpp"
+#include "te/routing_solution.hpp"
+
+namespace switchboard::te {
+
+struct DpOptions {
+  /// Weight (ms-equivalents) of one unit of Fortz-Thorup network cost.
+  double network_cost_weight{10.0};
+  /// Weight (ms-equivalents) of one unit of compute-utilization cost.
+  double compute_cost_weight{10.0};
+  /// false reproduces the DP-LATENCY ablation (latency-only cost).
+  bool use_utilization_costs{true};
+  /// true reproduces the ONEHOP ablation (greedy per-hop instead of DP).
+  bool per_hop{false};
+  /// Residual re-routing rounds per chain.
+  std::size_t max_routes_per_chain{8};
+  /// Smallest admissible fraction of a chain per route.
+  double min_fraction{1e-4};
+  UtilizationCost utilization_cost{};
+  /// Optional predicate excluding (vnf, site) placements — used by Global
+  /// Switchboard to recompute after a two-phase-commit rejection.
+  std::function<bool(VnfId, SiteId)> site_allowed{};
+};
+
+/// One concrete route through a chain: node/site per stage endpoint
+/// (position 0 = ingress node, position stage_count() = egress node;
+/// sites are invalid at those two positions).
+struct SingleRoute {
+  std::vector<NodeId> nodes;
+  std::vector<SiteId> sites;
+  /// Largest fraction of the chain admissible on this route right now.
+  double admissible_fraction{0.0};
+  bool found{false};
+};
+
+/// Computes the least-cost route for one chain against current loads
+/// without admitting any traffic.  `remaining` caps the admissible
+/// fraction reported.
+[[nodiscard]] SingleRoute find_single_route(const model::NetworkModel& model,
+                                            const model::Chain& chain,
+                                            const Loads& loads,
+                                            const DpOptions& options,
+                                            double remaining = 1.0);
+
+/// Loads/admission bookkeeping for a known route: the largest fraction the
+/// route can carry against `loads` (same computation the DP router uses).
+[[nodiscard]] double route_admissible_fraction(
+    const model::NetworkModel& model, const model::Chain& chain,
+    const std::vector<NodeId>& route_nodes,
+    const std::vector<SiteId>& route_sites, const Loads& loads,
+    double remaining = 1.0);
+
+struct DpResult {
+  ChainRouting routing;
+  double routed_volume{0.0};     // total stage-traffic volume admitted
+  double demand_volume{0.0};
+  std::size_t fully_routed_chains{0};
+  std::size_t unrouted_chains{0};   // chains with zero admitted traffic
+};
+
+/// Routes every chain in the model in order, sharing one load state.
+[[nodiscard]] DpResult solve_dp_routing(const model::NetworkModel& model,
+                                        const DpOptions& options = {});
+
+/// Routes a single chain against existing loads; appends flows to
+/// `routing` (the chain must already be init'ed there) and updates
+/// `loads`.  Returns the fraction of the chain admitted in [0, 1].
+double route_chain_dp(const model::NetworkModel& model,
+                      const model::Chain& chain, Loads& loads,
+                      ChainRouting& routing, const DpOptions& options);
+
+}  // namespace switchboard::te

@@ -1,0 +1,77 @@
+#include "te/evaluator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace switchboard::te {
+
+Loads accumulate_loads(const model::NetworkModel& model,
+                       const ChainRouting& routing) {
+  Loads loads{model};
+  for (const model::Chain& chain : model.chains()) {
+    if (!routing.has_chain(chain.id)) continue;
+    for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
+      for (const StageFlow& flow : routing.flows(chain.id, z)) {
+        loads.add_stage_flow(chain, z, flow.src, flow.dst, flow.fraction);
+      }
+    }
+  }
+  return loads;
+}
+
+RoutingMetrics evaluate(const model::NetworkModel& model,
+                        const ChainRouting& routing) {
+  RoutingMetrics metrics;
+  const Loads loads = accumulate_loads(model, routing);
+
+  for (const model::Chain& chain : model.chains()) {
+    metrics.demand_volume += chain.total_traffic();
+    if (!routing.has_chain(chain.id)) continue;
+    for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
+      const double stage_traffic = chain.stage_traffic(z);
+      for (const StageFlow& flow : routing.flows(chain.id, z)) {
+        const double delay = model.delay_ms(flow.src, flow.dst);
+        metrics.aggregate_latency += stage_traffic * delay * flow.fraction;
+        metrics.carried_volume += stage_traffic * flow.fraction;
+      }
+    }
+  }
+  metrics.mean_latency_ms = metrics.carried_volume > 0
+      ? metrics.aggregate_latency / metrics.carried_volume
+      : 0.0;
+
+  // Max uniform scale of the carried loads.
+  double scale = std::numeric_limits<double>::infinity();
+  const net::Topology& topo = model.topology();
+  for (const net::Link& link : topo.links()) {
+    const double load = loads.link_load(link.id);
+    metrics.max_link_utilization =
+        std::max(metrics.max_link_utilization,
+                 (model.background_traffic(link.id) + load) / link.capacity);
+    if (load <= 0) continue;
+    const double headroom = model.mlu_limit() * link.capacity -
+                            model.background_traffic(link.id);
+    scale = std::min(scale, std::max(0.0, headroom) / load);
+  }
+  for (const model::CloudSite& site : model.sites()) {
+    const double load = loads.site_load(site.id);
+    if (load <= 0) continue;
+    scale = std::min(scale, site.compute_capacity / load);
+  }
+  for (const model::Vnf& vnf : model.vnfs()) {
+    for (const model::VnfDeployment& dep : vnf.deployments) {
+      const double load = loads.vnf_site_load(vnf.id, dep.site);
+      if (load <= 0) continue;
+      scale = std::min(scale, dep.capacity / load);
+    }
+  }
+  metrics.max_uniform_scale = scale;
+  metrics.feasible = scale >= 1.0 - 1e-9;
+  metrics.feasible_throughput =
+      std::min(1.0, scale) * metrics.carried_volume;
+  return metrics;
+}
+
+}  // namespace switchboard::te

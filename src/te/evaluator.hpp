@@ -1,0 +1,44 @@
+// Scores a finished ChainRouting against the model: aggregate/weighted
+// latency (Eq. 3), per-resource loads, the carried traffic volume, and the
+// maximum uniform demand scale the routing sustains (used as the throughput
+// metric in Figures 12 and 13).
+#pragma once
+
+#include "model/network_model.hpp"
+#include "te/loads.hpp"
+#include "te/routing_solution.hpp"
+
+namespace switchboard::te {
+
+struct RoutingMetrics {
+  /// Traffic-weighted mean stage latency in ms (Eq. 3 normalized by the
+  /// carried volume).  0 when nothing is carried.
+  double mean_latency_ms{0.0};
+  /// Eq. 3 exactly: sum over flows of (w+v) * d * x.
+  double aggregate_latency{0.0};
+  /// Total demand volume (sum of stage traffic over all chains).
+  double demand_volume{0.0};
+  /// Volume actually carried by the routing.
+  double carried_volume{0.0};
+  /// Largest uniform factor `a` such that scaling the *carried* loads by
+  /// `a` violates no link (MLU), site, or VNF-site capacity.
+  /// +inf when the routing uses no capacitated resource.
+  double max_uniform_scale{0.0};
+  /// min(1, max_uniform_scale) * carried_volume: traffic the scheme can
+  /// actually deliver under the given demand without overload.
+  double feasible_throughput{0.0};
+  /// Maximum link utilization (background + switchboard).
+  double max_link_utilization{0.0};
+  /// True when every carried load fits within capacities (scale >= 1).
+  bool feasible{false};
+};
+
+/// Builds the load state implied by `routing`.
+[[nodiscard]] Loads accumulate_loads(const model::NetworkModel& model,
+                                     const ChainRouting& routing);
+
+/// Computes all metrics for `routing`.
+[[nodiscard]] RoutingMetrics evaluate(const model::NetworkModel& model,
+                                      const ChainRouting& routing);
+
+}  // namespace switchboard::te

@@ -1,0 +1,107 @@
+#include "te/loads.hpp"
+
+#include <cassert>
+
+namespace switchboard::te {
+
+Loads::Loads(const model::NetworkModel& model)
+    : model_{model},
+      site_count_{model.sites().size()},
+      link_load_(model.topology().link_count(), 0.0),
+      site_load_(site_count_, 0.0),
+      vnf_site_load_(model.vnfs().size() * site_count_, 0.0) {}
+
+void Loads::reset() {
+  site_count_ = model_.sites().size();
+  link_load_.assign(model_.topology().link_count(), 0.0);
+  site_load_.assign(site_count_, 0.0);
+  vnf_site_load_.assign(model_.vnfs().size() * site_count_, 0.0);
+}
+
+void Loads::add_stage_flow(const model::Chain& chain, std::size_t z,
+                           NodeId n1, NodeId n2, double fraction) {
+  assert(z >= 1 && z <= chain.stage_count());
+  const double w = chain.forward_traffic[z - 1] * fraction;
+  const double v = chain.reverse_traffic[z - 1] * fraction;
+
+  // Link load: forward direction follows r_{n1 n2 e}; reverse traffic of
+  // the same stage crosses r_{n2 n1 e} (symmetric return, Section 5.3).
+  if (n1 != n2) {
+    if (w != 0.0) {
+      for (const net::LinkShare& share : model_.routing().link_shares(n1, n2)) {
+        link_load_[share.link.value()] += w * share.fraction;
+      }
+    }
+    if (v != 0.0) {
+      for (const net::LinkShare& share : model_.routing().link_shares(n2, n1)) {
+        link_load_[share.link.value()] += v * share.fraction;
+      }
+    }
+  }
+
+  // Compute load on the VNF at the destination of stage z (entering
+  // traffic) and on the VNF at the source (leaving traffic).
+  const double stage_volume = w + v;
+  if (z < chain.stage_count()) {
+    const VnfId f = chain.vnfs[z - 1];
+    const auto site = model_.site_at(n2);
+    assert(site.has_value());
+    const double load = model_.vnf(f).load_per_unit * stage_volume;
+    vnf_site_load_[vnf_site_index(f, *site)] += load;
+    site_load_[site->value()] += load;
+  }
+  if (z > 1) {
+    const VnfId f = chain.vnfs[z - 2];
+    const auto site = model_.site_at(n1);
+    assert(site.has_value());
+    const double load = model_.vnf(f).load_per_unit * stage_volume;
+    vnf_site_load_[vnf_site_index(f, *site)] += load;
+    site_load_[site->value()] += load;
+  }
+}
+
+double Loads::link_load(LinkId e) const {
+  assert(e.value() < link_load_.size());
+  return link_load_[e.value()];
+}
+
+double Loads::link_utilization(LinkId e) const {
+  const net::Link& link = model_.topology().link(e);
+  return (model_.background_traffic(e) + link_load(e)) / link.capacity;
+}
+
+double Loads::link_headroom(LinkId e) const {
+  const net::Link& link = model_.topology().link(e);
+  return model_.mlu_limit() * link.capacity - model_.background_traffic(e) -
+         link_load(e);
+}
+
+double Loads::site_load(SiteId s) const {
+  assert(s.value() < site_load_.size());
+  return site_load_[s.value()];
+}
+
+double Loads::site_utilization(SiteId s) const {
+  const double cap = model_.site(s).compute_capacity;
+  return cap > 0 ? site_load(s) / cap : 0.0;
+}
+
+double Loads::vnf_site_load(VnfId f, SiteId s) const {
+  assert(vnf_site_index(f, s) < vnf_site_load_.size());
+  return vnf_site_load_[vnf_site_index(f, s)];
+}
+
+double Loads::vnf_site_utilization(VnfId f, SiteId s) const {
+  const double cap = model_.vnf(f).capacity_at(s);
+  return cap > 0 ? vnf_site_load(f, s) / cap : 0.0;
+}
+
+double Loads::vnf_site_headroom(VnfId f, SiteId s) const {
+  return model_.vnf(f).capacity_at(s) - vnf_site_load(f, s);
+}
+
+double Loads::site_headroom(SiteId s) const {
+  return model_.site(s).compute_capacity - site_load(s);
+}
+
+}  // namespace switchboard::te

@@ -1,0 +1,61 @@
+// Load accounting shared by the DP router (incremental admission) and the
+// evaluator (scoring a finished routing).
+//
+// Implements the paper's load model: the load of VNF f at site s is
+// l_f x (traffic entering + traffic leaving) (Eq. 4); link load follows the
+// underlay's ECMP fractions r_{n1 n2 e} over forward and reverse stage
+// traffic (Eqs. 6-7).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "model/network_model.hpp"
+
+namespace switchboard::te {
+
+class Loads {
+ public:
+  explicit Loads(const model::NetworkModel& model);
+
+  /// Adds the load of routing `fraction` of chain `c`'s stage-z traffic
+  /// from node n1 to node n2 (both link and compute load on the stage's
+  /// endpoint VNFs).  Negative `fraction` removes load.
+  void add_stage_flow(const model::Chain& chain, std::size_t z, NodeId n1,
+                      NodeId n2, double fraction);
+
+  /// Zeroes all accumulated loads (also resizes to the model's current
+  /// element counts, so it is safe after chains/VNF deployments change).
+  void reset();
+
+  // --- link state ---------------------------------------------------------
+  /// Switchboard-attributed load (excludes background traffic).
+  [[nodiscard]] double link_load(LinkId e) const;
+  /// (background + switchboard) / capacity.
+  [[nodiscard]] double link_utilization(LinkId e) const;
+  /// Remaining link volume before hitting beta * b_e.
+  [[nodiscard]] double link_headroom(LinkId e) const;
+
+  // --- compute state ------------------------------------------------------
+  [[nodiscard]] double site_load(SiteId s) const;
+  [[nodiscard]] double site_utilization(SiteId s) const;
+  [[nodiscard]] double vnf_site_load(VnfId f, SiteId s) const;
+  [[nodiscard]] double vnf_site_utilization(VnfId f, SiteId s) const;
+  [[nodiscard]] double vnf_site_headroom(VnfId f, SiteId s) const;
+  [[nodiscard]] double site_headroom(SiteId s) const;
+
+  [[nodiscard]] const model::NetworkModel& model() const { return model_; }
+
+ private:
+  [[nodiscard]] std::size_t vnf_site_index(VnfId f, SiteId s) const {
+    return static_cast<std::size_t>(f.value()) * site_count_ + s.value();
+  }
+
+  const model::NetworkModel& model_;
+  std::size_t site_count_;
+  std::vector<double> link_load_;
+  std::vector<double> site_load_;
+  std::vector<double> vnf_site_load_;
+};
+
+}  // namespace switchboard::te

@@ -1,0 +1,58 @@
+// SB-LP: the linear-programming chain-routing optimizer (Section 4.3).
+//
+// Builds the paper's LP over variables x_{c z n1 n2} with three selectable
+// objectives:
+//   * kMinLatency      — Eq. 3 subject to full routing of all demand,
+//   * kMaxThroughput   — per-chain carried fraction t_c <= 1, maximize
+//                        carried volume (used in the Fig. 12a/b comparison),
+//   * kMaxUniformScale — one shared factor alpha multiplying all demand,
+//                        maximize alpha (the cloud-capacity-planning core).
+// Constraints: ingress/egress coupling, flow conservation (Eq. 5), VNF and
+// site compute capacity (Eq. 4), and the MLU bound on every link (Eq. 6-7).
+#pragma once
+
+#include "lp/simplex.hpp"
+#include "model/network_model.hpp"
+#include "te/routing_solution.hpp"
+
+namespace switchboard::te {
+
+enum class LpObjective { kMinLatency, kMaxThroughput, kMaxUniformScale };
+
+struct LpRoutingOptions {
+  LpObjective objective{LpObjective::kMinLatency};
+  /// Enforce the MLU bound (Eq. 6).  Disable to model compute-only TE.
+  bool enforce_mlu{true};
+  /// Weight of the latency term added to throughput objectives so that,
+  /// among max-throughput routings, low-latency ones win.
+  double latency_tiebreak{1e-4};
+  /// Cloud capacity planning (Section 4.3): when >= 0 and the objective is
+  /// kMaxUniformScale, each site gains a variable a_s >= 0 of additional
+  /// compute capacity with sum(a_s) <= budget; VNF-site capacities scale
+  /// with their site ((m_sf / m_s) * a_s extra headroom).
+  double cloud_capacity_budget{-1.0};
+  lp::SimplexOptions simplex{};
+};
+
+struct LpRoutingResult {
+  lp::SolveStatus status{lp::SolveStatus::kIterationLimit};
+  ChainRouting routing;
+  /// LP objective value (mode-specific).
+  double objective{0.0};
+  /// kMaxUniformScale: the optimal alpha.
+  double alpha{0.0};
+  /// kMaxThroughput: total carried stage-volume.
+  double carried_volume{0.0};
+  /// Cloud capacity planning: chosen extra capacity per site (empty when
+  /// planning was not requested).
+  std::vector<double> extra_site_capacity;
+
+  [[nodiscard]] bool optimal() const {
+    return status == lp::SolveStatus::kOptimal;
+  }
+};
+
+[[nodiscard]] LpRoutingResult solve_lp_routing(
+    const model::NetworkModel& model, const LpRoutingOptions& options = {});
+
+}  // namespace switchboard::te

@@ -1,0 +1,44 @@
+// Internal: the raw LP built by solve_lp_routing, exposed so that the
+// VNF-placement MIP (capacity_planning.cpp) can add gating variables and
+// constraints on top of the same formulation.
+#pragma once
+
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "model/network_model.hpp"
+#include "te/lp_routing.hpp"
+
+namespace switchboard::te::detail {
+
+/// Index bookkeeping for the x_{c z i j} variables of one chain stage.
+struct StageVars {
+  std::vector<model::StageEndpoint> sources;
+  std::vector<model::StageEndpoint> dests;
+  std::size_t base{0};   // first VarIndex; row-major [source][dest]
+
+  [[nodiscard]] lp::VarIndex var(std::size_t i, std::size_t j) const {
+    return base + i * dests.size() + j;
+  }
+};
+
+struct BuiltLp {
+  lp::Problem problem;
+  /// vars[chain][z-1] describes stage z of that chain.
+  std::vector<std::vector<StageVars>> vars;
+  lp::VarIndex alpha_var{0};
+  std::vector<lp::VarIndex> t_vars;
+  std::vector<lp::VarIndex> a_vars;
+  bool planning{false};
+};
+
+[[nodiscard]] BuiltLp build_routing_lp(const model::NetworkModel& model,
+                                       const LpRoutingOptions& options);
+
+/// Fills routing/alpha/carried_volume of `result` from solved values.
+void extract_routing(const model::NetworkModel& model, const BuiltLp& built,
+                     const std::vector<double>& values,
+                     const LpRoutingOptions& options,
+                     LpRoutingResult& result);
+
+}  // namespace switchboard::te::detail

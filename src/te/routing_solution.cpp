@@ -1,0 +1,63 @@
+#include "te/routing_solution.hpp"
+
+#include <cassert>
+
+namespace switchboard::te {
+
+ChainRouting::ChainRouting(std::size_t chain_count) { resize(chain_count); }
+
+void ChainRouting::resize(std::size_t chain_count) {
+  stages_.resize(chain_count);
+}
+
+void ChainRouting::init_chain(ChainId c, std::size_t stage_count) {
+  assert(c.valid());
+  if (c.value() >= stages_.size()) stages_.resize(c.value() + 1);
+  stages_[c.value()].assign(stage_count, {});
+}
+
+void ChainRouting::add_flow(ChainId c, std::size_t z, NodeId src, NodeId dst,
+                            double fraction) {
+  assert(has_chain(c));
+  assert(z >= 1 && z <= stages_[c.value()].size());
+  assert(fraction >= 0.0);
+  if (fraction == 0.0) return;
+  auto& flows = stages_[c.value()][z - 1];
+  for (StageFlow& f : flows) {
+    if (f.src == src && f.dst == dst) {
+      f.fraction += fraction;
+      return;
+    }
+  }
+  flows.push_back(StageFlow{src, dst, fraction});
+}
+
+const std::vector<StageFlow>& ChainRouting::flows(ChainId c,
+                                                  std::size_t z) const {
+  assert(has_chain(c));
+  assert(z >= 1 && z <= stages_[c.value()].size());
+  return stages_[c.value()][z - 1];
+}
+
+std::size_t ChainRouting::stage_count(ChainId c) const {
+  assert(c.valid() && c.value() < stages_.size());
+  return stages_[c.value()].size();
+}
+
+bool ChainRouting::has_chain(ChainId c) const {
+  return c.valid() && c.value() < stages_.size() &&
+         !stages_[c.value()].empty();
+}
+
+double ChainRouting::carried_fraction(ChainId c, std::size_t z) const {
+  double total = 0.0;
+  for (const StageFlow& f : flows(c, z)) total += f.fraction;
+  return total;
+}
+
+void ChainRouting::clear_chain(ChainId c) {
+  assert(c.valid() && c.value() < stages_.size());
+  for (auto& stage : stages_[c.value()]) stage.clear();
+}
+
+}  // namespace switchboard::te

@@ -1,0 +1,54 @@
+// The output of every traffic-engineering scheme: per chain and per stage,
+// the fraction x_{c z n1 n2} of the chain's stage-z traffic sent from node
+// n1 to node n2 (Section 4.2).  Fractions at a stage normally sum to 1;
+// they sum to less when a scheme could only admit part of the demand, and
+// to alpha when a uniform-scale solution carries scaled traffic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace switchboard::te {
+
+struct StageFlow {
+  NodeId src;
+  NodeId dst;
+  double fraction{0.0};
+};
+
+class ChainRouting {
+ public:
+  ChainRouting() = default;
+  explicit ChainRouting(std::size_t chain_count);
+
+  void resize(std::size_t chain_count);
+  [[nodiscard]] std::size_t chain_count() const { return stages_.size(); }
+
+  /// Ensures chain `c` has `stage_count` stage slots.
+  void init_chain(ChainId c, std::size_t stage_count);
+
+  /// Adds flow to stage z (1-based, as in the paper).  Merges with an
+  /// existing (src, dst) entry if present.
+  void add_flow(ChainId c, std::size_t z, NodeId src, NodeId dst,
+                double fraction);
+
+  [[nodiscard]] const std::vector<StageFlow>& flows(ChainId c,
+                                                    std::size_t z) const;
+  [[nodiscard]] std::size_t stage_count(ChainId c) const;
+  [[nodiscard]] bool has_chain(ChainId c) const;
+
+  /// Total fraction entering stage z of chain c (i.e., how much of the
+  /// chain's demand this routing carries at that stage).
+  [[nodiscard]] double carried_fraction(ChainId c, std::size_t z) const;
+
+  /// Removes all flows of a chain (used when rerouting).
+  void clear_chain(ChainId c);
+
+ private:
+  // stages_[chain][z-1] = flows of stage z.
+  std::vector<std::vector<std::vector<StageFlow>>> stages_;
+};
+
+}  // namespace switchboard::te

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bus/message_bus.hpp"
+#include "bus/topic.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace switchboard::bus {
+namespace {
+
+BusConfig make_config(std::size_t sites, double delay_ms = 20.0) {
+  BusConfig config;
+  config.site_count = sites;
+  config.inter_site_delay = [delay_ms](SiteId, SiteId) {
+    return sim::from_ms(delay_ms);
+  };
+  return config;
+}
+
+// ------------------------------------------------------------------- Topic
+
+TEST(Topic, PathsFollowPaperConvention) {
+  const Topic t = forwarders_topic(ChainId{1}, 3, VnfId{7}, SiteId{2});
+  EXPECT_EQ(t.path, "/c1/e3/vnf_7/site_2_forwarders");
+  EXPECT_EQ(t.publisher_site, SiteId{2});
+  const Topic i = instances_topic(ChainId{1}, 3, VnfId{7}, SiteId{2});
+  EXPECT_EQ(i.path, "/c1/e3/vnf_7/site_2_instances");
+  const Topic r = chain_routes_topic(ChainId{4}, SiteId{0});
+  EXPECT_EQ(r.path, "/chains/4/routes");
+  EXPECT_EQ(r.publisher_site, SiteId{0});
+}
+
+// ---------------------------------------------------------------- ProxyBus
+
+TEST(ProxyBus, DeliversToRemoteSubscriber) {
+  sim::Simulator sim;
+  ProxyBus bus{sim, make_config(3, 25.0)};
+  const Topic topic{"/t", SiteId{0}};
+  std::vector<std::string> received;
+  sim::SimTime delivered_at = 0;
+  bus.subscribe(SiteId{1}, topic, [&](const Message& m) {
+    received.push_back(m.payload);
+    delivered_at = sim.now();
+  });
+  bus.publish(topic, "hello");
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "hello");
+  // Service (0.1 ms) + propagation (25 ms).
+  EXPECT_EQ(delivered_at, sim::from_ms(25.0) + sim::microseconds(100));
+}
+
+TEST(ProxyBus, NoSubscriberNoMessage) {
+  sim::Simulator sim;
+  ProxyBus bus{sim, make_config(3)};
+  bus.publish(Topic{"/t", SiteId{0}}, "x");
+  sim.run();
+  EXPECT_EQ(bus.stats().wide_area_messages, 0u);
+  EXPECT_EQ(bus.stats().local_deliveries, 0u);
+}
+
+TEST(ProxyBus, OneWideAreaCopyPerSite) {
+  sim::Simulator sim;
+  ProxyBus bus{sim, make_config(4)};
+  const Topic topic{"/t", SiteId{0}};
+  int delivered = 0;
+  // Five subscribers at site 1, three at site 2.
+  for (int i = 0; i < 5; ++i) {
+    bus.subscribe(SiteId{1}, topic, [&](const Message&) { ++delivered; });
+  }
+  for (int i = 0; i < 3; ++i) {
+    bus.subscribe(SiteId{2}, topic, [&](const Message&) { ++delivered; });
+  }
+  bus.publish(topic, "x");
+  sim.run();
+  EXPECT_EQ(bus.stats().wide_area_messages, 2u);   // one per site
+  EXPECT_EQ(delivered, 8);
+}
+
+TEST(ProxyBus, LocalSubscriberNoWideArea) {
+  sim::Simulator sim;
+  ProxyBus bus{sim, make_config(2)};
+  const Topic topic{"/t", SiteId{0}};
+  int delivered = 0;
+  bus.subscribe(SiteId{0}, topic, [&](const Message&) { ++delivered; });
+  bus.publish(topic, "x");
+  sim.run();
+  EXPECT_EQ(bus.stats().wide_area_messages, 0u);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(ProxyBus, EgressBufferOverflowDrops) {
+  sim::Simulator sim;
+  BusConfig config = make_config(2);
+  config.egress_buffer = 4;
+  config.per_message_service = sim::milliseconds(1);
+  ProxyBus bus{sim, config};
+  const Topic topic{"/t", SiteId{0}};
+  bus.subscribe(SiteId{1}, topic, [](const Message&) {});
+  for (int i = 0; i < 20; ++i) bus.publish(topic, "x");
+  sim.run();
+  EXPECT_GT(bus.stats().drops, 0u);
+  EXPECT_LT(bus.stats().wide_area_messages, 20u);
+  EXPECT_EQ(bus.stats().wide_area_messages + bus.stats().drops, 20u);
+}
+
+TEST(ProxyBus, DistinctTopicsAreIndependent) {
+  sim::Simulator sim;
+  ProxyBus bus{sim, make_config(2)};
+  int a_count = 0;
+  int b_count = 0;
+  bus.subscribe(SiteId{1}, Topic{"/a", SiteId{0}},
+                [&](const Message&) { ++a_count; });
+  bus.subscribe(SiteId{1}, Topic{"/b", SiteId{0}},
+                [&](const Message&) { ++b_count; });
+  bus.publish(Topic{"/a", SiteId{0}}, "x");
+  sim.run();
+  EXPECT_EQ(a_count, 1);
+  EXPECT_EQ(b_count, 0);
+}
+
+TEST(ProxyBus, DuplicateSiteSubscriptionStillOneWireCopy) {
+  sim::Simulator sim;
+  ProxyBus bus{sim, make_config(2)};
+  const Topic topic{"/t", SiteId{0}};
+  int delivered = 0;
+  bus.subscribe(SiteId{1}, topic, [&](const Message&) { ++delivered; });
+  bus.subscribe(SiteId{1}, topic, [&](const Message&) { ++delivered; });
+  bus.publish(topic, "x");
+  sim.run();
+  EXPECT_EQ(bus.stats().wide_area_messages, 1u);
+  EXPECT_EQ(delivered, 2);
+}
+
+// ------------------------------------------------------------- FullMeshBus
+
+TEST(FullMeshBus, OneCopyPerSubscriber) {
+  sim::Simulator sim;
+  FullMeshBus bus{sim, make_config(4)};
+  const Topic topic{"/t", SiteId{0}};
+  int delivered = 0;
+  for (int i = 0; i < 5; ++i) {
+    bus.subscribe(SiteId{1}, topic, [&](const Message&) { ++delivered; });
+  }
+  bus.publish(topic, "x");
+  sim.run();
+  EXPECT_EQ(bus.stats().wide_area_messages, 5u);   // per subscriber!
+  EXPECT_EQ(delivered, 5);
+}
+
+TEST(FullMeshBus, QueuingInflatesLatencyVersusProxy) {
+  // Many subscribers spread across sites; a burst of publishes.  The
+  // full mesh serializes copies per subscriber at the publisher egress,
+  // the proxy bus one per site: mean delivery latency must be higher for
+  // the mesh (Fig. 9).
+  constexpr std::size_t kSites = 10;
+  constexpr int kSubsPerSite = 8;
+  constexpr int kBurst = 50;
+
+  auto run = [&](auto& bus, sim::Simulator& sim) {
+    const Topic topic{"/t", SiteId{0}};
+    for (std::size_t s = 1; s < kSites; ++s) {
+      for (int i = 0; i < kSubsPerSite; ++i) {
+        bus.subscribe(SiteId{static_cast<SiteId::underlying_type>(s)}, topic,
+                      [](const Message&) {});
+      }
+    }
+    for (int i = 0; i < kBurst; ++i) bus.publish(topic, "x");
+    sim.run();
+  };
+
+  sim::Simulator sim_proxy;
+  ProxyBus proxy{sim_proxy, make_config(kSites)};
+  run(proxy, sim_proxy);
+
+  sim::Simulator sim_mesh;
+  FullMeshBus mesh{sim_mesh, make_config(kSites)};
+  run(mesh, sim_mesh);
+
+  ASSERT_GT(proxy.stats().delivery_latency_ms.count(), 0u);
+  ASSERT_GT(mesh.stats().delivery_latency_ms.count(), 0u);
+  EXPECT_GT(mesh.stats().delivery_latency_ms.mean(),
+            proxy.stats().delivery_latency_ms.mean());
+  EXPECT_GT(mesh.stats().wide_area_messages,
+            proxy.stats().wide_area_messages);
+}
+
+TEST(FullMeshBus, DropsUnderOverload) {
+  sim::Simulator sim;
+  BusConfig config = make_config(3);
+  config.egress_buffer = 8;
+  config.per_message_service = sim::milliseconds(1);
+  FullMeshBus bus{sim, config};
+  const Topic topic{"/t", SiteId{0}};
+  for (int i = 0; i < 20; ++i) {
+    bus.subscribe(SiteId{1}, topic, [](const Message&) {});
+    bus.subscribe(SiteId{2}, topic, [](const Message&) {});
+  }
+  for (int i = 0; i < 10; ++i) bus.publish(topic, "x");
+  sim.run();
+  EXPECT_GT(bus.stats().drops, 0u);
+}
+
+// Property: both buses deliver the same *set* of messages when nothing
+// drops — the topologies differ in cost, not semantics.
+TEST(BusEquivalence, SameDeliveriesWithoutOverload) {
+  constexpr std::size_t kSites = 5;
+  auto run = [&](auto& bus, sim::Simulator& sim) {
+    std::vector<int> delivered(kSites, 0);
+    for (std::size_t s = 0; s < kSites; ++s) {
+      bus.subscribe(SiteId{static_cast<SiteId::underlying_type>(s)},
+                    Topic{"/t", SiteId{0}},
+                    [&delivered, s](const Message&) { ++delivered[s]; });
+    }
+    for (int i = 0; i < 7; ++i) bus.publish(Topic{"/t", SiteId{0}}, "m");
+    sim.run();
+    return delivered;
+  };
+
+  sim::Simulator sim_a;
+  ProxyBus proxy{sim_a, make_config(kSites)};
+  const auto a = run(proxy, sim_a);
+
+  sim::Simulator sim_b;
+  FullMeshBus mesh{sim_b, make_config(kSites)};
+  const auto b = run(mesh, sim_b);
+
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(proxy.stats().drops, 0u);
+  EXPECT_EQ(mesh.stats().drops, 0u);
+}
+
+
+// Property: for random topic/subscriber layouts (no overload), the proxy
+// bus delivers exactly once per (publish, subscriber), and its wide-area
+// cost is one message per (publish, distinct remote subscribed site).
+class BusFanoutProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BusFanoutProperty,
+                         ::testing::Values(2, 12, 22, 32));
+
+TEST_P(BusFanoutProperty, DeliveryAndWanCountsMatchTopology) {
+  Rng rng{GetParam()};
+  sim::Simulator sim;
+  constexpr std::size_t kSites = 8;
+  BusConfig config = make_config(kSites);
+  config.egress_buffer = 1 << 20;   // no drops in this property
+  ProxyBus bus{sim, config};
+
+  const int topics = static_cast<int>(rng.uniform_int(1, 4));
+  std::vector<Topic> all_topics;
+  std::vector<std::set<std::uint32_t>> remote_sites(topics);
+  std::vector<int> subscriber_count(topics, 0);
+  std::vector<int> delivered(topics, 0);
+  for (int t = 0; t < topics; ++t) {
+    const SiteId publisher{static_cast<SiteId::underlying_type>(
+        rng.uniform_int(0, kSites - 1))};
+    all_topics.push_back(Topic{"/t" + std::to_string(t), publisher});
+    const int subs = static_cast<int>(rng.uniform_int(1, 12));
+    for (int k = 0; k < subs; ++k) {
+      const SiteId site{static_cast<SiteId::underlying_type>(
+          rng.uniform_int(0, kSites - 1))};
+      bus.subscribe(site, all_topics[t],
+                    [&delivered, t](const Message&) { ++delivered[t]; });
+      ++subscriber_count[t];
+      if (site != publisher) remote_sites[t].insert(site.value());
+    }
+  }
+
+  std::vector<int> publishes(topics, 0);
+  std::uint64_t expected_wan = 0;
+  for (int t = 0; t < topics; ++t) {
+    publishes[t] = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < publishes[t]; ++i) {
+      bus.publish(all_topics[t], "m" + std::to_string(i));
+    }
+    expected_wan +=
+        static_cast<std::uint64_t>(publishes[t]) * remote_sites[t].size();
+  }
+  sim.run();
+
+  for (int t = 0; t < topics; ++t) {
+    EXPECT_EQ(delivered[t], publishes[t] * subscriber_count[t])
+        << "topic " << t;
+  }
+  EXPECT_EQ(bus.stats().wide_area_messages, expected_wan);
+  EXPECT_EQ(bus.stats().drops, 0u);
+}
+
+}  // namespace
+}  // namespace switchboard::bus

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "cache/experiment.hpp"
+#include "cache/lru_cache.hpp"
+#include "cache/web_workload.hpp"
+
+namespace switchboard::cache {
+namespace {
+
+// ---------------------------------------------------------------- LruCache
+
+TEST(LruCache, MissThenHit) {
+  LruCache cache{1000};
+  EXPECT_FALSE(cache.request(1, 100));
+  EXPECT_TRUE(cache.request(1, 100));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache{300};
+  cache.request(1, 100);
+  cache.request(2, 100);
+  cache.request(3, 100);
+  cache.request(1, 100);   // promote 1
+  cache.request(4, 100);   // evicts 2 (LRU)
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(LruCache, OversizedObjectNeverAdmitted) {
+  LruCache cache{100};
+  EXPECT_FALSE(cache.request(1, 500));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCache, UsedBytesTracked) {
+  LruCache cache{1000};
+  cache.request(1, 400);
+  cache.request(2, 300);
+  EXPECT_EQ(cache.used_bytes(), 700u);
+  EXPECT_EQ(cache.object_count(), 2u);
+  cache.request(3, 500);   // must evict 1 (400) to fit
+  EXPECT_EQ(cache.used_bytes(), 800u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(LruCache, ClearResets) {
+  LruCache cache{1000};
+  cache.request(1, 100);
+  cache.clear();
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+// ------------------------------------------------------------- WebWorkload
+
+TEST(WebWorkload, SizesAreDeterministicPerObject) {
+  WorkloadParams params;
+  WebWorkload a{params};
+  WebWorkload b{params};
+  for (ObjectId id = 0; id < 100; ++id) {
+    EXPECT_EQ(a.object_size(id), b.object_size(id));
+  }
+}
+
+TEST(WebWorkload, MeanSizeNearTarget) {
+  WorkloadParams params;
+  params.mean_object_bytes = 50 * 1024;
+  WebWorkload workload{params};
+  double total = 0.0;
+  const int n = 20000;
+  for (ObjectId id = 0; id < n; ++id) {
+    total += static_cast<double>(workload.object_size(id));
+  }
+  EXPECT_NEAR(total / n, 50.0 * 1024, 5.0 * 1024);
+}
+
+TEST(WebWorkload, PopularObjectsDominate) {
+  WorkloadParams params;
+  params.object_count = 10'000;
+  WebWorkload workload{params};
+  std::size_t head = 0;
+  const std::size_t n = 50'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (workload.next().object < 100) ++head;
+  }
+  // Zipf(1): the top-100 of 10k objects draw roughly half the requests.
+  EXPECT_GT(static_cast<double>(head) / n, 0.3);
+}
+
+// ---------------------------------------------------------- Shared vs silo
+
+ExperimentParams small_params() {
+  ExperimentParams params;
+  params.chain_count = 5;
+  params.total_cache_bytes = 64ull * 1024 * 1024;
+  params.requests_per_chain = 20'000;
+  params.workload.object_count = 50'000;
+  return params;
+}
+
+TEST(CacheExperiment, SharedBeatsSiloedHitRate) {
+  const ExperimentParams params = small_params();
+  const ExperimentResult shared = run_shared(params);
+  const ExperimentResult siloed = run_siloed(params);
+  EXPECT_GT(shared.hit_rate, siloed.hit_rate);
+  // The paper reports ~30% relative improvement; require a clear gap.
+  EXPECT_GT(shared.hit_rate, siloed.hit_rate * 1.1);
+}
+
+TEST(CacheExperiment, SharedBeatsSiloedDownloadTime) {
+  const ExperimentParams params = small_params();
+  const ExperimentResult shared = run_shared(params);
+  const ExperimentResult siloed = run_siloed(params);
+  EXPECT_LT(shared.mean_download_ms, siloed.mean_download_ms);
+}
+
+TEST(CacheExperiment, DownloadTimeModel) {
+  ExperimentParams params;
+  params.local_rtt_ms = 2.0;
+  params.wide_area_rtt_ms = 60.0;
+  params.edge_bandwidth_bytes_per_ms = 1024;
+  params.origin_bandwidth_bytes_per_ms = 512;
+  EXPECT_DOUBLE_EQ(download_time_ms(params, true, 1024), 2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(download_time_ms(params, false, 1024), 2.0 + 60.0 + 2.0);
+}
+
+TEST(CacheExperiment, RequestCountsMatch) {
+  ExperimentParams params = small_params();
+  params.requests_per_chain = 1000;
+  const ExperimentResult result = run_shared(params);
+  EXPECT_EQ(result.requests, 5000u);
+}
+
+}  // namespace
+}  // namespace switchboard::cache

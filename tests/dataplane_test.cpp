@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "dataplane/flow_table.hpp"
+#include "dataplane/forwarder.hpp"
+#include "dataplane/load_balancer.hpp"
+#include "dataplane/ovs_forwarder.hpp"
+#include "dataplane/packet.hpp"
+#include "dataplane/traffic_gen.hpp"
+
+namespace switchboard::dataplane {
+namespace {
+
+FiveTuple make_tuple(std::uint32_t i) {
+  return FiveTuple{0x0A000000u + i, 0xC0A80001u,
+                   static_cast<std::uint16_t>(1000 + i), 80, 6};
+}
+
+// ------------------------------------------------------------------ Packet
+
+TEST(Packet, ReversedSwapsEndpoints) {
+  const FiveTuple t{1, 2, 10, 20, 6};
+  const FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, 2u);
+  EXPECT_EQ(r.dst_ip, 1u);
+  EXPECT_EQ(r.src_port, 20);
+  EXPECT_EQ(r.dst_port, 10);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(Packet, FlowHashDiscriminates) {
+  const Labels labels{1, 2};
+  std::set<std::uint64_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(flow_hash(labels, make_tuple(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);   // no collisions on this small set
+}
+
+TEST(Packet, FlowHashDependsOnLabels) {
+  const FiveTuple t = make_tuple(1);
+  EXPECT_NE(flow_hash(Labels{1, 1}, t), flow_hash(Labels{2, 1}, t));
+  EXPECT_NE(flow_hash(Labels{1, 1}, t), flow_hash(Labels{1, 2}, t));
+}
+
+// --------------------------------------------------------------- FlowTable
+
+TEST(FlowTable, InsertFindErase) {
+  FlowTable table;
+  const Labels labels{7, 3};
+  const FiveTuple t = make_tuple(1);
+  EXPECT_EQ(table.find(labels, t), nullptr);
+  table.insert(labels, t, FlowEntry{10, 20, 30});
+  const FlowEntry* entry = table.find(labels, t);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->vnf_instance, 10u);
+  EXPECT_EQ(entry->next_forwarder, 20u);
+  EXPECT_EQ(entry->prev_element, 30u);
+  EXPECT_TRUE(table.erase(labels, t));
+  EXPECT_EQ(table.find(labels, t), nullptr);
+  EXPECT_FALSE(table.erase(labels, t));
+}
+
+TEST(FlowTable, InsertOverwrites) {
+  FlowTable table;
+  const Labels labels{1, 1};
+  const FiveTuple t = make_tuple(1);
+  table.insert(labels, t, FlowEntry{1, 1, 1});
+  table.insert(labels, t, FlowEntry{2, 2, 2});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(labels, t)->vnf_instance, 2u);
+}
+
+TEST(FlowTable, GrowsBeyondInitialCapacity) {
+  FlowTable table{16};
+  const Labels labels{1, 1};
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  EXPECT_EQ(table.size(), 10000u);
+  EXPECT_GE(table.capacity(), 10000u);
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    const FlowEntry* e = table.find(labels, make_tuple(i));
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_EQ(e->vnf_instance, i);
+  }
+}
+
+TEST(FlowTable, SameTupleDifferentLabelsAreDistinct) {
+  FlowTable table;
+  const FiveTuple t = make_tuple(1);
+  table.insert(Labels{1, 1}, t, FlowEntry{1, 1, 1});
+  table.insert(Labels{2, 1}, t, FlowEntry{2, 2, 2});
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.find(Labels{1, 1}, t)->vnf_instance, 1u);
+  EXPECT_EQ(table.find(Labels{2, 1}, t)->vnf_instance, 2u);
+}
+
+TEST(FlowTable, TombstonesDoNotBreakProbing) {
+  FlowTable table{16};
+  const Labels labels{1, 1};
+  // Fill, erase half, re-find the rest.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  for (std::uint32_t i = 0; i < 64; i += 2) {
+    EXPECT_TRUE(table.erase(labels, make_tuple(i)));
+  }
+  for (std::uint32_t i = 1; i < 64; i += 2) {
+    ASSERT_NE(table.find(labels, make_tuple(i)), nullptr) << i;
+  }
+  // Reinsert into tombstoned slots.
+  for (std::uint32_t i = 0; i < 64; i += 2) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  EXPECT_EQ(table.size(), 64u);
+}
+
+TEST(FlowTable, Clear) {
+  FlowTable table;
+  table.insert(Labels{1, 1}, make_tuple(1), FlowEntry{});
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.find(Labels{1, 1}, make_tuple(1)), nullptr);
+}
+
+// ---------------------------------------------------------- WeightedChoice
+
+TEST(WeightedChoice, SingleElementAlwaysPicked)  {
+  WeightedChoice choice;
+  choice.add(42, 1.0);
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    EXPECT_EQ(choice.pick(mix64(s)), 42u);
+  }
+}
+
+TEST(WeightedChoice, RespectsWeights) {
+  WeightedChoice choice;
+  choice.add(1, 1.0);
+  choice.add(2, 3.0);
+  int count1 = 0;
+  int count2 = 0;
+  for (std::uint64_t s = 0; s < 40000; ++s) {
+    const ElementId e = choice.pick(mix64(s));
+    if (e == 1) ++count1;
+    if (e == 2) ++count2;
+  }
+  EXPECT_NEAR(static_cast<double>(count2) / count1, 3.0, 0.3);
+}
+
+TEST(WeightedChoice, WeightOf) {
+  WeightedChoice choice;
+  choice.add(1, 1.5);
+  choice.add(2, 2.5);
+  EXPECT_DOUBLE_EQ(choice.weight_of(1), 1.5);
+  EXPECT_DOUBLE_EQ(choice.weight_of(2), 2.5);
+  EXPECT_DOUBLE_EQ(choice.weight_of(3), 0.0);
+  EXPECT_DOUBLE_EQ(choice.total_weight(), 4.0);
+}
+
+TEST(RuleTable, InstallFindRemove) {
+  RuleTable rules;
+  LoadBalanceRule rule;
+  rule.vnf_instances.add(5, 1.0);
+  rules.install(Labels{1, 2}, std::move(rule));
+  ASSERT_NE(rules.find(Labels{1, 2}), nullptr);
+  EXPECT_EQ(rules.find(Labels{1, 3}), nullptr);
+  rules.remove(Labels{1, 2});
+  EXPECT_EQ(rules.find(Labels{1, 2}), nullptr);
+}
+
+// --------------------------------------------------------------- Forwarder
+
+class ForwarderTest : public ::testing::Test {
+ protected:
+  static constexpr ElementId kVnf1 = 101;
+  static constexpr ElementId kVnf2 = 102;
+  static constexpr ElementId kNextFw = 201;
+  static constexpr ElementId kPrevFw = 200;
+  static constexpr Labels kLabels{7, 3};
+
+  ForwarderTest() : fw_{1} {
+    LoadBalanceRule rule;
+    rule.vnf_instances.add(kVnf1, 1.0);
+    rule.vnf_instances.add(kVnf2, 1.0);
+    rule.next_forwarders.add(kNextFw, 1.0);
+    rule.prev_forwarders.add(kPrevFw, 1.0);
+    fw_.rules().install(kLabels, std::move(rule));
+  }
+
+  Packet wire_packet(std::uint32_t flow, Direction dir = Direction::kForward,
+                     ElementId source = kPrevFw) {
+    Packet p;
+    p.flow = dir == Direction::kForward ? make_tuple(flow)
+                                        : make_tuple(flow).reversed();
+    p.labels = kLabels;
+    p.direction = dir;
+    p.arrival_source = source;
+    return p;
+  }
+
+  Forwarder fw_;
+};
+
+TEST_F(ForwarderTest, FirstPacketPinsVnfInstance) {
+  const Packet p = wire_packet(1);
+  const ForwardAction action = fw_.process_from_wire(p);
+  EXPECT_EQ(action.type, ActionType::kDeliverToAttached);
+  EXPECT_TRUE(action.element == kVnf1 || action.element == kVnf2);
+  EXPECT_EQ(fw_.counters().flow_misses, 1u);
+}
+
+TEST_F(ForwarderTest, FlowAffinity) {
+  // All packets of a connection hit the same instance.
+  const ForwardAction first = fw_.process_from_wire(wire_packet(1));
+  for (int i = 0; i < 50; ++i) {
+    const ForwardAction again = fw_.process_from_wire(wire_packet(1));
+    EXPECT_EQ(again, first);
+  }
+  EXPECT_EQ(fw_.counters().flow_misses, 1u);
+}
+
+TEST_F(ForwarderTest, DifferentFlowsSpreadAcrossInstances) {
+  std::set<ElementId> chosen;
+  for (std::uint32_t f = 0; f < 64; ++f) {
+    chosen.insert(fw_.process_from_wire(wire_packet(f)).element);
+  }
+  EXPECT_EQ(chosen.size(), 2u);   // both instances used
+}
+
+TEST_F(ForwarderTest, VnfReturnGoesToNextForwarder) {
+  fw_.process_from_wire(wire_packet(1));
+  Packet from_vnf = wire_packet(1);
+  from_vnf.arrival_source = kVnf1;
+  const ForwardAction action = fw_.process_from_attached(from_vnf);
+  EXPECT_EQ(action.type, ActionType::kSendToForwarder);
+  EXPECT_EQ(action.element, kNextFw);
+}
+
+TEST_F(ForwarderTest, SymmetricReturnUsesLearnedPrevHop) {
+  // Forward packet arrives from kPrevFw and creates state.
+  fw_.process_from_wire(wire_packet(1, Direction::kForward, kPrevFw));
+  // Reverse packet from the wire is delivered to the pinned instance...
+  const ForwardAction to_vnf =
+      fw_.process_from_wire(wire_packet(1, Direction::kReverse, kNextFw));
+  EXPECT_EQ(to_vnf.type, ActionType::kDeliverToAttached);
+  // ...and after VNF processing returns to the learned previous hop.
+  Packet reverse_from_vnf = wire_packet(1, Direction::kReverse);
+  reverse_from_vnf.arrival_source = to_vnf.element;
+  const ForwardAction back = fw_.process_from_attached(reverse_from_vnf);
+  EXPECT_EQ(back.type, ActionType::kSendToForwarder);
+  EXPECT_EQ(back.element, kPrevFw);
+}
+
+TEST_F(ForwarderTest, ReverseWithoutStateDrops) {
+  const ForwardAction action =
+      fw_.process_from_wire(wire_packet(9, Direction::kReverse));
+  EXPECT_EQ(action.type, ActionType::kDrop);
+  EXPECT_EQ(fw_.counters().drops, 1u);
+}
+
+TEST_F(ForwarderTest, UnknownLabelsDrop) {
+  Packet p = wire_packet(1);
+  p.labels = Labels{99, 99};
+  EXPECT_EQ(fw_.process_from_wire(p).type, ActionType::kDrop);
+}
+
+TEST_F(ForwarderTest, IngressEdgeFirstPacketCreatesState) {
+  // Packet injected by an attached ingress edge instance (id 300).
+  Packet p = wire_packet(5);
+  p.arrival_source = 300;
+  const ForwardAction action = fw_.process_from_attached(p);
+  EXPECT_EQ(action.type, ActionType::kSendToForwarder);
+  EXPECT_EQ(action.element, kNextFw);
+  // Reverse traffic for the flow is delivered back to the edge instance.
+  const ForwardAction reverse =
+      fw_.process_from_wire(wire_packet(5, Direction::kReverse, kNextFw));
+  EXPECT_EQ(reverse.type, ActionType::kDeliverToAttached);
+  EXPECT_EQ(reverse.element, 300u);
+}
+
+TEST_F(ForwarderTest, LabelReaffixForLegacyVnf) {
+  fw_.register_attachment(kVnf1, kLabels);
+  fw_.process_from_wire(wire_packet(1));
+  // The legacy VNF returns the packet with labels stripped.
+  Packet stripped = wire_packet(1);
+  stripped.labels = Labels{};
+  stripped.arrival_source = kVnf1;
+  const ForwardAction action = fw_.process_from_attached(stripped);
+  EXPECT_EQ(action.type, ActionType::kSendToForwarder);
+  EXPECT_EQ(stripped.labels, kLabels);   // re-affixed in place
+  EXPECT_EQ(fw_.counters().label_reaffixed, 1u);
+}
+
+TEST_F(ForwarderTest, CompleteFlowRemovesState) {
+  fw_.process_from_wire(wire_packet(1));
+  EXPECT_EQ(fw_.flow_table().size(), 1u);
+  EXPECT_TRUE(fw_.complete_flow(kLabels, make_tuple(1)));
+  EXPECT_EQ(fw_.flow_table().size(), 0u);
+  // Next packet re-selects (miss again).
+  fw_.process_from_wire(wire_packet(1));
+  EXPECT_EQ(fw_.counters().flow_misses, 2u);
+}
+
+TEST_F(ForwarderTest, MakeBeforeBreakRuleChangeKeepsExistingFlows) {
+  // Existing flow pinned to its instance...
+  const ForwardAction before = fw_.process_from_wire(wire_packet(1));
+  // ...then the Local Switchboard installs a new rule (e.g., new route)
+  // with only a new instance.
+  LoadBalanceRule new_rule;
+  new_rule.vnf_instances.add(999, 1.0);
+  new_rule.next_forwarders.add(kNextFw, 1.0);
+  fw_.rules().install(kLabels, std::move(new_rule));
+  // Old flow unaffected (flow affinity across route changes, Sec. 5.3)...
+  EXPECT_EQ(fw_.process_from_wire(wire_packet(1)), before);
+  // ...new flows use the new rule.
+  EXPECT_EQ(fw_.process_from_wire(wire_packet(2)).element, 999u);
+}
+
+// ------------------------------------------------------------ OvsForwarder
+
+TEST(OvsForwarder, BridgeIsDeterministic) {
+  OvsForwarder a{OvsMode::kBridge};
+  OvsForwarder b{OvsMode::kBridge};
+  const auto packets = make_packet_batch({.flow_count = 10}, 100);
+  for (const Packet& p : packets) {
+    EXPECT_EQ(a.process(p), b.process(p));
+  }
+}
+
+TEST(OvsForwarder, AffinityLearnsRulesPerFlow) {
+  OvsForwarder ovs{OvsMode::kLabelsAffinity};
+  const auto packets = make_packet_batch({.flow_count = 10}, 200);
+  for (const Packet& p : packets) ovs.process(p);
+  // 2 rules per flow (forward + reverse learn).
+  EXPECT_EQ(ovs.learned_rules(), 20u);
+}
+
+TEST(OvsForwarder, AffinityKeepsPortStable) {
+  OvsForwarder ovs{OvsMode::kLabelsAffinity};
+  PacketStream stream{{.flow_count = 4}};
+  std::uint32_t first_ports[4];
+  for (int i = 0; i < 4; ++i) first_ports[i] = ovs.process(stream.next());
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(ovs.process(stream.next()), first_ports[i]);
+    }
+  }
+}
+
+TEST(OvsForwarder, LabelsModeDoesHeaderWork) {
+  OvsForwarder ovs{OvsMode::kLabels};
+  const auto packets = make_packet_batch({.flow_count = 5}, 50);
+  for (const Packet& p : packets) ovs.process(p);
+  EXPECT_GT(ovs.work_digest(), 0u);
+}
+
+// -------------------------------------------------------------- TrafficGen
+
+TEST(TrafficGen, RoundRobinAcrossFlows) {
+  PacketStream stream{{.flow_count = 3}};
+  const Packet a = stream.next();
+  const Packet b = stream.next();
+  const Packet c = stream.next();
+  const Packet a2 = stream.next();
+  EXPECT_NE(a.flow, b.flow);
+  EXPECT_NE(b.flow, c.flow);
+  EXPECT_EQ(a.flow, a2.flow);
+}
+
+TEST(TrafficGen, DistinctFlowsHaveDistinctTuples) {
+  PacketStream stream{{.flow_count = 1000}};
+  std::set<std::uint64_t> hashes;
+  for (std::uint32_t f = 0; f < 1000; ++f) {
+    hashes.insert(flow_hash(Labels{1, 1}, stream.flow_tuple(f)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(TrafficGen, ReverseFractionApproximate) {
+  TrafficGenConfig config;
+  config.flow_count = 10;
+  config.reverse_fraction = 0.3;
+  const auto packets = make_packet_batch(config, 10000);
+  int reverse = 0;
+  for (const Packet& p : packets) {
+    if (p.direction == Direction::kReverse) ++reverse;
+  }
+  EXPECT_NEAR(reverse / 10000.0, 0.3, 0.03);
+}
+
+TEST(TrafficGen, DeterministicForSeed) {
+  const auto a = make_packet_batch({.flow_count = 7, .seed = 3}, 100);
+  const auto b = make_packet_batch({.flow_count = 7, .seed = 3}, 100);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].flow, b[i].flow);
+    EXPECT_EQ(a[i].direction, b[i].direction);
+  }
+}
+
+}  // namespace
+}  // namespace switchboard::dataplane

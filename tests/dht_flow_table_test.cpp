@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/dht_flow_table.hpp"
+#include "dataplane/forwarder.hpp"
+#include "dataplane/traffic_gen.hpp"
+
+namespace switchboard::dataplane {
+namespace {
+
+FiveTuple make_tuple(std::uint32_t i) {
+  return FiveTuple{0x0A000000u + i, 0xC0A80001u,
+                   static_cast<std::uint16_t>(1000 + i % 60000), 80, 6};
+}
+
+constexpr Labels kLabels{5, 2};
+
+// ------------------------------------------------------------ DhtFlowTable
+
+TEST(DhtFlowTable, InsertFindErase) {
+  DhtFlowTable dht{4};
+  dht.insert(kLabels, make_tuple(1), FlowEntry{10, 20, 30});
+  const auto found = dht.find(kLabels, make_tuple(1));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->vnf_instance, 10u);
+  EXPECT_TRUE(dht.erase(kLabels, make_tuple(1)));
+  EXPECT_FALSE(dht.find(kLabels, make_tuple(1)).has_value());
+}
+
+TEST(DhtFlowTable, EntriesAreReplicatedTwice) {
+  DhtFlowTable dht{5};
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    dht.insert(kLabels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  std::size_t stored = 0;
+  for (std::size_t n = 0; n < dht.node_count(); ++n) {
+    stored += dht.shard_size(n);
+  }
+  EXPECT_EQ(stored, 1000u);   // 500 flows x replication factor 2
+  EXPECT_EQ(dht.total_flows(), 500u);
+}
+
+TEST(DhtFlowTable, KeysSpreadAcrossNodes) {
+  DhtFlowTable dht{5};
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    dht.insert(kLabels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  for (std::size_t n = 0; n < dht.node_count(); ++n) {
+    // Perfect balance would be 800/node; require some share everywhere.
+    EXPECT_GT(dht.shard_size(n), 100u) << "node " << n;
+  }
+}
+
+TEST(DhtFlowTable, SurvivesSingleNodeFailure) {
+  // Flow affinity survives a forwarder-node crash: every entry is still
+  // readable through its replica (the Section 5.3 fault-tolerance goal).
+  DhtFlowTable dht{4};
+  constexpr std::uint32_t kFlows = 1000;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    dht.insert(kLabels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  dht.fail_node(1);
+  EXPECT_EQ(dht.live_node_count(), 3u);
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    const auto found = dht.find(kLabels, make_tuple(i));
+    ASSERT_TRUE(found.has_value()) << "flow " << i << " lost";
+    EXPECT_EQ(found->vnf_instance, i);
+  }
+  // Replication factor restored: the survivors hold 2 copies again.
+  std::size_t stored = 0;
+  for (std::size_t n = 0; n < dht.node_count(); ++n) {
+    stored += dht.shard_size(n);
+  }
+  EXPECT_EQ(stored, 2 * kFlows);
+}
+
+TEST(DhtFlowTable, SurvivesSequentialFailures) {
+  DhtFlowTable dht{5};
+  constexpr std::uint32_t kFlows = 600;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    dht.insert(kLabels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  dht.fail_node(0);
+  dht.fail_node(3);   // sequential, with re-replication between
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    ASSERT_TRUE(dht.find(kLabels, make_tuple(i)).has_value()) << i;
+  }
+}
+
+TEST(DhtFlowTable, RecoveryRebalances) {
+  DhtFlowTable dht{4};
+  for (std::uint32_t i = 0; i < 800; ++i) {
+    dht.insert(kLabels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  dht.fail_node(2);
+  EXPECT_EQ(dht.shard_size(2), 0u);
+  dht.recover_node(2);
+  EXPECT_TRUE(dht.node_alive(2));
+  // After recovery + re-replication the node carries load again.
+  EXPECT_GT(dht.shard_size(2), 0u);
+  for (std::uint32_t i = 0; i < 800; ++i) {
+    ASSERT_TRUE(dht.find(kLabels, make_tuple(i)).has_value()) << i;
+  }
+  EXPECT_EQ(dht.total_flows(), 800u);
+}
+
+TEST(DhtFlowTable, InsertAfterFailureUsesSurvivors) {
+  DhtFlowTable dht{3};
+  dht.fail_node(0);
+  dht.insert(kLabels, make_tuple(9), FlowEntry{9, 9, 9});
+  ASSERT_TRUE(dht.find(kLabels, make_tuple(9)).has_value());
+  EXPECT_EQ(dht.shard_size(0), 0u);
+}
+
+// ----------------------------------------------------------- MigrateFlows
+
+TEST(MigrateFlows, MovesOnlyMatchingInstanceAndRepins) {
+  Forwarder source{1};
+  Forwarder target{2};
+  LoadBalanceRule rule;
+  rule.vnf_instances.add(100, 1.0);
+  rule.vnf_instances.add(101, 1.0);
+  rule.next_forwarders.add(200, 1.0);
+  source.rules().install(kLabels, std::move(rule));
+
+  // Establish 200 flows split across the two instances.
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    Packet p;
+    p.flow = make_tuple(i);
+    p.labels = kLabels;
+    p.arrival_source = 50;
+    source.process_from_wire(p);
+  }
+  std::size_t pinned_100 = 0;
+  source.flow_table().for_each(
+      [&](const Labels&, const FiveTuple&, FlowEntry& e) {
+        if (e.vnf_instance == 100) ++pinned_100;
+      });
+  ASSERT_GT(pinned_100, 0u);
+
+  // Drain instance 100's flows to the target forwarder (new instance 300).
+  const std::size_t moved = source.migrate_flows(target, 100, 300);
+  EXPECT_EQ(moved, pinned_100);
+  EXPECT_EQ(source.flow_table().size(), 200 - moved);
+  EXPECT_EQ(target.flow_table().size(), moved);
+
+  // Migrated flows keep affinity at the target under the new instance.
+  target.flow_table().for_each(
+      [&](const Labels&, const FiveTuple&, FlowEntry& e) {
+        EXPECT_EQ(e.vnf_instance, 300u);
+      });
+  // Remaining flows at the source are untouched (still instance 101).
+  source.flow_table().for_each(
+      [&](const Labels&, const FiveTuple&, FlowEntry& e) {
+        EXPECT_EQ(e.vnf_instance, 101u);
+      });
+}
+
+TEST(MigrateFlows, MigratedFlowServedByTarget) {
+  Forwarder source{1};
+  Forwarder target{2};
+  LoadBalanceRule rule;
+  rule.vnf_instances.add(100, 1.0);
+  rule.next_forwarders.add(200, 1.0);
+  source.rules().install(kLabels, rule);
+
+  Packet p;
+  p.flow = make_tuple(7);
+  p.labels = kLabels;
+  p.arrival_source = 50;
+  source.process_from_wire(p);
+  source.migrate_flows(target, 100, 300);
+
+  // The same connection's next packet at the target hits the moved state
+  // (no rule needed at the target).
+  const ForwardAction action = target.process_from_wire(p);
+  EXPECT_EQ(action.type, ActionType::kDeliverToAttached);
+  EXPECT_EQ(action.element, 300u);
+  EXPECT_EQ(target.counters().flow_misses, 0u);
+}
+
+}  // namespace
+}  // namespace switchboard::dataplane

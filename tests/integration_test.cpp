@@ -1,0 +1,288 @@
+// End-to-end integration tests: many chains through the full middleware
+// (controllers + bus + data plane), service sharing, VNF-less chains,
+// same-site chains, and control-plane timing behavior.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "switchboard/switchboard.hpp"
+
+namespace switchboard {
+namespace {
+
+using control::ChainSpec;
+using core::Middleware;
+
+dataplane::FiveTuple tuple(std::uint32_t i) {
+  return dataplane::FiveTuple{0x0A010000u + i, 0xC0A80001u,
+                              static_cast<std::uint16_t>(2000 + i), 443, 6};
+}
+
+/// Backbone with sites everywhere and two VNFs spread around.
+model::NetworkModel make_backbone(std::uint64_t seed = 5) {
+  model::ScenarioParams params;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+  params.vnf_count = 0;
+  params.chain_count = 0;
+  params.seed = seed;
+  model::NetworkModel m = model::make_scenario(params);
+  const VnfId fw = m.add_vnf("firewall", 1.0);
+  const VnfId nat = m.add_vnf("nat", 1.0);
+  for (std::size_t s = 0; s < m.sites().size(); s += 2) {
+    m.deploy_vnf(fw, m.sites()[s].id, 100.0);
+  }
+  for (std::size_t s = 1; s < m.sites().size(); s += 2) {
+    m.deploy_vnf(nat, m.sites()[s].id, 100.0);
+  }
+  return m;
+}
+
+TEST(Integration, ManyChainsActivateAndCarryTraffic) {
+  model::NetworkModel m = make_backbone();
+  const VnfId fw = m.vnfs()[0].id;
+  const VnfId nat = m.vnfs()[1].id;
+  const std::size_t nodes = m.topology().node_count();
+
+  Middleware mw{std::move(m)};
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+
+  Rng rng{99};
+  std::vector<ChainId> chains;
+  for (int c = 0; c < 8; ++c) {
+    ChainSpec spec;
+    spec.name = "chain" + std::to_string(c);
+    spec.ingress_service = edge;
+    spec.egress_service = edge;
+    spec.ingress_node = NodeId{static_cast<NodeId::underlying_type>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1))};
+    do {
+      spec.egress_node = NodeId{static_cast<NodeId::underlying_type>(
+          rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1))};
+    } while (spec.egress_node == spec.ingress_node);
+    spec.vnfs = c % 2 == 0 ? std::vector<VnfId>{fw, nat}
+                           : std::vector<VnfId>{fw};
+    spec.forward_traffic = 1.0;
+    const auto report = mw.create_chain(spec);
+    ASSERT_TRUE(report.ok())
+        << spec.name << ": " << report.error().to_string();
+    chains.push_back(report->chain);
+  }
+
+  // Traffic on every chain: delivered, conformant (VNFs in spec order).
+  auto& elements = mw.deployment().elements();
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    const auto walk =
+        mw.send(chains[c], tuple(static_cast<std::uint32_t>(c)));
+    ASSERT_TRUE(walk.delivered) << "chain " << c << ": " << walk.failure;
+    const auto instances = walk.vnf_instances();
+    const auto& spec_vnfs = mw.chain_record(chains[c]).spec.vnfs;
+    ASSERT_EQ(instances.size(), spec_vnfs.size());
+    for (std::size_t z = 0; z < instances.size(); ++z) {
+      EXPECT_EQ(elements.info(instances[z]).vnf, spec_vnfs[z])
+          << "chain " << c << " stage " << z;
+    }
+  }
+}
+
+TEST(Integration, VnfInstancesAreSharedAcrossChains) {
+  // Two chains through the same VNF at the same site must reuse one
+  // instance (the service-oriented design of Section 7.2).
+  model::NetworkModel m{net::make_line_topology(3, 50.0, 5.0)};
+  m.add_site(NodeId{0}, 100.0);
+  const SiteId mid = m.add_site(NodeId{1}, 100.0);
+  m.add_site(NodeId{2}, 100.0);
+  const VnfId fw = m.add_vnf("fw", 1.0);
+  m.deploy_vnf(fw, mid, 100.0);
+
+  Middleware mw{std::move(m)};
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  ChainSpec spec;
+  spec.ingress_service = edge;
+  spec.egress_service = edge;
+  spec.ingress_node = NodeId{0};
+  spec.egress_node = NodeId{2};
+  spec.vnfs = {fw};
+  const auto chain_a = mw.create_chain(spec);
+  ASSERT_TRUE(chain_a.ok());
+  spec.ingress_node = NodeId{2};   // opposite direction
+  spec.egress_node = NodeId{0};
+  const auto chain_b = mw.create_chain(spec);
+  ASSERT_TRUE(chain_b.ok());
+
+  const auto walk_a = mw.send(chain_a->chain, tuple(1));
+  const auto walk_b = mw.send(chain_b->chain, tuple(2));
+  ASSERT_TRUE(walk_a.delivered) << walk_a.failure;
+  ASSERT_TRUE(walk_b.delivered) << walk_b.failure;
+  ASSERT_EQ(walk_a.vnf_instances().size(), 1u);
+  EXPECT_EQ(walk_a.vnf_instances(), walk_b.vnf_instances())
+      << "chains should share the firewall instance";
+}
+
+TEST(Integration, VnflessChainForwardsEdgeToEdge) {
+  model::NetworkModel m{net::make_line_topology(3, 50.0, 5.0)};
+  m.add_site(NodeId{0}, 100.0);
+  m.add_site(NodeId{1}, 100.0);
+  m.add_site(NodeId{2}, 100.0);
+
+  Middleware mw{std::move(m)};
+  const EdgeServiceId edge = mw.register_edge_service("lan");
+  ChainSpec spec;
+  spec.name = "default-chain";
+  spec.ingress_service = edge;
+  spec.egress_service = edge;
+  spec.ingress_node = NodeId{0};
+  spec.egress_node = NodeId{2};
+  const auto report = mw.create_chain(spec);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+
+  const auto walk = mw.send(report->chain, tuple(3));
+  ASSERT_TRUE(walk.delivered) << walk.failure;
+  EXPECT_TRUE(walk.vnf_instances().empty());
+  EXPECT_NEAR(walk.latency_ms, 10.0, 1e-6);   // two 5 ms hops, no VNF
+  // Reverse works too.
+  const auto reverse =
+      mw.send(report->chain, tuple(3), dataplane::Direction::kReverse);
+  EXPECT_TRUE(reverse.delivered) << reverse.failure;
+}
+
+TEST(Integration, SameSiteIngressAndEgress) {
+  // The Fig. 3 demo shape: webcam and laptop behind the same CPE, VNF at
+  // a remote site.
+  net::Topology topo;
+  const NodeId cpe = topo.add_node("cpe");
+  const NodeId cloud = topo.add_node("cloud");
+  topo.add_duplex_link(cpe, cloud, 50.0, 30.0);
+  model::NetworkModel m{std::move(topo)};
+  m.add_site(cpe, 10.0);
+  const SiteId cloud_site = m.add_site(cloud, 100.0);
+  const VnfId blur = m.add_vnf("face-blur", 1.0);
+  m.deploy_vnf(blur, cloud_site, 50.0);
+
+  Middleware mw{std::move(m)};
+  const EdgeServiceId lan = mw.register_edge_service("lan");
+  ChainSpec spec;
+  spec.ingress_service = lan;
+  spec.egress_service = lan;
+  spec.ingress_node = cpe;
+  spec.egress_node = cpe;
+  spec.vnfs = {blur};
+  const auto report = mw.create_chain(spec);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  const auto walk = mw.send(report->chain, tuple(4));
+  ASSERT_TRUE(walk.delivered) << walk.failure;
+  EXPECT_EQ(walk.vnf_instances().size(), 1u);
+  // Round trip to the cloud and back: 60 ms + processing.
+  EXPECT_GT(walk.latency_ms, 59.9);
+}
+
+TEST(Integration, UninvolvedSitesHostNoForwarders) {
+  model::NetworkModel m{net::make_line_topology(5, 50.0, 5.0)};
+  for (int i = 0; i < 5; ++i) {
+    m.add_site(NodeId{static_cast<NodeId::underlying_type>(i)}, 100.0);
+  }
+  const VnfId fw = m.add_vnf("fw", 1.0);
+  m.deploy_vnf(fw, SiteId{1}, 100.0);
+
+  Middleware mw{std::move(m)};
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  ChainSpec spec;
+  spec.ingress_service = edge;
+  spec.egress_service = edge;
+  spec.ingress_node = NodeId{0};
+  spec.egress_node = NodeId{2};
+  spec.vnfs = {fw};
+  ASSERT_TRUE(mw.create_chain(spec).ok());
+
+  // Sites 3 and 4 play no role: no data-plane elements materialize there.
+  EXPECT_TRUE(mw.deployment().elements().forwarders_at(SiteId{3}).empty());
+  EXPECT_TRUE(mw.deployment().elements().forwarders_at(SiteId{4}).empty());
+  EXPECT_FALSE(mw.deployment().elements().forwarders_at(SiteId{1}).empty());
+}
+
+TEST(Integration, CreationLatencyScalesWithControlRtt) {
+  auto run = [](sim::Duration rpc) {
+    model::NetworkModel m{net::make_line_topology(3, 50.0, 5.0)};
+    m.add_site(NodeId{0}, 100.0);
+    const SiteId mid = m.add_site(NodeId{1}, 100.0);
+    m.add_site(NodeId{2}, 100.0);
+    const VnfId fw = m.add_vnf("fw", 1.0);
+    m.deploy_vnf(fw, mid, 100.0);
+    core::DeploymentConfig config;
+    config.timings.controller_rpc = rpc;
+    Middleware mw{std::move(m), config};
+    const EdgeServiceId edge = mw.register_edge_service("vpn");
+    ChainSpec spec;
+    spec.ingress_service = edge;
+    spec.egress_service = edge;
+    spec.ingress_node = NodeId{0};
+    spec.egress_node = NodeId{2};
+    spec.vnfs = {fw};
+    const auto report = mw.create_chain(spec);
+    EXPECT_TRUE(report.ok());
+    return report.ok() ? report->elapsed() : sim::Duration{0};
+  };
+  const sim::Duration fast = run(sim::from_ms(5.0));
+  const sim::Duration slow = run(sim::from_ms(50.0));
+  EXPECT_GT(slow, fast);
+  // 2PC has several RPC rounds: +45 ms per one-way RPC should add well
+  // over 100 ms end to end.
+  EXPECT_GT(slow - fast, sim::from_ms(100.0));
+}
+
+TEST(Integration, BusCarriesBoundedControlState) {
+  model::NetworkModel m = make_backbone();
+  const VnfId fw = m.vnfs()[0].id;
+  Middleware mw{std::move(m)};
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  ChainSpec spec;
+  spec.ingress_service = edge;
+  spec.egress_service = edge;
+  spec.ingress_node = NodeId{0};
+  spec.egress_node = NodeId{3};
+  spec.vnfs = {fw};
+  ASSERT_TRUE(mw.create_chain(spec).ok());
+  const auto& stats = mw.deployment().bus().stats();
+  EXPECT_GT(stats.published, 0u);
+  EXPECT_EQ(stats.drops, 0u);
+  // Route announcements replicate to all sites; instance/forwarder topics
+  // only to subscribed sites.  A generous bound still catches broadcast
+  // regressions (full mesh would be subscribers x messages).
+  EXPECT_LT(stats.wide_area_messages,
+            stats.published * mw.deployment().network_model().sites().size());
+}
+
+TEST(Integration, TrafficAfterRouteChangeStillConformant) {
+  model::NetworkModel m = make_backbone(7);
+  const VnfId fw = m.vnfs()[0].id;
+  Middleware mw{std::move(m)};
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  ChainSpec spec;
+  spec.ingress_service = edge;
+  spec.egress_service = edge;
+  spec.ingress_node = NodeId{1};
+  spec.egress_node = NodeId{5};
+  spec.vnfs = {fw};
+  spec.forward_traffic = 3.0;
+  const auto created = mw.create_chain(spec);
+  ASSERT_TRUE(created.ok());
+  const auto added = mw.add_route(created->chain, {});
+  ASSERT_TRUE(added.ok()) << added.error().to_string();
+
+  auto& elements = mw.deployment().elements();
+  for (std::uint32_t f = 0; f < 30; ++f) {
+    const auto walk = mw.send(created->chain, tuple(100 + f));
+    ASSERT_TRUE(walk.delivered) << walk.failure;
+    const auto instances = walk.vnf_instances();
+    ASSERT_EQ(instances.size(), 1u);
+    EXPECT_EQ(elements.info(instances[0]).vnf, fw);
+    // Symmetric return still holds after the route change.
+    const auto reverse = mw.send(created->chain, tuple(100 + f),
+                                 dataplane::Direction::kReverse);
+    ASSERT_TRUE(reverse.delivered) << reverse.failure;
+    EXPECT_EQ(reverse.vnf_instances(), instances);
+  }
+}
+
+}  // namespace
+}  // namespace switchboard

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "model/network_model.hpp"
+#include "model/scenario.hpp"
+#include "net/topology_gen.hpp"
+
+namespace switchboard::model {
+namespace {
+
+NetworkModel make_line_model() {
+  return NetworkModel{net::make_line_topology(3, 10.0, 5.0)};
+}
+
+TEST(NetworkModel, SitesColocateWithNodes) {
+  NetworkModel m = make_line_model();
+  const SiteId s = m.add_site(NodeId{1}, 100.0, "mid");
+  EXPECT_EQ(m.site(s).node, NodeId{1});
+  EXPECT_EQ(m.site_at(NodeId{1}), s);
+  EXPECT_FALSE(m.site_at(NodeId{0}).has_value());
+}
+
+TEST(NetworkModel, VnfDeployment) {
+  NetworkModel m = make_line_model();
+  const SiteId s0 = m.add_site(NodeId{0}, 100.0);
+  const SiteId s2 = m.add_site(NodeId{2}, 100.0);
+  const VnfId f = m.add_vnf("fw", 2.0);
+  m.deploy_vnf(f, s0, 30.0);
+  m.deploy_vnf(f, s2, 40.0);
+  EXPECT_TRUE(m.vnf(f).deployed_at(s0));
+  EXPECT_FALSE(m.vnf(f).deployed_at(SiteId{99}));
+  EXPECT_DOUBLE_EQ(m.vnf(f).capacity_at(s2), 40.0);
+  EXPECT_DOUBLE_EQ(m.vnf(f).capacity_at(SiteId{99}), 0.0);
+  m.undeploy_vnf(f, s0);
+  EXPECT_FALSE(m.vnf(f).deployed_at(s0));
+  m.set_vnf_site_capacity(f, s2, 55.0);
+  EXPECT_DOUBLE_EQ(m.vnf(f).capacity_at(s2), 55.0);
+}
+
+TEST(NetworkModel, ChainStageAccessors) {
+  NetworkModel m = make_line_model();
+  const SiteId s1 = m.add_site(NodeId{1}, 100.0);
+  const VnfId f = m.add_vnf("fw", 1.0);
+  m.deploy_vnf(f, s1, 10.0);
+
+  Chain chain;
+  chain.ingress = NodeId{0};
+  chain.egress = NodeId{2};
+  chain.vnfs = {f};
+  chain.forward_traffic = {4.0, 4.0};
+  chain.reverse_traffic = {1.0, 1.0};
+  const ChainId c = m.add_chain(std::move(chain));
+
+  const Chain& stored = m.chain(c);
+  EXPECT_EQ(stored.stage_count(), 2u);
+  EXPECT_DOUBLE_EQ(stored.stage_traffic(1), 5.0);
+  EXPECT_DOUBLE_EQ(stored.total_traffic(), 10.0);
+
+  const auto src1 = m.stage_sources(stored, 1);
+  ASSERT_EQ(src1.size(), 1u);
+  EXPECT_EQ(src1[0].node, NodeId{0});
+  EXPECT_FALSE(src1[0].site.valid());
+
+  const auto dst1 = m.stage_destinations(stored, 1);
+  ASSERT_EQ(dst1.size(), 1u);
+  EXPECT_EQ(dst1[0].node, NodeId{1});
+  EXPECT_EQ(dst1[0].site, s1);
+
+  const auto dst2 = m.stage_destinations(stored, 2);
+  ASSERT_EQ(dst2.size(), 1u);
+  EXPECT_EQ(dst2[0].node, NodeId{2});
+  EXPECT_FALSE(dst2[0].site.valid());
+}
+
+TEST(NetworkModel, ValidateCatchesBadTrafficVectors) {
+  NetworkModel m = make_line_model();
+  const SiteId s = m.add_site(NodeId{1}, 100.0);
+  const VnfId f = m.add_vnf("fw", 1.0);
+  m.deploy_vnf(f, s, 10.0);
+  Chain chain;
+  chain.ingress = NodeId{0};
+  chain.egress = NodeId{2};
+  chain.vnfs = {f};
+  chain.forward_traffic = {1.0};          // should be 2 entries
+  chain.reverse_traffic = {1.0, 1.0};
+  m.add_chain(std::move(chain));
+  EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(NetworkModel, ValidateCatchesUndeployedVnf) {
+  NetworkModel m = make_line_model();
+  m.add_site(NodeId{1}, 100.0);
+  const VnfId f = m.add_vnf("fw", 1.0);   // never deployed
+  Chain chain;
+  chain.ingress = NodeId{0};
+  chain.egress = NodeId{2};
+  chain.vnfs = {f};
+  chain.forward_traffic = {1.0, 1.0};
+  chain.reverse_traffic = {0.0, 0.0};
+  m.add_chain(std::move(chain));
+  EXPECT_FALSE(m.validate().ok());
+}
+
+TEST(NetworkModel, ScaleAllTraffic) {
+  NetworkModel m = make_line_model();
+  const SiteId s = m.add_site(NodeId{1}, 100.0);
+  const VnfId f = m.add_vnf("fw", 1.0);
+  m.deploy_vnf(f, s, 10.0);
+  Chain chain;
+  chain.ingress = NodeId{0};
+  chain.egress = NodeId{2};
+  chain.vnfs = {f};
+  chain.forward_traffic = {2.0, 2.0};
+  chain.reverse_traffic = {1.0, 1.0};
+  const ChainId c = m.add_chain(std::move(chain));
+  m.scale_all_traffic(2.0);
+  EXPECT_DOUBLE_EQ(m.chain(c).forward_traffic[0], 4.0);
+  EXPECT_DOUBLE_EQ(m.chain(c).reverse_traffic[1], 2.0);
+}
+
+TEST(NetworkModel, MluAndBackground) {
+  NetworkModel m = make_line_model();
+  m.set_mlu_limit(0.8);
+  EXPECT_DOUBLE_EQ(m.mlu_limit(), 0.8);
+  m.set_background_traffic(LinkId{0}, 3.5);
+  EXPECT_DOUBLE_EQ(m.background_traffic(LinkId{0}), 3.5);
+  EXPECT_DOUBLE_EQ(m.background_traffic(LinkId{1}), 0.0);
+}
+
+// ---------------------------------------------------------------- Scenario
+
+TEST(Scenario, GeneratesValidModel) {
+  ScenarioParams params;
+  params.chain_count = 50;
+  params.vnf_count = 10;
+  const NetworkModel m = make_scenario(params);
+  EXPECT_TRUE(m.validate().ok());
+  EXPECT_EQ(m.chains().size(), 50u);
+  EXPECT_EQ(m.vnfs().size(), 10u);
+  EXPECT_EQ(m.sites().size(), m.topology().node_count());
+}
+
+TEST(Scenario, ChainLengthsInRange) {
+  ScenarioParams params;
+  params.chain_count = 100;
+  params.min_chain_length = 3;
+  params.max_chain_length = 5;
+  const NetworkModel m = make_scenario(params);
+  for (const Chain& c : m.chains()) {
+    EXPECT_GE(c.vnfs.size(), 3u);
+    EXPECT_LE(c.vnfs.size(), 5u);
+    EXPECT_NE(c.ingress, c.egress);
+  }
+}
+
+TEST(Scenario, VnfOrderIsCanonical) {
+  // Within any chain, VNF ids must be strictly increasing (the scenario's
+  // global order stands in for "firewall before NAT" conventions).
+  const NetworkModel m = make_scenario({});
+  for (const Chain& c : m.chains()) {
+    for (std::size_t i = 1; i < c.vnfs.size(); ++i) {
+      EXPECT_LT(c.vnfs[i - 1].value(), c.vnfs[i].value());
+    }
+  }
+}
+
+TEST(Scenario, TotalTrafficMatchesParam) {
+  ScenarioParams params;
+  params.total_chain_traffic = 250.0;
+  const NetworkModel m = make_scenario(params);
+  double total = 0.0;
+  for (const Chain& c : m.chains()) total += c.forward_traffic[0];
+  EXPECT_NEAR(total, 250.0, 1e-6);
+}
+
+TEST(Scenario, SiteCapacityDividedAmongVnfs) {
+  ScenarioParams params;
+  params.site_capacity = 120.0;
+  params.vnf_count = 6;
+  params.coverage = 1.0;   // every VNF everywhere -> share = 120/6
+  const NetworkModel m = make_scenario(params);
+  for (const Vnf& f : m.vnfs()) {
+    ASSERT_EQ(f.deployments.size(), m.sites().size());
+    for (const VnfDeployment& d : f.deployments) {
+      EXPECT_NEAR(d.capacity, 20.0, 1e-9);
+    }
+  }
+}
+
+TEST(Scenario, CoverageControlsDeploymentCount) {
+  ScenarioParams params;
+  params.coverage = 0.25;
+  const NetworkModel m = make_scenario(params);
+  const auto expected = static_cast<std::size_t>(
+      0.25 * static_cast<double>(m.sites().size()) + 0.5);
+  for (const Vnf& f : m.vnfs()) {
+    EXPECT_EQ(f.deployments.size(), expected);
+  }
+}
+
+TEST(Scenario, BackgroundTrafficPresent) {
+  ScenarioParams params;
+  params.background_ratio = 0.25;
+  const NetworkModel m = make_scenario(params);
+  double bg = 0.0;
+  for (const net::Link& link : m.topology().links()) {
+    bg += m.background_traffic(link.id);
+  }
+  EXPECT_GT(bg, 0.0);
+}
+
+TEST(Scenario, DeterministicForSeed) {
+  ScenarioParams params;
+  params.seed = 99;
+  const NetworkModel a = make_scenario(params);
+  const NetworkModel b = make_scenario(params);
+  ASSERT_EQ(a.chains().size(), b.chains().size());
+  for (std::size_t i = 0; i < a.chains().size(); ++i) {
+    const ChainId c{static_cast<ChainId::underlying_type>(i)};
+    EXPECT_EQ(a.chain(c).ingress, b.chain(c).ingress);
+    EXPECT_EQ(a.chain(c).vnfs, b.chain(c).vnfs);
+    EXPECT_DOUBLE_EQ(a.chain(c).forward_traffic[0],
+                     b.chain(c).forward_traffic[0]);
+  }
+}
+
+TEST(Scenario, VnfTrafficMultipliersVaryStageTraffic) {
+  ScenarioParams params;
+  params.vnf_traffic_sigma = 0.5;
+  params.chain_count = 50;
+  const NetworkModel m = make_scenario(params);
+  // At sigma 0.5, many chains must have non-uniform stage traffic.
+  int varying = 0;
+  for (const Chain& c : m.chains()) {
+    for (std::size_t z = 1; z < c.stage_count(); ++z) {
+      if (std::abs(c.forward_traffic[z] - c.forward_traffic[0]) > 1e-9) {
+        ++varying;
+        break;
+      }
+    }
+    // Reverse traffic keeps its ratio to forward at every stage.
+    for (std::size_t z = 0; z < c.stage_count(); ++z) {
+      EXPECT_NEAR(c.reverse_traffic[z], 0.25 * c.forward_traffic[z], 1e-9);
+    }
+  }
+  EXPECT_GT(varying, 25);
+}
+
+TEST(Scenario, ZeroSigmaKeepsUniformStageTraffic) {
+  ScenarioParams params;
+  params.vnf_traffic_sigma = 0.0;
+  const NetworkModel m = make_scenario(params);
+  for (const Chain& c : m.chains()) {
+    for (std::size_t z = 1; z < c.stage_count(); ++z) {
+      EXPECT_DOUBLE_EQ(c.forward_traffic[z], c.forward_traffic[0]);
+    }
+  }
+}
+
+TEST(Scenario, TwoSiteModel) {
+  TwoSiteParams params;
+  params.inter_site_delay_ms = 40.0;
+  TwoSiteModel two = make_two_site_model(params);
+  EXPECT_TRUE(two.model.validate().ok());
+  EXPECT_DOUBLE_EQ(two.model.delay_ms(two.node_a, two.node_b), 40.0);
+  EXPECT_TRUE(two.model.vnf(two.vnf).deployed_at(two.site_a));
+  EXPECT_TRUE(two.model.vnf(two.vnf).deployed_at(two.site_b));
+}
+
+}  // namespace
+}  // namespace switchboard::model

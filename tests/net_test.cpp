@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic_matrix.hpp"
+
+namespace switchboard::net {
+namespace {
+
+// ---------------------------------------------------------------- Topology
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  const LinkId l = topo.add_link(a, b, 10.0, 5.0);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_EQ(topo.link(l).src, a);
+  EXPECT_EQ(topo.link(l).dst, b);
+  EXPECT_DOUBLE_EQ(topo.link(l).capacity, 10.0);
+  EXPECT_DOUBLE_EQ(topo.link(l).latency_ms, 5.0);
+}
+
+TEST(Topology, DuplexCreatesBothDirections) {
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  topo.add_duplex_link(a, b, 10.0, 5.0);
+  EXPECT_EQ(topo.link_count(), 2u);
+  EXPECT_EQ(topo.out_links(a).size(), 1u);
+  EXPECT_EQ(topo.out_links(b).size(), 1u);
+  EXPECT_EQ(topo.in_links(a).size(), 1u);
+}
+
+TEST(Topology, DistanceKm) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", 0, 0);
+  const NodeId b = topo.add_node("b", 3, 4);
+  EXPECT_DOUBLE_EQ(topo.distance_km(a, b), 5.0);
+}
+
+// ----------------------------------------------------------------- Routing
+
+TEST(Routing, LineTopologyDelays) {
+  const Topology topo = make_line_topology(4, 10.0, 5.0);
+  const Routing routing{topo};
+  EXPECT_DOUBLE_EQ(routing.delay_ms(NodeId{0}, NodeId{3}), 15.0);
+  EXPECT_DOUBLE_EQ(routing.delay_ms(NodeId{3}, NodeId{0}), 15.0);
+  EXPECT_DOUBLE_EQ(routing.delay_ms(NodeId{1}, NodeId{1}), 0.0);
+}
+
+TEST(Routing, UnreachableIsInfinite) {
+  Topology topo;
+  topo.add_node("a");
+  topo.add_node("b");
+  const Routing routing{topo};
+  EXPECT_FALSE(routing.reachable(NodeId{0}, NodeId{1}));
+  EXPECT_TRUE(std::isinf(routing.delay_ms(NodeId{0}, NodeId{1})));
+}
+
+TEST(Routing, SquareSplitsEcmpEvenly) {
+  // a->c has two equal 2-hop paths (via b and via d); each link on those
+  // paths should carry exactly half the traffic.
+  const Topology topo = make_square_topology(10.0, 10.0);
+  const Routing routing{topo};
+  const NodeId a{0};
+  const NodeId c{2};
+  EXPECT_DOUBLE_EQ(routing.delay_ms(a, c), 20.0);
+  const auto& shares = routing.link_shares(a, c);
+  ASSERT_EQ(shares.size(), 4u);   // 2 paths x 2 links
+  double total_first_hop = 0.0;
+  for (const LinkShare& share : shares) {
+    EXPECT_DOUBLE_EQ(share.fraction, 0.5);
+    if (topo.link(share.link).src == a) total_first_hop += share.fraction;
+  }
+  EXPECT_DOUBLE_EQ(total_first_hop, 1.0);
+}
+
+TEST(Routing, LinkSharesConserveFlow) {
+  const Topology topo = make_tier1_topology({});
+  const Routing routing{topo};
+  const NodeId src{0};
+  for (std::size_t t = 1; t < topo.node_count(); ++t) {
+    const NodeId dst{static_cast<NodeId::underlying_type>(t)};
+    if (!routing.reachable(src, dst)) continue;
+    // Net flow out of src must be 1; net flow into dst must be 1.
+    double out_of_src = 0.0;
+    double into_dst = 0.0;
+    for (const LinkShare& share : routing.link_shares(src, dst)) {
+      const Link& link = topo.link(share.link);
+      if (link.src == src) out_of_src += share.fraction;
+      if (link.dst == src) out_of_src -= share.fraction;
+      if (link.dst == dst) into_dst += share.fraction;
+      if (link.src == dst) into_dst -= share.fraction;
+    }
+    EXPECT_NEAR(out_of_src, 1.0, 1e-9) << "dst " << t;
+    EXPECT_NEAR(into_dst, 1.0, 1e-9) << "dst " << t;
+  }
+}
+
+TEST(Routing, ShortestPathEndpointsAndLength) {
+  const Topology topo = make_line_topology(5, 10.0, 2.0);
+  const Routing routing{topo};
+  const auto path = routing.shortest_path(NodeId{0}, NodeId{4});
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), NodeId{0});
+  EXPECT_EQ(path.back(), NodeId{4});
+}
+
+TEST(Routing, SelfPathIsTrivial) {
+  const Topology topo = make_line_topology(3);
+  const Routing routing{topo};
+  const auto path = routing.shortest_path(NodeId{1}, NodeId{1});
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_TRUE(routing.link_shares(NodeId{1}, NodeId{1}).empty());
+}
+
+// ------------------------------------------------------------ TopologyGen
+
+TEST(TopologyGen, Tier1IsConnected) {
+  Tier1Params params;
+  params.core_count = 6;
+  params.access_per_core = 3;
+  const Topology topo = make_tier1_topology(params);
+  EXPECT_EQ(topo.node_count(), 6u + 18u);
+  const Routing routing{topo};
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    for (std::size_t j = 0; j < topo.node_count(); ++j) {
+      EXPECT_TRUE(routing.reachable(
+          NodeId{static_cast<NodeId::underlying_type>(i)},
+          NodeId{static_cast<NodeId::underlying_type>(j)}))
+          << i << " -> " << j;
+    }
+  }
+}
+
+TEST(TopologyGen, Tier1Deterministic) {
+  Tier1Params params;
+  params.seed = 42;
+  const Topology a = make_tier1_topology(params);
+  const Topology b = make_tier1_topology(params);
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    const LinkId id{static_cast<LinkId::underlying_type>(i)};
+    EXPECT_EQ(a.link(id).src, b.link(id).src);
+    EXPECT_DOUBLE_EQ(a.link(id).capacity, b.link(id).capacity);
+  }
+}
+
+TEST(TopologyGen, Tier1LatenciesArePositive) {
+  const Topology topo = make_tier1_topology({});
+  for (const Link& link : topo.links()) {
+    EXPECT_GT(link.latency_ms, 0.0);
+    EXPECT_GT(link.capacity, 0.0);
+  }
+}
+
+TEST(TopologyGen, AccessPopsAreDualHomed) {
+  Tier1Params params;
+  params.core_count = 5;
+  const Topology topo = make_tier1_topology(params);
+  for (const Node& node : topo.nodes()) {
+    if (node.name.rfind("pop", 0) == 0) {
+      EXPECT_EQ(topo.out_links(node.id).size(), 2u) << node.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------- TrafficMatrix
+
+TEST(TrafficMatrix, SetAndGet) {
+  TrafficMatrix tm{3};
+  tm.set_demand(NodeId{0}, NodeId{1}, 5.0);
+  tm.add_demand(NodeId{0}, NodeId{1}, 2.0);
+  EXPECT_DOUBLE_EQ(tm.demand(NodeId{0}, NodeId{1}), 7.0);
+  EXPECT_DOUBLE_EQ(tm.demand(NodeId{1}, NodeId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(tm.total(), 7.0);
+  EXPECT_DOUBLE_EQ(tm.node_out_volume(NodeId{0}), 7.0);
+}
+
+TEST(TrafficMatrix, ScaleMultiplies) {
+  TrafficMatrix tm{2};
+  tm.set_demand(NodeId{0}, NodeId{1}, 4.0);
+  tm.scale(0.5);
+  EXPECT_DOUBLE_EQ(tm.demand(NodeId{0}, NodeId{1}), 2.0);
+}
+
+TEST(TrafficMatrix, GravityTotalsMatch) {
+  const Topology topo = make_tier1_topology({});
+  GravityParams params;
+  params.total_volume = 500.0;
+  const TrafficMatrix tm = make_gravity_matrix(topo, params);
+  EXPECT_NEAR(tm.total(), 500.0, 1e-6);
+}
+
+TEST(TrafficMatrix, GravityDiagonalZero) {
+  const Topology topo = make_tier1_topology({});
+  const TrafficMatrix tm = make_gravity_matrix(topo, {});
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    const NodeId n{static_cast<NodeId::underlying_type>(i)};
+    EXPECT_DOUBLE_EQ(tm.demand(n, n), 0.0);
+  }
+}
+
+TEST(TrafficMatrix, GravityIsSkewed) {
+  const Topology topo = make_tier1_topology({});
+  GravityParams params;
+  params.weight_sigma = 1.0;
+  const TrafficMatrix tm = make_gravity_matrix(topo, params);
+  double max_out = 0.0;
+  double min_out = 1e18;
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    const double v =
+        tm.node_out_volume(NodeId{static_cast<NodeId::underlying_type>(i)});
+    max_out = std::max(max_out, v);
+    min_out = std::min(min_out, v);
+  }
+  EXPECT_GT(max_out, 2.0 * min_out);   // heavy nodes dominate
+}
+
+}  // namespace
+}  // namespace switchboard::net

@@ -1,0 +1,191 @@
+// Property-based tests over randomized scenarios (parameterized on the
+// scenario seed): invariants every traffic-engineering scheme must hold
+// regardless of topology, catalog, and demand draws.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/mip.hpp"
+#include "model/scenario.hpp"
+#include "te/baselines.hpp"
+#include "te/dp_routing.hpp"
+#include "te/evaluator.hpp"
+#include "te/lp_routing.hpp"
+
+namespace switchboard::te {
+namespace {
+
+model::ScenarioParams scenario_for_seed(std::uint64_t seed) {
+  model::ScenarioParams params;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+  params.vnf_count = 6;
+  params.chain_count = 15;
+  params.coverage = 0.5;
+  params.total_chain_traffic = 200.0;
+  params.site_capacity = 300.0;
+  params.seed = seed;
+  return params;
+}
+
+class TeSeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TeSeedProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(TeSeedProperty, DpNeverOverloadsAnyResource) {
+  const model::NetworkModel m =
+      model::make_scenario(scenario_for_seed(GetParam()));
+  const DpResult dp = solve_dp_routing(m);
+  const Loads loads = accumulate_loads(m, dp.routing);
+
+  for (const net::Link& link : m.topology().links()) {
+    const double budget = m.mlu_limit() * link.capacity -
+                          m.background_traffic(link.id);
+    EXPECT_LE(loads.link_load(link.id), std::max(0.0, budget) + 1e-6)
+        << "link " << link.id.value();
+  }
+  for (const model::CloudSite& site : m.sites()) {
+    EXPECT_LE(loads.site_load(site.id), site.compute_capacity + 1e-6);
+  }
+  for (const model::Vnf& vnf : m.vnfs()) {
+    for (const model::VnfDeployment& dep : vnf.deployments) {
+      EXPECT_LE(loads.vnf_site_load(vnf.id, dep.site), dep.capacity + 1e-6);
+    }
+  }
+}
+
+TEST_P(TeSeedProperty, DpStageFractionsAreConsistent) {
+  const model::NetworkModel m =
+      model::make_scenario(scenario_for_seed(GetParam()));
+  const DpResult dp = solve_dp_routing(m);
+  for (const model::Chain& chain : m.chains()) {
+    const double admitted = dp.routing.carried_fraction(chain.id, 1);
+    EXPECT_LE(admitted, 1.0 + 1e-9);
+    // Every stage carries the same fraction (whole-route admission).
+    for (std::size_t z = 2; z <= chain.stage_count(); ++z) {
+      EXPECT_NEAR(dp.routing.carried_fraction(chain.id, z), admitted, 1e-9);
+    }
+  }
+}
+
+TEST_P(TeSeedProperty, LpMaxThroughputDominatesDp) {
+  const model::NetworkModel m =
+      model::make_scenario(scenario_for_seed(GetParam()));
+  LpRoutingOptions options;
+  options.objective = LpObjective::kMaxThroughput;
+  const LpRoutingResult lp = solve_lp_routing(m, options);
+  if (!lp.optimal()) GTEST_SKIP() << "LP did not solve";
+  const DpResult dp = solve_dp_routing(m);
+  const RoutingMetrics lp_metrics = evaluate(m, lp.routing);
+  const RoutingMetrics dp_metrics = evaluate(m, dp.routing);
+  // The LP optimum is an upper bound on any feasible scheme's throughput.
+  EXPECT_GE(lp_metrics.feasible_throughput,
+            dp_metrics.feasible_throughput - 1e-4);
+}
+
+TEST_P(TeSeedProperty, MinLatencyLpDominatesDpWhenBothRouteAll) {
+  model::ScenarioParams params = scenario_for_seed(GetParam());
+  params.total_chain_traffic = 50.0;   // light load: both should route all
+  const model::NetworkModel m = model::make_scenario(params);
+  const LpRoutingResult lp = solve_lp_routing(m, {});
+  if (!lp.optimal()) GTEST_SKIP() << "LP infeasible";
+  const DpResult dp = solve_dp_routing(m);
+  if (dp.routed_volume < dp.demand_volume - 1e-6) {
+    GTEST_SKIP() << "DP did not route everything";
+  }
+  const RoutingMetrics lp_metrics = evaluate(m, lp.routing);
+  const RoutingMetrics dp_metrics = evaluate(m, dp.routing);
+  EXPECT_LE(lp_metrics.mean_latency_ms, dp_metrics.mean_latency_ms + 1e-6);
+  // The paper's headline: the DP heuristic lands close to the optimum.
+  EXPECT_LE(dp_metrics.mean_latency_ms,
+            2.0 * lp_metrics.mean_latency_ms + 1.0);
+}
+
+TEST_P(TeSeedProperty, AnycastCarriesAllDemand) {
+  const model::NetworkModel m =
+      model::make_scenario(scenario_for_seed(GetParam()));
+  const ChainRouting routing = solve_anycast(m);
+  for (const model::Chain& chain : m.chains()) {
+    for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
+      EXPECT_NEAR(routing.carried_fraction(chain.id, z), 1.0, 1e-9);
+      // ANYCAST never splits: one flow per stage.
+      EXPECT_EQ(routing.flows(chain.id, z).size(), 1u);
+    }
+  }
+}
+
+TEST_P(TeSeedProperty, SchemesAreDeterministic) {
+  const model::ScenarioParams params = scenario_for_seed(GetParam());
+  const model::NetworkModel m1 = model::make_scenario(params);
+  const model::NetworkModel m2 = model::make_scenario(params);
+  const DpResult a = solve_dp_routing(m1);
+  const DpResult b = solve_dp_routing(m2);
+  EXPECT_DOUBLE_EQ(a.routed_volume, b.routed_volume);
+  EXPECT_EQ(a.fully_routed_chains, b.fully_routed_chains);
+}
+
+TEST_P(TeSeedProperty, OnehopNeverBeatsHolisticByMuch) {
+  // ONEHOP shares SB-DP's cost function but is greedy per hop; it may tie
+  // but should not meaningfully beat the holistic DP.
+  model::ScenarioParams params = scenario_for_seed(GetParam());
+  params.total_chain_traffic = 400.0;
+  const model::NetworkModel m = model::make_scenario(params);
+  const double full =
+      evaluate(m, solve_dp_routing(m).routing).feasible_throughput;
+  DpOptions one_hop;
+  one_hop.per_hop = true;
+  const double greedy =
+      evaluate(m, solve_dp_routing(m, one_hop).routing).feasible_throughput;
+  EXPECT_GE(full, 0.9 * greedy);
+}
+
+// ------------------------------------------------------- MIP vs brute force
+
+class MipSeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MipSeedProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST_P(MipSeedProperty, KnapsackMatchesExhaustiveSearch) {
+  Rng rng{GetParam()};
+  const int n = 8;
+  std::vector<double> value(n);
+  std::vector<double> weight(n);
+  for (int i = 0; i < n; ++i) {
+    value[i] = rng.uniform(1.0, 10.0);
+    weight[i] = rng.uniform(1.0, 6.0);
+  }
+  const double budget = rng.uniform(6.0, 18.0);
+
+  lp::Problem p{lp::Sense::kMaximize};
+  std::vector<lp::VarIndex> vars;
+  std::vector<lp::Term> budget_terms;
+  for (int i = 0; i < n; ++i) {
+    const lp::VarIndex v = p.add_variable(value[i]);
+    p.add_constraint(lp::Relation::kLessEqual, 1.0, {{v, 1.0}});
+    budget_terms.push_back({v, weight[i]});
+    vars.push_back(v);
+  }
+  p.add_constraint(lp::Relation::kLessEqual, budget, std::move(budget_terms));
+  const lp::MipSolution mip = lp::solve_mip(p, vars);
+  ASSERT_TRUE(mip.optimal());
+
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double total_weight = 0.0;
+    double total_value = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        total_weight += weight[i];
+        total_value += value[i];
+      }
+    }
+    if (total_weight <= budget) best = std::max(best, total_value);
+  }
+  EXPECT_NEAR(mip.objective, best, 1e-6);
+}
+
+}  // namespace
+}  // namespace switchboard::te

@@ -1,0 +1,569 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/network_model.hpp"
+#include "model/scenario.hpp"
+#include "net/topology_gen.hpp"
+#include "te/baselines.hpp"
+#include "te/capacity_planning.hpp"
+#include "te/dp_routing.hpp"
+#include "te/evaluator.hpp"
+#include "te/loads.hpp"
+#include "te/lp_routing.hpp"
+#include "te/routing_solution.hpp"
+
+namespace switchboard::te {
+namespace {
+
+using model::Chain;
+using model::NetworkModel;
+
+/// Line A(0) - M(1) - B(2), 5 ms per hop; one VNF deployed at two sites.
+/// Chain ingress A -> vnf -> egress B.
+struct LineFixture {
+  NetworkModel m{net::make_line_topology(3, 10.0, 5.0)};
+  SiteId site_a;
+  SiteId site_m;
+  SiteId site_b;
+  VnfId fw;
+  ChainId chain;
+
+  explicit LineFixture(double cap_m = 100.0, double cap_b = 100.0,
+                       double traffic = 2.0) {
+    site_a = m.add_site(NodeId{0}, 1000.0, "A");
+    site_m = m.add_site(NodeId{1}, 1000.0, "M");
+    site_b = m.add_site(NodeId{2}, 1000.0, "B");
+    fw = m.add_vnf("fw", 1.0);
+    m.deploy_vnf(fw, site_m, cap_m);
+    m.deploy_vnf(fw, site_b, cap_b);
+    Chain c;
+    c.ingress = NodeId{0};
+    c.egress = NodeId{2};
+    c.vnfs = {fw};
+    c.forward_traffic = {traffic, traffic};
+    c.reverse_traffic = {0.0, 0.0};
+    chain = m.add_chain(std::move(c));
+  }
+};
+
+// ------------------------------------------------------------ ChainRouting
+
+TEST(ChainRouting, AddAndMergeFlows) {
+  ChainRouting r{1};
+  r.init_chain(ChainId{0}, 2);
+  r.add_flow(ChainId{0}, 1, NodeId{0}, NodeId{1}, 0.4);
+  r.add_flow(ChainId{0}, 1, NodeId{0}, NodeId{1}, 0.2);
+  r.add_flow(ChainId{0}, 1, NodeId{0}, NodeId{2}, 0.4);
+  ASSERT_EQ(r.flows(ChainId{0}, 1).size(), 2u);
+  EXPECT_NEAR(r.carried_fraction(ChainId{0}, 1), 1.0, 1e-12);
+}
+
+TEST(ChainRouting, ClearChain) {
+  ChainRouting r{1};
+  r.init_chain(ChainId{0}, 2);
+  r.add_flow(ChainId{0}, 1, NodeId{0}, NodeId{1}, 1.0);
+  r.clear_chain(ChainId{0});
+  EXPECT_TRUE(r.flows(ChainId{0}, 1).empty());
+}
+
+TEST(ChainRouting, ZeroFractionIgnored) {
+  ChainRouting r{1};
+  r.init_chain(ChainId{0}, 1);
+  r.add_flow(ChainId{0}, 1, NodeId{0}, NodeId{1}, 0.0);
+  EXPECT_TRUE(r.flows(ChainId{0}, 1).empty());
+}
+
+// -------------------------------------------------------------------- Loads
+
+TEST(Loads, VnfLoadCountsBothDirections) {
+  LineFixture fx;
+  Loads loads{fx.m};
+  const Chain& chain = fx.m.chain(fx.chain);
+  // Full traffic A -> M (stage 1), then M -> B (stage 2).
+  loads.add_stage_flow(chain, 1, NodeId{0}, NodeId{1}, 1.0);
+  loads.add_stage_flow(chain, 2, NodeId{1}, NodeId{2}, 1.0);
+  // VNF load at M: l_f * (in 2.0 + out 2.0) = 4.0 (Eq. 4).
+  EXPECT_NEAR(loads.vnf_site_load(fx.fw, fx.site_m), 4.0, 1e-12);
+  EXPECT_NEAR(loads.site_load(fx.site_m), 4.0, 1e-12);
+  EXPECT_NEAR(loads.site_load(fx.site_b), 0.0, 1e-12);
+}
+
+TEST(Loads, LinkLoadFollowsEcmpShares) {
+  LineFixture fx;
+  Loads loads{fx.m};
+  const Chain& chain = fx.m.chain(fx.chain);
+  loads.add_stage_flow(chain, 1, NodeId{0}, NodeId{1}, 0.5);
+  // Stage-1 forward traffic = 2.0; half of it = 1.0 on the A->M link.
+  double am_load = 0.0;
+  for (const net::Link& link : fx.m.topology().links()) {
+    if (link.src == NodeId{0} && link.dst == NodeId{1}) {
+      am_load = loads.link_load(link.id);
+    }
+  }
+  EXPECT_NEAR(am_load, 1.0, 1e-12);
+}
+
+TEST(Loads, ReverseTrafficUsesReverseLinks) {
+  LineFixture fx;
+  fx.m.chain_mutable(fx.chain).reverse_traffic = {1.0, 1.0};
+  Loads loads{fx.m};
+  const Chain& chain = fx.m.chain(fx.chain);
+  loads.add_stage_flow(chain, 1, NodeId{0}, NodeId{1}, 1.0);
+  double ma_load = 0.0;   // reverse direction M->A
+  for (const net::Link& link : fx.m.topology().links()) {
+    if (link.src == NodeId{1} && link.dst == NodeId{0}) {
+      ma_load = loads.link_load(link.id);
+    }
+  }
+  EXPECT_NEAR(ma_load, 1.0, 1e-12);
+}
+
+TEST(Loads, NegativeFractionRemovesLoad) {
+  LineFixture fx;
+  Loads loads{fx.m};
+  const Chain& chain = fx.m.chain(fx.chain);
+  loads.add_stage_flow(chain, 1, NodeId{0}, NodeId{1}, 1.0);
+  loads.add_stage_flow(chain, 1, NodeId{0}, NodeId{1}, -1.0);
+  EXPECT_NEAR(loads.vnf_site_load(fx.fw, fx.site_m), 0.0, 1e-12);
+}
+
+TEST(Loads, HeadroomRespectsMluAndBackground) {
+  LineFixture fx;
+  fx.m.set_mlu_limit(0.5);
+  const LinkId first{0};
+  fx.m.set_background_traffic(first, 2.0);
+  Loads loads{fx.m};
+  // Capacity 10, MLU 0.5 -> budget 5; background 2 -> headroom 3.
+  EXPECT_NEAR(loads.link_headroom(first), 3.0, 1e-12);
+}
+
+// --------------------------------------------------------------- Evaluator
+
+TEST(Evaluator, LatencyOfSingleRoute) {
+  LineFixture fx;
+  ChainRouting r{1};
+  r.init_chain(fx.chain, 2);
+  r.add_flow(fx.chain, 1, NodeId{0}, NodeId{1}, 1.0);
+  r.add_flow(fx.chain, 2, NodeId{1}, NodeId{2}, 1.0);
+  const RoutingMetrics metrics = evaluate(fx.m, r);
+  // Both stages carry 2.0 units over 5 ms each.
+  EXPECT_NEAR(metrics.mean_latency_ms, 5.0, 1e-9);
+  EXPECT_NEAR(metrics.carried_volume, 4.0, 1e-9);
+  EXPECT_TRUE(metrics.feasible);
+}
+
+TEST(Evaluator, UniformScaleDetectsBottleneck) {
+  LineFixture fx{/*cap_m=*/8.0, /*cap_b=*/100.0};
+  ChainRouting r{1};
+  r.init_chain(fx.chain, 2);
+  r.add_flow(fx.chain, 1, NodeId{0}, NodeId{1}, 1.0);
+  r.add_flow(fx.chain, 2, NodeId{1}, NodeId{2}, 1.0);
+  const RoutingMetrics metrics = evaluate(fx.m, r);
+  // VNF load at M = 4.0 against capacity 8.0 -> scale 2; links: stage
+  // traffic 2 on capacity-10 links -> scale 5.  Min is 2.
+  EXPECT_NEAR(metrics.max_uniform_scale, 2.0, 1e-9);
+}
+
+TEST(Evaluator, InfeasibleWhenOverloaded) {
+  LineFixture fx{/*cap_m=*/1.0, /*cap_b=*/100.0};
+  ChainRouting r{1};
+  r.init_chain(fx.chain, 2);
+  r.add_flow(fx.chain, 1, NodeId{0}, NodeId{1}, 1.0);
+  r.add_flow(fx.chain, 2, NodeId{1}, NodeId{2}, 1.0);
+  const RoutingMetrics metrics = evaluate(fx.m, r);
+  EXPECT_FALSE(metrics.feasible);
+  EXPECT_LT(metrics.max_uniform_scale, 1.0);
+  EXPECT_LT(metrics.feasible_throughput, metrics.carried_volume);
+}
+
+// -------------------------------------------------------------------- SB-LP
+
+TEST(LpRouting, PicksVnfOnPath) {
+  // VNF at M (on the A-B path) and at B; min-latency routing must place
+  // the VNF at M or B — both give 10 ms total; never more.
+  LineFixture fx;
+  const LpRoutingResult r = solve_lp_routing(fx.m, {});
+  ASSERT_TRUE(r.optimal());
+  const RoutingMetrics metrics = evaluate(fx.m, r.routing);
+  EXPECT_NEAR(metrics.mean_latency_ms, 5.0, 1e-6);
+  EXPECT_NEAR(metrics.carried_volume, 4.0, 1e-6);
+}
+
+TEST(LpRouting, AvoidsOffPathVnfWhenCloserExists) {
+  // Deploy the VNF at A (ingress site) too; routing via A costs 0 + 10,
+  // same aggregate; but deploy at distant-only site forces detour.
+  NetworkModel m{net::make_line_topology(4, 10.0, 5.0)};
+  const SiteId s3 = m.add_site(NodeId{3}, 1000.0, "far");
+  const SiteId s1 = m.add_site(NodeId{1}, 1000.0, "near");
+  const VnfId fw = m.add_vnf("fw", 1.0);
+  m.deploy_vnf(fw, s3, 100.0);
+  m.deploy_vnf(fw, s1, 100.0);
+  Chain c;
+  c.ingress = NodeId{0};
+  c.egress = NodeId{2};
+  c.vnfs = {fw};
+  c.forward_traffic = {1.0, 1.0};
+  c.reverse_traffic = {0.0, 0.0};
+  m.add_chain(std::move(c));
+  const LpRoutingResult r = solve_lp_routing(m, {});
+  ASSERT_TRUE(r.optimal());
+  // Via node1: 5 + 5 = 10 ms route; via node3: 15 + 10 = 25 ms.
+  const RoutingMetrics metrics = evaluate(m, r.routing);
+  EXPECT_NEAR(metrics.mean_latency_ms, 5.0, 1e-6);
+}
+
+TEST(LpRouting, SplitsWhenCapacityForcesIt) {
+  // VNF capacity at M covers only half the chain load; LP must split
+  // between M and B to stay feasible.  VNF load if fully at M would be
+  // 4.0 in + 4.0 out = 8 > capacity 4.
+  LineFixture fx{/*cap_m=*/4.0, /*cap_b=*/100.0, /*traffic=*/4.0};
+  const LpRoutingResult r = solve_lp_routing(fx.m, {});
+  ASSERT_TRUE(r.optimal());
+  const RoutingMetrics metrics = evaluate(fx.m, r.routing);
+  EXPECT_TRUE(metrics.feasible);
+  // Some traffic must reach the VNF at B.
+  double to_b = 0.0;
+  for (const StageFlow& f : r.routing.flows(fx.chain, 1)) {
+    if (f.dst == NodeId{2}) to_b += f.fraction;
+  }
+  EXPECT_GT(to_b, 0.4);
+}
+
+TEST(LpRouting, InfeasibleWhenDemandExceedsAllCapacity) {
+  LineFixture fx{/*cap_m=*/1.0, /*cap_b=*/1.0, /*traffic=*/10.0};
+  const LpRoutingResult r = solve_lp_routing(fx.m, {});
+  EXPECT_EQ(r.status, lp::SolveStatus::kInfeasible);
+}
+
+TEST(LpRouting, MaxThroughputCarriesWhatFits) {
+  LineFixture fx{/*cap_m=*/4.0, /*cap_b=*/4.0, /*traffic=*/10.0};
+  LpRoutingOptions options;
+  options.objective = LpObjective::kMaxThroughput;
+  const LpRoutingResult r = solve_lp_routing(fx.m, options);
+  ASSERT_TRUE(r.optimal());
+  // Each site supports load 4 = in+out traffic -> 2 units of traffic each;
+  // total carriable = 4 of 10 -> carried fraction 0.4 of 20 volume = 8.
+  EXPECT_NEAR(r.carried_volume, 8.0, 1e-5);
+  const RoutingMetrics metrics = evaluate(fx.m, r.routing);
+  EXPECT_TRUE(metrics.feasible);
+}
+
+TEST(LpRouting, MaxUniformScaleMatchesHandComputation) {
+  LineFixture fx{/*cap_m=*/4.0, /*cap_b=*/4.0, /*traffic=*/1.0};
+  LpRoutingOptions options;
+  options.objective = LpObjective::kMaxUniformScale;
+  const LpRoutingResult r = solve_lp_routing(fx.m, options);
+  ASSERT_TRUE(r.optimal());
+  // Compute allows alpha 4 (two sites x 2 traffic units each vs demand 1);
+  // but links: stage traffic alpha on capacity-10 links... A->M carries
+  // stage1, M->B stage2 (if split, less).  Expect alpha >= 4 bounded by
+  // link A->M carrying alpha*1 <= 10 -> alpha <= 10 if VNF at M...
+  EXPECT_NEAR(r.alpha, 4.0, 1e-5);
+}
+
+TEST(LpRouting, FlowConservationProperty) {
+  model::ScenarioParams params;
+  params.chain_count = 12;
+  params.vnf_count = 6;
+  params.coverage = 0.4;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+  params.total_chain_traffic = 40.0;   // light load: keep the LP feasible
+  NetworkModel m = model::make_scenario(params);
+  const LpRoutingResult r = solve_lp_routing(m, {});
+  if (!r.optimal()) GTEST_SKIP() << "random instance infeasible";
+  for (const Chain& chain : m.chains()) {
+    // Per-site conservation at each intermediate stage.
+    for (std::size_t z = 1; z < chain.stage_count(); ++z) {
+      for (const model::StageEndpoint& ep : m.stage_destinations(chain, z)) {
+        double in = 0.0;
+        double out = 0.0;
+        for (const StageFlow& f : r.routing.flows(chain.id, z)) {
+          if (f.dst == ep.node) in += f.fraction;
+        }
+        for (const StageFlow& f : r.routing.flows(chain.id, z + 1)) {
+          if (f.src == ep.node) out += f.fraction;
+        }
+        EXPECT_NEAR(in, out, 1e-6);
+      }
+    }
+    EXPECT_NEAR(r.routing.carried_fraction(chain.id, 1), 1.0, 1e-6);
+  }
+}
+
+// -------------------------------------------------------------------- SB-DP
+
+TEST(DpRouting, RoutesSimpleChain) {
+  LineFixture fx;
+  const DpResult r = solve_dp_routing(fx.m);
+  EXPECT_EQ(r.fully_routed_chains, 1u);
+  const RoutingMetrics metrics = evaluate(fx.m, r.routing);
+  EXPECT_TRUE(metrics.feasible);
+  EXPECT_NEAR(metrics.mean_latency_ms, 5.0, 1e-9);
+}
+
+TEST(DpRouting, ResidualReRoutingSplitsAcrossSites) {
+  // Capacity at M fits only half (load 8 vs cap 4); DP must route the
+  // rest via B.
+  LineFixture fx{/*cap_m=*/4.0, /*cap_b=*/100.0, /*traffic=*/4.0};
+  const DpResult r = solve_dp_routing(fx.m);
+  EXPECT_EQ(r.fully_routed_chains, 1u);
+  const RoutingMetrics metrics = evaluate(fx.m, r.routing);
+  EXPECT_TRUE(metrics.feasible);
+  EXPECT_NEAR(r.routed_volume, r.demand_volume, 1e-9);
+  // Both deployments used.
+  const Loads loads = accumulate_loads(fx.m, r.routing);
+  EXPECT_GT(loads.vnf_site_load(fx.fw, fx.site_m), 0.0);
+  EXPECT_GT(loads.vnf_site_load(fx.fw, fx.site_b), 0.0);
+}
+
+TEST(DpRouting, NeverExceedsCapacity) {
+  model::ScenarioParams params;
+  params.chain_count = 40;
+  params.vnf_count = 8;
+  params.coverage = 0.4;
+  params.total_chain_traffic = 2000.0;   // heavy: forces admission control
+  params.site_capacity = 300.0;
+  const NetworkModel m = model::make_scenario(params);
+  const DpResult r = solve_dp_routing(m);
+  const RoutingMetrics metrics = evaluate(m, r.routing);
+  EXPECT_TRUE(metrics.feasible) << "DP admitted beyond capacity";
+  // Switchboard's own load never exceeds the per-link MLU budget left
+  // after background traffic (background alone may exceed the MLU —
+  // that is the underlay's problem, not the chain router's).
+  const Loads loads = accumulate_loads(m, r.routing);
+  for (const net::Link& link : m.topology().links()) {
+    const double budget = m.mlu_limit() * link.capacity -
+                          m.background_traffic(link.id);
+    EXPECT_LE(loads.link_load(link.id), std::max(0.0, budget) + 1e-6);
+  }
+}
+
+TEST(DpRouting, PartialDemandAccounted) {
+  LineFixture fx{/*cap_m=*/2.0, /*cap_b=*/2.0, /*traffic=*/10.0};
+  const DpResult r = solve_dp_routing(fx.m);
+  EXPECT_EQ(r.fully_routed_chains, 0u);
+  EXPECT_GT(r.routed_volume, 0.0);
+  EXPECT_LT(r.routed_volume, r.demand_volume);
+}
+
+TEST(DpRouting, LatencyVariantIgnoresLoad) {
+  // DP-LATENCY keeps choosing the nearest site even when it is loaded;
+  // SB-DP shifts away.  With two chains and a tight VNF at M, SB-DP should
+  // route the second chain's VNF at B.
+  LineFixture fx{/*cap_m=*/8.0, /*cap_b=*/100.0, /*traffic=*/2.0};
+  Chain c2;
+  c2.ingress = NodeId{0};
+  c2.egress = NodeId{2};
+  c2.vnfs = {fx.fw};
+  c2.forward_traffic = {2.0, 2.0};
+  c2.reverse_traffic = {0.0, 0.0};
+  fx.m.add_chain(std::move(c2));
+
+  DpOptions latency_only;
+  latency_only.use_utilization_costs = false;
+  const DpResult dp_lat = solve_dp_routing(fx.m, latency_only);
+  const DpResult dp_full = solve_dp_routing(fx.m, {});
+
+  const Loads loads_lat = accumulate_loads(fx.m, dp_lat.routing);
+  const Loads loads_full = accumulate_loads(fx.m, dp_full.routing);
+  // Latency-only crams everything into M (capacity 8 fits both chains'
+  // 8.0 load exactly); utilization-aware spreads.
+  EXPECT_GE(loads_lat.vnf_site_load(fx.fw, fx.site_m),
+            loads_full.vnf_site_load(fx.fw, fx.site_m) - 1e-9);
+}
+
+TEST(DpRouting, CloseToLpOnScenario) {
+  model::ScenarioParams params;
+  params.chain_count = 10;
+  params.vnf_count = 5;
+  params.coverage = 0.5;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+  params.total_chain_traffic = 100.0;
+  const NetworkModel m = model::make_scenario(params);
+
+  const LpRoutingResult lp = solve_lp_routing(m, {});
+  const DpResult dp = solve_dp_routing(m);
+  if (!lp.optimal()) GTEST_SKIP() << "LP infeasible on this instance";
+
+  const RoutingMetrics lp_metrics = evaluate(m, lp.routing);
+  const RoutingMetrics dp_metrics = evaluate(m, dp.routing);
+  EXPECT_GT(dp_metrics.carried_volume, 0.9 * lp_metrics.carried_volume);
+  // The paper reports SB-DP within 8% of SB-LP latency; allow slack on a
+  // random instance.
+  EXPECT_LT(dp_metrics.mean_latency_ms, 1.6 * lp_metrics.mean_latency_ms);
+}
+
+// ---------------------------------------------------------------- Baselines
+
+TEST(Anycast, PicksNearestSite) {
+  LineFixture fx;
+  const ChainRouting r = solve_anycast(fx.m);
+  // Nearest VNF site from A is M (5 ms < 10 ms).
+  const auto& flows = r.flows(fx.chain, 1);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].dst, NodeId{1});
+  EXPECT_NEAR(flows[0].fraction, 1.0, 1e-12);
+}
+
+TEST(Anycast, IgnoresCapacity) {
+  LineFixture fx{/*cap_m=*/0.1, /*cap_b=*/100.0};
+  const ChainRouting r = solve_anycast(fx.m);
+  const auto& flows = r.flows(fx.chain, 1);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].dst, NodeId{1});   // still M, overloaded
+  const RoutingMetrics metrics = evaluate(fx.m, r);
+  EXPECT_FALSE(metrics.feasible);
+}
+
+TEST(ComputeAware, AvoidsSaturatedSite) {
+  LineFixture fx{/*cap_m=*/0.1, /*cap_b=*/100.0};
+  const ChainRouting r = solve_compute_aware(fx.m);
+  const auto& flows = r.flows(fx.chain, 1);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].dst, NodeId{2});   // B has headroom
+  const RoutingMetrics metrics = evaluate(fx.m, r);
+  EXPECT_TRUE(metrics.feasible);
+}
+
+TEST(ComputeAware, FallsBackWhenNothingFits) {
+  LineFixture fx{/*cap_m=*/0.5, /*cap_b=*/0.1, /*traffic=*/2.0};
+  const ChainRouting r = solve_compute_aware(fx.m);
+  // Still routes (overloading the least-bad site) rather than dropping.
+  EXPECT_NEAR(r.carried_fraction(fx.chain, 1), 1.0, 1e-12);
+}
+
+TEST(Baselines, AnycastWorseOrEqualThroughputThanDp) {
+  model::ScenarioParams params;
+  params.chain_count = 30;
+  params.vnf_count = 8;
+  params.coverage = 0.4;
+  params.total_chain_traffic = 800.0;
+  params.site_capacity = 400.0;
+  const NetworkModel m = model::make_scenario(params);
+  const RoutingMetrics anycast = evaluate(m, solve_anycast(m));
+  const DpResult dp = solve_dp_routing(m);
+  const RoutingMetrics dpm = evaluate(m, dp.routing);
+  EXPECT_LE(anycast.feasible_throughput, dpm.feasible_throughput + 1e-6);
+}
+
+// -------------------------------------------------------- CapacityPlanning
+
+TEST(CloudPlanning, LpBeatsUniformAllocation) {
+  model::ScenarioParams params;
+  params.chain_count = 12;
+  params.vnf_count = 5;
+  params.coverage = 0.5;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+  params.site_capacity = 50.0;
+  params.total_chain_traffic = 60.0;
+  NetworkModel m = model::make_scenario(params);
+
+  const double budget = 100.0;
+  const CloudPlanResult planned = plan_cloud_capacity(m, budget);
+  ASSERT_EQ(planned.status, lp::SolveStatus::kOptimal);
+
+  // Uniform baseline: apply, then measure alpha via the same LP (budget 0).
+  NetworkModel uniform_model = model::make_scenario(params);
+  apply_capacity_increase(uniform_model,
+                          uniform_allocation(uniform_model, budget));
+  const CloudPlanResult uniform = plan_cloud_capacity(uniform_model, 0.0);
+  ASSERT_EQ(uniform.status, lp::SolveStatus::kOptimal);
+
+  EXPECT_GE(planned.alpha, uniform.alpha - 1e-6);
+}
+
+TEST(CloudPlanning, BudgetIsRespected) {
+  model::ScenarioParams params;
+  params.chain_count = 8;
+  params.vnf_count = 4;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+  const NetworkModel m = model::make_scenario(params);
+  const CloudPlanResult planned = plan_cloud_capacity(m, 50.0);
+  ASSERT_EQ(planned.status, lp::SolveStatus::kOptimal);
+  double total = 0.0;
+  for (const double a : planned.extra_site_capacity) {
+    EXPECT_GE(a, -1e-9);
+    total += a;
+  }
+  EXPECT_LE(total, 50.0 + 1e-6);
+}
+
+TEST(VnfPlacement, GreedyImprovesLatency) {
+  model::ScenarioParams params;
+  params.chain_count = 15;
+  params.vnf_count = 4;
+  params.coverage = 0.25;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+  NetworkModel m = model::make_scenario(params);
+  VnfPlacementOptions options;
+  options.new_sites_per_vnf = 1;
+  const VnfPlacementResult r = plan_vnf_placement_greedy(m, options);
+  EXPECT_LE(r.latency_after_ms, r.latency_before_ms + 1e-9);
+  // Every VNF got its new site.
+  for (const model::Vnf& f : m.vnfs()) {
+    EXPECT_FALSE(r.new_sites[f.id.value()].empty());
+  }
+}
+
+TEST(VnfPlacement, GreedyBeatsRandomOnAverage) {
+  model::ScenarioParams params;
+  params.chain_count = 15;
+  params.vnf_count = 4;
+  params.coverage = 0.25;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+
+  NetworkModel greedy_model = model::make_scenario(params);
+  VnfPlacementOptions options;
+  options.new_sites_per_vnf = 1;
+  const VnfPlacementResult greedy =
+      plan_vnf_placement_greedy(greedy_model, options);
+
+  // Average several random placements.
+  double random_total = 0.0;
+  const int trials = 3;
+  for (int t = 0; t < trials; ++t) {
+    NetworkModel random_model = model::make_scenario(params);
+    Rng rng{static_cast<std::uint64_t>(100 + t)};
+    const VnfPlacementResult random =
+        plan_vnf_placement_random(random_model, options, rng);
+    random_total += random.latency_after_ms;
+  }
+  EXPECT_LE(greedy.latency_after_ms, random_total / trials + 1e-9);
+}
+
+TEST(VnfPlacement, MipChoosesObviousSite) {
+  // Chain A -> fw -> C on a line; fw deployed only at far end D.  The MIP
+  // with one new site must choose B (node 1) or C (node 2), cutting the
+  // detour.  Node ids: A=0, B=1, C=2, D=3.
+  NetworkModel m{net::make_line_topology(4, 100.0, 5.0)};
+  const SiteId sb = m.add_site(NodeId{1}, 1000.0, "B");
+  const SiteId sc = m.add_site(NodeId{2}, 1000.0, "C");
+  const SiteId sd = m.add_site(NodeId{3}, 1000.0, "D");
+  (void)sb;
+  (void)sc;
+  const VnfId fw = m.add_vnf("fw", 1.0);
+  m.deploy_vnf(fw, sd, 100.0);
+  Chain c;
+  c.ingress = NodeId{0};
+  c.egress = NodeId{2};
+  c.vnfs = {fw};
+  c.forward_traffic = {1.0, 1.0};
+  c.reverse_traffic = {0.0, 0.0};
+  m.add_chain(std::move(c));
+
+  const auto chosen = plan_single_vnf_mip(m, fw, 1, 100.0);
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_TRUE(chosen[0] == sb || chosen[0] == sc);
+  // Model restored: fw deployed only at D again.
+  EXPECT_EQ(m.vnf(fw).deployments.size(), 1u);
+}
+
+}  // namespace
+}  // namespace switchboard::te
