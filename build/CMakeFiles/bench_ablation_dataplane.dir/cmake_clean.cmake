@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dataplane.dir/bench/bench_ablation_dataplane.cpp.o"
+  "CMakeFiles/bench_ablation_dataplane.dir/bench/bench_ablation_dataplane.cpp.o.d"
+  "bench/bench_ablation_dataplane"
+  "bench/bench_ablation_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

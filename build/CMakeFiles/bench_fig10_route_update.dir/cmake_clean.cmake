@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_route_update.dir/bench/bench_fig10_route_update.cpp.o"
+  "CMakeFiles/bench_fig10_route_update.dir/bench/bench_fig10_route_update.cpp.o.d"
+  "bench/bench_fig10_route_update"
+  "bench/bench_fig10_route_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_route_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

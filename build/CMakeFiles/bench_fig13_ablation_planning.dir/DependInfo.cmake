@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_ablation_planning.cpp" "CMakeFiles/bench_fig13_ablation_planning.dir/bench/bench_fig13_ablation_planning.cpp.o" "gcc" "CMakeFiles/bench_fig13_ablation_planning.dir/bench/bench_fig13_ablation_planning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/sb_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/sb_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/sb_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/sb_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sb_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ablation_planning.dir/bench/bench_fig13_ablation_planning.cpp.o"
+  "CMakeFiles/bench_fig13_ablation_planning.dir/bench/bench_fig13_ablation_planning.cpp.o.d"
+  "bench/bench_fig13_ablation_planning"
+  "bench/bench_fig13_ablation_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ablation_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

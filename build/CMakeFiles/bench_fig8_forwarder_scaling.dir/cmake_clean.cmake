@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_forwarder_scaling.dir/bench/bench_fig8_forwarder_scaling.cpp.o"
+  "CMakeFiles/bench_fig8_forwarder_scaling.dir/bench/bench_fig8_forwarder_scaling.cpp.o.d"
+  "bench/bench_fig8_forwarder_scaling"
+  "bench/bench_fig8_forwarder_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_forwarder_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

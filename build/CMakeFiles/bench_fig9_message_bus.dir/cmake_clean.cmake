@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_message_bus.dir/bench/bench_fig9_message_bus.cpp.o"
+  "CMakeFiles/bench_fig9_message_bus.dir/bench/bench_fig9_message_bus.cpp.o.d"
+  "bench/bench_fig9_message_bus"
+  "bench/bench_fig9_message_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_message_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_edge_addition.dir/bench/bench_table2_edge_addition.cpp.o"
+  "CMakeFiles/bench_table2_edge_addition.dir/bench/bench_table2_edge_addition.cpp.o.d"
+  "bench/bench_table2_edge_addition"
+  "bench/bench_table2_edge_addition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_edge_addition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/message_bus.cpp" "src/bus/CMakeFiles/sb_bus.dir/message_bus.cpp.o" "gcc" "src/bus/CMakeFiles/sb_bus.dir/message_bus.cpp.o.d"
+  "/root/repo/src/bus/topic.cpp" "src/bus/CMakeFiles/sb_bus.dir/topic.cpp.o" "gcc" "src/bus/CMakeFiles/sb_bus.dir/topic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

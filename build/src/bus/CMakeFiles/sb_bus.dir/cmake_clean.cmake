@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_bus.dir/message_bus.cpp.o"
+  "CMakeFiles/sb_bus.dir/message_bus.cpp.o.d"
+  "CMakeFiles/sb_bus.dir/topic.cpp.o"
+  "CMakeFiles/sb_bus.dir/topic.cpp.o.d"
+  "libsb_bus.a"
+  "libsb_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

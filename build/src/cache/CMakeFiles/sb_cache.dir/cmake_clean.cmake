@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_cache.dir/experiment.cpp.o"
+  "CMakeFiles/sb_cache.dir/experiment.cpp.o.d"
+  "CMakeFiles/sb_cache.dir/lru_cache.cpp.o"
+  "CMakeFiles/sb_cache.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/sb_cache.dir/web_workload.cpp.o"
+  "CMakeFiles/sb_cache.dir/web_workload.cpp.o.d"
+  "libsb_cache.a"
+  "libsb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

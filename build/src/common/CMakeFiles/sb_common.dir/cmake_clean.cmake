@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_common.dir/cost.cpp.o"
+  "CMakeFiles/sb_common.dir/cost.cpp.o.d"
+  "CMakeFiles/sb_common.dir/log.cpp.o"
+  "CMakeFiles/sb_common.dir/log.cpp.o.d"
+  "CMakeFiles/sb_common.dir/rng.cpp.o"
+  "CMakeFiles/sb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sb_common.dir/stats.cpp.o"
+  "CMakeFiles/sb_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sb_common.dir/zipf.cpp.o"
+  "CMakeFiles/sb_common.dir/zipf.cpp.o.d"
+  "libsb_common.a"
+  "libsb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_control.dir/edge_controller.cpp.o"
+  "CMakeFiles/sb_control.dir/edge_controller.cpp.o.d"
+  "CMakeFiles/sb_control.dir/elements.cpp.o"
+  "CMakeFiles/sb_control.dir/elements.cpp.o.d"
+  "CMakeFiles/sb_control.dir/global_switchboard.cpp.o"
+  "CMakeFiles/sb_control.dir/global_switchboard.cpp.o.d"
+  "CMakeFiles/sb_control.dir/local_switchboard.cpp.o"
+  "CMakeFiles/sb_control.dir/local_switchboard.cpp.o.d"
+  "CMakeFiles/sb_control.dir/messages.cpp.o"
+  "CMakeFiles/sb_control.dir/messages.cpp.o.d"
+  "CMakeFiles/sb_control.dir/vnf_controller.cpp.o"
+  "CMakeFiles/sb_control.dir/vnf_controller.cpp.o.d"
+  "libsb_control.a"
+  "libsb_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

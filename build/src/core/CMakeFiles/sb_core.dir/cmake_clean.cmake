@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_core.dir/deployment.cpp.o"
+  "CMakeFiles/sb_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/sb_core.dir/middleware.cpp.o"
+  "CMakeFiles/sb_core.dir/middleware.cpp.o.d"
+  "libsb_core.a"
+  "libsb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/dht_flow_table.cpp" "src/dataplane/CMakeFiles/sb_dataplane.dir/dht_flow_table.cpp.o" "gcc" "src/dataplane/CMakeFiles/sb_dataplane.dir/dht_flow_table.cpp.o.d"
+  "/root/repo/src/dataplane/flow_table.cpp" "src/dataplane/CMakeFiles/sb_dataplane.dir/flow_table.cpp.o" "gcc" "src/dataplane/CMakeFiles/sb_dataplane.dir/flow_table.cpp.o.d"
+  "/root/repo/src/dataplane/forwarder.cpp" "src/dataplane/CMakeFiles/sb_dataplane.dir/forwarder.cpp.o" "gcc" "src/dataplane/CMakeFiles/sb_dataplane.dir/forwarder.cpp.o.d"
+  "/root/repo/src/dataplane/load_balancer.cpp" "src/dataplane/CMakeFiles/sb_dataplane.dir/load_balancer.cpp.o" "gcc" "src/dataplane/CMakeFiles/sb_dataplane.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/dataplane/ovs_forwarder.cpp" "src/dataplane/CMakeFiles/sb_dataplane.dir/ovs_forwarder.cpp.o" "gcc" "src/dataplane/CMakeFiles/sb_dataplane.dir/ovs_forwarder.cpp.o.d"
+  "/root/repo/src/dataplane/traffic_gen.cpp" "src/dataplane/CMakeFiles/sb_dataplane.dir/traffic_gen.cpp.o" "gcc" "src/dataplane/CMakeFiles/sb_dataplane.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_dataplane.dir/dht_flow_table.cpp.o"
+  "CMakeFiles/sb_dataplane.dir/dht_flow_table.cpp.o.d"
+  "CMakeFiles/sb_dataplane.dir/flow_table.cpp.o"
+  "CMakeFiles/sb_dataplane.dir/flow_table.cpp.o.d"
+  "CMakeFiles/sb_dataplane.dir/forwarder.cpp.o"
+  "CMakeFiles/sb_dataplane.dir/forwarder.cpp.o.d"
+  "CMakeFiles/sb_dataplane.dir/load_balancer.cpp.o"
+  "CMakeFiles/sb_dataplane.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/sb_dataplane.dir/ovs_forwarder.cpp.o"
+  "CMakeFiles/sb_dataplane.dir/ovs_forwarder.cpp.o.d"
+  "CMakeFiles/sb_dataplane.dir/traffic_gen.cpp.o"
+  "CMakeFiles/sb_dataplane.dir/traffic_gen.cpp.o.d"
+  "libsb_dataplane.a"
+  "libsb_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_lp.dir/mip.cpp.o"
+  "CMakeFiles/sb_lp.dir/mip.cpp.o.d"
+  "CMakeFiles/sb_lp.dir/problem.cpp.o"
+  "CMakeFiles/sb_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/sb_lp.dir/simplex.cpp.o"
+  "CMakeFiles/sb_lp.dir/simplex.cpp.o.d"
+  "libsb_lp.a"
+  "libsb_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

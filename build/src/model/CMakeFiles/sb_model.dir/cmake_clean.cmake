@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_model.dir/network_model.cpp.o"
+  "CMakeFiles/sb_model.dir/network_model.cpp.o.d"
+  "CMakeFiles/sb_model.dir/scenario.cpp.o"
+  "CMakeFiles/sb_model.dir/scenario.cpp.o.d"
+  "libsb_model.a"
+  "libsb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

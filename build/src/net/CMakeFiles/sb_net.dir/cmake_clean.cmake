@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_net.dir/routing.cpp.o"
+  "CMakeFiles/sb_net.dir/routing.cpp.o.d"
+  "CMakeFiles/sb_net.dir/topology.cpp.o"
+  "CMakeFiles/sb_net.dir/topology.cpp.o.d"
+  "CMakeFiles/sb_net.dir/topology_gen.cpp.o"
+  "CMakeFiles/sb_net.dir/topology_gen.cpp.o.d"
+  "CMakeFiles/sb_net.dir/traffic_matrix.cpp.o"
+  "CMakeFiles/sb_net.dir/traffic_matrix.cpp.o.d"
+  "libsb_net.a"
+  "libsb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

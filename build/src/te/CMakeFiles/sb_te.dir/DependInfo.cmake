@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/te/baselines.cpp" "src/te/CMakeFiles/sb_te.dir/baselines.cpp.o" "gcc" "src/te/CMakeFiles/sb_te.dir/baselines.cpp.o.d"
+  "/root/repo/src/te/capacity_planning.cpp" "src/te/CMakeFiles/sb_te.dir/capacity_planning.cpp.o" "gcc" "src/te/CMakeFiles/sb_te.dir/capacity_planning.cpp.o.d"
+  "/root/repo/src/te/dp_routing.cpp" "src/te/CMakeFiles/sb_te.dir/dp_routing.cpp.o" "gcc" "src/te/CMakeFiles/sb_te.dir/dp_routing.cpp.o.d"
+  "/root/repo/src/te/evaluator.cpp" "src/te/CMakeFiles/sb_te.dir/evaluator.cpp.o" "gcc" "src/te/CMakeFiles/sb_te.dir/evaluator.cpp.o.d"
+  "/root/repo/src/te/loads.cpp" "src/te/CMakeFiles/sb_te.dir/loads.cpp.o" "gcc" "src/te/CMakeFiles/sb_te.dir/loads.cpp.o.d"
+  "/root/repo/src/te/lp_routing.cpp" "src/te/CMakeFiles/sb_te.dir/lp_routing.cpp.o" "gcc" "src/te/CMakeFiles/sb_te.dir/lp_routing.cpp.o.d"
+  "/root/repo/src/te/routing_solution.cpp" "src/te/CMakeFiles/sb_te.dir/routing_solution.cpp.o" "gcc" "src/te/CMakeFiles/sb_te.dir/routing_solution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/sb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sb_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_te.dir/baselines.cpp.o"
+  "CMakeFiles/sb_te.dir/baselines.cpp.o.d"
+  "CMakeFiles/sb_te.dir/capacity_planning.cpp.o"
+  "CMakeFiles/sb_te.dir/capacity_planning.cpp.o.d"
+  "CMakeFiles/sb_te.dir/dp_routing.cpp.o"
+  "CMakeFiles/sb_te.dir/dp_routing.cpp.o.d"
+  "CMakeFiles/sb_te.dir/evaluator.cpp.o"
+  "CMakeFiles/sb_te.dir/evaluator.cpp.o.d"
+  "CMakeFiles/sb_te.dir/loads.cpp.o"
+  "CMakeFiles/sb_te.dir/loads.cpp.o.d"
+  "CMakeFiles/sb_te.dir/lp_routing.cpp.o"
+  "CMakeFiles/sb_te.dir/lp_routing.cpp.o.d"
+  "CMakeFiles/sb_te.dir/routing_solution.cpp.o"
+  "CMakeFiles/sb_te.dir/routing_solution.cpp.o.d"
+  "libsb_te.a"
+  "libsb_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_flow_table_test.dir/dht_flow_table_test.cpp.o"
+  "CMakeFiles/dht_flow_table_test.dir/dht_flow_table_test.cpp.o.d"
+  "dht_flow_table_test"
+  "dht_flow_table_test.pdb"
+  "dht_flow_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_flow_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
