@@ -1,8 +1,9 @@
 #include "bus/message_bus.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "common/check.hpp"
 
 namespace switchboard::bus {
 
@@ -25,8 +26,8 @@ bool ProxyEgress::send(SiteId from, SiteId to, std::function<void()> deliver) {
 
 ProxyBus::ProxyBus(sim::Simulator& sim, BusConfig config)
     : sim_{sim}, config_{std::move(config)} {
-  assert(config_.site_count > 0);
-  assert(config_.inter_site_delay);
+  SWB_CHECK(config_.site_count > 0);
+  SWB_CHECK(config_.inter_site_delay);
   proxies_.resize(config_.site_count);
   for (SiteProxy& proxy : proxies_) {
     proxy.egress = std::make_unique<ProxyEgress>(sim_, config_);
@@ -35,8 +36,8 @@ ProxyBus::ProxyBus(sim::Simulator& sim, BusConfig config)
 
 void ProxyBus::subscribe(SiteId subscriber_site, const Topic& topic,
                          SubscriberCallback callback) {
-  assert(subscriber_site.value() < proxies_.size());
-  assert(topic.publisher_site.value() < proxies_.size());
+  SWB_CHECK(subscriber_site.value() < proxies_.size());
+  SWB_CHECK(topic.publisher_site.value() < proxies_.size());
   SiteProxy& publisher_proxy = proxies_[topic.publisher_site.value()];
   // Filter at the publisher's proxy: remember the subscriber *site*.
   auto& sites = publisher_proxy.filters[topic.path];
@@ -123,8 +124,8 @@ void ProxyBus::deliver_locally(SiteId site, const Message& message) {
 
 FullMeshBus::FullMeshBus(sim::Simulator& sim, BusConfig config)
     : sim_{sim}, config_{std::move(config)} {
-  assert(config_.site_count > 0);
-  assert(config_.inter_site_delay);
+  SWB_CHECK(config_.site_count > 0);
+  SWB_CHECK(config_.inter_site_delay);
   egress_.resize(config_.site_count);
   for (auto& egress : egress_) {
     egress = std::make_unique<ProxyEgress>(sim_, config_);

@@ -1,7 +1,7 @@
 #include "cache/experiment.hpp"
-
-#include <cassert>
 #include <memory>
+
+#include "common/check.hpp"
 
 namespace switchboard::cache {
 
@@ -24,7 +24,7 @@ namespace {
 /// `cache_of[i]` maps chain i to its cache.
 ExperimentResult run(const ExperimentParams& params,
                      std::vector<LruCache*> cache_of) {
-  assert(cache_of.size() == params.chain_count);
+  SWB_CHECK(cache_of.size() == params.chain_count);
   std::vector<WebWorkload> workloads;
   workloads.reserve(params.chain_count);
   for (std::size_t c = 0; c < params.chain_count; ++c) {

@@ -1,11 +1,11 @@
 #include "cache/lru_cache.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace switchboard::cache {
 
 LruCache::LruCache(std::uint64_t capacity_bytes) : capacity_{capacity_bytes} {
-  assert(capacity_bytes > 0);
+  SWB_CHECK(capacity_bytes > 0);
 }
 
 bool LruCache::request(ObjectId object, std::uint64_t size_bytes) {

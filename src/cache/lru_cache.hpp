@@ -19,7 +19,8 @@ struct CacheStats {
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
   }
 };
 

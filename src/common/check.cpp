@@ -1,0 +1,30 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace switchboard::check_detail {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* expression) {
+  os_ << "CHECK failed at " << file << ":" << line << ": " << expression;
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expression,
+                           std::string lhs, std::string rhs) {
+  os_ << "CHECK failed at " << file << ":" << line << ": " << expression
+      << " (" << lhs << " vs " << rhs << ")";
+}
+
+CheckFailure::~CheckFailure() {
+  // fprintf (not std::cerr) so the message survives even when iostream
+  // globals are mid-destruction, and reaches the pipe unbuffered for
+  // death tests.
+  const std::string message = os_.str();
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace switchboard::check_detail

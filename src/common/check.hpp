@@ -1,0 +1,153 @@
+// Runtime invariant checking: the repo's replacement for <cassert>.
+//
+// SWB_CHECK(cond)            always-on check; aborts with expression + location.
+// SWB_CHECK_EQ(a, b) (etc.)  always-on comparison; prints both operand values.
+// SWB_DCHECK / SWB_DCHECK_*  compiled out under NDEBUG (hot-path variants).
+//
+// All macros accept streamed context:
+//   SWB_CHECK_LT(index, size()) << "while probing chain " << chain;
+//
+// A failed check prints one line to stderr —
+//   CHECK failed at src/dataplane/flow_table.cpp:42: SWB_CHECK_EQ(occupied,
+//   size_) (17 vs 16) while auditing shard 3
+// — and then calls std::abort(), so sanitizers and death tests both see it.
+//
+// Rationale (vs. assert): assert() vanishes in RelWithDebInfo, prints no
+// operand values, and cannot carry context.  Repo rule (tools/lint.py):
+// assert() is banned outside common/result.hpp.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace switchboard::check_detail {
+
+/// Formats an operand for a failure message.  Anything streamable prints
+/// via operator<<; 1-byte integers print numerically, not as characters.
+template <typename T>
+std::string format_value(const T& value) {
+  std::ostringstream os;
+  if constexpr (std::is_same_v<T, bool>) {
+    os << (value ? "true" : "false");
+  } else if constexpr (std::is_integral_v<T> && sizeof(T) == 1) {
+    os << static_cast<int>(value);
+  } else {
+    os << value;
+  }
+  return os.str();
+}
+
+/// Accumulates the failure message; aborts the process in its destructor.
+/// Created only on the failure path, so the hot path pays one branch.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expression);
+  CheckFailure(const char* file, int line, const char* expression,
+               std::string lhs, std::string rhs);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  ~CheckFailure();   // prints and aborts; never returns normally
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    if (!context_started_) {
+      os_ << ' ';
+      context_started_ = true;
+    }
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream os_;
+  bool context_started_{false};
+};
+
+/// Swallows streamed context for compiled-out SWB_DCHECK in NDEBUG builds.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Comparison helpers: return true when the check PASSES.  Plain functions
+/// (not a macro-expanded `a op b` at the call site) so operands are
+/// evaluated exactly once and failure formatting sees the same values.
+struct OpEq {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a == b; }
+};
+struct OpNe {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a != b; }
+};
+struct OpLt {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a < b; }
+};
+struct OpLe {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a <= b; }
+};
+struct OpGt {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a > b; }
+};
+struct OpGe {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a >= b; }
+};
+
+}  // namespace switchboard::check_detail
+
+// A failed check constructs a CheckFailure temporary, streams any trailing
+// context into it, and aborts when the temporary dies at the end of the
+// statement.  The `while` keeps the macro usable wherever a statement is
+// legal (including un-braced if/else arms) and makes `<< context` bind to
+// the temporary.  The loop body never runs twice: the destructor aborts.
+#define SWB_CHECK(cond)                                                      \
+  while (!static_cast<bool>(cond))                                          \
+  ::switchboard::check_detail::CheckFailure(__FILE__, __LINE__,             \
+                                            "SWB_CHECK(" #cond ")")
+
+#define SWB_CHECK_OP_IMPL(name, op_functor, a, b)                            \
+  while (!::switchboard::check_detail::op_functor{}((a), (b)))              \
+  ::switchboard::check_detail::CheckFailure(                                \
+      __FILE__, __LINE__, "SWB_CHECK_" #name "(" #a ", " #b ")",            \
+      ::switchboard::check_detail::format_value((a)),                       \
+      ::switchboard::check_detail::format_value((b)))
+
+#define SWB_CHECK_EQ(a, b) SWB_CHECK_OP_IMPL(EQ, OpEq, a, b)
+#define SWB_CHECK_NE(a, b) SWB_CHECK_OP_IMPL(NE, OpNe, a, b)
+#define SWB_CHECK_LT(a, b) SWB_CHECK_OP_IMPL(LT, OpLt, a, b)
+#define SWB_CHECK_LE(a, b) SWB_CHECK_OP_IMPL(LE, OpLe, a, b)
+#define SWB_CHECK_GT(a, b) SWB_CHECK_OP_IMPL(GT, OpGt, a, b)
+#define SWB_CHECK_GE(a, b) SWB_CHECK_OP_IMPL(GE, OpGe, a, b)
+
+// Debug-only variants: full checks unless NDEBUG, in which case the
+// condition is type-checked but never evaluated (no side effects, no cost,
+// and no unused-variable warnings for operands).
+#ifdef NDEBUG
+#define SWB_DCHECK_DISABLED_IMPL(cond)                                       \
+  while (false && static_cast<bool>(cond))                                  \
+  ::switchboard::check_detail::NullStream()
+#define SWB_DCHECK(cond) SWB_DCHECK_DISABLED_IMPL(cond)
+#define SWB_DCHECK_EQ(a, b) SWB_DCHECK_DISABLED_IMPL((a) == (b))
+#define SWB_DCHECK_NE(a, b) SWB_DCHECK_DISABLED_IMPL((a) != (b))
+#define SWB_DCHECK_LT(a, b) SWB_DCHECK_DISABLED_IMPL((a) < (b))
+#define SWB_DCHECK_LE(a, b) SWB_DCHECK_DISABLED_IMPL((a) <= (b))
+#define SWB_DCHECK_GT(a, b) SWB_DCHECK_DISABLED_IMPL((a) > (b))
+#define SWB_DCHECK_GE(a, b) SWB_DCHECK_DISABLED_IMPL((a) >= (b))
+#else
+#define SWB_DCHECK(cond) SWB_CHECK(cond)
+#define SWB_DCHECK_EQ(a, b) SWB_CHECK_EQ(a, b)
+#define SWB_DCHECK_NE(a, b) SWB_CHECK_NE(a, b)
+#define SWB_DCHECK_LT(a, b) SWB_CHECK_LT(a, b)
+#define SWB_DCHECK_LE(a, b) SWB_CHECK_LE(a, b)
+#define SWB_DCHECK_GT(a, b) SWB_CHECK_GT(a, b)
+#define SWB_DCHECK_GE(a, b) SWB_CHECK_GE(a, b)
+#endif

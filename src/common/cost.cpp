@@ -1,6 +1,6 @@
 #include "common/cost.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace switchboard {
 
@@ -11,12 +11,12 @@ UtilizationCost::UtilizationCost()
 UtilizationCost::UtilizationCost(std::vector<double> breakpoints,
                                  std::vector<double> slopes)
     : breakpoints_{std::move(breakpoints)}, slopes_{std::move(slopes)} {
-  assert(slopes_.size() == breakpoints_.size() + 1);
+  SWB_CHECK(slopes_.size() == breakpoints_.size() + 1);
   for (std::size_t i = 0; i + 1 < breakpoints_.size(); ++i) {
-    assert(breakpoints_[i] < breakpoints_[i + 1]);
+    SWB_CHECK(breakpoints_[i] < breakpoints_[i + 1]);
   }
   for (std::size_t i = 0; i + 1 < slopes_.size(); ++i) {
-    assert(slopes_[i] <= slopes_[i + 1]);  // convexity
+    SWB_CHECK(slopes_[i] <= slopes_[i + 1]);  // convexity
   }
   values_at_breakpoints_.reserve(breakpoints_.size());
   double value = 0.0;
@@ -29,7 +29,7 @@ UtilizationCost::UtilizationCost(std::vector<double> breakpoints,
 }
 
 double UtilizationCost::operator()(double utilization) const {
-  assert(utilization >= 0);
+  SWB_DCHECK(utilization >= 0);
   double prev_bp = 0.0;
   for (std::size_t i = 0; i < breakpoints_.size(); ++i) {
     if (utilization <= breakpoints_[i]) {
@@ -44,7 +44,7 @@ double UtilizationCost::operator()(double utilization) const {
 }
 
 double UtilizationCost::slope_at(double utilization) const {
-  assert(utilization >= 0);
+  SWB_DCHECK(utilization >= 0);
   for (std::size_t i = 0; i < breakpoints_.size(); ++i) {
     if (utilization < breakpoints_[i]) return slopes_[i];
   }
@@ -52,7 +52,7 @@ double UtilizationCost::slope_at(double utilization) const {
 }
 
 double UtilizationCost::delta(double from, double to) const {
-  assert(from <= to);
+  SWB_CHECK(from <= to);
   return (*this)(to) - (*this)(from);
 }
 

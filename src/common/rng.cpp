@@ -1,8 +1,8 @@
 #include "common/rng.hpp"
-
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "common/check.hpp"
 
 namespace switchboard {
 namespace {
@@ -45,12 +45,12 @@ double Rng::uniform() {
 }
 
 double Rng::uniform(double lo, double hi) {
-  assert(lo <= hi);
+  SWB_DCHECK(lo <= hi);
   return lo + (hi - lo) * uniform();
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  SWB_DCHECK(lo <= hi);
   const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
   // Lemire's unbiased bounded generation.
@@ -69,7 +69,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 }
 
 double Rng::exponential(double mean) {
-  assert(mean > 0);
+  SWB_CHECK(mean > 0);
   double u = uniform();
   while (u <= 0.0) u = uniform();
   return -mean * std::log(u);
@@ -93,9 +93,9 @@ double Rng::normal(double mean, double stddev) {
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  SWB_CHECK(!weights.empty());
   const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-  assert(total > 0);
+  SWB_CHECK(total > 0);
   double target = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];
@@ -112,7 +112,7 @@ Rng Rng::split() { return Rng{(*this)()}; }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
-  assert(k <= n);
+  SWB_CHECK(k <= n);
   std::vector<std::size_t> pool(n);
   std::iota(pool.begin(), pool.end(), std::size_t{0});
   // Partial Fisher–Yates: the first k slots are the sample.

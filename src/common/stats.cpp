@@ -1,10 +1,11 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
+
+#include "common/check.hpp"
 
 namespace switchboard {
 
@@ -22,17 +23,17 @@ void SampleStats::clear() {
 }
 
 double SampleStats::mean() const {
-  assert(!samples_.empty());
+  SWB_CHECK(!samples_.empty());
   return sum_ / static_cast<double>(samples_.size());
 }
 
 double SampleStats::min() const {
-  assert(!samples_.empty());
+  SWB_CHECK(!samples_.empty());
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double SampleStats::max() const {
-  assert(!samples_.empty());
+  SWB_CHECK(!samples_.empty());
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
@@ -45,8 +46,8 @@ double SampleStats::stddev() const {
 }
 
 double SampleStats::percentile(double p) const {
-  assert(!samples_.empty());
-  assert(p >= 0.0 && p <= 100.0);
+  SWB_CHECK(!samples_.empty());
+  SWB_CHECK(p >= 0.0 && p <= 100.0);
   if (!sorted_valid_) {
     sorted_ = samples_;
     std::sort(sorted_.begin(), sorted_.end());
@@ -62,8 +63,8 @@ double SampleStats::percentile(double p) const {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_{lo}, hi_{hi}, counts_(bins, 0) {
-  assert(lo < hi);
-  assert(bins > 0);
+  SWB_CHECK(lo < hi);
+  SWB_CHECK(bins > 0);
 }
 
 void Histogram::add(double sample) {

@@ -1,14 +1,15 @@
 #include "common/zipf.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.hpp"
 
 namespace switchboard {
 
 ZipfSampler::ZipfSampler(std::size_t n, double exponent)
     : exponent_{exponent} {
-  assert(n > 0);
+  SWB_CHECK(n > 0);
   cdf_.resize(n);
   double total = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
@@ -26,7 +27,7 @@ std::size_t ZipfSampler::sample(Rng& rng) const {
 }
 
 double ZipfSampler::probability(std::size_t k) const {
-  assert(k < cdf_.size());
+  SWB_DCHECK(k < cdf_.size());
   return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
 }
 

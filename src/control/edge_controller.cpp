@@ -1,6 +1,6 @@
 #include "control/edge_controller.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace switchboard::control {
 
@@ -22,7 +22,7 @@ Result<SiteId> EdgeController::resolve_site(NodeId node) const {
 }
 
 dataplane::ElementId EdgeController::ensure_edge_instance(SiteId site) {
-  assert(site.value() < instance_at_site_.size());
+  SWB_CHECK(site.value() < instance_at_site_.size());
   dataplane::ElementId& slot = instance_at_site_[site.value()];
   if (slot != dataplane::kNoElement) return slot;
   // The edge gets a dedicated forwarder at the site (one forwarder per

@@ -1,6 +1,6 @@
 #include "control/elements.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace switchboard::control {
 
@@ -19,8 +19,8 @@ dataplane::ElementId ElementRegistry::create_forwarder(
 dataplane::ElementId ElementRegistry::create_vnf_instance(
     SiteId site, VnfId vnf, dataplane::ElementId forwarder, double weight,
     double capacity) {
-  assert(exists(forwarder));
-  assert(elements_[forwarder].type == ElementType::kForwarder);
+  SWB_CHECK(exists(forwarder));
+  SWB_CHECK(elements_[forwarder].type == ElementType::kForwarder);
   const auto id = static_cast<dataplane::ElementId>(elements_.size());
   ElementInfo info;
   info.id = id;
@@ -37,8 +37,8 @@ dataplane::ElementId ElementRegistry::create_vnf_instance(
 
 dataplane::ElementId ElementRegistry::create_edge_instance(
     SiteId site, dataplane::ElementId forwarder) {
-  assert(exists(forwarder));
-  assert(elements_[forwarder].type == ElementType::kForwarder);
+  SWB_CHECK(exists(forwarder));
+  SWB_CHECK(elements_[forwarder].type == ElementType::kForwarder);
   const auto id = static_cast<dataplane::ElementId>(elements_.size());
   ElementInfo info;
   info.id = id;
@@ -51,25 +51,25 @@ dataplane::ElementId ElementRegistry::create_edge_instance(
 }
 
 const ElementInfo& ElementRegistry::info(dataplane::ElementId id) const {
-  assert(exists(id));
+  SWB_CHECK(exists(id));
   return elements_[id];
 }
 
 ElementInfo& ElementRegistry::info_mutable(dataplane::ElementId id) {
-  assert(exists(id));
+  SWB_CHECK(exists(id));
   return elements_[id];
 }
 
 dataplane::Forwarder& ElementRegistry::forwarder(dataplane::ElementId id) {
-  assert(exists(id));
-  assert(engines_[id] != nullptr);
+  SWB_CHECK(exists(id));
+  SWB_CHECK(engines_[id] != nullptr);
   return *engines_[id];
 }
 
 const dataplane::Forwarder& ElementRegistry::forwarder(
     dataplane::ElementId id) const {
-  assert(exists(id));
-  assert(engines_[id] != nullptr);
+  SWB_CHECK(exists(id));
+  SWB_CHECK(engines_[id] != nullptr);
   return *engines_[id];
 }
 

@@ -1,9 +1,10 @@
 #include "control/global_switchboard.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <utility>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace switchboard::control {
@@ -16,7 +17,7 @@ bus::Topic GlobalSwitchboard::routes_topic() const {
 }
 
 void GlobalSwitchboard::register_edge_controller(EdgeController* controller) {
-  assert(controller != nullptr);
+  SWB_CHECK(controller != nullptr);
   if (edge_controllers_.size() <= controller->id().value()) {
     edge_controllers_.resize(controller->id().value() + 1, nullptr);
   }
@@ -24,7 +25,7 @@ void GlobalSwitchboard::register_edge_controller(EdgeController* controller) {
 }
 
 void GlobalSwitchboard::register_vnf_controller(VnfController* controller) {
-  assert(controller != nullptr);
+  SWB_CHECK(controller != nullptr);
   if (vnf_controllers_.size() <= controller->vnf().value()) {
     vnf_controllers_.resize(controller->vnf().value() + 1, nullptr);
   }
@@ -32,7 +33,7 @@ void GlobalSwitchboard::register_vnf_controller(VnfController* controller) {
 }
 
 void GlobalSwitchboard::register_local_switchboard(LocalSwitchboard* local) {
-  assert(local != nullptr);
+  SWB_CHECK(local != nullptr);
   if (local_switchboards_.size() <= local->site().value()) {
     local_switchboards_.resize(local->site().value() + 1, nullptr);
   }
@@ -40,12 +41,16 @@ void GlobalSwitchboard::register_local_switchboard(LocalSwitchboard* local) {
 }
 
 const ChainRecord& GlobalSwitchboard::record(ChainId chain) const {
+  const ChainRecord* found = find_record(chain);
+  SWB_CHECK(found != nullptr) << "unknown chain " << chain.value();
+  return *found;
+}
+
+const ChainRecord* GlobalSwitchboard::find_record(ChainId chain) const {
   for (const ChainRecord& r : chains_) {
-    if (r.id == chain) return r;
+    if (r.id == chain) return &r;
   }
-  assert(false && "unknown chain");
-  static const ChainRecord kEmpty{};
-  return kEmpty;
+  return nullptr;
 }
 
 RouteAnnouncement GlobalSwitchboard::to_announcement(
@@ -163,7 +168,7 @@ void GlobalSwitchboard::create_chain(const ChainSpec& spec,
           for (ChainRecord& r : chains_) {
             if (r.id == chain_id) rec = &r;
           }
-          assert(rec != nullptr);
+          SWB_CHECK(rec != nullptr);
           te::DpOptions options = dp_options_;
           rebuild_loads();   // also resizes after late VNF registration
           const te::SingleRoute route = te::find_single_route(
@@ -206,7 +211,7 @@ void GlobalSwitchboard::commit_route(
     for (ChainRecord& r : chains_) {
       if (r.id == chain_id) rec = &r;
     }
-    assert(rec != nullptr);
+    SWB_CHECK(rec != nullptr);
     const model::Chain& chain = context_.model.chain(chain_id);
 
     bool all_prepared = true;
@@ -216,7 +221,7 @@ void GlobalSwitchboard::commit_route(
       const VnfId vnf = rec->spec.vnfs[z - 1];
       const SiteId site = route.vnf_sites[z - 1];
       VnfController* controller = vnf_controllers_[vnf.value()];
-      assert(controller != nullptr);
+      SWB_CHECK(controller != nullptr);
       const double load =
           context_.model.vnf(vnf).load_per_unit *
           (chain.stage_traffic(z) + chain.stage_traffic(z + 1)) *
@@ -252,7 +257,7 @@ void GlobalSwitchboard::commit_route(
             for (ChainRecord& r : chains_) {
               if (r.id == chain_id) rec2 = &r;
             }
-            assert(rec2 != nullptr);
+            SWB_CHECK(rec2 != nullptr);
             te::DpOptions options = dp_options_;
             options.site_allowed = [excluded](VnfId vnf, SiteId site) {
               return excluded.count({vnf.value(), site.value()}) == 0;
@@ -291,7 +296,7 @@ void GlobalSwitchboard::commit_route(
           for (ChainRecord& r : chains_) {
             if (r.id == chain_id) rec2 = &r;
           }
-          assert(rec2 != nullptr);
+          SWB_CHECK(rec2 != nullptr);
           for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
             const VnfId vnf = rec2->spec.vnfs[z - 1];
             vnf_controllers_[vnf.value()]->commit(
@@ -327,6 +332,9 @@ void GlobalSwitchboard::commit_route(
           pending.report = std::move(report);
           pending.done = std::move(done);
           pending_.push_back(std::move(pending));
+#ifndef NDEBUG
+          check_invariants();
+#endif
         });
   });
 }
@@ -360,7 +368,7 @@ void GlobalSwitchboard::add_route(ChainId chain,
         for (ChainRecord& r : chains_) {
           if (r.id == chain) rec2 = &r;
         }
-        assert(rec2 != nullptr);
+        SWB_CHECK(rec2 != nullptr);
         RouteRecord route_record;
         route_record.id = RouteId{next_route_id_++};
         // The new route takes an equal share of traffic.
@@ -395,6 +403,68 @@ void GlobalSwitchboard::add_route(ChainId chain,
       });
 }
 
+void GlobalSwitchboard::check_invariants() const {
+  // Chain ids are allocator-unique; names are a human label with no
+  // uniqueness contract (specs may leave them empty).
+  std::set<std::uint32_t> chain_ids;
+  for (const ChainRecord& record : chains_) {
+    SWB_CHECK(chain_ids.insert(record.id.value()).second)
+        << "duplicate chain id " << record.id.value();
+
+    std::set<std::uint32_t> route_ids;
+    double weight_sum = 0.0;
+    for (const RouteRecord& route : record.routes) {
+      SWB_CHECK_LT(route.id.value(), next_route_id_)
+          << "route id outside the allocator for chain " << record.id.value();
+      SWB_CHECK(route_ids.insert(route.id.value()).second)
+          << "duplicate route id " << route.id.value() << " in chain "
+          << record.id.value();
+      // One placement per VNF stage — the announcement builder indexes
+      // vnf_sites positionally against spec.vnfs.
+      SWB_CHECK_EQ(route.vnf_sites.size(), record.spec.vnfs.size())
+          << "chain " << record.id.value() << " route " << route.id.value();
+      SWB_CHECK(route.weight > 0.0 && route.weight <= 1.0 + 1e-9)
+          << "chain " << record.id.value() << " route " << route.id.value()
+          << " weight " << route.weight;
+      weight_sum += route.weight;
+    }
+    if (record.active) {
+      SWB_CHECK(!record.routes.empty())
+          << "active chain " << record.id.value() << " has no routes";
+      SWB_CHECK_LE(std::abs(weight_sum - 1.0), 1e-6)
+          << "chain " << record.id.value() << " route weights sum to "
+          << weight_sum;
+      for (const VnfId vnf : record.spec.vnfs) {
+        SWB_CHECK(vnf.value() < vnf_controllers_.size() &&
+                  vnf_controllers_[vnf.value()] != nullptr)
+            << "active chain " << record.id.value()
+            << " uses unregistered vnf " << vnf.value();
+      }
+    }
+  }
+
+  for (const PendingActivation& pending : pending_) {
+    const ChainRecord* record = find_record(pending.chain);
+    SWB_CHECK(record != nullptr)
+        << "pending activation for unknown chain " << pending.chain.value();
+    // Drained activations are erased in on_route_ready, so a lingering
+    // empty waiting set means a completion was lost.
+    SWB_CHECK(!pending.waiting_sites.empty())
+        << "pending activation for chain " << pending.chain.value()
+        << " route " << pending.route.value() << " awaits no site";
+    const bool route_known =
+        std::any_of(record->routes.begin(), record->routes.end(),
+                    [&](const RouteRecord& r) { return r.id == pending.route; });
+    SWB_CHECK(route_known) << "pending activation for unknown route "
+                           << pending.route.value();
+  }
+
+  for (const VnfController* controller : vnf_controllers_) {
+    if (controller != nullptr) controller->check_invariants();
+  }
+  loads_.check_invariants();
+}
+
 void GlobalSwitchboard::on_route_ready(ChainId chain, RouteId route,
                                        SiteId site) {
   for (std::size_t i = 0; i < pending_.size(); ++i) {
@@ -410,6 +480,9 @@ void GlobalSwitchboard::on_route_ready(ChainId chain, RouteId route,
     CreationCallback done = std::move(pending.done);
     CreationReport report = std::move(pending.report);
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+#ifndef NDEBUG
+    check_invariants();
+#endif
     if (done) done(Result<CreationReport>{std::move(report)});
     return;
   }

@@ -98,12 +98,22 @@ class GlobalSwitchboard {
   void add_route(ChainId chain, const std::vector<SiteId>& preferred_vnf_sites,
                  CreationCallback done);
 
+  /// Hard-precondition lookup: aborts (SWB_CHECK) on an unknown chain.
   [[nodiscard]] const ChainRecord& record(ChainId chain) const;
+  /// Nullable lookup: nullptr when the chain was never created.
+  [[nodiscard]] const ChainRecord* find_record(ChainId chain) const;
   [[nodiscard]] const te::Loads& loads() const { return loads_; }
   [[nodiscard]] te::DpOptions& dp_options() { return dp_options_; }
 
   /// Readiness callback target for Local Switchboards.
   void on_route_ready(ChainId chain, RouteId route, SiteId site);
+
+  /// Audits the coordinator (aborts via SWB_CHECK on violation): chain ids
+  /// and names are unique, every active chain's route weights sum to 1 and
+  /// each route places one site per VNF stage, route ids stay below the
+  /// allocator, pending activations reference known chains and still await
+  /// at least one site, and every registered participant audits clean.
+  void check_invariants() const;
 
  private:
   struct PendingActivation {

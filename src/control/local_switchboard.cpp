@@ -1,7 +1,6 @@
 #include "control/local_switchboard.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 

@@ -1,0 +1,66 @@
+#include "control/two_phase.hpp"
+
+#include "common/check.hpp"
+
+namespace switchboard::control {
+
+const char* to_string(TwoPhaseState state) {
+  switch (state) {
+    case TwoPhaseState::kIdle: return "idle";
+    case TwoPhaseState::kPrepared: return "prepared";
+    case TwoPhaseState::kCommitted: return "committed";
+    case TwoPhaseState::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+bool TwoPhaseTracker::legal(TwoPhaseState from, TwoPhaseState to) {
+  // Rows: from; columns: to, in enum order {Idle, Prepared, Committed,
+  // Aborted}.  Self-loops on Prepared (one reservation per stage of the
+  // route) and on the terminal states (idempotent re-commit/re-abort when
+  // a chain repeats a VNF) are legal; nothing re-enters Idle.
+  static constexpr bool kLegal[4][4] = {
+      /* Idle      -> */ {false, true, false, true},
+      /* Prepared  -> */ {false, true, true, true},
+      /* Committed -> */ {false, false, true, false},
+      /* Aborted   -> */ {false, false, false, true},
+  };
+  return kLegal[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+}
+
+TwoPhaseState TwoPhaseTracker::state(ChainId chain, RouteId route) const {
+  const auto it = states_.find(Key{chain.value(), route.value()});
+  return it == states_.end() ? TwoPhaseState::kIdle : it->second;
+}
+
+void TwoPhaseTracker::transition(ChainId chain, RouteId route,
+                                 TwoPhaseState to) {
+  const TwoPhaseState from = state(chain, route);
+  SWB_CHECK(legal(from, to))
+      << "illegal 2PC transition " << to_string(from) << " -> "
+      << to_string(to) << " for chain " << chain << " route " << route;
+  states_[Key{chain.value(), route.value()}] = to;
+}
+
+std::size_t TwoPhaseTracker::count(TwoPhaseState state) const {
+  std::size_t total = 0;
+  for (const auto& [key, s] : states_) total += s == state ? 1 : 0;
+  return total;
+}
+
+void TwoPhaseTracker::check_invariants() const {
+  std::size_t partitioned = 0;
+  for (const auto& [key, s] : states_) {
+    SWB_CHECK(s != TwoPhaseState::kIdle)
+        << "idle pair stored for chain " << key.first << " route "
+        << key.second;
+    SWB_CHECK(s == TwoPhaseState::kPrepared ||
+              s == TwoPhaseState::kCommitted || s == TwoPhaseState::kAborted);
+    ++partitioned;
+  }
+  SWB_CHECK_EQ(partitioned, count(TwoPhaseState::kPrepared) +
+                                count(TwoPhaseState::kCommitted) +
+                                count(TwoPhaseState::kAborted));
+}
+
+}  // namespace switchboard::control

@@ -1,0 +1,62 @@
+// Explicit state machine for the two-phase commit a VNF controller runs
+// with the Global Switchboard (Fig. 4 step 2 / Section 4).
+//
+// Each (chain, route) pair a participant hears about walks the machine
+//
+//        prepare-yes           commit
+//   Idle ───────────► Prepared ───────► Committed
+//     │                  │ ▲
+//     │ prepare-no       │ │ prepare-yes (another stage of the same
+//     ▼                  ▼   route reserving at this controller)
+//   Aborted ◄────────────┘ abort
+//
+// with Committed and Aborted terminal but idempotently re-enterable (a
+// chain that uses the same VNF at two stages sends the controller two
+// commit calls for one route).  Every transition is validated against the
+// legal matrix via SWB_CHECK, so a commit that never prepared, a commit
+// after an abort, or a late abort of a committed route — the classic 2PC
+// atomicity violations — crash loudly at the exact illegal call instead of
+// silently corrupting capacity accounting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace switchboard::control {
+
+enum class TwoPhaseState : std::uint8_t {
+  kIdle = 0,       // never heard of the (chain, route)
+  kPrepared,       // voted yes; resources reserved
+  kCommitted,      // reservation converted to allocation
+  kAborted,        // voted no, or reservation dropped
+};
+
+[[nodiscard]] const char* to_string(TwoPhaseState state);
+
+class TwoPhaseTracker {
+ public:
+  /// True when `from -> to` is a legal protocol step.
+  [[nodiscard]] static bool legal(TwoPhaseState from, TwoPhaseState to);
+
+  /// Current state of a (chain, route); kIdle when never seen.
+  [[nodiscard]] TwoPhaseState state(ChainId chain, RouteId route) const;
+
+  /// Applies a transition, aborting (SWB_CHECK) when it is illegal.
+  void transition(ChainId chain, RouteId route, TwoPhaseState to);
+
+  /// Number of tracked pairs currently in `state`.
+  [[nodiscard]] std::size_t count(TwoPhaseState state) const;
+
+  /// Audits the tracker: no pair is stored as kIdle (idle pairs are simply
+  /// absent) and the per-state counts partition the map.
+  void check_invariants() const;
+
+ private:
+  using Key = std::pair<std::uint32_t, std::uint32_t>;
+  std::map<Key, TwoPhaseState> states_;
+};
+
+}  // namespace switchboard::control

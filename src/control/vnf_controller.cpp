@@ -1,6 +1,9 @@
 #include "control/vnf_controller.hpp"
 
-#include <cassert>
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
 
 namespace switchboard::control {
 namespace {
@@ -19,14 +22,19 @@ VnfController::VnfController(ControlContext& context, VnfId vnf)
 
 bool VnfController::prepare(ChainId chain, RouteId route, SiteId site,
                             double load) {
-  assert(load >= 0);
-  assert(site.value() < committed_load_.size());
+  SWB_CHECK(load >= 0);
+  SWB_CHECK(site.value() < committed_load_.size());
   const double capacity = context_.model.vnf(vnf_).capacity_at(site);
   const double in_use =
       committed_load_[site.value()] + pending_load_[site.value()];
   if (in_use + load > capacity + 1e-9) {
-    return false;   // vote abort: resource shortage at this site
+    // Vote abort: resource shortage at this site.  Recording kAborted makes
+    // a later commit of this route at this participant an illegal
+    // transition — the coordinator must never commit past a no vote.
+    two_phase_.transition(chain, route, TwoPhaseState::kAborted);
+    return false;
   }
+  two_phase_.transition(chain, route, TwoPhaseState::kPrepared);
   pending_load_[site.value()] += load;
   pending_[key(chain, route)].push_back(Reservation{site, load});
   return true;
@@ -34,6 +42,10 @@ bool VnfController::prepare(ChainId chain, RouteId route, SiteId site,
 
 void VnfController::commit(ChainId chain, RouteId route,
                            std::uint32_t egress_label) {
+  // Legal only after a yes vote (kPrepared) or as an idempotent re-commit
+  // (a chain using this VNF at two stages commits once per stage); a
+  // commit while kIdle or after a no vote aborts here.
+  two_phase_.transition(chain, route, TwoPhaseState::kCommitted);
   const auto it = pending_.find(key(chain, route));
   if (it == pending_.end()) return;
   for (const Reservation& r : it->second) {
@@ -61,6 +73,10 @@ void VnfController::commit(ChainId chain, RouteId route,
 }
 
 void VnfController::abort(ChainId chain, RouteId route) {
+  // Legal from kIdle (abort of a route never seen here), kPrepared, or
+  // kAborted (repeat); aborting a committed route would un-account
+  // committed capacity and is rejected by the matrix.
+  two_phase_.transition(chain, route, TwoPhaseState::kAborted);
   const auto it = pending_.find(key(chain, route));
   if (it == pending_.end()) return;
   for (const Reservation& r : it->second) {
@@ -70,7 +86,7 @@ void VnfController::abort(ChainId chain, RouteId route) {
 }
 
 double VnfController::allocated(SiteId site) const {
-  assert(site.value() < committed_load_.size());
+  SWB_CHECK(site.value() < committed_load_.size());
   return committed_load_[site.value()] + pending_load_[site.value()];
 }
 
@@ -117,6 +133,49 @@ std::vector<dataplane::ElementId> VnfController::scale_instances(
     }
   }
   return created;
+}
+
+void VnfController::check_invariants() const {
+  SWB_CHECK_EQ(committed_load_.size(), pending_load_.size());
+  for (std::size_t s = 0; s < committed_load_.size(); ++s) {
+    SWB_CHECK(std::isfinite(committed_load_[s])) << "site " << s;
+    SWB_CHECK(std::isfinite(pending_load_[s])) << "site " << s;
+    SWB_CHECK_GE(committed_load_[s], -1e-9) << "site " << s;
+    SWB_CHECK_GE(pending_load_[s], -1e-9) << "site " << s;
+  }
+  // Each site's pending load is exactly the sum of outstanding
+  // reservations there — a mismatch means a reservation was dropped or
+  // double-released on some commit/abort path.
+  std::vector<double> expected(pending_load_.size(), 0.0);
+  for (const auto& [chain_route, reservations] : pending_) {
+    SWB_CHECK(!reservations.empty())
+        << "empty reservation list for chain " << chain_route.first
+        << " route " << chain_route.second;
+    // kAborted is transiently legal here: a no vote at a later stage of an
+    // already-prepared route leaves the earlier reservation parked until
+    // the coordinator's abort() releases it.  kIdle or kCommitted with
+    // live reservations means a bookkeeping path leaked.
+    const TwoPhaseState state = two_phase_.state(ChainId{chain_route.first},
+                                                 RouteId{chain_route.second});
+    SWB_CHECK(state == TwoPhaseState::kPrepared ||
+              state == TwoPhaseState::kAborted)
+        << "reservations for chain " << chain_route.first << " route "
+        << chain_route.second << " held in state " << to_string(state);
+    for (const Reservation& r : reservations) {
+      SWB_CHECK_LT(r.site.value(), expected.size());
+      SWB_CHECK(std::isfinite(r.load) && r.load >= 0.0);
+      expected[r.site.value()] += r.load;
+    }
+  }
+  for (std::size_t s = 0; s < pending_load_.size(); ++s) {
+    SWB_CHECK_LE(std::abs(pending_load_[s] - expected[s]),
+                 1e-6 * std::max(1.0, expected[s]))
+        << "site " << s << " pending load drifted from its reservations";
+  }
+  // Every kPrepared pair holds reservations (prepare() records both
+  // atomically), so the prepared population cannot exceed the pending map.
+  SWB_CHECK_LE(two_phase_.count(TwoPhaseState::kPrepared), pending_.size());
+  two_phase_.check_invariants();
 }
 
 dataplane::ElementId VnfController::ensure_instance(SiteId site) {

@@ -19,6 +19,7 @@
 #include "common/types.hpp"
 #include "control/context.hpp"
 #include "control/messages.hpp"
+#include "control/two_phase.hpp"
 
 namespace switchboard::control {
 
@@ -59,6 +60,19 @@ class VnfController {
   std::vector<dataplane::ElementId> scale_instances(SiteId site,
                                                     std::size_t count);
 
+  /// Protocol state observed for a (chain, route) at this participant.
+  [[nodiscard]] TwoPhaseState two_phase_state(ChainId chain,
+                                              RouteId route) const {
+    return two_phase_.state(chain, route);
+  }
+
+  /// Audits the participant (aborts via SWB_CHECK on violation): per-site
+  /// pending load equals the sum of outstanding reservations, committed and
+  /// pending loads are finite and non-negative, every pending (chain,
+  /// route) is in 2PC state kPrepared, and no prepared pair lacks its
+  /// reservation list.
+  void check_invariants() const;
+
  private:
   struct Reservation {
     SiteId site;
@@ -76,6 +90,7 @@ class VnfController {
       announced_;
   std::vector<double> committed_load_;   // per site
   std::vector<double> pending_load_;     // per site
+  TwoPhaseTracker two_phase_;            // per-(chain, route) protocol state
 };
 
 }  // namespace switchboard::control

@@ -1,12 +1,12 @@
 #include "core/deployment.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace switchboard::core {
 
 Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
     : config_{config}, model_{std::move(model)} {
-  assert(!model_.sites().empty());
+  SWB_CHECK(!model_.sites().empty());
 
   bus::BusConfig bus_config;
   bus_config.site_count = model_.sites().size();
@@ -46,17 +46,17 @@ Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
 }
 
 control::LocalSwitchboard& Deployment::local(SiteId site) {
-  assert(site.value() < locals_.size());
+  SWB_CHECK(site.value() < locals_.size());
   return *locals_[site.value()];
 }
 
 control::VnfController& Deployment::vnf_controller(VnfId vnf) {
-  assert(vnf.value() < vnf_controllers_.size());
+  SWB_CHECK(vnf.value() < vnf_controllers_.size());
   return *vnf_controllers_[vnf.value()];
 }
 
 control::EdgeController& Deployment::edge_controller(EdgeServiceId id) {
-  assert(id.value() < edge_controllers_.size());
+  SWB_CHECK(id.value() < edge_controllers_.size());
   return *edge_controllers_[id.value()];
 }
 
@@ -95,12 +95,13 @@ Deployment::WalkResult Deployment::inject(ChainId chain,
                                           const dataplane::FiveTuple& flow,
                                           dataplane::Direction direction,
                                           std::uint16_t size_bytes) {
-  const control::ChainRecord& record = global_->record(chain);
-  if (!record.active) {
+  const control::ChainRecord* found = global_->find_record(chain);
+  if (found == nullptr || !found->active) {
     WalkResult result;
     result.failure = "chain not active";
     return result;
   }
+  const control::ChainRecord& record = *found;
   // The walk starts at the edge instance on the sending side.
   const SiteId start_site = direction == dataplane::Direction::kForward
       ? record.ingress_site
@@ -119,11 +120,12 @@ Deployment::WalkResult Deployment::inject_from(
     const dataplane::FiveTuple& flow, dataplane::Direction direction,
     std::uint16_t size_bytes) {
   WalkResult result;
-  const control::ChainRecord& record = global_->record(chain);
-  if (!record.active) {
+  const control::ChainRecord* found = global_->find_record(chain);
+  if (found == nullptr || !found->active) {
     result.failure = "chain not active";
     return result;
   }
+  const control::ChainRecord& record = *found;
 
   dataplane::Packet packet;
   packet.flow = direction == dataplane::Direction::kForward

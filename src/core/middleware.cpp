@@ -1,6 +1,5 @@
 #include "core/middleware.hpp"
 
-#include <cassert>
 #include <utility>
 
 namespace switchboard::core {

@@ -38,16 +38,16 @@ class Middleware {
 
   /// Creates and activates a chain; blocks (in simulated time) until every
   /// involved site installed its rules.
-  Result<control::CreationReport> create_chain(
+  [[nodiscard]] Result<control::CreationReport> create_chain(
       const control::ChainSpec& spec);
 
   /// Adds a wide-area route to an active chain (Fig. 10).
-  Result<control::CreationReport> add_route(
+  [[nodiscard]] Result<control::CreationReport> add_route(
       ChainId chain, const std::vector<SiteId>& preferred_vnf_sites = {});
 
   /// Extends the chain to a new edge site (mobility, Table 2).
-  Result<control::EdgeAdditionTrace> attach_edge(ChainId chain, SiteId site,
-                                                 EdgeServiceId edge_service);
+  [[nodiscard]] Result<control::EdgeAdditionTrace> attach_edge(
+      ChainId chain, SiteId site, EdgeServiceId edge_service);
 
   /// Sends one packet of `flow` through the chain's data plane.
   Deployment::WalkResult send(ChainId chain, const dataplane::FiveTuple& flow,

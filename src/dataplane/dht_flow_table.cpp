@@ -1,14 +1,15 @@
 #include "dataplane/dht_flow_table.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace switchboard::dataplane {
 
 DhtFlowTable::DhtFlowTable(std::size_t node_count,
                            std::size_t virtual_nodes_per_node) {
-  assert(node_count >= 2);
-  assert(virtual_nodes_per_node >= 1);
+  SWB_CHECK(node_count >= 2);
+  SWB_CHECK(virtual_nodes_per_node >= 1);
   shards_.reserve(node_count);
   alive_.assign(node_count, true);
   for (std::size_t n = 0; n < node_count; ++n) {
@@ -68,7 +69,7 @@ bool DhtFlowTable::erase(const Labels& labels, const FiveTuple& tuple) {
 }
 
 void DhtFlowTable::fail_node(std::size_t node) {
-  assert(node < shards_.size());
+  SWB_CHECK(node < shards_.size());
   if (!alive_[node]) return;
   alive_[node] = false;
   shards_[node]->clear();   // the node's state is gone
@@ -76,14 +77,14 @@ void DhtFlowTable::fail_node(std::size_t node) {
 }
 
 void DhtFlowTable::recover_node(std::size_t node) {
-  assert(node < shards_.size());
+  SWB_CHECK(node < shards_.size());
   if (alive_[node]) return;
   alive_[node] = true;
   re_replicate();
 }
 
 bool DhtFlowTable::node_alive(std::size_t node) const {
-  assert(node < shards_.size());
+  SWB_CHECK(node < shards_.size());
   return alive_[node];
 }
 
@@ -94,7 +95,7 @@ std::size_t DhtFlowTable::live_node_count() const {
 }
 
 std::size_t DhtFlowTable::shard_size(std::size_t node) const {
-  assert(node < shards_.size());
+  SWB_CHECK(node < shards_.size());
   return shards_[node]->size();
 }
 
@@ -133,6 +134,53 @@ void DhtFlowTable::re_replicate() {
   }
   for (const Pending& p : all) {
     insert(p.labels, p.tuple, p.entry);   // dedupes via overwrite
+  }
+#ifndef NDEBUG
+  check_invariants();
+#endif
+}
+
+void DhtFlowTable::check_invariants() const {
+  SWB_CHECK_EQ(alive_.size(), shards_.size());
+  SWB_CHECK_EQ(ring_.size() % shards_.size(), 0u)
+      << "virtual nodes must cover nodes evenly";
+  for (std::size_t i = 1; i < ring_.size(); ++i) {
+    SWB_CHECK_LE(ring_[i - 1].hash, ring_[i].hash) << "ring not sorted";
+  }
+  std::vector<bool> on_ring(shards_.size(), false);
+  for (const RingPoint& point : ring_) {
+    SWB_CHECK_LT(point.node, shards_.size());
+    on_ring[point.node] = true;
+  }
+  for (std::size_t n = 0; n < shards_.size(); ++n) {
+    SWB_CHECK(on_ring[n]) << "node " << n << " has no ring points";
+  }
+
+  for (std::size_t n = 0; n < shards_.size(); ++n) {
+    shards_[n]->check_invariants();
+    if (!alive_[n]) {
+      SWB_CHECK_EQ(shards_[n]->size(), 0u)
+          << "failed node " << n << " still holds entries";
+    }
+  }
+
+  // Replication: each key sits on exactly its owner set.  (Both directions
+  // matter: a missing replica loses affinity on the next failure; a stale
+  // copy on a non-owner serves outdated pinning after rule changes.)
+  for (std::size_t n = 0; n < shards_.size(); ++n) {
+    if (!alive_[n]) continue;
+    shards_[n]->for_each(
+        [&](const Labels& labels, const FiveTuple& tuple, const FlowEntry&) {
+          const auto owner_set = owners(flow_hash(labels, tuple));
+          bool is_owner = false;
+          for (const std::size_t owner : owner_set) {
+            is_owner |= owner == n;
+            SWB_CHECK(shards_[owner]->find(labels, tuple) != nullptr)
+                << "owner " << owner << " lacks a replica";
+          }
+          SWB_CHECK(is_owner)
+              << "node " << n << " holds a key it does not own";
+        });
   }
 }
 

@@ -54,6 +54,14 @@ class DhtFlowTable {
   /// Distinct flows reachable through the DHT.
   [[nodiscard]] std::size_t total_flows() const;
 
+  /// Audits the DHT's structural invariants (aborts via SWB_CHECK on
+  /// violation): ring sorted and covering every node, dead shards empty,
+  /// each shard's own hash-table invariants, and the replication target —
+  /// every stored key lives on exactly its current owner set (primary +
+  /// live successor) and nowhere else.  Called after re_replicate() in
+  /// debug builds and from tests.
+  void check_invariants() const;
+
  private:
   struct RingPoint {
     std::uint64_t hash;

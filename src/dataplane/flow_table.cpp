@@ -1,8 +1,9 @@
 #include "dataplane/flow_table.hpp"
 
 #include <bit>
-#include <cassert>
 #include <utility>
+
+#include "common/check.hpp"
 
 namespace switchboard::dataplane {
 
@@ -94,6 +95,44 @@ void FlowTable::grow() {
   for (Slot& slot : old) {
     if (slot.state == SlotState::kOccupied) {
       insert(slot.labels, slot.tuple, slot.entry);
+    }
+  }
+#ifndef NDEBUG
+  check_invariants();
+#endif
+}
+
+void FlowTable::check_invariants() const {
+  SWB_CHECK(std::has_single_bit(slots_.size())) << "capacity not a power of 2";
+  SWB_CHECK_EQ(mask_, slots_.size() - 1);
+
+  std::size_t occupied = 0;
+  std::size_t tombstones = 0;
+  for (const Slot& slot : slots_) {
+    switch (slot.state) {
+      case SlotState::kOccupied: ++occupied; break;
+      case SlotState::kTombstone: ++tombstones; break;
+      case SlotState::kEmpty: break;
+    }
+  }
+  SWB_CHECK_EQ(occupied, size_);
+  SWB_CHECK_EQ(tombstones, tombstones_);
+  // insert() grows before (size + tombstones) can exceed 70% of capacity.
+  SWB_CHECK_LE((size_ + tombstones_) * 10, slots_.size() * 7);
+
+  // Probe-chain reachability: every occupied slot must be found by walking
+  // forward from its probe start without crossing an empty slot (an erase
+  // that set kEmpty instead of kTombstone would orphan later entries).
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    if (slot.state != SlotState::kOccupied) continue;
+    std::size_t index = probe_start(slot.labels, slot.tuple);
+    for (;;) {
+      SWB_CHECK(slots_[index].state != SlotState::kEmpty)
+          << "slot " << i << " unreachable: empty slot " << index
+          << " interrupts its probe chain";
+      if (index == i) break;
+      index = (index + 1) & mask_;
     }
   }
 }

@@ -59,6 +59,14 @@ class FlowTable {
       }
     }
   }
+  template <typename Fn>   // Fn(const Labels&, const FiveTuple&, const FlowEntry&)
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.state == SlotState::kOccupied) {
+        fn(slot.labels, slot.tuple, slot.entry);
+      }
+    }
+  }
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
@@ -68,6 +76,14 @@ class FlowTable {
         : static_cast<double>(size_) / static_cast<double>(slots_.size());
   }
   void clear();
+
+  /// Audits the table's structural invariants (aborts via SWB_CHECK on
+  /// violation): power-of-two capacity, occupancy/tombstone counters in
+  /// sync with slot states, the growth threshold respected, and every
+  /// occupied slot reachable from its probe start without crossing an
+  /// empty slot.  O(capacity + size * probe length); called after grow()
+  /// in debug builds and from tests.
+  void check_invariants() const;
 
  private:
   enum class SlotState : std::uint8_t { kEmpty, kOccupied, kTombstone };

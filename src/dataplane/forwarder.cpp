@@ -1,6 +1,5 @@
 #include "dataplane/forwarder.hpp"
 
-#include <cassert>
 #include <vector>
 
 namespace switchboard::dataplane {

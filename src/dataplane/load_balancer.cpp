@@ -1,12 +1,14 @@
 #include "dataplane/load_balancer.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
+
+#include "common/check.hpp"
 
 namespace switchboard::dataplane {
 
 void WeightedChoice::add(ElementId element, double weight) {
-  assert(weight > 0);
+  SWB_CHECK(weight > 0);
   elements_.push_back(element);
   cumulative_.push_back(total_weight() + weight);
 }
@@ -17,7 +19,7 @@ void WeightedChoice::clear() {
 }
 
 ElementId WeightedChoice::pick(std::uint64_t selector) const {
-  assert(!elements_.empty());
+  SWB_DCHECK(!elements_.empty());
   // Map the selector uniformly onto [0, total_weight).
   const double u =
       static_cast<double>(selector >> 11) * 0x1.0p-53 * total_weight();
@@ -37,7 +39,31 @@ double WeightedChoice::weight_of(ElementId element) const {
   return 0.0;
 }
 
+void WeightedChoice::check_invariants() const {
+  SWB_CHECK_EQ(elements_.size(), cumulative_.size());
+  double previous = 0.0;
+  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+    SWB_CHECK(std::isfinite(cumulative_[i]))
+        << "non-finite cumulative weight at index " << i;
+    // Strictly increasing prefix sums <=> every element weight positive;
+    // a zero-width band could never be picked yet would absorb a slot.
+    SWB_CHECK_GT(cumulative_[i], previous)
+        << "element " << elements_[i] << " has non-positive weight";
+    previous = cumulative_[i];
+    SWB_CHECK_NE(elements_[i], kNoElement);
+  }
+}
+
+void LoadBalanceRule::check_invariants() const {
+  vnf_instances.check_invariants();
+  next_forwarders.check_invariants();
+  prev_forwarders.check_invariants();
+}
+
 void RuleTable::install(const Labels& labels, LoadBalanceRule rule) {
+#ifndef NDEBUG
+  rule.check_invariants();
+#endif
   rules_[labels] = std::move(rule);
 }
 
@@ -51,6 +77,10 @@ const LoadBalanceRule* RuleTable::find(const Labels& labels) const {
 LoadBalanceRule* RuleTable::find_mutable(const Labels& labels) {
   const auto it = rules_.find(labels);
   return it == rules_.end() ? nullptr : &it->second;
+}
+
+void RuleTable::check_invariants() const {
+  for (const auto& [labels, rule] : rules_) rule.check_invariants();
 }
 
 }  // namespace switchboard::dataplane

@@ -40,6 +40,11 @@ class WeightedChoice {
   }
   [[nodiscard]] double weight_of(ElementId element) const;
 
+  /// Audits the cumulative-weight prefix sums (aborts via SWB_CHECK on
+  /// violation): parallel arrays, strictly increasing finite cumulative
+  /// weights (every per-element weight > 0), valid element ids.
+  void check_invariants() const;
+
  private:
   std::vector<ElementId> elements_;
   std::vector<double> cumulative_;
@@ -52,6 +57,11 @@ struct LoadBalanceRule {
   WeightedChoice prev_forwarders;
   /// When the chain ends at this site, the egress edge element.
   ElementId egress_edge{kNoElement};
+
+  /// Audits each weighted set.  (A rule may legitimately carry only
+  /// next_forwarders — e.g. an ingress edge forwarder — so emptiness of a
+  /// particular set is not an invariant.)
+  void check_invariants() const;
 };
 
 class RuleTable {
@@ -62,6 +72,9 @@ class RuleTable {
   [[nodiscard]] const LoadBalanceRule* find(const Labels& labels) const;
   [[nodiscard]] LoadBalanceRule* find_mutable(const Labels& labels);
   [[nodiscard]] std::size_t size() const { return rules_.size(); }
+
+  /// Audits every installed rule (see LoadBalanceRule::check_invariants).
+  void check_invariants() const;
 
  private:
   struct LabelsHash {

@@ -1,12 +1,12 @@
 #include "dataplane/traffic_gen.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace switchboard::dataplane {
 
 PacketStream::PacketStream(const TrafficGenConfig& config) : config_{config} {
-  assert(config.flow_count > 0);
-  assert(config.reverse_fraction >= 0.0 && config.reverse_fraction <= 1.0);
+  SWB_CHECK(config.flow_count > 0);
+  SWB_CHECK(config.reverse_fraction >= 0.0 && config.reverse_fraction <= 1.0);
 }
 
 FiveTuple PacketStream::flow_tuple(std::uint32_t flow_index) const {

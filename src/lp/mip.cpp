@@ -1,7 +1,6 @@
 #include "lp/mip.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <utility>

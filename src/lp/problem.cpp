@@ -1,7 +1,8 @@
 #include "lp/problem.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace switchboard::lp {
 
@@ -20,7 +21,7 @@ std::size_t Problem::add_constraint(Relation relation, double rhs,
   std::vector<Term> merged;
   merged.reserve(terms.size());
   for (const Term& t : terms) {
-    assert(t.var < variable_count());
+    SWB_CHECK(t.var < variable_count());
     if (!merged.empty() && merged.back().var == t.var) {
       merged.back().coeff += t.coeff;
     } else {
@@ -34,17 +35,17 @@ std::size_t Problem::add_constraint(Relation relation, double rhs,
 }
 
 void Problem::set_objective_coeff(VarIndex var, double coeff) {
-  assert(var < variable_count());
+  SWB_DCHECK(var < variable_count());
   objective_[var] = coeff;
 }
 
 double Problem::objective_coeff(VarIndex var) const {
-  assert(var < variable_count());
+  SWB_DCHECK(var < variable_count());
   return objective_[var];
 }
 
 const std::string& Problem::variable_name(VarIndex var) const {
-  assert(var < variable_count());
+  SWB_DCHECK(var < variable_count());
   return names_[var];
 }
 

@@ -1,11 +1,11 @@
 #include "lp/simplex.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace switchboard::lp {
@@ -268,7 +268,7 @@ class SimplexEngine {
 
   void pivot(std::size_t entering, std::size_t leaving_row) {
     const double pivot_value = w_[leaving_row];
-    assert(std::abs(pivot_value) > opt_.pivot_tol);
+    SWB_DCHECK(std::abs(pivot_value) > opt_.pivot_tol);
     const double step = std::max(0.0, xb_[leaving_row]) / pivot_value;
 
     for (std::size_t r = 0; r < m_; ++r) xb_[r] -= step * w_[r];

@@ -1,7 +1,7 @@
 #include "model/network_model.hpp"
-
-#include <cassert>
 #include <numeric>
+
+#include "common/check.hpp"
 
 namespace switchboard::model {
 
@@ -32,25 +32,25 @@ NetworkModel::NetworkModel(net::Topology topology)
       site_at_node_(topology_->node_count()) {}
 
 void NetworkModel::set_background_traffic(LinkId link, double volume) {
-  assert(link.value() < background_.size());
-  assert(volume >= 0);
+  SWB_CHECK(link.value() < background_.size());
+  SWB_CHECK(volume >= 0);
   background_[link.value()] = volume;
 }
 
 double NetworkModel::background_traffic(LinkId link) const {
-  assert(link.value() < background_.size());
+  SWB_CHECK(link.value() < background_.size());
   return background_[link.value()];
 }
 
 void NetworkModel::set_mlu_limit(double beta) {
-  assert(beta > 0 && beta <= 1.0);
+  SWB_CHECK(beta > 0 && beta <= 1.0);
   beta_ = beta;
 }
 
 SiteId NetworkModel::add_site(NodeId node, double compute_capacity,
                               std::string name) {
-  assert(node.value() < topology_->node_count());
-  assert(!site_at_node_[node.value()].has_value());   // one site per node
+  SWB_CHECK(node.value() < topology_->node_count());
+  SWB_CHECK(!site_at_node_[node.value()].has_value());   // one site per node
   const SiteId id{static_cast<SiteId::underlying_type>(sites_.size())};
   if (name.empty()) name = "site@" + topology_->node(node).name;
   sites_.push_back(CloudSite{id, node, compute_capacity, std::move(name)});
@@ -59,27 +59,27 @@ SiteId NetworkModel::add_site(NodeId node, double compute_capacity,
 }
 
 const CloudSite& NetworkModel::site(SiteId id) const {
-  assert(id.valid() && id.value() < sites_.size());
+  SWB_CHECK(id.valid() && id.value() < sites_.size());
   return sites_[id.value()];
 }
 
 std::optional<SiteId> NetworkModel::site_at(NodeId node) const {
-  assert(node.value() < site_at_node_.size());
+  SWB_CHECK(node.value() < site_at_node_.size());
   return site_at_node_[node.value()];
 }
 
 VnfId NetworkModel::add_vnf(std::string name, double load_per_unit) {
-  assert(load_per_unit >= 0);
+  SWB_CHECK(load_per_unit >= 0);
   const VnfId id{static_cast<VnfId::underlying_type>(vnfs_.size())};
   vnfs_.push_back(Vnf{id, std::move(name), load_per_unit, {}});
   return id;
 }
 
 void NetworkModel::deploy_vnf(VnfId vnf_id, SiteId site_id, double capacity) {
-  assert(capacity > 0);
+  SWB_CHECK(capacity > 0);
   Vnf& f = vnf_mutable(vnf_id);
-  assert(!f.deployed_at(site_id));
-  assert(site_id.value() < sites_.size());
+  SWB_CHECK(!f.deployed_at(site_id));
+  SWB_CHECK(site_id.value() < sites_.size());
   f.deployments.push_back(VnfDeployment{site_id, capacity});
 }
 
@@ -92,7 +92,7 @@ void NetworkModel::undeploy_vnf(VnfId vnf_id, SiteId site_id) {
 
 void NetworkModel::set_vnf_site_capacity(VnfId vnf_id, SiteId site_id,
                                          double capacity) {
-  assert(capacity > 0);
+  SWB_CHECK(capacity > 0);
   Vnf& f = vnf_mutable(vnf_id);
   for (VnfDeployment& d : f.deployments) {
     if (d.site == site_id) {
@@ -100,22 +100,22 @@ void NetworkModel::set_vnf_site_capacity(VnfId vnf_id, SiteId site_id,
       return;
     }
   }
-  assert(false && "set_vnf_site_capacity: VNF not deployed at site");
+  SWB_CHECK(false) << "set_vnf_site_capacity: VNF not deployed at site";
 }
 
 void NetworkModel::set_site_capacity(SiteId site_id, double capacity) {
-  assert(site_id.valid() && site_id.value() < sites_.size());
-  assert(capacity >= 0);
+  SWB_CHECK(site_id.valid() && site_id.value() < sites_.size());
+  SWB_CHECK(capacity >= 0);
   sites_[site_id.value()].compute_capacity = capacity;
 }
 
 const Vnf& NetworkModel::vnf(VnfId id) const {
-  assert(id.valid() && id.value() < vnfs_.size());
+  SWB_CHECK(id.valid() && id.value() < vnfs_.size());
   return vnfs_[id.value()];
 }
 
 Vnf& NetworkModel::vnf_mutable(VnfId id) {
-  assert(id.valid() && id.value() < vnfs_.size());
+  SWB_CHECK(id.valid() && id.value() < vnfs_.size());
   return vnfs_[id.value()];
 }
 
@@ -128,18 +128,18 @@ ChainId NetworkModel::add_chain(Chain chain) {
 }
 
 const Chain& NetworkModel::chain(ChainId id) const {
-  assert(id.valid() && id.value() < chains_.size());
+  SWB_CHECK(id.valid() && id.value() < chains_.size());
   return chains_[id.value()];
 }
 
 Chain& NetworkModel::chain_mutable(ChainId id) {
-  assert(id.valid() && id.value() < chains_.size());
+  SWB_CHECK(id.valid() && id.value() < chains_.size());
   return chains_[id.value()];
 }
 
 std::vector<StageEndpoint> NetworkModel::stage_sources(
     const Chain& chain, std::size_t z) const {
-  assert(z >= 1 && z <= chain.stage_count());
+  SWB_CHECK(z >= 1 && z <= chain.stage_count());
   std::vector<StageEndpoint> endpoints;
   if (z == 1) {
     endpoints.push_back(StageEndpoint{chain.ingress, SiteId{}});
@@ -155,7 +155,7 @@ std::vector<StageEndpoint> NetworkModel::stage_sources(
 
 std::vector<StageEndpoint> NetworkModel::stage_destinations(
     const Chain& chain, std::size_t z) const {
-  assert(z >= 1 && z <= chain.stage_count());
+  SWB_CHECK(z >= 1 && z <= chain.stage_count());
   std::vector<StageEndpoint> endpoints;
   if (z == chain.stage_count()) {
     endpoints.push_back(StageEndpoint{chain.egress, SiteId{}});
@@ -214,7 +214,7 @@ Status NetworkModel::validate() const {
 }
 
 void NetworkModel::scale_all_traffic(double factor) {
-  assert(factor >= 0);
+  SWB_CHECK(factor >= 0);
   for (Chain& c : chains_) {
     for (auto& w : c.forward_traffic) w *= factor;
     for (auto& v : c.reverse_traffic) v *= factor;

@@ -2,18 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cassert>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "net/traffic_matrix.hpp"
 
 namespace switchboard::model {
 
 NetworkModel make_scenario(const ScenarioParams& params) {
-  assert(params.coverage > 0.0 && params.coverage <= 1.0);
-  assert(params.min_chain_length >= 1);
-  assert(params.min_chain_length <= params.max_chain_length);
+  SWB_CHECK(params.coverage > 0.0 && params.coverage <= 1.0);
+  SWB_CHECK(params.min_chain_length >= 1);
+  SWB_CHECK(params.min_chain_length <= params.max_chain_length);
 
   Rng rng{params.seed};
   NetworkModel model{net::make_tier1_topology(params.topology)};

@@ -1,10 +1,11 @@
 #include "net/routing.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <queue>
+
+#include "common/check.hpp"
 
 namespace switchboard::net {
 namespace {
@@ -92,7 +93,7 @@ Routing::Routing(const Topology& topo)
         // farther than s (they cannot carry s's traffic).
         if (flow[u.value()] <= 0.0) continue;
         const auto& hops = next_hops[u.value()];
-        assert(!hops.empty());
+        SWB_DCHECK(!hops.empty());
         const double split =
             flow[u.value()] / static_cast<double>(hops.size());
         for (const LinkId lid : hops) {
@@ -105,7 +106,7 @@ Routing::Routing(const Topology& topo)
 }
 
 double Routing::delay_ms(NodeId n1, NodeId n2) const {
-  assert(n1.value() < n_ && n2.value() < n_);
+  SWB_DCHECK(n1.value() < n_ && n2.value() < n_);
   return delay_[pair_index(n1, n2)];
 }
 
@@ -115,7 +116,7 @@ bool Routing::reachable(NodeId n1, NodeId n2) const {
 
 const std::vector<LinkShare>& Routing::link_shares(NodeId n1,
                                                    NodeId n2) const {
-  assert(n1.value() < n_ && n2.value() < n_);
+  SWB_DCHECK(n1.value() < n_ && n2.value() < n_);
   return shares_[pair_index(n1, n2)];
 }
 
@@ -137,7 +138,7 @@ std::vector<NodeId> Routing::shortest_path(NodeId n1, NodeId n2) const {
         break;
       }
     }
-    assert(advanced);
+    SWB_DCHECK(advanced);
     if (!advanced) break;   // defensive: avoid infinite loop in release
   }
   return path;

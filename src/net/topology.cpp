@@ -1,7 +1,10 @@
 #include "net/topology.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
 
 namespace switchboard::net {
 
@@ -15,11 +18,11 @@ NodeId Topology::add_node(std::string name, double x, double y) {
 
 LinkId Topology::add_link(NodeId src, NodeId dst, double capacity,
                           double latency_ms) {
-  assert(src.valid() && src.value() < nodes_.size());
-  assert(dst.valid() && dst.value() < nodes_.size());
-  assert(src != dst);
-  assert(capacity > 0);
-  assert(latency_ms >= 0);
+  SWB_CHECK(src.valid() && src.value() < nodes_.size());
+  SWB_CHECK(dst.valid() && dst.value() < nodes_.size());
+  SWB_CHECK(src != dst);
+  SWB_CHECK(capacity > 0);
+  SWB_CHECK(latency_ms >= 0);
   const LinkId id{static_cast<LinkId::underlying_type>(links_.size())};
   links_.push_back(Link{id, src, dst, capacity, latency_ms});
   out_[src.value()].push_back(id);
@@ -35,22 +38,22 @@ LinkId Topology::add_duplex_link(NodeId a, NodeId b, double capacity,
 }
 
 const Node& Topology::node(NodeId id) const {
-  assert(id.valid() && id.value() < nodes_.size());
+  SWB_CHECK(id.valid() && id.value() < nodes_.size());
   return nodes_[id.value()];
 }
 
 const Link& Topology::link(LinkId id) const {
-  assert(id.valid() && id.value() < links_.size());
+  SWB_CHECK(id.valid() && id.value() < links_.size());
   return links_[id.value()];
 }
 
 const std::vector<LinkId>& Topology::out_links(NodeId id) const {
-  assert(id.valid() && id.value() < nodes_.size());
+  SWB_CHECK(id.valid() && id.value() < nodes_.size());
   return out_[id.value()];
 }
 
 const std::vector<LinkId>& Topology::in_links(NodeId id) const {
-  assert(id.valid() && id.value() < nodes_.size());
+  SWB_CHECK(id.valid() && id.value() < nodes_.size());
   return in_[id.value()];
 }
 
@@ -58,6 +61,54 @@ double Topology::distance_km(NodeId a, NodeId b) const {
   const Node& na = node(a);
   const Node& nb = node(b);
   return std::hypot(na.x - nb.x, na.y - nb.y);
+}
+
+void Topology::check_invariants() const {
+  SWB_CHECK_EQ(out_.size(), nodes_.size());
+  SWB_CHECK_EQ(in_.size(), nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    SWB_CHECK_EQ(nodes_[i].id.value(), i) << "node id out of sync";
+  }
+
+  // Every link is well-formed and appears exactly once in its endpoint
+  // adjacency lists; seen_* double-count detection catches an index that
+  // lists a link twice (e.g. a duplicated push in add_link).
+  std::vector<std::uint8_t> seen_out(links_.size(), 0);
+  std::vector<std::uint8_t> seen_in(links_.size(), 0);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const Link& l = links_[i];
+    SWB_CHECK_EQ(l.id.value(), i) << "link id out of sync";
+    SWB_CHECK(l.src.valid() && l.src.value() < nodes_.size());
+    SWB_CHECK(l.dst.valid() && l.dst.value() < nodes_.size());
+    SWB_CHECK(l.src != l.dst) << "self-loop link " << i;
+    SWB_CHECK_GT(l.capacity, 0.0);
+    SWB_CHECK_GE(l.latency_ms, 0.0);
+  }
+  for (const auto& adjacency : out_) {
+    for (const LinkId id : adjacency) {
+      SWB_CHECK(id.valid() && id.value() < links_.size());
+      SWB_CHECK(!seen_out[id.value()]) << "link " << id << " listed twice";
+      seen_out[id.value()] = 1;
+    }
+  }
+  for (const auto& adjacency : in_) {
+    for (const LinkId id : adjacency) {
+      SWB_CHECK(id.valid() && id.value() < links_.size());
+      SWB_CHECK(!seen_in[id.value()]) << "link " << id << " listed twice";
+      seen_in[id.value()] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const Link& l = links_[i];
+    SWB_CHECK(seen_out[i]) << "link " << i << " missing from out_["
+                           << l.src << "]";
+    SWB_CHECK(seen_in[i]) << "link " << i << " missing from in_["
+                          << l.dst << "]";
+    const auto& outs = out_[l.src.value()];
+    SWB_CHECK(std::find(outs.begin(), outs.end(), l.id) != outs.end());
+    const auto& ins = in_[l.dst.value()];
+    SWB_CHECK(std::find(ins.begin(), ins.end(), l.id) != ins.end());
+  }
 }
 
 }  // namespace switchboard::net

@@ -53,6 +53,12 @@ class Topology {
   /// Euclidean distance between two nodes' coordinates (km).
   [[nodiscard]] double distance_km(NodeId a, NodeId b) const;
 
+  /// Audits the graph's structural invariants (aborts via SWB_CHECK on
+  /// violation): ids equal their registry index, link endpoints exist and
+  /// differ, capacities positive, latencies non-negative, and the out_/in_
+  /// adjacency indexes list every link exactly once on each side.
+  void check_invariants() const;
+
  private:
   std::vector<Node> nodes_;
   std::vector<Link> links_;

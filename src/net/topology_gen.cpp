@@ -1,9 +1,10 @@
 #include "net/topology_gen.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace switchboard::net {
 namespace {
@@ -18,7 +19,7 @@ double jittered(double base, double jitter, Rng& rng) {
 }  // namespace
 
 Topology make_tier1_topology(const Tier1Params& params) {
-  assert(params.core_count >= 3);
+  SWB_CHECK(params.core_count >= 3);
   Rng rng{params.seed};
   Topology topo;
 
@@ -105,7 +106,7 @@ Topology make_square_topology(double capacity, double latency_ms) {
 
 Topology make_line_topology(std::size_t n, double capacity,
                             double latency_ms) {
-  assert(n >= 2);
+  SWB_CHECK(n >= 2);
   Topology topo;
   std::vector<NodeId> nodes;
   nodes.reserve(n);

@@ -1,8 +1,8 @@
 #include "net/traffic_matrix.hpp"
-
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "common/check.hpp"
 
 namespace switchboard::net {
 
@@ -12,18 +12,18 @@ TrafficMatrix::TrafficMatrix(std::size_t node_count, double initial)
 }
 
 double TrafficMatrix::demand(NodeId src, NodeId dst) const {
-  assert(src.value() < n_ && dst.value() < n_);
+  SWB_DCHECK(src.value() < n_ && dst.value() < n_);
   return demand_[static_cast<std::size_t>(src.value()) * n_ + dst.value()];
 }
 
 void TrafficMatrix::set_demand(NodeId src, NodeId dst, double volume) {
-  assert(src.value() < n_ && dst.value() < n_);
-  assert(volume >= 0);
+  SWB_DCHECK(src.value() < n_ && dst.value() < n_);
+  SWB_DCHECK(volume >= 0);
   demand_[static_cast<std::size_t>(src.value()) * n_ + dst.value()] = volume;
 }
 
 void TrafficMatrix::add_demand(NodeId src, NodeId dst, double volume) {
-  assert(src.value() < n_ && dst.value() < n_);
+  SWB_DCHECK(src.value() < n_ && dst.value() < n_);
   demand_[static_cast<std::size_t>(src.value()) * n_ + dst.value()] += volume;
 }
 
@@ -32,7 +32,7 @@ double TrafficMatrix::total() const {
 }
 
 double TrafficMatrix::node_out_volume(NodeId src) const {
-  assert(src.value() < n_);
+  SWB_DCHECK(src.value() < n_);
   const std::size_t row = static_cast<std::size_t>(src.value()) * n_;
   return std::accumulate(demand_.begin() + static_cast<std::ptrdiff_t>(row),
                          demand_.begin() + static_cast<std::ptrdiff_t>(row + n_),
@@ -40,7 +40,7 @@ double TrafficMatrix::node_out_volume(NodeId src) const {
 }
 
 void TrafficMatrix::scale(double factor) {
-  assert(factor >= 0);
+  SWB_CHECK(factor >= 0);
   for (auto& d : demand_) d *= factor;
 }
 
@@ -63,7 +63,7 @@ TrafficMatrix make_gravity_matrix(const Topology& topo,
       raw_total += weights[s] * weights[t] / weight_total;
     }
   }
-  assert(raw_total > 0);
+  SWB_CHECK(raw_total > 0);
   const double scale = params.total_volume / raw_total;
   for (std::size_t s = 0; s < n; ++s) {
     for (std::size_t t = 0; t < n; ++t) {

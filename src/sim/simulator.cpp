@@ -1,18 +1,18 @@
 #include "sim/simulator.hpp"
-
-#include <cassert>
 #include <utility>
+
+#include "common/check.hpp"
 
 namespace switchboard::sim {
 
 EventHandle Simulator::schedule(Duration delay, Callback fn) {
-  assert(delay >= 0);
+  SWB_DCHECK(delay >= 0);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
-  assert(when >= now_);
-  assert(fn);
+  SWB_DCHECK(when >= now_);
+  SWB_DCHECK(fn);
   const std::uint64_t seq = next_sequence_++;
   queue_.push(Event{when, seq, std::move(fn)});
   return EventHandle{seq};
@@ -51,7 +51,7 @@ SimTime Simulator::run() {
 }
 
 SimTime Simulator::run_until(SimTime deadline) {
-  assert(deadline >= now_);
+  SWB_DCHECK(deadline >= now_);
   for (;;) {
     drop_cancelled_head();
     if (queue_.empty() || queue_.top().when > deadline) break;
@@ -63,6 +63,26 @@ SimTime Simulator::run_until(SimTime deadline) {
 
 std::size_t Simulator::pending_events() const {
   return queue_.size() - cancelled_.size();
+}
+
+void Simulator::check_invariants() const {
+  SWB_CHECK_GE(next_sequence_, 1u);
+  if (!queue_.empty()) {
+    // The heap top is the next event to fire; an entry before now() would
+    // mean time runs backwards for its callback.
+    SWB_CHECK_GE(queue_.top().when, now_) << "event queue head in the past";
+    SWB_CHECK_LT(queue_.top().sequence, next_sequence_);
+    SWB_CHECK_GE(queue_.top().sequence, 1u);
+  }
+  // Lazily-deleted events must still be in the queue, else pending_events()
+  // undercounts (cancel() refuses sequences that were never allocated, and
+  // drop_cancelled_head()/step() purge fired ones).
+  SWB_CHECK_LE(cancelled_.size(), queue_.size());
+  for (const std::uint64_t sequence : cancelled_) {
+    SWB_CHECK_GE(sequence, 1u);
+    SWB_CHECK_LT(sequence, next_sequence_);
+  }
+  SWB_CHECK_LE(executed_, next_sequence_ - 1);
 }
 
 }  // namespace switchboard::sim

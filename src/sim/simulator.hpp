@@ -51,6 +51,12 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const;
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Audits the engine (aborts via SWB_CHECK on violation): the earliest
+  /// queued event is never in the past (time monotonicity — firing it
+  /// could not rewind now()), sequence numbers stay below the allocator,
+  /// and the lazy-cancellation set only shadows queued events.
+  void check_invariants() const;
+
  private:
   void drop_cancelled_head();
 

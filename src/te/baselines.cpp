@@ -1,9 +1,8 @@
 #include "te/baselines.hpp"
-
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "common/check.hpp"
 #include "te/loads.hpp"
 
 namespace switchboard::te {
@@ -24,7 +23,7 @@ ChainRouting greedy_route(const model::NetworkModel& model,
     NodeId current = chain.ingress;
     for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
       const auto dests = model.stage_destinations(chain, z);
-      assert(!dests.empty());
+      SWB_DCHECK(!dests.empty());
 
       // Candidates in latency order; the first admitted one wins.
       std::size_t best = dests.size();

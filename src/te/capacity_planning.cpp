@@ -1,10 +1,10 @@
 #include "te/capacity_planning.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <numeric>
 
+#include "common/check.hpp"
 #include "te/evaluator.hpp"
 #include "te/lp_routing_detail.hpp"
 
@@ -59,7 +59,7 @@ std::vector<SiteId> candidate_sites(const model::NetworkModel& model,
 CloudPlanResult plan_cloud_capacity(const model::NetworkModel& model,
                                     double budget,
                                     const LpRoutingOptions& options) {
-  assert(budget >= 0);
+  SWB_CHECK(budget >= 0);
   LpRoutingOptions planning_options = options;
   planning_options.objective = LpObjective::kMaxUniformScale;
   planning_options.cloud_capacity_budget = budget;
@@ -74,7 +74,7 @@ CloudPlanResult plan_cloud_capacity(const model::NetworkModel& model,
 
 void apply_capacity_increase(model::NetworkModel& model,
                              const std::vector<double>& extra_per_site) {
-  assert(extra_per_site.size() == model.sites().size());
+  SWB_CHECK(extra_per_site.size() == model.sites().size());
   for (const model::CloudSite& site : model.sites()) {
     const double extra = extra_per_site[site.id.value()];
     if (extra <= 0) continue;
@@ -95,7 +95,7 @@ void apply_capacity_increase(model::NetworkModel& model,
 std::vector<double> uniform_allocation(const model::NetworkModel& model,
                                        double budget) {
   const std::size_t n = model.sites().size();
-  assert(n > 0);
+  SWB_CHECK(n > 0);
   return std::vector<double>(n, budget / static_cast<double>(n));
 }
 

@@ -1,11 +1,12 @@
 #include "te/dp_routing.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace switchboard::te {
 namespace {
@@ -122,7 +123,7 @@ CandidateRoute find_route(const model::NetworkModel& model, const Loads& loads,
   }
 
   // Egress stage has exactly one destination.
-  assert(dests[stages].size() == 1);
+  SWB_DCHECK(dests[stages].size() == 1);
   if (!std::isfinite(E[stages][0])) return route;
 
   // Reconstruct back-to-front.

@@ -1,7 +1,6 @@
 #include "te/evaluator.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 

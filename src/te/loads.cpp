@@ -1,6 +1,9 @@
 #include "te/loads.hpp"
 
-#include <cassert>
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
 
 namespace switchboard::te {
 
@@ -20,7 +23,7 @@ void Loads::reset() {
 
 void Loads::add_stage_flow(const model::Chain& chain, std::size_t z,
                            NodeId n1, NodeId n2, double fraction) {
-  assert(z >= 1 && z <= chain.stage_count());
+  SWB_DCHECK(z >= 1 && z <= chain.stage_count());
   const double w = chain.forward_traffic[z - 1] * fraction;
   const double v = chain.reverse_traffic[z - 1] * fraction;
 
@@ -45,7 +48,7 @@ void Loads::add_stage_flow(const model::Chain& chain, std::size_t z,
   if (z < chain.stage_count()) {
     const VnfId f = chain.vnfs[z - 1];
     const auto site = model_.site_at(n2);
-    assert(site.has_value());
+    SWB_DCHECK(site.has_value());
     const double load = model_.vnf(f).load_per_unit * stage_volume;
     vnf_site_load_[vnf_site_index(f, *site)] += load;
     site_load_[site->value()] += load;
@@ -53,7 +56,7 @@ void Loads::add_stage_flow(const model::Chain& chain, std::size_t z,
   if (z > 1) {
     const VnfId f = chain.vnfs[z - 2];
     const auto site = model_.site_at(n1);
-    assert(site.has_value());
+    SWB_DCHECK(site.has_value());
     const double load = model_.vnf(f).load_per_unit * stage_volume;
     vnf_site_load_[vnf_site_index(f, *site)] += load;
     site_load_[site->value()] += load;
@@ -61,7 +64,7 @@ void Loads::add_stage_flow(const model::Chain& chain, std::size_t z,
 }
 
 double Loads::link_load(LinkId e) const {
-  assert(e.value() < link_load_.size());
+  SWB_DCHECK(e.value() < link_load_.size());
   return link_load_[e.value()];
 }
 
@@ -77,7 +80,7 @@ double Loads::link_headroom(LinkId e) const {
 }
 
 double Loads::site_load(SiteId s) const {
-  assert(s.value() < site_load_.size());
+  SWB_DCHECK(s.value() < site_load_.size());
   return site_load_[s.value()];
 }
 
@@ -87,7 +90,7 @@ double Loads::site_utilization(SiteId s) const {
 }
 
 double Loads::vnf_site_load(VnfId f, SiteId s) const {
-  assert(vnf_site_index(f, s) < vnf_site_load_.size());
+  SWB_DCHECK(vnf_site_index(f, s) < vnf_site_load_.size());
   return vnf_site_load_[vnf_site_index(f, s)];
 }
 
@@ -102,6 +105,53 @@ double Loads::vnf_site_headroom(VnfId f, SiteId s) const {
 
 double Loads::site_headroom(SiteId s) const {
   return model_.site(s).compute_capacity - site_load(s);
+}
+
+void Loads::check_invariants(double tolerance) const {
+  SWB_CHECK_EQ(site_count_, model_.sites().size());
+  SWB_CHECK_EQ(link_load_.size(), model_.topology().link_count());
+  SWB_CHECK_EQ(site_load_.size(), site_count_);
+  SWB_CHECK_EQ(vnf_site_load_.size(), model_.vnfs().size() * site_count_);
+
+  for (std::size_t e = 0; e < link_load_.size(); ++e) {
+    SWB_CHECK(std::isfinite(link_load_[e])) << "link " << e;
+    SWB_CHECK_GE(link_load_[e], -tolerance) << "link " << e;
+  }
+  for (const double load : vnf_site_load_) {
+    SWB_CHECK(std::isfinite(load) && load >= -tolerance);
+  }
+  // site_load_ is a denormalized sum over the site's VNF loads; the two
+  // accountings must agree or removal (negative fraction) went wrong.
+  for (std::size_t s = 0; s < site_count_; ++s) {
+    double total = 0.0;
+    for (std::size_t f = 0; f < model_.vnfs().size(); ++f) {
+      total += vnf_site_load_[f * site_count_ + s];
+    }
+    SWB_CHECK_LE(std::abs(site_load_[s] - total),
+                 tolerance * std::max(1.0, total))
+        << "site " << s << " total drifted from its per-VNF sum";
+  }
+}
+
+void Loads::check_no_capacity_violation(double tolerance) const {
+  check_invariants(tolerance);
+  for (std::size_t e = 0; e < link_load_.size(); ++e) {
+    const LinkId link{static_cast<LinkId::underlying_type>(e)};
+    SWB_CHECK_LE(model_.background_traffic(link) + link_load_[e],
+                 model_.mlu_limit() * model_.topology().link(link).capacity +
+                     tolerance)
+        << "link " << e << " over its MLU budget";
+  }
+  for (std::size_t f = 0; f < model_.vnfs().size(); ++f) {
+    for (std::size_t s = 0; s < site_count_; ++s) {
+      const VnfId vnf{static_cast<VnfId::underlying_type>(f)};
+      const SiteId site{static_cast<SiteId::underlying_type>(s)};
+      if (!model_.vnf(vnf).deployed_at(site)) continue;
+      SWB_CHECK_LE(vnf_site_load_[f * site_count_ + s],
+                   model_.vnf(vnf).capacity_at(site) + tolerance)
+          << "vnf " << f << " over capacity at site " << s;
+    }
+  }
 }
 
 }  // namespace switchboard::te

@@ -46,6 +46,18 @@ class Loads {
 
   [[nodiscard]] const model::NetworkModel& model() const { return model_; }
 
+  /// Audits the accounting (aborts via SWB_CHECK on violation): vectors
+  /// sized to the model, every load finite and (up to round-off from
+  /// negative-fraction removals) non-negative, and the per-site totals
+  /// redundantly equal to the sum of that site's per-VNF loads.
+  void check_invariants(double tolerance = 1e-6) const;
+
+  /// Stricter audit for solutions that claim feasibility: additionally
+  /// checks no link exceeds beta * b_e and no (vnf, site) exceeds m_sf,
+  /// within `tolerance`.  Schemes may legitimately produce overloaded
+  /// solutions (the evaluator scores them), so this is opt-in.
+  void check_no_capacity_violation(double tolerance = 1e-6) const;
+
  private:
   [[nodiscard]] std::size_t vnf_site_index(VnfId f, SiteId s) const {
     return static_cast<std::size_t>(f.value()) * site_count_ + s.value();

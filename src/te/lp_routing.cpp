@@ -1,9 +1,8 @@
 #include "te/lp_routing.hpp"
-
-#include <cassert>
 #include <cmath>
 #include <vector>
 
+#include "common/check.hpp"
 #include "lp/problem.hpp"
 #include "te/lp_routing_detail.hpp"
 
@@ -112,7 +111,7 @@ BuiltLp build_routing_lp(const model::NetworkModel& model,
     for (std::size_t z = 1; z < chain.stage_count(); ++z) {
       const StageVars& in = stage_vars[z - 1];
       const StageVars& out = stage_vars[z];
-      assert(in.dests.size() == out.sources.size());
+      SWB_DCHECK(in.dests.size() == out.sources.size());
       for (std::size_t s = 0; s < in.dests.size(); ++s) {
         std::vector<Term> terms;
         for (std::size_t i = 0; i < in.sources.size(); ++i) {

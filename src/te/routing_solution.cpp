@@ -1,6 +1,9 @@
 #include "te/routing_solution.hpp"
 
-#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
 
 namespace switchboard::te {
 
@@ -11,16 +14,16 @@ void ChainRouting::resize(std::size_t chain_count) {
 }
 
 void ChainRouting::init_chain(ChainId c, std::size_t stage_count) {
-  assert(c.valid());
+  SWB_DCHECK(c.valid());
   if (c.value() >= stages_.size()) stages_.resize(c.value() + 1);
   stages_[c.value()].assign(stage_count, {});
 }
 
 void ChainRouting::add_flow(ChainId c, std::size_t z, NodeId src, NodeId dst,
                             double fraction) {
-  assert(has_chain(c));
-  assert(z >= 1 && z <= stages_[c.value()].size());
-  assert(fraction >= 0.0);
+  SWB_DCHECK(has_chain(c));
+  SWB_DCHECK(z >= 1 && z <= stages_[c.value()].size());
+  SWB_DCHECK(fraction >= 0.0);
   if (fraction == 0.0) return;
   auto& flows = stages_[c.value()][z - 1];
   for (StageFlow& f : flows) {
@@ -34,13 +37,13 @@ void ChainRouting::add_flow(ChainId c, std::size_t z, NodeId src, NodeId dst,
 
 const std::vector<StageFlow>& ChainRouting::flows(ChainId c,
                                                   std::size_t z) const {
-  assert(has_chain(c));
-  assert(z >= 1 && z <= stages_[c.value()].size());
+  SWB_DCHECK(has_chain(c));
+  SWB_DCHECK(z >= 1 && z <= stages_[c.value()].size());
   return stages_[c.value()][z - 1];
 }
 
 std::size_t ChainRouting::stage_count(ChainId c) const {
-  assert(c.valid() && c.value() < stages_.size());
+  SWB_DCHECK(c.valid() && c.value() < stages_.size());
   return stages_[c.value()].size();
 }
 
@@ -56,8 +59,59 @@ double ChainRouting::carried_fraction(ChainId c, std::size_t z) const {
 }
 
 void ChainRouting::clear_chain(ChainId c) {
-  assert(c.valid() && c.value() < stages_.size());
+  SWB_DCHECK(c.valid() && c.value() < stages_.size());
   for (auto& stage : stages_[c.value()]) stage.clear();
+}
+
+void ChainRouting::check_invariants(double tolerance) const {
+  for (std::size_t c = 0; c < stages_.size(); ++c) {
+    const auto& chain_stages = stages_[c];
+    double previous_carried = -1.0;
+    for (std::size_t z = 0; z < chain_stages.size(); ++z) {
+      double carried = 0.0;
+      std::map<NodeId, double> inflow;
+      std::map<NodeId, double> outflow;
+      for (std::size_t i = 0; i < chain_stages[z].size(); ++i) {
+        const StageFlow& f = chain_stages[z][i];
+        SWB_CHECK(std::isfinite(f.fraction) && f.fraction > 0.0)
+            << "chain " << c << " stage " << z + 1 << " flow " << i;
+        for (std::size_t j = i + 1; j < chain_stages[z].size(); ++j) {
+          SWB_CHECK(!(chain_stages[z][j].src == f.src &&
+                      chain_stages[z][j].dst == f.dst))
+              << "duplicate (src, dst) entry in chain " << c << " stage "
+              << z + 1;
+        }
+        carried += f.fraction;
+        inflow[f.dst] += f.fraction;
+        outflow[f.src] += f.fraction;
+      }
+      // Stage totals match: a scheme cannot carry more (or less) demand at
+      // one hop of a chain than at the next.
+      if (previous_carried >= 0.0) {
+        SWB_CHECK_LE(std::abs(carried - previous_carried), tolerance)
+            << "chain " << c << " carries " << previous_carried
+            << " at stage " << z << " but " << carried << " at stage "
+            << z + 1;
+      }
+      previous_carried = carried;
+      // Per-node conservation across consecutive stages: what enters a
+      // VNF node at stage z must leave it at stage z+1.
+      if (z + 1 < chain_stages.size() && !chain_stages[z + 1].empty()) {
+        std::map<NodeId, double> next_out;
+        for (const StageFlow& f : chain_stages[z + 1]) {
+          next_out[f.src] += f.fraction;
+        }
+        for (const auto& [node, in] : inflow) {
+          const auto it = next_out.find(node);
+          const double out = it == next_out.end() ? 0.0 : it->second;
+          SWB_CHECK_LE(std::abs(in - out), tolerance)
+              << "chain " << c << ": node " << node << " receives " << in
+              << " at stage " << z + 1 << " but sends " << out
+              << " at stage " << z + 2;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace switchboard::te

@@ -46,6 +46,13 @@ class ChainRouting {
   /// Removes all flows of a chain (used when rerouting).
   void clear_chain(ChainId c);
 
+  /// Audits the routing (aborts via SWB_CHECK on violation): every stored
+  /// fraction is positive and finite, no duplicate (src, dst) entry per
+  /// stage, and flow is conserved — per chain, each stage carries the same
+  /// total fraction, and traffic entering a node at stage z leaves that
+  /// node at stage z+1 (tolerance absorbs LP round-off).
+  void check_invariants(double tolerance = 1e-6) const;
+
  private:
   // stages_[chain][z-1] = flows of stage z.
   std::vector<std::vector<std::vector<StageFlow>>> stages_;

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that clang-tidy cannot express.
+
+Run directly (``python3 tools/lint.py``) or via ``ctest -R lint``.
+
+Rules enforced over ``src/``:
+
+  R1  no ``assert(`` outside ``src/common/result.hpp`` — invariants use the
+      SWB_CHECK / SWB_DCHECK family (common/check.hpp), which survives
+      RelWithDebInfo and prints operand values.
+  R2  every public API returning ``Result<T>`` or ``Status`` declared in a
+      header is ``[[nodiscard]]`` — control-plane errors are values; dropping
+      one silently loses a 2PC vote or a resolution failure.
+  R3  no ``#include <iostream>`` in headers — it injects static init order
+      dependencies into every TU; use common/log.hpp (sources may still use
+      streams explicitly).
+  R4  header guards are ``#pragma once`` — no ``#ifndef``-style guards.
+
+Exit status 0 when clean; 1 with one ``file:line: rule: message`` diagnostic
+per violation otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+ASSERT_ALLOWLIST = {"src/common/result.hpp"}
+
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+IOSTREAM_RE = re.compile(r'#\s*include\s*[<"]iostream[>"]')
+GUARD_RE = re.compile(r"#\s*ifndef\s+\w*_(?:H|HPP|H_|HPP_)\b")
+# A function declaration returning Result<...> or Status.  Anchored at line
+# start (plus indentation) so `return Status{...}` bodies and member fields
+# do not match; requires an identifier then `(` so constructors like
+# `Status() = default;` do not match.
+RESULT_DECL_RE = re.compile(
+    r"^\s*(?:(?:static|virtual|constexpr|inline|friend)\s+)*"
+    r"(?:Result<[^;{}()]+>|Status)\s+(\w+)\s*\(")
+NODISCARD_RE = re.compile(r"\[\[nodiscard\]\]")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments and string literals, preserving
+    line structure so diagnostics keep real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def lint_file(root: pathlib.Path, path: pathlib.Path) -> list:
+    rel = path.relative_to(root).as_posix()
+    raw = path.read_text(encoding="utf-8")
+    code = strip_comments(raw)
+    lines = code.splitlines()
+    is_header = path.suffix == ".hpp"
+    problems = []
+
+    # R1: assert() is banned outside the allowlist.
+    if rel not in ASSERT_ALLOWLIST:
+        for ln, line in enumerate(lines, 1):
+            if "static_assert" in line:
+                line = line.replace("static_assert", "")
+            if ASSERT_RE.search(line):
+                problems.append(
+                    (rel, ln, "R1",
+                     "assert() is banned; use SWB_CHECK / SWB_DCHECK "
+                     "(common/check.hpp)"))
+
+    if is_header:
+        # R2: Result<T>/Status-returning declarations must be [[nodiscard]].
+        for ln, line in enumerate(lines, 1):
+            m = RESULT_DECL_RE.match(line)
+            if not m:
+                continue
+            # [[nodiscard]] may sit on the same line or the line above.
+            prev = lines[ln - 2] if ln >= 2 else ""
+            if not (NODISCARD_RE.search(line) or NODISCARD_RE.search(prev)):
+                problems.append(
+                    (rel, ln, "R2",
+                     f"'{m.group(1)}' returns Result/Status and must be "
+                     "[[nodiscard]]"))
+
+        # R3: no <iostream> in headers.
+        for ln, line in enumerate(lines, 1):
+            if IOSTREAM_RE.search(line):
+                problems.append(
+                    (rel, ln, "R3",
+                     "<iostream> in a header; use common/log.hpp"))
+
+        # R4: #pragma once, not include guards.
+        if "#pragma once" not in code:
+            problems.append((rel, 1, "R4", "header lacks '#pragma once'"))
+        for ln, line in enumerate(lines, 1):
+            if GUARD_RE.search(line):
+                problems.append(
+                    (rel, ln, "R4",
+                     "#ifndef-style include guard; use '#pragma once'"))
+
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (defaults to the checkout "
+                             "containing this script)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    files = sorted((root / "src").rglob("*.hpp")) + \
+        sorted((root / "src").rglob("*.cpp"))
+    problems = []
+    for path in files:
+        problems.extend(lint_file(root, path))
+
+    for rel, ln, rule, message in problems:
+        print(f"{rel}:{ln}: {rule}: {message}")
+    if problems:
+        print(f"lint.py: {len(problems)} problem(s) in {len(files)} files")
+        return 1
+    print(f"lint.py: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over every src/ translation unit using the build tree's
+compile_commands.json.  Exposed to ctest as the ``lint.clang-tidy`` test
+(registered only when a clang-tidy binary is found at configure time).
+
+Usage: run_clang_tidy.py --build <build-dir> [--clang-tidy <binary>] [-j N]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", required=True, type=pathlib.Path)
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("-j", "--jobs", type=int, default=4)
+    args = parser.parse_args()
+
+    db_path = args.build / "compile_commands.json"
+    if not db_path.exists():
+        print(f"no compile database at {db_path}; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+    with open(db_path, encoding="utf-8") as fh:
+        database = json.load(fh)
+
+    sources = sorted({entry["file"] for entry in database
+                      if "/src/" in entry["file"].replace("\\", "/")})
+    if not sources:
+        print("compile database holds no src/ entries", file=sys.stderr)
+        return 2
+
+    def run(source: str):
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", str(args.build), "--quiet", source],
+            capture_output=True, text=True)
+        return source, proc.returncode, proc.stdout, proc.stderr
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for source, code, out, err in pool.map(run, sources):
+            if code != 0 or "warning:" in out or "error:" in out:
+                failures += 1
+                print(f"--- clang-tidy: {source}")
+                sys.stdout.write(out)
+                sys.stderr.write(err)
+
+    print(f"clang-tidy: {len(sources) - failures}/{len(sources)} clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
