@@ -18,6 +18,7 @@
 #include <cstring>
 #include <set>
 
+#include "bench_json.hpp"
 #include "dataplane/dht_flow_table.hpp"
 #include "dataplane/forwarder.hpp"
 #include "dataplane/traffic_gen.hpp"
@@ -50,7 +51,8 @@ std::uint64_t label_encap(const Packet& packet, std::uint8_t* scratch) {
   return mix64(packet.labels.chain ^ packet.labels.egress_site) & 0xFF;
 }
 
-double measure_ns_per_packet(int chain_length, bool source_routed) {
+double measure_ns_per_packet(int chain_length, bool source_routed,
+                             std::size_t packets_target) {
   const auto packets = make_packet_batch({.flow_count = 64}, 4096);
   std::uint8_t scratch[256] = {};
   std::uint64_t sink = 0;
@@ -58,7 +60,7 @@ double measure_ns_per_packet(int chain_length, bool source_routed) {
   for (int run = 0; run < 5; ++run) {
     const auto start = std::chrono::steady_clock::now();
     std::size_t processed = 0;
-    while (processed < 400'000) {
+    while (processed < packets_target) {
       for (const Packet& p : packets) {
         sink += source_routed
             ? source_route_encap(p, chain_length, scratch)
@@ -76,16 +78,21 @@ double measure_ns_per_packet(int chain_length, bool source_routed) {
   return best;
 }
 
-void ablation_labels_vs_source_routing() {
+void ablation_labels_vs_source_routing(swb_bench::Session& session) {
+  const std::size_t target = session.scaled(400'000, 64);
   std::printf("\n-- 1. label stack vs source routing (per-packet header "
               "work) --\n");
   std::printf("%14s %16s %18s %10s\n", "chain length", "labels ns/pkt",
               "src-route ns/pkt", "ratio");
   for (const int len : {1, 2, 4, 8, 16}) {
-    const double labels = measure_ns_per_packet(len, false);
-    const double source = measure_ns_per_packet(len, true);
+    const double labels = measure_ns_per_packet(len, false, target);
+    const double source = measure_ns_per_packet(len, true, target);
     std::printf("%14d %16.2f %18.2f %9.1fx\n", len, labels, source,
                 source / labels);
+    session.add("labels_vs_source_routing")
+        .param("chain_length", len)
+        .metric("labels_ns_per_pkt", labels)
+        .metric("source_route_ns_per_pkt", source);
   }
   std::printf("label-stack cost is flat; source-routing cost grows with the\n"
               "chain, which is why Switchboard uses label switching.\n");
@@ -93,10 +100,11 @@ void ablation_labels_vs_source_routing() {
 
 // ---------------------------------------------- 2. make-before-break
 
-void ablation_make_before_break() {
+void ablation_make_before_break(swb_bench::Session& session) {
   std::printf("\n-- 2. route update: make-before-break vs flow reset --\n");
   constexpr Labels kLabels{1, 1};
-  constexpr std::uint32_t kFlows = 10'000;
+  const std::uint32_t kFlows =
+      static_cast<std::uint32_t>(session.scaled(10'000, 16, 500));
 
   const auto run = [&](bool reset_flows) {
     Forwarder fw{1, kFlows * 2};
@@ -140,17 +148,22 @@ void ablation_make_before_break() {
               "make-before-break:", mbb_broken, kFlows);
   std::printf("%-26s %10u / %u connections repinned\n",
               "flow-state reset:", reset_broken, kFlows);
+  session.add("make_before_break")
+      .param("flows", static_cast<double>(kFlows))
+      .metric("mbb_broken", mbb_broken)
+      .metric("reset_broken", reset_broken);
   std::printf("stateful VNFs (NATs, firewalls) drop every repinned\n"
               "connection; Switchboard's update breaks none.\n");
 }
 
 // ---------------------------------------------- 3. DHT failover
 
-void ablation_dht_failover() {
+void ablation_dht_failover(swb_bench::Session& session) {
   std::printf("\n-- 3. forwarder failure: DHT-replicated vs local flow "
               "tables --\n");
   constexpr Labels kLabels{1, 1};
-  constexpr std::uint32_t kFlows = 20'000;
+  const std::uint32_t kFlows =
+      static_cast<std::uint32_t>(session.scaled(20'000, 16, 1'000));
   constexpr std::size_t kNodes = 5;
 
   TrafficGenConfig config;
@@ -186,16 +199,21 @@ void ablation_dht_failover() {
   std::printf("%-28s %6.1f%% of flows keep their pinning\n",
               "per-forwarder tables:",
               100.0 * local_alive / kFlows);
+  session.add("dht_failover")
+      .param("flows", static_cast<double>(kFlows))
+      .metric("dht_survival_pct", 100.0 * dht_alive / kFlows)
+      .metric("local_survival_pct", 100.0 * local_alive / kFlows);
   std::printf("the replicated table preserves flow affinity through the\n"
               "failure (Section 5.3's fault-tolerance direction).\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swb_bench::Session session{&argc, argv, "bench_ablation_dataplane"};
   std::printf("=== Data-plane design ablations ===\n");
-  ablation_labels_vs_source_routing();
-  ablation_make_before_break();
-  ablation_dht_failover();
+  ablation_labels_vs_source_routing(session);
+  ablation_make_before_break(session);
+  ablation_dht_failover(session);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "switchboard/switchboard.hpp"
 
 namespace {
@@ -44,10 +45,10 @@ model::NetworkModel scenario_at_epoch(int epoch, int epochs) {
   return m;
 }
 
-void time_varying_experiment() {
+void time_varying_experiment(swb_bench::Session& session) {
   std::printf("\n-- 1. time-varying traffic: static routing vs periodic "
               "re-optimization --\n");
-  constexpr int kEpochs = 8;
+  const int kEpochs = static_cast<int>(session.scaled(8, 2, 4));
 
   // Static: SB-DP routing computed on the epoch-0 matrix, reused.
   const model::NetworkModel base = scenario_at_epoch(0, kEpochs);
@@ -70,9 +71,14 @@ void time_varying_experiment() {
   }
   std::printf("mean gain from re-optimization: %+.1f%% throughput\n",
               100.0 * (reopt_total / static_total - 1.0));
+  session.add("time_varying_traffic")
+      .param("epochs", kEpochs)
+      .metric("static_total_tput", static_total)
+      .metric("reopt_total_tput", reopt_total)
+      .metric("reopt_gain_pct", 100.0 * (reopt_total / static_total - 1.0));
 }
 
-void failure_experiment() {
+void failure_experiment(swb_bench::Session& session) {
   std::printf("\n-- 2. compute-site failure: stranded vs recovered traffic "
               "--\n");
   model::NetworkModel m = model::make_scenario(base_params());
@@ -127,14 +133,19 @@ void failure_experiment() {
               recovered.feasible_throughput, recovered.mean_latency_ms,
               100.0 * recovered.feasible_throughput /
                   healthy.feasible_throughput);
+  session.add("site_failure")
+      .metric("healthy_tput", healthy.feasible_throughput)
+      .metric("stranded_tput", stranded)
+      .metric("recovered_tput", recovered.feasible_throughput);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swb_bench::Session session{&argc, argv, "bench_ext_dynamics"};
   std::printf("=== Extension: dynamics (time-varying traffic, failures) "
               "===\n");
-  time_varying_experiment();
-  failure_experiment();
+  time_varying_experiment(session);
+  failure_experiment(session);
   return 0;
 }

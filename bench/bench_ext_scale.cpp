@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "switchboard/switchboard.hpp"
 
 namespace {
@@ -22,14 +23,16 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swb_bench::Session session{&argc, argv, "bench_ext_scale"};
   std::printf("=== Extension: optimizer runtime scaling ===\n");
 
   // ---- SB-LP vs SB-DP on growing joint instances ----------------------
   std::printf("\n-- SB-LP vs SB-DP wall-clock (same instance) --\n");
   std::printf("%8s %8s %12s %12s %14s\n", "chains", "sites", "LP sec",
               "DP sec", "LP/DP");
-  for (const std::size_t chains : {5, 10, 20, 40}) {
+  for (const std::size_t chains_full : {5, 10, 20, 40}) {
+    const std::size_t chains = session.scaled(chains_full, 4, 5);
     model::ScenarioParams params;
     params.topology.core_count = 4;
     params.topology.access_per_core = 1;
@@ -54,13 +57,18 @@ int main() {
     std::printf("%8zu %8zu %12.3f %12.4f %13.0fx%s\n", chains,
                 m.sites().size(), lp_sec, dp_sec, lp_sec / dp_sec,
                 lp.optimal() ? "" : "  (LP not optimal)");
+    session.add("lp_vs_dp_runtime")
+        .param("chains", static_cast<double>(chains))
+        .metric("lp_sec", lp_sec)
+        .metric("dp_sec", dp_sec);
   }
 
   // ---- SB-DP at the paper's full scale ---------------------------------
   std::printf("\n-- SB-DP at paper scale (LP would take hours) --\n");
   std::printf("%8s %8s %8s %12s %16s %12s\n", "chains", "sites", "vnfs",
               "DP sec", "throughput", "latency ms");
-  for (const std::size_t chains : {1000, 5000, 10000}) {
+  for (const std::size_t chains_full : {1000, 5000, 10000}) {
+    const std::size_t chains = session.scaled(chains_full, 64, 50);
     model::ScenarioParams params;
     params.topology.core_count = 8;
     params.topology.access_per_core = 3;   // 32 nodes, paper-like scale
@@ -79,6 +87,11 @@ int main() {
     std::printf("%8zu %8zu %8zu %12.2f %16.1f %12.2f\n", chains,
                 m.sites().size(), m.vnfs().size(), dp_sec,
                 metrics.feasible_throughput, metrics.mean_latency_ms);
+    session.add("dp_paper_scale")
+        .param("chains", static_cast<double>(chains))
+        .metric("dp_sec", dp_sec)
+        .metric("throughput", metrics.feasible_throughput)
+        .metric("latency_ms", metrics.mean_latency_ms);
   }
   std::printf(
       "\nPaper: SB-LP ran for up to 3 hours on the tier-1 dataset; SB-DP's\n"

@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "bench_json.hpp"
 #include "switchboard/switchboard.hpp"
 
 namespace {
@@ -25,7 +26,8 @@ dataplane::FiveTuple flow_tuple(std::uint32_t i) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swb_bench::Session session{&argc, argv, "bench_fig10_route_update"};
   // Two virtual sites joined by a fast local link (same-site split).
   net::Topology topo;
   const NodeId node_a = topo.add_node("A", 0, 0);
@@ -117,6 +119,9 @@ int main() {
     std::printf("route %u via site %u: weight %.2f\n", route.id.value(),
                 route.vnf_sites[0].value(), route.weight);
   }
+  session.add("route_update")
+      .metric("chain_create_ms", sim::to_ms(created->elapsed()))
+      .metric("route_update_ms", update_ms);
   std::printf(
       "\nroute update completed in %.0f ms (paper prototype: 595 ms);\n"
       "throughput doubles after the update and load splits evenly.\n",

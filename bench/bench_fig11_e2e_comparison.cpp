@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.hpp"
 #include "switchboard/switchboard.hpp"
 
 namespace {
@@ -121,7 +122,16 @@ SchemeResult score(const model::NetworkModel& m, const te::ChainRouting& routing
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swb_bench::Session session{&argc, argv, "bench_fig11_e2e_comparison"};
+  const auto record = [&session](const char* bed, const char* scheme,
+                                 const SchemeResult& r) {
+    session.add("e2e_comparison")
+        .param("testbed", std::string{bed})
+        .param("scheme", std::string{scheme})
+        .metric("tcp_throughput", r.tcp_throughput)
+        .metric("rtt_ms", r.mean_latency_ms);
+  };
   const Testbed beds[] = {
       {"amazon-150ms", 150.0, 0.010},
       {"private-80ms", 80.0, 0.002},
@@ -142,12 +152,15 @@ int main() {
     std::printf("%-14s %18s %16s\n", "scheme", "tcp-throughput", "rtt-ms");
     const SchemeResult any = score(m, anycast, bed);
     const SchemeResult ca = score(m, compute_aware, bed);
+    record(bed.name, "anycast", any);
+    record(bed.name, "compute_aware", ca);
     std::printf("%-14s %18.3f %16.1f\n", "anycast", any.tcp_throughput,
                 any.mean_latency_ms);
     std::printf("%-14s %18.3f %16.1f\n", "compute-aware", ca.tcp_throughput,
                 ca.mean_latency_ms);
     if (lp.optimal()) {
       const SchemeResult sb = score(m, lp.routing, bed);
+      record(bed.name, "switchboard", sb);
       std::printf("%-14s %18.3f %16.1f\n", "switchboard", sb.tcp_throughput,
                   sb.mean_latency_ms);
       std::printf(

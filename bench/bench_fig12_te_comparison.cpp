@@ -15,6 +15,7 @@
 // to show the same ordering and crossovers.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "switchboard/switchboard.hpp"
 
 namespace {
@@ -62,7 +63,8 @@ Row throughput_row(const model::ScenarioParams& params) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swb_bench::Session session{&argc, argv, "bench_fig12_te_comparison"};
   std::printf("=== Figure 12: TE on a tier-1-like dataset (scaled) ===\n");
 
   // ---- (a) throughput vs NF coverage --------------------------------
@@ -71,11 +73,17 @@ int main() {
               "ANYCAST", "LP/anycast");
   for (const double coverage : {0.25, 0.5, 0.75, 1.0}) {
     model::ScenarioParams params = base_params();
+    params.chain_count = session.scaled(params.chain_count, 2, 5);
     params.coverage = coverage;
     const Row row = throughput_row(params);
     std::printf("%10.2f %12.1f %12.1f %12.1f %9.1fx\n", coverage, row.lp,
                 row.dp, row.anycast,
                 row.anycast > 0 ? row.lp / row.anycast : 0.0);
+    session.add("throughput_vs_coverage")
+        .param("coverage", coverage)
+        .metric("sb_lp", row.lp)
+        .metric("sb_dp", row.dp)
+        .metric("anycast", row.anycast);
   }
 
   // ---- (b) throughput vs CPU/byte ------------------------------------
@@ -85,11 +93,17 @@ int main() {
               "ANYCAST", "DP/LP");
   for (const double cpu : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     model::ScenarioParams params = base_params();
+    params.chain_count = session.scaled(params.chain_count, 2, 5);
     params.coverage = 0.5;
     params.cpu_per_unit = cpu;
     const Row row = throughput_row(params);
     std::printf("%10.2f %12.1f %12.1f %12.1f %11.0f%%\n", cpu, row.lp, row.dp,
                 row.anycast, row.lp > 0 ? 100.0 * row.dp / row.lp : 0.0);
+    session.add("throughput_vs_cpu_per_byte")
+        .param("cpu_per_unit", cpu)
+        .metric("sb_lp", row.lp)
+        .metric("sb_dp", row.dp)
+        .metric("anycast", row.anycast);
   }
 
   // ---- (c) latency vs load factor ------------------------------------
@@ -100,6 +114,7 @@ int main() {
   // spans from everyone-feasible to everyone-saturated.
   for (const double factor : {0.25, 0.5, 1.0, 2.0, 3.0}) {
     model::ScenarioParams params = base_params();
+    params.chain_count = session.scaled(params.chain_count, 2, 5);
     params.coverage = 0.5;
     params.total_chain_traffic = 150.0;
     model::NetworkModel m = model::make_scenario(params);
@@ -138,6 +153,7 @@ int main() {
   // ~10% of SB-LP's sustainable load.
   {
     model::ScenarioParams params = base_params();
+    params.chain_count = session.scaled(params.chain_count, 2, 5);
     params.coverage = 0.5;
     params.total_chain_traffic = 150.0;
     const model::NetworkModel m = model::make_scenario(params);
@@ -158,6 +174,10 @@ int main() {
                 lp_alpha.alpha, dp_alpha, anycast_alpha,
                 lp_alpha.alpha > 0 ? 100.0 * anycast_alpha / lp_alpha.alpha
                                    : 0.0);
+    session.add("max_sustainable_load")
+        .metric("sb_lp_alpha", lp_alpha.alpha)
+        .metric("sb_dp_alpha", dp_alpha)
+        .metric("anycast_alpha", anycast_alpha);
   }
 
   std::printf(

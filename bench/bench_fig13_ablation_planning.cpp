@@ -10,6 +10,7 @@
 //       than adding the same number of sites at random.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "switchboard/switchboard.hpp"
 
 namespace {
@@ -53,7 +54,8 @@ double dp_throughput(const model::NetworkModel& m, const te::DpOptions& options)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swb_bench::Session session{&argc, argv, "bench_fig13_ablation_planning"};
   std::printf("=== Figure 13: DP ablations and capacity planning ===\n");
 
   // ---- (a) SB-DP vs DP-LATENCY vs ONEHOP ------------------------------
@@ -62,6 +64,7 @@ int main() {
               "DP-LATENCY", "ONEHOP", "vs-lat", "vs-1hop");
   for (const double coverage : {0.25, 0.5, 0.75, 1.0}) {
     model::ScenarioParams params = dp_params();
+    params.chain_count = session.scaled(params.chain_count, 4, 10);
     params.coverage = coverage;
     const model::NetworkModel m = model::make_scenario(params);
 
@@ -77,6 +80,11 @@ int main() {
                 dp_latency, onehop,
                 dp_latency > 0 ? full / dp_latency : 0.0,
                 onehop > 0 ? full / onehop : 0.0);
+    session.add("dp_ablation")
+        .param("coverage", coverage)
+        .metric("sb_dp", full)
+        .metric("dp_latency_only", dp_latency)
+        .metric("onehop", onehop);
   }
 
   // ---- (b) cloud capacity planning ------------------------------------
@@ -105,6 +113,10 @@ int main() {
       std::printf("%11.0f%% %14.3f %14.3f %9.1f%%\n", budget_fraction * 100.0,
                   planned.alpha, uniform.alpha,
                   100.0 * (planned.alpha / uniform.alpha - 1.0));
+      session.add("capacity_planning")
+          .param("budget_fraction", budget_fraction)
+          .metric("planned_alpha", planned.alpha)
+          .metric("uniform_alpha", uniform.alpha);
     } else {
       std::printf("%11.0f%% %14s %14s\n", budget_fraction * 100.0,
                   lp::to_string(planned.status), lp::to_string(uniform.status));
@@ -142,6 +154,10 @@ int main() {
   std::printf("%-28s %12.2f\n", "random sites (mean of 5)", random_after);
   std::printf("greedy vs random: %.1f%% lower latency\n",
               100.0 * (1.0 - greedy.latency_after_ms / random_after));
+  session.add("vnf_placement")
+      .metric("latency_before_ms", greedy.latency_before_ms)
+      .metric("greedy_latency_ms", greedy.latency_after_ms)
+      .metric("random_latency_ms", random_after);
 
   std::printf(
       "\nPaper: SB-DP up to 6x over DP-LATENCY and 2.3x over ONEHOP; planned\n"

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_json.hpp"
 #include "dataplane/ovs_forwarder.hpp"
 #include "dataplane/traffic_gen.hpp"
 
@@ -60,7 +61,7 @@ BENCHMARK(BM_LabelsAffinity)->Arg(1)->Arg(10)->Arg(25)->Arg(50);
 
 /// Direct throughput measurement (wall-clock), printed as the Fig. 7 table.
 /// Best of several short runs, to shrug off scheduler noise.
-double measure_pps(OvsMode mode, int flows) {
+double measure_pps(OvsMode mode, int flows, std::size_t packets_target) {
   TrafficGenConfig config;
   config.flow_count = static_cast<std::uint32_t>(flows);
   const auto packets = make_packet_batch(config, 8192);
@@ -73,7 +74,7 @@ double measure_pps(OvsMode mode, int flows) {
     const auto start = std::chrono::steady_clock::now();
     std::size_t processed = 0;
     std::uint64_t sink = 0;
-    while (processed < 1'500'000) {
+    while (processed < packets_target) {
       for (const Packet& p : packets) sink += forwarder.process(p);
       processed += packets.size();
     }
@@ -86,16 +87,26 @@ double measure_pps(OvsMode mode, int flows) {
   return best;
 }
 
-void print_figure7_table() {
+void print_figure7_table(swb_bench::Session& session) {
+  const std::size_t target = session.scaled(1'500'000, 64);
   std::printf("\n=== Figure 7: OVS forwarder overhead ===\n");
   std::printf("%8s %14s %14s %14s %10s %10s\n", "flows", "(c)bridge pps",
               "(b)labels pps", "(a)affinity pps", "b-ovhd%", "a-ovhd%");
   for (const int flows : {1, 10, 25, 50}) {
-    const double bridge = measure_pps(OvsMode::kBridge, flows);
-    const double labels = measure_pps(OvsMode::kLabels, flows);
-    const double affinity = measure_pps(OvsMode::kLabelsAffinity, flows);
+    const double bridge = measure_pps(OvsMode::kBridge, flows, target);
+    const double labels = measure_pps(OvsMode::kLabels, flows, target);
+    const double affinity =
+        measure_pps(OvsMode::kLabelsAffinity, flows, target);
     std::printf("%8d %14.3e %14.3e %14.3e %9.1f%% %9.1f%%\n", flows, bridge,
                 labels, affinity, 100.0 * (bridge - labels) / bridge,
+                100.0 * (labels - affinity) / labels);
+    session.add("ovs_overhead")
+        .param("flows", flows)
+        .metric("bridge_pps", bridge)
+        .metric("labels_pps", labels)
+        .metric("affinity_pps", affinity)
+        .metric("labels_overhead_pct", 100.0 * (bridge - labels) / bridge)
+        .metric("affinity_overhead_pct",
                 100.0 * (labels - affinity) / labels);
   }
   std::printf(
@@ -106,9 +117,12 @@ void print_figure7_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  print_figure7_table();
+  swb_bench::Session session{&argc, argv, "bench_fig7_ovs_overhead"};
+  if (!session.smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  print_figure7_table(session);
   return 0;
 }

@@ -1,25 +1,35 @@
-// Figure 8: DPDK-based forwarder throughput scaling.
+// Figure 8: forwarder throughput scaling.
 //
-// Paper setup: forwarder instances pinned one per core behind SR-IOV VFs;
-// 64-byte UDP packets uniform over a fixed number of flows.  Findings:
+// Paper setup: DPDK forwarder instances pinned one per core behind SR-IOV
+// VFs; 64-byte UDP packets uniform over a fixed number of flows.  Findings:
 //   * ~7 Mpps on one core,
 //   * +3-4 Mpps per additional forwarder instance,
 //   * 6 instances with 512K flows each (3M total) still >20 Mpps,
 //   * throughput decreases with flow count (flow-table entries fall out
 //     of the CPU cache), converging to >3 Mpps/core for huge tables.
 //
-// Here each "core" is a thread running an independent Switchboard
-// forwarder engine (the real flow-table/rule pipeline, shared-nothing as
-// in the paper's deployment).  Absolute Mpps depends on the host; the
-// scaling *shape* is the reproduction target.
+// Two scale-out shapes are measured on this host:
+//   1. shared-nothing: one independent Forwarder per thread (the paper's
+//      process-per-core deployment);
+//   2. sharded: ONE Forwarder driven by N RSS workers over its
+//      ShardedFlowTable — each worker owns a disjoint shard set and a
+//      per-worker traffic generator, so steady-state lookups take only
+//      uncontended locks.
+//
+// Flags: --threads N (sharded sweep up to N; default 8 capped at the host),
+// --json <path>, --smoke (see bench_json.hpp).  Absolute Mpps depends on
+// the host; the scaling *shape* is the reproduction target.
 #include <benchmark/benchmark.h>
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "dataplane/forwarder.hpp"
 #include "dataplane/traffic_gen.hpp"
 
@@ -27,14 +37,16 @@ namespace {
 
 using namespace switchboard::dataplane;
 
-/// Builds a forwarder with an installed rule and pre-learned flows.
-Forwarder make_loaded_forwarder(std::uint32_t flows, std::uint64_t seed) {
-  Forwarder forwarder{1, flows * 2};
+void install_rule(Forwarder& forwarder) {
   LoadBalanceRule rule;
   rule.vnf_instances.add(100, 1.0);
   rule.next_forwarders.add(200, 1.0);
   forwarder.rules().install(Labels{1, 1}, std::move(rule));
+}
 
+/// Pre-creates flow state for every flow of `config` (worker filter off).
+void preload_flows(Forwarder& forwarder, std::uint32_t flows,
+                   std::uint64_t seed) {
   TrafficGenConfig config;
   config.flow_count = flows;
   config.seed = seed;
@@ -42,15 +54,17 @@ Forwarder make_loaded_forwarder(std::uint32_t flows, std::uint64_t seed) {
   for (std::uint32_t f = 0; f < flows; ++f) {
     Packet packet = stream.next();
     packet.arrival_source = 50;
-    forwarder.process_from_wire(packet);   // create the flow entry
+    forwarder.process_from_wire(packet);
   }
-  return forwarder;
 }
 
-/// Packets/sec of one forwarder core over `flows` established flows.
+/// Packets/sec of one forwarder over `flows` established flows
+/// (single-threaded classic path).
 double run_single_core(std::uint32_t flows, std::uint64_t seed,
                        std::size_t packets_target) {
-  Forwarder forwarder = make_loaded_forwarder(flows, seed);
+  Forwarder forwarder{1, flows * 2};
+  install_rule(forwarder);
+  preload_flows(forwarder, flows, seed);
   TrafficGenConfig config;
   config.flow_count = flows;
   config.seed = seed;
@@ -77,13 +91,14 @@ double run_single_core(std::uint32_t flows, std::uint64_t seed,
   return static_cast<double>(processed) / elapsed;
 }
 
-/// Aggregate packets/sec of `cores` shared-nothing forwarders.
-double run_multi_core(std::size_t cores, std::uint32_t flows_per_core,
-                      std::size_t packets_per_core) {
+/// Aggregate packets/sec of `cores` shared-nothing forwarders (the paper's
+/// process-per-core model).
+double run_shared_nothing(std::size_t cores, std::uint32_t flows_per_core,
+                          std::size_t packets_per_core) {
   std::vector<std::thread> threads;
   std::vector<double> pps(cores, 0.0);
   for (std::size_t c = 0; c < cores; ++c) {
-    threads.emplace_back([&, c] {
+    threads.emplace_back([&pps, c, flows_per_core, packets_per_core] {
       pps[c] = run_single_core(flows_per_core, 7'000 + c, packets_per_core);
     });
   }
@@ -93,9 +108,66 @@ double run_multi_core(std::size_t cores, std::uint32_t flows_per_core,
   return total;
 }
 
+/// Aggregate packets/sec of ONE sharded forwarder driven by `workers` RSS
+/// worker threads, each with a per-worker traffic generator over its share
+/// of `flows_total` established flows.
+double run_sharded(std::size_t workers, std::uint32_t flows_total,
+                   std::size_t packets_per_worker) {
+  Forwarder forwarder{1, flows_total * 2, workers};
+  install_rule(forwarder);
+  preload_flows(forwarder, flows_total, 42);
+
+  // Materialize each worker's batch up front (round-robin over its owned
+  // flows) so the measured loop is pure forwarder work.
+  std::vector<std::vector<Packet>> batches(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    TrafficGenConfig config;
+    config.flow_count = flows_total;
+    config.seed = 42;
+    config.worker_count = static_cast<std::uint32_t>(workers);
+    config.worker_index = static_cast<std::uint32_t>(w);
+    PacketStream stream{config};
+    const std::size_t batch_size =
+        std::max<std::size_t>(stream.owned_flow_count(), 1);
+    batches[w].reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      Packet p = stream.next();
+      p.arrival_source = 50;
+      batches[w].push_back(p);
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::size_t> processed(workers, 0);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&forwarder, &batches, &processed, w,
+                          packets_per_worker] {
+      const std::vector<Packet>& batch = batches[w];
+      std::size_t done = 0;
+      std::size_t delivered = 0;
+      while (done < packets_per_worker) {
+        delivered += forwarder.process_batch(batch);
+        done += batch.size();
+      }
+      benchmark::DoNotOptimize(delivered);
+      processed[w] = done;
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::size_t total = 0;
+  for (const std::size_t p : processed) total += p;
+  return static_cast<double>(total) / elapsed;
+}
+
 void BM_SingleCoreByFlows(benchmark::State& state) {
   const auto flows = static_cast<std::uint32_t>(state.range(0));
-  Forwarder forwarder = make_loaded_forwarder(flows, 42);
+  Forwarder forwarder{1, flows * 2};
+  install_rule(forwarder);
+  preload_flows(forwarder, flows, 42);
   TrafficGenConfig config;
   config.flow_count = flows;
   config.seed = 42;
@@ -114,45 +186,89 @@ BENCHMARK(BM_SingleCoreByFlows)
     ->Arg(524288)
     ->Arg(2097152);
 
-void print_figure8_tables() {
+void print_figure8_tables(swb_bench::Session& session,
+                          std::size_t max_threads) {
+  const std::size_t packets = session.scaled(8'000'000, 64);
+  const std::uint32_t big_flows =
+      static_cast<std::uint32_t>(session.scaled(1u << 19, 64));
+
   std::printf("\n=== Figure 8: forwarder scaling (this host) ===\n");
   std::printf("-- single core, throughput vs established flows --\n");
   std::printf("%12s %14s\n", "flows", "Mpps");
-  double single_core_512k = 0.0;
   for (const std::uint32_t flows : {1u << 10, 1u << 16, 1u << 19, 1u << 21}) {
-    const double pps = run_single_core(flows, 42, 8'000'000);
-    if (flows == (1u << 19)) single_core_512k = pps;
-    std::printf("%12u %14.2f\n", flows, pps / 1e6);
+    const std::uint32_t f =
+        static_cast<std::uint32_t>(session.scaled(flows, 64, 16));
+    const double pps = run_single_core(f, 42, packets);
+    std::printf("%12u %14.2f\n", f, pps / 1e6);
+    session.add("single_core_by_flows")
+        .param("flows", f)
+        .metric("throughput_pps", pps);
   }
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::printf("-- scale-out: cores x 512K flows each (host has %u CPU%s) --\n",
-              hw, hw == 1 ? "" : "s");
-  std::printf("%8s %12s %14s %18s\n", "cores", "flows", "measured Mpps",
-              "shared-nothing Mpps");
-  const double per_core = run_single_core(1u << 19, 4242, 6'000'000);
-  for (const std::size_t cores : {1, 2, 4, 6}) {
-    const double pps = run_multi_core(cores, 1u << 19, 6'000'000);
-    // The forwarders share no state, so aggregate throughput on a machine
-    // with enough cores is cores x single-core rate; the measured column
-    // collapses when threads contend for fewer physical CPUs.
-    std::printf("%8zu %12zu %14.2f %18.2f\n", cores,
-                cores * (std::size_t{1} << 19), pps / 1e6,
-                static_cast<double>(cores) * per_core / 1e6);
+  const std::size_t scale_packets = session.scaled(6'000'000, 64);
+
+  std::printf("\n-- shared-nothing: independent forwarders x %u flows "
+              "(host has %u CPU%s) --\n", big_flows, hw, hw == 1 ? "" : "s");
+  std::printf("%8s %12s %14s\n", "cores", "flows", "Mpps");
+  for (const std::size_t cores : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{6}}) {
+    const double pps = run_shared_nothing(cores, big_flows, scale_packets);
+    std::printf("%8zu %12zu %14.2f\n", cores,
+                cores * static_cast<std::size_t>(big_flows), pps / 1e6);
+    session.add("shared_nothing_scaling")
+        .param("cores", static_cast<double>(cores))
+        .param("flows_per_core", big_flows)
+        .metric("throughput_pps", pps);
+  }
+
+  std::printf("\n-- sharded: ONE forwarder, N RSS workers over %u flows --\n",
+              big_flows);
+  std::printf("%8s %14s %10s\n", "threads", "Mpps", "speedup");
+  const double single = run_sharded(1, big_flows, scale_packets);
+  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+    const double pps = threads == 1
+        ? single
+        : run_sharded(threads, big_flows, scale_packets / threads);
+    std::printf("%8zu %14.2f %9.2fx\n", threads, pps / 1e6, pps / single);
+    session.add("sharded_scaling")
+        .param("threads", static_cast<double>(threads))
+        .param("flows", big_flows)
+        .metric("throughput_pps", pps)
+        .metric("speedup_vs_1_thread", pps / single);
   }
   std::printf(
       "Paper (Xeon E5-2470 + XL710): 7 Mpps @ 1 core, +3-4 Mpps/core, \n"
       ">20 Mpps @ 6 cores x 512K flows; throughput declines with flow count\n"
       "as the table falls out of cache (steady-state >3 Mpps/core).\n");
-  (void)single_core_512k;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  print_figure8_tables();
+  swb_bench::Session session{&argc, argv, "bench_fig8_forwarder_scaling"};
+
+  // --threads N: upper end of the sharded-worker sweep.
+  std::size_t max_threads = 8;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      max_threads = static_cast<std::size_t>(std::atoi(argv[i] + 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[out] = nullptr;
+  max_threads = std::max<std::size_t>(max_threads, 1);
+
+  if (!session.smoke()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  print_figure8_tables(session, max_threads);
   return 0;
 }

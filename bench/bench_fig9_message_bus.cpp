@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_json.hpp"
 #include "bus/message_bus.hpp"
 #include "sim/simulator.hpp"
 
@@ -75,10 +76,11 @@ RunResult run(bool full_mesh, std::size_t sites, int subscribers_per_site,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swb_bench::Session session{&argc, argv, "bench_fig9_message_bus"};
   constexpr std::size_t kSites = 12;
   constexpr int kSubsPerSite = 10;
-  constexpr int kBurst = 400;
+  const int kBurst = static_cast<int>(session.scaled(400, 8, 50));
   // 2 ms between publishes: one copy per *site* fits in the interval
   // (proxy topology), one copy per *subscriber* does not (full mesh).
   const sim::Duration kInterPublish = sim::milliseconds(2);
@@ -115,6 +117,20 @@ int main() {
                                  static_cast<double>(mesh.delivered) -
                              1.0)
                   : 0.0);
+  const auto record = [&](const char* scheme, const RunResult& r) {
+    session.add("bus_fanout")
+        .param("scheme", std::string{scheme})
+        .param("sites", static_cast<double>(kSites))
+        .param("burst", kBurst)
+        .metric("mean_ms", r.mean_latency_ms)
+        .metric("p99_ms", r.p99_latency_ms)
+        .metric("delivered", static_cast<double>(r.delivered))
+        .metric("drops", static_cast<double>(r.drops))
+        .metric("throughput_pps", r.delivered_rate);
+  };
+  record("switchboard", proxy);
+  record("full_mesh", mesh);
+
   std::printf(
       "Paper: full mesh suffers >10x higher latency from publisher-side\n"
       "queuing; Switchboard delivers 57%% more due to mesh buffer drops.\n");

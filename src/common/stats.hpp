@@ -1,11 +1,57 @@
 // Streaming statistics accumulators used by benchmarks and experiments.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace switchboard {
+
+/// Thread-safe event counter: a drop-in replacement for a plain
+/// `std::uint64_t` statistics field that several worker threads bump
+/// concurrently (e.g. the forwarder's per-packet counters).  All operations
+/// use relaxed ordering — counters are monotonic tallies, not
+/// synchronization points; readers that need a consistent *set* of counters
+/// must quiesce the writers first (the data plane reads them after joining
+/// its workers).
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter() = default;
+  constexpr RelaxedCounter(std::uint64_t value) : value_{value} {}   // NOLINT(google-explicit-constructor)
+  RelaxedCounter(const RelaxedCounter& other)
+      : value_{other.value_.load(std::memory_order_relaxed)} {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Reads like a plain integer (relaxed).
+  operator std::uint64_t() const {   // NOLINT(google-explicit-constructor)
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  RelaxedCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
 
 /// Accumulates samples; supports mean/min/max/stddev and exact percentiles.
 /// Percentile queries sort a copy lazily, so keep sample counts moderate

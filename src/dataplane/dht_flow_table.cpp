@@ -13,7 +13,7 @@ DhtFlowTable::DhtFlowTable(std::size_t node_count,
   shards_.reserve(node_count);
   alive_.assign(node_count, true);
   for (std::size_t n = 0; n < node_count; ++n) {
-    shards_.push_back(std::make_unique<FlowTable>(1024));
+    shards_.push_back(std::make_unique<ShardedFlowTable>(1024, 4));
     for (std::size_t v = 0; v < virtual_nodes_per_node; ++v) {
       ring_.push_back(RingPoint{
           mix64(0xD147ull << 32 | (n << 8) | v),
@@ -53,8 +53,9 @@ void DhtFlowTable::insert(const Labels& labels, const FiveTuple& tuple,
 std::optional<FlowEntry> DhtFlowTable::find(const Labels& labels,
                                             const FiveTuple& tuple) const {
   for (const std::size_t node : owners(flow_hash(labels, tuple))) {
-    if (const FlowEntry* entry = shards_[node]->find(labels, tuple)) {
-      return *entry;
+    if (const std::optional<FlowEntry> entry =
+            shards_[node]->find(labels, tuple)) {
+      return entry;
     }
   }
   return std::nullopt;
@@ -167,20 +168,32 @@ void DhtFlowTable::check_invariants() const {
   // Replication: each key sits on exactly its owner set.  (Both directions
   // matter: a missing replica loses affinity on the next failure; a stale
   // copy on a non-owner serves outdated pinning after rule changes.)
+  // Snapshot each node's keys first: a node's own shard locks are held
+  // during its for_each, and probing the node's table from inside the
+  // visit would re-take them.
+  struct Held {
+    std::size_t node;
+    Labels labels;
+    FiveTuple tuple;
+  };
+  std::vector<Held> held;
   for (std::size_t n = 0; n < shards_.size(); ++n) {
     if (!alive_[n]) continue;
     shards_[n]->for_each(
         [&](const Labels& labels, const FiveTuple& tuple, const FlowEntry&) {
-          const auto owner_set = owners(flow_hash(labels, tuple));
-          bool is_owner = false;
-          for (const std::size_t owner : owner_set) {
-            is_owner |= owner == n;
-            SWB_CHECK(shards_[owner]->find(labels, tuple) != nullptr)
-                << "owner " << owner << " lacks a replica";
-          }
-          SWB_CHECK(is_owner)
-              << "node " << n << " holds a key it does not own";
+          held.push_back(Held{n, labels, tuple});
         });
+  }
+  for (const Held& h : held) {
+    const auto owner_set = owners(flow_hash(h.labels, h.tuple));
+    bool is_owner = false;
+    for (const std::size_t owner : owner_set) {
+      is_owner |= owner == h.node;
+      SWB_CHECK(shards_[owner]->find(h.labels, h.tuple).has_value())
+          << "owner " << owner << " lacks a replica";
+    }
+    SWB_CHECK(is_owner)
+        << "node " << h.node << " holds a key it does not own";
   }
 }
 

@@ -16,8 +16,8 @@
 #include <optional>
 #include <vector>
 
-#include "dataplane/flow_table.hpp"
 #include "dataplane/packet.hpp"
+#include "dataplane/sharded_flow_table.hpp"
 
 namespace switchboard::dataplane {
 
@@ -72,7 +72,10 @@ class DhtFlowTable {
   [[nodiscard]] std::vector<std::size_t> owners(std::uint64_t key_hash) const;
   void re_replicate();
 
-  std::vector<std::unique_ptr<FlowTable>> shards_;
+  // Each node's table is itself sharded+locked (ShardedFlowTable), so
+  // per-node reads/writes are safe under the forwarder's worker threads;
+  // ring mutations (fail/recover) remain control-plane single-threaded.
+  std::vector<std::unique_ptr<ShardedFlowTable>> shards_;
   std::vector<bool> alive_;
   std::vector<RingPoint> ring_;   // sorted by hash
 };

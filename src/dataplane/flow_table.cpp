@@ -87,8 +87,16 @@ void FlowTable::clear() {
 }
 
 void FlowTable::grow() {
+  // The growth trigger counts tombstones as well as live entries (probe
+  // chains cross both), but doubling is only warranted when *live* entries
+  // need the room.  A connection-churn workload (insert/erase cycling, e.g.
+  // complete_flow under steady traffic) crosses the threshold on tombstones
+  // alone; doubling then would inflate capacity without bound.  Rehash in
+  // place when live occupancy alone is at most half the trigger (35% of
+  // capacity) — the rehash drops every tombstone — and double otherwise.
+  const bool live_needs_room = size_ * 20 > slots_.size() * 7;
   std::vector<Slot> old = std::move(slots_);
-  slots_.assign(old.size() * 2, Slot{});
+  slots_.assign(live_needs_room ? old.size() * 2 : old.size(), Slot{});
   mask_ = slots_.size() - 1;
   size_ = 0;
   tombstones_ = 0;

@@ -2,103 +2,146 @@
 
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace switchboard::dataplane {
 
-Forwarder::Forwarder(ElementId id, std::size_t flow_capacity)
+Forwarder::Forwarder(ElementId id, std::size_t flow_capacity,
+                     std::size_t worker_count)
     : id_{id},
-      table_{flow_capacity},
-      selector_state_{mix64(0x5B1CEB00ULL + id)} {}
+      worker_count_{std::max<std::size_t>(worker_count, 1)},
+      table_{flow_capacity, shard_count_for_workers(worker_count)},
+      counter_cells_{table_.shard_count()},
+      selector_seed_{mix64(0x5B1CEB00ULL + id)},
+      selector_state_{selector_seed_} {}
 
 void Forwarder::register_attachment(ElementId instance, const Labels& labels) {
   attachment_labels_[instance] = labels;
 }
 
 std::uint64_t Forwarder::next_selector() {
-  selector_state_ = mix64(selector_state_ + 0x9E3779B97F4A7C15ULL);
-  return selector_state_;
+  const std::uint64_t raw = selector_state_.fetch_add(
+      0x9E3779B97F4A7C15ULL, std::memory_order_relaxed);
+  return mix64(raw + 0x9E3779B97F4A7C15ULL);
+}
+
+ForwarderCounters Forwarder::counters() const {
+  ForwarderCounters total;
+  for (const CounterCell& cell : counter_cells_) {
+    total.from_wire += cell.counters.from_wire;
+    total.from_attached += cell.counters.from_attached;
+    total.flow_misses += cell.counters.flow_misses;
+    total.drops += cell.counters.drops;
+    total.label_reaffixed += cell.counters.label_reaffixed;
+  }
+  return total;
 }
 
 ForwardAction Forwarder::process_from_wire(const Packet& packet) {
-  ++counters_.from_wire;
   const FiveTuple key = canonical_tuple(packet);
-  if (FlowEntry* entry = table_.find(packet.labels, key)) {
+  ForwarderCounters& counters = cell_for(packet.labels, key);
+  ++counters.from_wire;
+  if (const std::optional<FlowEntry> entry = table_.find(packet.labels, key)) {
     if (entry->vnf_instance == kNoElement) {
-      ++counters_.drops;
+      ++counters.drops;
       return {ActionType::kDrop, kNoElement};
     }
     return {ActionType::kDeliverToAttached, entry->vnf_instance};
   }
 
   // First packet of the connection at this forwarder.
-  ++counters_.flow_misses;
+  ++counters.flow_misses;
   if (packet.direction == Direction::kReverse) {
     // Reverse packets must hit state created by the forward direction;
     // a miss means the flow is unknown (e.g. expired) — drop.
-    ++counters_.drops;
+    ++counters.drops;
     return {ActionType::kDrop, kNoElement};
   }
   const LoadBalanceRule* rule = rules_.find(packet.labels);
   if (rule == nullptr || rule->vnf_instances.empty()) {
-    ++counters_.drops;
+    ++counters.drops;
     return {ActionType::kDrop, kNoElement};
   }
 
+  const std::uint64_t selector = flow_selector(packet.labels, key);
   FlowEntry entry;
-  entry.vnf_instance = rule->vnf_instances.pick(next_selector());
+  entry.vnf_instance = rule->vnf_instances.pick(selector);
   entry.next_forwarder = rule->next_forwarders.empty()
       ? kNoElement
-      : rule->next_forwarders.pick(next_selector());
+      : rule->next_forwarders.pick(mix64(selector));
   entry.prev_element = packet.arrival_source;
-  const FlowEntry& stored = table_.insert(packet.labels, key, entry);
+  // insert_if_absent: if another worker raced us to the first packet, adopt
+  // its pinning so every packet of the flow sees one consistent entry.
+  const FlowEntry stored = table_.insert_if_absent(packet.labels, key, entry);
   return {ActionType::kDeliverToAttached, stored.vnf_instance};
 }
 
 ForwardAction Forwarder::process_from_attached(Packet& packet) {
-  ++counters_.from_attached;
-
   // Re-affix labels for attached VNFs that stripped them (Section 5.3):
   // the attachment uniquely identifies the labels.
+  bool reaffixed = false;
   if (packet.labels == Labels{}) {
     const auto it = attachment_labels_.find(packet.arrival_source);
     if (it == attachment_labels_.end()) {
-      ++counters_.drops;
+      ForwarderCounters& counters =
+          cell_for(packet.labels, canonical_tuple(packet));
+      ++counters.from_attached;
+      ++counters.drops;
       return {ActionType::kDrop, kNoElement};
     }
     packet.labels = it->second;
-    ++counters_.label_reaffixed;
+    reaffixed = true;
   }
 
   const FiveTuple key = canonical_tuple(packet);
-  FlowEntry* entry = table_.find(packet.labels, key);
-  if (entry == nullptr) {
+  ForwarderCounters& counters = cell_for(packet.labels, key);
+  ++counters.from_attached;
+  if (reaffixed) ++counters.label_reaffixed;
+
+  std::optional<FlowEntry> entry = table_.find(packet.labels, key);
+  if (!entry) {
     // First packet of a connection entering from an attached ingress edge.
-    ++counters_.flow_misses;
+    ++counters.flow_misses;
     if (packet.direction == Direction::kReverse) {
-      ++counters_.drops;
+      ++counters.drops;
       return {ActionType::kDrop, kNoElement};
     }
     const LoadBalanceRule* rule = rules_.find(packet.labels);
     if (rule == nullptr) {
-      ++counters_.drops;
+      ++counters.drops;
       return {ActionType::kDrop, kNoElement};
     }
     FlowEntry fresh;
     fresh.vnf_instance = packet.arrival_source;   // the ingress edge
     fresh.next_forwarder = rule->next_forwarders.empty()
         ? kNoElement
-        : rule->next_forwarders.pick(next_selector());
+        : rule->next_forwarders.pick(
+              mix64(flow_selector(packet.labels, key)));
     fresh.prev_element = kNoElement;
-    entry = &table_.insert(packet.labels, key, fresh);
+    entry = table_.insert_if_absent(packet.labels, key, fresh);
   }
 
   const ElementId target = packet.direction == Direction::kForward
       ? entry->next_forwarder
       : entry->prev_element;
   if (target == kNoElement) {
-    ++counters_.drops;
+    ++counters.drops;
     return {ActionType::kDrop, kNoElement};
   }
   return {ActionType::kSendToForwarder, target};
+}
+
+std::size_t Forwarder::process_batch(std::span<const Packet> packets,
+                                     std::span<ForwardAction> actions) {
+  SWB_CHECK(actions.empty() || actions.size() == packets.size())
+      << "actions span must be empty or match the packet batch";
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const ForwardAction action = process_from_wire(packets[i]);
+    if (!actions.empty()) actions[i] = action;
+    if (action.type != ActionType::kDrop) ++delivered;
+  }
+  return delivered;
 }
 
 bool Forwarder::complete_flow(const Labels& labels, const FiveTuple& tuple) {

@@ -12,14 +12,33 @@
 // describes these as two flow-table entries (forward + reverse); this
 // implementation stores one entry carrying both pointers — the semantics
 // are identical.
+//
+// Threading (the paper's per-core scaling, Fig. 8): one Forwarder can be
+// driven by N worker threads RSS-style.  Packets hash by (labels,
+// forward-direction 5-tuple) to a worker (worker_for()); each worker owns a
+// disjoint set of flow-table shards, so steady-state processing takes only
+// uncontended locks.  process_from_wire / process_from_attached /
+// process_batch are thread-safe for any interleaving (shard locks + atomic
+// counters); honoring the worker mapping is what makes them *fast*.
+// Control-plane mutations (rules(), register_attachment()) are NOT
+// synchronized against packet processing — install rules before starting
+// workers or quiesce them first (the paper's make-before-break updates swap
+// whole rules between packet bursts).
+//
+// Load-balancing picks are a pure function of (forwarder seed, flow key):
+// the pinning a flow gets does not depend on packet interleaving or worker
+// count, which keeps the threaded data plane bit-identical to the
+// single-threaded one (tested by forwarder_concurrency_test).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 
-#include "dataplane/flow_table.hpp"
+#include "common/stats.hpp"
 #include "dataplane/load_balancer.hpp"
 #include "dataplane/packet.hpp"
+#include "dataplane/sharded_flow_table.hpp"
 
 namespace switchboard::dataplane {
 
@@ -37,19 +56,28 @@ struct ForwardAction {
                                    const ForwardAction&) = default;
 };
 
+/// Per-packet tallies; bumped with relaxed atomics so N workers can share
+/// the forwarder.  Read them quiesced (workers joined) for exact totals.
+/// Internally the forwarder stripes one cell per flow-table shard (a
+/// worker only touches its own shards' cells — no cross-core cacheline
+/// traffic on the hot path); counters() aggregates the stripes on read.
 struct ForwarderCounters {
-  std::uint64_t from_wire{0};
-  std::uint64_t from_attached{0};
-  std::uint64_t flow_misses{0};     // first packets (created state)
-  std::uint64_t drops{0};
-  std::uint64_t label_reaffixed{0};
+  RelaxedCounter from_wire{0};
+  RelaxedCounter from_attached{0};
+  RelaxedCounter flow_misses{0};     // first packets (created state)
+  RelaxedCounter drops{0};
+  RelaxedCounter label_reaffixed{0};
 };
 
 class Forwarder {
  public:
-  explicit Forwarder(ElementId id, std::size_t flow_capacity = 1024);
+  /// `worker_count` sizes the shard space (shard_count_for_workers());
+  /// worker_count == 1 yields the classic single-threaded forwarder.
+  explicit Forwarder(ElementId id, std::size_t flow_capacity = 1024,
+                     std::size_t worker_count = 1);
 
   [[nodiscard]] ElementId id() const { return id_; }
+  [[nodiscard]] std::size_t worker_count() const { return worker_count_; }
 
   /// Load-balancing rules, installed by the Local Switchboard.
   [[nodiscard]] RuleTable& rules() { return rules_; }
@@ -58,6 +86,15 @@ class Forwarder {
   /// Associates an attached instance with its chain labels, so labels can
   /// be re-affixed for VNFs that strip or do not support them (Sec. 5.3).
   void register_attachment(ElementId instance, const Labels& labels);
+
+  /// RSS dispatch: the worker thread that should process this packet.
+  /// Both directions of a connection map to the same worker (the key is
+  /// the forward-direction 5-tuple), preserving flow affinity per worker.
+  [[nodiscard]] std::size_t worker_for(const Packet& packet) const {
+    const FiveTuple key = canonical_tuple(packet);
+    return rss_worker(flow_hash(packet.labels, key), table_.shard_count(),
+                      worker_count_);
+  }
 
   /// Packet arriving over a wide-area tunnel (or from the ingress edge's
   /// wire side).  Delivers to the attached instance pinned for the flow.
@@ -68,6 +105,13 @@ class Forwarder {
   /// direction) or previous (reverse) element.
   ForwardAction process_from_attached(Packet& packet);
 
+  /// Wire-side batch entry point for worker threads: processes every packet
+  /// with process_from_wire.  When `actions` is non-empty it must match
+  /// `packets` in size and receives the per-packet actions.  Returns the
+  /// number of packets not dropped.
+  std::size_t process_batch(std::span<const Packet> packets,
+                            std::span<ForwardAction> actions = {});
+
   /// Connection teardown: drop the flow state.
   bool complete_flow(const Labels& labels, const FiveTuple& tuple);
 
@@ -76,14 +120,17 @@ class Forwarder {
   /// re-pinning it to `replacement` (the equivalent instance behind the
   /// target forwarder).  Used for elastic scaling / draining a forwarder
   /// without breaking flow affinity.  Returns the number of flows moved.
+  /// Control-plane operation: quiesce workers on both forwarders first.
   std::size_t migrate_flows(Forwarder& target, ElementId instance,
                             ElementId replacement);
 
-  [[nodiscard]] const ForwarderCounters& counters() const { return counters_; }
-  [[nodiscard]] const FlowTable& flow_table() const { return table_; }
-  [[nodiscard]] FlowTable& flow_table() { return table_; }
+  [[nodiscard]] ForwarderCounters counters() const;
+  [[nodiscard]] const ShardedFlowTable& flow_table() const { return table_; }
+  [[nodiscard]] ShardedFlowTable& flow_table() { return table_; }
 
   /// Deterministic per-forwarder selector stream for load-balancing picks.
+  /// Thread-safe; retained for callers that need a shared draw sequence —
+  /// flow pinning itself uses flow_selector() so it is order-independent.
   [[nodiscard]] std::uint64_t next_selector();
 
  private:
@@ -92,11 +139,35 @@ class Forwarder {
                                                    : packet.flow.reversed();
   }
 
+  /// Pick seed for a flow: pure function of (forwarder seed, flow key), so
+  /// pinning is independent of packet order, thread count, and racing
+  /// first packets.
+  [[nodiscard]] std::uint64_t flow_selector(const Labels& labels,
+                                            const FiveTuple& key) const {
+    return mix64(selector_seed_ ^ flow_hash(labels, key));
+  }
+
+  /// One counter stripe, padded to its own cacheline so the per-packet
+  /// bumps of different workers never share a line.
+  struct alignas(64) CounterCell {
+    ForwarderCounters counters;
+  };
+
+  /// The stripe for a packet: the cell of the shard owning its flow.
+  [[nodiscard]] ForwarderCounters& cell_for(const Labels& labels,
+                                            const FiveTuple& key) {
+    return counter_cells_[rss_shard(flow_hash(labels, key),
+                                    counter_cells_.size())]
+        .counters;
+  }
+
   ElementId id_;
-  FlowTable table_;
+  std::size_t worker_count_;
+  ShardedFlowTable table_;
   RuleTable rules_;
-  ForwarderCounters counters_;
-  std::uint64_t selector_state_;
+  std::vector<CounterCell> counter_cells_;   // one per shard
+  std::uint64_t selector_seed_;
+  std::atomic<std::uint64_t> selector_state_;
   std::unordered_map<ElementId, Labels> attachment_labels_;
 };
 

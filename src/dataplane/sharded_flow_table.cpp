@@ -1,0 +1,126 @@
+#include "dataplane/sharded_flow_table.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace switchboard::dataplane {
+
+ShardedFlowTable::ShardedFlowTable(std::size_t initial_capacity,
+                                   std::size_t shard_count) {
+  const std::size_t shards =
+      std::bit_ceil(std::max<std::size_t>(shard_count, 1));
+  const std::size_t per_shard =
+      std::max<std::size_t>(initial_capacity / shards, 16);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
+
+std::optional<FlowEntry> ShardedFlowTable::find(const Labels& labels,
+                                                const FiveTuple& tuple) const {
+  const Shard& shard = shard_for(labels, tuple);
+  const std::scoped_lock lock{shard.mutex};
+  ++shard.stats.finds;
+  if (const FlowEntry* entry = shard.table.find(labels, tuple)) {
+    ++shard.stats.hits;
+    return *entry;
+  }
+  return std::nullopt;
+}
+
+FlowEntry ShardedFlowTable::insert(const Labels& labels,
+                                   const FiveTuple& tuple,
+                                   const FlowEntry& entry) {
+  Shard& shard = shard_for(labels, tuple);
+  const std::scoped_lock lock{shard.mutex};
+  ++shard.stats.inserts;
+  return shard.table.insert(labels, tuple, entry);
+}
+
+FlowEntry ShardedFlowTable::insert_if_absent(const Labels& labels,
+                                             const FiveTuple& tuple,
+                                             const FlowEntry& entry) {
+  Shard& shard = shard_for(labels, tuple);
+  const std::scoped_lock lock{shard.mutex};
+  if (const FlowEntry* existing = shard.table.find(labels, tuple)) {
+    return *existing;
+  }
+  ++shard.stats.inserts;
+  return shard.table.insert(labels, tuple, entry);
+}
+
+bool ShardedFlowTable::erase(const Labels& labels, const FiveTuple& tuple) {
+  Shard& shard = shard_for(labels, tuple);
+  const std::scoped_lock lock{shard.mutex};
+  const bool erased = shard.table.erase(labels, tuple);
+  if (erased) ++shard.stats.erases;
+  return erased;
+}
+
+std::size_t ShardedFlowTable::size() const {
+  const auto guards = lock_all();
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->table.size();
+  }
+  return total;
+}
+
+std::size_t ShardedFlowTable::shard_size(std::size_t shard) const {
+  SWB_CHECK_LT(shard, shards_.size());
+  const std::scoped_lock lock{shards_[shard]->mutex};
+  return shards_[shard]->table.size();
+}
+
+ShardedFlowTable::Stats ShardedFlowTable::stats() const {
+  const auto guards = lock_all();
+  Stats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total.finds += shard->stats.finds;
+    total.hits += shard->stats.hits;
+    total.inserts += shard->stats.inserts;
+    total.erases += shard->stats.erases;
+  }
+  return total;
+}
+
+void ShardedFlowTable::clear() {
+  const auto guards = lock_all();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->table.clear();
+  }
+}
+
+std::vector<std::unique_lock<std::mutex>> ShardedFlowTable::lock_all() const {
+  std::vector<std::unique_lock<std::mutex>> guards;
+  guards.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    guards.emplace_back(shard->mutex);
+  }
+  return guards;
+}
+
+void ShardedFlowTable::check_invariants() const {
+  SWB_CHECK(std::has_single_bit(shards_.size()))
+      << "shard count not a power of 2";
+  const auto guards = lock_all();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    shard.table.check_invariants();
+    // Sharding invariant: every key is in the shard its hash selects.
+    shard.table.for_each(
+        [&](const Labels& labels, const FiveTuple& tuple, const FlowEntry&) {
+          SWB_CHECK_EQ(rss_shard(flow_hash(labels, tuple), shards_.size()), s)
+              << "entry stored in the wrong shard";
+        });
+    // Counter agreement: live entries = inserts that created an entry minus
+    // successful erases.  insert() overwrites count as inserts too, so the
+    // table size can only be <= inserts - erases.
+    SWB_CHECK_LE(shard.table.size() + shard.stats.erases,
+                 shard.stats.inserts);
+  }
+}
+
+}  // namespace switchboard::dataplane

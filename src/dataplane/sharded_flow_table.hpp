@@ -1,0 +1,174 @@
+// Concurrent, sharded flow table: the multi-core backend for the forwarder
+// (Section 5: the paper's DPDK forwarder holds 512K flows *per core*;
+// Fig. 8 measures how throughput scales with cores).
+//
+// Layout: a power-of-two number of shards, each an independent
+// open-addressing `FlowTable` (the same probe logic as the single-core
+// table) guarded by its own mutex.  Keys are assigned to shards by the
+// *top* bits of the flow hash — the per-shard tables probe on the low bits,
+// so shard selection must not correlate with probe position.
+//
+// Concurrency model (RSS-style, see Forwarder):
+//   * every operation is thread-safe on its own — it locks exactly the one
+//     shard that owns the key (find/insert/erase never touch two shards);
+//   * the intended steady state is contention-FREE: workers partition the
+//     shard space (worker w owns shards {s : s % workers == w}) and packets
+//     are steered to the worker owning their shard, so each shard mutex is
+//     only ever taken by one thread and stays in that core's cache;
+//   * whole-table operations (size(), stats(), for_each(),
+//     check_invariants(), clear()) lock ALL shards in ascending index
+//     order — the repo-wide lock order that makes them deadlock-free
+//     against each other and safe to run while workers are processing.
+//
+// Per-shard counters (finds/hits/inserts/erases and the table's own size)
+// are plain integers mutated under the shard lock and aggregated on read.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "dataplane/flow_table.hpp"
+#include "dataplane/packet.hpp"
+
+namespace switchboard::dataplane {
+
+/// Shard index for a flow hash: the top log2(shard_count) bits.
+/// `shard_count` must be a power of two.
+[[nodiscard]] constexpr std::size_t rss_shard(std::uint64_t hash,
+                                              std::size_t shard_count) {
+  // shard_count == 1 would need a shift by 64 (UB); special-case it.
+  if (shard_count <= 1) return 0;
+  const int bits = std::countr_zero(shard_count);
+  return static_cast<std::size_t>(hash >> (64 - bits));
+}
+
+/// Shards per worker used when a shard count is derived from a worker
+/// count: enough striping that whole-table readers (audits, migration)
+/// block only a fraction of each worker's key space at a time.
+inline constexpr std::size_t kShardsPerWorker = 4;
+
+/// Default shard count for `worker_count` workers: a power of two with
+/// kShardsPerWorker-way striping.
+[[nodiscard]] constexpr std::size_t shard_count_for_workers(
+    std::size_t worker_count) {
+  return std::bit_ceil(std::max<std::size_t>(worker_count, 1)) *
+         kShardsPerWorker;
+}
+
+/// Worker index owning a flow hash, for `worker_count` workers striped over
+/// `shard_count` shards: the shard's owner is `shard % worker_count`, so a
+/// worker owns a fixed, disjoint shard set.  Pure function of
+/// (hash, shard_count, worker_count) — traffic generators use it to build
+/// per-worker streams that never cross shard ownership.
+[[nodiscard]] constexpr std::size_t rss_worker(std::uint64_t hash,
+                                               std::size_t shard_count,
+                                               std::size_t worker_count) {
+  return rss_shard(hash, shard_count) % std::max<std::size_t>(worker_count, 1);
+}
+
+class ShardedFlowTable {
+ public:
+  /// Aggregated operation counters (see stats()).
+  struct Stats {
+    std::uint64_t finds{0};
+    std::uint64_t hits{0};
+    std::uint64_t inserts{0};
+    std::uint64_t erases{0};
+  };
+
+  /// `initial_capacity` is the *total* capacity hint, split evenly across
+  /// shards.  `shard_count` rounds up to a power of two.
+  explicit ShardedFlowTable(std::size_t initial_capacity = 1024,
+                            std::size_t shard_count = 1);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(const Labels& labels,
+                                     const FiveTuple& tuple) const {
+    return rss_shard(flow_hash(labels, tuple), shards_.size());
+  }
+
+  /// Looks up the entry, returning a copy (a pointer into a shard would
+  /// dangle once the shard lock is released).
+  [[nodiscard]] std::optional<FlowEntry> find(const Labels& labels,
+                                              const FiveTuple& tuple) const;
+
+  /// Inserts, overwriting any existing entry; returns the stored value.
+  FlowEntry insert(const Labels& labels, const FiveTuple& tuple,
+                   const FlowEntry& entry);
+
+  /// Inserts only if absent; returns the winning entry (the existing one on
+  /// conflict).  This is the first-packet path: when two packets of one
+  /// flow race, both observe the same pinning.
+  FlowEntry insert_if_absent(const Labels& labels, const FiveTuple& tuple,
+                             const FlowEntry& entry);
+
+  /// Removes the entry; returns true if it existed.
+  bool erase(const Labels& labels, const FiveTuple& tuple);
+
+  /// Live entries across all shards (locks each shard in index order).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Live entries in one shard.
+  [[nodiscard]] std::size_t shard_size(std::size_t shard) const;
+
+  /// Operation counters aggregated over shards.
+  [[nodiscard]] Stats stats() const;
+
+  void clear();
+
+  /// Visits every live entry under ALL shard locks (taken in index order);
+  /// `fn` must not call back into this table.  Shards are visited in index
+  /// order, entries within a shard in slot order — deterministic for a
+  /// quiesced table.
+  template <typename Fn>   // Fn(const Labels&, const FiveTuple&, FlowEntry&)
+  void for_each(Fn&& fn) {
+    const auto guards = lock_all();
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      shard->table.for_each(fn);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const auto guards = lock_all();
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      const FlowTable& table = shard->table;
+      table.for_each(fn);
+    }
+  }
+
+  /// Audits every shard's structural invariants plus the sharding invariant
+  /// itself: each key is stored in the shard its hash selects.  Takes all
+  /// shard locks in index order, so it is safe to run concurrently with
+  /// worker threads (PR 1's audit layer, extended to the threaded table).
+  void check_invariants() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    FlowTable table;
+    mutable Stats stats;   // find() tallies under the shard lock
+
+    explicit Shard(std::size_t capacity) : table{capacity} {}
+  };
+
+  [[nodiscard]] Shard& shard_for(const Labels& labels,
+                                 const FiveTuple& tuple) {
+    return *shards_[shard_of(labels, tuple)];
+  }
+  [[nodiscard]] const Shard& shard_for(const Labels& labels,
+                                       const FiveTuple& tuple) const {
+    return *shards_[shard_of(labels, tuple)];
+  }
+
+  /// Locks every shard in ascending index order (the global lock order).
+  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lock_all() const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace switchboard::dataplane

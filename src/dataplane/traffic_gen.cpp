@@ -1,12 +1,28 @@
 #include "dataplane/traffic_gen.hpp"
 
 #include "common/check.hpp"
+#include "dataplane/sharded_flow_table.hpp"
 
 namespace switchboard::dataplane {
 
 PacketStream::PacketStream(const TrafficGenConfig& config) : config_{config} {
   SWB_CHECK(config.flow_count > 0);
   SWB_CHECK(config.reverse_fraction >= 0.0 && config.reverse_fraction <= 1.0);
+  SWB_CHECK(config.worker_count >= 1);
+  SWB_CHECK_LT(config.worker_index, config.worker_count);
+  if (config.worker_count > 1) {
+    // Precompute this worker's flow share (RSS steering): same mapping the
+    // forwarder uses, so a worker's stream only carries flows it owns.
+    const std::size_t shards = shard_count_for_workers(config.worker_count);
+    owned_flows_.reserve(config.flow_count / config.worker_count + 1);
+    for (std::uint32_t f = 0; f < config.flow_count; ++f) {
+      const std::uint64_t hash = flow_hash(config.labels, flow_tuple(f));
+      if (rss_worker(hash, shards, config.worker_count) ==
+          config.worker_index) {
+        owned_flows_.push_back(f);
+      }
+    }
+  }
 }
 
 FiveTuple PacketStream::flow_tuple(std::uint32_t flow_index) const {
@@ -22,7 +38,13 @@ FiveTuple PacketStream::flow_tuple(std::uint32_t flow_index) const {
 
 Packet PacketStream::next() {
   Packet packet;
-  packet.flow = flow_tuple(next_flow_);
+  if (owned_flows_.empty()) {
+    SWB_CHECK(config_.worker_count <= 1)
+        << "worker " << config_.worker_index << " owns no flows";
+    packet.flow = flow_tuple(next_flow_);
+  } else {
+    packet.flow = flow_tuple(owned_flows_[next_flow_]);
+  }
   packet.labels = config_.labels;
   packet.size_bytes = config_.packet_size;
   // Deterministic direction pattern approximating the requested mix.
@@ -35,7 +57,10 @@ Packet PacketStream::next() {
     }
   }
   ++packet_counter_;
-  next_flow_ = (next_flow_ + 1) % config_.flow_count;
+  const std::uint32_t cycle = owned_flows_.empty()
+      ? config_.flow_count
+      : static_cast<std::uint32_t>(owned_flows_.size());
+  next_flow_ = (next_flow_ + 1) % cycle;
   return packet;
 }
 

@@ -1,0 +1,68 @@
+#include "sim/parallel.hpp"
+
+#include "common/check.hpp"
+
+namespace switchboard::sim {
+
+BarrierWorkerPool::BarrierWorkerPool(std::size_t worker_count) {
+  SWB_CHECK(worker_count >= 1);
+  threads_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+BarrierWorkerPool::~BarrierWorkerPool() {
+  {
+    const std::scoped_lock lock{mutex_};
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void BarrierWorkerPool::run_batch(const std::function<void(std::size_t)>& fn) {
+  std::unique_lock lock{mutex_};
+  SWB_CHECK_EQ(remaining_, 0u) << "run_batch is not reentrant";
+  batch_fn_ = &fn;
+  remaining_ = threads_.size();
+  first_error_ = nullptr;
+  ++generation_;
+  lock.unlock();
+  start_cv_.notify_all();
+
+  lock.lock();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  batch_fn_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void BarrierWorkerPool::worker_loop(std::size_t index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock lock{mutex_};
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = batch_fn_;
+    }
+    try {
+      (*fn)(index);
+    } catch (...) {
+      const std::scoped_lock lock{mutex_};
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    bool last = false;
+    {
+      const std::scoped_lock lock{mutex_};
+      last = --remaining_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+}  // namespace switchboard::sim

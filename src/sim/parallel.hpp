@@ -1,0 +1,56 @@
+// Deterministic fork-join worker pool: how the single-threaded
+// discrete-event simulator drives the multi-threaded data plane.
+//
+// The simulator stays the sole owner of time: an event callback dispatches
+// one *batch* to the pool — every worker runs fn(worker_index) in parallel
+// — and run_batch() returns only when all workers hit the end-of-batch
+// barrier.  Nothing else in the simulation overlaps the batch, so the event
+// stream stays deterministic; within the batch, determinism is the data
+// plane's job (RSS worker ownership: each worker touches only its own
+// shards, and flow pinnings are pure functions of the flow key — see
+// dataplane/forwarder.hpp).
+//
+// The pool keeps its threads across batches (no spawn cost per event) and
+// propagates the first exception a worker throws out of run_batch().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace switchboard::sim {
+
+class BarrierWorkerPool {
+ public:
+  /// Spawns `worker_count` persistent threads (>= 1).
+  explicit BarrierWorkerPool(std::size_t worker_count);
+  ~BarrierWorkerPool();
+
+  BarrierWorkerPool(const BarrierWorkerPool&) = delete;
+  BarrierWorkerPool& operator=(const BarrierWorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  /// Runs fn(worker_index) on every worker and blocks until all have
+  /// finished (the per-batch barrier).  Not reentrant: one batch at a time.
+  void run_batch(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* batch_fn_{nullptr};
+  std::uint64_t generation_{0};     // bumped per batch; workers wait on it
+  std::size_t remaining_{0};        // workers still running this batch
+  std::exception_ptr first_error_;  // first exception thrown in the batch
+  bool shutdown_{false};
+};
+
+}  // namespace switchboard::sim

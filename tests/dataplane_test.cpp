@@ -118,6 +118,58 @@ TEST(FlowTable, TombstonesDoNotBreakProbing) {
   EXPECT_EQ(table.size(), 64u);
 }
 
+// Regression: erase/grow interaction near the 70% growth threshold.  The
+// table used to double capacity whenever live + tombstones crossed the
+// threshold, so an insert/erase churn workload (connections completing as
+// fast as they arrive) grew without bound even though the live set never
+// did.  grow() now purges tombstones in place unless the live entries
+// alone need the room.
+TEST(FlowTable, EraseInsertChurnAcrossGrowthBoundary) {
+  FlowTable table{16};
+  const Labels labels{1, 1};
+  // Sit just under the growth threshold of the 16-slot table, then churn
+  // insert/erase/find across it many times.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  for (std::uint32_t round = 0; round < 1000; ++round) {
+    const std::uint32_t dead = 10 + round;
+    const std::uint32_t born = dead + 1;
+    table.insert(labels, make_tuple(born), FlowEntry{born, born, born});
+    EXPECT_TRUE(table.erase(labels, make_tuple(round < 10 ? round : dead - 1)))
+        << round;
+    // Every entry that should be live is still findable mid-churn.
+    if (round >= 10) {
+      const FlowEntry* e = table.find(labels, make_tuple(born));
+      ASSERT_NE(e, nullptr) << round;
+      EXPECT_EQ(e->vnf_instance, born);
+      EXPECT_EQ(table.find(labels, make_tuple(dead - 1)), nullptr) << round;
+    }
+    table.check_invariants();
+  }
+  EXPECT_EQ(table.size(), 10u);
+}
+
+TEST(FlowTable, CapacityStaysBoundedUnderChurn) {
+  FlowTable table{16};
+  const Labels labels{1, 1};
+  // ~11 live entries forever; 50K insert+erase cycles.  Capacity must
+  // converge, not double on every tombstone-driven threshold crossing.
+  for (std::uint32_t i = 0; i < 11; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  for (std::uint32_t round = 0; round < 50000; ++round) {
+    const std::uint32_t born = 11 + round;
+    table.insert(labels, make_tuple(born), FlowEntry{born, born, born});
+    EXPECT_TRUE(table.erase(labels, make_tuple(born - 11)));
+  }
+  EXPECT_EQ(table.size(), 11u);
+  // 11 live entries fit a 32-slot table at <= 35% live occupancy; allow
+  // one extra doubling of slack but nothing unbounded.
+  EXPECT_LE(table.capacity(), 64u);
+  table.check_invariants();
+}
+
 TEST(FlowTable, Clear) {
   FlowTable table;
   table.insert(Labels{1, 1}, make_tuple(1), FlowEntry{});

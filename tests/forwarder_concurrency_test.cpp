@@ -1,0 +1,223 @@
+// Threaded forwarder tests: RSS worker partitioning, batch processing under
+// real threads, and the determinism guarantee — the threaded data plane
+// (driven the way the simulator drives it, a BarrierWorkerPool batch per
+// event) produces flow pinnings IDENTICAL to the single-threaded path.
+// Runs under the tsan preset via CI's *_concurrency_test glob.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "dataplane/forwarder.hpp"
+#include "dataplane/traffic_gen.hpp"
+#include "sim/parallel.hpp"
+
+namespace switchboard::dataplane {
+namespace {
+
+constexpr std::uint32_t kFlows = 4096;
+
+void install_two_way_rule(Forwarder& forwarder) {
+  LoadBalanceRule rule;
+  rule.vnf_instances.add(100, 1.0);
+  rule.vnf_instances.add(101, 1.0);
+  rule.next_forwarders.add(200, 1.0);
+  rule.next_forwarders.add(201, 1.0);
+  forwarder.rules().install(Labels{1, 1}, std::move(rule));
+}
+
+/// All flow pinnings of a forwarder, keyed by the flow's source ip (the
+/// generator makes src_ip unique per flow).
+std::map<std::uint32_t, std::tuple<ElementId, ElementId, ElementId>>
+pinnings_of(Forwarder& forwarder) {
+  std::map<std::uint32_t, std::tuple<ElementId, ElementId, ElementId>> out;
+  forwarder.flow_table().for_each(
+      [&](const Labels&, const FiveTuple& tuple, FlowEntry& entry) {
+        out[tuple.src_ip] = {entry.vnf_instance, entry.next_forwarder,
+                             entry.prev_element};
+      });
+  return out;
+}
+
+TEST(ForwarderConcurrency, WorkerForPartitionsBothDirections) {
+  const Forwarder forwarder{1, 1024, 4};
+  TrafficGenConfig config;
+  config.flow_count = 256;
+  PacketStream stream{config};
+  for (std::uint32_t f = 0; f < 256; ++f) {
+    Packet fwd = stream.next();
+    Packet rev = fwd;
+    rev.flow = fwd.flow.reversed();
+    rev.direction = Direction::kReverse;
+    // Forward and reverse packets of one connection go to the same worker.
+    EXPECT_EQ(forwarder.worker_for(fwd), forwarder.worker_for(rev));
+    EXPECT_LT(forwarder.worker_for(fwd), forwarder.worker_count());
+  }
+}
+
+// N worker threads drive process_batch over their RSS share concurrently;
+// every flow ends up pinned exactly once and counters add up.
+TEST(ForwarderConcurrency, ThreadedBatchesPinEveryFlowOnce) {
+  constexpr std::size_t kWorkers = 4;
+  Forwarder forwarder{1, kFlows * 2, kWorkers};
+  install_two_way_rule(forwarder);
+
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&forwarder, w] {
+      TrafficGenConfig config;
+      config.flow_count = kFlows;
+      config.worker_count = kWorkers;
+      config.worker_index = static_cast<std::uint32_t>(w);
+      PacketStream stream{config};
+      // Two passes over the worker's owned flows: first creates state,
+      // second must hit it.
+      const std::size_t owned = stream.owned_flow_count();
+      for (std::size_t i = 0; i < 2 * owned; ++i) {
+        Packet p = stream.next();
+        p.arrival_source = 50;
+        EXPECT_EQ(forwarder.worker_for(p), w);
+        const ForwardAction action = forwarder.process_from_wire(p);
+        EXPECT_EQ(action.type, ActionType::kDeliverToAttached);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(forwarder.flow_table().size(), kFlows);
+  forwarder.flow_table().check_invariants();
+  const ForwarderCounters counters = forwarder.counters();
+  EXPECT_EQ(counters.from_wire, 2u * kFlows);
+  EXPECT_EQ(counters.flow_misses, kFlows);
+  EXPECT_EQ(counters.drops, 0u);
+}
+
+// The determinism guarantee behind the threaded simulator path: the SAME
+// traffic processed (a) single-threaded in arrival order and (b) by a
+// BarrierWorkerPool batch-per-event with 4 RSS workers produces identical
+// flow pinnings — pinning is a pure function of (forwarder seed, flow key).
+TEST(ForwarderConcurrency, ThreadedSimulatorPathMatchesSingleThreaded) {
+  // (a) classic single-threaded forwarder.
+  Forwarder single{7, kFlows * 2};
+  install_two_way_rule(single);
+  {
+    TrafficGenConfig config;
+    config.flow_count = kFlows;
+    PacketStream stream{config};
+    for (std::uint32_t f = 0; f < kFlows; ++f) {
+      Packet p = stream.next();
+      p.arrival_source = 50;
+      (void)single.process_from_wire(p);
+    }
+  }
+
+  // (b) same forwarder id (same seed), 4 workers, driven the way the
+  // simulator drives it: the event loop hands each worker its share of the
+  // batch, and the pool barrier ends the event.
+  constexpr std::size_t kWorkers = 4;
+  Forwarder threaded{7, kFlows * 2, kWorkers};
+  install_two_way_rule(threaded);
+
+  std::vector<std::vector<Packet>> per_worker(kWorkers);
+  {
+    TrafficGenConfig config;
+    config.flow_count = kFlows;
+    PacketStream stream{config};
+    for (std::uint32_t f = 0; f < kFlows; ++f) {
+      Packet p = stream.next();
+      p.arrival_source = 50;
+      per_worker[threaded.worker_for(p)].push_back(p);
+    }
+  }
+
+  sim::BarrierWorkerPool pool{kWorkers};
+  // Split each worker's traffic into several event batches to exercise the
+  // barrier repeatedly, as a simulation would.
+  constexpr std::size_t kBatches = 8;
+  for (std::size_t batch = 0; batch < kBatches; ++batch) {
+    pool.run_batch([&](std::size_t w) {
+      const std::vector<Packet>& mine = per_worker[w];
+      const std::size_t begin = batch * mine.size() / kBatches;
+      const std::size_t end = (batch + 1) * mine.size() / kBatches;
+      const std::span<const Packet> slice{mine.data() + begin, end - begin};
+      (void)threaded.process_batch(slice);
+    });
+  }
+
+  const auto expected = pinnings_of(single);
+  const auto actual = pinnings_of(threaded);
+  ASSERT_EQ(expected.size(), kFlows);
+  EXPECT_EQ(expected, actual);
+
+  // Both instances also spread flows over the rule's two choices (the
+  // pinning function is deterministic, not degenerate).
+  std::size_t on_first = 0;
+  for (const auto& [src, pin] : expected) {
+    on_first += std::get<0>(pin) == 100 ? 1 : 0;
+  }
+  EXPECT_GT(on_first, 0u);
+  EXPECT_LT(on_first, expected.size());
+}
+
+// Racing first packets: many threads fire the SAME flow's first packet at
+// once; insert_if_absent guarantees one pinning wins everywhere.
+TEST(ForwarderConcurrency, RacingFirstPacketsAgreeOnPinning) {
+  Forwarder forwarder{3, 256, 4};
+  install_two_way_rule(forwarder);
+  TrafficGenConfig config;
+  config.flow_count = 1;
+  PacketStream stream{config};
+  Packet p = stream.next();
+  p.arrival_source = 50;
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<ForwardAction> actions(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&forwarder, &actions, t, p] { actions[t] = forwarder.process_from_wire(p); });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(actions[t], actions[0]);
+  }
+  EXPECT_EQ(forwarder.flow_table().size(), 1u);
+}
+
+// migrate_flows (a control-plane whole-table op) between two quiesced
+// threaded forwarders keeps every pinning intact.
+TEST(ForwarderConcurrency, MigrateFlowsAcrossThreadedForwarders) {
+  Forwarder source{1, kFlows * 2, 2};
+  Forwarder target{2, kFlows * 2, 2};
+  install_two_way_rule(source);
+  install_two_way_rule(target);
+  TrafficGenConfig config;
+  config.flow_count = 512;
+  PacketStream stream{config};
+  for (std::uint32_t f = 0; f < 512; ++f) {
+    Packet p = stream.next();
+    p.arrival_source = 50;
+    (void)source.process_from_wire(p);
+  }
+  const std::size_t before = source.flow_table().size();
+  const std::size_t moved = source.migrate_flows(target, 100, 150);
+  EXPECT_GT(moved, 0u);
+  EXPECT_EQ(source.flow_table().size() + moved, before);
+  EXPECT_EQ(target.flow_table().size(), moved);
+  std::size_t repinned = 0;
+  target.flow_table().for_each(
+      [&](const Labels&, const FiveTuple&, FlowEntry& entry) {
+        EXPECT_EQ(entry.vnf_instance, 150u);
+        ++repinned;
+      });
+  EXPECT_EQ(repinned, moved);
+  source.flow_table().check_invariants();
+  target.flow_table().check_invariants();
+}
+
+}  // namespace
+}  // namespace switchboard::dataplane

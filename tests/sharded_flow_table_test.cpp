@@ -1,0 +1,183 @@
+// Single-threaded unit tests for ShardedFlowTable and the RSS helpers.
+// Concurrency coverage lives in sharded_flow_table_concurrency_test.cpp.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dataplane/sharded_flow_table.hpp"
+
+namespace switchboard::dataplane {
+namespace {
+
+FiveTuple make_tuple(std::uint32_t i) {
+  return FiveTuple{0x0A000000u + i, 0xC0A80001u,
+                   static_cast<std::uint16_t>(1000 + (i % 60000)), 80, 6};
+}
+
+// ------------------------------------------------------------- RSS helpers
+
+TEST(RssHelpers, ShardUsesTopBits) {
+  EXPECT_EQ(rss_shard(0, 1), 0u);
+  EXPECT_EQ(rss_shard(~0ull, 1), 0u);   // shift-by-64 special case
+  EXPECT_EQ(rss_shard(0, 8), 0u);
+  EXPECT_EQ(rss_shard(~0ull, 8), 7u);
+  // Top 3 bits select among 8 shards; low bits are irrelevant.
+  EXPECT_EQ(rss_shard(0x2000'0000'0000'0000ull, 8), 1u);
+  EXPECT_EQ(rss_shard(0x2000'0000'0000'FFFFull, 8), 1u);
+  EXPECT_EQ(rss_shard(0xE000'0000'0000'0000ull, 8), 7u);
+}
+
+TEST(RssHelpers, ShardCountForWorkers) {
+  EXPECT_EQ(shard_count_for_workers(0), kShardsPerWorker);
+  EXPECT_EQ(shard_count_for_workers(1), kShardsPerWorker);
+  EXPECT_EQ(shard_count_for_workers(2), 2 * kShardsPerWorker);
+  EXPECT_EQ(shard_count_for_workers(3), 4 * kShardsPerWorker);  // bit_ceil
+  EXPECT_EQ(shard_count_for_workers(8), 8 * kShardsPerWorker);
+}
+
+TEST(RssHelpers, WorkerOwnershipIsDisjointAndComplete) {
+  const std::size_t workers = 3;
+  const std::size_t shards = shard_count_for_workers(workers);
+  // Every shard maps to exactly one worker; every worker owns >= 1 shard.
+  std::vector<std::set<std::size_t>> owned(workers);
+  for (std::size_t s = 0; s < shards; ++s) {
+    // A hash whose top bits select shard s.
+    const std::uint64_t hash = static_cast<std::uint64_t>(s)
+        << (64 - std::countr_zero(shards));
+    ASSERT_EQ(rss_shard(hash, shards), s);
+    const std::size_t w = rss_worker(hash, shards, workers);
+    ASSERT_LT(w, workers);
+    owned[w].insert(s);
+  }
+  std::size_t total = 0;
+  for (const auto& set : owned) {
+    EXPECT_FALSE(set.empty());
+    total += set.size();
+  }
+  EXPECT_EQ(total, shards);
+}
+
+// -------------------------------------------------------- ShardedFlowTable
+
+TEST(ShardedFlowTable, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ShardedFlowTable(1024, 1).shard_count(), 1u);
+  EXPECT_EQ(ShardedFlowTable(1024, 3).shard_count(), 4u);
+  EXPECT_EQ(ShardedFlowTable(1024, 8).shard_count(), 8u);
+}
+
+TEST(ShardedFlowTable, InsertFindErase) {
+  ShardedFlowTable table{64, 8};
+  const Labels labels{7, 3};
+  const FiveTuple t = make_tuple(1);
+  EXPECT_FALSE(table.find(labels, t).has_value());
+  table.insert(labels, t, FlowEntry{10, 20, 30});
+  const std::optional<FlowEntry> entry = table.find(labels, t);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->vnf_instance, 10u);
+  EXPECT_EQ(entry->next_forwarder, 20u);
+  EXPECT_EQ(entry->prev_element, 30u);
+  EXPECT_TRUE(table.erase(labels, t));
+  EXPECT_FALSE(table.find(labels, t).has_value());
+  EXPECT_FALSE(table.erase(labels, t));
+}
+
+TEST(ShardedFlowTable, InsertIfAbsentKeepsFirstPinning) {
+  ShardedFlowTable table{64, 4};
+  const Labels labels{1, 1};
+  const FiveTuple t = make_tuple(1);
+  const FlowEntry first = table.insert_if_absent(labels, t, FlowEntry{1, 1, 1});
+  EXPECT_EQ(first.vnf_instance, 1u);
+  // A racing second packet proposes a different pinning; the stored one wins.
+  const FlowEntry second =
+      table.insert_if_absent(labels, t, FlowEntry{2, 2, 2});
+  EXPECT_EQ(second.vnf_instance, 1u);
+  EXPECT_EQ(table.find(labels, t)->vnf_instance, 1u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ShardedFlowTable, EntriesLandInHashSelectedShard) {
+  ShardedFlowTable table{256, 8};
+  const Labels labels{1, 1};
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  EXPECT_EQ(table.size(), 2000u);
+  // Shard sizes sum to the total and more than one shard is populated.
+  std::size_t sum = 0;
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < table.shard_count(); ++s) {
+    sum += table.shard_size(s);
+    populated += table.shard_size(s) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(sum, 2000u);
+  EXPECT_GT(populated, 1u);
+  table.check_invariants();   // includes the key-in-right-shard audit
+}
+
+TEST(ShardedFlowTable, StatsAggregateAcrossShards) {
+  ShardedFlowTable table{64, 4};
+  const Labels labels{1, 1};
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  for (std::uint32_t i = 0; i < 150; ++i) {   // 100 hits, 50 misses
+    (void)table.find(labels, make_tuple(i));
+  }
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    EXPECT_TRUE(table.erase(labels, make_tuple(i)));
+  }
+  const ShardedFlowTable::Stats stats = table.stats();
+  EXPECT_EQ(stats.inserts, 100u);
+  EXPECT_EQ(stats.finds, 150u);
+  EXPECT_EQ(stats.hits, 100u);
+  EXPECT_EQ(stats.erases, 40u);
+  EXPECT_EQ(table.size(), 60u);
+  table.check_invariants();
+}
+
+TEST(ShardedFlowTable, ForEachVisitsEveryEntryOnce) {
+  ShardedFlowTable table{64, 8};
+  const Labels labels{1, 1};
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  std::set<std::uint32_t> seen;
+  table.for_each([&](const Labels&, const FiveTuple&, FlowEntry& entry) {
+    EXPECT_TRUE(seen.insert(entry.vnf_instance).second);
+  });
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(ShardedFlowTable, ClearEmptiesAllShards) {
+  ShardedFlowTable table{64, 4};
+  const Labels labels{1, 1};
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  for (std::size_t s = 0; s < table.shard_count(); ++s) {
+    EXPECT_EQ(table.shard_size(s), 0u);
+  }
+  EXPECT_FALSE(table.find(labels, make_tuple(0)).has_value());
+  table.check_invariants();
+}
+
+TEST(ShardedFlowTable, GrowsPerShardBeyondInitialCapacity) {
+  ShardedFlowTable table{16, 4};   // 4 slots per shard to start
+  const Labels labels{1, 1};
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  EXPECT_EQ(table.size(), 5000u);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    const std::optional<FlowEntry> e = table.find(labels, make_tuple(i));
+    ASSERT_TRUE(e.has_value()) << i;
+    EXPECT_EQ(e->vnf_instance, i);
+  }
+  table.check_invariants();
+}
+
+}  // namespace
+}  // namespace switchboard::dataplane
