@@ -7,11 +7,15 @@
 //       between the two routes afterwards;
 //   (b) total chain throughput doubles, commensurate with the added
 //       capacity, while the existing route is unaffected.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <string>
 
 #include "bench_json.hpp"
+#include "common/check.hpp"
 #include "switchboard/switchboard.hpp"
 
 namespace {
@@ -22,6 +26,77 @@ dataplane::FiveTuple flow_tuple(std::uint32_t i) {
   return dataplane::FiveTuple{0x0A000000u + i, 0xC0A80001u,
                               static_cast<std::uint16_t>(1024 + i % 50000),
                               80, 6};
+}
+
+/// Minimum wall time of `fn` over `repeats` runs, in milliseconds.
+template <typename Fn>
+double min_wall_ms(int repeats, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+/// (c) companion microbenchmark: the cost of reacting to a single-chain
+/// delta with the TE engine's incremental re-solve versus re-running the
+/// whole DP solver, on a scenario-sized model.  Wall-clock metrics; the
+/// CI perf gate diffs only the deterministic control-plane timings.
+void bench_incremental_resolve(swb_bench::Session& session) {
+  model::ScenarioParams params;
+  params.topology.core_count = 5;
+  params.topology.access_per_core = 1;   // 10 nodes / sites
+  params.vnf_count = 8;
+  params.chain_count = 40;
+  params.coverage = 0.5;
+  params.total_chain_traffic = 400.0;
+  params.site_capacity = 500.0;
+  params.seed = 7;
+  model::NetworkModel m = model::make_scenario(params);
+  const int repeats = session.smoke() ? 5 : 9;
+
+  // Full re-solve: what a stateless control plane pays per chain delta.
+  const te::DpResult reference = te::solve_dp_routing(m);
+  const double full_ms = min_wall_ms(repeats, [&] {
+    const te::DpResult r = te::solve_dp_routing(m);
+    SWB_CHECK(r.routed_volume == reference.routed_volume);
+  });
+
+  // Incremental: drop and re-add the last chain; only the timed add_chain
+  // call routes against the residual loads of the other 39 chains.
+  te::TeEngine engine{m};
+  engine.solve();
+  const ChainId delta = m.chains().back().id;
+  double incremental_ms = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < repeats; ++i) {
+    engine.remove_chain(delta);
+    const auto start = std::chrono::steady_clock::now();
+    engine.add_chain(delta);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    incremental_ms = std::min(incremental_ms, ms);
+  }
+  const double rel_err =
+      std::abs(engine.result().routed_volume - reference.routed_volume) /
+      std::max(reference.routed_volume, 1e-9);
+  SWB_CHECK(rel_err <= 0.01);   // remove+add must not degrade the solution
+
+  std::printf("\n-- (c) single-chain delta: incremental vs full re-solve --\n");
+  std::printf("full DP re-solve %8.3f ms   incremental add_chain %8.3f ms   "
+              "(%.1fx, volume drift %.2e)\n",
+              full_ms, incremental_ms, full_ms / incremental_ms, rel_err);
+  session.add("incremental")
+      .param("chains", static_cast<double>(m.chains().size()))
+      .metric("full_resolve_ms", full_ms)
+      .metric("incremental_ms", incremental_ms)
+      .metric("speedup", full_ms / incremental_ms)
+      .metric("routed_volume_rel_err", rel_err);
 }
 
 }  // namespace
@@ -122,6 +197,9 @@ int main(int argc, char** argv) {
   session.add("route_update")
       .metric("chain_create_ms", sim::to_ms(created->elapsed()))
       .metric("route_update_ms", update_ms);
+
+  bench_incremental_resolve(session);
+
   std::printf(
       "\nroute update completed in %.0f ms (paper prototype: 595 ms);\n"
       "throughput doubles after the update and load splits evenly.\n",

@@ -86,8 +86,14 @@ void GlobalSwitchboard::publish_routes(const ChainRecord& record) {
   }
 }
 
-void GlobalSwitchboard::rebuild_loads() {
-  loads_.reset();
+GlobalSwitchboard::ModelShape GlobalSwitchboard::model_shape() const {
+  return ModelShape{context_.model.topology().link_count(),
+                    context_.model.sites().size(),
+                    context_.model.vnfs().size()};
+}
+
+void GlobalSwitchboard::rebuild_loads_into(te::Loads& loads) const {
+  loads.reset();
   for (const ChainRecord& record : chains_) {
     if (!record.active) continue;
     const model::Chain& chain = context_.model.chain(record.id);
@@ -99,10 +105,37 @@ void GlobalSwitchboard::rebuild_loads() {
         const NodeId next = z <= route.vnf_sites.size()
             ? context_.model.site(route.vnf_sites[z - 1]).node
             : egress_node;
-        loads_.add_stage_flow(chain, z, prev, next, route.weight);
+        loads.add_stage_flow(chain, z, prev, next, route.weight);
         prev = next;
       }
     }
+  }
+}
+
+void GlobalSwitchboard::rebuild_loads() {
+  rebuild_loads_into(loads_);
+  loads_shape_ = model_shape();
+  loads_primed_ = true;
+}
+
+void GlobalSwitchboard::ensure_loads_current() {
+  if (!loads_primed_ || !(model_shape() == loads_shape_)) rebuild_loads();
+}
+
+void GlobalSwitchboard::apply_route_loads(const ChainRecord& record,
+                                          const RouteRecord& route,
+                                          double weight_delta) {
+  if (weight_delta == 0.0) return;
+  const model::Chain& chain = context_.model.chain(record.id);
+  const NodeId ingress_node = context_.model.site(record.ingress_site).node;
+  const NodeId egress_node = context_.model.site(record.egress_site).node;
+  NodeId prev = ingress_node;
+  for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
+    const NodeId next = z <= route.vnf_sites.size()
+        ? context_.model.site(route.vnf_sites[z - 1]).node
+        : egress_node;
+    loads_.add_stage_flow(chain, z, prev, next, weight_delta);
+    prev = next;
   }
 }
 
@@ -170,10 +203,10 @@ void GlobalSwitchboard::create_chain(const ChainSpec& spec,
           }
           SWB_CHECK(rec != nullptr);
           te::DpOptions options = dp_options_;
-          rebuild_loads();   // also resizes after late VNF registration
+          ensure_loads_current();   // resizes after late VNF registration
           const te::SingleRoute route = te::find_single_route(
               context_.model, context_.model.chain(chain_id), loads_,
-              options);
+              options, 1.0, te::TeContext{nullptr, &scratch_});
           report.events.push_back({"route_computed", context_.sim.now()});
           if (!route.found || route.admissible_fraction <= 0) {
             done(Result<CreationReport>{ErrorCode::kInfeasible,
@@ -262,10 +295,10 @@ void GlobalSwitchboard::commit_route(
             options.site_allowed = [excluded](VnfId vnf, SiteId site) {
               return excluded.count({vnf.value(), site.value()}) == 0;
             };
-            rebuild_loads();
+            ensure_loads_current();
             const te::SingleRoute retry = te::find_single_route(
                 context_.model, context_.model.chain(chain_id), loads_,
-                options);
+                options, 1.0, te::TeContext{nullptr, &scratch_});
             report.events.push_back({"route_recomputed", context_.sim.now()});
             if (!retry.found || retry.admissible_fraction <= 0) {
               done(Result<CreationReport>{ErrorCode::kInfeasible,
@@ -304,14 +337,24 @@ void GlobalSwitchboard::commit_route(
           }
           report.events.push_back({"committed", context_.sim.now()});
 
+          ensure_loads_current();
           rec2->routes.push_back(route);
           // Route weights rebalance equally (Fig. 10: the new route takes
-          // an even share of new connections).
+          // an even share of new connections).  Loads are adjusted by the
+          // per-route weight deltas instead of a full rebuild over every
+          // active chain.
           const double weight =
               1.0 / static_cast<double>(rec2->routes.size());
-          for (RouteRecord& r : rec2->routes) r.weight = weight;
+          const bool was_active = rec2->active;
           rec2->active = true;
-          rebuild_loads();
+          for (std::size_t i = 0; i < rec2->routes.size(); ++i) {
+            RouteRecord& r = rec2->routes[i];
+            const bool is_new = i + 1 == rec2->routes.size();
+            const double previous =
+                was_active && !is_new ? r.weight : 0.0;
+            apply_route_loads(*rec2, r, weight - previous);
+            r.weight = weight;
+          }
 
           publish_routes(*rec2);
           report.events.push_back({"routes_published", context_.sim.now()});
@@ -383,10 +426,10 @@ void GlobalSwitchboard::add_route(ChainId chain,
           }
           route_record.vnf_sites = preferred_vnf_sites;
         } else {
-          rebuild_loads();
+          ensure_loads_current();
           const te::SingleRoute route = te::find_single_route(
               context_.model, context_.model.chain(chain), loads_,
-              dp_options_);
+              dp_options_, 1.0, te::TeContext{nullptr, &scratch_});
           if (!route.found) {
             done(Result<CreationReport>{ErrorCode::kInfeasible,
                                         "no feasible additional route"});
@@ -463,6 +506,34 @@ void GlobalSwitchboard::check_invariants() const {
     if (controller != nullptr) controller->check_invariants();
   }
   loads_.check_invariants();
+
+  // The incrementally-maintained loads must match a rebuild from the
+  // active chains (within round-off from weight-delta accumulation).
+  if (loads_primed_ && model_shape() == loads_shape_) {
+    constexpr double kTolerance = 1e-6;
+    te::Loads rebuilt{context_.model};
+    rebuild_loads_into(rebuilt);
+    for (std::size_t e = 0; e < context_.model.topology().link_count(); ++e) {
+      const LinkId link{static_cast<LinkId::underlying_type>(e)};
+      SWB_CHECK_LE(std::abs(loads_.link_load(link) - rebuilt.link_load(link)),
+                   kTolerance * std::max(1.0, rebuilt.link_load(link)))
+          << "incremental link load drifted on link " << e;
+    }
+    for (std::size_t s = 0; s < context_.model.sites().size(); ++s) {
+      const SiteId site{static_cast<SiteId::underlying_type>(s)};
+      SWB_CHECK_LE(std::abs(loads_.site_load(site) - rebuilt.site_load(site)),
+                   kTolerance * std::max(1.0, rebuilt.site_load(site)))
+          << "incremental site load drifted on site " << s;
+      for (std::size_t f = 0; f < context_.model.vnfs().size(); ++f) {
+        const VnfId vnf{static_cast<VnfId::underlying_type>(f)};
+        SWB_CHECK_LE(
+            std::abs(loads_.vnf_site_load(vnf, site) -
+                     rebuilt.vnf_site_load(vnf, site)),
+            kTolerance * std::max(1.0, rebuilt.vnf_site_load(vnf, site)))
+            << "incremental vnf load drifted: vnf " << f << " site " << s;
+      }
+    }
+  }
 }
 
 void GlobalSwitchboard::on_route_ready(ChainId chain, RouteId route,

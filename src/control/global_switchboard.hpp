@@ -25,6 +25,7 @@
 #include "control/messages.hpp"
 #include "control/vnf_controller.hpp"
 #include "te/dp_routing.hpp"
+#include "te/te_engine.hpp"
 
 namespace switchboard::control {
 
@@ -131,7 +132,29 @@ class GlobalSwitchboard {
                     std::size_t attempt);
 
   void publish_routes(const ChainRecord& record);
+
+  // --- load accounting ----------------------------------------------------
+  // loads_ is maintained incrementally: committing a route applies only
+  // that chain's weight deltas (apply_route_loads) instead of re-walking
+  // every active chain.  A full rebuild happens once, and again only when
+  // the model's element counts change under us (late VNF/site/topology
+  // registration), detected by ensure_loads_current().
+  struct ModelShape {
+    std::size_t links{0};
+    std::size_t sites{0};
+    std::size_t vnfs{0};
+    friend bool operator==(const ModelShape&, const ModelShape&) = default;
+  };
+  [[nodiscard]] ModelShape model_shape() const;
+  /// Full rebuild of `loads` from the active chains' routes.
+  void rebuild_loads_into(te::Loads& loads) const;
+  /// Full rebuild of loads_ (also marks it primed for the current shape).
   void rebuild_loads();
+  /// Rebuilds loads_ only if never primed or the model was resized.
+  void ensure_loads_current();
+  /// Adds `weight_delta` of one route's traffic to loads_.
+  void apply_route_loads(const ChainRecord& record, const RouteRecord& route,
+                         double weight_delta);
   [[nodiscard]] RouteAnnouncement to_announcement(const ChainRecord& record,
                                                   const RouteRecord& route)
       const;
@@ -146,7 +169,10 @@ class GlobalSwitchboard {
   std::vector<ChainRecord> chains_;
   std::vector<PendingActivation> pending_;
   te::Loads loads_;
+  bool loads_primed_{false};
+  ModelShape loads_shape_{};
   te::DpOptions dp_options_;
+  te::DpScratch scratch_;   // reusable buffers for find_single_route
   std::uint32_t next_route_id_{0};
 };
 

@@ -25,9 +25,11 @@ double Chain::total_traffic() const {
   return total;
 }
 
-NetworkModel::NetworkModel(net::Topology topology)
+NetworkModel::NetworkModel(net::Topology topology,
+                           std::size_t routing_build_threads)
     : topology_{std::make_unique<net::Topology>(std::move(topology))},
-      routing_{std::make_unique<net::Routing>(*topology_)},
+      routing_{std::make_unique<net::Routing>(*topology_,
+                                              routing_build_threads)},
       background_(topology_->link_count(), 0.0),
       site_at_node_(topology_->node_count()) {}
 

@@ -75,7 +75,10 @@ class NetworkModel {
   /// Takes ownership of the topology; routing (delays + ECMP fractions) is
   /// computed immediately.  The topology lives behind a pointer so the
   /// model is safely movable (Routing holds a reference to it).
-  explicit NetworkModel(net::Topology topology);
+  /// `routing_build_threads` > 1 parallelizes the routing precompute
+  /// (identical output for any thread count; see net::Routing).
+  explicit NetworkModel(net::Topology topology,
+                        std::size_t routing_build_threads = 1);
 
   NetworkModel(NetworkModel&&) = default;
   NetworkModel& operator=(NetworkModel&&) = default;

@@ -16,7 +16,8 @@ NetworkModel make_scenario(const ScenarioParams& params) {
   SWB_CHECK(params.min_chain_length <= params.max_chain_length);
 
   Rng rng{params.seed};
-  NetworkModel model{net::make_tier1_topology(params.topology)};
+  NetworkModel model{net::make_tier1_topology(params.topology),
+                     params.routing_build_threads};
   const net::Topology& topo = model.topology();
   const std::size_t n = topo.node_count();
 

@@ -39,6 +39,10 @@ struct ScenarioParams {
   double background_ratio{0.25};   // background:switchboard = 1:4
   double mlu_limit{1.0};
 
+  /// Threads for the all-pairs routing precompute (see net::Routing);
+  /// the scenario is identical for any value.
+  std::size_t routing_build_threads{1};
+
   std::uint64_t seed{11};
 };
 

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/check.hpp"
+#include "sim/parallel.hpp"
 
 namespace switchboard::net {
 namespace {
@@ -15,23 +16,28 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Tolerance for "lies on a shortest path" comparisons of summed latencies.
 constexpr double kEps = 1e-9;
 
+/// Build output of one destination: the shares of every (source, t) pair,
+/// concatenated in ascending source order, plus per-source lengths.
+struct DestBuild {
+  std::vector<LinkShare> shares;
+  std::vector<std::size_t> counts;
+};
+
 }  // namespace
 
-Routing::Routing(const Topology& topo)
+Routing::Routing(const Topology& topo, std::size_t build_threads)
     : topo_{topo}, n_{topo.node_count()} {
   delay_.assign(n_ * n_, kInf);
-  shares_.resize(n_ * n_);
-
-  std::vector<double> dist(n_);
-  std::vector<double> flow(n_);
-  std::vector<NodeId> order;   // nodes by decreasing distance-to-destination
-  order.reserve(n_);
+  share_offsets_.assign(n_ * n_ + 1, 0);
+  std::vector<DestBuild> dest(n_);
 
   // One Dijkstra per *destination* over reversed links, then ECMP flow
-  // propagation from every source over the shortest-path DAG.
-  for (std::size_t t_idx = 0; t_idx < n_; ++t_idx) {
+  // propagation from every source over the shortest-path DAG.  Every
+  // destination is independent and writes only its own delay_ column and
+  // DestBuild slot, so the builds can run on any thread in any order.
+  auto build_destination = [&](std::size_t t_idx) {
     const NodeId t{static_cast<NodeId::underlying_type>(t_idx)};
-    std::fill(dist.begin(), dist.end(), kInf);
+    std::vector<double> dist(n_, kInf);
     dist[t_idx] = 0.0;
 
     using QueueEntry = std::pair<double, std::uint32_t>;
@@ -58,7 +64,8 @@ Routing::Routing(const Topology& topo)
       delay_[s_idx * n_ + t_idx] = dist[s_idx];
     }
 
-    // ECMP next hops per node for this destination.
+    // ECMP next hops per node for this destination (topology link order,
+    // which is fixed, so the per-pair share order is deterministic).
     std::vector<std::vector<LinkId>> next_hops(n_);
     for (std::size_t u = 0; u < n_; ++u) {
       if (!std::isfinite(dist[u]) || u == t_idx) continue;
@@ -73,21 +80,30 @@ Routing::Routing(const Topology& topo)
       }
     }
 
-    order.clear();
+    std::vector<NodeId> order;   // nodes by decreasing distance-to-dest
+    order.reserve(n_);
     for (std::size_t u = 0; u < n_; ++u) {
       if (std::isfinite(dist[u]) && u != t_idx) {
         order.push_back(NodeId{static_cast<NodeId::underlying_type>(u)});
       }
     }
+    // Node-id tie-break: equal-distance nodes would otherwise propagate
+    // in unstable-sort order, making the share arrays platform-dependent.
     std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-      return dist[a.value()] > dist[b.value()];
+      if (dist[a.value()] != dist[b.value()]) {
+        return dist[a.value()] > dist[b.value()];
+      }
+      return a.value() < b.value();
     });
 
+    DestBuild& out = dest[t_idx];
+    out.counts.assign(n_, 0);
+    std::vector<double> flow(n_);
     for (std::size_t s_idx = 0; s_idx < n_; ++s_idx) {
       if (s_idx == t_idx || !std::isfinite(dist[s_idx])) continue;
       std::fill(flow.begin(), flow.end(), 0.0);
       flow[s_idx] = 1.0;
-      auto& shares = shares_[s_idx * n_ + t_idx];
+      const std::size_t before = out.shares.size();
       for (const NodeId u : order) {
         // Skip nodes the s->t DAG never reaches, and nodes strictly
         // farther than s (they cannot carry s's traffic).
@@ -97,12 +113,39 @@ Routing::Routing(const Topology& topo)
         const double split =
             flow[u.value()] / static_cast<double>(hops.size());
         for (const LinkId lid : hops) {
-          shares.push_back(LinkShare{lid, split});
+          out.shares.push_back(LinkShare{lid, split});
           flow[topo_.link(lid).dst.value()] += split;
         }
       }
+      out.counts[s_idx] = out.shares.size() - before;
+    }
+  };
+
+  if (build_threads > 1 && n_ > 1) {
+    sim::BarrierWorkerPool pool{std::min(build_threads, n_)};
+    pool.run_striped(n_, build_destination);
+  } else {
+    for (std::size_t t_idx = 0; t_idx < n_; ++t_idx) {
+      build_destination(t_idx);
     }
   }
+
+  // Assemble the CSR arena destination-major: one prefix-sum pass over the
+  // per-pair counts, then a straight concatenation of the per-destination
+  // blocks.  Identical regardless of which thread built which destination.
+  std::size_t total = 0;
+  for (std::size_t t_idx = 0; t_idx < n_; ++t_idx) {
+    for (std::size_t s_idx = 0; s_idx < n_; ++s_idx) {
+      share_offsets_[t_idx * n_ + s_idx] = total;
+      total += dest[t_idx].counts[s_idx];
+    }
+  }
+  share_offsets_[n_ * n_] = total;
+  share_arena_.reserve(total);
+  for (const DestBuild& d : dest) {
+    share_arena_.insert(share_arena_.end(), d.shares.begin(), d.shares.end());
+  }
+  SWB_CHECK_EQ(share_arena_.size(), total);
 }
 
 double Routing::delay_ms(NodeId n1, NodeId n2) const {
@@ -114,10 +157,11 @@ bool Routing::reachable(NodeId n1, NodeId n2) const {
   return std::isfinite(delay_ms(n1, n2));
 }
 
-const std::vector<LinkShare>& Routing::link_shares(NodeId n1,
-                                                   NodeId n2) const {
+std::span<const LinkShare> Routing::link_shares(NodeId n1, NodeId n2) const {
   SWB_DCHECK(n1.value() < n_ && n2.value() < n_);
-  return shares_[pair_index(n1, n2)];
+  const std::size_t idx = share_index(n1, n2);
+  return {share_arena_.data() + share_offsets_[idx],
+          share_offsets_[idx + 1] - share_offsets_[idx]};
 }
 
 std::vector<NodeId> Routing::shortest_path(NodeId n1, NodeId n2) const {
@@ -127,19 +171,26 @@ std::vector<NodeId> Routing::shortest_path(NodeId n1, NodeId n2) const {
   NodeId current = n1;
   while (current != n2) {
     const double remaining = delay_ms(current, n2);
-    bool advanced = false;
+    // Among all on-a-shortest-path hops, take the smallest next-hop node
+    // id (then smallest link id) so the walk is deterministic.
+    NodeId best_next{};
+    LinkId best_link{};
     for (const LinkId lid : topo_.out_links(current)) {
       const Link& link = topo_.link(lid);
       if (std::abs(remaining -
-                   (link.latency_ms + delay_ms(link.dst, n2))) <= kEps) {
-        current = link.dst;
-        path.push_back(current);
-        advanced = true;
-        break;
+                   (link.latency_ms + delay_ms(link.dst, n2))) > kEps) {
+        continue;
+      }
+      if (!best_next.valid() || link.dst.value() < best_next.value() ||
+          (link.dst == best_next && lid.value() < best_link.value())) {
+        best_next = link.dst;
+        best_link = lid;
       }
     }
-    SWB_DCHECK(advanced);
-    if (!advanced) break;   // defensive: avoid infinite loop in release
+    SWB_DCHECK(best_next.valid());
+    if (!best_next.valid()) break;   // defensive: avoid infinite loop
+    current = best_next;
+    path.push_back(current);
   }
   return path;
 }

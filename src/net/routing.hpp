@@ -4,8 +4,22 @@
 // (Table 1): the delay matrix d_{n1 n2} and the link fractions r_{n1 n2 e}
 // (the fraction of n1->n2 traffic crossing link e under the underlay's
 // equal-cost multipath routing).
+//
+// Storage is a CSR-style arena: one contiguous LinkShare array plus an
+// (n*n + 1)-entry offset table, instead of n*n heap vectors.  The TE hot
+// path walks a pair's shares for every edge-cost evaluation, so shares of
+// one pair being contiguous (and pairs of one destination adjacent) is the
+// difference between a pointer-bump scan and a cache miss per pair.
+//
+// Construction runs one Dijkstra + ECMP flow propagation per destination;
+// destinations are independent, so the build optionally fans out across a
+// sim::BarrierWorkerPool.  Results are byte-identical for any thread count:
+// each destination fills its own pre-allocated block, ties are broken by
+// node id, and the arena is assembled in destination order afterwards.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -24,7 +38,9 @@ class Routing {
   /// Computes all-pairs shortest paths by latency and the ECMP splits.
   /// ECMP semantics: at every node, traffic toward a destination divides
   /// equally among all next hops that lie on some shortest path.
-  explicit Routing(const Topology& topo);
+  /// `build_threads` > 1 parallelizes the per-destination computation;
+  /// the result is identical for every thread count (0 means serial).
+  explicit Routing(const Topology& topo, std::size_t build_threads = 1);
 
   /// Propagation delay n1 -> n2 in ms (+inf if unreachable; 0 if n1 == n2).
   [[nodiscard]] double delay_ms(NodeId n1, NodeId n2) const;
@@ -32,22 +48,32 @@ class Routing {
   /// True if a path exists.
   [[nodiscard]] bool reachable(NodeId n1, NodeId n2) const;
 
-  /// r_{n1 n2 e} for all links with a non-zero fraction.
-  [[nodiscard]] const std::vector<LinkShare>& link_shares(NodeId n1,
-                                                          NodeId n2) const;
+  /// r_{n1 n2 e} for all links with a non-zero fraction.  The span stays
+  /// valid for the lifetime of the Routing object.
+  [[nodiscard]] std::span<const LinkShare> link_shares(NodeId n1,
+                                                       NodeId n2) const;
 
   /// One concrete shortest path (node sequence), for display/tracing.
+  /// Ties (several equal-latency next hops) break toward the smallest
+  /// next-hop node id, then the smallest link id, so the walk is
+  /// deterministic across platforms.
   [[nodiscard]] std::vector<NodeId> shortest_path(NodeId n1, NodeId n2) const;
 
  private:
   [[nodiscard]] std::size_t pair_index(NodeId n1, NodeId n2) const {
     return static_cast<std::size_t>(n1.value()) * n_ + n2.value();
   }
+  /// Shares are stored destination-major so that one destination's build
+  /// output is one contiguous block of the arena.
+  [[nodiscard]] std::size_t share_index(NodeId n1, NodeId n2) const {
+    return static_cast<std::size_t>(n2.value()) * n_ + n1.value();
+  }
 
   const Topology& topo_;
   std::size_t n_;
-  std::vector<double> delay_;                    // n_ * n_ matrix
-  std::vector<std::vector<LinkShare>> shares_;   // per (src,dst)
+  std::vector<double> delay_;                // n_ * n_ matrix, source-major
+  std::vector<std::size_t> share_offsets_;   // n_ * n_ + 1, destination-major
+  std::vector<LinkShare> share_arena_;       // all pairs' shares, contiguous
 };
 
 }  // namespace switchboard::net

@@ -37,6 +37,14 @@ void BarrierWorkerPool::run_batch(const std::function<void(std::size_t)>& fn) {
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
+void BarrierWorkerPool::run_striped(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const std::size_t workers = worker_count();
+  run_batch([&](std::size_t w) {
+    for (std::size_t i = w; i < n; i += workers) fn(i);
+  });
+}
+
 void BarrierWorkerPool::worker_loop(std::size_t index) {
   std::uint64_t seen_generation = 0;
   for (;;) {

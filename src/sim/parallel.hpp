@@ -39,6 +39,13 @@ class BarrierWorkerPool {
   /// finished (the per-batch barrier).  Not reentrant: one batch at a time.
   void run_batch(const std::function<void(std::size_t)>& fn);
 
+  /// Runs fn(i) for every i in [0, n) with a deterministic static
+  /// partition: worker w takes the indices congruent to w modulo the
+  /// worker count.  The assignment depends only on n and worker_count(),
+  /// so callers that make per-index results order-independent (each index
+  /// writes its own slot) get output identical for any thread count.
+  void run_striped(std::size_t n, const std::function<void(std::size_t)>& fn);
+
  private:
   void worker_loop(std::size_t index);
 

@@ -33,3 +33,4 @@
 #include "te/dp_routing.hpp"
 #include "te/evaluator.hpp"
 #include "te/lp_routing.hpp"
+#include "te/te_engine.hpp"

@@ -3,221 +3,273 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
+#include "te/te_engine.hpp"
 
 namespace switchboard::te {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// cost(s', z, s): move stage-z traffic from node n1 to node n2, entering
-/// the stage's destination VNF (if any) at `dst_site`.
-double edge_cost(const model::NetworkModel& model, const Loads& loads,
-                 const DpOptions& opt, NodeId n1, NodeId n2,
-                 VnfId dst_vnf, SiteId dst_site) {
-  double cost = model.delay_ms(n1, n2);
-  if (!std::isfinite(cost)) return kInf;
-  if (!opt.use_utilization_costs) return cost;
-
-  if (n1 != n2) {
-    double network = 0.0;
-    for (const net::LinkShare& share : model.routing().link_shares(n1, n2)) {
-      network +=
-          share.fraction * opt.utilization_cost(
-                               std::max(0.0, loads.link_utilization(share.link)));
-    }
-    cost += opt.network_cost_weight * network;
+/// Edge cost through the optional cache (identical bits either way).
+inline double edge_cost(const model::NetworkModel& model, const Loads& loads,
+                        const DpOptions& opt, EdgeCostCache* cache, NodeId n1,
+                        NodeId n2, VnfId dst_vnf, SiteId dst_site) {
+  if (cache != nullptr) {
+    return cache->edge_cost(model, loads, opt, n1, n2, dst_vnf, dst_site);
   }
-  if (dst_vnf.valid()) {
-    cost += opt.compute_cost_weight *
-            opt.utilization_cost(
-                std::max(0.0, loads.vnf_site_utilization(dst_vnf, dst_site)));
-  }
-  return cost;
+  return stage_edge_cost(model, loads, opt, n1, n2, dst_vnf, dst_site);
 }
 
-/// The node/site sequence of one candidate route through the chain:
-/// path[0] = ingress, path[K] = VNF K's site node, path[K+1] = egress.
-struct CandidateRoute {
-  std::vector<NodeId> nodes;
-  std::vector<SiteId> sites;   // invalid at positions 0 and K+1
-  bool found{false};
-};
-
-/// Full-chain DP (Eq. 8) or greedy per-hop (ONEHOP ablation).
-CandidateRoute find_route(const model::NetworkModel& model, const Loads& loads,
-                          const model::Chain& chain, const DpOptions& opt) {
+/// Full-chain DP (Eq. 8) or greedy per-hop (ONEHOP ablation).  On success
+/// leaves the route in scratch.route_nodes / scratch.route_sites
+/// (position 0 = ingress, position stage_count() = egress).
+bool find_route(const model::NetworkModel& model, const Loads& loads,
+                const model::Chain& chain, const DpOptions& opt,
+                DpScratch& scratch, EdgeCostCache* cache) {
   const std::size_t stages = chain.stage_count();
-  CandidateRoute route;
+  scratch.route_nodes.clear();
+  scratch.route_sites.clear();
 
-  // Per stage z (1..K+1), candidate destinations with positive headroom.
-  std::vector<std::vector<model::StageEndpoint>> dests(stages + 1);
+  // Per stage z (1..K+1), candidate destinations with positive headroom
+  // (same order as model.stage_destinations: VNF deployment order).
+  if (scratch.dests.size() < stages + 1) scratch.dests.resize(stages + 1);
   for (std::size_t z = 1; z <= stages; ++z) {
-    for (const model::StageEndpoint& ep : model.stage_destinations(chain, z)) {
-      if (z < stages) {
-        const VnfId f = chain.vnfs[z - 1];
-        if (opt.site_allowed && !opt.site_allowed(f, ep.site)) continue;
-        if (loads.vnf_site_headroom(f, ep.site) <= 0.0) continue;
-        if (loads.site_headroom(ep.site) <= 0.0) continue;
+    auto& dests = scratch.dests[z];
+    dests.clear();
+    if (z == stages) {
+      dests.push_back(model::StageEndpoint{chain.egress, SiteId{}});
+    } else {
+      const VnfId f = chain.vnfs[z - 1];
+      for (const model::VnfDeployment& dep : model.vnf(f).deployments) {
+        if (opt.site_allowed && !opt.site_allowed(f, dep.site)) continue;
+        if (loads.vnf_site_headroom(f, dep.site) <= 0.0) continue;
+        if (loads.site_headroom(dep.site) <= 0.0) continue;
+        dests.push_back(
+            model::StageEndpoint{model.site(dep.site).node, dep.site});
       }
-      dests[z].push_back(ep);
     }
-    if (dests[z].empty()) return route;   // no feasible site for some VNF
+    if (dests.empty()) return false;   // no feasible site for some VNF
   }
 
   if (opt.per_hop) {
     // Greedy: from the current node, take the cheapest next endpoint.
-    route.nodes.push_back(chain.ingress);
-    route.sites.push_back(SiteId{});
+    scratch.route_nodes.push_back(chain.ingress);
+    scratch.route_sites.push_back(SiteId{});
     NodeId current = chain.ingress;
     for (std::size_t z = 1; z <= stages; ++z) {
+      const auto& dests = scratch.dests[z];
       const VnfId dst_vnf = z < stages ? chain.vnfs[z - 1] : VnfId{};
       double best = kInf;
-      std::size_t best_i = dests[z].size();
-      for (std::size_t i = 0; i < dests[z].size(); ++i) {
-        const model::StageEndpoint& ep = dests[z][i];
-        const double c = edge_cost(model, loads, opt, current, ep.node,
+      std::size_t best_i = dests.size();
+      for (std::size_t i = 0; i < dests.size(); ++i) {
+        const model::StageEndpoint& ep = dests[i];
+        const double c = edge_cost(model, loads, opt, cache, current, ep.node,
                                    dst_vnf, ep.site);
         if (c < best) {
           best = c;
           best_i = i;
         }
       }
-      if (best_i == dests[z].size()) return route;
-      current = dests[z][best_i].node;
-      route.nodes.push_back(current);
-      route.sites.push_back(dests[z][best_i].site);
+      if (best_i == dests.size()) return false;
+      current = dests[best_i].node;
+      scratch.route_nodes.push_back(current);
+      scratch.route_sites.push_back(dests[best_i].site);
     }
-    route.found = true;
-    return route;
+    return true;
   }
 
   // Holistic DP over the whole chain.
-  // E[z][i]: least cost of reaching dests[z][i]; prev[z][i]: argmin index.
-  std::vector<std::vector<double>> E(stages + 1);
-  std::vector<std::vector<std::size_t>> prev(stages + 1);
-  std::vector<model::StageEndpoint> start{
-      model::StageEndpoint{chain.ingress, SiteId{}}};
+  // cost[z][i]: least cost of reaching dests[z][i]; prev[z][i]: argmin.
+  if (scratch.cost.size() < stages + 1) {
+    scratch.cost.resize(stages + 1);
+    scratch.prev.resize(stages + 1);
+  }
+  const model::StageEndpoint start{chain.ingress, SiteId{}};
 
   for (std::size_t z = 1; z <= stages; ++z) {
-    const auto& sources = z == 1 ? start : dests[z - 1];
+    const auto& dests = scratch.dests[z];
+    const model::StageEndpoint* sources = &start;
+    std::size_t source_count = 1;
+    if (z > 1) {
+      sources = scratch.dests[z - 1].data();
+      source_count = scratch.dests[z - 1].size();
+    }
     const VnfId dst_vnf = z < stages ? chain.vnfs[z - 1] : VnfId{};
-    E[z].assign(dests[z].size(), kInf);
-    prev[z].assign(dests[z].size(), 0);
-    for (std::size_t i = 0; i < dests[z].size(); ++i) {
-      const model::StageEndpoint& to = dests[z][i];
-      for (std::size_t j = 0; j < sources.size(); ++j) {
-        const double base = z == 1 ? 0.0 : E[z - 1][j];
+    scratch.cost[z].assign(dests.size(), kInf);
+    scratch.prev[z].assign(dests.size(), 0);
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      const model::StageEndpoint& to = dests[i];
+      for (std::size_t j = 0; j < source_count; ++j) {
+        const double base = z == 1 ? 0.0 : scratch.cost[z - 1][j];
         if (!std::isfinite(base)) continue;
-        const double c = base + edge_cost(model, loads, opt, sources[j].node,
-                                          to.node, dst_vnf, to.site);
-        if (c < E[z][i]) {
-          E[z][i] = c;
-          prev[z][i] = j;
+        const double c = base + edge_cost(model, loads, opt, cache,
+                                          sources[j].node, to.node, dst_vnf,
+                                          to.site);
+        if (c < scratch.cost[z][i]) {
+          scratch.cost[z][i] = c;
+          scratch.prev[z][i] = j;
         }
       }
     }
   }
 
   // Egress stage has exactly one destination.
-  SWB_DCHECK(dests[stages].size() == 1);
-  if (!std::isfinite(E[stages][0])) return route;
+  SWB_DCHECK(scratch.dests[stages].size() == 1);
+  if (!std::isfinite(scratch.cost[stages][0])) return false;
 
   // Reconstruct back-to-front.
-  route.nodes.assign(stages + 1, NodeId{});
-  route.sites.assign(stages + 1, SiteId{});
-  route.nodes[stages] = chain.egress;
+  scratch.route_nodes.assign(stages + 1, NodeId{});
+  scratch.route_sites.assign(stages + 1, SiteId{});
+  scratch.route_nodes[stages] = chain.egress;
   std::size_t index = 0;
   for (std::size_t z = stages; z >= 1; --z) {
-    const std::size_t source_index = prev[z][index];
+    const std::size_t source_index = scratch.prev[z][index];
     if (z == 1) {
-      route.nodes[0] = chain.ingress;
+      scratch.route_nodes[0] = chain.ingress;
     } else {
-      route.nodes[z - 1] = dests[z - 1][source_index].node;
-      route.sites[z - 1] = dests[z - 1][source_index].site;
+      scratch.route_nodes[z - 1] = scratch.dests[z - 1][source_index].node;
+      scratch.route_sites[z - 1] = scratch.dests[z - 1][source_index].site;
     }
     index = source_index;
   }
-  route.found = true;
-  return route;
+  return true;
 }
 
 /// Largest fraction of the chain the route can carry against residual
-/// capacity (links under MLU, sites, VNF-site deployments).
+/// capacity (links under MLU, sites, VNF-site deployments).  Uses the
+/// scratch demand accumulators (left zeroed on return).
 double max_admissible_fraction(const model::NetworkModel& model,
                                const Loads& loads, const model::Chain& chain,
-                               const CandidateRoute& route,
-                               double remaining) {
+                               const std::vector<NodeId>& route_nodes,
+                               const std::vector<SiteId>& route_sites,
+                               double remaining, DpScratch& scratch) {
   const std::size_t stages = chain.stage_count();
+  scratch.ensure_sized(model);
+  SWB_DCHECK(scratch.touched_links.empty());
 
   // Per-unit-fraction loads this route imposes, aggregated per resource
   // (a link or a site can appear in several stages of the same chain).
-  std::unordered_map<LinkId::underlying_type, double> link_demand;
-  std::unordered_map<SiteId::underlying_type, double> site_demand;
-  std::unordered_map<std::size_t, double> vnf_site_demand;   // f * S + s
-
   const std::size_t site_count = model.sites().size();
+  const auto accumulate = [](std::vector<double>& demand,
+                             std::vector<std::size_t>& touched,
+                             std::size_t index, double amount) {
+    double& slot = demand[index];
+    if (slot == 0.0) touched.push_back(index);
+    slot += amount;
+  };
+
   for (std::size_t z = 1; z <= stages; ++z) {
-    const NodeId n1 = route.nodes[z - 1];
-    const NodeId n2 = route.nodes[z];
+    const NodeId n1 = route_nodes[z - 1];
+    const NodeId n2 = route_nodes[z];
     const double w = chain.forward_traffic[z - 1];
     const double v = chain.reverse_traffic[z - 1];
     if (n1 != n2) {
-      for (const net::LinkShare& share : model.routing().link_shares(n1, n2)) {
-        link_demand[share.link.value()] += w * share.fraction;
+      if (w != 0.0) {
+        for (const net::LinkShare& share :
+             model.routing().link_shares(n1, n2)) {
+          accumulate(scratch.link_demand, scratch.touched_links,
+                     share.link.value(), w * share.fraction);
+        }
       }
-      for (const net::LinkShare& share : model.routing().link_shares(n2, n1)) {
-        link_demand[share.link.value()] += v * share.fraction;
+      if (v != 0.0) {
+        for (const net::LinkShare& share :
+             model.routing().link_shares(n2, n1)) {
+          accumulate(scratch.link_demand, scratch.touched_links,
+                     share.link.value(), v * share.fraction);
+        }
       }
     }
     if (z < stages) {
       const VnfId f = chain.vnfs[z - 1];
-      const SiteId s = route.sites[z];
+      const SiteId s = route_sites[z];
       const double load =
           model.vnf(f).load_per_unit * (w + v + chain.forward_traffic[z] +
                                         chain.reverse_traffic[z]);
-      vnf_site_demand[static_cast<std::size_t>(f.value()) * site_count +
-                      s.value()] += load;
-      site_demand[s.value()] += load;
+      accumulate(scratch.vnf_site_demand, scratch.touched_vnf_sites,
+                 static_cast<std::size_t>(f.value()) * site_count + s.value(),
+                 load);
+      accumulate(scratch.site_demand, scratch.touched_sites, s.value(), load);
     }
   }
 
   double fraction = remaining;
-  for (const auto& [link_raw, demand] : link_demand) {
+  for (const std::size_t link_raw : scratch.touched_links) {
+    const double demand = scratch.link_demand[link_raw];
+    scratch.link_demand[link_raw] = 0.0;
     if (demand <= 0) continue;
-    const double headroom = loads.link_headroom(LinkId{link_raw});
+    const double headroom = loads.link_headroom(
+        LinkId{static_cast<LinkId::underlying_type>(link_raw)});
     fraction = std::min(fraction, std::max(0.0, headroom) / demand);
   }
-  for (const auto& [site_raw, demand] : site_demand) {
+  for (const std::size_t site_raw : scratch.touched_sites) {
+    const double demand = scratch.site_demand[site_raw];
+    scratch.site_demand[site_raw] = 0.0;
     if (demand <= 0) continue;
-    const double headroom = loads.site_headroom(SiteId{site_raw});
+    const double headroom = loads.site_headroom(
+        SiteId{static_cast<SiteId::underlying_type>(site_raw)});
     fraction = std::min(fraction, std::max(0.0, headroom) / demand);
   }
-  for (const auto& [key, demand] : vnf_site_demand) {
+  for (const std::size_t key : scratch.touched_vnf_sites) {
+    const double demand = scratch.vnf_site_demand[key];
+    scratch.vnf_site_demand[key] = 0.0;
     if (demand <= 0) continue;
     const VnfId f{static_cast<VnfId::underlying_type>(key / site_count)};
     const SiteId s{static_cast<SiteId::underlying_type>(key % site_count)};
     const double headroom = loads.vnf_site_headroom(f, s);
     fraction = std::min(fraction, std::max(0.0, headroom) / demand);
   }
+  scratch.touched_links.clear();
+  scratch.touched_sites.clear();
+  scratch.touched_vnf_sites.clear();
   return fraction;
 }
 
 }  // namespace
 
+double stage_edge_cost(const model::NetworkModel& model, const Loads& loads,
+                       const DpOptions& options, NodeId n1, NodeId n2,
+                       VnfId dst_vnf, SiteId dst_site) {
+  double cost = model.delay_ms(n1, n2);
+  if (!std::isfinite(cost)) return kInf;
+  if (!options.use_utilization_costs) return cost;
+
+  if (n1 != n2) {
+    double network = 0.0;
+    for (const net::LinkShare& share : model.routing().link_shares(n1, n2)) {
+      network += share.fraction *
+                 options.utilization_cost(
+                     std::max(0.0, loads.link_utilization(share.link)));
+    }
+    cost += options.network_cost_weight * network;
+  }
+  if (dst_vnf.valid()) {
+    cost += options.compute_cost_weight *
+            options.utilization_cost(
+                std::max(0.0, loads.vnf_site_utilization(dst_vnf, dst_site)));
+  }
+  return cost;
+}
+
 SingleRoute find_single_route(const model::NetworkModel& model,
                               const model::Chain& chain, const Loads& loads,
-                              const DpOptions& options, double remaining) {
-  const CandidateRoute candidate = find_route(model, loads, chain, options);
+                              const DpOptions& options, double remaining,
+                              TeContext ctx) {
+  DpScratch local;
+  DpScratch& scratch = ctx.scratch != nullptr ? *ctx.scratch : local;
+  if (ctx.cache != nullptr) ctx.cache->bind(model, loads);
+
   SingleRoute route;
-  if (!candidate.found) return route;
-  route.nodes = candidate.nodes;
-  route.sites = candidate.sites;
+  if (!find_route(model, loads, chain, options, scratch, ctx.cache)) {
+    return route;
+  }
   route.admissible_fraction =
-      max_admissible_fraction(model, loads, chain, candidate, remaining);
+      max_admissible_fraction(model, loads, chain, scratch.route_nodes,
+                              scratch.route_sites, remaining, scratch);
+  route.nodes = scratch.route_nodes;
+  route.sites = scratch.route_sites;
   route.found = true;
   return route;
 }
@@ -227,30 +279,33 @@ double route_admissible_fraction(const model::NetworkModel& model,
                                  const std::vector<NodeId>& route_nodes,
                                  const std::vector<SiteId>& route_sites,
                                  const Loads& loads, double remaining) {
-  CandidateRoute candidate;
-  candidate.nodes = route_nodes;
-  candidate.sites = route_sites;
-  candidate.found = true;
-  return max_admissible_fraction(model, loads, chain, candidate, remaining);
+  DpScratch scratch;
+  return max_admissible_fraction(model, loads, chain, route_nodes,
+                                 route_sites, remaining, scratch);
 }
 
 double route_chain_dp(const model::NetworkModel& model,
                       const model::Chain& chain, Loads& loads,
-                      ChainRouting& routing, const DpOptions& options) {
+                      ChainRouting& routing, const DpOptions& options,
+                      TeContext ctx) {
+  DpScratch local;
+  DpScratch& scratch = ctx.scratch != nullptr ? *ctx.scratch : local;
+  if (ctx.cache != nullptr) ctx.cache->bind(model, loads);
+
   double remaining = 1.0;
   for (std::size_t round = 0;
        round < options.max_routes_per_chain && remaining > options.min_fraction;
        ++round) {
-    const CandidateRoute route = find_route(model, loads, chain, options);
-    if (!route.found) break;
+    if (!find_route(model, loads, chain, options, scratch, ctx.cache)) break;
     const double fraction =
-        max_admissible_fraction(model, loads, chain, route, remaining);
+        max_admissible_fraction(model, loads, chain, scratch.route_nodes,
+                                scratch.route_sites, remaining, scratch);
     if (fraction <= options.min_fraction) break;
     for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
-      routing.add_flow(chain.id, z, route.nodes[z - 1], route.nodes[z],
-                       fraction);
-      loads.add_stage_flow(chain, z, route.nodes[z - 1], route.nodes[z],
-                           fraction);
+      routing.add_flow(chain.id, z, scratch.route_nodes[z - 1],
+                       scratch.route_nodes[z], fraction);
+      loads.add_stage_flow(chain, z, scratch.route_nodes[z - 1],
+                           scratch.route_nodes[z], fraction);
     }
     remaining -= fraction;
   }
@@ -258,7 +313,11 @@ double route_chain_dp(const model::NetworkModel& model,
 }
 
 DpResult solve_dp_routing(const model::NetworkModel& model,
-                          const DpOptions& options) {
+                          const DpOptions& options, TeContext ctx) {
+  DpScratch local;
+  TeContext inner = ctx;
+  if (inner.scratch == nullptr) inner.scratch = &local;
+
   DpResult result;
   result.routing.resize(model.chains().size());
   Loads loads{model};
@@ -266,7 +325,7 @@ DpResult solve_dp_routing(const model::NetworkModel& model,
     result.routing.init_chain(chain.id, chain.stage_count());
     result.demand_volume += chain.total_traffic();
     const double routed =
-        route_chain_dp(model, chain, loads, result.routing, options);
+        route_chain_dp(model, chain, loads, result.routing, options, inner);
     result.routed_volume += routed * chain.total_traffic();
     if (routed >= 1.0 - 1e-9) {
       ++result.fully_routed_chains;

@@ -25,6 +25,19 @@
 
 namespace switchboard::te {
 
+class EdgeCostCache;   // te/te_engine.hpp
+struct DpScratch;      // te/te_engine.hpp
+
+/// Optional acceleration state threaded through the DP solver.  Both
+/// pointers may be null: `scratch` substitutes caller-owned reusable
+/// buffers for per-call allocations, `cache` memoizes edge-cost
+/// utilization terms (bit-identical results either way; see
+/// te/te_engine.hpp).
+struct TeContext {
+  EdgeCostCache* cache{nullptr};
+  DpScratch* scratch{nullptr};
+};
+
 struct DpOptions {
   /// Weight (ms-equivalents) of one unit of Fortz-Thorup network cost.
   double network_cost_weight{10.0};
@@ -55,6 +68,16 @@ struct SingleRoute {
   bool found{false};
 };
 
+/// cost(s', z, s) of Eq. 8 against current loads: move stage traffic from
+/// node n1 to node n2, entering `dst_vnf` (if valid) at `dst_site`.  The
+/// cache-free reference implementation; EdgeCostCache::edge_cost must
+/// return identical bits on the same inputs.
+[[nodiscard]] double stage_edge_cost(const model::NetworkModel& model,
+                                     const Loads& loads,
+                                     const DpOptions& options, NodeId n1,
+                                     NodeId n2, VnfId dst_vnf,
+                                     SiteId dst_site);
+
 /// Computes the least-cost route for one chain against current loads
 /// without admitting any traffic.  `remaining` caps the admissible
 /// fraction reported.
@@ -62,7 +85,8 @@ struct SingleRoute {
                                             const model::Chain& chain,
                                             const Loads& loads,
                                             const DpOptions& options,
-                                            double remaining = 1.0);
+                                            double remaining = 1.0,
+                                            TeContext ctx = {});
 
 /// Loads/admission bookkeeping for a known route: the largest fraction the
 /// route can carry against `loads` (same computation the DP router uses).
@@ -82,13 +106,15 @@ struct DpResult {
 
 /// Routes every chain in the model in order, sharing one load state.
 [[nodiscard]] DpResult solve_dp_routing(const model::NetworkModel& model,
-                                        const DpOptions& options = {});
+                                        const DpOptions& options = {},
+                                        TeContext ctx = {});
 
 /// Routes a single chain against existing loads; appends flows to
 /// `routing` (the chain must already be init'ed there) and updates
 /// `loads`.  Returns the fraction of the chain admitted in [0, 1].
 double route_chain_dp(const model::NetworkModel& model,
                       const model::Chain& chain, Loads& loads,
-                      ChainRouting& routing, const DpOptions& options);
+                      ChainRouting& routing, const DpOptions& options,
+                      TeContext ctx = {});
 
 }  // namespace switchboard::te

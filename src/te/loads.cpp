@@ -12,13 +12,20 @@ Loads::Loads(const model::NetworkModel& model)
       site_count_{model.sites().size()},
       link_load_(model.topology().link_count(), 0.0),
       site_load_(site_count_, 0.0),
-      vnf_site_load_(model.vnfs().size() * site_count_, 0.0) {}
+      vnf_site_load_(model.vnfs().size() * site_count_, 0.0),
+      link_epoch_(link_load_.size(), 1),
+      vnf_site_epoch_(vnf_site_load_.size(), 1) {}
 
 void Loads::reset() {
   site_count_ = model_.sites().size();
   link_load_.assign(model_.topology().link_count(), 0.0);
   site_load_.assign(site_count_, 0.0);
   vnf_site_load_.assign(model_.vnfs().size() * site_count_, 0.0);
+  // Stamp every slot with a fresh version: values cached before the reset
+  // carry an older stamp and fail the epoch check.
+  ++version_;
+  link_epoch_.assign(link_load_.size(), version_);
+  vnf_site_epoch_.assign(vnf_site_load_.size(), version_);
 }
 
 void Loads::add_stage_flow(const model::Chain& chain, std::size_t z,
@@ -26,6 +33,7 @@ void Loads::add_stage_flow(const model::Chain& chain, std::size_t z,
   SWB_DCHECK(z >= 1 && z <= chain.stage_count());
   const double w = chain.forward_traffic[z - 1] * fraction;
   const double v = chain.reverse_traffic[z - 1] * fraction;
+  ++version_;
 
   // Link load: forward direction follows r_{n1 n2 e}; reverse traffic of
   // the same stage crosses r_{n2 n1 e} (symmetric return, Section 5.3).
@@ -33,11 +41,13 @@ void Loads::add_stage_flow(const model::Chain& chain, std::size_t z,
     if (w != 0.0) {
       for (const net::LinkShare& share : model_.routing().link_shares(n1, n2)) {
         link_load_[share.link.value()] += w * share.fraction;
+        link_epoch_[share.link.value()] = version_;
       }
     }
     if (v != 0.0) {
       for (const net::LinkShare& share : model_.routing().link_shares(n2, n1)) {
         link_load_[share.link.value()] += v * share.fraction;
+        link_epoch_[share.link.value()] = version_;
       }
     }
   }
@@ -51,6 +61,7 @@ void Loads::add_stage_flow(const model::Chain& chain, std::size_t z,
     SWB_DCHECK(site.has_value());
     const double load = model_.vnf(f).load_per_unit * stage_volume;
     vnf_site_load_[vnf_site_index(f, *site)] += load;
+    vnf_site_epoch_[vnf_site_index(f, *site)] = version_;
     site_load_[site->value()] += load;
   }
   if (z > 1) {
@@ -59,6 +70,7 @@ void Loads::add_stage_flow(const model::Chain& chain, std::size_t z,
     SWB_DCHECK(site.has_value());
     const double load = model_.vnf(f).load_per_unit * stage_volume;
     vnf_site_load_[vnf_site_index(f, *site)] += load;
+    vnf_site_epoch_[vnf_site_index(f, *site)] = version_;
     site_load_[site->value()] += load;
   }
 }
@@ -112,6 +124,10 @@ void Loads::check_invariants(double tolerance) const {
   SWB_CHECK_EQ(link_load_.size(), model_.topology().link_count());
   SWB_CHECK_EQ(site_load_.size(), site_count_);
   SWB_CHECK_EQ(vnf_site_load_.size(), model_.vnfs().size() * site_count_);
+  SWB_CHECK_EQ(link_epoch_.size(), link_load_.size());
+  SWB_CHECK_EQ(vnf_site_epoch_.size(), vnf_site_load_.size());
+  for (const std::uint64_t e : link_epoch_) SWB_CHECK_LE(e, version_);
+  for (const std::uint64_t e : vnf_site_epoch_) SWB_CHECK_LE(e, version_);
 
   for (std::size_t e = 0; e < link_load_.size(); ++e) {
     SWB_CHECK(std::isfinite(link_load_[e])) << "link " << e;

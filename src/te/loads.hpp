@@ -7,8 +7,10 @@
 // traffic (Eqs. 6-7).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/types.hpp"
 #include "model/network_model.hpp"
 
@@ -46,6 +48,26 @@ class Loads {
 
   [[nodiscard]] const model::NetworkModel& model() const { return model_; }
 
+  // --- change epochs ------------------------------------------------------
+  // Monotonic counters for cost caching (te::EdgeCostCache): `version()`
+  // advances on every mutation (add_stage_flow or reset), and each link /
+  // (vnf, site) slot records the version of its last change.  A value
+  // cached at version V for a set of resources is still valid iff every
+  // resource's epoch is <= V.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t link_epoch(LinkId e) const {
+    SWB_DCHECK(e.value() < link_epoch_.size());
+    return link_epoch_[e.value()];
+  }
+  [[nodiscard]] std::uint64_t vnf_site_epoch(VnfId f, SiteId s) const {
+    SWB_DCHECK(vnf_site_index(f, s) < vnf_site_epoch_.size());
+    return vnf_site_epoch_[vnf_site_index(f, s)];
+  }
+  /// Raw epoch arrays for hot-loop validation walks.
+  [[nodiscard]] const std::vector<std::uint64_t>& link_epochs() const {
+    return link_epoch_;
+  }
+
   /// Audits the accounting (aborts via SWB_CHECK on violation): vectors
   /// sized to the model, every load finite and (up to round-off from
   /// negative-fraction removals) non-negative, and the per-site totals
@@ -68,6 +90,10 @@ class Loads {
   std::vector<double> link_load_;
   std::vector<double> site_load_;
   std::vector<double> vnf_site_load_;
+  // Change tracking: version_ starts at 1 so a zero stamp is never valid.
+  std::uint64_t version_{1};
+  std::vector<std::uint64_t> link_epoch_;
+  std::vector<std::uint64_t> vnf_site_epoch_;
 };
 
 }  // namespace switchboard::te

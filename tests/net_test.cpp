@@ -120,6 +120,67 @@ TEST(Routing, SelfPathIsTrivial) {
   EXPECT_TRUE(routing.link_shares(NodeId{1}, NodeId{1}).empty());
 }
 
+/// The parallel build must be byte-identical to the serial one: same
+/// delays, same link shares, in the same order, for every thread count.
+void expect_identical_routing(const Topology& topo, const Routing& serial,
+                              const Routing& parallel) {
+  const std::size_t n = topo.node_count();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const NodeId src{static_cast<NodeId::underlying_type>(s)};
+      const NodeId dst{static_cast<NodeId::underlying_type>(t)};
+      const double a = serial.delay_ms(src, dst);
+      const double b = parallel.delay_ms(src, dst);
+      // Bit-equality (inf == inf holds; both sides run identical
+      // arithmetic, so no tolerance is needed or wanted).
+      ASSERT_EQ(a, b) << s << " -> " << t;
+      const auto sa = serial.link_shares(src, dst);
+      const auto sb = parallel.link_shares(src, dst);
+      ASSERT_EQ(sa.size(), sb.size()) << s << " -> " << t;
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        ASSERT_EQ(sa[i].link, sb[i].link) << s << " -> " << t << " #" << i;
+        ASSERT_EQ(sa[i].fraction, sb[i].fraction)
+            << s << " -> " << t << " #" << i;
+      }
+    }
+  }
+}
+
+TEST(Routing, ParallelBuildMatchesSerial) {
+  Tier1Params params;
+  params.core_count = 6;
+  params.access_per_core = 3;
+  for (const std::uint64_t seed : {7u, 11u, 42u}) {
+    params.seed = seed;
+    const Topology topo = make_tier1_topology(params);
+    const Routing serial{topo, 1};
+    for (const std::size_t threads : {2u, 4u, 7u}) {
+      const Routing parallel{topo, threads};
+      expect_identical_routing(topo, serial, parallel);
+    }
+  }
+}
+
+TEST(Routing, ParallelBuildMoreThreadsThanDestinations) {
+  const Topology topo = make_square_topology(10.0, 10.0);
+  const Routing serial{topo, 1};
+  const Routing parallel{topo, 16};   // 16 workers, 4 destinations
+  expect_identical_routing(topo, serial, parallel);
+}
+
+TEST(Routing, ShortestPathTieBreaksDeterministically) {
+  // a->c has two equal-cost paths (via b = node 1, via d = node 3); the
+  // walk must pick the smallest next-hop node id, i.e. go through b.
+  const Topology topo = make_square_topology(10.0, 10.0);
+  const Routing routing{topo};
+  const auto path = routing.shortest_path(NodeId{0}, NodeId{2});
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], NodeId{1});
+  // And repeated construction yields the same walk.
+  const Routing again{topo};
+  EXPECT_EQ(again.shortest_path(NodeId{0}, NodeId{2}), path);
+}
+
 // ------------------------------------------------------------ TopologyGen
 
 TEST(TopologyGen, Tier1IsConnected) {

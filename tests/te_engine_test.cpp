@@ -1,0 +1,294 @@
+// Unit tests for the TE engine layer (te/te_engine.hpp): Loads change
+// epochs, the epoch-validated edge-cost cache, and TeEngine's incremental
+// re-solve API.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "model/network_model.hpp"
+#include "model/scenario.hpp"
+#include "net/topology_gen.hpp"
+#include "te/dp_routing.hpp"
+#include "te/evaluator.hpp"
+#include "te/loads.hpp"
+#include "te/te_engine.hpp"
+
+namespace switchboard::te {
+namespace {
+
+using model::Chain;
+using model::NetworkModel;
+
+/// Line A(0) - M(1) - B(2), 5 ms per hop; one VNF deployed at two sites.
+struct LineFixture {
+  NetworkModel m{net::make_line_topology(3, 10.0, 5.0)};
+  SiteId site_a;
+  SiteId site_m;
+  SiteId site_b;
+  VnfId fw;
+  ChainId chain;
+
+  LineFixture() {
+    site_a = m.add_site(NodeId{0}, 1000.0, "A");
+    site_m = m.add_site(NodeId{1}, 1000.0, "M");
+    site_b = m.add_site(NodeId{2}, 1000.0, "B");
+    fw = m.add_vnf("fw", 1.0);
+    m.deploy_vnf(fw, site_m, 100.0);
+    m.deploy_vnf(fw, site_b, 100.0);
+    Chain c;
+    c.ingress = NodeId{0};
+    c.egress = NodeId{2};
+    c.vnfs = {fw};
+    c.forward_traffic = {2.0, 2.0};
+    c.reverse_traffic = {0.0, 0.0};
+    chain = m.add_chain(std::move(c));
+  }
+
+  [[nodiscard]] LinkId link_between(NodeId src, NodeId dst) const {
+    for (const net::Link& link : m.topology().links()) {
+      if (link.src == src && link.dst == dst) return link.id;
+    }
+    return LinkId{};
+  }
+};
+
+model::ScenarioParams small_scenario(std::uint64_t seed) {
+  model::ScenarioParams params;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+  params.vnf_count = 6;
+  params.chain_count = 15;
+  params.coverage = 0.5;
+  params.total_chain_traffic = 200.0;
+  params.site_capacity = 300.0;
+  params.seed = seed;
+  return params;
+}
+
+// ------------------------------------------------------------ Loads epochs
+
+TEST(LoadsEpochs, VersionAdvancesOnMutation) {
+  LineFixture fx;
+  Loads loads{fx.m};
+  const std::uint64_t v0 = loads.version();
+  EXPECT_GE(v0, 1u);   // version 0 must never exist (0 = empty stamp)
+  loads.add_stage_flow(fx.m.chain(fx.chain), 1, NodeId{0}, NodeId{1}, 0.5);
+  EXPECT_GT(loads.version(), v0);
+  const std::uint64_t v1 = loads.version();
+  loads.reset();
+  EXPECT_GT(loads.version(), v1);
+}
+
+TEST(LoadsEpochs, OnlyTouchedResourcesAreStamped) {
+  LineFixture fx;
+  Loads loads{fx.m};
+  const LinkId used = fx.link_between(NodeId{0}, NodeId{1});
+  const LinkId untouched = fx.link_between(NodeId{1}, NodeId{2});
+  ASSERT_TRUE(used.valid());
+  ASSERT_TRUE(untouched.valid());
+
+  const std::uint64_t before = loads.link_epoch(untouched);
+  // Stage 1 A -> M: touches the 0->1 link and (fw, M), nothing else.
+  loads.add_stage_flow(fx.m.chain(fx.chain), 1, NodeId{0}, NodeId{1}, 0.5);
+  EXPECT_EQ(loads.link_epoch(used), loads.version());
+  EXPECT_EQ(loads.link_epoch(untouched), before);
+  EXPECT_EQ(loads.vnf_site_epoch(fx.fw, fx.site_m), loads.version());
+  EXPECT_LT(loads.vnf_site_epoch(fx.fw, fx.site_b), loads.version());
+}
+
+TEST(LoadsEpochs, ResetStampsEverySlot) {
+  LineFixture fx;
+  Loads loads{fx.m};
+  loads.add_stage_flow(fx.m.chain(fx.chain), 1, NodeId{0}, NodeId{1}, 0.5);
+  loads.reset();
+  for (const net::Link& link : fx.m.topology().links()) {
+    EXPECT_EQ(loads.link_epoch(link.id), loads.version());
+  }
+  EXPECT_EQ(loads.vnf_site_epoch(fx.fw, fx.site_m), loads.version());
+  EXPECT_EQ(loads.vnf_site_epoch(fx.fw, fx.site_b), loads.version());
+}
+
+// ---------------------------------------------------------- EdgeCostCache
+
+/// Every (pair, vnf-site) combination the DP would query, compared against
+/// the uncached reference.
+void expect_cache_matches_reference(const NetworkModel& m, const Loads& loads,
+                                    const DpOptions& options,
+                                    EdgeCostCache& cache) {
+  cache.bind(m, loads);
+  const std::size_t n = m.topology().node_count();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const NodeId n1{static_cast<NodeId::underlying_type>(a)};
+      const NodeId n2{static_cast<NodeId::underlying_type>(b)};
+      for (const model::Vnf& vnf : m.vnfs()) {
+        for (const model::VnfDeployment& dep : vnf.deployments) {
+          const double expected = stage_edge_cost(m, loads, options, n1, n2,
+                                                  vnf.id, dep.site);
+          const double actual = cache.edge_cost(m, loads, options, n1, n2,
+                                                vnf.id, dep.site);
+          ASSERT_EQ(expected, actual)
+              << a << "->" << b << " vnf " << vnf.id.value() << " site "
+              << dep.site.value();
+        }
+      }
+      const double expected =
+          stage_edge_cost(m, loads, options, n1, n2, VnfId{}, SiteId{});
+      ASSERT_EQ(expected, cache.edge_cost(m, loads, options, n1, n2, VnfId{},
+                                          SiteId{}));
+    }
+  }
+}
+
+TEST(EdgeCostCache, MatchesReferenceAcrossLoadMutations) {
+  const NetworkModel m = model::make_scenario(small_scenario(3));
+  Loads loads{m};
+  const DpOptions options;
+  EdgeCostCache cache;
+
+  expect_cache_matches_reference(m, loads, options, cache);
+  // Mutate loads chain by chain; stale entries must re-validate via epochs.
+  for (const model::Chain& chain : m.chains()) {
+    for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
+      const NodeId src = z == 1 ? chain.ingress : chain.egress;
+      loads.add_stage_flow(chain, z, src, chain.egress, 0.25);
+    }
+    expect_cache_matches_reference(m, loads, options, cache);
+  }
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(EdgeCostCache, ResetInvalidatesThroughEpochs) {
+  const NetworkModel m = model::make_scenario(small_scenario(5));
+  Loads loads{m};
+  const DpOptions options;
+  EdgeCostCache cache;
+  expect_cache_matches_reference(m, loads, options, cache);
+  const model::Chain& chain = m.chains().front();
+  loads.add_stage_flow(chain, 1, chain.ingress, chain.egress, 1.0);
+  loads.reset();   // values cached before the reset are all stale now
+  expect_cache_matches_reference(m, loads, options, cache);
+}
+
+TEST(EdgeCostCache, InvalidatePicksUpModelMutation) {
+  // Background traffic lives in the model, invisible to Loads epochs: the
+  // caller must invalidate, after which values match the reference again.
+  NetworkModel m = model::make_scenario(small_scenario(8));
+  Loads loads{m};
+  const DpOptions options;
+  EdgeCostCache cache;
+  expect_cache_matches_reference(m, loads, options, cache);
+
+  m.set_background_traffic(LinkId{0}, m.background_traffic(LinkId{0}) + 50.0);
+  cache.invalidate();
+  expect_cache_matches_reference(m, loads, options, cache);
+}
+
+// --------------------------------------------------------------- TeEngine
+
+TEST(TeEngine, RemoveChainRestoresLoads) {
+  const NetworkModel m = model::make_scenario(small_scenario(13));
+  TeEngine engine{m};
+  engine.solve();
+
+  const ChainId victim = m.chains().front().id;
+  ASSERT_TRUE(engine.tracks_chain(victim));
+  engine.remove_chain(victim);
+  EXPECT_FALSE(engine.tracks_chain(victim));
+  engine.check_invariants();
+
+  // The surviving loads must equal the loads of the remaining routing —
+  // check_invariants already asserts that; additionally the removed
+  // chain's flows are gone.
+  for (std::size_t z = 1; z <= m.chains().front().stage_count(); ++z) {
+    EXPECT_TRUE(engine.result().routing.flows(victim, z).empty());
+  }
+
+  const double readded = engine.add_chain(victim);
+  EXPECT_GE(readded, 0.0);
+  EXPECT_TRUE(engine.tracks_chain(victim));
+  engine.check_invariants();
+}
+
+TEST(TeEngine, RerouteChainKeepsSolutionFeasible) {
+  const NetworkModel m = model::make_scenario(small_scenario(21));
+  TeEngine engine{m};
+  engine.solve();
+  for (const model::Chain& chain : m.chains()) {
+    engine.reroute_chain(chain.id);
+  }
+  engine.check_invariants();
+  engine.loads().check_no_capacity_violation(1e-6);
+}
+
+TEST(TeEngine, LinkCapacityChangeReroutesAffectedChains) {
+  NetworkModel m = model::make_scenario(small_scenario(2));
+  TeEngine engine{m};
+  engine.solve();
+  const double before = engine.result().routed_volume;
+
+  // Soak up most of one well-used link's headroom; every chain crossing
+  // it must be re-routed against the new residual capacity.
+  LinkId busiest{};
+  double busiest_load = -1.0;
+  for (const net::Link& link : m.topology().links()) {
+    if (engine.loads().link_load(link.id) > busiest_load) {
+      busiest_load = engine.loads().link_load(link.id);
+      busiest = link.id;
+    }
+  }
+  ASSERT_TRUE(busiest.valid());
+  ASSERT_GT(busiest_load, 0.0);
+
+  const net::Link& link = m.topology().link(busiest);
+  m.set_background_traffic(busiest,
+                           m.background_traffic(busiest) + 0.9 * link.capacity);
+  const std::size_t rerouted = engine.on_link_capacity_changed(busiest);
+  EXPECT_GT(rerouted, 0u);
+  engine.check_invariants();
+  engine.loads().check_no_capacity_violation(1e-6);
+  // Shrinking capacity cannot increase what the engine carries.
+  EXPECT_LE(engine.result().routed_volume, before + 1e-9);
+}
+
+TEST(TeEngine, VnfCapacityChangeReroutesAffectedChains) {
+  NetworkModel m = model::make_scenario(small_scenario(34));
+  TeEngine engine{m};
+  engine.solve();
+
+  // Find a (vnf, site) pair that actually carries load, then halve it.
+  VnfId vnf{};
+  SiteId site{};
+  for (const model::Vnf& v : m.vnfs()) {
+    for (const model::VnfDeployment& dep : v.deployments) {
+      if (engine.loads().vnf_site_load(v.id, dep.site) > 0.0) {
+        vnf = v.id;
+        site = dep.site;
+        break;
+      }
+    }
+    if (vnf.valid()) break;
+  }
+  ASSERT_TRUE(vnf.valid());
+
+  m.set_vnf_site_capacity(vnf, site, 0.5 * m.vnf(vnf).capacity_at(site));
+  const std::size_t rerouted = engine.on_vnf_site_capacity_changed(vnf, site);
+  EXPECT_GT(rerouted, 0u);
+  engine.check_invariants();
+  engine.loads().check_no_capacity_violation(1e-6);
+}
+
+TEST(TeEngine, SecondSolveMatchesFirst) {
+  const NetworkModel m = model::make_scenario(small_scenario(42));
+  TeEngine engine{m};
+  const double first = engine.solve().routed_volume;
+  // A warm cache must not change the answer.
+  const double second = engine.solve().routed_volume;
+  EXPECT_EQ(first, second);
+  EXPECT_GT(engine.cost_cache().hits(), 0u);
+}
+
+}  // namespace
+}  // namespace switchboard::te

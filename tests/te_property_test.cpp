@@ -12,6 +12,7 @@
 #include "te/dp_routing.hpp"
 #include "te/evaluator.hpp"
 #include "te/lp_routing.hpp"
+#include "te/te_engine.hpp"
 
 namespace switchboard::te {
 namespace {
@@ -124,6 +125,87 @@ TEST_P(TeSeedProperty, SchemesAreDeterministic) {
   const DpResult b = solve_dp_routing(m2);
   EXPECT_DOUBLE_EQ(a.routed_volume, b.routed_volume);
   EXPECT_EQ(a.fully_routed_chains, b.fully_routed_chains);
+}
+
+/// Bit-exact comparison of two routings over every chain and stage: the
+/// fast paths (cost cache, engine) promise identical solutions, not just
+/// close ones.
+void expect_identical_solution(const model::NetworkModel& m,
+                               const ChainRouting& a, const ChainRouting& b) {
+  for (const model::Chain& chain : m.chains()) {
+    for (std::size_t z = 1; z <= chain.stage_count(); ++z) {
+      const auto& fa = a.flows(chain.id, z);
+      const auto& fb = b.flows(chain.id, z);
+      ASSERT_EQ(fa.size(), fb.size())
+          << "chain " << chain.id.value() << " stage " << z;
+      for (std::size_t i = 0; i < fa.size(); ++i) {
+        ASSERT_EQ(fa[i].src, fb[i].src);
+        ASSERT_EQ(fa[i].dst, fb[i].dst);
+        ASSERT_EQ(fa[i].fraction, fb[i].fraction)
+            << "chain " << chain.id.value() << " stage " << z << " flow " << i;
+      }
+    }
+  }
+}
+
+TEST_P(TeSeedProperty, CachedSolveIsBitIdentical) {
+  const model::NetworkModel m =
+      model::make_scenario(scenario_for_seed(GetParam()));
+  const DpResult plain = solve_dp_routing(m);
+  EdgeCostCache cache;
+  DpScratch scratch;
+  const DpResult cached = solve_dp_routing(m, {}, TeContext{&cache, &scratch});
+  EXPECT_EQ(plain.routed_volume, cached.routed_volume);
+  EXPECT_EQ(plain.demand_volume, cached.demand_volume);
+  EXPECT_EQ(plain.fully_routed_chains, cached.fully_routed_chains);
+  EXPECT_EQ(plain.unrouted_chains, cached.unrouted_chains);
+  expect_identical_solution(m, plain.routing, cached.routing);
+  // The cache must actually be exercised, or this test proves nothing.
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST_P(TeSeedProperty, TeEngineSolveMatchesSolver) {
+  const model::NetworkModel m =
+      model::make_scenario(scenario_for_seed(GetParam()));
+  const DpResult plain = solve_dp_routing(m);
+  TeEngine engine{m};
+  const DpResult& fast = engine.solve();
+  EXPECT_EQ(plain.routed_volume, fast.routed_volume);
+  EXPECT_EQ(plain.demand_volume, fast.demand_volume);
+  EXPECT_EQ(plain.fully_routed_chains, fast.fully_routed_chains);
+  EXPECT_EQ(plain.unrouted_chains, fast.unrouted_chains);
+  expect_identical_solution(m, plain.routing, fast.routing);
+  engine.check_invariants();
+}
+
+TEST_P(TeSeedProperty, IncrementalAddChainMatchesFullSolve) {
+  model::NetworkModel m = model::make_scenario(scenario_for_seed(GetParam()));
+  TeEngine engine{m};
+  engine.solve();
+
+  // Append one chain to the model and route it incrementally; a full
+  // re-solve visits chains in id order, so the incremental result must be
+  // identical bit for bit.
+  model::Chain extra;
+  const model::Chain& proto = m.chains().front();
+  extra.name = "extra";
+  extra.ingress = proto.ingress;
+  extra.egress = proto.egress;
+  extra.vnfs = proto.vnfs;
+  extra.forward_traffic = proto.forward_traffic;
+  extra.reverse_traffic = proto.reverse_traffic;
+  const ChainId added = m.add_chain(std::move(extra));
+  const double routed = engine.add_chain(added);
+  EXPECT_GE(routed, 0.0);
+  EXPECT_LE(routed, 1.0 + 1e-9);
+
+  const DpResult full = solve_dp_routing(m);
+  EXPECT_EQ(engine.result().routed_volume, full.routed_volume);
+  EXPECT_EQ(engine.result().demand_volume, full.demand_volume);
+  EXPECT_EQ(engine.result().fully_routed_chains, full.fully_routed_chains);
+  EXPECT_EQ(engine.result().unrouted_chains, full.unrouted_chains);
+  expect_identical_solution(m, engine.result().routing, full.routing);
+  engine.check_invariants();
 }
 
 TEST_P(TeSeedProperty, OnehopNeverBeatsHolisticByMuch) {

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Perf gate: diff a merged bench-smoke JSON against the seed baseline.
+
+Usage:
+    python3 tools/bench_diff.py --baseline BENCH_seed.json \
+        --current BENCH_pr.json [--tolerance 0.25]
+
+Both files are the `jq -s` merge CI produces:
+
+    {"git_sha": ..., "smoke": true, "benches": [
+        {"bench": "bench_fig10_route_update", "results": [
+            {"name": "route_update", "params": {...}, "metrics": {...}}]}]}
+
+Only DETERMINISTIC metrics are gated — solver outputs and simulated
+control-plane times, which are machine-independent for a fixed seed.
+Wall-clock series (the TE engine's `cached` / `parallel_build` /
+`incremental` microbenchmarks, forwarder throughputs, ...) are noisy on
+shared CI runners and are deliberately not part of the gate; they are
+tracked through the uploaded BENCH_pr.json artifact instead.
+
+A metric fails the gate when it moves more than `--tolerance`
+(default 25%) in its bad direction; moves in the good direction only
+get reported.  A gated record present in the baseline but missing from
+the current run fails too (a silently-dropped bench is a regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# (bench, record name) -> {metric: direction}; direction is the GOOD way.
+GATED = {
+    ("bench_fig10_route_update", "route_update"): {
+        "chain_create_ms": "down",
+        "route_update_ms": "down",
+    },
+    ("bench_fig12_te_comparison", "throughput_vs_coverage"): {
+        "sb_lp": "up",
+        "sb_dp": "up",
+        "anycast": "up",
+    },
+    ("bench_fig12_te_comparison", "throughput_vs_cpu_per_byte"): {
+        "sb_lp": "up",
+        "sb_dp": "up",
+        "anycast": "up",
+    },
+    ("bench_fig12_te_comparison", "max_sustainable_load"): {
+        "sb_lp_alpha": "up",
+        "sb_dp_alpha": "up",
+        "anycast_alpha": "up",
+    },
+}
+
+EPSILON = 1e-9
+
+
+def load_records(path):
+    """-> {(bench, record_name, frozen_params): {metric: value}}"""
+    with open(path, encoding="utf-8") as f:
+        merged = json.load(f)
+    records = {}
+    for bench in merged.get("benches", []):
+        bench_name = bench.get("bench", "?")
+        for result in bench.get("results", []):
+            key = (
+                bench_name,
+                result.get("name", "?"),
+                tuple(sorted(result.get("params", {}).items())),
+            )
+            records[key] = result.get("metrics", {})
+    return records
+
+
+def describe(key):
+    bench, name, params = key
+    param_text = ", ".join(f"{k}={v}" for k, v in params)
+    return f"{bench}/{name}({param_text})" if param_text else f"{bench}/{name}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional move in the bad direction")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    failures = []
+    compared = 0
+    for key, base_metrics in sorted(baseline.items()):
+        gated = GATED.get((key[0], key[1]))
+        if not gated:
+            continue
+        cur_metrics = current.get(key)
+        if cur_metrics is None:
+            failures.append(f"{describe(key)}: record missing from current run")
+            continue
+        for metric, direction in sorted(gated.items()):
+            if metric not in base_metrics:
+                continue  # baseline predates the metric; nothing to gate
+            if metric not in cur_metrics:
+                failures.append(f"{describe(key)}: metric {metric} disappeared")
+                continue
+            base = base_metrics[metric]
+            cur = cur_metrics[metric]
+            compared += 1
+            delta = (cur - base) / max(abs(base), EPSILON)
+            bad = -delta if direction == "up" else delta
+            arrow = f"{base:.4g} -> {cur:.4g} ({delta:+.1%})"
+            if bad > args.tolerance:
+                failures.append(f"{describe(key)}: {metric} regressed {arrow}")
+            elif abs(delta) > EPSILON:
+                print(f"ok   {describe(key)}: {metric} {arrow}")
+
+    print(f"bench_diff: compared {compared} gated metrics "
+          f"(tolerance {args.tolerance:.0%})")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print("bench_diff: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
