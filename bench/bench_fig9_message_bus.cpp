@@ -7,7 +7,9 @@
 // (Switchboard delivers 57% more).  The proxy topology sends one copy per
 // subscribed *site*.
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "bench_json.hpp"
 #include "bus/message_bus.hpp"
@@ -23,6 +25,7 @@ struct RunResult {
   double p99_latency_ms{0.0};
   std::uint64_t delivered{0};
   std::uint64_t drops{0};
+  std::map<std::string, std::uint64_t> drops_by_topic;
   std::uint64_t wide_area_messages{0};
   double delivered_rate{0.0};   // deliveries per second of sim time
 };
@@ -63,6 +66,7 @@ RunResult run(bool full_mesh, std::size_t sites, int subscribers_per_site,
   const BusStats& stats = bus->stats();
   result.delivered = stats.local_deliveries;
   result.drops = stats.drops;
+  result.drops_by_topic = stats.drops_by_topic;
   result.wide_area_messages = stats.wide_area_messages;
   if (stats.delivery_latency_ms.count() > 0) {
     result.mean_latency_ms = stats.delivery_latency_ms.mean();
@@ -127,6 +131,14 @@ int main(int argc, char** argv) {
         .metric("delivered", static_cast<double>(r.delivered))
         .metric("drops", static_cast<double>(r.drops))
         .metric("throughput_pps", r.delivered_rate);
+    // Egress-overflow drops broken out per topic: previously these were
+    // counted only in aggregate and invisible in the JSON artifact.
+    for (const auto& [topic_path, dropped] : r.drops_by_topic) {
+      session.add("bus_drops_by_topic")
+          .param("scheme", std::string{scheme})
+          .param("topic", topic_path)
+          .metric("drops", static_cast<double>(dropped));
+    }
   };
   record("switchboard", proxy);
   record("full_mesh", mesh);

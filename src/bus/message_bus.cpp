@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace switchboard::bus {
 
@@ -20,6 +21,121 @@ bool ProxyEgress::send(SiteId from, SiteId to, std::function<void()> deliver) {
   const sim::Duration propagation = config_.inter_site_delay(from, to);
   sim_.schedule_at(egress_free_at_ + propagation, std::move(deliver));
   return true;
+}
+
+// ---------------------------------------------------------------- MessageBus
+
+void MessageBus::count_egress_drop(SiteId from, SiteId to,
+                                   const std::string& topic_path) {
+  ++stats_.drops;
+  ++stats_.drops_by_topic[topic_path];
+  SB_LOG(kDebug) << "bus: egress overflow dropped " << topic_path << " "
+                 << from << "->" << to;
+}
+
+bool MessageBus::wire_copy(sim::Simulator& sim, const BusConfig& config,
+                           ProxyEgress& egress, SiteId from, SiteId to,
+                           const std::string& topic_path,
+                           const std::function<void()>& arrival) {
+  sim::MessageVerdict verdict;
+  if (config.fault_hook) verdict = config.fault_hook(from, to, topic_path);
+
+  // A dropped copy still leaves the egress (serialized, then lost in
+  // flight); a delayed copy arrives late; a duplicated copy serializes —
+  // and consumes egress buffer — twice.
+  std::function<void()> wrapped = arrival;
+  if (verdict.drop) {
+    wrapped = [] {};
+  } else if (verdict.extra_delay > 0) {
+    auto* simp = &sim;
+    wrapped = [simp, extra = verdict.extra_delay, arrival] {
+      simp->schedule(extra, arrival);
+    };
+  }
+  const std::size_t copies = (verdict.duplicate && !verdict.drop) ? 2u : 1u;
+  bool accepted = false;
+  for (std::size_t i = 0; i < copies; ++i) {
+    if (egress.send(from, to, wrapped)) {
+      accepted = true;
+      ++stats_.wide_area_messages;
+    } else {
+      count_egress_drop(from, to, topic_path);
+    }
+  }
+  if (accepted) {
+    if (verdict.drop) ++stats_.faults_dropped;
+    if (verdict.duplicate && !verdict.drop) ++stats_.faults_duplicated;
+    if (verdict.extra_delay > 0 && !verdict.drop) ++stats_.faults_delayed;
+  }
+  return accepted;
+}
+
+void MessageBus::reliable_attempt(sim::Simulator& sim, const BusConfig& config,
+                                  ReliableMessage* message) {
+  auto* simp = &sim;
+  const auto* cfg = &config;   // refers to the bus's long-lived config_
+  ++message->sends;
+  wire_copy(sim, config, *message->egress, message->from, message->to,
+            message->topic_path, [this, simp, cfg, message] {
+              if (message->delivered) {
+                ++stats_.duplicate_deliveries;
+              } else {
+                message->delivered = true;
+                message->deliver();
+              }
+              // Delivery ack back to the sender: a tiny control frame
+              // that bypasses the egress queue (pure propagation) but is
+              // still exposed to the fault hook — a partition starves
+              // acks in both directions.
+              sim::MessageVerdict ack_verdict;
+              if (cfg->fault_hook) {
+                ack_verdict =
+                    cfg->fault_hook(message->to, message->from,
+                                    message->topic_path + "#ack");
+              }
+              if (ack_verdict.drop) return;
+              simp->schedule(
+                  cfg->inter_site_delay(message->to, message->from) +
+                      ack_verdict.extra_delay,
+                  [this, simp, message] {
+                    if (message->acked) return;
+                    message->acked = true;
+                    ++stats_.acks;
+                    simp->cancel(message->retry);
+                  });
+            });
+  message->retry = sim.schedule(config.ack_timeout, [this, simp, cfg,
+                                                     message] {
+    if (message->acked) return;
+    if (message->sends > cfg->max_retransmits) {
+      ++stats_.lost_messages;
+      SB_LOG(kDebug) << "bus: gave up on " << message->topic_path << " "
+                     << message->from << "->" << message->to << " after "
+                     << message->sends << " sends";
+      return;
+    }
+    ++stats_.retransmits;
+    reliable_attempt(*simp, *cfg, message);
+  });
+}
+
+void MessageBus::wide_area_send(sim::Simulator& sim, const BusConfig& config,
+                                ProxyEgress& egress, SiteId from, SiteId to,
+                                const std::string& topic_path,
+                                std::function<void()> deliver) {
+  if (!config.reliable_delivery || transient_topic(config, topic_path)) {
+    wire_copy(sim, config, egress, from, to, topic_path, deliver);
+    return;
+  }
+  auto owned = std::make_unique<ReliableMessage>();
+  owned->from = from;
+  owned->to = to;
+  owned->topic_path = topic_path;
+  owned->deliver = std::move(deliver);
+  owned->egress = &egress;
+  ReliableMessage* message = owned.get();
+  reliable_.push_back(std::move(owned));
+  reliable_attempt(sim, config, message);
 }
 
 // ------------------------------------------------------------------ ProxyBus
@@ -63,12 +179,10 @@ void ProxyBus::subscribe(SiteId subscriber_site, const Topic& topic,
       };
       if (subscriber_site == topic.publisher_site) {
         sim_.schedule(config_.local_delivery_delay, std::move(deliver));
-      } else if (publisher_proxy.egress->send(topic.publisher_site,
-                                              subscriber_site,
-                                              std::move(deliver))) {
-        ++stats_.wide_area_messages;
       } else {
-        ++stats_.drops;
+        wide_area_send(sim_, config_, *publisher_proxy.egress,
+                       topic.publisher_site, subscriber_site, topic.path,
+                       std::move(deliver));
       }
     }
   }
@@ -78,7 +192,7 @@ void ProxyBus::publish(const Topic& topic, std::string payload) {
   ++stats_.published;
   const SiteId origin = topic.publisher_site;
   SiteProxy& proxy = proxies_[origin.value()];
-  if (config_.retain_messages) {
+  if (config_.retain_messages && !transient_topic(config_, topic.path)) {
     auto& retained = proxy.retained[topic.path];
     if (std::find(retained.begin(), retained.end(), payload) ==
         retained.end()) {
@@ -98,14 +212,8 @@ void ProxyBus::publish(const Topic& topic, std::string payload) {
     }
     // One wide-area copy per subscribed *site*, whatever the number of
     // subscribers there.
-    const bool sent = proxy.egress->send(origin, site, [this, site, message] {
-      deliver_locally(site, message);
-    });
-    if (sent) {
-      ++stats_.wide_area_messages;
-    } else {
-      ++stats_.drops;
-    }
+    wide_area_send(sim_, config_, *proxy.egress, origin, site, topic.path,
+                   [this, site, message] { deliver_locally(site, message); });
   }
 }
 
@@ -151,11 +259,9 @@ void FullMeshBus::subscribe(SiteId subscriber_site, const Topic& topic,
       };
       if (subscriber_site == origin) {
         sim_.schedule(config_.local_delivery_delay, std::move(deliver));
-      } else if (egress_[origin.value()]->send(origin, subscriber_site,
-                                               std::move(deliver))) {
-        ++stats_.wide_area_messages;
       } else {
-        ++stats_.drops;
+        wide_area_send(sim_, config_, *egress_[origin.value()], origin,
+                       subscriber_site, topic.path, std::move(deliver));
       }
     }
   }
@@ -164,7 +270,7 @@ void FullMeshBus::subscribe(SiteId subscriber_site, const Topic& topic,
 void FullMeshBus::publish(const Topic& topic, std::string payload) {
   ++stats_.published;
   const SiteId origin = topic.publisher_site;
-  if (config_.retain_messages) {
+  if (config_.retain_messages && !transient_topic(config_, topic.path)) {
     auto& retained = retained_[topic.path];
     if (std::find(retained.begin(), retained.end(), payload) ==
         retained.end()) {
@@ -188,11 +294,8 @@ void FullMeshBus::publish(const Topic& topic, std::string payload) {
       sim_.schedule(config_.local_delivery_delay, std::move(deliver));
       continue;
     }
-    if (egress_[origin.value()]->send(origin, sub.site, std::move(deliver))) {
-      ++stats_.wide_area_messages;
-    } else {
-      ++stats_.drops;
-    }
+    wide_area_send(sim_, config_, *egress_[origin.value()], origin, sub.site,
+                   topic.path, std::move(deliver));
   }
 }
 

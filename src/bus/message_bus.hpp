@@ -14,10 +14,19 @@
 //
 // Both run on the discrete-event simulator; the egress of each proxy is a
 // finite-rate, finite-buffer queue.
+//
+// Fault tolerance: every wide-area copy passes through an optional
+// `fault_hook` (a sim::FaultInjector adapter) that can drop, duplicate, or
+// delay it in flight.  With `reliable_delivery` on, each wide-area copy is
+// acknowledged by the receiving side; unacknowledged copies retransmit
+// with a bounded retry budget (at-least-once, duplicates suppressed at the
+// receiver).  Both features default off/null, leaving the Fig. 9 behavior
+// bit-identical.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -26,6 +35,7 @@
 #include "bus/topic.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/simulator.hpp"
 
 namespace switchboard::bus {
@@ -53,15 +63,62 @@ struct BusConfig {
   /// subscriber arriving after the publish must still converge — the
   /// prototype's bus replicates state the same way, Section 6).
   bool retain_messages{true};
+  /// Topics with this path prefix are transient telemetry (heartbeats):
+  /// never retained and never retransmitted, whatever the other knobs say.
+  std::string transient_prefix{"/health/"};
+  /// Per-wide-area-copy fault verdict (wired to sim::FaultInjector::
+  /// on_message by the deployment).  Null means no injected faults.
+  std::function<sim::MessageVerdict(SiteId from, SiteId to,
+                                    const std::string& topic_path)>
+      fault_hook;
+  /// Acknowledged delivery for control topics: the receiving side acks
+  /// each wide-area copy (a tiny control frame that bypasses the egress
+  /// queue but is still subject to the fault hook, so partitions starve
+  /// acks too); unacked copies retransmit after `ack_timeout`, at most
+  /// `max_retransmits` times, then count as lost.  Off by default.
+  bool reliable_delivery{false};
+  sim::Duration ack_timeout{sim::from_ms(250.0)};
+  std::size_t max_retransmits{3};
 };
 
 struct BusStats {
   std::uint64_t published{0};
   std::uint64_t wide_area_messages{0};
   std::uint64_t local_deliveries{0};
+  /// Egress-buffer overflow drops (also broken out per topic below).
   std::uint64_t drops{0};
+  /// Ordered map so per-topic accounting iterates deterministically.
+  std::map<std::string, std::uint64_t> drops_by_topic;
+  // Injected in-flight faults (the copy consumed an egress slot but was
+  // dropped / duplicated / delayed by the fault hook).
+  std::uint64_t faults_dropped{0};
+  std::uint64_t faults_duplicated{0};
+  std::uint64_t faults_delayed{0};
+  // Reliable-delivery accounting.
+  std::uint64_t acks{0};
+  std::uint64_t retransmits{0};
+  /// Reliable copies abandoned after the retry budget.
+  std::uint64_t lost_messages{0};
+  /// Redundant deliveries suppressed at the receiver (at-least-once).
+  std::uint64_t duplicate_deliveries{0};
   /// Publish-to-delivery latency (ms) over all deliveries.
   SampleStats delivery_latency_ms;
+};
+
+/// Shared egress-queue model for a site proxy.
+class ProxyEgress {
+ public:
+  ProxyEgress(sim::Simulator& sim, const BusConfig& config)
+      : sim_{sim}, config_{config} {}
+
+  /// Attempts to enqueue a wide-area send; returns false on buffer
+  /// overflow.  On success `deliver` runs at the arrival time at `to`.
+  bool send(SiteId from, SiteId to, std::function<void()> deliver);
+
+ private:
+  sim::Simulator& sim_;
+  const BusConfig& config_;
+  sim::SimTime egress_free_at_{0};
 };
 
 /// Common interface so experiments can swap topologies.
@@ -80,23 +137,54 @@ class MessageBus {
   [[nodiscard]] BusStats& stats_mutable() { return stats_; }
 
  protected:
-  BusStats stats_;
-};
+  /// One wide-area copy through `egress`, honoring the fault hook, drop
+  /// accounting, and (for non-transient topics) reliable delivery.
+  /// `deliver` runs at the receiving site on arrival.
+  void wide_area_send(sim::Simulator& sim, const BusConfig& config,
+                      ProxyEgress& egress, SiteId from, SiteId to,
+                      const std::string& topic_path,
+                      std::function<void()> deliver);
 
-/// Shared egress-queue model for a site proxy.
-class ProxyEgress {
- public:
-  ProxyEgress(sim::Simulator& sim, const BusConfig& config)
-      : sim_{sim}, config_{config} {}
-
-  /// Attempts to enqueue a wide-area send; returns false on buffer
-  /// overflow.  On success `deliver` runs at the arrival time at `to`.
-  bool send(SiteId from, SiteId to, std::function<void()> deliver);
+  [[nodiscard]] static bool transient_topic(const BusConfig& config,
+                                            const std::string& topic_path) {
+    return !config.transient_prefix.empty() &&
+           topic_path.starts_with(config.transient_prefix);
+  }
 
  private:
-  sim::Simulator& sim_;
-  const BusConfig& config_;
-  sim::SimTime egress_free_at_{0};
+  /// In-flight state of one reliable wide-area copy.  Entries are owned by
+  /// the bus (stable addresses; scheduled closures hold raw pointers) and
+  /// live until the bus is destroyed.
+  struct ReliableMessage {
+    SiteId from;
+    SiteId to;
+    std::string topic_path;
+    std::function<void()> deliver;
+    ProxyEgress* egress{nullptr};
+    bool delivered{false};
+    bool acked{false};
+    std::size_t sends{0};
+    sim::EventHandle retry{};
+  };
+
+  /// Egress-overflow accounting: total, per-topic, and a debug log line
+  /// (previously these drops were silent).
+  void count_egress_drop(SiteId from, SiteId to,
+                         const std::string& topic_path);
+  /// Sends one physical wire copy with the fault hook applied; returns
+  /// true when the egress accepted (at least) one copy.
+  bool wire_copy(sim::Simulator& sim, const BusConfig& config,
+                 ProxyEgress& egress, SiteId from, SiteId to,
+                 const std::string& topic_path,
+                 const std::function<void()>& arrival);
+  /// One (re)transmission attempt of a reliable copy + its retry timer.
+  void reliable_attempt(sim::Simulator& sim, const BusConfig& config,
+                        ReliableMessage* message);
+
+  std::vector<std::unique_ptr<ReliableMessage>> reliable_;
+
+ protected:
+  BusStats stats_;
 };
 
 class ProxyBus final : public MessageBus {

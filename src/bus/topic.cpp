@@ -29,4 +29,8 @@ Topic chain_routes_topic(ChainId chain, SiteId controller_site) {
                controller_site};
 }
 
+Topic health_topic(SiteId site) {
+  return Topic{"/health/site_" + std::to_string(site.value()), site};
+}
+
 }  // namespace switchboard::bus

@@ -39,4 +39,10 @@ struct Topic {
 /// extension).
 [[nodiscard]] Topic chain_routes_topic(ChainId chain, SiteId controller_site);
 
+/// "/health/site_<s>" — liveness heartbeats of a site's Local Switchboard
+/// (plus its down-element list), consumed by the failure detector.  The
+/// "/health/" prefix marks the topic transient: never retained, never
+/// retransmitted (see BusConfig::transient_prefix).
+[[nodiscard]] Topic health_topic(SiteId site);
+
 }  // namespace switchboard::bus

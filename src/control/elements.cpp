@@ -84,6 +84,22 @@ std::vector<dataplane::ElementId> ElementRegistry::forwarders_at(
   return result;
 }
 
+std::vector<dataplane::ElementId> ElementRegistry::elements_at(
+    SiteId site) const {
+  std::vector<dataplane::ElementId> result;
+  for (const ElementInfo& info : elements_) {
+    if (info.site == site) result.push_back(info.id);
+  }
+  return result;
+}
+
+bool ElementRegistry::set_up(dataplane::ElementId id, bool up) {
+  SWB_CHECK(exists(id));
+  const bool was = elements_[id].up;
+  elements_[id].up = up;
+  return was;
+}
+
 std::vector<dataplane::ElementId> ElementRegistry::vnf_instances_at(
     SiteId site, VnfId vnf) const {
   std::vector<dataplane::ElementId> result;

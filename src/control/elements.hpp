@@ -30,6 +30,9 @@ struct ElementInfo {
   /// kVnfInstance: packets/interval the instance can process (used by the
   /// runtime throughput model; <= 0 means unlimited).
   double capacity{0.0};
+  /// False while crashed (fault injection): a down element neither
+  /// processes packets nor emits heartbeats.  State survives restore.
+  bool up{true};
 };
 
 class ElementRegistry {
@@ -66,6 +69,13 @@ class ElementRegistry {
   /// All VNF instances of `vnf` at `site`.
   [[nodiscard]] std::vector<dataplane::ElementId> vnf_instances_at(
       SiteId site, VnfId vnf) const;
+  /// Every element at a site (any type), ascending id.
+  [[nodiscard]] std::vector<dataplane::ElementId> elements_at(
+      SiteId site) const;
+
+  /// Marks an element up/down (fault injection).  Returns the previous
+  /// state.
+  bool set_up(dataplane::ElementId id, bool up);
 
  private:
   std::vector<ElementInfo> elements_;

@@ -1,0 +1,131 @@
+#include "control/failure_detector.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace switchboard::control {
+
+FailureDetector::FailureDetector(ControlContext& context, SiteId home_site,
+                                 FailureDetectorConfig config)
+    : context_{context}, home_site_{home_site}, config_{config} {
+  SWB_CHECK(config_.period > 0) << "detector period must be positive";
+  SWB_CHECK(config_.suspicion_threshold > 0);
+}
+
+void FailureDetector::set_site_down_callback(SiteCallback callback) {
+  site_down_ = std::move(callback);
+}
+
+void FailureDetector::set_site_up_callback(SiteCallback callback) {
+  site_up_ = std::move(callback);
+}
+
+void FailureDetector::set_element_down_callback(ElementCallback callback) {
+  element_down_ = std::move(callback);
+}
+
+void FailureDetector::watch_site(SiteId site) {
+  if (sites_.count(site.value()) != 0) return;
+  SiteState state;
+  state.last_beat = context_.sim.now();
+  sites_[site.value()] = state;
+  context_.bus.subscribe(
+      home_site_, bus::health_topic(site), [this](const bus::Message& message) {
+        if (const auto beat = parse_heartbeat(message.payload)) {
+          on_heartbeat(*beat);
+        }
+      });
+}
+
+void FailureDetector::start() {
+  if (running_) return;
+  running_ = true;
+  sweep_event_ = context_.sim.schedule(config_.period, [this] { sweep(); });
+}
+
+void FailureDetector::stop() {
+  running_ = false;
+  if (sweep_event_.valid()) {
+    context_.sim.cancel(sweep_event_);
+    sweep_event_ = sim::EventHandle{};
+  }
+}
+
+bool FailureDetector::suspects(SiteId site) const {
+  const auto it = sites_.find(site.value());
+  return it != sites_.end() && it->second.suspected;
+}
+
+void FailureDetector::on_heartbeat(const Heartbeat& beat) {
+  const auto it = sites_.find(beat.site.value());
+  if (it == sites_.end()) return;   // never watched; ignore
+  SiteState& state = it->second;
+  // Health topics are transient (no retention, no retransmit), so an
+  // out-of-order beat can only come from injected duplication/delay —
+  // a stale sequence number must not refresh the liveness clock.
+  if (beat.seq <= state.last_seq) return;
+  state.last_seq = beat.seq;
+  state.last_beat = context_.sim.now();
+  if (state.suspected) {
+    state.suspected = false;
+    ++recoveries_observed_;
+    SB_LOG(kInfo) << "detector: site " << beat.site << " is back (seq "
+                  << beat.seq << ")";
+    if (site_up_) site_up_(beat.site);
+  }
+
+  // Element liveness rides in the beat: relay newly-down elements once,
+  // and forget recovered ones so a re-failure is reported again.
+  std::set<dataplane::ElementId> down_now{beat.down_elements.begin(),
+                                          beat.down_elements.end()};
+  for (const dataplane::ElementId element : down_now) {
+    if (state.down_reported.insert(element).second) {
+      ++element_failures_reported_;
+      SB_LOG(kInfo) << "detector: element " << element << " down at site "
+                    << beat.site;
+      if (element_down_) element_down_(element, beat.site);
+    }
+  }
+  std::erase_if(state.down_reported, [&](dataplane::ElementId element) {
+    return down_now.count(element) == 0;
+  });
+}
+
+void FailureDetector::sweep() {
+  if (!running_) return;
+  const sim::Duration silence_limit =
+      config_.period * static_cast<sim::Duration>(config_.suspicion_threshold);
+  for (auto& [site_raw, state] : sites_) {
+    if (state.suspected) continue;
+    if (context_.sim.now() - state.last_beat <= silence_limit) continue;
+    state.suspected = true;
+    ++suspicions_raised_;
+    const SiteId site{site_raw};
+    SB_LOG(kWarn) << "detector: site " << site << " suspected down ("
+                  << sim::to_ms(context_.sim.now() - state.last_beat)
+                  << " ms silent)";
+    if (site_down_) site_down_(site);
+  }
+  sweep_event_ = context_.sim.schedule(config_.period, [this] { sweep(); });
+}
+
+void FailureDetector::check_invariants() const {
+  SWB_CHECK(config_.period > 0);
+  SWB_CHECK(config_.suspicion_threshold > 0);
+  std::uint64_t currently_suspected = 0;
+  for (const auto& [site_raw, state] : sites_) {
+    SWB_CHECK_LE(state.last_beat, context_.sim.now())
+        << "site " << site_raw << " heard from the future";
+    if (state.suspected) ++currently_suspected;
+  }
+  // Every suspicion either recovered or is still open.
+  SWB_CHECK_GE(suspicions_raised_, recoveries_observed_);
+  SWB_CHECK_EQ(suspicions_raised_ - recoveries_observed_,
+               currently_suspected)
+      << "suspicion counters drifted from per-site state";
+  SWB_CHECK(!running_ || sweep_event_.valid());
+}
+
+}  // namespace switchboard::control

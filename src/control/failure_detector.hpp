@@ -1,0 +1,105 @@
+// Heartbeat-based failure detector (the recovery pipeline's first stage).
+//
+// Every Local Switchboard beats on /health/site_<s> (a transient topic:
+// not retained, not retransmitted — a stale or duplicated beat is worse
+// than a missed one).  The detector, running at the Global Switchboard's
+// site, subscribes to every watched site's health topic and sweeps at the
+// beat period: a site silent for `suspicion_threshold` periods is declared
+// down; element failures ride inside the beats (a Local Switchboard
+// reports its locally-down elements), so an instance crash is detected in
+// one beat period even though its site stays up.  A beat from a suspected
+// site clears the suspicion (partition healed / Local Switchboard
+// restored).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "bus/topic.hpp"
+#include "control/context.hpp"
+#include "control/messages.hpp"
+
+namespace switchboard::control {
+
+struct FailureDetectorConfig {
+  /// Expected heartbeat period (sweep cadence; Local Switchboards should
+  /// beat at the same period).
+  sim::Duration period{sim::from_ms(50.0)};
+  /// Beats missed before a site is suspected down.
+  std::uint32_t suspicion_threshold{3};
+};
+
+class FailureDetector {
+ public:
+  using SiteCallback = std::function<void(SiteId)>;
+  using ElementCallback = std::function<void(dataplane::ElementId, SiteId)>;
+
+  FailureDetector(ControlContext& context, SiteId home_site,
+                  FailureDetectorConfig config = {});
+
+  [[nodiscard]] const FailureDetectorConfig& config() const { return config_; }
+
+  void set_site_down_callback(SiteCallback callback);
+  /// A suspected site resumed beating (restore / partition heal).
+  void set_site_up_callback(SiteCallback callback);
+  void set_element_down_callback(ElementCallback callback);
+
+  /// Subscribes to `site`'s health topic and includes it in the sweep.
+  /// Idempotent.  The silence clock starts now (grace for slow starters).
+  void watch_site(SiteId site);
+
+  /// Starts the periodic sweep.  Self-rescheduling: call stop() before
+  /// draining the simulator to completion.  Idempotent.
+  void start();
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::size_t watched_count() const { return sites_.size(); }
+  [[nodiscard]] bool suspects(SiteId site) const;
+  /// Total site-down declarations (re-suspecting after a recovery counts
+  /// again).
+  [[nodiscard]] std::uint64_t suspicions_raised() const {
+    return suspicions_raised_;
+  }
+  [[nodiscard]] std::uint64_t recoveries_observed() const {
+    return recoveries_observed_;
+  }
+  [[nodiscard]] std::uint64_t element_failures_reported() const {
+    return element_failures_reported_;
+  }
+
+  /// Audits the detector (aborts via SWB_CHECK on violation): config sane,
+  /// per-site beat times never ahead of now, sequence numbers monotone,
+  /// counter arithmetic consistent (suspicions >= recoveries, currently
+  /// suspected sites account for the difference).
+  void check_invariants() const;
+
+ private:
+  struct SiteState {
+    sim::SimTime last_beat{0};        // arrival time of the last beat
+    std::uint64_t last_seq{0};
+    bool suspected{false};
+    /// Elements this site reported down that we already relayed upward.
+    std::set<dataplane::ElementId> down_reported;
+  };
+
+  void on_heartbeat(const Heartbeat& beat);
+  void sweep();
+
+  ControlContext& context_;
+  SiteId home_site_;
+  FailureDetectorConfig config_;
+  SiteCallback site_down_;
+  SiteCallback site_up_;
+  ElementCallback element_down_;
+  std::map<std::uint32_t, SiteState> sites_;   // by site id
+  bool running_{false};
+  sim::EventHandle sweep_event_{};
+  std::uint64_t suspicions_raised_{0};
+  std::uint64_t recoveries_observed_{0};
+  std::uint64_t element_failures_reported_{0};
+};
+
+}  // namespace switchboard::control

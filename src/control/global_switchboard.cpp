@@ -226,6 +226,17 @@ void GlobalSwitchboard::create_chain(const ChainSpec& spec,
   });
 }
 
+namespace {
+
+/// Bounded exponential backoff before RPC retry `rpc_retry` (0-based).
+sim::Duration rpc_backoff(const ControlTimings& timings,
+                          std::size_t rpc_retry) {
+  return timings.rpc_retry_backoff
+         << static_cast<sim::Duration>(std::min<std::size_t>(rpc_retry, 6));
+}
+
+}  // namespace
+
 void GlobalSwitchboard::commit_route(
     ChainRecord& record, RouteRecord route, CreationReport report,
     CreationCallback done,
@@ -237,149 +248,241 @@ void GlobalSwitchboard::commit_route(
   // (round trip + processing).
   const sim::Duration prepare_delay = 2 * context_.timings.controller_rpc +
                                       context_.timings.controller_processing;
-  context_.sim.schedule(prepare_delay, [this, chain_id, route, report,
-                                        done = std::move(done), excluded,
-                                        attempt]() mutable {
-    ChainRecord* rec = nullptr;
-    for (ChainRecord& r : chains_) {
-      if (r.id == chain_id) rec = &r;
-    }
-    SWB_CHECK(rec != nullptr);
-    const model::Chain& chain = context_.model.chain(chain_id);
+  context_.sim.schedule(
+      prepare_delay,
+      [this, chain_id, route, report, done = std::move(done), excluded,
+       attempt]() mutable {
+        start_prepare_round(chain_id, std::move(route), std::move(report),
+                            std::move(done), std::move(excluded), attempt,
+                            /*rpc_retry=*/0);
+      });
+}
 
-    bool all_prepared = true;
-    std::pair<std::uint32_t, std::uint32_t> rejected{0, 0};
-    std::set<std::uint32_t> prepared_vnfs;
-    for (std::size_t z = 1; z <= rec->spec.vnfs.size(); ++z) {
-      const VnfId vnf = rec->spec.vnfs[z - 1];
-      const SiteId site = route.vnf_sites[z - 1];
-      VnfController* controller = vnf_controllers_[vnf.value()];
-      SWB_CHECK(controller != nullptr);
-      const double load =
-          context_.model.vnf(vnf).load_per_unit *
-          (chain.stage_traffic(z) + chain.stage_traffic(z + 1)) *
-          route.weight;
-      if (controller->prepare(chain_id, route.id, site, load)) {
-        prepared_vnfs.insert(vnf.value());
-      } else {
-        all_prepared = false;
-        rejected = {vnf.value(), site.value()};
-        break;
-      }
-    }
+void GlobalSwitchboard::start_prepare_round(
+    ChainId chain_id, RouteRecord route, CreationReport report,
+    CreationCallback done,
+    std::set<std::pair<std::uint32_t, std::uint32_t>> excluded,
+    std::size_t attempt, std::size_t rpc_retry) {
+  ChainRecord* rec = nullptr;
+  for (ChainRecord& r : chains_) {
+    if (r.id == chain_id) rec = &r;
+  }
+  SWB_CHECK(rec != nullptr);
+  const model::Chain& chain = context_.model.chain(chain_id);
 
-    if (!all_prepared) {
-      // Abort the reservations made so far and recompute with the
-      // rejecting placement excluded (Section 3, chain creation).
-      for (const std::uint32_t vnf : prepared_vnfs) {
-        vnf_controllers_[vnf]->abort(chain_id, route.id);
-      }
-      excluded.insert(rejected);
-      report.events.push_back({"route_rejected", context_.sim.now()});
-      if (attempt + 1 >= 4) {
-        done(Result<CreationReport>{
-            ErrorCode::kResourceExhausted,
-            "2PC: no feasible route after repeated rejections"});
-        return;
-      }
-      context_.sim.schedule(
-          context_.timings.route_compute,
-          [this, chain_id, report, done = std::move(done), excluded,
-           attempt]() mutable {
-            ChainRecord* rec2 = nullptr;
-            for (ChainRecord& r : chains_) {
-              if (r.id == chain_id) rec2 = &r;
-            }
-            SWB_CHECK(rec2 != nullptr);
-            te::DpOptions options = dp_options_;
-            options.site_allowed = [excluded](VnfId vnf, SiteId site) {
-              return excluded.count({vnf.value(), site.value()}) == 0;
-            };
-            ensure_loads_current();
-            const te::SingleRoute retry = te::find_single_route(
-                context_.model, context_.model.chain(chain_id), loads_,
-                options, 1.0, te::TeContext{nullptr, &scratch_});
-            report.events.push_back({"route_recomputed", context_.sim.now()});
-            if (!retry.found || retry.admissible_fraction <= 0) {
-              done(Result<CreationReport>{ErrorCode::kInfeasible,
-                                          "no feasible route after 2PC "
-                                          "rejection"});
-              return;
-            }
-            RouteRecord route_record;
-            route_record.id = RouteId{next_route_id_++};
-            route_record.weight = 1.0;
-            for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
-              route_record.vnf_sites.push_back(retry.sites[z]);
-            }
-            report.route = route_record.id;
-            commit_route(*rec2, std::move(route_record), std::move(report),
-                         std::move(done), std::move(excluded), attempt + 1);
-          });
+  // Parallel prepares: collect a vote from every reachable participant; a
+  // down controller answers nothing and leaves a timeout.  Re-delivered
+  // prepares on a later retry are deduplicated per (chain, route, stage).
+  bool all_prepared = true;
+  bool timed_out = false;
+  std::pair<std::uint32_t, std::uint32_t> rejected{0, 0};
+  std::set<std::uint32_t> prepared_vnfs;
+  for (std::size_t z = 1; z <= rec->spec.vnfs.size(); ++z) {
+    const VnfId vnf = rec->spec.vnfs[z - 1];
+    const SiteId site = route.vnf_sites[z - 1];
+    VnfController* controller = vnf_controllers_[vnf.value()];
+    SWB_CHECK(controller != nullptr);
+    if (!controller->up()) {
+      timed_out = true;
+      continue;
+    }
+    const double load =
+        context_.model.vnf(vnf).load_per_unit *
+        (chain.stage_traffic(z) + chain.stage_traffic(z + 1)) *
+        route.weight;
+    if (controller->prepare(chain_id, route.id, site, load, z)) {
+      prepared_vnfs.insert(vnf.value());
+    } else {
+      all_prepared = false;
+      rejected = {vnf.value(), site.value()};
+      break;
+    }
+  }
+
+  if (!all_prepared) {
+    // Abort the reservations made so far and recompute with the
+    // rejecting placement excluded (Section 3, chain creation).
+    for (const std::uint32_t vnf : prepared_vnfs) {
+      vnf_controllers_[vnf]->abort(chain_id, route.id);
+    }
+    excluded.insert(rejected);
+    report.events.push_back({"route_rejected", context_.sim.now()});
+    if (attempt + 1 >= 4) {
+      done(Result<CreationReport>{
+          ErrorCode::kResourceExhausted,
+          "2PC: no feasible route after repeated rejections"});
       return;
     }
-    report.events.push_back({"prepared", context_.sim.now()});
-
-    // Commit round.
     context_.sim.schedule(
-        context_.timings.controller_rpc +
-            context_.timings.controller_processing,
-        [this, chain_id, route, report, done = std::move(done)]() mutable {
+        context_.timings.route_compute,
+        [this, chain_id, report, done = std::move(done), excluded,
+         attempt]() mutable {
           ChainRecord* rec2 = nullptr;
           for (ChainRecord& r : chains_) {
             if (r.id == chain_id) rec2 = &r;
           }
           SWB_CHECK(rec2 != nullptr);
-          for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
-            const VnfId vnf = rec2->spec.vnfs[z - 1];
-            vnf_controllers_[vnf.value()]->commit(
-                chain_id, route.id, rec2->labels.egress_site);
-          }
-          report.events.push_back({"committed", context_.sim.now()});
-
+          te::DpOptions options = dp_options_;
+          options.site_allowed = [excluded](VnfId vnf, SiteId site) {
+            return excluded.count({vnf.value(), site.value()}) == 0;
+          };
           ensure_loads_current();
-          rec2->routes.push_back(route);
-          // Route weights rebalance equally (Fig. 10: the new route takes
-          // an even share of new connections).  Loads are adjusted by the
-          // per-route weight deltas instead of a full rebuild over every
-          // active chain.
-          const double weight =
-              1.0 / static_cast<double>(rec2->routes.size());
-          const bool was_active = rec2->active;
-          rec2->active = true;
-          for (std::size_t i = 0; i < rec2->routes.size(); ++i) {
-            RouteRecord& r = rec2->routes[i];
-            const bool is_new = i + 1 == rec2->routes.size();
-            const double previous =
-                was_active && !is_new ? r.weight : 0.0;
-            apply_route_loads(*rec2, r, weight - previous);
-            r.weight = weight;
+          const te::SingleRoute retry = te::find_single_route(
+              context_.model, context_.model.chain(chain_id), loads_,
+              options, 1.0, te::TeContext{nullptr, &scratch_});
+          report.events.push_back({"route_recomputed", context_.sim.now()});
+          if (!retry.found || retry.admissible_fraction <= 0) {
+            done(Result<CreationReport>{ErrorCode::kInfeasible,
+                                        "no feasible route after 2PC "
+                                        "rejection"});
+            return;
           }
-
-          publish_routes(*rec2);
-          report.events.push_back({"routes_published", context_.sim.now()});
-
-          // Edge controllers allocate + announce instances (Fig. 4 step 4).
-          edge_controllers_[rec2->spec.ingress_service.value()]
-              ->announce_edge_instance(chain_id, rec2->labels.egress_site,
-                                       rec2->ingress_site);
-          edge_controllers_[rec2->spec.egress_service.value()]
-              ->announce_edge_instance(chain_id, rec2->labels.egress_site,
-                                       rec2->egress_site);
-
-          // Track readiness of every involved site.
-          PendingActivation pending;
-          pending.chain = chain_id;
-          pending.route = route.id;
-          pending.waiting_sites = involved_sites(*rec2, route);
-          pending.report = std::move(report);
-          pending.done = std::move(done);
-          pending_.push_back(std::move(pending));
-#ifndef NDEBUG
-          check_invariants();
-#endif
+          RouteRecord route_record;
+          route_record.id = RouteId{next_route_id_++};
+          route_record.weight = 1.0;
+          for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
+            route_record.vnf_sites.push_back(retry.sites[z]);
+          }
+          report.route = route_record.id;
+          commit_route(*rec2, std::move(route_record), std::move(report),
+                       std::move(done), std::move(excluded), attempt + 1);
         });
-  });
+    return;
+  }
+
+  if (timed_out) {
+    // Some participant never answered.  The timeout clock runs from round
+    // entry; the round retries with bounded exponential backoff.
+    report.events.push_back({"prepare_timeout", context_.sim.now()});
+    if (rpc_retry >= context_.timings.max_rpc_retries) {
+      SB_LOG(kWarn) << "2pc: prepare for chain " << chain_id << " route "
+                    << route.id << " gave up after " << rpc_retry
+                    << " retries";
+      for (const std::uint32_t vnf : prepared_vnfs) {
+        vnf_controllers_[vnf]->abort(chain_id, route.id);
+      }
+      done(Result<CreationReport>{
+          ErrorCode::kUnavailable,
+          "2PC prepare: participant unreachable after retries"});
+      return;
+    }
+    context_.sim.schedule(
+        context_.timings.rpc_timeout + rpc_backoff(context_.timings,
+                                                   rpc_retry),
+        [this, chain_id, route, report, done = std::move(done), excluded,
+         attempt, rpc_retry]() mutable {
+          start_prepare_round(chain_id, std::move(route), std::move(report),
+                              std::move(done), std::move(excluded), attempt,
+                              rpc_retry + 1);
+        });
+    return;
+  }
+  report.events.push_back({"prepared", context_.sim.now()});
+
+  // Commit round.
+  context_.sim.schedule(
+      context_.timings.controller_rpc + context_.timings.controller_processing,
+      [this, chain_id, route, report, done = std::move(done)]() mutable {
+        start_commit_round(chain_id, std::move(route), std::move(report),
+                           std::move(done), /*rpc_retry=*/0);
+      });
+}
+
+void GlobalSwitchboard::start_commit_round(ChainId chain_id, RouteRecord route,
+                                           CreationReport report,
+                                           CreationCallback done,
+                                           std::size_t rpc_retry) {
+  ChainRecord* rec2 = nullptr;
+  for (ChainRecord& r : chains_) {
+    if (r.id == chain_id) rec2 = &r;
+  }
+  SWB_CHECK(rec2 != nullptr);
+
+  // Commits to reachable participants; re-delivery on retry is idempotent
+  // (kCommitted -> kCommitted, no reservations left to move).
+  bool timed_out = false;
+  for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
+    const VnfId vnf = rec2->spec.vnfs[z - 1];
+    VnfController* controller = vnf_controllers_[vnf.value()];
+    if (!controller->up()) {
+      timed_out = true;
+      continue;
+    }
+    controller->commit(chain_id, route.id, rec2->labels.egress_site);
+  }
+
+  if (timed_out) {
+    report.events.push_back({"commit_timeout", context_.sim.now()});
+    if (rpc_retry >= context_.timings.max_rpc_retries) {
+      // Roll the route back: reachable participants get abort (rejected-
+      // and-counted where already committed) and release their committed
+      // capacity; unreachable ones recover via the reservation TTL GC.
+      SB_LOG(kWarn) << "2pc: commit for chain " << chain_id << " route "
+                    << route.id << " gave up after " << rpc_retry
+                    << " retries";
+      for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
+        VnfController* controller =
+            vnf_controllers_[rec2->spec.vnfs[z - 1].value()];
+        if (!controller->up()) continue;
+        controller->abort(chain_id, route.id);
+        controller->release(chain_id, route.id);
+      }
+      done(Result<CreationReport>{
+          ErrorCode::kUnavailable,
+          "2PC commit: participant unreachable after retries"});
+      return;
+    }
+    context_.sim.schedule(
+        context_.timings.rpc_timeout + rpc_backoff(context_.timings,
+                                                   rpc_retry),
+        [this, chain_id, route, report, done = std::move(done),
+         rpc_retry]() mutable {
+          start_commit_round(chain_id, std::move(route), std::move(report),
+                             std::move(done), rpc_retry + 1);
+        });
+    return;
+  }
+  report.events.push_back({"committed", context_.sim.now()});
+
+  ensure_loads_current();
+  rec2->routes.push_back(route);
+  // Route weights rebalance equally (Fig. 10: the new route takes
+  // an even share of new connections).  Loads are adjusted by the
+  // per-route weight deltas instead of a full rebuild over every
+  // active chain.
+  const double weight = 1.0 / static_cast<double>(rec2->routes.size());
+  const bool was_active = rec2->active;
+  rec2->active = true;
+  for (std::size_t i = 0; i < rec2->routes.size(); ++i) {
+    RouteRecord& r = rec2->routes[i];
+    const bool is_new = i + 1 == rec2->routes.size();
+    const double previous = was_active && !is_new ? r.weight : 0.0;
+    apply_route_loads(*rec2, r, weight - previous);
+    r.weight = weight;
+  }
+
+  publish_routes(*rec2);
+  report.events.push_back({"routes_published", context_.sim.now()});
+
+  // Edge controllers allocate + announce instances (Fig. 4 step 4).
+  edge_controllers_[rec2->spec.ingress_service.value()]
+      ->announce_edge_instance(chain_id, rec2->labels.egress_site,
+                               rec2->ingress_site);
+  edge_controllers_[rec2->spec.egress_service.value()]
+      ->announce_edge_instance(chain_id, rec2->labels.egress_site,
+                               rec2->egress_site);
+
+  // Track readiness of every involved site.
+  PendingActivation pending;
+  pending.chain = chain_id;
+  pending.route = route.id;
+  pending.waiting_sites = involved_sites(*rec2, route);
+  pending.report = std::move(report);
+  pending.done = std::move(done);
+  pending_.push_back(std::move(pending));
+#ifndef NDEBUG
+  check_invariants();
+#endif
 }
 
 void GlobalSwitchboard::add_route(ChainId chain,
@@ -534,6 +637,194 @@ void GlobalSwitchboard::check_invariants() const {
       }
     }
   }
+}
+
+RecoveryReport GlobalSwitchboard::on_instance_down(VnfId vnf, SiteId site) {
+  SB_LOG(kInfo) << "recovery: vnf " << vnf << " down at site " << site;
+  // The dead pool contributes no capacity until restored: route
+  // computation (replacements and future chains) avoids the site, and a
+  // participant prepare there votes abort.
+  context_.model.set_vnf_site_capacity(vnf, site, 0.0);
+  // Drain trigger: weight-0 instance re-announcements make the fronting
+  // forwarder's Local Switchboard invalidate pinned flows and make
+  // upstream sites drop the forwarder from their next-hop choices.
+  if (vnf.value() < vnf_controllers_.size() &&
+      vnf_controllers_[vnf.value()] != nullptr &&
+      vnf_controllers_[vnf.value()]->up()) {
+    vnf_controllers_[vnf.value()]->reannounce_instances(site);
+  }
+  return retire_routes(
+      [vnf, site](const ChainRecord& record, const RouteRecord& route) {
+        for (std::size_t z = 0; z < route.vnf_sites.size(); ++z) {
+          if (record.spec.vnfs[z] == vnf && route.vnf_sites[z] == site) {
+            return true;
+          }
+        }
+        return false;
+      });
+}
+
+RecoveryReport GlobalSwitchboard::on_link_down(LinkId link) {
+  SB_LOG(kInfo) << "recovery: link " << link << " down";
+  // Topology capacities must stay positive (check_invariants); a dead link
+  // is modeled as background traffic consuming all of it.
+  context_.model.set_background_traffic(
+      link, context_.model.topology().link(link).capacity);
+  return retire_routes(
+      [this, link](const ChainRecord& record, const RouteRecord& route) {
+        return route_uses_link(record, route, link);
+      });
+}
+
+bool GlobalSwitchboard::route_uses_link(const ChainRecord& record,
+                                        const RouteRecord& route,
+                                        LinkId link) const {
+  // Walk the route's site-to-site segments and test each segment's ECMP
+  // footprint for the link.
+  const NodeId egress_node = context_.model.site(record.egress_site).node;
+  NodeId prev = context_.model.site(record.ingress_site).node;
+  for (std::size_t z = 1; z <= route.vnf_sites.size() + 1; ++z) {
+    const NodeId next = z <= route.vnf_sites.size()
+        ? context_.model.site(route.vnf_sites[z - 1]).node
+        : egress_node;
+    for (const net::LinkShare& share :
+         context_.model.routing().link_shares(prev, next)) {
+      if (share.link == link && share.fraction > 0.0) return true;
+    }
+    prev = next;
+  }
+  return false;
+}
+
+RecoveryReport GlobalSwitchboard::retire_routes(
+    const std::function<bool(const ChainRecord&, const RouteRecord&)>&
+        doomed) {
+  RecoveryReport report;
+  ensure_loads_current();
+  for (ChainRecord& record : chains_) {
+    if (!record.active) continue;
+    std::vector<RouteRecord> removed;
+    std::vector<RouteRecord> kept;
+    for (const RouteRecord& route : record.routes) {
+      (doomed(record, route) ? removed : kept).push_back(route);
+    }
+    if (removed.empty()) continue;
+    ++report.affected_chains;
+
+    for (const RouteRecord& route : removed) {
+      ++report.routes_removed;
+      report.rerouted_volume +=
+          route.weight *
+          (record.spec.forward_traffic + record.spec.reverse_traffic);
+
+      // Weight-0 tombstone: Local Switchboards keep the route record (its
+      // id may linger in flow pinnings) but stop steering traffic onto it.
+      RouteAnnouncement tombstone = to_announcement(record, route);
+      tombstone.weight = 0.0;
+      context_.bus.publish(routes_topic(), serialize(tombstone));
+
+      // Return the committed 2PC capacity at every reachable participant;
+      // unreachable ones reconcile when they come back (their state is
+      // kCommitted either way).
+      for (const VnfId vnf : record.spec.vnfs) {
+        if (vnf.value() >= vnf_controllers_.size()) continue;
+        VnfController* controller = vnf_controllers_[vnf.value()];
+        if (controller != nullptr && controller->up()) {
+          controller->release(record.id, route.id);
+        }
+      }
+      apply_route_loads(record, route, -route.weight);
+
+      // A failure racing activation: complete the waiting creation with an
+      // error instead of leaving it stranded forever.
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].chain != record.id || pending_[i].route != route.id) {
+          continue;
+        }
+        CreationCallback stranded = std::move(pending_[i].done);
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (stranded) {
+          stranded(Result<CreationReport>{
+              ErrorCode::kUnavailable,
+              "route retired by failure recovery during activation"});
+        }
+        break;
+      }
+    }
+    record.routes = std::move(kept);
+
+    if (!record.routes.empty()) {
+      // Survivors split the chain's traffic evenly again; only the
+      // affected chain's load deltas are applied (incremental re-solve).
+      const double weight = 1.0 / static_cast<double>(record.routes.size());
+      for (RouteRecord& route : record.routes) {
+        apply_route_loads(record, route, weight - route.weight);
+        route.weight = weight;
+      }
+      publish_routes(record);
+    } else {
+      // The failure took the chain's last route: deactivate and request a
+      // replacement through the normal compute + 2PC pipeline.
+      record.active = false;
+      ++report.replacements_requested;
+      replace_route(record.id);
+    }
+  }
+  SB_LOG(kInfo) << "recovery: " << report.routes_removed
+                << " route(s) retired across " << report.affected_chains
+                << " chain(s), " << report.replacements_requested
+                << " replacement(s) requested";
+#ifndef NDEBUG
+  check_invariants();
+#endif
+  return report;
+}
+
+void GlobalSwitchboard::replace_route(ChainId chain) {
+  CreationReport report;
+  report.started = context_.sim.now();
+  report.chain = chain;
+  report.events.push_back({"replacement_requested", context_.sim.now()});
+  context_.sim.schedule(
+      context_.timings.route_compute, [this, chain, report]() mutable {
+        ChainRecord* rec = nullptr;
+        for (ChainRecord& r : chains_) {
+          if (r.id == chain) rec = &r;
+        }
+        SWB_CHECK(rec != nullptr);
+        report.labels = rec->labels;
+        ensure_loads_current();
+        const te::SingleRoute route = te::find_single_route(
+            context_.model, context_.model.chain(chain), loads_, dp_options_,
+            1.0, te::TeContext{nullptr, &scratch_});
+        report.events.push_back({"route_computed", context_.sim.now()});
+        if (!route.found || route.admissible_fraction <= 0) {
+          SB_LOG(kWarn) << "recovery: no feasible replacement route for "
+                        << "chain " << chain;
+          return;
+        }
+        RouteRecord route_record;
+        route_record.id = RouteId{next_route_id_++};
+        route_record.weight = 1.0;
+        for (std::size_t z = 1; z <= rec->spec.vnfs.size(); ++z) {
+          route_record.vnf_sites.push_back(route.sites[z]);
+        }
+        report.route = route_record.id;
+        commit_route(*rec, std::move(route_record), std::move(report),
+                     [chain](Result<CreationReport> result) {
+                       if (result.ok()) {
+                         SB_LOG(kInfo)
+                             << "recovery: replacement route active for "
+                             << "chain " << chain;
+                       } else {
+                         SB_LOG(kWarn)
+                             << "recovery: replacement route failed for "
+                             << "chain " << chain << ": "
+                             << result.error().message;
+                       }
+                     },
+                     {}, 0);
+      });
 }
 
 void GlobalSwitchboard::on_route_ready(ChainId chain, RouteId route,

@@ -62,6 +62,18 @@ struct CreationEvent {
   sim::SimTime at{0};
 };
 
+/// Summary of one recovery action (on_instance_down / on_link_down).
+struct RecoveryReport {
+  std::size_t affected_chains{0};
+  /// Routes retired (tombstoned with weight 0, capacity released).
+  std::size_t routes_removed{0};
+  /// Chains whose last route died: a fresh route was requested for each.
+  std::size_t replacements_requested{0};
+  /// Admitted volume (forward + reverse stage traffic estimate) moved off
+  /// the retired routes — onto rebalanced survivors or replacements.
+  double rerouted_volume{0.0};
+};
+
 struct CreationReport {
   ChainId chain;
   RouteId route;
@@ -109,6 +121,22 @@ class GlobalSwitchboard {
   /// Readiness callback target for Local Switchboards.
   void on_route_ready(ChainId chain, RouteId route, SiteId site);
 
+  /// --- recovery (driven by the failure detector) -------------------------
+  /// A VNF's instance pool at `site` died: zeroes the failed capacity,
+  /// triggers the drain (weight-0 instance re-announcements), retires every
+  /// route placing that VNF there (weight-0 route tombstones + committed
+  /// capacity release + incremental load deltas), rebalances each affected
+  /// chain's surviving routes to equal weights, and requests a replacement
+  /// route for chains left with none.  Only affected chains are touched —
+  /// audited by check_invariants()'s incremental-vs-rebuilt loads
+  /// comparison.
+  RecoveryReport on_instance_down(VnfId vnf, SiteId site);
+
+  /// A wide-area link died: removes its usable capacity (background
+  /// traffic fills it — topology capacities stay positive) and retires
+  /// every route whose ECMP footprint crosses the link.
+  RecoveryReport on_link_down(LinkId link);
+
   /// Audits the coordinator (aborts via SWB_CHECK on violation): chain ids
   /// and names are unique, every active chain's route weights sum to 1 and
   /// each route places one site per VNF stage, route ids stay below the
@@ -130,6 +158,41 @@ class GlobalSwitchboard {
                     CreationReport report, CreationCallback done,
                     std::set<std::pair<std::uint32_t, std::uint32_t>> excluded,
                     std::size_t attempt);
+
+  /// 2PC prepare round (fault-tolerant): votes are collected from every
+  /// reachable participant; unreachable ones (down controllers) time out
+  /// and the whole round retries with bounded exponential backoff —
+  /// already-prepared participants dedup the re-delivered prepare.  After
+  /// `ControlTimings::max_rpc_retries` timeouts the round aborts
+  /// (kUnavailable) and releases the partial reservations.
+  void start_prepare_round(
+      ChainId chain, RouteRecord route, CreationReport report,
+      CreationCallback done,
+      std::set<std::pair<std::uint32_t, std::uint32_t>> excluded,
+      std::size_t attempt, std::size_t rpc_retry);
+
+  /// 2PC commit round with the same timeout/retry envelope; re-delivered
+  /// commits are idempotent at the participant.  On retry exhaustion the
+  /// route rolls back: reachable participants get abort (rejected-and-
+  /// counted where already committed) + release.
+  void start_commit_round(ChainId chain, RouteRecord route,
+                          CreationReport report, CreationCallback done,
+                          std::size_t rpc_retry);
+
+  /// Shared recovery walk: retires every active route matched by `doomed`
+  /// (tombstone, release, negative load delta, pending-activation
+  /// cancellation), rebalances survivors, requests replacements.
+  RecoveryReport retire_routes(
+      const std::function<bool(const ChainRecord&, const RouteRecord&)>&
+          doomed);
+
+  /// Computes and commits a fresh route for a chain whose last route was
+  /// retired by recovery (completion is logged, not reported upward).
+  void replace_route(ChainId chain);
+
+  [[nodiscard]] bool route_uses_link(const ChainRecord& record,
+                                     const RouteRecord& route,
+                                     LinkId link) const;
 
   void publish_routes(const ChainRecord& record);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace switchboard::control {
@@ -69,6 +70,15 @@ void LocalSwitchboard::subscribe_instances(PerChain& pc, VnfId vnf,
         PerChain& state = chains_[chain.value()];
         upsert(state.instances[path], *announcement,
                [](const InstanceAnnouncement& a) { return a.instance; });
+        // Weight 0 announces a dead instance: invalidate the pinned flow
+        // entries on its fronting forwarder so the next packet of each
+        // flow re-pins onto a survivor (drain).
+        if (announcement->weight <= 0 &&
+            context_.elements.exists(announcement->forwarder) &&
+            context_.elements.info(announcement->forwarder).site == site_) {
+          context_.elements.forwarder(announcement->forwarder)
+              .drain_element(announcement->instance);
+        }
         reconcile(state);
       });
 }
@@ -87,6 +97,16 @@ void LocalSwitchboard::subscribe_forwarders(PerChain& pc, VnfId vnf,
         PerChain& state = chains_[chain.value()];
         upsert(state.forwarders[path], *announcement,
                [](const ForwarderAnnouncement& a) { return a.forwarder; });
+        // Weight 0 retracts a next-hop forwarder (it died, or everything
+        // behind it did): drop the pinned next-hop choices referencing it
+        // on every local forwarder so flows re-pin.
+        if (announcement->weight <= 0) {
+          for (const dataplane::ElementId local :
+               context_.elements.forwarders_at(site_)) {
+            context_.elements.forwarder(local).drain_element(
+                announcement->forwarder);
+          }
+        }
         reconcile(state);
         if (vnf == ControlContext::edge_marker() && site != site_) {
           handle_new_edge_forwarder(state, site, *announcement);
@@ -197,15 +217,18 @@ void LocalSwitchboard::install_rule(PerChain& pc,
     for (const InstanceAnnouncement& ann : instances) {
       if (ann.forwarder != forwarder) continue;
       const ElementInfo& info = context_.elements.info(ann.instance);
+      // Weight 0 marks a dead attachment: keep the attachment wiring (the
+      // element may come back) but exclude it from the weighted choice —
+      // WeightedChoice requires strictly positive weights.
       if (info.type == ElementType::kVnfInstance) {
         fronted_vnf = info.vnf;
-        rule.vnf_instances.add(ann.instance, ann.weight);
+        if (ann.weight > 0) rule.vnf_instances.add(ann.instance, ann.weight);
         engine.register_attachment(ann.instance, pc.labels);
       } else if (info.type == ElementType::kEdgeInstance) {
         engine.register_attachment(ann.instance, pc.labels);
         if (pc.egress_site == site_) {
           is_egress_forwarder = true;
-          rule.vnf_instances.add(ann.instance, ann.weight);
+          if (ann.weight > 0) rule.vnf_instances.add(ann.instance, ann.weight);
         }
         if (pc.ingress_site == site_) is_ingress_forwarder = true;
       }
@@ -291,7 +314,9 @@ void LocalSwitchboard::reconcile(PerChain& pc) {
         }
       }
     }
-    if (weight <= 0) continue;
+    // A drop to 0 must publish too: upstream sites drain their pinned
+    // next-forwarder choices on a weight-0 announcement.  The map default
+    // (last = 0) keeps forwarders that never had live instances silent.
     auto& last = pc.published_weight[forwarder];
     if (std::abs(last - weight) < 1e-12) continue;
     last = weight;
@@ -513,6 +538,41 @@ void LocalSwitchboard::maybe_finish_edge_addition(
 
 std::size_t LocalSwitchboard::active_chain_count() const {
   return chains_.size();
+}
+
+void LocalSwitchboard::start_heartbeats(sim::Duration period) {
+  SWB_CHECK(period > 0) << "heartbeat period must be positive";
+  heartbeat_period_ = period;
+  if (heartbeats_on_) return;
+  heartbeats_on_ = true;
+  publish_heartbeat();
+}
+
+void LocalSwitchboard::stop_heartbeats() {
+  heartbeats_on_ = false;
+  if (heartbeat_event_.valid()) {
+    context_.sim.cancel(heartbeat_event_);
+    heartbeat_event_ = sim::EventHandle{};
+  }
+}
+
+void LocalSwitchboard::publish_heartbeat() {
+  if (!heartbeats_on_) return;
+  // A crashed Local Switchboard stays silent (that silence IS the site-down
+  // signal) but keeps ticking so heartbeats resume on restore.
+  if (up_) {
+    Heartbeat beat;
+    beat.site = site_;
+    beat.seq = ++heartbeat_seq_;
+    for (const dataplane::ElementId element : context_.elements.elements_at(site_)) {
+      if (!context_.elements.info(element).up) {
+        beat.down_elements.push_back(element);
+      }
+    }
+    context_.bus.publish(bus::health_topic(site_), serialize(beat));
+  }
+  heartbeat_event_ = context_.sim.schedule(heartbeat_period_,
+                                           [this] { publish_heartbeat(); });
 }
 
 }  // namespace switchboard::control

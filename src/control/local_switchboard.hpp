@@ -72,6 +72,19 @@ class LocalSwitchboard {
   /// Number of chains this site participates in (for tests).
   [[nodiscard]] std::size_t active_chain_count() const;
 
+  /// Liveness (fault injection): a down Local Switchboard stops emitting
+  /// heartbeats (the failure detector's site-death signal) but keeps its
+  /// replicated state for restore.
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool up() const { return up_; }
+
+  /// Starts periodic heartbeats on /health/site_<s>, carrying the local
+  /// elements currently marked down.  Heartbeats self-reschedule forever:
+  /// call stop_heartbeats() (or Deployment::stop_recovery) before draining
+  /// the simulator to completion.
+  void start_heartbeats(sim::Duration period);
+  void stop_heartbeats();
+
   /// Called by a peer when it finished configuring the return path for an
   /// edge addition started at this site.
   void on_return_path_configured(ChainId chain, sim::SimTime received,
@@ -116,6 +129,7 @@ class LocalSwitchboard {
                                  const ForwarderAnnouncement& announcement);
   void reconcile(PerChain& pc);
   void maybe_finish_edge_addition(PendingEdgeAddition& pending);
+  void publish_heartbeat();
 
   /// Rebuilds and installs the LB rule on one forwarder for one chain.
   void install_rule(PerChain& pc, dataplane::ElementId forwarder);
@@ -131,6 +145,11 @@ class LocalSwitchboard {
   PeerLookup peer_lookup_;
   std::map<std::uint32_t, PerChain> chains_;          // by chain id
   std::vector<PendingEdgeAddition> pending_edges_;
+  bool up_{true};
+  bool heartbeats_on_{false};
+  sim::Duration heartbeat_period_{0};
+  std::uint64_t heartbeat_seq_{0};
+  sim::EventHandle heartbeat_event_{};
 };
 
 }  // namespace switchboard::control

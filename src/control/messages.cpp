@@ -73,6 +73,41 @@ std::string serialize(const RouteAnnouncement& m) {
   return out.str();
 }
 
+std::string serialize(const Heartbeat& m) {
+  std::ostringstream out;
+  out << "type=heartbeat;site=" << m.site.value() << ";seq=" << m.seq
+      << ";down=";
+  for (std::size_t i = 0; i < m.down_elements.size(); ++i) {
+    if (i > 0) out << ',';
+    out << m.down_elements[i];
+  }
+  return out.str();
+}
+
+std::optional<Heartbeat> parse_heartbeat(const std::string& payload) {
+  const auto fields = parse_fields(payload);
+  std::uint64_t site = 0;
+  Heartbeat m;
+  if (!get_u64(fields, "site", site) || !get_u64(fields, "seq", m.seq)) {
+    return std::nullopt;
+  }
+  m.site = SiteId{static_cast<SiteId::underlying_type>(site)};
+  const auto down_it = fields.find("down");
+  if (down_it == fields.end()) return std::nullopt;
+  std::istringstream down_in{down_it->second};
+  std::string id;
+  while (std::getline(down_in, id, ',')) {
+    if (id.empty()) continue;
+    try {
+      m.down_elements.push_back(
+          static_cast<dataplane::ElementId>(std::stoul(id)));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  return m;
+}
+
 std::optional<InstanceAnnouncement> parse_instance(const std::string& payload) {
   const auto fields = parse_fields(payload);
   std::uint64_t id = 0;

@@ -50,6 +50,16 @@ struct RouteAnnouncement {
   std::vector<RouteHop> hops;
 };
 
+/// Published on /health/site_<s> by a Local Switchboard: a periodic
+/// liveness beat plus the local elements currently known down.  The
+/// failure detector derives site liveness from beat arrival times and
+/// element liveness from the down list.
+struct Heartbeat {
+  SiteId site;
+  std::uint64_t seq{0};
+  std::vector<dataplane::ElementId> down_elements;
+};
+
 [[nodiscard]] std::string serialize(const InstanceAnnouncement& m);
 [[nodiscard]] std::string serialize(const ForwarderAnnouncement& m);
 [[nodiscard]] std::string serialize(const RouteAnnouncement& m);
@@ -58,7 +68,11 @@ struct RouteAnnouncement {
     const std::string& payload);
 [[nodiscard]] std::optional<ForwarderAnnouncement> parse_forwarder(
     const std::string& payload);
+[[nodiscard]] std::string serialize(const Heartbeat& m);
+
 [[nodiscard]] std::optional<RouteAnnouncement> parse_route(
+    const std::string& payload);
+[[nodiscard]] std::optional<Heartbeat> parse_heartbeat(
     const std::string& payload);
 
 }  // namespace switchboard::control

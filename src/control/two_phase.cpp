@@ -1,6 +1,7 @@
 #include "control/two_phase.hpp"
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace switchboard::control {
 
@@ -40,6 +41,20 @@ void TwoPhaseTracker::transition(ChainId chain, RouteId route,
       << "illegal 2PC transition " << to_string(from) << " -> "
       << to_string(to) << " for chain " << chain << " route " << route;
   states_[Key{chain.value(), route.value()}] = to;
+}
+
+bool TwoPhaseTracker::try_transition(ChainId chain, RouteId route,
+                                     TwoPhaseState to) {
+  const TwoPhaseState from = state(chain, route);
+  if (!legal(from, to)) {
+    ++rejected_;
+    SB_LOG(kDebug) << "2pc: rejected re-delivered transition "
+                   << to_string(from) << " -> " << to_string(to)
+                   << " for chain " << chain << " route " << route;
+    return false;
+  }
+  states_[Key{chain.value(), route.value()}] = to;
+  return true;
 }
 
 std::size_t TwoPhaseTracker::count(TwoPhaseState state) const {

@@ -47,6 +47,17 @@ class TwoPhaseTracker {
   /// Applies a transition, aborting (SWB_CHECK) when it is illegal.
   void transition(ChainId chain, RouteId route, TwoPhaseState to);
 
+  /// Applies a transition when legal; otherwise leaves the state alone,
+  /// counts the rejection, logs at debug level, and returns false.  For
+  /// paths where message duplication or coordinator retries make
+  /// illegal-looking re-deliveries reachable (e.g. a late abort arriving
+  /// for an already-committed route): those are protocol noise to shed,
+  /// not programming errors to crash on.
+  bool try_transition(ChainId chain, RouteId route, TwoPhaseState to);
+
+  /// Transitions rejected by try_transition so far.
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
   /// Number of tracked pairs currently in `state`.
   [[nodiscard]] std::size_t count(TwoPhaseState state) const;
 
@@ -57,6 +68,7 @@ class TwoPhaseTracker {
  private:
   using Key = std::pair<std::uint32_t, std::uint32_t>;
   std::map<Key, TwoPhaseState> states_;
+  std::uint64_t rejected_{0};
 };
 
 }  // namespace switchboard::control

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace switchboard::control {
 namespace {
@@ -21,9 +22,24 @@ VnfController::VnfController(ControlContext& context, VnfId vnf)
       pending_load_(context.model.sites().size(), 0.0) {}
 
 bool VnfController::prepare(ChainId chain, RouteId route, SiteId site,
-                            double load) {
+                            double load, std::size_t stage) {
   SWB_CHECK(load >= 0);
   SWB_CHECK(site.value() < committed_load_.size());
+
+  // Idempotent re-delivery: a (chain, route, stage) already reserved here
+  // is a repeat of a prepare whose answer the coordinator missed — say
+  // yes again without reserving twice.
+  if (const auto it = pending_.find(key(chain, route)); it != pending_.end()) {
+    for (const Reservation& r : it->second) {
+      if (r.stage == stage) {
+        ++duplicate_prepares_;
+        SB_LOG(kDebug) << "vnf " << vnf_ << ": duplicate prepare for chain "
+                       << chain << " route " << route << " stage " << stage;
+        return true;
+      }
+    }
+  }
+
   const double capacity = context_.model.vnf(vnf_).capacity_at(site);
   const double in_use =
       committed_load_[site.value()] + pending_load_[site.value()];
@@ -36,53 +52,98 @@ bool VnfController::prepare(ChainId chain, RouteId route, SiteId site,
   }
   two_phase_.transition(chain, route, TwoPhaseState::kPrepared);
   pending_load_[site.value()] += load;
-  pending_[key(chain, route)].push_back(Reservation{site, load});
+  pending_[key(chain, route)].push_back(Reservation{site, load, stage});
+  prepared_at_[key(chain, route)] = context_.sim.now();
+
+  // Reservation GC: if the coordinator dies between prepare and commit,
+  // the reservation would pin capacity forever.  With a TTL configured,
+  // re-check when it elapses and abort if still prepared and unrefreshed.
+  const sim::Duration ttl = context_.timings.reservation_ttl;
+  if (ttl > 0) {
+    context_.sim.schedule(ttl, [this, chain, route, ttl] {
+      const auto at = prepared_at_.find(key(chain, route));
+      if (at == prepared_at_.end()) return;   // committed or aborted already
+      if (context_.sim.now() - at->second < ttl) return;   // refreshed
+      if (two_phase_.state(chain, route) != TwoPhaseState::kPrepared) return;
+      ++gc_aborts_;
+      SB_LOG(kDebug) << "vnf " << vnf_ << ": GC-aborting stale reservation "
+                     << "for chain " << chain << " route " << route;
+      abort(chain, route);
+    });
+  }
   return true;
 }
 
 void VnfController::commit(ChainId chain, RouteId route,
                            std::uint32_t egress_label) {
+  // A commit racing the reservation GC (or a duplicated commit after an
+  // abort) finds kAborted: the reservation is gone, so there is nothing
+  // to allocate — reject-and-count, don't crash.  kIdle still dies below:
+  // a commit for a route never prepared here is a coordinator bug, and
+  // the matrix check is the loud failure we want.
+  if (two_phase_.state(chain, route) == TwoPhaseState::kAborted) {
+    const bool applied =
+        two_phase_.try_transition(chain, route, TwoPhaseState::kCommitted);
+    SWB_CHECK(!applied);
+    SB_LOG(kDebug) << "vnf " << vnf_ << ": late commit for aborted chain "
+                   << chain << " route " << route << " rejected";
+    return;
+  }
   // Legal only after a yes vote (kPrepared) or as an idempotent re-commit
   // (a chain using this VNF at two stages commits once per stage); a
-  // commit while kIdle or after a no vote aborts here.
+  // commit while kIdle aborts here.
   two_phase_.transition(chain, route, TwoPhaseState::kCommitted);
+  prepared_at_.erase(key(chain, route));
   const auto it = pending_.find(key(chain, route));
   if (it == pending_.end()) return;
   for (const Reservation& r : it->second) {
     pending_load_[r.site.value()] -= r.load;
     committed_load_[r.site.value()] += r.load;
-    ensure_instance(r.site);
 
     // Publish the allocation (Fig. 4 step 4).
-    InstanceAnnouncement announcement;
-    announcement.instance = ensure_instance(r.site);
-    announcement.forwarder =
-        context_.elements.info(announcement.instance).attached_forwarder;
-    announcement.weight =
-        context_.elements.info(announcement.instance).weight;
-    const bus::Topic topic =
-        bus::instances_topic(chain, egress_label, vnf_, r.site);
+    const dataplane::ElementId instance = ensure_instance(r.site);
     announced_.insert({chain.value(), egress_label, r.site.value()});
-    context_.sim.schedule(
-        context_.timings.controller_processing,
-        [this, topic, announcement] {
-          context_.bus.publish(topic, serialize(announcement));
-        });
+    publish_instance(chain, egress_label, r.site, instance);
   }
+  // Keep the reservations: release() needs them to return capacity when
+  // the recovery path retires the route.
+  auto& committed = committed_[key(chain, route)];
+  committed.insert(committed.end(), it->second.begin(), it->second.end());
   pending_.erase(it);
 }
 
 void VnfController::abort(ChainId chain, RouteId route) {
+  // Message duplication / coordinator retries make a late abort of an
+  // already-committed route reachable: rejecting it (counted by the
+  // tracker) protects the committed capacity accounting.  All other
+  // illegal aborts still crash via the matrix below.
+  if (two_phase_.state(chain, route) == TwoPhaseState::kCommitted) {
+    const bool applied =
+        two_phase_.try_transition(chain, route, TwoPhaseState::kAborted);
+    SWB_CHECK(!applied);
+    SB_LOG(kDebug) << "vnf " << vnf_ << ": late abort for committed chain "
+                   << chain << " route " << route << " rejected";
+    return;
+  }
   // Legal from kIdle (abort of a route never seen here), kPrepared, or
-  // kAborted (repeat); aborting a committed route would un-account
-  // committed capacity and is rejected by the matrix.
+  // kAborted (repeat).
   two_phase_.transition(chain, route, TwoPhaseState::kAborted);
+  prepared_at_.erase(key(chain, route));
   const auto it = pending_.find(key(chain, route));
   if (it == pending_.end()) return;
   for (const Reservation& r : it->second) {
     pending_load_[r.site.value()] -= r.load;
   }
   pending_.erase(it);
+}
+
+void VnfController::release(ChainId chain, RouteId route) {
+  const auto it = committed_.find(key(chain, route));
+  if (it == committed_.end()) return;
+  for (const Reservation& r : it->second) {
+    committed_load_[r.site.value()] -= r.load;
+  }
+  committed_.erase(it);
 }
 
 double VnfController::allocated(SiteId site) const {
@@ -92,6 +153,23 @@ double VnfController::allocated(SiteId site) const {
 
 double VnfController::headroom(SiteId site) const {
   return context_.model.vnf(vnf_).capacity_at(site) - allocated(site);
+}
+
+void VnfController::publish_instance(ChainId chain,
+                                     std::uint32_t egress_label, SiteId site,
+                                     dataplane::ElementId instance) {
+  InstanceAnnouncement announcement;
+  announcement.instance = instance;
+  const ElementInfo& info = context_.elements.info(instance);
+  announcement.forwarder = info.attached_forwarder;
+  announcement.weight = info.up ? info.weight : 0.0;
+  const bus::Topic topic = bus::instances_topic(chain, egress_label, vnf_,
+                                                site);
+  context_.sim.schedule(context_.timings.controller_processing,
+                        [this, topic, announcement] {
+                          context_.bus.publish(topic,
+                                               serialize(announcement));
+                        });
 }
 
 std::vector<dataplane::ElementId> VnfController::scale_instances(
@@ -110,29 +188,22 @@ std::vector<dataplane::ElementId> VnfController::scale_instances(
         site, vnf_, forwarder, /*weight=*/1.0,
         context_.model.vnf(vnf_).capacity_at(site)));
   }
+  reannounce_instances(site);
+  return created;
+}
 
-  // Re-announce the whole pool on every committed chain topic at the site
-  // so Local Switchboards rebuild their weighted rules.
+void VnfController::reannounce_instances(SiteId site) {
+  // Announce the whole pool, current weights (0 when down), on every
+  // committed chain topic at the site so Local Switchboards rebuild their
+  // weighted rules.
   for (const auto& [chain_raw, egress_label, site_raw] : announced_) {
     if (site_raw != site.value()) continue;
     const ChainId chain{chain_raw};
     for (const dataplane::ElementId instance :
          context_.elements.vnf_instances_at(site, vnf_)) {
-      InstanceAnnouncement announcement;
-      announcement.instance = instance;
-      announcement.forwarder =
-          context_.elements.info(instance).attached_forwarder;
-      announcement.weight = context_.elements.info(instance).weight;
-      const bus::Topic topic =
-          bus::instances_topic(chain, egress_label, vnf_, site);
-      context_.sim.schedule(
-          context_.timings.controller_processing,
-          [this, topic, announcement] {
-            context_.bus.publish(topic, serialize(announcement));
-          });
+      publish_instance(chain, egress_label, site, instance);
     }
   }
-  return created;
 }
 
 void VnfController::check_invariants() const {
@@ -171,6 +242,27 @@ void VnfController::check_invariants() const {
     SWB_CHECK_LE(std::abs(pending_load_[s] - expected[s]),
                  1e-6 * std::max(1.0, expected[s]))
         << "site " << s << " pending load drifted from its reservations";
+  }
+  // Mirror audit for the committed side: committed load per site equals
+  // the sum of committed reservations (release() and commit() are the
+  // only writers).
+  std::vector<double> committed_expected(committed_load_.size(), 0.0);
+  for (const auto& [chain_route, reservations] : committed_) {
+    SWB_CHECK_EQ(
+        static_cast<int>(two_phase_.state(ChainId{chain_route.first},
+                                          RouteId{chain_route.second})),
+        static_cast<int>(TwoPhaseState::kCommitted))
+        << "committed reservations for chain " << chain_route.first
+        << " route " << chain_route.second << " not in kCommitted";
+    for (const Reservation& r : reservations) {
+      SWB_CHECK_LT(r.site.value(), committed_expected.size());
+      committed_expected[r.site.value()] += r.load;
+    }
+  }
+  for (std::size_t s = 0; s < committed_load_.size(); ++s) {
+    SWB_CHECK_LE(std::abs(committed_load_[s] - committed_expected[s]),
+                 1e-6 * std::max(1.0, committed_expected[s]))
+        << "site " << s << " committed load drifted from its reservations";
   }
   // Every kPrepared pair holds reservations (prepare() records both
   // atomically), so the prepared population cannot exceed the pending map.

@@ -6,6 +6,15 @@
 // Instances are shared across chains by default (the paper's
 // service-oriented design, evaluated in Section 7.2's shared-cache
 // experiment); capacity accounting is per site.
+//
+// Fault tolerance: the participant side of the hardened 2PC.  Duplicate
+// prepares (coordinator retries / message duplication) are deduplicated
+// per stage; a late abort for a committed route and a late commit for a
+// garbage-collected route are rejected-and-counted instead of crashing;
+// reservations left prepared past `ControlTimings::reservation_ttl` are
+// auto-aborted (their coordinator is presumed dead).  An `up()` flag
+// models crash/restore: a down controller is unreachable (RPCs time out
+// at the coordinator), but keeps its state for when it returns.
 #pragma once
 
 #include <cstdint>
@@ -29,19 +38,37 @@ class VnfController {
 
   [[nodiscard]] VnfId vnf() const { return vnf_; }
 
+  /// Reachability (fault injection): a down controller never answers an
+  /// RPC — coordinators check up() and drive their timeout path.  State is
+  /// kept across crash/restore.
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool up() const { return up_; }
+
   /// --- two-phase commit participant ------------------------------------
   /// Reserves `load` compute at `site` for (chain, route).  Returns false
   /// (vote abort) when committed + pending load would exceed the site
-  /// capacity m_sf.
-  bool prepare(ChainId chain, RouteId route, SiteId site, double load);
+  /// capacity m_sf.  `stage` identifies the chain stage making the
+  /// reservation: re-delivery of an already-recorded (chain, route, stage)
+  /// prepare is an idempotent yes (no double reservation).
+  bool prepare(ChainId chain, RouteId route, SiteId site, double load,
+               std::size_t stage = 0);
 
   /// Converts the reservation into a committed allocation, allocates (or
   /// reuses) an instance at each reserved site, and publishes the
-  /// instance on the chain's instances topic.
+  /// instance on the chain's instances topic.  A commit arriving after
+  /// the reservation was garbage-collected (kAborted) is rejected and
+  /// counted; a commit while kIdle still crashes (coordinator bug).
   void commit(ChainId chain, RouteId route, std::uint32_t egress_label);
 
-  /// Drops the reservation.
+  /// Drops the reservation.  A late abort for an already-committed route
+  /// (message duplication / coordinator retry) is rejected-and-counted —
+  /// un-accounting committed capacity would corrupt it.
   void abort(ChainId chain, RouteId route);
+
+  /// Releases the committed allocation of (chain, route) — the recovery
+  /// path's "this route no longer exists".  The 2PC state stays
+  /// kCommitted (terminal); only the capacity accounting is returned.
+  void release(ChainId chain, RouteId route);
 
   /// Committed + pending load at a site.
   [[nodiscard]] double allocated(SiteId site) const;
@@ -60,30 +87,62 @@ class VnfController {
   std::vector<dataplane::ElementId> scale_instances(SiteId site,
                                                     std::size_t count);
 
+  /// Re-announces every instance of this VNF at `site` on all committed
+  /// chain topics with its current registry weight — 0 for instances
+  /// marked down — so Local Switchboards rebalance onto survivors and
+  /// drain flows off dead instances.  The recovery pipeline's drain
+  /// trigger.
+  void reannounce_instances(SiteId site);
+
   /// Protocol state observed for a (chain, route) at this participant.
   [[nodiscard]] TwoPhaseState two_phase_state(ChainId chain,
                                               RouteId route) const {
     return two_phase_.state(chain, route);
   }
 
+  // Fault-handling counters.
+  /// Illegal re-deliveries shed by the transition matrix (late aborts of
+  /// committed routes, late commits of GC'd routes).
+  [[nodiscard]] std::uint64_t rejected_transitions() const {
+    return two_phase_.rejected();
+  }
+  /// Duplicate (chain, route, stage) prepares deduplicated.
+  [[nodiscard]] std::uint64_t duplicate_prepares() const {
+    return duplicate_prepares_;
+  }
+  /// Reservations auto-aborted by the TTL garbage collector.
+  [[nodiscard]] std::uint64_t gc_aborts() const { return gc_aborts_; }
+
   /// Audits the participant (aborts via SWB_CHECK on violation): per-site
-  /// pending load equals the sum of outstanding reservations, committed and
-  /// pending loads are finite and non-negative, every pending (chain,
-  /// route) is in 2PC state kPrepared, and no prepared pair lacks its
-  /// reservation list.
+  /// pending load equals the sum of outstanding reservations, committed
+  /// load equals the sum of committed reservations, both finite and
+  /// non-negative, every pending (chain, route) is in 2PC state kPrepared
+  /// or kAborted, and no prepared pair lacks its reservation list.
   void check_invariants() const;
 
  private:
   struct Reservation {
     SiteId site;
     double load{0.0};
+    std::size_t stage{0};
   };
+
+  void publish_instance(ChainId chain, std::uint32_t egress_label,
+                        SiteId site, dataplane::ElementId instance);
 
   ControlContext& context_;
   VnfId vnf_;
+  bool up_{true};
   // Pending 2PC reservations keyed by (chain, route).
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Reservation>>
       pending_;
+  // Committed reservations, kept so release() can free capacity when the
+  // recovery path retires a route.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Reservation>>
+      committed_;
+  // Reservation GC: last prepare time per pending (chain, route).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, sim::SimTime>
+      prepared_at_;
   // Committed announcement topics: (chain, egress label, site) — used to
   // re-announce when instances scale.
   std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>>
@@ -91,6 +150,8 @@ class VnfController {
   std::vector<double> committed_load_;   // per site
   std::vector<double> pending_load_;     // per site
   TwoPhaseTracker two_phase_;            // per-(chain, route) protocol state
+  std::uint64_t duplicate_prepares_{0};
+  std::uint64_t gc_aborts_{0};
 };
 
 }  // namespace switchboard::control

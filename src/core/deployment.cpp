@@ -5,7 +5,9 @@
 namespace switchboard::core {
 
 Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
-    : config_{config}, model_{std::move(model)} {
+    : config_{config},
+      model_{std::move(model)},
+      faults_{sim_, config.fault_seed} {
   SWB_CHECK(!model_.sites().empty());
 
   bus::BusConfig bus_config;
@@ -17,6 +19,13 @@ Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
         model_.delay_ms(model_.site(a).node, model_.site(b).node);
     return sim::from_ms(ms);
   };
+  bus_config.fault_hook = [this](SiteId from, SiteId to,
+                                 const std::string& topic_path) {
+    return faults_.on_message(from, to, topic_path);
+  };
+  bus_config.reliable_delivery = config_.reliable_bus;
+  bus_config.ack_timeout = config_.bus_ack_timeout;
+  bus_config.max_retransmits = config_.bus_max_retransmits;
   bus_ = std::make_unique<bus::ProxyBus>(sim_, bus_config);
 
   context_ = std::make_unique<control::ControlContext>(
@@ -25,6 +34,9 @@ Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
 
   global_ = std::make_unique<control::GlobalSwitchboard>(
       *context_, config_.controller_site);
+
+  detector_ = std::make_unique<control::FailureDetector>(
+      *context_, config_.controller_site, config_.detector);
 
   for (const model::CloudSite& site : model_.sites()) {
     auto local =
@@ -77,6 +89,62 @@ void Deployment::sync_vnf_controllers() {
         std::make_unique<control::VnfController>(*context_, vnf.id);
     global_->register_vnf_controller(controller.get());
     vnf_controllers_.push_back(std::move(controller));
+  }
+}
+
+void Deployment::register_fault_targets() {
+  for (const model::CloudSite& site : model_.sites()) {
+    control::LocalSwitchboard* local = locals_[site.id.value()].get();
+    faults_.register_target("site:" + std::to_string(site.id.value()),
+                            [local](bool up) { local->set_up(up); });
+  }
+  for (std::size_t f = 0; f < vnf_controllers_.size(); ++f) {
+    control::VnfController* controller = vnf_controllers_[f].get();
+    faults_.register_target(
+        "controller:vnf" + std::to_string(f),
+        [controller](bool up) { controller->set_up(up); });
+  }
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const auto id = static_cast<dataplane::ElementId>(i);
+    faults_.register_target(
+        "element:" + std::to_string(id),
+        [this, id](bool up) { elements_.set_up(id, up); });
+  }
+}
+
+void Deployment::enable_recovery() {
+  register_fault_targets();
+  detector_->set_element_down_callback(
+      [this](dataplane::ElementId element, SiteId site) {
+        const control::ElementInfo& info = elements_.info(element);
+        if (info.type == control::ElementType::kVnfInstance) {
+          global_->on_instance_down(info.vnf, site);
+        }
+      });
+  detector_->set_site_down_callback([this](SiteId site) {
+    // A dead site takes every VNF pool it hosts with it; reroute each.
+    std::set<std::uint32_t> vnfs;
+    for (const dataplane::ElementId element : elements_.elements_at(site)) {
+      const control::ElementInfo& info = elements_.info(element);
+      if (info.type == control::ElementType::kVnfInstance) {
+        vnfs.insert(info.vnf.value());
+      }
+    }
+    for (const std::uint32_t vnf : vnfs) {
+      global_->on_instance_down(VnfId{vnf}, site);
+    }
+  });
+  for (const model::CloudSite& site : model_.sites()) {
+    detector_->watch_site(site.id);
+    locals_[site.id.value()]->start_heartbeats(config_.detector.period);
+  }
+  detector_->start();
+}
+
+void Deployment::stop_recovery() {
+  detector_->stop();
+  for (auto& local : locals_) {
+    local->stop_heartbeats();
   }
 }
 
@@ -154,6 +222,11 @@ Deployment::WalkResult Deployment::inject_from(
         return result;
       }
       case dataplane::ActionType::kSendToForwarder: {
+        if (!elements_.info(action.element).up) {
+          result.failure = "next-hop forwarder " +
+                           std::to_string(action.element) + " is down";
+          return result;
+        }
         const SiteId from = elements_.info(current_forwarder).site;
         const SiteId to = elements_.info(action.element).site;
         const double hop_ms =
@@ -169,6 +242,13 @@ Deployment::WalkResult Deployment::inject_from(
       }
       case dataplane::ActionType::kDeliverToAttached: {
         const control::ElementInfo& info = elements_.info(action.element);
+        if (!info.up) {
+          // A crashed element processes nothing: the packet is lost until
+          // the drain re-pins its flow onto a survivor.
+          result.failure = "element " + std::to_string(action.element) +
+                           " is down";
+          return result;
+        }
         if (info.type == control::ElementType::kEdgeInstance) {
           result.path.push_back(
               {action.element, control::ElementType::kEdgeInstance, 0.0});

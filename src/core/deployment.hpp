@@ -11,10 +11,12 @@
 #include "bus/message_bus.hpp"
 #include "control/context.hpp"
 #include "control/edge_controller.hpp"
+#include "control/failure_detector.hpp"
 #include "control/global_switchboard.hpp"
 #include "control/local_switchboard.hpp"
 #include "control/vnf_controller.hpp"
 #include "model/network_model.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/simulator.hpp"
 
 namespace switchboard::core {
@@ -28,6 +30,15 @@ struct DeploymentConfig {
   SiteId controller_site{0};
   /// Latency a VNF instance adds to a packet (data-plane walk).
   double vnf_processing_ms{0.1};
+  /// Acked + retransmitted wide-area delivery for control topics (health
+  /// topics stay fire-and-forget either way).
+  bool reliable_bus{false};
+  sim::Duration bus_ack_timeout{sim::from_ms(250.0)};
+  std::size_t bus_max_retransmits{3};
+  /// Seed for the deployment's fault injector (deterministic runs).
+  std::uint64_t fault_seed{0x5EEDFA17ULL};
+  /// Heartbeat / failure-detector timing (enable_recovery()).
+  control::FailureDetectorConfig detector{};
 };
 
 class Deployment {
@@ -45,12 +56,32 @@ class Deployment {
   [[nodiscard]] control::VnfController& vnf_controller(VnfId vnf);
   [[nodiscard]] control::EdgeController& edge_controller(EdgeServiceId id);
   [[nodiscard]] const DeploymentConfig& config() const { return config_; }
+  [[nodiscard]] sim::FaultInjector& fault_injector() { return faults_; }
+  [[nodiscard]] control::FailureDetector& failure_detector() {
+    return *detector_;
+  }
 
   /// Registers an edge service and its controller.
   EdgeServiceId create_edge_service(std::string name);
 
   /// Creates controllers for VNFs added to the model after construction.
   void sync_vnf_controllers();
+
+  // ---- failure injection + recovery -------------------------------------
+  /// (Re-)registers every current site ("site:<s>"), VNF controller
+  /// ("controller:vnf<f>"), and data-plane element ("element:<id>") as a
+  /// crash/restore target of the fault injector.  Idempotent; call again
+  /// after chain creation so late-created instances become targets.
+  void register_fault_targets();
+
+  /// Arms the recovery pipeline: registers fault targets, starts
+  /// heartbeats on every Local Switchboard at the detector period, and
+  /// starts the failure detector wired into Global Switchboard
+  /// (element/site down -> drain + reroute).  Call after the chains under
+  /// test are active; call stop_recovery() before draining the simulator
+  /// to completion (heartbeats and sweeps self-reschedule forever).
+  void enable_recovery();
+  void stop_recovery();
 
   // ---- data-plane packet walk -------------------------------------------
   struct HopTrace {
@@ -89,6 +120,7 @@ class Deployment {
   DeploymentConfig config_;
   model::NetworkModel model_;
   sim::Simulator sim_;
+  sim::FaultInjector faults_;
   control::ElementRegistry elements_;
   std::unique_ptr<bus::ProxyBus> bus_;
   std::unique_ptr<control::ControlContext> context_;
@@ -96,6 +128,7 @@ class Deployment {
   std::vector<std::unique_ptr<control::LocalSwitchboard>> locals_;
   std::vector<std::unique_ptr<control::VnfController>> vnf_controllers_;
   std::vector<std::unique_ptr<control::EdgeController>> edge_controllers_;
+  std::unique_ptr<control::FailureDetector> detector_;
 };
 
 }  // namespace switchboard::core

@@ -42,11 +42,27 @@ ForwardAction Forwarder::process_from_wire(const Packet& packet) {
   ForwarderCounters& counters = cell_for(packet.labels, key);
   ++counters.from_wire;
   if (const std::optional<FlowEntry> entry = table_.find(packet.labels, key)) {
-    if (entry->vnf_instance == kNoElement) {
+    if (entry->vnf_instance != kNoElement) {
+      return {ActionType::kDeliverToAttached, entry->vnf_instance};
+    }
+    // Drained pinning: the instance serving this flow died.  Re-pin onto a
+    // survivor from the current rule.  The pick is a pure function of the
+    // flow key, so workers racing on the same flow write identical entries;
+    // prev_element is preserved — the reverse path stays symmetric.
+    const LoadBalanceRule* rule = rules_.find(packet.labels);
+    if (rule == nullptr || rule->vnf_instances.empty()) {
       ++counters.drops;
       return {ActionType::kDrop, kNoElement};
     }
-    return {ActionType::kDeliverToAttached, entry->vnf_instance};
+    const std::uint64_t selector = flow_selector(packet.labels, key);
+    FlowEntry updated = *entry;
+    updated.vnf_instance = rule->vnf_instances.pick(selector);
+    if (updated.next_forwarder == kNoElement &&
+        !rule->next_forwarders.empty()) {
+      updated.next_forwarder = rule->next_forwarders.pick(mix64(selector));
+    }
+    table_.insert(packet.labels, key, updated);
+    return {ActionType::kDeliverToAttached, updated.vnf_instance};
   }
 
   // First packet of the connection at this forwarder.
@@ -121,9 +137,23 @@ ForwardAction Forwarder::process_from_attached(Packet& packet) {
     entry = table_.insert_if_absent(packet.labels, key, fresh);
   }
 
-  const ElementId target = packet.direction == Direction::kForward
+  ElementId target = packet.direction == Direction::kForward
       ? entry->next_forwarder
       : entry->prev_element;
+  if (target == kNoElement && packet.direction == Direction::kForward) {
+    // Drained next hop: re-pick from the current rule (same pure-function
+    // selector — racing workers converge on one pinning).  An egress
+    // forwarder keeps an empty next_forwarders rule, so terminal flows
+    // still fall through to the drop below.
+    const LoadBalanceRule* rule = rules_.find(packet.labels);
+    if (rule != nullptr && !rule->next_forwarders.empty()) {
+      FlowEntry updated = *entry;
+      updated.next_forwarder = rule->next_forwarders.pick(
+          mix64(flow_selector(packet.labels, key)));
+      table_.insert(packet.labels, key, updated);
+      target = updated.next_forwarder;
+    }
+  }
   if (target == kNoElement) {
     ++counters.drops;
     return {ActionType::kDrop, kNoElement};
@@ -169,6 +199,26 @@ std::size_t Forwarder::migrate_flows(Forwarder& target, ElementId instance,
     table_.erase(m.labels, m.tuple);
   }
   return moved.size();
+}
+
+std::size_t Forwarder::drain_element(ElementId dead) {
+  std::size_t drained = 0;
+  table_.for_each(
+      [&](const Labels&, const FiveTuple&, FlowEntry& entry) {
+        bool touched = false;
+        if (entry.vnf_instance == dead) {
+          entry.vnf_instance = kNoElement;
+          touched = true;
+        }
+        if (entry.next_forwarder == dead) {
+          entry.next_forwarder = kNoElement;
+          touched = true;
+        }
+        // prev_element is left alone: reverse packets keep flowing toward
+        // the ingress while the forward pinning waits for its re-pick.
+        if (touched) ++drained;
+      });
+  return drained;
 }
 
 }  // namespace switchboard::dataplane

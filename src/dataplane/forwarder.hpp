@@ -124,6 +124,15 @@ class Forwarder {
   std::size_t migrate_flows(Forwarder& target, ElementId instance,
                             ElementId replacement);
 
+  /// Failure drain (recovery path): invalidates every flow pinning that
+  /// points at `dead` — as the attached instance serving the flow or as the
+  /// pinned next-hop forwarder — by resetting the pointer to kNoElement.
+  /// The entry itself survives (prev_element keeps the reverse path and
+  /// symmetric return intact); the next forward-direction packet of each
+  /// flow re-picks from the then-current rule.  Thread-safe (all-shard
+  /// lock); returns the number of entries invalidated.
+  std::size_t drain_element(ElementId dead);
+
   [[nodiscard]] ForwarderCounters counters() const;
   [[nodiscard]] const ShardedFlowTable& flow_table() const { return table_; }
   [[nodiscard]] ShardedFlowTable& flow_table() { return table_; }

@@ -94,7 +94,9 @@ void NetworkModel::undeploy_vnf(VnfId vnf_id, SiteId site_id) {
 
 void NetworkModel::set_vnf_site_capacity(VnfId vnf_id, SiteId site_id,
                                          double capacity) {
-  SWB_CHECK(capacity > 0);
+  // 0 is legal: failure recovery zeroes a dead pool's capacity without
+  // undeploying it (the deployment comes back on restore).
+  SWB_CHECK(capacity >= 0);
   Vnf& f = vnf_mutable(vnf_id);
   for (VnfDeployment& d : f.deployments) {
     if (d.site == site_id) {

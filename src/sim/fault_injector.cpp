@@ -1,0 +1,163 @@
+#include "sim/fault_injector.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace switchboard::sim {
+
+FaultInjector::FaultInjector(Simulator& sim, std::uint64_t seed)
+    : sim_{sim}, rng_{seed} {}
+
+FaultInjector::SitePair FaultInjector::canonical(SiteId a, SiteId b) {
+  const std::uint32_t x = a.value();
+  const std::uint32_t y = b.value();
+  return x <= y ? SitePair{x, y} : SitePair{y, x};
+}
+
+void FaultInjector::record(const std::string& kind, std::string subject) {
+  trace_.push_back(FaultEvent{sim_.now(), kind, std::move(subject)});
+}
+
+MessageVerdict FaultInjector::on_message(SiteId from, SiteId to,
+                                         const std::string& topic) {
+  MessageVerdict verdict;
+  if (partitions_.empty() && !message_faults_.enabled()) return verdict;
+
+  std::ostringstream subject;
+  subject << from << "->" << to << " " << topic;
+
+  if (!partitions_.empty() && partitioned(from, to)) {
+    verdict.drop = true;
+    record("partition-drop", subject.str());
+    return verdict;
+  }
+  if (!message_faults_.enabled()) return verdict;
+
+  // Fixed draw order keeps the stream stable: drop first (short-circuits
+  // the rest), then duplicate, then delay + amount.
+  if (rng_.bernoulli(message_faults_.drop_probability)) {
+    verdict.drop = true;
+    record("drop", subject.str());
+    return verdict;
+  }
+  if (rng_.bernoulli(message_faults_.duplicate_probability)) {
+    verdict.duplicate = true;
+    record("duplicate", subject.str());
+  }
+  if (message_faults_.max_extra_delay > 0 &&
+      rng_.bernoulli(message_faults_.delay_probability)) {
+    verdict.extra_delay = rng_.uniform_int(
+        1, static_cast<std::int64_t>(message_faults_.max_extra_delay));
+    record("delay", subject.str());
+  }
+  return verdict;
+}
+
+void FaultInjector::partition_sites(SiteId a, SiteId b) {
+  SWB_CHECK(a != b) << "cannot partition a site from itself";
+  if (partitions_.insert(canonical(a, b)).second) {
+    std::ostringstream subject;
+    subject << a << "<->" << b;
+    record("partition", subject.str());
+  }
+}
+
+void FaultInjector::heal_sites(SiteId a, SiteId b) {
+  if (partitions_.erase(canonical(a, b)) > 0) {
+    std::ostringstream subject;
+    subject << a << "<->" << b;
+    record("heal", subject.str());
+  }
+}
+
+void FaultInjector::partition_sites_for(SiteId a, SiteId b,
+                                        Duration duration) {
+  SWB_CHECK(duration > 0);
+  partition_sites(a, b);
+  sim_.schedule(duration, [this, a, b] { heal_sites(a, b); });
+}
+
+bool FaultInjector::partitioned(SiteId a, SiteId b) const {
+  if (a == b) return false;
+  return partitions_.contains(canonical(a, b));
+}
+
+void FaultInjector::register_target(const std::string& name, StateFn apply) {
+  SWB_CHECK(apply != nullptr);
+  Target& target = targets_[name];
+  target.apply = std::move(apply);
+  // Keep a crashed target crashed through re-registration (owners refresh
+  // callbacks after re-wiring; state belongs to the injector).
+  if (target.down) target.apply(false);
+}
+
+bool FaultInjector::has_target(const std::string& name) const {
+  return targets_.contains(name);
+}
+
+bool FaultInjector::is_down(const std::string& name) const {
+  const auto it = targets_.find(name);
+  return it != targets_.end() && it->second.down;
+}
+
+void FaultInjector::crash(const std::string& name) {
+  const auto it = targets_.find(name);
+  SWB_CHECK(it != targets_.end()) << "unknown fault target " << name;
+  if (it->second.down) return;
+  it->second.down = true;
+  record("crash", name);
+  SB_LOG(kInfo) << "fault: crash " << name << " at t=" << sim_.now();
+  it->second.apply(false);
+}
+
+void FaultInjector::restore(const std::string& name) {
+  const auto it = targets_.find(name);
+  SWB_CHECK(it != targets_.end()) << "unknown fault target " << name;
+  if (!it->second.down) return;
+  it->second.down = false;
+  record("restore", name);
+  SB_LOG(kInfo) << "fault: restore " << name << " at t=" << sim_.now();
+  it->second.apply(true);
+}
+
+void FaultInjector::crash_at(SimTime when, const std::string& name) {
+  sim_.schedule_at(when, [this, name] { crash(name); });
+}
+
+void FaultInjector::restore_at(SimTime when, const std::string& name) {
+  sim_.schedule_at(when, [this, name] { restore(name); });
+}
+
+void FaultInjector::crash_for(const std::string& name, Duration duration) {
+  SWB_CHECK(duration > 0);
+  crash(name);
+  sim_.schedule(duration, [this, name] { restore(name); });
+}
+
+std::string FaultInjector::trace_string() const {
+  std::ostringstream out;
+  for (const FaultEvent& event : trace_) {
+    out << "t=" << event.at << " " << event.kind << " " << event.subject
+        << "\n";
+  }
+  return out.str();
+}
+
+void FaultInjector::check_invariants() const {
+  for (const SitePair& pair : partitions_) {
+    SWB_CHECK(pair.first < pair.second)
+        << "partition pair not canonical: " << pair.first << ","
+        << pair.second;
+  }
+  SimTime last = 0;
+  for (const FaultEvent& event : trace_) {
+    SWB_CHECK(!event.kind.empty());
+    SWB_CHECK(event.at >= last) << "fault trace timestamps not monotone";
+    last = event.at;
+  }
+}
+
+}  // namespace switchboard::sim

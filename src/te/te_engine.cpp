@@ -296,6 +296,15 @@ bool TeEngine::chain_crosses_link(ChainId c, LinkId link) const {
   return false;
 }
 
+std::vector<ChainId> TeEngine::chains_placing(VnfId f, SiteId s) const {
+  std::vector<ChainId> placing;
+  for (const model::Chain& chain : model_.chains()) {
+    if (!tracks_chain(chain.id)) continue;
+    if (chain_places_vnf_at(chain.id, f, s)) placing.push_back(chain.id);
+  }
+  return placing;
+}
+
 bool TeEngine::chain_places_vnf_at(ChainId c, VnfId f, SiteId s) const {
   const model::Chain& chain = model_.chain(c);
   const NodeId site_node = model_.site(s).node;

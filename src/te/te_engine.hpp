@@ -170,6 +170,11 @@ class TeEngine {
   /// Admitted fraction of a tracked chain.
   [[nodiscard]] double routed_fraction(ChainId c) const;
 
+  /// Tracked chains whose current routing places VNF `f` at site `s` — the
+  /// blast radius of an instance failure there (recovery tests assert the
+  /// incremental re-solve touches exactly these chains).
+  [[nodiscard]] std::vector<ChainId> chains_placing(VnfId f, SiteId s) const;
+
   /// Audits the engine (aborts via SWB_CHECK on violation): loads and
   /// routing invariants hold, and the loads equal the loads re-accumulated
   /// from the routing within `tolerance` (incremental drift bound).

@@ -254,6 +254,29 @@ TEST(TwoPhase, HappyPathWalksPrepareThenCommit) {
   tracker.check_invariants();
 }
 
+TEST(TwoPhase, LateAbortOnCommittedIsRejectedAndCounted) {
+  // Message duplication / 2PC retries make a stale abort reaching an
+  // already-committed reservation an expected event, not a protocol bug:
+  // try_transition must reject-and-count it, never SWB_CHECK-abort.
+  using control::TwoPhaseState;
+  control::TwoPhaseTracker tracker;
+  const ChainId chain{3};
+  const RouteId route{9};
+  tracker.transition(chain, route, TwoPhaseState::kPrepared);
+  tracker.transition(chain, route, TwoPhaseState::kCommitted);
+  EXPECT_EQ(tracker.rejected(), 0u);
+  EXPECT_FALSE(
+      tracker.try_transition(chain, route, TwoPhaseState::kAborted));
+  EXPECT_EQ(tracker.state(chain, route), TwoPhaseState::kCommitted)
+      << "late abort must not disturb the committed reservation";
+  EXPECT_EQ(tracker.rejected(), 1u);
+  // Re-delivered commit stays an idempotent no-op (legal self-loop).
+  EXPECT_TRUE(
+      tracker.try_transition(chain, route, TwoPhaseState::kCommitted));
+  EXPECT_EQ(tracker.rejected(), 1u);
+  tracker.check_invariants();
+}
+
 TEST(TwoPhaseDeathTest, CommitWithoutPrepareIsIllegal) {
   control::TwoPhaseTracker tracker;
   EXPECT_DEATH(

@@ -1,0 +1,416 @@
+// Fault injection + end-to-end recovery: seeded-determinism property
+// tests on the FaultInjector, the kill-instance -> detect -> reroute ->
+// drain pipeline, partition-heals-and-2PC-converges, and duplicate
+// re-delivery idempotency.  All scenarios run on the discrete-event
+// simulator, so the concurrency-sensitive drain path also runs under the
+// sanitizer presets with the rest of the suite (ctest label: faults).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataplane/traffic_gen.hpp"
+#include "switchboard/switchboard.hpp"
+
+namespace switchboard {
+namespace {
+
+using control::ChainSpec;
+using core::DeploymentConfig;
+using core::Middleware;
+
+dataplane::FiveTuple tuple(std::uint32_t i) {
+  return dataplane::FiveTuple{0x0A020000u + i, 0xC0A80002u,
+                              static_cast<std::uint16_t>(3000 + i), 443, 6};
+}
+
+/// Line A(0) - X(1) - Y(2) - B(3); firewall deployed at X and Y so a
+/// failed pool always has a surviving replacement site.
+model::NetworkModel make_two_pool_model() {
+  model::NetworkModel m{net::make_line_topology(4, 100.0, 5.0)};
+  m.add_site(NodeId{0}, 100.0, "A");
+  m.add_site(NodeId{1}, 100.0, "X");
+  m.add_site(NodeId{2}, 100.0, "Y");
+  m.add_site(NodeId{3}, 100.0, "B");
+  const VnfId fw = m.add_vnf("fw", 1.0);
+  m.deploy_vnf(fw, SiteId{1}, 100.0);
+  m.deploy_vnf(fw, SiteId{2}, 100.0);
+  return m;
+}
+
+ChainSpec make_span_spec(EdgeServiceId edge, VnfId fw) {
+  ChainSpec spec;
+  spec.name = "span";
+  spec.ingress_service = edge;
+  spec.egress_service = edge;
+  spec.ingress_node = NodeId{0};
+  spec.egress_node = NodeId{3};
+  spec.vnfs = {fw};
+  spec.forward_traffic = 1.0;
+  spec.reverse_traffic = 0.5;
+  return spec;
+}
+
+// ------------------------------------------------------ injector basics
+
+TEST(FaultInjector, UnconfiguredInjectorIsInert) {
+  sim::Simulator sim;
+  sim::FaultInjector faults{sim, 1234};
+  for (int i = 0; i < 100; ++i) {
+    const auto verdict = faults.on_message(SiteId{0}, SiteId{1}, "/t");
+    EXPECT_FALSE(verdict.faulted());
+  }
+  EXPECT_TRUE(faults.trace().empty());
+  faults.check_invariants();
+}
+
+TEST(FaultInjector, PartitionDropsBothDirectionsUntilHealed) {
+  sim::Simulator sim;
+  sim::FaultInjector faults{sim, 1};
+  faults.partition_sites(SiteId{2}, SiteId{0});
+  EXPECT_TRUE(faults.partitioned(SiteId{0}, SiteId{2}));
+  EXPECT_TRUE(faults.on_message(SiteId{0}, SiteId{2}, "/t").drop);
+  EXPECT_TRUE(faults.on_message(SiteId{2}, SiteId{0}, "/t").drop);
+  EXPECT_FALSE(faults.on_message(SiteId{0}, SiteId{1}, "/t").drop);
+  faults.heal_sites(SiteId{0}, SiteId{2});
+  EXPECT_FALSE(faults.partitioned(SiteId{0}, SiteId{2}));
+  EXPECT_FALSE(faults.on_message(SiteId{0}, SiteId{2}, "/t").drop);
+  faults.check_invariants();
+}
+
+TEST(FaultInjector, ScriptedCrashAndRestoreDriveTheTargetCallback) {
+  sim::Simulator sim;
+  sim::FaultInjector faults{sim, 1};
+  bool up = true;
+  faults.register_target("element:7", [&up](bool state) { up = state; });
+  faults.crash_at(sim::from_ms(10.0), "element:7");
+  faults.restore_at(sim::from_ms(30.0), "element:7");
+  sim.run_until(sim::from_ms(20.0));
+  EXPECT_FALSE(up);
+  EXPECT_TRUE(faults.is_down("element:7"));
+  sim.run_until(sim::from_ms(40.0));
+  EXPECT_TRUE(up);
+  EXPECT_FALSE(faults.is_down("element:7"));
+  // crash + restore, in timestamp order.
+  ASSERT_EQ(faults.trace().size(), 2u);
+  EXPECT_EQ(faults.trace()[0].kind, "crash");
+  EXPECT_EQ(faults.trace()[1].kind, "restore");
+  faults.check_invariants();
+}
+
+TEST(FaultInjector, SameSeedSameQuerySequenceGivesIdenticalVerdicts) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    sim::FaultInjector faults{sim, seed};
+    sim::MessageFaultConfig config;
+    config.drop_probability = 0.1;
+    config.duplicate_probability = 0.1;
+    config.delay_probability = 0.2;
+    config.max_extra_delay = sim::from_ms(20.0);
+    faults.set_message_faults(config);
+    for (std::uint32_t i = 0; i < 500; ++i) {
+      faults.on_message(SiteId{i % 4}, SiteId{(i + 1) % 4},
+                        "/t" + std::to_string(i % 3));
+    }
+    return faults.trace_string();
+  };
+  const std::string a = run(77);
+  EXPECT_EQ(a, run(77));
+  EXPECT_NE(a, run(78));
+}
+
+// ------------------------------------------- end-to-end chain recovery
+
+TEST(Recovery, KillInstanceDetectRerouteDrain) {
+  model::NetworkModel m = make_two_pool_model();
+  const VnfId fw = m.vnfs()[0].id;
+
+  DeploymentConfig config;
+  config.detector.period = sim::from_ms(50.0);
+  config.detector.suspicion_threshold = 3;
+  Middleware mw{std::move(m), config};
+  core::Deployment& dep = mw.deployment();
+
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  const auto report = mw.create_chain(make_span_spec(edge, fw));
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  const ChainId chain = report->chain;
+
+  ASSERT_EQ(mw.chain_record(chain).routes.size(), 1u);
+  const SiteId dead_site = mw.chain_record(chain).routes[0].vnf_sites[0];
+  const SiteId survivor =
+      dead_site == SiteId{1} ? SiteId{2} : SiteId{1};
+
+  // Pin a flow through the doomed pool, so the drain has work to do.
+  const auto pre = mw.send(chain, tuple(1));
+  ASSERT_TRUE(pre.delivered) << pre.failure;
+  const auto pinned = pre.vnf_instances();
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(dep.elements().info(pinned[0]).site, dead_site);
+
+  const double total_before =
+      dep.global().loads().vnf_site_load(fw, dead_site) +
+      dep.global().loads().vnf_site_load(fw, survivor);
+
+  dep.enable_recovery();
+  const std::vector<dataplane::ElementId> doomed =
+      dep.elements().vnf_instances_at(dead_site, fw);
+  ASSERT_FALSE(doomed.empty());
+  for (const dataplane::ElementId id : doomed) {
+    dep.fault_injector().crash("element:" + std::to_string(id));
+  }
+
+  // One beat carries the down-elements report; the reroute (compute +
+  // 2PC + rule install) completes well inside two simulated seconds.
+  dep.simulator().run_until(dep.simulator().now() + sim::from_ms(2000.0));
+  dep.stop_recovery();
+
+  EXPECT_GE(dep.failure_detector().element_failures_reported(),
+            static_cast<std::uint64_t>(doomed.size()));
+
+  // The chain is active again, entirely off the dead pool.
+  const control::ChainRecord& record = mw.chain_record(chain);
+  EXPECT_TRUE(record.active);
+  ASSERT_FALSE(record.routes.empty());
+  for (const control::RouteRecord& route : record.routes) {
+    for (const SiteId site : route.vnf_sites) {
+      EXPECT_EQ(site, survivor) << "route still places fw on dead site";
+    }
+  }
+
+  // Admitted volume is conserved: the dead pool's load moved wholesale
+  // onto the survivor (incremental re-solve, audited in GSB invariants).
+  EXPECT_NEAR(dep.global().loads().vnf_site_load(fw, dead_site), 0.0, 1e-9);
+  EXPECT_NEAR(dep.global().loads().vnf_site_load(fw, survivor),
+              total_before, 1e-6);
+
+  // Drain: the previously-pinned flow and fresh flows all avoid the dead
+  // instances.
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    const auto walk = mw.send(chain, tuple(i));
+    ASSERT_TRUE(walk.delivered) << "flow " << i << ": " << walk.failure;
+    for (const dataplane::ElementId instance : walk.vnf_instances()) {
+      EXPECT_EQ(dep.elements().info(instance).site, survivor)
+          << "flow " << i << " routed through the dead pool";
+    }
+  }
+}
+
+TEST(Recovery, SiteDeathIsSuspectedAfterSilenceAndReroutes) {
+  model::NetworkModel m = make_two_pool_model();
+  const VnfId fw = m.vnfs()[0].id;
+
+  DeploymentConfig config;
+  config.detector.period = sim::from_ms(50.0);
+  config.detector.suspicion_threshold = 3;
+  Middleware mw{std::move(m), config};
+  core::Deployment& dep = mw.deployment();
+
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  const auto report = mw.create_chain(make_span_spec(edge, fw));
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  const ChainId chain = report->chain;
+  const SiteId dead_site = mw.chain_record(chain).routes[0].vnf_sites[0];
+  const SiteId survivor =
+      dead_site == SiteId{1} ? SiteId{2} : SiteId{1};
+
+  dep.enable_recovery();
+  // Crash the whole site: its Local Switchboard goes silent and every
+  // element there stops processing.
+  dep.fault_injector().crash("site:" + std::to_string(dead_site.value()));
+  for (const dataplane::ElementId id :
+       dep.elements().elements_at(dead_site)) {
+    dep.fault_injector().crash("element:" + std::to_string(id));
+  }
+
+  dep.simulator().run_until(dep.simulator().now() + sim::from_ms(2000.0));
+  dep.stop_recovery();
+
+  EXPECT_TRUE(dep.failure_detector().suspects(dead_site));
+  EXPECT_GE(dep.failure_detector().suspicions_raised(), 1u);
+
+  const control::ChainRecord& record = mw.chain_record(chain);
+  EXPECT_TRUE(record.active);
+  ASSERT_FALSE(record.routes.empty());
+  for (const control::RouteRecord& route : record.routes) {
+    for (const SiteId site : route.vnf_sites) {
+      EXPECT_EQ(site, survivor);
+    }
+  }
+  const auto walk = mw.send(chain, tuple(9));
+  ASSERT_TRUE(walk.delivered) << walk.failure;
+}
+
+TEST(Recovery, PartitionHealsAndActivationConverges) {
+  model::NetworkModel m{net::make_line_topology(3, 100.0, 5.0)};
+  m.add_site(NodeId{0}, 100.0, "A");
+  m.add_site(NodeId{1}, 100.0, "M");
+  m.add_site(NodeId{2}, 100.0, "B");
+  const VnfId fw = m.add_vnf("fw", 1.0);
+  m.deploy_vnf(fw, SiteId{1}, 100.0);
+
+  DeploymentConfig config;
+  config.reliable_bus = true;
+  config.bus_ack_timeout = sim::from_ms(150.0);
+  config.bus_max_retransmits = 8;
+  Middleware mw{std::move(m), config};
+  core::Deployment& dep = mw.deployment();
+
+  // Cut the coordinator off from the VNF site for the first 600 ms: the
+  // initial route announcements starve; acked delivery retransmits them
+  // until the heal, and activation completes.
+  dep.fault_injector().partition_sites_for(SiteId{0}, SiteId{1},
+                                           sim::from_ms(600.0));
+
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  ChainSpec spec;
+  spec.name = "healed";
+  spec.ingress_service = edge;
+  spec.egress_service = edge;
+  spec.ingress_node = NodeId{0};
+  spec.egress_node = NodeId{2};
+  spec.vnfs = {fw};
+  const auto report = mw.create_chain(spec);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+
+  EXPECT_FALSE(dep.fault_injector().partitioned(SiteId{0}, SiteId{1}));
+  EXPECT_GT(dep.bus().stats().retransmits, 0u);
+  EXPECT_GT(dep.bus().stats().acks, 0u);
+  EXPECT_GT(dep.simulator().now(), sim::from_ms(600.0))
+      << "activation finished before the partition healed?";
+
+  const auto walk = mw.send(report->chain, tuple(3));
+  ASSERT_TRUE(walk.delivered) << walk.failure;
+}
+
+TEST(Recovery, DuplicatedControlMessagesAreIdempotent) {
+  model::NetworkModel m = make_two_pool_model();
+  const VnfId fw = m.vnfs()[0].id;
+
+  DeploymentConfig config;
+  config.reliable_bus = true;
+  Middleware mw{std::move(m), config};
+  core::Deployment& dep = mw.deployment();
+
+  // Every wide-area copy is duplicated: route/instance announcements all
+  // arrive (at least) twice.  Upserts keep the control plane convergent.
+  sim::MessageFaultConfig faults;
+  faults.duplicate_probability = 1.0;
+  dep.fault_injector().set_message_faults(faults);
+
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  const auto report = mw.create_chain(make_span_spec(edge, fw));
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_GT(dep.bus().stats().faults_duplicated, 0u);
+
+  const auto walk = mw.send(report->chain, tuple(4));
+  ASSERT_TRUE(walk.delivered) << walk.failure;
+  dep.global().check_invariants();
+}
+
+// ------------------------------------------- concurrent drain (TSan)
+
+// The failure drain runs on the control plane while packet workers keep
+// hammering the shard locks: drain_element's all-shard invalidation must
+// be race-free against process_from_wire.  (Runs under the tsan preset
+// with the rest of the suite.)
+TEST(FaultConcurrency, DrainRacesPacketWorkers) {
+  using namespace dataplane;
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::uint32_t kFlows = 2048;
+  Forwarder forwarder{1, kFlows * 2, kWorkers};
+  LoadBalanceRule rule;
+  rule.vnf_instances.add(100, 1.0);
+  rule.vnf_instances.add(101, 1.0);
+  forwarder.rules().install(Labels{1, 1}, std::move(rule));
+
+  std::atomic<bool> stop{false};
+  std::thread drainer([&forwarder, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      forwarder.drain_element(100);
+    }
+  });
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&forwarder, w] {
+      TrafficGenConfig config;
+      config.flow_count = kFlows;
+      config.worker_count = kWorkers;
+      config.worker_index = static_cast<std::uint32_t>(w);
+      PacketStream stream{config};
+      const std::size_t owned = stream.owned_flow_count();
+      for (std::size_t i = 0; i < 3 * owned; ++i) {
+        Packet p = stream.next();
+        p.arrival_source = 50;
+        const ForwardAction action = forwarder.process_from_wire(p);
+        EXPECT_EQ(action.type, ActionType::kDeliverToAttached);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  stop.store(true);
+  drainer.join();
+
+  // Quiesced: one final drain leaves no pinning on the dead instance.
+  forwarder.drain_element(100);
+  forwarder.flow_table().for_each(
+      [](const Labels&, const FiveTuple&, FlowEntry& entry) {
+        EXPECT_NE(entry.vnf_instance, ElementId{100});
+      });
+}
+
+// --------------------------------------------- seeded full-run property
+
+/// One complete lossy-run scenario: chain creation under randomized
+/// message faults, then a scripted crash + recovery window.  Returns the
+/// injector's full fault trace.
+std::string lossy_recovery_trace(std::uint64_t seed) {
+  model::NetworkModel m = make_two_pool_model();
+  const VnfId fw = m.vnfs()[0].id;
+
+  DeploymentConfig config;
+  config.fault_seed = seed;
+  config.reliable_bus = true;
+  config.bus_ack_timeout = sim::from_ms(100.0);
+  config.bus_max_retransmits = 10;
+  config.detector.period = sim::from_ms(50.0);
+  Middleware mw{std::move(m), config};
+  core::Deployment& dep = mw.deployment();
+
+  sim::MessageFaultConfig faults;
+  faults.drop_probability = 0.05;
+  faults.duplicate_probability = 0.05;
+  faults.delay_probability = 0.10;
+  faults.max_extra_delay = sim::from_ms(10.0);
+  dep.fault_injector().set_message_faults(faults);
+
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  const auto report = mw.create_chain(make_span_spec(edge, fw));
+  if (!report.ok()) return "creation-failed: " + report.error().to_string();
+
+  dep.enable_recovery();
+  const SiteId dead_site =
+      mw.chain_record(report->chain).routes[0].vnf_sites[0];
+  for (const dataplane::ElementId id :
+       dep.elements().vnf_instances_at(dead_site, fw)) {
+    dep.fault_injector().crash_for("element:" + std::to_string(id),
+                                   sim::from_ms(500.0));
+  }
+  dep.simulator().run_until(dep.simulator().now() + sim::from_ms(1500.0));
+  dep.stop_recovery();
+  return dep.fault_injector().trace_string();
+}
+
+TEST(Recovery, SameFaultSeedGivesByteIdenticalTrace) {
+  const std::string a = lossy_recovery_trace(0xFA17);
+  const std::string b = lossy_recovery_trace(0xFA17);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "fault trace diverged between identical runs";
+  EXPECT_NE(a, lossy_recovery_trace(0xFA18))
+      << "different seeds produced identical lossy traces";
+}
+
+}  // namespace
+}  // namespace switchboard
