@@ -70,8 +70,9 @@ bool MessageBus::wire_copy(sim::Simulator& sim, const BusConfig& config,
   return accepted;
 }
 
-void MessageBus::reliable_attempt(sim::Simulator& sim, const BusConfig& config,
-                                  ReliableMessage* message) {
+void MessageBus::reliable_attempt(
+    sim::Simulator& sim, const BusConfig& config,
+    const std::shared_ptr<ReliableMessage>& message) {
   auto* simp = &sim;
   const auto* cfg = &config;   // refers to the bus's long-lived config_
   ++message->sends;
@@ -98,16 +99,18 @@ void MessageBus::reliable_attempt(sim::Simulator& sim, const BusConfig& config,
                   cfg->inter_site_delay(message->to, message->from) +
                       ack_verdict.extra_delay,
                   [this, simp, message] {
-                    if (message->acked) return;
+                    if (message->acked || message->done) return;
                     message->acked = true;
+                    message->done = true;
                     ++stats_.acks;
                     simp->cancel(message->retry);
                   });
             });
   message->retry = sim.schedule(config.ack_timeout, [this, simp, cfg,
                                                      message] {
-    if (message->acked) return;
+    if (message->acked || message->done) return;
     if (message->sends > cfg->max_retransmits) {
+      message->done = true;
       ++stats_.lost_messages;
       SB_LOG(kDebug) << "bus: gave up on " << message->topic_path << " "
                      << message->from << "->" << message->to << " after "
@@ -119,6 +122,29 @@ void MessageBus::reliable_attempt(sim::Simulator& sim, const BusConfig& config,
   });
 }
 
+void MessageBus::abandon_retransmits_to(SiteId site) {
+  for (const std::shared_ptr<ReliableMessage>& message : reliable_) {
+    if (message->done || message->to != site) continue;
+    message->done = true;
+    ++stats_.abandoned_retransmits;
+    if (message->retry.valid()) {
+      // The retry timer is the only pending continuation the bus owns for
+      // this copy; any wire copy already in flight just arrives unacked.
+      SB_LOG(kDebug) << "bus: abandoning " << message->topic_path << " "
+                     << message->from << "->" << message->to
+                     << " (receiver crashed)";
+    }
+  }
+}
+
+std::size_t MessageBus::reliable_in_flight() const {
+  std::size_t in_flight = 0;
+  for (const std::shared_ptr<ReliableMessage>& message : reliable_) {
+    if (!message->done) ++in_flight;
+  }
+  return in_flight;
+}
+
 void MessageBus::wide_area_send(sim::Simulator& sim, const BusConfig& config,
                                 ProxyEgress& egress, SiteId from, SiteId to,
                                 const std::string& topic_path,
@@ -127,14 +153,18 @@ void MessageBus::wide_area_send(sim::Simulator& sim, const BusConfig& config,
     wire_copy(sim, config, egress, from, to, topic_path, deliver);
     return;
   }
-  auto owned = std::make_unique<ReliableMessage>();
-  owned->from = from;
-  owned->to = to;
-  owned->topic_path = topic_path;
-  owned->deliver = std::move(deliver);
-  owned->egress = &egress;
-  ReliableMessage* message = owned.get();
-  reliable_.push_back(std::move(owned));
+  // Reap finished copies (acked / given up / abandoned) so bookkeeping is
+  // bounded by the copies actually outstanding, not by lifetime traffic.
+  std::erase_if(reliable_, [](const std::shared_ptr<ReliableMessage>& m) {
+    return m->done;
+  });
+  auto message = std::make_shared<ReliableMessage>();
+  message->from = from;
+  message->to = to;
+  message->topic_path = topic_path;
+  message->deliver = std::move(deliver);
+  message->egress = &egress;
+  reliable_.push_back(message);
   reliable_attempt(sim, config, message);
 }
 

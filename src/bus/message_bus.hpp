@@ -99,6 +99,9 @@ struct BusStats {
   std::uint64_t retransmits{0};
   /// Reliable copies abandoned after the retry budget.
   std::uint64_t lost_messages{0};
+  /// Reliable copies whose retransmits were cancelled because the
+  /// receiving site crashed (abandon_retransmits_to).
+  std::uint64_t abandoned_retransmits{0};
   /// Redundant deliveries suppressed at the receiver (at-least-once).
   std::uint64_t duplicate_deliveries{0};
   /// Publish-to-delivery latency (ms) over all deliveries.
@@ -136,6 +139,26 @@ class MessageBus {
   [[nodiscard]] const BusStats& stats() const { return stats_; }
   [[nodiscard]] BusStats& stats_mutable() { return stats_; }
 
+  /// Cancels the retransmit timers of every unacknowledged reliable copy
+  /// addressed to `site` and counts each as abandoned.  Called when the
+  /// site *crashes* (fault injection): its proxy lost the subscription
+  /// state that would consume the copy, so retrying against it is wasted
+  /// wire traffic — without this, every pending copy burns its full retry
+  /// budget against a dead site.  Not for mere suspicion: a partitioned
+  /// site still holds its state, and retransmits are what re-converge it
+  /// when the partition heals.
+  void abandon_retransmits_to(SiteId site);
+
+  /// Reliable copies still awaiting an ack, a retry verdict, or reaping
+  /// (tests: bounds retransmit-state growth).
+  [[nodiscard]] std::size_t reliable_in_flight() const;
+
+  /// Reliable entries currently tracked, finished or not (tests: proves
+  /// finished entries are reaped instead of accumulating forever).
+  [[nodiscard]] std::size_t reliable_tracked() const {
+    return reliable_.size();
+  }
+
  protected:
   /// One wide-area copy through `egress`, honoring the fault hook, drop
   /// accounting, and (for non-transient topics) reliable delivery.
@@ -152,9 +175,11 @@ class MessageBus {
   }
 
  private:
-  /// In-flight state of one reliable wide-area copy.  Entries are owned by
-  /// the bus (stable addresses; scheduled closures hold raw pointers) and
-  /// live until the bus is destroyed.
+  /// In-flight state of one reliable wide-area copy.  Entries are shared
+  /// with the scheduled closures (in-flight wire copies and ack/retry
+  /// timers may outlive the bus-side bookkeeping); the bus reaps finished
+  /// entries on the next wide_area_send instead of accumulating every
+  /// copy ever sent.
   struct ReliableMessage {
     SiteId from;
     SiteId to;
@@ -163,6 +188,8 @@ class MessageBus {
     ProxyEgress* egress{nullptr};
     bool delivered{false};
     bool acked{false};
+    /// Terminal: acked, gave up, or abandoned — eligible for reaping.
+    bool done{false};
     std::size_t sends{0};
     sim::EventHandle retry{};
   };
@@ -179,9 +206,9 @@ class MessageBus {
                  const std::function<void()>& arrival);
   /// One (re)transmission attempt of a reliable copy + its retry timer.
   void reliable_attempt(sim::Simulator& sim, const BusConfig& config,
-                        ReliableMessage* message);
+                        const std::shared_ptr<ReliableMessage>& message);
 
-  std::vector<std::unique_ptr<ReliableMessage>> reliable_;
+  std::vector<std::shared_ptr<ReliableMessage>> reliable_;
 
  protected:
   BusStats stats_;

@@ -12,6 +12,7 @@ FailureDetector::FailureDetector(ControlContext& context, SiteId home_site,
     : context_{context}, home_site_{home_site}, config_{config} {
   SWB_CHECK(config_.period > 0) << "detector period must be positive";
   SWB_CHECK(config_.suspicion_threshold > 0);
+  SWB_CHECK(config_.element_debounce_beats > 0);
 }
 
 void FailureDetector::set_site_down_callback(SiteCallback callback) {
@@ -53,6 +54,13 @@ void FailureDetector::stop() {
   }
 }
 
+void FailureDetector::resync() {
+  for (auto& [site_raw, state] : sites_) {
+    state.down_reported.clear();
+    state.down_streak.clear();
+  }
+}
+
 bool FailureDetector::suspects(SiteId site) const {
   const auto it = sites_.find(site.value());
   return it != sites_.end() && it->second.suspected;
@@ -76,20 +84,27 @@ void FailureDetector::on_heartbeat(const Heartbeat& beat) {
     if (site_up_) site_up_(beat.site);
   }
 
-  // Element liveness rides in the beat: relay newly-down elements once,
-  // and forget recovered ones so a re-failure is reported again.
+  // Element liveness rides in the beat: relay an element only after it has
+  // been down `element_debounce_beats` beats in a row (a flap that heals
+  // within the debounce window triggers nothing), relay once, and forget
+  // recovered ones so a re-failure is debounced and reported again.
   std::set<dataplane::ElementId> down_now{beat.down_elements.begin(),
                                           beat.down_elements.end()};
   for (const dataplane::ElementId element : down_now) {
+    const std::uint32_t streak = ++state.down_streak[element];
+    if (streak < config_.element_debounce_beats) continue;
     if (state.down_reported.insert(element).second) {
       ++element_failures_reported_;
       SB_LOG(kInfo) << "detector: element " << element << " down at site "
-                    << beat.site;
+                    << beat.site << " (" << streak << " beats)";
       if (element_down_) element_down_(element, beat.site);
     }
   }
   std::erase_if(state.down_reported, [&](dataplane::ElementId element) {
     return down_now.count(element) == 0;
+  });
+  std::erase_if(state.down_streak, [&](const auto& entry) {
+    return down_now.count(entry.first) == 0;
   });
 }
 
@@ -119,6 +134,13 @@ void FailureDetector::check_invariants() const {
     SWB_CHECK_LE(state.last_beat, context_.sim.now())
         << "site " << site_raw << " heard from the future";
     if (state.suspected) ++currently_suspected;
+    // A relayed element must have survived the debounce window.
+    for (const dataplane::ElementId element : state.down_reported) {
+      const auto streak = state.down_streak.find(element);
+      SWB_CHECK(streak != state.down_streak.end() &&
+                streak->second >= config_.element_debounce_beats)
+          << "element " << element << " relayed before the debounce window";
+    }
   }
   // Every suspicion either recovered or is still open.
   SWB_CHECK_GE(suspicions_raised_, recoveries_observed_);

@@ -29,6 +29,11 @@ struct FailureDetectorConfig {
   sim::Duration period{sim::from_ms(50.0)};
   /// Beats missed before a site is suspected down.
   std::uint32_t suspicion_threshold{3};
+  /// Consecutive beats an element must be reported down before the
+  /// failure is relayed upward (1 = relay on first sight).  Debouncing
+  /// keeps a flapping element — down in one beat, back in the next — from
+  /// triggering a route retirement per flap.
+  std::uint32_t element_debounce_beats{2};
 };
 
 class FailureDetector {
@@ -54,6 +59,14 @@ class FailureDetector {
   /// draining the simulator to completion.  Idempotent.
   void start();
   void stop();
+
+  /// Forgets the element-relay dedup history (and debounce streaks) so
+  /// still-down elements are re-reported.  Called after the Global
+  /// Switchboard recovers from crash-with-amnesia: the fresh incarnation
+  /// must hear about failures the old one already consumed (re-reports
+  /// are idempotent there).  Site suspicion state is kept — site liveness
+  /// is the detector's own observation, not controller memory.
+  void resync();
 
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] std::size_t watched_count() const { return sites_.size(); }
@@ -83,6 +96,8 @@ class FailureDetector {
     bool suspected{false};
     /// Elements this site reported down that we already relayed upward.
     std::set<dataplane::ElementId> down_reported;
+    /// Consecutive beats each element has been reported down (debounce).
+    std::map<dataplane::ElementId, std::uint32_t> down_streak;
   };
 
   void on_heartbeat(const Heartbeat& beat);

@@ -2,12 +2,114 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace switchboard::control {
+namespace {
+
+// --- journal-record grammar helpers --------------------------------------
+// Records reuse the bus messages' "k=v;" style (one record per line, no
+// embedded newlines); the parse side mirrors messages.cpp.
+
+std::unordered_map<std::string, std::string> journal_fields(
+    const std::string& record) {
+  std::unordered_map<std::string, std::string> fields;
+  std::istringstream in{record};
+  std::string pair;
+  while (std::getline(in, pair, ';')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    fields[pair.substr(0, eq)] = pair.substr(eq + 1);
+  }
+  return fields;
+}
+
+std::uint64_t field_u64(
+    const std::unordered_map<std::string, std::string>& fields,
+    const std::string& key) {
+  const auto it = fields.find(key);
+  SWB_CHECK(it != fields.end()) << "journal record missing field " << key;
+  return std::stoull(it->second);
+}
+
+double field_double(
+    const std::unordered_map<std::string, std::string>& fields,
+    const std::string& key) {
+  const auto it = fields.find(key);
+  SWB_CHECK(it != fields.end()) << "journal record missing field " << key;
+  return std::stod(it->second);
+}
+
+std::vector<std::uint32_t> field_u32_list(
+    const std::unordered_map<std::string, std::string>& fields,
+    const std::string& key) {
+  const auto it = fields.find(key);
+  SWB_CHECK(it != fields.end()) << "journal record missing field " << key;
+  std::vector<std::uint32_t> values;
+  std::istringstream in{it->second};
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    values.push_back(static_cast<std::uint32_t>(std::stoul(item)));
+  }
+  return values;
+}
+
+/// Round-trip-exact double formatting for journal records.
+std::string exact(double value) {
+  std::ostringstream out;
+  out << std::setprecision(17) << value;
+  return out.str();
+}
+
+std::string pair_record(const char* type, ChainId chain, RouteId route) {
+  std::ostringstream out;
+  out << "t=" << type << ";chain=" << chain.value()
+      << ";route=" << route.value();
+  return out.str();
+}
+
+std::string encode_chain(const ChainRecord& record) {
+  SWB_CHECK(record.spec.name.find(';') == std::string::npos &&
+            record.spec.name.find('\n') == std::string::npos)
+      << "chain name unserializable for the journal";
+  std::ostringstream out;
+  out << "t=chain;id=" << record.id.value() << ";name=" << record.spec.name
+      << ";ins=" << record.spec.ingress_service.value()
+      << ";inn=" << record.spec.ingress_node.value()
+      << ";egs=" << record.spec.egress_service.value()
+      << ";egn=" << record.spec.egress_node.value() << ";vnfs=";
+  for (std::size_t i = 0; i < record.spec.vnfs.size(); ++i) {
+    if (i > 0) out << ',';
+    out << record.spec.vnfs[i].value();
+  }
+  out << ";ft=" << exact(record.spec.forward_traffic)
+      << ";rt=" << exact(record.spec.reverse_traffic)
+      << ";cl=" << record.labels.chain << ";el=" << record.labels.egress_site
+      << ";insite=" << record.ingress_site.value()
+      << ";egsite=" << record.egress_site.value();
+  return out.str();
+}
+
+std::string encode_begin(ChainId chain, RouteId route,
+                         const std::vector<SiteId>& sites) {
+  std::ostringstream out;
+  out << "t=begin;chain=" << chain.value() << ";route=" << route.value()
+      << ";sites=";
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (i > 0) out << ',';
+    out << sites[i].value();
+  }
+  return out.str();
+}
+
+}  // namespace
 
 GlobalSwitchboard::GlobalSwitchboard(ControlContext& context, SiteId home_site)
     : context_{context}, home_site_{home_site}, loads_{context.model} {}
@@ -63,6 +165,7 @@ RouteAnnouncement GlobalSwitchboard::to_announcement(
   announcement.ingress_site = record.ingress_site;
   announcement.egress_site = record.egress_site;
   announcement.weight = route.weight;
+  announcement.epoch = epoch_;
   for (std::size_t z = 1; z <= record.spec.vnfs.size(); ++z) {
     announcement.hops.push_back(RouteHop{z, record.spec.vnfs[z - 1],
                                          route.vnf_sites[z - 1]});
@@ -149,8 +252,10 @@ void GlobalSwitchboard::create_chain(const ChainSpec& spec,
   // (parallel RPC round trip + controller processing).
   const sim::Duration resolve_delay = 2 * context_.timings.controller_rpc +
                                       context_.timings.controller_processing;
-  context_.sim.schedule(resolve_delay, [this, spec, report,
+  const std::uint64_t ep = epoch_;
+  context_.sim.schedule(resolve_delay, [this, ep, spec, report,
                                         done = std::move(done)]() mutable {
+    if (!up_ || ep != epoch_) return;   // the requesting incarnation died
     if (spec.ingress_service.value() >= edge_controllers_.size() ||
         edge_controllers_[spec.ingress_service.value()] == nullptr ||
         spec.egress_service.value() >= edge_controllers_.size() ||
@@ -190,13 +295,15 @@ void GlobalSwitchboard::create_chain(const ChainSpec& spec,
     record.ingress_site = *ingress;
     record.egress_site = *egress;
     chains_.push_back(record);
+    journal_append(encode_chain(record));
     report.chain = chain_id;
     report.labels = record.labels;
 
     // Fig. 4 step 2: compute the wide-area route.
     context_.sim.schedule(
         context_.timings.route_compute,
-        [this, chain_id, report, done = std::move(done)]() mutable {
+        [this, ep, chain_id, report, done = std::move(done)]() mutable {
+          if (!up_ || ep != epoch_) return;
           ChainRecord* rec = nullptr;
           for (ChainRecord& r : chains_) {
             if (r.id == chain_id) rec = &r;
@@ -244,14 +351,23 @@ void GlobalSwitchboard::commit_route(
     std::size_t attempt) {
   const ChainId chain_id = record.id;
 
+  // Journal the 2PC intent before any participant hears about it: after a
+  // crash anywhere in the round, recovery knows this (chain, route, sites)
+  // begun and can re-drive or abort it.
+  journal_append(encode_begin(chain_id, route.id, route.vnf_sites));
+  inflight_[{chain_id.value(), route.id.value()}] =
+      Inflight{route.vnf_sites, /*prepared=*/false};
+
   // Two-phase commit, prepare round: parallel RPCs to each VNF controller
   // (round trip + processing).
   const sim::Duration prepare_delay = 2 * context_.timings.controller_rpc +
                                       context_.timings.controller_processing;
+  const std::uint64_t ep = epoch_;
   context_.sim.schedule(
       prepare_delay,
-      [this, chain_id, route, report, done = std::move(done), excluded,
+      [this, ep, chain_id, route, report, done = std::move(done), excluded,
        attempt]() mutable {
+        if (!up_ || ep != epoch_) return;
         start_prepare_round(chain_id, std::move(route), std::move(report),
                             std::move(done), std::move(excluded), attempt,
                             /*rpc_retry=*/0);
@@ -290,7 +406,7 @@ void GlobalSwitchboard::start_prepare_round(
         context_.model.vnf(vnf).load_per_unit *
         (chain.stage_traffic(z) + chain.stage_traffic(z + 1)) *
         route.weight;
-    if (controller->prepare(chain_id, route.id, site, load, z)) {
+    if (controller->prepare(chain_id, route.id, site, load, z, epoch_)) {
       prepared_vnfs.insert(vnf.value());
     } else {
       all_prepared = false;
@@ -303,8 +419,10 @@ void GlobalSwitchboard::start_prepare_round(
     // Abort the reservations made so far and recompute with the
     // rejecting placement excluded (Section 3, chain creation).
     for (const std::uint32_t vnf : prepared_vnfs) {
-      vnf_controllers_[vnf]->abort(chain_id, route.id);
+      vnf_controllers_[vnf]->abort(chain_id, route.id, epoch_);
     }
+    journal_append(pair_record("abort", chain_id, route.id));
+    inflight_.erase({chain_id.value(), route.id.value()});
     excluded.insert(rejected);
     report.events.push_back({"route_rejected", context_.sim.now()});
     if (attempt + 1 >= 4) {
@@ -313,10 +431,12 @@ void GlobalSwitchboard::start_prepare_round(
           "2PC: no feasible route after repeated rejections"});
       return;
     }
+    const std::uint64_t ep = epoch_;
     context_.sim.schedule(
         context_.timings.route_compute,
-        [this, chain_id, report, done = std::move(done), excluded,
+        [this, ep, chain_id, report, done = std::move(done), excluded,
          attempt]() mutable {
+          if (!up_ || ep != epoch_) return;
           ChainRecord* rec2 = nullptr;
           for (ChainRecord& r : chains_) {
             if (r.id == chain_id) rec2 = &r;
@@ -359,18 +479,22 @@ void GlobalSwitchboard::start_prepare_round(
                     << route.id << " gave up after " << rpc_retry
                     << " retries";
       for (const std::uint32_t vnf : prepared_vnfs) {
-        vnf_controllers_[vnf]->abort(chain_id, route.id);
+        vnf_controllers_[vnf]->abort(chain_id, route.id, epoch_);
       }
+      journal_append(pair_record("abort", chain_id, route.id));
+      inflight_.erase({chain_id.value(), route.id.value()});
       done(Result<CreationReport>{
           ErrorCode::kUnavailable,
           "2PC prepare: participant unreachable after retries"});
       return;
     }
+    const std::uint64_t retry_ep = epoch_;
     context_.sim.schedule(
         context_.timings.rpc_timeout + rpc_backoff(context_.timings,
                                                    rpc_retry),
-        [this, chain_id, route, report, done = std::move(done), excluded,
-         attempt, rpc_retry]() mutable {
+        [this, retry_ep, chain_id, route, report, done = std::move(done),
+         excluded, attempt, rpc_retry]() mutable {
+          if (!up_ || retry_ep != epoch_) return;
           start_prepare_round(chain_id, std::move(route), std::move(report),
                               std::move(done), std::move(excluded), attempt,
                               rpc_retry + 1);
@@ -379,10 +503,19 @@ void GlobalSwitchboard::start_prepare_round(
   }
   report.events.push_back({"prepared", context_.sim.now()});
 
+  // Every participant voted yes: journal it so a crash from here on
+  // re-drives the commit round instead of aborting (participants may have
+  // already committed by then; re-commits are idempotent).
+  journal_append(pair_record("prep", chain_id, route.id));
+  inflight_[{chain_id.value(), route.id.value()}].prepared = true;
+
   // Commit round.
+  const std::uint64_t commit_ep = epoch_;
   context_.sim.schedule(
       context_.timings.controller_rpc + context_.timings.controller_processing,
-      [this, chain_id, route, report, done = std::move(done)]() mutable {
+      [this, commit_ep, chain_id, route, report,
+       done = std::move(done)]() mutable {
+        if (!up_ || commit_ep != epoch_) return;
         start_commit_round(chain_id, std::move(route), std::move(report),
                            std::move(done), /*rpc_retry=*/0);
       });
@@ -408,7 +541,7 @@ void GlobalSwitchboard::start_commit_round(ChainId chain_id, RouteRecord route,
       timed_out = true;
       continue;
     }
-    controller->commit(chain_id, route.id, rec2->labels.egress_site);
+    controller->commit(chain_id, route.id, rec2->labels.egress_site, epoch_);
   }
 
   if (timed_out) {
@@ -424,25 +557,34 @@ void GlobalSwitchboard::start_commit_round(ChainId chain_id, RouteRecord route,
         VnfController* controller =
             vnf_controllers_[rec2->spec.vnfs[z - 1].value()];
         if (!controller->up()) continue;
-        controller->abort(chain_id, route.id);
-        controller->release(chain_id, route.id);
+        controller->abort(chain_id, route.id, epoch_);
+        controller->release(chain_id, route.id, epoch_);
       }
+      journal_append(pair_record("abort", chain_id, route.id));
+      inflight_.erase({chain_id.value(), route.id.value()});
       done(Result<CreationReport>{
           ErrorCode::kUnavailable,
           "2PC commit: participant unreachable after retries"});
       return;
     }
+    const std::uint64_t ep = epoch_;
     context_.sim.schedule(
         context_.timings.rpc_timeout + rpc_backoff(context_.timings,
                                                    rpc_retry),
-        [this, chain_id, route, report, done = std::move(done),
+        [this, ep, chain_id, route, report, done = std::move(done),
          rpc_retry]() mutable {
+          if (!up_ || ep != epoch_) return;
           start_commit_round(chain_id, std::move(route), std::move(report),
                              std::move(done), rpc_retry + 1);
         });
     return;
   }
   report.events.push_back({"committed", context_.sim.now()});
+
+  // The round is durable-committed from this point: replay re-applies the
+  // route and recovery re-drives participant commits if needed.
+  journal_append(pair_record("commit", chain_id, route.id));
+  inflight_.erase({chain_id.value(), route.id.value()});
 
   ensure_loads_current();
   rec2->routes.push_back(route);
@@ -506,10 +648,12 @@ void GlobalSwitchboard::add_route(ChainId chain,
   report.labels = rec->labels;
   report.events.push_back({"route_requested", context_.sim.now()});
 
+  const std::uint64_t ep = epoch_;
   context_.sim.schedule(
       context_.timings.route_compute,
-      [this, chain, preferred_vnf_sites, report,
+      [this, ep, chain, preferred_vnf_sites, report,
        done = std::move(done)]() mutable {
+        if (!up_ || ep != epoch_) return;
         ChainRecord* rec2 = nullptr;
         for (ChainRecord& r : chains_) {
           if (r.id == chain) rec2 = &r;
@@ -640,7 +784,22 @@ void GlobalSwitchboard::check_invariants() const {
 }
 
 RecoveryReport GlobalSwitchboard::on_instance_down(VnfId vnf, SiteId site) {
+  if (!up_) return RecoveryReport{};   // a dead coordinator reacts to nothing
   SB_LOG(kInfo) << "recovery: vnf " << vnf << " down at site " << site;
+  // Remember the healthy capacity (first report only — a site death fans
+  // out one report per pool, and repeats must not save the zeroed value)
+  // so on_instance_up can undo the zeroing, across crashes.
+  const auto pool = std::make_pair(vnf.value(), site.value());
+  if (dead_pools_.find(pool) == dead_pools_.end()) {
+    const double capacity = context_.model.vnf(vnf).capacity_at(site);
+    if (capacity > 0.0) {
+      dead_pools_[pool] = capacity;
+      std::ostringstream record;
+      record << "t=pooldown;vnf=" << vnf.value() << ";site=" << site.value()
+             << ";cap=" << exact(capacity);
+      journal_append(record.str());
+    }
+  }
   // The dead pool contributes no capacity until restored: route
   // computation (replacements and future chains) avoids the site, and a
   // participant prepare there votes abort.
@@ -665,6 +824,7 @@ RecoveryReport GlobalSwitchboard::on_instance_down(VnfId vnf, SiteId site) {
 }
 
 RecoveryReport GlobalSwitchboard::on_link_down(LinkId link) {
+  if (!up_) return RecoveryReport{};
   SB_LOG(kInfo) << "recovery: link " << link << " down";
   // Topology capacities must stay positive (check_invariants); a dead link
   // is modeled as background traffic consuming all of it.
@@ -730,9 +890,10 @@ RecoveryReport GlobalSwitchboard::retire_routes(
         if (vnf.value() >= vnf_controllers_.size()) continue;
         VnfController* controller = vnf_controllers_[vnf.value()];
         if (controller != nullptr && controller->up()) {
-          controller->release(record.id, route.id);
+          controller->release(record.id, route.id, epoch_);
         }
       }
+      journal_append(pair_record("retire", record.id, route.id));
       apply_route_loads(record, route, -route.weight);
 
       // A failure racing activation: complete the waiting creation with an
@@ -785,8 +946,10 @@ void GlobalSwitchboard::replace_route(ChainId chain) {
   report.started = context_.sim.now();
   report.chain = chain;
   report.events.push_back({"replacement_requested", context_.sim.now()});
+  const std::uint64_t ep = epoch_;
   context_.sim.schedule(
-      context_.timings.route_compute, [this, chain, report]() mutable {
+      context_.timings.route_compute, [this, ep, chain, report]() mutable {
+        if (!up_ || ep != epoch_) return;
         ChainRecord* rec = nullptr;
         for (ChainRecord& r : chains_) {
           if (r.id == chain) rec = &r;
@@ -829,6 +992,7 @@ void GlobalSwitchboard::replace_route(ChainId chain) {
 
 void GlobalSwitchboard::on_route_ready(ChainId chain, RouteId route,
                                        SiteId site) {
+  if (!up_) return;   // readiness from the old incarnation is re-derived
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     PendingActivation& pending = pending_[i];
     if (pending.chain != chain || pending.route != route) continue;
@@ -847,6 +1011,326 @@ void GlobalSwitchboard::on_route_ready(ChainId chain, RouteId route,
 #endif
     if (done) done(Result<CreationReport>{std::move(report)});
     return;
+  }
+}
+
+// --- durability & crash-with-amnesia recovery ----------------------------
+
+void GlobalSwitchboard::enable_durability(StateJournal* journal) {
+  SWB_CHECK(journal != nullptr) << "enable_durability(nullptr)";
+  journal_ = journal;
+  // Persist the current state as the base snapshot so a crash before the
+  // first journaled change still recovers the epoch and any pre-existing
+  // chains.
+  journal_->write_snapshot(encode_snapshot());
+}
+
+void GlobalSwitchboard::journal_append(const std::string& record) {
+  if (journal_ == nullptr) return;
+  journal_->append(record);
+  if (journal_->wants_snapshot()) {
+    journal_->write_snapshot(encode_snapshot());
+  }
+}
+
+std::vector<std::string> GlobalSwitchboard::encode_snapshot() const {
+  // One grammar for snapshot and log: a snapshot is just the shortest
+  // record sequence that replays to the current state.
+  std::vector<std::string> records;
+  records.push_back("t=epoch;n=" + std::to_string(epoch_));
+  records.push_back("t=nri;n=" + std::to_string(next_route_id_));
+  for (const ChainRecord& record : chains_) {
+    records.push_back(encode_chain(record));
+    for (const RouteRecord& route : record.routes) {
+      records.push_back(encode_begin(record.id, route.id, route.vnf_sites));
+      records.push_back(pair_record("commit", record.id, route.id));
+    }
+  }
+  for (const auto& [pool, capacity] : dead_pools_) {
+    std::ostringstream out;
+    out << "t=pooldown;vnf=" << pool.first << ";site=" << pool.second
+        << ";cap=" << exact(capacity);
+    records.push_back(out.str());
+  }
+  for (const auto& [key, round] : inflight_) {
+    const ChainId chain{key.first};
+    const RouteId route{key.second};
+    records.push_back(encode_begin(chain, route, round.vnf_sites));
+    if (round.prepared) {
+      records.push_back(pair_record("prep", chain, route));
+    }
+  }
+  return records;
+}
+
+void GlobalSwitchboard::replay_record(const std::string& record,
+                                      std::uint64_t& max_epoch) {
+  const auto fields = journal_fields(record);
+  const auto type_it = fields.find("t");
+  SWB_CHECK(type_it != fields.end()) << "journal record without type";
+  const std::string& type = type_it->second;
+
+  if (type == "epoch") {
+    max_epoch = std::max(max_epoch, field_u64(fields, "n"));
+  } else if (type == "nri") {
+    next_route_id_ = std::max<std::uint32_t>(
+        next_route_id_, static_cast<std::uint32_t>(field_u64(fields, "n")));
+  } else if (type == "chain") {
+    // The network model is shared infrastructure state, not coordinator
+    // memory: the chain is still registered there, only the coordinator's
+    // record is rebuilt.
+    ChainRecord rec;
+    rec.id = ChainId{static_cast<std::uint32_t>(field_u64(fields, "id"))};
+    const auto name = fields.find("name");
+    rec.spec.name = name != fields.end() ? name->second : std::string{};
+    rec.spec.ingress_service =
+        EdgeServiceId{static_cast<std::uint32_t>(field_u64(fields, "ins"))};
+    rec.spec.ingress_node =
+        NodeId{static_cast<std::uint32_t>(field_u64(fields, "inn"))};
+    rec.spec.egress_service =
+        EdgeServiceId{static_cast<std::uint32_t>(field_u64(fields, "egs"))};
+    rec.spec.egress_node =
+        NodeId{static_cast<std::uint32_t>(field_u64(fields, "egn"))};
+    for (const std::uint32_t vnf : field_u32_list(fields, "vnfs")) {
+      rec.spec.vnfs.push_back(VnfId{vnf});
+    }
+    rec.spec.forward_traffic = field_double(fields, "ft");
+    rec.spec.reverse_traffic = field_double(fields, "rt");
+    rec.labels = dataplane::Labels{
+        static_cast<std::uint32_t>(field_u64(fields, "cl")),
+        static_cast<std::uint32_t>(field_u64(fields, "el"))};
+    rec.ingress_site =
+        SiteId{static_cast<std::uint32_t>(field_u64(fields, "insite"))};
+    rec.egress_site =
+        SiteId{static_cast<std::uint32_t>(field_u64(fields, "egsite"))};
+    chains_.push_back(std::move(rec));
+  } else if (type == "begin") {
+    const std::uint32_t chain =
+        static_cast<std::uint32_t>(field_u64(fields, "chain"));
+    const std::uint32_t route =
+        static_cast<std::uint32_t>(field_u64(fields, "route"));
+    Inflight round;
+    for (const std::uint32_t site : field_u32_list(fields, "sites")) {
+      round.vnf_sites.push_back(SiteId{site});
+    }
+    inflight_[{chain, route}] = std::move(round);
+    next_route_id_ = std::max(next_route_id_, route + 1);
+  } else if (type == "prep") {
+    const auto key = std::make_pair(
+        static_cast<std::uint32_t>(field_u64(fields, "chain")),
+        static_cast<std::uint32_t>(field_u64(fields, "route")));
+    const auto it = inflight_.find(key);
+    SWB_CHECK(it != inflight_.end()) << "prep without begin: " << record;
+    it->second.prepared = true;
+  } else if (type == "commit") {
+    const auto key = std::make_pair(
+        static_cast<std::uint32_t>(field_u64(fields, "chain")),
+        static_cast<std::uint32_t>(field_u64(fields, "route")));
+    const auto it = inflight_.find(key);
+    SWB_CHECK(it != inflight_.end()) << "commit without begin: " << record;
+    for (ChainRecord& rec : chains_) {
+      if (rec.id.value() != key.first) continue;
+      RouteRecord route;
+      route.id = RouteId{key.second};
+      route.vnf_sites = std::move(it->second.vnf_sites);
+      route.weight = 1.0;   // rebalanced to 1/N once replay finishes
+      rec.routes.push_back(std::move(route));
+      inflight_.erase(it);
+      return;
+    }
+    SWB_CHECK(false) << "commit for unknown chain: " << record;
+  } else if (type == "abort" || type == "retire") {
+    const auto key = std::make_pair(
+        static_cast<std::uint32_t>(field_u64(fields, "chain")),
+        static_cast<std::uint32_t>(field_u64(fields, "route")));
+    inflight_.erase(key);
+    for (ChainRecord& rec : chains_) {
+      if (rec.id.value() != key.first) continue;
+      std::erase_if(rec.routes, [&](const RouteRecord& route) {
+        return route.id.value() == key.second;
+      });
+    }
+  } else if (type == "pooldown") {
+    dead_pools_[{static_cast<std::uint32_t>(field_u64(fields, "vnf")),
+                 static_cast<std::uint32_t>(field_u64(fields, "site"))}] =
+        field_double(fields, "cap");
+  } else if (type == "poolup") {
+    dead_pools_.erase(
+        {static_cast<std::uint32_t>(field_u64(fields, "vnf")),
+         static_cast<std::uint32_t>(field_u64(fields, "site"))});
+  } else {
+    SWB_CHECK(false) << "unknown journal record type: " << record;
+  }
+}
+
+ColdStartReport GlobalSwitchboard::cold_start() {
+  SWB_CHECK(journal_ != nullptr) << "cold_start requires enable_durability";
+  SB_LOG(kInfo) << "durability: cold start from journal '"
+                << journal_->config().name << "'";
+
+  // Amnesia: every volatile structure is forgotten, including the epoch —
+  // it is recovered from the journal below.
+  chains_.clear();
+  pending_.clear();
+  inflight_.clear();
+  dead_pools_.clear();
+  next_route_id_ = 0;
+
+  ColdStartReport report;
+  std::uint64_t max_epoch = 0;
+  for (const std::string& record : journal_->snapshot_records()) {
+    replay_record(record, max_epoch);
+    ++report.replayed_records;
+  }
+  for (const std::string& record : journal_->log_records()) {
+    replay_record(record, max_epoch);
+    ++report.replayed_records;
+  }
+
+  // Post-replay normalization: weights rebalance to the same 1/N the live
+  // path maintains, and a chain is active iff it has routes.
+  for (ChainRecord& record : chains_) {
+    record.active = !record.routes.empty();
+    if (record.routes.empty()) continue;
+    const double weight = 1.0 / static_cast<double>(record.routes.size());
+    for (RouteRecord& route : record.routes) route.weight = weight;
+    report.routes_restored += record.routes.size();
+  }
+  report.chains_restored = chains_.size();
+  rebuild_loads();
+
+  // The new incarnation outranks everything the journal has seen; persist
+  // the bump so a second crash recovers a still-higher epoch.
+  report.replay_cost = journal_->replay_cost();
+  epoch_ = max_epoch + 1;
+  up_ = true;
+  report.epoch = epoch_;
+  journal_append("t=epoch;n=" + std::to_string(epoch_));
+  last_cold_start_ = report;
+
+  // Charge the replay as simulated downtime, then resolve what the crash
+  // interrupted and reconcile the participants.
+  const std::uint64_t ep = epoch_;
+  context_.sim.schedule(
+      std::max<sim::Duration>(sim::Duration{1}, report.replay_cost),
+      [this, ep] {
+        if (!up_ || ep != epoch_) return;
+        resolve_inflight_and_reconcile();
+      });
+  SB_LOG(kInfo) << "durability: replayed " << report.replayed_records
+                << " record(s), " << report.chains_restored << " chain(s), "
+                << report.routes_restored << " route(s), new epoch "
+                << epoch_;
+  return report;
+}
+
+void GlobalSwitchboard::resolve_inflight_and_reconcile() {
+  // Resolve every 2PC round the crash interrupted.  Prepared rounds hold
+  // unanimous votes, so commit is the only outcome that cannot strand a
+  // participant reservation; unprepared rounds abort (no participant may
+  // have heard anything, and an abort for an unknown round is a no-op).
+  const auto inflight = inflight_;   // re-drives mutate inflight_
+  for (const auto& [key, round] : inflight) {
+    const ChainId chain{key.first};
+    const RouteId route_id{key.second};
+    if (round.prepared) {
+      ++last_cold_start_.redriven_commits;
+      SB_LOG(kInfo) << "durability: re-driving commit for chain " << chain
+                    << " route " << route_id;
+      RouteRecord route;
+      route.id = route_id;
+      route.vnf_sites = round.vnf_sites;
+      route.weight = 1.0;
+      CreationReport report;
+      report.started = context_.sim.now();
+      report.chain = chain;
+      report.route = route_id;
+      start_commit_round(
+          chain, std::move(route), std::move(report),
+          [chain, route_id](Result<CreationReport> result) {
+            if (result.ok()) {
+              SB_LOG(kInfo) << "durability: re-driven commit active for "
+                            << "chain " << chain << " route " << route_id;
+            } else {
+              SB_LOG(kWarn) << "durability: re-driven commit failed for "
+                            << "chain " << chain << " route " << route_id
+                            << ": " << result.error().message;
+            }
+          },
+          /*rpc_retry=*/0);
+    } else {
+      ++last_cold_start_.aborted_inflight;
+      const ChainRecord* rec = find_record(chain);
+      if (rec != nullptr) {
+        for (const VnfId vnf : rec->spec.vnfs) {
+          if (vnf.value() >= vnf_controllers_.size()) continue;
+          VnfController* controller = vnf_controllers_[vnf.value()];
+          if (controller != nullptr && controller->up()) {
+            controller->abort(chain, route_id, epoch_);
+            ++last_cold_start_.reconciliation_messages;
+          }
+        }
+      }
+      journal_append(pair_record("abort", chain, route_id));
+      inflight_.erase(key);
+    }
+  }
+
+  // Reconciliation sweep: any capacity a participant holds committed for a
+  // (chain, route) the journal does not own — routes retired or aborted
+  // whose release the crash swallowed — is orphaned; release it.
+  for (VnfController* controller : vnf_controllers_) {
+    if (controller == nullptr || !controller->up()) continue;
+    ++last_cold_start_.reconciliation_messages;   // the sweep query itself
+    for (const auto& [chain, route_id] : controller->committed_routes()) {
+      bool owned =
+          inflight_.count({chain.value(), route_id.value()}) > 0;
+      if (!owned) {
+        const ChainRecord* rec = find_record(chain);
+        if (rec != nullptr) {
+          owned = std::any_of(
+              rec->routes.begin(), rec->routes.end(),
+              [&](const RouteRecord& r) { return r.id == route_id; });
+        }
+      }
+      if (owned) continue;
+      SB_LOG(kInfo) << "durability: releasing orphaned capacity for chain "
+                    << chain << " route " << route_id;
+      controller->release(chain, route_id, epoch_);
+      ++last_cold_start_.orphans_released;
+      ++last_cold_start_.reconciliation_messages;
+    }
+  }
+
+  // Re-publish every active chain under the new epoch so the Local
+  // Switchboards' fences advance and any stale-incarnation announcement
+  // still in flight is rejected on arrival.
+  for (const ChainRecord& record : chains_) {
+    if (!record.active) continue;
+    publish_routes(record);
+    last_cold_start_.reconciliation_messages += record.routes.size();
+  }
+#ifndef NDEBUG
+  check_invariants();
+#endif
+}
+
+void GlobalSwitchboard::on_instance_up(VnfId vnf, SiteId site) {
+  if (!up_) return;
+  const auto it = dead_pools_.find({vnf.value(), site.value()});
+  if (it == dead_pools_.end()) return;   // never seen down, or already up
+  SB_LOG(kInfo) << "recovery: vnf " << vnf << " back up at site " << site
+                << ", restoring capacity " << it->second;
+  context_.model.set_vnf_site_capacity(vnf, site, it->second);
+  std::ostringstream record;
+  record << "t=poolup;vnf=" << vnf.value() << ";site=" << site.value();
+  journal_append(record.str());
+  dead_pools_.erase(it);
+  // Re-announce the pool so Local Switchboards rebalance onto it.
+  if (vnf.value() < vnf_controllers_.size() &&
+      vnf_controllers_[vnf.value()] != nullptr &&
+      vnf_controllers_[vnf.value()]->up()) {
+    vnf_controllers_[vnf.value()]->reannounce_instances(site);
   }
 }
 

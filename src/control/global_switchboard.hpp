@@ -9,12 +9,25 @@
 // instances, Local Switchboards derive and install load-balancing rules
 // and report readiness.  Dynamic route addition (Fig. 10) reuses the same
 // machinery and rebalances route weights.
+//
+// Durability (DESIGN.md §13): with enable_durability() the coordinator
+// writes every committed state change through a control::StateJournal —
+// chain registration, 2PC begin/prepare/commit/abort, route retirement,
+// pool capacity transitions — and carries a monotonically increasing
+// incarnation epoch on every route announcement and participant RPC.
+// After a crash-with-amnesia, cold_start() rebuilds chains/routes/loads
+// from snapshot+replay, re-drives prepared-but-uncommitted 2PC rounds,
+// aborts begun-but-unprepared ones, reconciles committed capacity against
+// the participants (releasing orphans), and bumps the epoch so stale
+// commands from the previous incarnation are fenced everywhere.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bus/topic.hpp"
@@ -23,6 +36,7 @@
 #include "control/edge_controller.hpp"
 #include "control/local_switchboard.hpp"
 #include "control/messages.hpp"
+#include "control/state_journal.hpp"
 #include "control/vnf_controller.hpp"
 #include "te/dp_routing.hpp"
 #include "te/te_engine.hpp"
@@ -85,6 +99,28 @@ struct CreationReport {
   [[nodiscard]] sim::Duration elapsed() const { return completed - started; }
 };
 
+/// Summary of one crash-with-amnesia recovery (cold_start()).  The replay
+/// fields are final when cold_start() returns; the in-flight-resolution
+/// and reconciliation fields settle after `replay_cost` of simulated time
+/// (read them via last_cold_start() once the run settles).
+struct ColdStartReport {
+  std::uint64_t epoch{0};               // the new incarnation's epoch
+  std::size_t replayed_records{0};
+  std::size_t chains_restored{0};
+  std::size_t routes_restored{0};
+  /// Prepared-but-uncommitted rounds re-driven to commit after replay.
+  std::size_t redriven_commits{0};
+  /// Begun-but-unprepared rounds aborted after replay.
+  std::size_t aborted_inflight{0};
+  /// Committed (chain, route) pairs found at participants with no
+  /// journaled owner — their capacity was released.
+  std::size_t orphans_released{0};
+  /// Sweep + release + re-publish messages sent while reconciling.
+  std::size_t reconciliation_messages{0};
+  /// Simulated time charged for replaying the journal.
+  sim::Duration replay_cost{0};
+};
+
 class GlobalSwitchboard {
  public:
   using CreationCallback = std::function<void(Result<CreationReport>)>;
@@ -121,6 +157,35 @@ class GlobalSwitchboard {
   /// Readiness callback target for Local Switchboards.
   void on_route_ready(ChainId chain, RouteId route, SiteId site);
 
+  /// --- durability & crash-with-amnesia recovery --------------------------
+  /// Starts writing through `journal` (not owned; must outlive this).  The
+  /// current state is persisted immediately as the base snapshot.
+  void enable_durability(StateJournal* journal);
+  [[nodiscard]] bool durable() const { return journal_ != nullptr; }
+
+  /// Reachability (fault injection).  A down coordinator schedules
+  /// nothing, answers nothing, and ignores recovery triggers; in-flight
+  /// continuations from the old incarnation are dropped by epoch guards.
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool up() const { return up_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Crash-with-amnesia recovery: wipes all volatile state, replays
+  /// snapshot+log from the journal, bumps the incarnation epoch, then
+  /// (after the journal's replay cost in simulated time) re-drives
+  /// prepared in-flight 2PC rounds, aborts unprepared ones, reconciles
+  /// committed capacity against every participant, and re-publishes all
+  /// routes under the new epoch.  Requires enable_durability().
+  ColdStartReport cold_start();
+  [[nodiscard]] const ColdStartReport& last_cold_start() const {
+    return last_cold_start_;
+  }
+
+  /// A previously-failed VNF pool at `site` is back: restores the
+  /// capacity zeroed by on_instance_down and re-announces the pool so
+  /// Local Switchboards rebalance onto it.
+  void on_instance_up(VnfId vnf, SiteId site);
+
   /// --- recovery (driven by the failure detector) -------------------------
   /// A VNF's instance pool at `site` died: zeroes the failed capacity,
   /// triggers the drain (weight-0 instance re-announcements), retires every
@@ -151,6 +216,13 @@ class GlobalSwitchboard {
     std::set<std::uint32_t> waiting_sites;
     CreationReport report;
     CreationCallback done;
+  };
+
+  /// One 2PC round between its journaled begin and its terminal record —
+  /// exactly what a cold start must resolve.
+  struct Inflight {
+    std::vector<SiteId> vnf_sites;
+    bool prepared{false};
   };
 
   /// Runs 2PC for a route, then publishes and tracks readiness.
@@ -224,6 +296,16 @@ class GlobalSwitchboard {
   [[nodiscard]] std::set<std::uint32_t> involved_sites(
       const ChainRecord& record, const RouteRecord& route) const;
 
+  // --- durability internals ----------------------------------------------
+  /// Appends one record; compacts into a snapshot when the journal asks.
+  void journal_append(const std::string& record);
+  /// Full state in journal-record grammar (replayable via replay_record).
+  [[nodiscard]] std::vector<std::string> encode_snapshot() const;
+  void replay_record(const std::string& record, std::uint64_t& max_epoch);
+  /// Post-replay phase: re-drive / abort in-flight rounds, reconcile
+  /// participant capacity, re-publish routes under the new epoch.
+  void resolve_inflight_and_reconcile();
+
   ControlContext& context_;
   SiteId home_site_;
   std::vector<EdgeController*> edge_controllers_;     // by EdgeServiceId
@@ -237,6 +319,19 @@ class GlobalSwitchboard {
   te::DpOptions dp_options_;
   te::DpScratch scratch_;   // reusable buffers for find_single_route
   std::uint32_t next_route_id_{0};
+
+  StateJournal* journal_{nullptr};
+  bool up_{true};
+  /// Incarnation epoch, starting at 1 and bumped by every cold start.
+  /// Carried on every route announcement and participant RPC.
+  std::uint64_t epoch_{1};
+  /// 2PC rounds between journaled begin and terminal record, keyed by
+  /// (chain, route) — snapshots persist these so a crash at any point
+  /// leaves enough to re-drive or abort.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Inflight> inflight_;
+  /// Failed pools (vnf, site) -> capacity to restore on on_instance_up.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> dead_pools_;
+  ColdStartReport last_cold_start_;
 };
 
 }  // namespace switchboard::control

@@ -158,6 +158,18 @@ void LocalSwitchboard::handle_new_edge_forwarder(
 }
 
 void LocalSwitchboard::handle_route(const RouteAnnouncement& announcement) {
+  // Epoch fence: once any announcement from incarnation N arrived, older
+  // incarnations are dead to this site — their commands may contradict
+  // state the restarted controller already rebuilt.
+  if (announcement.epoch < max_route_epoch_) {
+    ++stale_routes_rejected_;
+    SB_LOG(kDebug) << "local-sb site " << site_ << ": fenced route "
+                   << announcement.route << " from stale epoch "
+                   << announcement.epoch << " (highest " << max_route_epoch_
+                   << ")";
+    return;
+  }
+  max_route_epoch_ = announcement.epoch;
   PerChain& pc = chain_state(announcement);
   upsert(pc.routes, announcement,
          [](const RouteAnnouncement& r) { return r.route; });

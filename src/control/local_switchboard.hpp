@@ -15,6 +15,7 @@
 // configuration at the first VNF's forwarder.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
@@ -59,8 +60,19 @@ class LocalSwitchboard {
   /// topic for all chains.
   void start(const bus::Topic& routes_topic);
 
-  /// Entry point for route announcements (normally via the bus).
+  /// Entry point for route announcements (normally via the bus).  Fences
+  /// announcements whose controller epoch is older than the highest this
+  /// site has seen (a stale Global Switchboard incarnation — or a retained
+  /// pre-crash message replayed after the controller already restarted).
   void handle_route(const RouteAnnouncement& announcement);
+
+  /// Route announcements fenced for carrying a stale controller epoch.
+  [[nodiscard]] std::uint64_t stale_routes_rejected() const {
+    return stale_routes_rejected_;
+  }
+  [[nodiscard]] std::uint64_t highest_route_epoch() const {
+    return max_route_epoch_;
+  }
 
   /// On-demand edge-site addition for mobility (Table 2).  The chain must
   /// already be active elsewhere.  `edge_instance` is the local edge
@@ -146,6 +158,8 @@ class LocalSwitchboard {
   std::map<std::uint32_t, PerChain> chains_;          // by chain id
   std::vector<PendingEdgeAddition> pending_edges_;
   bool up_{true};
+  std::uint64_t max_route_epoch_{0};
+  std::uint64_t stale_routes_rejected_{0};
   bool heartbeats_on_{false};
   sim::Duration heartbeat_period_{0};
   std::uint64_t heartbeat_seq_{0};

@@ -64,7 +64,7 @@ std::string serialize(const RouteAnnouncement& m) {
   out << "type=route;chain=" << m.chain.value() << ";route=" << m.route.value()
       << ";cl=" << m.chain_label << ";el=" << m.egress_label
       << ";in=" << m.ingress_site.value() << ";out=" << m.egress_site.value()
-      << ";w=" << m.weight << ";hops=";
+      << ";w=" << m.weight << ";ep=" << m.epoch << ";hops=";
   for (std::size_t i = 0; i < m.hops.size(); ++i) {
     if (i > 0) out << ',';
     out << m.hops[i].stage << ':' << m.hops[i].vnf.value() << ':'
@@ -155,6 +155,8 @@ std::optional<RouteAnnouncement> parse_route(const std::string& payload) {
   m.egress_label = static_cast<std::uint32_t>(el);
   m.ingress_site = SiteId{static_cast<SiteId::underlying_type>(in)};
   m.egress_site = SiteId{static_cast<SiteId::underlying_type>(out)};
+  // Optional for wire compatibility with pre-epoch senders: absent => 0.
+  get_u64(fields, "ep", m.epoch);
 
   const auto hops_it = fields.find("hops");
   if (hops_it == fields.end()) return std::nullopt;

@@ -47,6 +47,11 @@ struct RouteAnnouncement {
   SiteId ingress_site;
   SiteId egress_site;
   double weight{1.0};   // fraction of the chain's traffic on this route
+  /// Controller incarnation that issued the route (monotonically bumped on
+  /// every cold start).  Receivers fence announcements older than the
+  /// highest epoch they have seen; 0 (pre-durability senders) is ordered
+  /// below every real epoch.
+  std::uint64_t epoch{0};
   std::vector<RouteHop> hops;
 };
 

@@ -1,0 +1,79 @@
+#include "control/state_journal.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace switchboard::control {
+
+StateJournal::StateJournal(sim::DurableStore& store, JournalConfig config)
+    : store_{store}, config_{std::move(config)} {
+  SWB_CHECK(!config_.name.empty());
+}
+
+void StateJournal::append(const std::string& record) {
+  SWB_CHECK(!record.empty());
+  SWB_CHECK(record.find('\n') == std::string::npos)
+      << "journal record with embedded newline";
+  store_.append(log_blob(), record + "\n");
+  ++appends_;
+  ++appends_since_snapshot_;
+}
+
+bool StateJournal::wants_snapshot() const {
+  return config_.snapshot_interval > 0 &&
+         appends_since_snapshot_ >= config_.snapshot_interval;
+}
+
+void StateJournal::write_snapshot(const std::vector<std::string>& records) {
+  std::string bytes;
+  for (const std::string& record : records) {
+    SWB_CHECK(!record.empty());
+    SWB_CHECK(record.find('\n') == std::string::npos);
+    bytes += record;
+    bytes += '\n';
+  }
+  records_compacted_ += appends_since_snapshot_;
+  store_.write(snap_blob(), bytes);
+  store_.write(log_blob(), "");
+  appends_since_snapshot_ = 0;
+  ++snapshots_taken_;
+}
+
+std::vector<std::string> StateJournal::split_lines(const std::string& bytes) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin < bytes.size()) {
+    const std::size_t end = bytes.find('\n', begin);
+    SWB_CHECK(end != std::string::npos) << "unterminated journal record";
+    lines.push_back(bytes.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+std::vector<std::string> StateJournal::snapshot_records() const {
+  return split_lines(store_.read(snap_blob()));
+}
+
+std::vector<std::string> StateJournal::log_records() const {
+  return split_lines(store_.read(log_blob()));
+}
+
+sim::Duration StateJournal::replay_cost() const {
+  const std::size_t records =
+      snapshot_records().size() + log_records().size();
+  return static_cast<sim::Duration>(records) * config_.replay_cost_per_record;
+}
+
+void StateJournal::check_invariants() const {
+  for (const std::string& record : snapshot_records()) {
+    SWB_CHECK(!record.empty()) << "empty snapshot record";
+  }
+  for (const std::string& record : log_records()) {
+    SWB_CHECK(!record.empty()) << "empty log record";
+  }
+  SWB_CHECK_LE(appends_since_snapshot_, appends_);
+}
+
+}  // namespace switchboard::control

@@ -1,0 +1,89 @@
+// control::StateJournal — write-ahead log + snapshots for the controller.
+//
+// The Global Switchboard writes one journal record through this layer for
+// every committed state change (chain registration, 2PC begin/prepare/
+// commit/abort, route retirement, pool capacity changes, epoch bumps).
+// Records are newline-delimited "k=v;" lines — the same compact grammar
+// as the bus messages — appended to a `<name>.log` blob in a
+// sim::DurableStore.  Every `snapshot_interval` appends the journal
+// compacts: the owner re-encodes its full state with the same record
+// grammar, the snapshot replaces `<name>.snap`, and the log truncates.
+// Recovery after crash-with-amnesia is therefore always
+// "replay snapshot records, then replay log records" through one parser.
+//
+// The journal charges a configurable per-record replay cost so recovery
+// latency scales with journal size in simulated time — the knob the
+// bench_fig13_recovery controller-restart series sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/durable_store.hpp"
+#include "sim/time.hpp"
+
+namespace switchboard::control {
+
+struct JournalConfig {
+  /// Blob-name prefix inside the durable store ("<name>.log"/"<name>.snap").
+  std::string name{"gsb"};
+  /// Compact after this many appends since the last snapshot (0 = never).
+  std::uint32_t snapshot_interval{64};
+  /// Simulated time to replay one record at cold start.
+  sim::Duration replay_cost_per_record{50};
+};
+
+class StateJournal {
+ public:
+  StateJournal(sim::DurableStore& store, JournalConfig config = {});
+
+  /// Appends one record (no embedded newlines) to the log.
+  void append(const std::string& record);
+
+  /// Replaces the snapshot with `records` and truncates the log.  Called
+  /// by the owner when the journal asks for compaction (wants_snapshot())
+  /// and by recovery code after a cold start.
+  void write_snapshot(const std::vector<std::string>& records);
+
+  /// True when the append counter crossed the snapshot interval; the
+  /// owner responds with write_snapshot(full state).
+  [[nodiscard]] bool wants_snapshot() const;
+
+  [[nodiscard]] std::vector<std::string> snapshot_records() const;
+  [[nodiscard]] std::vector<std::string> log_records() const;
+
+  /// Simulated cost of replaying everything currently persisted.
+  [[nodiscard]] sim::Duration replay_cost() const;
+
+  [[nodiscard]] std::uint64_t appends() const { return appends_; }
+  [[nodiscard]] std::uint64_t appends_since_snapshot() const {
+    return appends_since_snapshot_;
+  }
+  [[nodiscard]] std::uint64_t snapshots_taken() const {
+    return snapshots_taken_;
+  }
+  [[nodiscard]] std::uint64_t records_compacted() const {
+    return records_compacted_;
+  }
+  [[nodiscard]] const JournalConfig& config() const { return config_; }
+
+  /// Audits persisted framing: no empty records, every line terminated.
+  void check_invariants() const;
+
+ private:
+  [[nodiscard]] std::string log_blob() const { return config_.name + ".log"; }
+  [[nodiscard]] std::string snap_blob() const {
+    return config_.name + ".snap";
+  }
+  static std::vector<std::string> split_lines(const std::string& bytes);
+
+  sim::DurableStore& store_;
+  JournalConfig config_;
+  std::uint64_t appends_{0};
+  std::uint64_t appends_since_snapshot_{0};
+  std::uint64_t snapshots_taken_{0};
+  std::uint64_t records_compacted_{0};
+};
+
+}  // namespace switchboard::control

@@ -21,10 +21,26 @@ VnfController::VnfController(ControlContext& context, VnfId vnf)
       committed_load_(context.model.sites().size(), 0.0),
       pending_load_(context.model.sites().size(), 0.0) {}
 
+bool VnfController::fenced(std::uint64_t epoch, const char* verb) {
+  if (epoch == kUnfencedEpoch) return false;
+  if (epoch < highest_epoch_) {
+    ++stale_commands_rejected_;
+    SB_LOG(kDebug) << "vnf " << vnf_ << ": fenced stale " << verb
+                   << " from epoch " << epoch << " (highest "
+                   << highest_epoch_ << ")";
+    return true;
+  }
+  highest_epoch_ = epoch;
+  return false;
+}
+
 bool VnfController::prepare(ChainId chain, RouteId route, SiteId site,
-                            double load, std::size_t stage) {
+                            double load, std::size_t stage,
+                            std::uint64_t epoch) {
   SWB_CHECK(load >= 0);
   SWB_CHECK(site.value() < committed_load_.size());
+  // A fenced prepare is a no vote: the stale coordinator's round must die.
+  if (fenced(epoch, "prepare")) return false;
 
   // Idempotent re-delivery: a (chain, route, stage) already reserved here
   // is a repeat of a prepare whose answer the coordinator missed — say
@@ -75,7 +91,8 @@ bool VnfController::prepare(ChainId chain, RouteId route, SiteId site,
 }
 
 void VnfController::commit(ChainId chain, RouteId route,
-                           std::uint32_t egress_label) {
+                           std::uint32_t egress_label, std::uint64_t epoch) {
+  if (fenced(epoch, "commit")) return;
   // A commit racing the reservation GC (or a duplicated commit after an
   // abort) finds kAborted: the reservation is gone, so there is nothing
   // to allocate — reject-and-count, don't crash.  kIdle still dies below:
@@ -112,7 +129,8 @@ void VnfController::commit(ChainId chain, RouteId route,
   pending_.erase(it);
 }
 
-void VnfController::abort(ChainId chain, RouteId route) {
+void VnfController::abort(ChainId chain, RouteId route, std::uint64_t epoch) {
+  if (fenced(epoch, "abort")) return;
   // Message duplication / coordinator retries make a late abort of an
   // already-committed route reachable: rejecting it (counted by the
   // tracker) protects the committed capacity accounting.  All other
@@ -137,13 +155,26 @@ void VnfController::abort(ChainId chain, RouteId route) {
   pending_.erase(it);
 }
 
-void VnfController::release(ChainId chain, RouteId route) {
+void VnfController::release(ChainId chain, RouteId route,
+                            std::uint64_t epoch) {
+  if (fenced(epoch, "release")) return;
   const auto it = committed_.find(key(chain, route));
   if (it == committed_.end()) return;
   for (const Reservation& r : it->second) {
     committed_load_[r.site.value()] -= r.load;
   }
   committed_.erase(it);
+}
+
+std::vector<std::pair<ChainId, RouteId>> VnfController::committed_routes()
+    const {
+  std::vector<std::pair<ChainId, RouteId>> routes;
+  routes.reserve(committed_.size());
+  for (const auto& [chain_route, reservations] : committed_) {
+    routes.emplace_back(ChainId{chain_route.first},
+                        RouteId{chain_route.second});
+  }
+  return routes;
 }
 
 double VnfController::allocated(SiteId site) const {

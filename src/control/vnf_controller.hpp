@@ -15,6 +15,13 @@
 // auto-aborted (their coordinator is presumed dead).  An `up()` flag
 // models crash/restore: a down controller is unreachable (RPCs time out
 // at the coordinator), but keeps its state for when it returns.
+//
+// Epoch fencing: every 2PC verb carries the coordinator's incarnation
+// epoch.  The participant tracks the highest epoch it has seen and
+// rejects-and-counts commands from older incarnations — a coordinator
+// that crashed, lost its memory, and was superseded must not mutate
+// reservations here.  kUnfencedEpoch (pre-durability callers and tests)
+// bypasses the fence without advancing it.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,7 @@
 #include <set>
 #include <tuple>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bus/topic.hpp"
@@ -31,6 +39,9 @@
 #include "control/two_phase.hpp"
 
 namespace switchboard::control {
+
+/// Sentinel epoch that bypasses fencing (and never advances the fence).
+inline constexpr std::uint64_t kUnfencedEpoch = ~0ULL;
 
 class VnfController {
  public:
@@ -51,24 +62,27 @@ class VnfController {
   /// reservation: re-delivery of an already-recorded (chain, route, stage)
   /// prepare is an idempotent yes (no double reservation).
   bool prepare(ChainId chain, RouteId route, SiteId site, double load,
-               std::size_t stage = 0);
+               std::size_t stage = 0, std::uint64_t epoch = kUnfencedEpoch);
 
   /// Converts the reservation into a committed allocation, allocates (or
   /// reuses) an instance at each reserved site, and publishes the
   /// instance on the chain's instances topic.  A commit arriving after
   /// the reservation was garbage-collected (kAborted) is rejected and
   /// counted; a commit while kIdle still crashes (coordinator bug).
-  void commit(ChainId chain, RouteId route, std::uint32_t egress_label);
+  void commit(ChainId chain, RouteId route, std::uint32_t egress_label,
+              std::uint64_t epoch = kUnfencedEpoch);
 
   /// Drops the reservation.  A late abort for an already-committed route
   /// (message duplication / coordinator retry) is rejected-and-counted —
   /// un-accounting committed capacity would corrupt it.
-  void abort(ChainId chain, RouteId route);
+  void abort(ChainId chain, RouteId route,
+             std::uint64_t epoch = kUnfencedEpoch);
 
   /// Releases the committed allocation of (chain, route) — the recovery
   /// path's "this route no longer exists".  The 2PC state stays
   /// kCommitted (terminal); only the capacity accounting is returned.
-  void release(ChainId chain, RouteId route);
+  void release(ChainId chain, RouteId route,
+               std::uint64_t epoch = kUnfencedEpoch);
 
   /// Committed + pending load at a site.
   [[nodiscard]] double allocated(SiteId site) const;
@@ -112,6 +126,17 @@ class VnfController {
   }
   /// Reservations auto-aborted by the TTL garbage collector.
   [[nodiscard]] std::uint64_t gc_aborts() const { return gc_aborts_; }
+  /// Commands fenced because they carried an epoch older than the highest
+  /// seen (stale controller incarnation).
+  [[nodiscard]] std::uint64_t stale_commands_rejected() const {
+    return stale_commands_rejected_;
+  }
+  [[nodiscard]] std::uint64_t highest_epoch() const { return highest_epoch_; }
+
+  /// Every (chain, route) holding committed capacity here — what a
+  /// cold-started coordinator reconciles against to find orphans.
+  [[nodiscard]] std::vector<std::pair<ChainId, RouteId>> committed_routes()
+      const;
 
   /// Audits the participant (aborts via SWB_CHECK on violation): per-site
   /// pending load equals the sum of outstanding reservations, committed
@@ -129,6 +154,9 @@ class VnfController {
 
   void publish_instance(ChainId chain, std::uint32_t egress_label,
                         SiteId site, dataplane::ElementId instance);
+  /// True when `epoch` is stale (command must be dropped); advances the
+  /// fence otherwise.
+  bool fenced(std::uint64_t epoch, const char* verb);
 
   ControlContext& context_;
   VnfId vnf_;
@@ -152,6 +180,8 @@ class VnfController {
   TwoPhaseTracker two_phase_;            // per-(chain, route) protocol state
   std::uint64_t duplicate_prepares_{0};
   std::uint64_t gc_aborts_{0};
+  std::uint64_t highest_epoch_{0};
+  std::uint64_t stale_commands_rejected_{0};
 };
 
 }  // namespace switchboard::control

@@ -55,6 +55,12 @@ Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
   }
 
   sync_vnf_controllers();
+
+  if (config_.durable_controller) {
+    journal_ = std::make_unique<control::StateJournal>(durable_store_,
+                                                       config_.journal);
+    global_->enable_durability(journal_.get());
+  }
 }
 
 control::LocalSwitchboard& Deployment::local(SiteId site) {
@@ -95,8 +101,28 @@ void Deployment::sync_vnf_controllers() {
 void Deployment::register_fault_targets() {
   for (const model::CloudSite& site : model_.sites()) {
     control::LocalSwitchboard* local = locals_[site.id.value()].get();
-    faults_.register_target("site:" + std::to_string(site.id.value()),
-                            [local](bool up) { local->set_up(up); });
+    faults_.register_target(
+        "site:" + std::to_string(site.id.value()),
+        [this, local, site_id = site.id](bool up) {
+          local->set_up(up);
+          // Reliable-bus retransmits toward a crashed site stop instead of
+          // retrying against silence until exhaustion.
+          if (!up) bus_->abandon_retransmits_to(site_id);
+        });
+  }
+  if (journal_ != nullptr) {
+    // The durable controller loses all volatile state on restore and
+    // recovers from the journal; the detector forgets its dedup history so
+    // still-broken elements get re-reported to the fresh incarnation.
+    faults_.register_amnesia_target(
+        "controller:global", [this](bool up) { global_->set_up(up); },
+        [this] {
+          global_->cold_start();
+          detector_->resync();
+        });
+  } else {
+    faults_.register_target("controller:global",
+                            [this](bool up) { global_->set_up(up); });
   }
   for (std::size_t f = 0; f < vnf_controllers_.size(); ++f) {
     control::VnfController* controller = vnf_controllers_[f].get();
@@ -132,6 +158,20 @@ void Deployment::enable_recovery() {
     }
     for (const std::uint32_t vnf : vnfs) {
       global_->on_instance_down(VnfId{vnf}, site);
+    }
+  });
+  detector_->set_site_up_callback([this](SiteId site) {
+    // The site's heartbeats are back: restore every VNF pool it hosts so
+    // capacity returns and routes can rebalance onto it.
+    std::set<std::uint32_t> vnfs;
+    for (const dataplane::ElementId element : elements_.elements_at(site)) {
+      const control::ElementInfo& info = elements_.info(element);
+      if (info.type == control::ElementType::kVnfInstance) {
+        vnfs.insert(info.vnf.value());
+      }
+    }
+    for (const std::uint32_t vnf : vnfs) {
+      global_->on_instance_up(VnfId{vnf}, site);
     }
   });
   for (const model::CloudSite& site : model_.sites()) {

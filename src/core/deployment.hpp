@@ -14,8 +14,10 @@
 #include "control/failure_detector.hpp"
 #include "control/global_switchboard.hpp"
 #include "control/local_switchboard.hpp"
+#include "control/state_journal.hpp"
 #include "control/vnf_controller.hpp"
 #include "model/network_model.hpp"
+#include "sim/durable_store.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/simulator.hpp"
 
@@ -39,6 +41,12 @@ struct DeploymentConfig {
   std::uint64_t fault_seed{0x5EEDFA17ULL};
   /// Heartbeat / failure-detector timing (enable_recovery()).
   control::FailureDetectorConfig detector{};
+  /// Journal the Global Switchboard's state (DESIGN.md §13): the
+  /// "controller:global" fault target becomes crash-with-amnesia —
+  /// restore runs cold_start() from the journal instead of resuming
+  /// in-memory state.
+  bool durable_controller{false};
+  control::JournalConfig journal{};
 };
 
 class Deployment {
@@ -59,6 +67,13 @@ class Deployment {
   [[nodiscard]] sim::FaultInjector& fault_injector() { return faults_; }
   [[nodiscard]] control::FailureDetector& failure_detector() {
     return *detector_;
+  }
+  /// Stable storage backing the controller journal (always present; only
+  /// written when `durable_controller` is set).
+  [[nodiscard]] sim::DurableStore& durable_store() { return durable_store_; }
+  /// The controller journal, or nullptr without `durable_controller`.
+  [[nodiscard]] control::StateJournal* state_journal() {
+    return journal_.get();
   }
 
   /// Registers an edge service and its controller.
@@ -121,6 +136,8 @@ class Deployment {
   model::NetworkModel model_;
   sim::Simulator sim_;
   sim::FaultInjector faults_;
+  sim::DurableStore durable_store_;
+  std::unique_ptr<control::StateJournal> journal_;
   control::ElementRegistry elements_;
   std::unique_ptr<bus::ProxyBus> bus_;
   std::unique_ptr<control::ControlContext> context_;

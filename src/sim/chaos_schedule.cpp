@@ -1,0 +1,101 @@
+#include "sim/chaos_schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace switchboard::sim {
+
+ChaosSchedule::ChaosSchedule(Simulator& sim, FaultInjector& faults,
+                             ChaosConfig config, std::uint64_t seed)
+    : sim_{sim}, faults_{faults}, config_{std::move(config)}, rng_{seed} {}
+
+void ChaosSchedule::arm() {
+  SWB_CHECK(!armed_) << "chaos schedule armed twice";
+  armed_ = true;
+  SWB_CHECK(config_.horizon > config_.start);
+  SWB_CHECK(config_.mean_gap > 0);
+  SWB_CHECK(config_.min_outage > 0);
+  SWB_CHECK_LE(config_.min_outage, config_.max_outage);
+  const bool crashes_on =
+      config_.crash_weight > 0.0 && !config_.crash_targets.empty();
+  const bool partitions_on =
+      config_.partition_weight > 0.0 && config_.partition_sites.size() >= 2;
+  SWB_CHECK(crashes_on || partitions_on) << "chaos schedule with no victims";
+
+  const std::vector<double> weights{crashes_on ? config_.crash_weight : 0.0,
+                                    partitions_on ? config_.partition_weight
+                                                  : 0.0};
+
+  // Draw everything up front, in one fixed order per event, so the plan
+  // depends only on (seed, config) — not on anything the simulation does.
+  SimTime t = config_.start;
+  for (;;) {
+    t += std::max<Duration>(1, static_cast<Duration>(rng_.exponential(
+                                   static_cast<double>(config_.mean_gap))));
+    if (t >= config_.horizon) break;
+    Duration outage = rng_.uniform_int(config_.min_outage, config_.max_outage);
+    // Clamp so the heal lands strictly before the horizon: the tail of the
+    // run is always fault-free, which convergence checks rely on.
+    outage = std::min<Duration>(outage, config_.horizon - t - 1);
+    if (outage <= 0) continue;
+
+    ChaosEvent event;
+    event.at = t;
+    event.outage = outage;
+    if (rng_.weighted_index(weights) == 0) {
+      event.kind = "crash";
+      event.subject = config_.crash_targets[rng_.uniform_int(
+          std::size_t{0}, config_.crash_targets.size() - 1)];
+      ++crashes_;
+    } else {
+      const std::size_t n = config_.partition_sites.size();
+      const std::size_t i = rng_.uniform_int(std::size_t{0}, n - 1);
+      std::size_t j = rng_.uniform_int(std::size_t{0}, n - 2);
+      if (j >= i) ++j;
+      const SiteId a = config_.partition_sites[i];
+      const SiteId b = config_.partition_sites[j];
+      event.kind = "partition";
+      std::ostringstream subject;
+      subject << a << "<->" << b;
+      event.subject = subject.str();
+      ++partitions_;
+      const SimTime heal_at = t + outage;
+      sim_.schedule_at(t, [this, a, b] { faults_.partition_sites(a, b); });
+      sim_.schedule_at(heal_at, [this, a, b] { faults_.heal_sites(a, b); });
+    }
+    if (event.kind == "crash") {
+      // crash/restore are idempotent, so overlapping outages of the same
+      // target just extend nothing — the earlier restore wins.  That keeps
+      // scripting simple and still deterministic.
+      faults_.crash_at(t, event.subject);
+      faults_.restore_at(t + event.outage, event.subject);
+    }
+    plan_.push_back(std::move(event));
+  }
+}
+
+std::string ChaosSchedule::plan_string() const {
+  std::ostringstream out;
+  for (const ChaosEvent& event : plan_) {
+    out << "t=" << event.at << " " << event.kind << "+" << event.outage << " "
+        << event.subject << "\n";
+  }
+  return out.str();
+}
+
+void ChaosSchedule::check_invariants() const {
+  SimTime last = config_.start;
+  for (const ChaosEvent& event : plan_) {
+    SWB_CHECK(!event.kind.empty());
+    SWB_CHECK_GE(event.at, last) << "chaos plan not time-ordered";
+    SWB_CHECK_LT(event.at + event.outage, config_.horizon)
+        << "chaos outage outlives the horizon";
+    last = event.at;
+  }
+  SWB_CHECK_EQ(crashes_ + partitions_, plan_.size());
+}
+
+}  // namespace switchboard::sim

@@ -1,0 +1,82 @@
+// sim::ChaosSchedule — a seeded plan of fault interleavings for soak runs.
+//
+// Draws a randomized sequence of outages (target crashes and site-pair
+// partitions) from its own Rng and scripts them onto a FaultInjector
+// before the run starts: event times, outage durations, fault kinds, and
+// victims are all pre-drawn in one pass at arm() time, so the plan is a
+// pure function of the seed and config — re-running the same simulation
+// with the same seed replays byte-identical chaos.  Outages never extend
+// past `horizon`, which gives every soak a guaranteed heal-and-settle
+// tail for convergence checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace switchboard::sim {
+
+struct ChaosConfig {
+  /// Window in which outages may start (events are drawn in [start, horizon)
+  /// and every outage ends strictly before `horizon`).
+  SimTime start{0};
+  SimTime horizon{0};
+  /// Mean gap between consecutive outage starts (exponential draw).
+  Duration mean_gap{0};
+  /// Outage length is uniform in [min_outage, max_outage].
+  Duration min_outage{0};
+  Duration max_outage{0};
+  /// Relative odds of each fault kind (either may be zero, not both).
+  double crash_weight{1.0};
+  double partition_weight{1.0};
+  /// Victim pools: registered FaultInjector target names, and sites that
+  /// may be partitioned pairwise.
+  std::vector<std::string> crash_targets;
+  std::vector<SiteId> partition_sites;
+};
+
+/// One pre-drawn outage, for inspection and plan determinism checks.
+struct ChaosEvent {
+  SimTime at{0};
+  Duration outage{0};
+  std::string kind;     // crash|partition
+  std::string subject;  // target name, or "a<->b" for partitions
+};
+
+class ChaosSchedule {
+ public:
+  ChaosSchedule(Simulator& sim, FaultInjector& faults, ChaosConfig config,
+                std::uint64_t seed);
+
+  /// Draws the full plan and scripts it onto the injector/simulator.
+  /// Call once, before running the simulation window.
+  void arm();
+
+  [[nodiscard]] const std::vector<ChaosEvent>& plan() const { return plan_; }
+  /// "t=<us> <kind>+<outage_us> <subject>\n" lines; the seed-determinism
+  /// artifact for the plan itself (the injector trace covers execution).
+  [[nodiscard]] std::string plan_string() const;
+  [[nodiscard]] std::size_t crashes_planned() const { return crashes_; }
+  [[nodiscard]] std::size_t partitions_planned() const { return partitions_; }
+
+  /// Audits the plan: events ordered, inside the window, and every outage
+  /// healed before the horizon.
+  void check_invariants() const;
+
+ private:
+  Simulator& sim_;
+  FaultInjector& faults_;
+  ChaosConfig config_;
+  Rng rng_;
+  std::vector<ChaosEvent> plan_;
+  std::size_t crashes_{0};
+  std::size_t partitions_{0};
+  bool armed_{false};
+};
+
+}  // namespace switchboard::sim

@@ -1,0 +1,50 @@
+// sim::DurableStore — an in-simulation model of stable storage.
+//
+// A named-blob byte store that survives crash-with-amnesia faults: when
+// the FaultInjector wipes a controller's volatile state, anything the
+// controller wrote here is still readable after restart.  Keeping the
+// "disk" inside the simulation (instead of touching the host filesystem)
+// keeps runs deterministic and lets tests inspect exactly what was
+// persisted at crash time.
+//
+// The store is intentionally dumb: append/overwrite/read whole blobs.
+// Record framing, snapshots, and replay live one layer up in
+// control::StateJournal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace switchboard::sim {
+
+class DurableStore {
+ public:
+  /// Appends `bytes` to the named blob (creating it if absent).
+  void append(const std::string& name, const std::string& bytes);
+
+  /// Replaces the named blob's contents.
+  void write(const std::string& name, const std::string& bytes);
+
+  /// Returns the blob's contents, or "" when it does not exist.
+  [[nodiscard]] const std::string& read(const std::string& name) const;
+
+  [[nodiscard]] bool exists(const std::string& name) const;
+  void erase(const std::string& name);
+
+  [[nodiscard]] std::uint64_t appends() const { return appends_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::size_t blob_count() const { return blobs_.size(); }
+
+  /// Audits internal bookkeeping (counter monotonicity vs stored bytes).
+  void check_invariants() const;
+
+ private:
+  std::map<std::string, std::string> blobs_;
+  std::uint64_t appends_{0};
+  std::uint64_t writes_{0};
+  std::uint64_t bytes_written_{0};
+};
+
+}  // namespace switchboard::sim

@@ -94,6 +94,14 @@ void FaultInjector::register_target(const std::string& name, StateFn apply) {
   if (target.down) target.apply(false);
 }
 
+void FaultInjector::register_amnesia_target(const std::string& name,
+                                            StateFn apply,
+                                            std::function<void()> reset) {
+  SWB_CHECK(reset != nullptr);
+  register_target(name, std::move(apply));
+  targets_[name].reset = std::move(reset);
+}
+
 bool FaultInjector::has_target(const std::string& name) const {
   return targets_.contains(name);
 }
@@ -118,6 +126,13 @@ void FaultInjector::restore(const std::string& name) {
   SWB_CHECK(it != targets_.end()) << "unknown fault target " << name;
   if (!it->second.down) return;
   it->second.down = false;
+  if (it->second.reset) {
+    record("restore-amnesia", name);
+    SB_LOG(kInfo) << "fault: restore-amnesia " << name
+                  << " at t=" << sim_.now();
+    it->second.reset();
+    return;
+  }
   record("restore", name);
   SB_LOG(kInfo) << "fault: restore " << name << " at t=" << sim_.now();
   it->second.apply(true);

@@ -17,9 +17,13 @@
 // The injector deliberately knows nothing about the bus or the control
 // plane.  Message faults are expressed as a verdict the caller applies;
 // crashes are expressed as a registered state callback the target wires
-// up (e.g. "mark this element down in the registry").  A crash models a
-// process pause / network unreachability — target state survives and
-// comes back on restore (no amnesia).
+// up (e.g. "mark this element down in the registry").  A plain crash
+// models a process pause / network unreachability — target state survives
+// and comes back on restore.  Targets registered with
+// register_amnesia_target() instead model a real process death: restore
+// runs a reset callback (recorded as "restore-amnesia") and the owner
+// must rebuild volatile state from durable storage (see
+// control::StateJournal).
 #pragma once
 
 #include <cstdint>
@@ -65,7 +69,9 @@ struct MessageFaultConfig {
 /// One entry of the deterministic fault trace.
 struct FaultEvent {
   SimTime at{0};
-  std::string kind;     // drop|duplicate|delay|partition-drop|partition|heal|crash|restore
+  // drop|duplicate|delay|partition-drop|partition|heal|crash|restore|
+  // restore-amnesia
+  std::string kind;
   std::string subject;  // "0->2 /topic/path" for messages, target name otherwise
 };
 
@@ -105,6 +111,12 @@ class FaultInjector {
   /// through the new callback, so owners can refresh callbacks after
   /// re-wiring.
   void register_target(const std::string& name, StateFn apply);
+  /// Registers a crash-with-amnesia target: crash applies `apply(false)`
+  /// as usual, but restore calls `reset()` (instead of `apply(true)`) so
+  /// the owner wipes volatile state and recovers from durable storage.
+  /// The restore is recorded as "restore-amnesia" in the trace.
+  void register_amnesia_target(const std::string& name, StateFn apply,
+                               std::function<void()> reset);
   [[nodiscard]] bool has_target(const std::string& name) const;
   [[nodiscard]] bool is_down(const std::string& name) const;
 
@@ -135,6 +147,7 @@ class FaultInjector {
 
   struct Target {
     StateFn apply;
+    std::function<void()> reset;  // non-null => amnesia on restore
     bool down{false};
   };
 

@@ -291,5 +291,88 @@ TEST_P(BusFanoutProperty, DeliveryAndWanCountsMatchTopology) {
   EXPECT_EQ(bus.stats().drops, 0u);
 }
 
+// ------------------------------------------------------------ ReliableBus
+
+// Without abandonment, every reliable copy toward a silent site burns its
+// full retry budget before counting as lost — this bounds the waste the
+// crash path avoids.
+TEST(ReliableBus, SilentSiteBurnsTheFullRetryBudget) {
+  sim::Simulator sim;
+  BusConfig config = make_config(2);
+  config.reliable_delivery = true;
+  config.fault_hook = [](SiteId, SiteId to, const std::string&) {
+    sim::MessageVerdict verdict;
+    verdict.drop = to == SiteId{1};   // site 1 went dark
+    return verdict;
+  };
+  ProxyBus bus{sim, config};
+  int delivered = 0;
+  bus.subscribe(SiteId{1}, Topic{"/routes", SiteId{0}},
+                [&delivered](const Message&) { ++delivered; });
+  bus.publish(Topic{"/routes", SiteId{0}}, "r1");
+  sim.run();
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(bus.stats().retransmits, config.max_retransmits);
+  EXPECT_EQ(bus.stats().lost_messages, 1u);
+  EXPECT_EQ(bus.stats().abandoned_retransmits, 0u);
+  EXPECT_EQ(bus.reliable_in_flight(), 0u);   // gave up -> terminal
+}
+
+TEST(ReliableBus, AbandonStopsRetransmitsTowardCrashedSite) {
+  sim::Simulator sim;
+  BusConfig config = make_config(2);
+  config.reliable_delivery = true;
+  config.fault_hook = [](SiteId, SiteId to, const std::string&) {
+    sim::MessageVerdict verdict;
+    verdict.drop = to == SiteId{1};
+    return verdict;
+  };
+  ProxyBus bus{sim, config};
+  bus.subscribe(SiteId{1}, Topic{"/routes", SiteId{0}},
+                [](const Message&) {});
+  bus.publish(Topic{"/routes", SiteId{0}}, "r1");
+  bus.publish(Topic{"/routes", SiteId{0}}, "r2");
+
+  // The site's crash is observed before the first ack timeout: both
+  // pending copies are written off immediately instead of retrying
+  // against silence until the budget runs out.
+  sim.run_until(sim::from_ms(50.0));
+  EXPECT_EQ(bus.reliable_in_flight(), 2u);
+  bus.abandon_retransmits_to(SiteId{1});
+  EXPECT_EQ(bus.reliable_in_flight(), 0u);
+  sim.run();
+
+  EXPECT_EQ(bus.stats().abandoned_retransmits, 2u);
+  EXPECT_EQ(bus.stats().retransmits, 0u);
+  EXPECT_EQ(bus.stats().lost_messages, 0u);
+}
+
+TEST(ReliableBus, FinishedEntriesAreReapedNotAccumulated) {
+  sim::Simulator sim;
+  BusConfig config = make_config(2);
+  config.reliable_delivery = true;
+  ProxyBus bus{sim, config};
+  int delivered = 0;
+  bus.subscribe(SiteId{1}, Topic{"/routes", SiteId{0}},
+                [&delivered](const Message&) { ++delivered; });
+  for (int i = 0; i < 3; ++i) {
+    bus.publish(Topic{"/routes", SiteId{0}}, "m" + std::to_string(i));
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(bus.stats().acks, 3u);
+  EXPECT_EQ(bus.reliable_in_flight(), 0u);
+  EXPECT_EQ(bus.reliable_tracked(), 3u);   // finished, awaiting reap
+
+  // The next reliable send sweeps the finished entries before tracking
+  // its own copy: state is bounded by the in-flight window, not history.
+  bus.publish(Topic{"/routes", SiteId{0}}, "m3");
+  EXPECT_EQ(bus.reliable_tracked(), 1u);
+  sim.run();
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(bus.reliable_in_flight(), 0u);
+}
+
 }  // namespace
 }  // namespace switchboard::bus

@@ -403,6 +403,120 @@ std::string lossy_recovery_trace(std::uint64_t seed) {
   return dep.fault_injector().trace_string();
 }
 
+// A transient element flap — down in one heartbeat, back before the next —
+// must not trigger a route retirement: the detector debounces element
+// reports over `element_debounce_beats` consecutive beats.  A sustained
+// failure still gets through one beat later.
+TEST(Recovery, FlappingElementWithinDebounceWindowDoesNotReroute) {
+  model::NetworkModel m = make_two_pool_model();
+  const VnfId fw = m.vnfs()[0].id;
+
+  DeploymentConfig config;
+  config.detector.period = sim::from_ms(50.0);
+  config.detector.suspicion_threshold = 3;
+  ASSERT_EQ(config.detector.element_debounce_beats, 2u);   // the default
+  Middleware mw{std::move(m), config};
+  core::Deployment& dep = mw.deployment();
+
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  const auto report = mw.create_chain(make_span_spec(edge, fw));
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  const ChainId chain = report->chain;
+  const SiteId placed = mw.chain_record(chain).routes[0].vnf_sites[0];
+
+  dep.enable_recovery();
+  const sim::SimTime t0 = dep.simulator().now();
+  const std::vector<dataplane::ElementId> pool =
+      dep.elements().vnf_instances_at(placed, fw);
+  ASSERT_FALSE(pool.empty());
+
+  // Flap: down after the first beat, reported down in exactly one beat
+  // (streak 1 < 2), healed before the second report.
+  for (const dataplane::ElementId id : pool) {
+    dep.fault_injector().crash_at(t0 + sim::from_ms(60.0),
+                                  "element:" + std::to_string(id));
+    dep.fault_injector().restore_at(t0 + sim::from_ms(120.0),
+                                    "element:" + std::to_string(id));
+  }
+  dep.simulator().run_until(t0 + sim::from_ms(500.0));
+
+  EXPECT_EQ(dep.failure_detector().element_failures_reported(), 0u);
+  ASSERT_EQ(mw.chain_record(chain).routes.size(), 1u);
+  EXPECT_EQ(mw.chain_record(chain).routes[0].vnf_sites[0], placed)
+      << "a one-beat flap retired the route";
+
+  // Debounced, not deaf: leave the pool down for good and the failure is
+  // relayed on the second consecutive beat, rerouting the chain.
+  for (const dataplane::ElementId id : pool) {
+    dep.fault_injector().crash("element:" + std::to_string(id));
+  }
+  dep.simulator().run_until(t0 + sim::from_ms(2500.0));
+  dep.stop_recovery();
+
+  EXPECT_GE(dep.failure_detector().element_failures_reported(),
+            static_cast<std::uint64_t>(pool.size()));
+  const SiteId survivor = placed == SiteId{1} ? SiteId{2} : SiteId{1};
+  ASSERT_FALSE(mw.chain_record(chain).routes.empty());
+  for (const control::RouteRecord& route : mw.chain_record(chain).routes) {
+    EXPECT_EQ(route.vnf_sites[0], survivor);
+  }
+  dep.failure_detector().check_invariants();
+}
+
+// Suspect -> heal -> re-suspect: the restored site gets its zeroed pool
+// capacity back (on_instance_up), and the second failure retires cleanly
+// again instead of double-releasing.
+TEST(Recovery, HealedSiteRestoresPoolCapacityAndSecondFailureIsClean) {
+  model::NetworkModel m = make_two_pool_model();
+  const VnfId fw = m.vnfs()[0].id;
+
+  DeploymentConfig config;
+  config.detector.period = sim::from_ms(50.0);
+  config.detector.suspicion_threshold = 3;
+  Middleware mw{std::move(m), config};
+  core::Deployment& dep = mw.deployment();
+
+  const EdgeServiceId edge = mw.register_edge_service("vpn");
+  const auto report = mw.create_chain(make_span_spec(edge, fw));
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  const ChainId chain = report->chain;
+  const SiteId placed = mw.chain_record(chain).routes[0].vnf_sites[0];
+  const double capacity_before =
+      dep.network_model().vnf(fw).capacity_at(placed);
+  ASSERT_GT(capacity_before, 0.0);
+
+  dep.enable_recovery();
+  const std::string target = "site:" + std::to_string(placed.value());
+  const sim::SimTime t0 = dep.simulator().now();
+
+  // First outage: silence -> suspicion -> pool zeroed + routes retired.
+  dep.fault_injector().crash_at(t0 + sim::from_ms(10.0), target);
+  dep.simulator().run_until(t0 + sim::from_ms(1000.0));
+  EXPECT_EQ(dep.failure_detector().suspicions_raised(), 1u);
+  EXPECT_EQ(dep.network_model().vnf(fw).capacity_at(placed), 0.0);
+
+  // Heal: beats resume, the pool's capacity is restored verbatim.
+  dep.fault_injector().restore(target);
+  dep.simulator().run_until(t0 + sim::from_ms(2000.0));
+  EXPECT_EQ(dep.failure_detector().recoveries_observed(), 1u);
+  EXPECT_EQ(dep.network_model().vnf(fw).capacity_at(placed),
+            capacity_before);
+
+  // Second outage on the same site retires cleanly again.
+  dep.fault_injector().crash(target);
+  dep.simulator().run_until(t0 + sim::from_ms(3000.0));
+  dep.stop_recovery();
+  EXPECT_EQ(dep.failure_detector().suspicions_raised(), 2u);
+  EXPECT_EQ(dep.network_model().vnf(fw).capacity_at(placed), 0.0);
+
+  // Throughout, the chain stayed deliverable off the surviving pool.
+  EXPECT_TRUE(mw.chain_record(chain).active);
+  const auto walk = mw.send(chain, tuple(9));
+  EXPECT_TRUE(walk.delivered) << walk.failure;
+  dep.failure_detector().check_invariants();
+  dep.global().check_invariants();
+}
+
 TEST(Recovery, SameFaultSeedGivesByteIdenticalTrace) {
   const std::string a = lossy_recovery_trace(0xFA17);
   const std::string b = lossy_recovery_trace(0xFA17);
