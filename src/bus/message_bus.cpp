@@ -75,14 +75,24 @@ void MessageBus::reliable_attempt(
     const std::shared_ptr<ReliableMessage>& message) {
   auto* simp = &sim;
   const auto* cfg = &config;   // refers to the bus's long-lived config_
-  ++message->sends;
+  {
+    const swb::MutexLock lock{reliable_mutex_};
+    ++message->sends;
+  }
   wire_copy(sim, config, *message->egress, message->from, message->to,
             message->topic_path, [this, simp, cfg, message] {
-              if (message->delivered) {
-                ++stats_.duplicate_deliveries;
-              } else {
+              bool first_delivery = false;
+              {
+                const swb::MutexLock lock{reliable_mutex_};
+                first_delivery = !message->delivered;
                 message->delivered = true;
+              }
+              if (first_delivery) {
+                // Never under the lock: delivery fans out to subscriber
+                // callbacks that publish back into the bus.
                 message->deliver();
+              } else {
+                ++stats_.duplicate_deliveries;
               }
               // Delivery ack back to the sender: a tiny control frame
               // that bypasses the egress queue (pure propagation) but is
@@ -99,45 +109,74 @@ void MessageBus::reliable_attempt(
                   cfg->inter_site_delay(message->to, message->from) +
                       ack_verdict.extra_delay,
                   [this, simp, message] {
-                    if (message->acked || message->done) return;
-                    message->acked = true;
-                    message->done = true;
+                    {
+                      const swb::MutexLock lock{reliable_mutex_};
+                      if (message->acked || message->done) return;
+                      message->acked = true;
+                      message->done = true;
+                      // A non-done entry always has a live retry timer
+                      // (reliable_attempt arms it in the same event that
+                      // created or retransmitted the copy).
+                      simp->cancel(message->retry);
+                    }
                     ++stats_.acks;
-                    simp->cancel(message->retry);
                   });
             });
-  message->retry = sim.schedule(config.ack_timeout, [this, simp, cfg,
-                                                     message] {
-    if (message->acked || message->done) return;
-    if (message->sends > cfg->max_retransmits) {
-      message->done = true;
-      ++stats_.lost_messages;
-      SB_LOG(kDebug) << "bus: gave up on " << message->topic_path << " "
-                     << message->from << "->" << message->to << " after "
-                     << message->sends << " sends";
-      return;
-    }
-    ++stats_.retransmits;
-    reliable_attempt(*simp, *cfg, message);
-  });
+  const sim::EventHandle retry =
+      sim.schedule(config.ack_timeout, [this, simp, cfg, message] {
+        bool give_up = false;
+        {
+          const swb::MutexLock lock{reliable_mutex_};
+          if (message->acked || message->done) return;
+          if (message->sends > cfg->max_retransmits) {
+            message->done = true;
+            give_up = true;
+          }
+        }
+        if (give_up) {
+          ++stats_.lost_messages;
+          SB_LOG(kDebug) << "bus: gave up on " << message->topic_path << " "
+                         << message->from << "->" << message->to << " after "
+                         << message->sends << " sends";
+          return;
+        }
+        ++stats_.retransmits;
+        reliable_attempt(*simp, *cfg, message);
+      });
+  {
+    const swb::MutexLock lock{reliable_mutex_};
+    message->retry = retry;
+  }
 }
 
 void MessageBus::abandon_retransmits_to(SiteId site) {
-  for (const std::shared_ptr<ReliableMessage>& message : reliable_) {
-    if (message->done || message->to != site) continue;
-    message->done = true;
-    ++stats_.abandoned_retransmits;
-    if (message->retry.valid()) {
-      // The retry timer is the only pending continuation the bus owns for
-      // this copy; any wire copy already in flight just arrives unacked.
+  std::uint64_t abandoned = 0;
+  {
+    const swb::MutexLock lock{reliable_mutex_};
+    for (const std::shared_ptr<ReliableMessage>& message : reliable_) {
+      if (message->done || message->to != site) continue;
+      message->done = true;
+      ++abandoned;
+      // Cancel the retry timer instead of letting it fire as a no-op: a
+      // non-done entry always has one pending (see reliable_attempt), and
+      // a crashed site can strand a window's worth of copies — leaving
+      // their timers live kept the entries pinned until ack_timeout and
+      // made pending_events() overcount.  Any wire copy already in flight
+      // just arrives unacked.
+      if (message->retry.valid() && message->sim != nullptr) {
+        message->sim->cancel(message->retry);
+        message->retry = sim::EventHandle{};
+      }
       SB_LOG(kDebug) << "bus: abandoning " << message->topic_path << " "
                      << message->from << "->" << message->to
                      << " (receiver crashed)";
     }
   }
+  stats_.abandoned_retransmits += abandoned;
 }
 
 std::size_t MessageBus::reliable_in_flight() const {
+  const swb::MutexLock lock{reliable_mutex_};
   std::size_t in_flight = 0;
   for (const std::shared_ptr<ReliableMessage>& message : reliable_) {
     if (!message->done) ++in_flight;
@@ -153,18 +192,22 @@ void MessageBus::wide_area_send(sim::Simulator& sim, const BusConfig& config,
     wire_copy(sim, config, egress, from, to, topic_path, deliver);
     return;
   }
-  // Reap finished copies (acked / given up / abandoned) so bookkeeping is
-  // bounded by the copies actually outstanding, not by lifetime traffic.
-  std::erase_if(reliable_, [](const std::shared_ptr<ReliableMessage>& m) {
-    return m->done;
-  });
   auto message = std::make_shared<ReliableMessage>();
   message->from = from;
   message->to = to;
   message->topic_path = topic_path;
   message->deliver = std::move(deliver);
   message->egress = &egress;
-  reliable_.push_back(message);
+  message->sim = &sim;
+  {
+    const swb::MutexLock lock{reliable_mutex_};
+    // Reap finished copies (acked / given up / abandoned) so bookkeeping
+    // is bounded by the copies actually outstanding, not lifetime traffic.
+    std::erase_if(reliable_, [](const std::shared_ptr<ReliableMessage>& m) {
+      return m->done;
+    });
+    reliable_.push_back(message);
+  }
   reliable_attempt(sim, config, message);
 }
 
@@ -223,10 +266,10 @@ void ProxyBus::publish(const Topic& topic, std::string payload) {
   const SiteId origin = topic.publisher_site;
   SiteProxy& proxy = proxies_[origin.value()];
   if (config_.retain_messages && !transient_topic(config_, topic.path)) {
-    auto& retained = proxy.retained[topic.path];
-    if (std::find(retained.begin(), retained.end(), payload) ==
-        retained.end()) {
-      retained.push_back(payload);
+    auto& payloads = proxy.retained[topic.path];
+    if (std::find(payloads.begin(), payloads.end(), payload) ==
+        payloads.end()) {
+      payloads.push_back(payload);
     }
   }
   Message message{topic.path, std::move(payload), sim_.now()};
@@ -301,10 +344,10 @@ void FullMeshBus::publish(const Topic& topic, std::string payload) {
   ++stats_.published;
   const SiteId origin = topic.publisher_site;
   if (config_.retain_messages && !transient_topic(config_, topic.path)) {
-    auto& retained = retained_[topic.path];
-    if (std::find(retained.begin(), retained.end(), payload) ==
-        retained.end()) {
-      retained.push_back(payload);
+    auto& payloads = retained_[topic.path];
+    if (std::find(payloads.begin(), payloads.end(), payload) ==
+        payloads.end()) {
+      payloads.push_back(payload);
     }
   }
   const auto it = subscribers_.find(topic.path);

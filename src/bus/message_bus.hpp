@@ -34,6 +34,7 @@
 
 #include "bus/topic.hpp"
 #include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/simulator.hpp"
@@ -156,6 +157,7 @@ class MessageBus {
   /// Reliable entries currently tracked, finished or not (tests: proves
   /// finished entries are reaped instead of accumulating forever).
   [[nodiscard]] std::size_t reliable_tracked() const {
+    const swb::MutexLock lock{reliable_mutex_};
     return reliable_.size();
   }
 
@@ -180,12 +182,23 @@ class MessageBus {
   /// timers may outlive the bus-side bookkeeping); the bus reaps finished
   /// entries on the next wide_area_send instead of accumulating every
   /// copy ever sent.
+  ///
+  /// Guard: the mutable fields (delivered/acked/done/sends/retry) are
+  /// protected by the enclosing bus's reliable_mutex_ — the analysis
+  /// cannot express a guard that crosses from an element to its owning
+  /// container, so this part of the contract is enforced by the lint
+  /// guard rule + review rather than the compiler.  Delivery and
+  /// subscriber callbacks are NEVER invoked under the lock (they publish
+  /// back into the bus).
   struct ReliableMessage {
     SiteId from;
     SiteId to;
     std::string topic_path;
     std::function<void()> deliver;
     ProxyEgress* egress{nullptr};
+    /// The simulator the retry timer lives on (for cancelling it when the
+    /// copy is abandoned).
+    sim::Simulator* sim{nullptr};
     bool delivered{false};
     bool acked{false};
     /// Terminal: acked, gave up, or abandoned — eligible for reaping.
@@ -208,9 +221,16 @@ class MessageBus {
   void reliable_attempt(sim::Simulator& sim, const BusConfig& config,
                         const std::shared_ptr<ReliableMessage>& message);
 
-  std::vector<std::shared_ptr<ReliableMessage>> reliable_;
+  /// Leaf lock for the reliable-delivery tracker: no other lock is ever
+  /// taken while it is held, and no user/delivery callback runs under it.
+  mutable swb::Mutex reliable_mutex_;
+  std::vector<std::shared_ptr<ReliableMessage>> reliable_
+      SWB_GUARDED_BY(reliable_mutex_);
 
  protected:
+  /// Simulator-thread-owned (every mutation happens inside an event
+  /// callback); deliberately unguarded until the control plane itself
+  /// goes multi-threaded.
   BusStats stats_;
 };
 

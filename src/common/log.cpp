@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace switchboard {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+swb::Mutex g_mutex;   // serializes whole lines onto stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,7 +29,7 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& message) {
-  const std::scoped_lock lock{g_mutex};
+  const swb::MutexLock lock{g_mutex};
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 }  // namespace detail

@@ -1,0 +1,148 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis
+// vocabulary + an annotated mutex, lock guard, and condition variable.
+//
+// Why: the sharded data plane (DESIGN.md §10) and the durable control
+// plane (§13) both rest on "every shared field is touched under its
+// lock" invariants that TSan can only validate for the schedules a test
+// happens to run.  Annotating the lock relationships promotes those
+// invariants to *build errors*: under any clang with
+// `-Wthread-safety -Werror=thread-safety` (the CMake default whenever
+// the compiler supports the flag — see SWB_THREAD_SAFETY in the
+// top-level CMakeLists.txt), a guarded field read without its mutex
+// provably held fails the compile.  Under GCC the macros expand to
+// nothing and the wrappers cost exactly a std::mutex.
+//
+// Vocabulary (see DESIGN.md §14 for the usage rules):
+//   SWB_GUARDED_BY(m)    field: only touch while `m` is held
+//   SWB_PT_GUARDED_BY(m) pointer field: the pointee needs `m`
+//   SWB_REQUIRES(m)      function: caller must already hold `m`
+//   SWB_ACQUIRE(m)/SWB_RELEASE(m)  function acquires/releases `m`
+//   SWB_TRY_ACQUIRE(b,m) try-lock: holds `m` when it returned `b`
+//   SWB_EXCLUDES(m)      function: caller must NOT hold `m` (deadlock
+//                        documentation for non-reentrant APIs)
+//   SWB_ACQUIRED_BEFORE/AFTER(...)  static lock-order edges
+//   SWB_NO_THREAD_SAFETY_ANALYSIS  opt-out; every use carries a comment
+//                        saying *why* the analysis cannot see the proof
+//
+// The wrappers:
+//   swb::Mutex      annotated std::mutex (a TSA "capability")
+//   swb::MutexLock  scoped acquire/release (the only idiom used on
+//                   guarded state; std::scoped_lock on a swb::Mutex
+//                   hides the acquisition from the analysis)
+//   swb::CondVar    condition variable waiting on a swb::Mutex without
+//                   losing the "lock is held" fact across the wait
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang implements the analysis attributes; GCC parses none of them.
+#if defined(__clang__) && !defined(SWB_NO_THREAD_SAFETY_ATTRIBUTES)
+#define SWB_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SWB_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+#define SWB_CAPABILITY(x) SWB_THREAD_ANNOTATION__(capability(x))
+#define SWB_SCOPED_CAPABILITY SWB_THREAD_ANNOTATION__(scoped_lockable)
+#define SWB_GUARDED_BY(x) SWB_THREAD_ANNOTATION__(guarded_by(x))
+#define SWB_PT_GUARDED_BY(x) SWB_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define SWB_ACQUIRED_BEFORE(...) \
+  SWB_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define SWB_ACQUIRED_AFTER(...) \
+  SWB_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define SWB_REQUIRES(...) \
+  SWB_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define SWB_REQUIRES_SHARED(...) \
+  SWB_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define SWB_ACQUIRE(...) \
+  SWB_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define SWB_ACQUIRE_SHARED(...) \
+  SWB_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define SWB_RELEASE(...) \
+  SWB_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define SWB_RELEASE_SHARED(...) \
+  SWB_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define SWB_TRY_ACQUIRE(...) \
+  SWB_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define SWB_EXCLUDES(...) SWB_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define SWB_ASSERT_CAPABILITY(x) \
+  SWB_THREAD_ANNOTATION__(assert_capability(x))
+#define SWB_RETURN_CAPABILITY(x) SWB_THREAD_ANNOTATION__(lock_returned(x))
+#define SWB_NO_THREAD_SAFETY_ANALYSIS \
+  SWB_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace switchboard::swb {
+
+/// std::mutex as a TSA capability.  Exactly the size and cost of the
+/// std::mutex it wraps; the annotations exist only at compile time.
+class SWB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SWB_ACQUIRE() { mutex_.lock(); }
+  void unlock() SWB_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() SWB_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+  /// The wrapped mutex, for APIs that need the raw lockable (CondVar's
+  /// wait, std::unique_lock-based deferred acquisition in lock_all()).
+  /// Lock operations through this reference are INVISIBLE to the
+  /// analysis — any function using it directly must carry
+  /// SWB_NO_THREAD_SAFETY_ANALYSIS plus a justification comment.
+  [[nodiscard]] std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped acquire/release of a swb::Mutex — the repo's only locking
+/// idiom for guarded state.  (std::scoped_lock works at runtime but is
+/// a system-header template, so the acquisition would be invisible to
+/// the analysis and every guarded access after it would fail the build.)
+class SWB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SWB_ACQUIRE(mutex) : mutex_{mutex} {
+    mutex_.lock();
+  }
+  ~MutexLock() SWB_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to swb::Mutex.  wait() is annotated
+/// SWB_REQUIRES(mutex): the analysis knows the lock is held before,
+/// during (as far as guarded reads in the caller's wait loop are
+/// concerned), and after the wait — callers keep writing the standard
+///   while (!predicate_over_guarded_state) cv.wait(mutex);
+/// loop and the predicate reads stay provably guarded.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and reacquires before
+  /// returning.  Caller must hold `mutex` (spurious wakeups possible —
+  /// always wait in a predicate loop).
+  void wait(Mutex& mutex) SWB_REQUIRES(mutex) {
+    // condition_variable_any unlocks/relocks the native mutex; the
+    // capability bookkeeping is handled by the REQUIRES contract.
+    cv_.wait(mutex.native());
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace switchboard::swb

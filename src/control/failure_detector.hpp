@@ -18,6 +18,7 @@
 #include <set>
 
 #include "bus/topic.hpp"
+#include "common/thread_annotations.hpp"
 #include "control/context.hpp"
 #include "control/messages.hpp"
 
@@ -68,18 +69,27 @@ class FailureDetector {
   /// is the detector's own observation, not controller memory.
   void resync();
 
-  [[nodiscard]] bool running() const { return running_; }
-  [[nodiscard]] std::size_t watched_count() const { return sites_.size(); }
+  [[nodiscard]] bool running() const {
+    const swb::MutexLock lock{mutex_};
+    return running_;
+  }
+  [[nodiscard]] std::size_t watched_count() const {
+    const swb::MutexLock lock{mutex_};
+    return sites_.size();
+  }
   [[nodiscard]] bool suspects(SiteId site) const;
   /// Total site-down declarations (re-suspecting after a recovery counts
   /// again).
   [[nodiscard]] std::uint64_t suspicions_raised() const {
+    const swb::MutexLock lock{mutex_};
     return suspicions_raised_;
   }
   [[nodiscard]] std::uint64_t recoveries_observed() const {
+    const swb::MutexLock lock{mutex_};
     return recoveries_observed_;
   }
   [[nodiscard]] std::uint64_t element_failures_reported() const {
+    const swb::MutexLock lock{mutex_};
     return element_failures_reported_;
   }
 
@@ -106,15 +116,24 @@ class FailureDetector {
   ControlContext& context_;
   SiteId home_site_;
   FailureDetectorConfig config_;
-  SiteCallback site_down_;
-  SiteCallback site_up_;
-  ElementCallback element_down_;
-  std::map<std::uint32_t, SiteState> sites_;   // by site id
-  bool running_{false};
-  sim::EventHandle sweep_event_{};
-  std::uint64_t suspicions_raised_{0};
-  std::uint64_t recoveries_observed_{0};
-  std::uint64_t element_failures_reported_{0};
+  /// One lock covers detector state, counters, and the callback slots.
+  /// Contract: callbacks NEVER run under it — site_down relays re-enter
+  /// the recovery pipeline (registry, routing, the bus) and may call back
+  /// into the detector (suspects(), resync(), even stop()).  on_heartbeat
+  /// and sweep() collect pending notifications under the lock and invoke
+  /// them after release; sweep() reschedules itself *before* notifying so
+  /// a stop() from inside a callback cancels the already-scheduled next
+  /// sweep instead of leaving a stray one behind.
+  mutable swb::Mutex mutex_;
+  SiteCallback site_down_ SWB_GUARDED_BY(mutex_);
+  SiteCallback site_up_ SWB_GUARDED_BY(mutex_);
+  ElementCallback element_down_ SWB_GUARDED_BY(mutex_);
+  std::map<std::uint32_t, SiteState> sites_ SWB_GUARDED_BY(mutex_);
+  bool running_ SWB_GUARDED_BY(mutex_){false};
+  sim::EventHandle sweep_event_ SWB_GUARDED_BY(mutex_){};
+  std::uint64_t suspicions_raised_ SWB_GUARDED_BY(mutex_){0};
+  std::uint64_t recoveries_observed_ SWB_GUARDED_BY(mutex_){0};
+  std::uint64_t element_failures_reported_ SWB_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace switchboard::control

@@ -22,6 +22,20 @@ void upsert(std::vector<T>& list, const T& item, IdFn id_of) {
   list.push_back(item);
 }
 
+/// Topic paths of an announcement map in sorted order.  The maps are
+/// unordered (hash iteration order is seed- and library-dependent), but
+/// what their contents feed — WeightedChoice rule construction, published
+/// weight sums — must not depend on iteration order (determinism
+/// contract, DESIGN.md §14).
+template <typename Map>
+std::vector<std::string> sorted_paths(const Map& by_path) {
+  std::vector<std::string> paths;
+  paths.reserve(by_path.size());
+  for (const auto& entry : by_path) paths.push_back(entry.first);
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
 }  // namespace
 
 LocalSwitchboard::LocalSwitchboard(ControlContext& context, SiteId site)
@@ -225,8 +239,8 @@ void LocalSwitchboard::install_rule(PerChain& pc,
   VnfId fronted_vnf;   // invalid if this forwarder fronts an edge
   bool is_ingress_forwarder = false;
   bool is_egress_forwarder = false;
-  for (const auto& [path, instances] : pc.instances) {
-    for (const InstanceAnnouncement& ann : instances) {
+  for (const std::string& path : sorted_paths(pc.instances)) {
+    for (const InstanceAnnouncement& ann : pc.instances.at(path)) {
       if (ann.forwarder != forwarder) continue;
       const ElementInfo& info = context_.elements.info(ann.instance);
       // Weight 0 marks a dead attachment: keep the attachment wiring (the
@@ -296,8 +310,8 @@ void LocalSwitchboard::reconcile(PerChain& pc) {
   std::set<dataplane::ElementId> local_forwarders;
   double published_weight_sum = 0.0;
   (void)published_weight_sum;
-  for (const auto& [path, instances] : pc.instances) {
-    for (const InstanceAnnouncement& ann : instances) {
+  for (const std::string& path : sorted_paths(pc.instances)) {
+    for (const InstanceAnnouncement& ann : pc.instances.at(path)) {
       if (context_.elements.exists(ann.instance) &&
           context_.elements.info(ann.instance).site == site_) {
         local_forwarders.insert(ann.forwarder);
@@ -314,8 +328,10 @@ void LocalSwitchboard::reconcile(PerChain& pc) {
     double weight = 0.0;
     VnfId fronted;
     bool edge_fronted = false;
-    for (const auto& [path, instances] : pc.instances) {
-      for (const InstanceAnnouncement& ann : instances) {
+    // Sorted path order: the float sum's rounding (and therefore the
+    // 1e-12 change detection below) must not depend on hash order.
+    for (const std::string& path : sorted_paths(pc.instances)) {
+      for (const InstanceAnnouncement& ann : pc.instances.at(path)) {
         if (ann.forwarder != forwarder) continue;
         weight += ann.weight;
         const ElementInfo& info = context_.elements.info(ann.instance);

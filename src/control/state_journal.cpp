@@ -15,12 +15,16 @@ void StateJournal::append(const std::string& record) {
   SWB_CHECK(!record.empty());
   SWB_CHECK(record.find('\n') == std::string::npos)
       << "journal record with embedded newline";
+  // Lock across store write + counter bump so a record is committed and
+  // counted atomically (journal mutex_ -> store mutex_, see header).
+  const swb::MutexLock lock{mutex_};
   store_.append(log_blob(), record + "\n");
   ++appends_;
   ++appends_since_snapshot_;
 }
 
 bool StateJournal::wants_snapshot() const {
+  const swb::MutexLock lock{mutex_};
   return config_.snapshot_interval > 0 &&
          appends_since_snapshot_ >= config_.snapshot_interval;
 }
@@ -33,6 +37,7 @@ void StateJournal::write_snapshot(const std::vector<std::string>& records) {
     bytes += record;
     bytes += '\n';
   }
+  const swb::MutexLock lock{mutex_};
   records_compacted_ += appends_since_snapshot_;
   store_.write(snap_blob(), bytes);
   store_.write(log_blob(), "");
@@ -73,6 +78,7 @@ void StateJournal::check_invariants() const {
   for (const std::string& record : log_records()) {
     SWB_CHECK(!record.empty()) << "empty log record";
   }
+  const swb::MutexLock lock{mutex_};
   SWB_CHECK_LE(appends_since_snapshot_, appends_);
 }
 

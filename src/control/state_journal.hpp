@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "sim/durable_store.hpp"
 #include "sim/time.hpp"
 
@@ -56,14 +57,20 @@ class StateJournal {
   /// Simulated cost of replaying everything currently persisted.
   [[nodiscard]] sim::Duration replay_cost() const;
 
-  [[nodiscard]] std::uint64_t appends() const { return appends_; }
+  [[nodiscard]] std::uint64_t appends() const {
+    const swb::MutexLock lock{mutex_};
+    return appends_;
+  }
   [[nodiscard]] std::uint64_t appends_since_snapshot() const {
+    const swb::MutexLock lock{mutex_};
     return appends_since_snapshot_;
   }
   [[nodiscard]] std::uint64_t snapshots_taken() const {
+    const swb::MutexLock lock{mutex_};
     return snapshots_taken_;
   }
   [[nodiscard]] std::uint64_t records_compacted() const {
+    const swb::MutexLock lock{mutex_};
     return records_compacted_;
   }
   [[nodiscard]] const JournalConfig& config() const { return config_; }
@@ -80,10 +87,15 @@ class StateJournal {
 
   sim::DurableStore& store_;
   JournalConfig config_;
-  std::uint64_t appends_{0};
-  std::uint64_t appends_since_snapshot_{0};
-  std::uint64_t snapshots_taken_{0};
-  std::uint64_t records_compacted_{0};
+  /// Guards the append/snapshot counters and keeps append's
+  /// counter-bump + store write atomic as one committed record.
+  /// Lock order: journal mutex_ -> store mutex_ (the store is a leaf and
+  /// never calls back up), never the reverse.
+  mutable swb::Mutex mutex_;
+  std::uint64_t appends_ SWB_GUARDED_BY(mutex_){0};
+  std::uint64_t appends_since_snapshot_ SWB_GUARDED_BY(mutex_){0};
+  std::uint64_t snapshots_taken_ SWB_GUARDED_BY(mutex_){0};
+  std::uint64_t records_compacted_ SWB_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace switchboard::control

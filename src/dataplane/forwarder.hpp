@@ -170,6 +170,12 @@ class Forwarder {
         .counters;
   }
 
+  // Concurrency contract (see DESIGN.md §14): table_ carries its own
+  // per-shard swb::Mutex guards; counter_cells_ and selector_state_ are
+  // relaxed atomics (no lock, quiesce to read a consistent set); rules_
+  // and attachment_labels_ are *externally synchronized* — written only
+  // while workers are quiesced (make-before-break rule swaps), so they
+  // deliberately carry no guard for the read-mostly packet path.
   ElementId id_;
   std::size_t worker_count_;
   ShardedFlowTable table_;

@@ -81,7 +81,7 @@ std::uint32_t OvsForwarder::affinity_lookup(const Packet& packet) {
   // OVS exact-match rule list with learn action: linear scan, learn on
   // miss (both directions, as the learn action installs the reverse rule
   // for symmetric return).
-  for (const LearnedRule& rule : rules_) {
+  for (const LearnedRule& rule : learned_) {
     if (rule.tuple == packet.flow && rule.labels == packet.labels) {
       digest_ += rule.port;
       return rule.port;
@@ -89,8 +89,8 @@ std::uint32_t OvsForwarder::affinity_lookup(const Packet& packet) {
   }
   const std::uint32_t port = static_cast<std::uint32_t>(
       mix64(flow_hash(packet.labels, packet.flow)) % port_count_);
-  rules_.push_back(LearnedRule{packet.flow, packet.labels, port});
-  rules_.push_back(LearnedRule{packet.flow.reversed(), packet.labels, port});
+  learned_.push_back(LearnedRule{packet.flow, packet.labels, port});
+  learned_.push_back(LearnedRule{packet.flow.reversed(), packet.labels, port});
   digest_ += port;
   return port;
 }

@@ -30,11 +30,11 @@ class OvsForwarder {
   std::uint32_t process(const Packet& packet);
 
   [[nodiscard]] OvsMode mode() const { return mode_; }
-  [[nodiscard]] std::size_t learned_rules() const { return rules_.size(); }
+  [[nodiscard]] std::size_t learned_rules() const { return learned_.size(); }
   /// Running checksum of all header work — forces the work to be real
   /// (prevents the optimizer from deleting it) and is checkable in tests.
   [[nodiscard]] std::uint64_t work_digest() const { return digest_; }
-  void clear_rules() { rules_.clear(); }
+  void clear_rules() { learned_.clear(); }
 
  private:
   struct LearnedRule {
@@ -50,7 +50,7 @@ class OvsForwarder {
 
   OvsMode mode_;
   std::size_t port_count_;
-  std::vector<LearnedRule> rules_;
+  std::vector<LearnedRule> learned_;
   std::array<std::uint8_t, 64> header_scratch_{};
   std::uint64_t digest_{0};
 };

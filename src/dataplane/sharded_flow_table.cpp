@@ -21,7 +21,7 @@ ShardedFlowTable::ShardedFlowTable(std::size_t initial_capacity,
 std::optional<FlowEntry> ShardedFlowTable::find(const Labels& labels,
                                                 const FiveTuple& tuple) const {
   const Shard& shard = shard_for(labels, tuple);
-  const std::scoped_lock lock{shard.mutex};
+  const swb::MutexLock lock{shard.mutex};
   ++shard.stats.finds;
   if (const FlowEntry* entry = shard.table.find(labels, tuple)) {
     ++shard.stats.hits;
@@ -34,7 +34,7 @@ FlowEntry ShardedFlowTable::insert(const Labels& labels,
                                    const FiveTuple& tuple,
                                    const FlowEntry& entry) {
   Shard& shard = shard_for(labels, tuple);
-  const std::scoped_lock lock{shard.mutex};
+  const swb::MutexLock lock{shard.mutex};
   ++shard.stats.inserts;
   return shard.table.insert(labels, tuple, entry);
 }
@@ -43,7 +43,7 @@ FlowEntry ShardedFlowTable::insert_if_absent(const Labels& labels,
                                              const FiveTuple& tuple,
                                              const FlowEntry& entry) {
   Shard& shard = shard_for(labels, tuple);
-  const std::scoped_lock lock{shard.mutex};
+  const swb::MutexLock lock{shard.mutex};
   if (const FlowEntry* existing = shard.table.find(labels, tuple)) {
     return *existing;
   }
@@ -53,7 +53,7 @@ FlowEntry ShardedFlowTable::insert_if_absent(const Labels& labels,
 
 bool ShardedFlowTable::erase(const Labels& labels, const FiveTuple& tuple) {
   Shard& shard = shard_for(labels, tuple);
-  const std::scoped_lock lock{shard.mutex};
+  const swb::MutexLock lock{shard.mutex};
   const bool erased = shard.table.erase(labels, tuple);
   if (erased) ++shard.stats.erases;
   return erased;
@@ -70,7 +70,7 @@ std::size_t ShardedFlowTable::size() const {
 
 std::size_t ShardedFlowTable::shard_size(std::size_t shard) const {
   SWB_CHECK_LT(shard, shards_.size());
-  const std::scoped_lock lock{shards_[shard]->mutex};
+  const swb::MutexLock lock{shards_[shard]->mutex};
   return shards_[shard]->table.size();
 }
 
@@ -97,7 +97,7 @@ std::vector<std::unique_lock<std::mutex>> ShardedFlowTable::lock_all() const {
   std::vector<std::unique_lock<std::mutex>> guards;
   guards.reserve(shards_.size());
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    guards.emplace_back(shard->mutex);
+    guards.emplace_back(shard->mutex.native());
   }
   return guards;
 }

@@ -32,6 +32,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "dataplane/flow_table.hpp"
 #include "dataplane/packet.hpp"
 
@@ -111,29 +112,34 @@ class ShardedFlowTable {
   bool erase(const Labels& labels, const FiveTuple& tuple);
 
   /// Live entries across all shards (locks each shard in index order).
-  [[nodiscard]] std::size_t size() const;
+  /// (NO_THREAD_SAFETY_ANALYSIS on whole-table members: see for_each.)
+  [[nodiscard]] std::size_t size() const SWB_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Live entries in one shard.
   [[nodiscard]] std::size_t shard_size(std::size_t shard) const;
 
   /// Operation counters aggregated over shards.
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const SWB_NO_THREAD_SAFETY_ANALYSIS;
 
-  void clear();
+  void clear() SWB_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Visits every live entry under ALL shard locks (taken in index order);
   /// `fn` must not call back into this table.  Shards are visited in index
   /// order, entries within a shard in slot order — deterministic for a
   /// quiesced table.
+  // NO_THREAD_SAFETY_ANALYSIS: lock_all() acquires a *dynamic* set of
+  // shard mutexes through std::unique_lock, which the analysis cannot
+  // model (a capability must be a named lock expression).  The runtime
+  // proof is the index-ordered lock_all() guards held for the whole walk.
   template <typename Fn>   // Fn(const Labels&, const FiveTuple&, FlowEntry&)
-  void for_each(Fn&& fn) {
+  void for_each(Fn&& fn) SWB_NO_THREAD_SAFETY_ANALYSIS {
     const auto guards = lock_all();
     for (const std::unique_ptr<Shard>& shard : shards_) {
       shard->table.for_each(fn);
     }
   }
   template <typename Fn>
-  void for_each(Fn&& fn) const {
+  void for_each(Fn&& fn) const SWB_NO_THREAD_SAFETY_ANALYSIS {
     const auto guards = lock_all();
     for (const std::unique_ptr<Shard>& shard : shards_) {
       const FlowTable& table = shard->table;
@@ -145,13 +151,18 @@ class ShardedFlowTable {
   /// itself: each key is stored in the shard its hash selects.  Takes all
   /// shard locks in index order, so it is safe to run concurrently with
   /// worker threads (PR 1's audit layer, extended to the threaded table).
-  void check_invariants() const;
+  void check_invariants() const SWB_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    FlowTable table;
-    mutable Stats stats;   // find() tallies under the shard lock
+    /// Lock-order contract (machine-checked per shard, runtime-checked
+    /// across shards): per-key operations take exactly ONE shard mutex;
+    /// whole-table operations take ALL of them in ascending index order
+    /// via lock_all().  No other acquisition order exists.
+    mutable swb::Mutex mutex;
+    FlowTable table SWB_GUARDED_BY(mutex);
+    /// find() tallies under the shard lock.
+    mutable Stats stats SWB_GUARDED_BY(mutex);
 
     explicit Shard(std::size_t capacity) : table{capacity} {}
   };
@@ -166,6 +177,9 @@ class ShardedFlowTable {
   }
 
   /// Locks every shard in ascending index order (the global lock order).
+  /// Deferred std::unique_lock acquisition over swb::Mutex::native() —
+  /// invisible to the thread-safety analysis, hence the
+  /// SWB_NO_THREAD_SAFETY_ANALYSIS opt-outs on every whole-table caller.
   [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lock_all() const;
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -5,30 +5,37 @@
 namespace switchboard::sim {
 
 void DurableStore::append(const std::string& name, const std::string& bytes) {
+  const swb::MutexLock lock{mutex_};
   blobs_[name] += bytes;
   ++appends_;
   bytes_written_ += bytes.size();
 }
 
 void DurableStore::write(const std::string& name, const std::string& bytes) {
+  const swb::MutexLock lock{mutex_};
   blobs_[name] = bytes;
   ++writes_;
   bytes_written_ += bytes.size();
 }
 
-const std::string& DurableStore::read(const std::string& name) const {
-  static const std::string kEmpty;
-  auto it = blobs_.find(name);
-  return it == blobs_.end() ? kEmpty : it->second;
+std::string DurableStore::read(const std::string& name) const {
+  const swb::MutexLock lock{mutex_};
+  const auto it = blobs_.find(name);
+  return it == blobs_.end() ? std::string{} : it->second;
 }
 
 bool DurableStore::exists(const std::string& name) const {
+  const swb::MutexLock lock{mutex_};
   return blobs_.find(name) != blobs_.end();
 }
 
-void DurableStore::erase(const std::string& name) { blobs_.erase(name); }
+void DurableStore::erase(const std::string& name) {
+  const swb::MutexLock lock{mutex_};
+  blobs_.erase(name);
+}
 
 void DurableStore::check_invariants() const {
+  const swb::MutexLock lock{mutex_};
   std::uint64_t stored = 0;
   for (const auto& [name, bytes] : blobs_) {
     SWB_CHECK(!name.empty()) << "unnamed durable blob";

@@ -16,6 +16,8 @@
 #include <map>
 #include <string>
 
+#include "common/thread_annotations.hpp"
+
 namespace switchboard::sim {
 
 class DurableStore {
@@ -26,25 +28,43 @@ class DurableStore {
   /// Replaces the named blob's contents.
   void write(const std::string& name, const std::string& bytes);
 
-  /// Returns the blob's contents, or "" when it does not exist.
-  [[nodiscard]] const std::string& read(const std::string& name) const;
+  /// Returns a copy of the blob's contents, or "" when it does not exist.
+  /// (By value: a reference would let guarded bytes escape the lock and
+  /// dangle across a concurrent write.)
+  [[nodiscard]] std::string read(const std::string& name) const;
 
   [[nodiscard]] bool exists(const std::string& name) const;
   void erase(const std::string& name);
 
-  [[nodiscard]] std::uint64_t appends() const { return appends_; }
-  [[nodiscard]] std::uint64_t writes() const { return writes_; }
-  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
-  [[nodiscard]] std::size_t blob_count() const { return blobs_.size(); }
+  [[nodiscard]] std::uint64_t appends() const {
+    const swb::MutexLock lock{mutex_};
+    return appends_;
+  }
+  [[nodiscard]] std::uint64_t writes() const {
+    const swb::MutexLock lock{mutex_};
+    return writes_;
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const {
+    const swb::MutexLock lock{mutex_};
+    return bytes_written_;
+  }
+  [[nodiscard]] std::size_t blob_count() const {
+    const swb::MutexLock lock{mutex_};
+    return blobs_.size();
+  }
 
   /// Audits internal bookkeeping (counter monotonicity vs stored bytes).
   void check_invariants() const;
 
  private:
-  std::map<std::string, std::string> blobs_;
-  std::uint64_t appends_{0};
-  std::uint64_t writes_{0};
-  std::uint64_t bytes_written_{0};
+  /// Leaf lock: the store calls nothing while holding it.  Lock order:
+  /// a StateJournal holding its own mutex_ may take this one, never the
+  /// reverse (the store knows nothing about journals).
+  mutable swb::Mutex mutex_;
+  std::map<std::string, std::string> blobs_ SWB_GUARDED_BY(mutex_);
+  std::uint64_t appends_ SWB_GUARDED_BY(mutex_){0};
+  std::uint64_t writes_ SWB_GUARDED_BY(mutex_){0};
+  std::uint64_t bytes_written_ SWB_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace switchboard::sim

@@ -23,13 +23,14 @@ void FaultInjector::record(const std::string& kind, std::string subject) {
 
 MessageVerdict FaultInjector::on_message(SiteId from, SiteId to,
                                          const std::string& topic) {
+  const swb::MutexLock lock{mutex_};
   MessageVerdict verdict;
   if (partitions_.empty() && !message_faults_.enabled()) return verdict;
 
   std::ostringstream subject;
   subject << from << "->" << to << " " << topic;
 
-  if (!partitions_.empty() && partitioned(from, to)) {
+  if (from != to && partitions_.contains(canonical(from, to))) {
     verdict.drop = true;
     record("partition-drop", subject.str());
     return verdict;
@@ -58,6 +59,7 @@ MessageVerdict FaultInjector::on_message(SiteId from, SiteId to,
 
 void FaultInjector::partition_sites(SiteId a, SiteId b) {
   SWB_CHECK(a != b) << "cannot partition a site from itself";
+  const swb::MutexLock lock{mutex_};
   if (partitions_.insert(canonical(a, b)).second) {
     std::ostringstream subject;
     subject << a << "<->" << b;
@@ -66,6 +68,7 @@ void FaultInjector::partition_sites(SiteId a, SiteId b) {
 }
 
 void FaultInjector::heal_sites(SiteId a, SiteId b) {
+  const swb::MutexLock lock{mutex_};
   if (partitions_.erase(canonical(a, b)) > 0) {
     std::ostringstream subject;
     subject << a << "<->" << b;
@@ -82,16 +85,23 @@ void FaultInjector::partition_sites_for(SiteId a, SiteId b,
 
 bool FaultInjector::partitioned(SiteId a, SiteId b) const {
   if (a == b) return false;
+  const swb::MutexLock lock{mutex_};
   return partitions_.contains(canonical(a, b));
 }
 
 void FaultInjector::register_target(const std::string& name, StateFn apply) {
   SWB_CHECK(apply != nullptr);
-  Target& target = targets_[name];
-  target.apply = std::move(apply);
-  // Keep a crashed target crashed through re-registration (owners refresh
-  // callbacks after re-wiring; state belongs to the injector).
-  if (target.down) target.apply(false);
+  StateFn reapply;
+  {
+    const swb::MutexLock lock{mutex_};
+    Target& target = targets_[name];
+    target.apply = std::move(apply);
+    // Keep a crashed target crashed through re-registration (owners
+    // refresh callbacks after re-wiring; state belongs to the injector).
+    if (target.down) reapply = target.apply;
+  }
+  // Callback outside the lock (it re-enters the owner's registries).
+  if (reapply) reapply(false);
 }
 
 void FaultInjector::register_amnesia_target(const std::string& name,
@@ -99,43 +109,63 @@ void FaultInjector::register_amnesia_target(const std::string& name,
                                             std::function<void()> reset) {
   SWB_CHECK(reset != nullptr);
   register_target(name, std::move(apply));
+  const swb::MutexLock lock{mutex_};
   targets_[name].reset = std::move(reset);
 }
 
 bool FaultInjector::has_target(const std::string& name) const {
+  const swb::MutexLock lock{mutex_};
   return targets_.contains(name);
 }
 
 bool FaultInjector::is_down(const std::string& name) const {
+  const swb::MutexLock lock{mutex_};
   const auto it = targets_.find(name);
   return it != targets_.end() && it->second.down;
 }
 
 void FaultInjector::crash(const std::string& name) {
-  const auto it = targets_.find(name);
-  SWB_CHECK(it != targets_.end()) << "unknown fault target " << name;
-  if (it->second.down) return;
-  it->second.down = true;
-  record("crash", name);
+  StateFn apply;
+  {
+    const swb::MutexLock lock{mutex_};
+    const auto it = targets_.find(name);
+    SWB_CHECK(it != targets_.end()) << "unknown fault target " << name;
+    if (it->second.down) return;
+    it->second.down = true;
+    record("crash", name);
+    apply = it->second.apply;
+  }
   SB_LOG(kInfo) << "fault: crash " << name << " at t=" << sim_.now();
-  it->second.apply(false);
+  // The callback re-enters owner state (registries, the bus) and may call
+  // back into the injector — it must run outside the lock.
+  apply(false);
 }
 
 void FaultInjector::restore(const std::string& name) {
-  const auto it = targets_.find(name);
-  SWB_CHECK(it != targets_.end()) << "unknown fault target " << name;
-  if (!it->second.down) return;
-  it->second.down = false;
-  if (it->second.reset) {
-    record("restore-amnesia", name);
+  StateFn apply;
+  std::function<void()> reset;
+  {
+    const swb::MutexLock lock{mutex_};
+    const auto it = targets_.find(name);
+    SWB_CHECK(it != targets_.end()) << "unknown fault target " << name;
+    if (!it->second.down) return;
+    it->second.down = false;
+    if (it->second.reset) {
+      record("restore-amnesia", name);
+      reset = it->second.reset;
+    } else {
+      record("restore", name);
+      apply = it->second.apply;
+    }
+  }
+  if (reset) {
     SB_LOG(kInfo) << "fault: restore-amnesia " << name
                   << " at t=" << sim_.now();
-    it->second.reset();
+    reset();
     return;
   }
-  record("restore", name);
   SB_LOG(kInfo) << "fault: restore " << name << " at t=" << sim_.now();
-  it->second.apply(true);
+  apply(true);
 }
 
 void FaultInjector::crash_at(SimTime when, const std::string& name) {
@@ -153,6 +183,7 @@ void FaultInjector::crash_for(const std::string& name, Duration duration) {
 }
 
 std::string FaultInjector::trace_string() const {
+  const swb::MutexLock lock{mutex_};
   std::ostringstream out;
   for (const FaultEvent& event : trace_) {
     out << "t=" << event.at << " " << event.kind << " " << event.subject
@@ -162,6 +193,7 @@ std::string FaultInjector::trace_string() const {
 }
 
 void FaultInjector::check_invariants() const {
+  const swb::MutexLock lock{mutex_};
   for (const SitePair& pair : partitions_) {
     SWB_CHECK(pair.first < pair.second)
         << "partition pair not canonical: " << pair.first << ","

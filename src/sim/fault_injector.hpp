@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
 
@@ -84,9 +85,11 @@ class FaultInjector {
 
   // --- randomized message faults -----------------------------------------
   void set_message_faults(MessageFaultConfig config) {
+    const swb::MutexLock lock{mutex_};
     message_faults_ = config;
   }
-  [[nodiscard]] const MessageFaultConfig& message_faults() const {
+  [[nodiscard]] MessageFaultConfig message_faults() const {
+    const swb::MutexLock lock{mutex_};
     return message_faults_;
   }
 
@@ -129,11 +132,19 @@ class FaultInjector {
   void crash_for(const std::string& name, Duration duration);
 
   // --- trace ---------------------------------------------------------------
-  [[nodiscard]] const std::vector<FaultEvent>& trace() const { return trace_; }
+  /// Snapshot of the fault trace (a copy: returning a reference would let
+  /// guarded data escape the lock).
+  [[nodiscard]] std::vector<FaultEvent> trace() const {
+    const swb::MutexLock lock{mutex_};
+    return trace_;
+  }
   /// The whole trace as one string ("t=<us> <kind> <subject>\n" lines);
   /// the byte-identical-under-a-seed determinism artifact.
   [[nodiscard]] std::string trace_string() const;
-  void clear_trace() { trace_.clear(); }
+  void clear_trace() {
+    const swb::MutexLock lock{mutex_};
+    trace_.clear();
+  }
 
   /// Audits internal consistency (aborts via SWB_CHECK on violation):
   /// partition pairs are stored canonically (small id first, no
@@ -151,14 +162,21 @@ class FaultInjector {
     bool down{false};
   };
 
-  void record(const std::string& kind, std::string subject);
+  void record(const std::string& kind, std::string subject)
+      SWB_REQUIRES(mutex_);
 
   Simulator& sim_;
-  Rng rng_;
-  MessageFaultConfig message_faults_;
-  std::set<SitePair> partitions_;
-  std::map<std::string, Target> targets_;
-  std::vector<FaultEvent> trace_;
+  /// One lock covers verdicts, partitions, targets, and the trace.
+  /// Contract: target callbacks (Target::apply / Target::reset) NEVER run
+  /// under it — they re-enter registries, the bus, and (via site crash
+  /// targets) MessageBus::abandon_retransmits_to, so holding the lock
+  /// across them would invert lock orders and deadlock on reentry.
+  mutable swb::Mutex mutex_;
+  Rng rng_ SWB_GUARDED_BY(mutex_);
+  MessageFaultConfig message_faults_ SWB_GUARDED_BY(mutex_);
+  std::set<SitePair> partitions_ SWB_GUARDED_BY(mutex_);
+  std::map<std::string, Target> targets_ SWB_GUARDED_BY(mutex_);
+  std::vector<FaultEvent> trace_ SWB_GUARDED_BY(mutex_);
 };
 
 }  // namespace switchboard::sim

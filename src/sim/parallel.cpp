@@ -14,7 +14,7 @@ BarrierWorkerPool::BarrierWorkerPool(std::size_t worker_count) {
 
 BarrierWorkerPool::~BarrierWorkerPool() {
   {
-    const std::scoped_lock lock{mutex_};
+    const swb::MutexLock lock{mutex_};
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -22,19 +22,24 @@ BarrierWorkerPool::~BarrierWorkerPool() {
 }
 
 void BarrierWorkerPool::run_batch(const std::function<void(std::size_t)>& fn) {
-  std::unique_lock lock{mutex_};
-  SWB_CHECK_EQ(remaining_, 0u) << "run_batch is not reentrant";
-  batch_fn_ = &fn;
-  remaining_ = threads_.size();
-  first_error_ = nullptr;
-  ++generation_;
-  lock.unlock();
+  {
+    const swb::MutexLock lock{mutex_};
+    SWB_CHECK_EQ(remaining_, 0u) << "run_batch is not reentrant";
+    batch_fn_ = &fn;
+    remaining_ = threads_.size();
+    first_error_ = nullptr;
+    ++generation_;
+  }
   start_cv_.notify_all();
 
-  lock.lock();
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
-  batch_fn_ = nullptr;
-  if (first_error_) std::rethrow_exception(first_error_);
+  std::exception_ptr error;
+  {
+    const swb::MutexLock lock{mutex_};
+    while (remaining_ != 0) done_cv_.wait(mutex_);
+    batch_fn_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void BarrierWorkerPool::run_striped(
@@ -50,23 +55,25 @@ void BarrierWorkerPool::worker_loop(std::size_t index) {
   for (;;) {
     const std::function<void(std::size_t)>* fn = nullptr;
     {
-      std::unique_lock lock{mutex_};
-      start_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      const swb::MutexLock lock{mutex_};
+      while (!shutdown_ && generation_ == seen_generation) {
+        start_cv_.wait(mutex_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       fn = batch_fn_;
     }
+    // The batch function runs outside the lock: batch_fn_ stays valid
+    // until every worker decremented remaining_, which happens below.
     try {
       (*fn)(index);
     } catch (...) {
-      const std::scoped_lock lock{mutex_};
+      const swb::MutexLock lock{mutex_};
       if (!first_error_) first_error_ = std::current_exception();
     }
     bool last = false;
     {
-      const std::scoped_lock lock{mutex_};
+      const swb::MutexLock lock{mutex_};
       last = --remaining_ == 0;
     }
     if (last) done_cv_.notify_one();

@@ -14,13 +14,13 @@
 // propagates the first exception a worker throws out of run_batch().
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace switchboard::sim {
 
@@ -50,14 +50,20 @@ class BarrierWorkerPool {
   void worker_loop(std::size_t index);
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* batch_fn_{nullptr};
-  std::uint64_t generation_{0};     // bumped per batch; workers wait on it
-  std::size_t remaining_{0};        // workers still running this batch
-  std::exception_ptr first_error_;  // first exception thrown in the batch
-  bool shutdown_{false};
+  /// One lock covers the whole batch protocol; every field below is
+  /// handed between the dispatcher and the workers under it.
+  swb::Mutex mutex_;
+  swb::CondVar start_cv_;
+  swb::CondVar done_cv_;
+  const std::function<void(std::size_t)>* batch_fn_
+      SWB_GUARDED_BY(mutex_){nullptr};
+  /// Bumped per batch; workers wait on it.
+  std::uint64_t generation_ SWB_GUARDED_BY(mutex_){0};
+  /// Workers still running this batch.
+  std::size_t remaining_ SWB_GUARDED_BY(mutex_){0};
+  /// First exception thrown in the batch.
+  std::exception_ptr first_error_ SWB_GUARDED_BY(mutex_);
+  bool shutdown_ SWB_GUARDED_BY(mutex_){false};
 };
 
 }  // namespace switchboard::sim

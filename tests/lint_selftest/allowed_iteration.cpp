@@ -1,0 +1,25 @@
+// lint.py --self-test fixture: negative control for the inline escape.
+// The iteration below is a real D1 match, but the `swb-lint: allow` on
+// the line suppresses it — the self-test fails if this file produces any
+// finding.  NOT compiled; scanned by the determinism linter.
+#include <string>
+#include <unordered_set>
+
+namespace lint_fixture {
+
+class Auditor {
+ public:
+  // Audit-only iteration: every element is checked independently, nothing
+  // depends on visit order, so the hazard is excused *visibly*.
+  [[nodiscard]] bool all_nonempty() const {
+    for (const auto& name : names_) {   // swb-lint: allow(D1): audit only
+      if (name.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::unordered_set<std::string> names_;
+};
+
+}  // namespace lint_fixture

@@ -1,0 +1,35 @@
+// lint.py --self-test fixture: D1 — unordered-container iteration feeding
+// a digest.  NOT compiled; scanned by the determinism linter, which must
+// flag every line carrying an `// expect-lint:` marker (and nothing else).
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace lint_fixture {
+
+class StateDigest {
+ public:
+  void record(const std::string& key, std::uint64_t value) {
+    counts_[key] += value;
+  }
+
+  // BUG: hash iteration order differs across libstdc++/libc++ and hash
+  // seeds, so the digest is not reproducible.
+  [[nodiscard]] std::uint64_t digest() const {
+    std::uint64_t digest = 0;
+    for (const auto& entry : counts_) {       // expect-lint: D1
+      digest = digest * 31 + entry.second;
+    }
+    return digest;
+  }
+
+  // BUG: same hazard via explicit iterators.
+  [[nodiscard]] std::string first_key() const {
+    return counts_.begin()->first;            // expect-lint: D1
+  }
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace lint_fixture

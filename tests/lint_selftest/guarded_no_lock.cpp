@@ -1,0 +1,26 @@
+// lint.py --self-test fixture: T1 — a SWB_GUARDED_BY field touched with
+// no locking evidence.  NOT compiled; scanned by the determinism linter's
+// regex mini-TSA (clang -Wthread-safety enforces the real contract).
+#include "common/thread_annotations.hpp"
+
+namespace lint_fixture {
+
+class Tally {
+ public:
+  // OK: takes the guarding mutex first.
+  void increment() {
+    const switchboard::swb::MutexLock lock{mutex_};
+    ++counter_;
+  }
+
+  // BUG: reads the guarded field without the mutex.
+  [[nodiscard]] int racy_read() const {
+    return counter_;                          // expect-lint: T1
+  }
+
+ private:
+  mutable switchboard::swb::Mutex mutex_;
+  int counter_ SWB_GUARDED_BY(mutex_){0};
+};
+
+}  // namespace lint_fixture

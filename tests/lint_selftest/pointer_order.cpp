@@ -1,0 +1,33 @@
+// lint.py --self-test fixture: D4 — pointer-keyed ordering and
+// address-dependent hashing.  NOT compiled; scanned by the determinism
+// linter.
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace lint_fixture {
+
+struct Node {
+  int id{0};
+};
+
+class Registry {
+ public:
+  // BUG: ordered by allocation address, which differs run to run.
+  std::map<const Node*, int> ranks_;          // expect-lint: D4
+
+  // BUG: same hazard for a set of pointers.
+  std::set<Node*> live_;                      // expect-lint: D4
+
+  // BUG: hashing an address bakes the allocator's layout into the value.
+  [[nodiscard]] std::size_t token(const Node* node) const {
+    return std::hash<const Node*>{}(node);    // expect-lint: D4
+  }
+
+  // BUG: an address cast to an integer is still an address.
+  [[nodiscard]] std::uint64_t key(const Node* node) const {
+    return reinterpret_cast<std::uintptr_t>(node);   // expect-lint: D4
+  }
+};
+
+}  // namespace lint_fixture

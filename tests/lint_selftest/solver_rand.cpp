@@ -1,0 +1,36 @@
+// lint.py --self-test fixture: D2 (banned randomness) and D3 (wall-clock
+// reads) in a mock TE solver.  NOT compiled; scanned by the determinism
+// linter.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace lint_fixture {
+
+class Solver {
+ public:
+  // BUG: std::rand draws from global, unseeded-by-us state.
+  [[nodiscard]] int pick_route(int route_count) {
+    return std::rand() % route_count;         // expect-lint: D2
+  }
+
+  // BUG: random_device is nondeterministic by design.
+  [[nodiscard]] unsigned reseed() {
+    std::random_device entropy;               // expect-lint: D2
+    return entropy();
+  }
+
+  // BUG: host wall clock leaks into simulated decisions.
+  [[nodiscard]] long long deadline_ns() {
+    const auto now = std::chrono::steady_clock::now();   // expect-lint: D3
+    return now.time_since_epoch().count();
+  }
+
+  // BUG: C time() is a wall-clock read too.
+  [[nodiscard]] long stamp() {
+    return static_cast<long>(time(nullptr));  // expect-lint: D3
+  }
+};
+
+}  // namespace lint_fixture
