@@ -11,6 +11,9 @@
 //   3. Replicated (DHT) flow table vs per-forwarder tables under a
 //      forwarder failure — the fraction of established flows that survive
 //      with their pinning intact.
+//   4. Steering state in the packet (Active-Switching-style annotation,
+//      DESIGN.md §15) vs per-flow table entries — per-packet cost against
+//      per-flow memory and the 16-byte wire overhead.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -207,6 +210,95 @@ void ablation_dht_failover(swb_bench::Session& session) {
               "failure (Section 5.3's fault-tolerance direction).\n");
 }
 
+// ------------------------------- 4. annotation vs flow-table state
+
+/// Per-packet steering cost vs per-flow state cost of the two places the
+/// pinning can live: the forwarder's flow table (Switchboard) or a
+/// 16-byte in-packet annotation validated against the route epoch
+/// (Active-Switching ablation, DESIGN.md §15).
+void ablation_annotation_vs_table(swb_bench::Session& session) {
+  std::printf("\n-- 4. steering state: flow-table entries vs in-packet "
+              "annotation --\n");
+  constexpr Labels kLabels{1, 1};
+  const auto kFlows =
+      static_cast<std::uint32_t>(session.scaled(100'000, 100, 1'000));
+  const std::size_t packets_target = session.scaled(2'000'000, 100, 20'000);
+  const std::size_t passes =
+      std::max<std::size_t>(packets_target / kFlows, 1);
+
+  const auto install = [&](Forwarder& fw) {
+    LoadBalanceRule rule;
+    rule.vnf_instances.add(100, 1.0);
+    rule.vnf_instances.add(101, 1.0);
+    rule.next_forwarders.add(200, 1.0);
+    fw.rules().install(kLabels, rule);
+  };
+  const auto make_batch = [&] {
+    TrafficGenConfig config;
+    config.flow_count = kFlows;
+    config.seed = 42;
+    std::vector<Packet> batch;
+    batch.reserve(kFlows);
+    PacketStream stream{config};
+    for (std::uint32_t f = 0; f < kFlows; ++f) {
+      Packet p = stream.next();
+      p.arrival_source = 50;
+      batch.push_back(p);
+    }
+    return batch;
+  };
+  const auto timed_ns_per_pkt = [&](auto&& pass) {
+    double best = 1e18;
+    for (int run = 0; run < 3; ++run) {
+      const auto start = std::chrono::steady_clock::now();
+      std::size_t delivered = 0;
+      for (std::size_t i = 0; i < passes; ++i) delivered += pass();
+      const double elapsed =
+          std::chrono::duration<double, std::nano>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      benchmark::DoNotOptimize(delivered);
+      best = std::min(best, elapsed / static_cast<double>(passes * kFlows));
+    }
+    return best;
+  };
+
+  // Switchboard: pinning lives in the flow table; every packet looks it up.
+  Forwarder table_fw{1, kFlows * 2};
+  install(table_fw);
+  auto table_batch = make_batch();
+  for (const Packet& p : table_batch) (void)table_fw.process_from_wire(p);
+  const double table_bytes_per_flow =
+      static_cast<double>(table_fw.flow_table().memory_bytes()) / kFlows;
+  const double table_ns = timed_ns_per_pkt(
+      [&] { return table_fw.process_batch(table_batch); });
+
+  // Ablation: pinning rides in the packet; the forwarder only validates
+  // the route epoch.  Zero per-flow table state, 16 wire bytes per packet.
+  Forwarder annotation_fw{1, /*flow_capacity=*/64};
+  install(annotation_fw);
+  auto annotated_batch = make_batch();
+  (void)annotation_fw.process_batch_annotated(annotated_batch);  // affix
+  const double annotation_ns = timed_ns_per_pkt(
+      [&] { return annotation_fw.process_batch_annotated(annotated_batch); });
+  const double annotation_table_bytes =
+      static_cast<double>(annotation_fw.flow_table().memory_bytes());
+
+  std::printf("%-24s %8.1f ns/pkt %12.1f table bytes/flow\n",
+              "flow-table pinning:", table_ns, table_bytes_per_flow);
+  std::printf("%-24s %8.1f ns/pkt %12.1f table bytes/flow + 16 B/pkt on "
+              "the wire\n", "in-packet annotation:", annotation_ns,
+              annotation_table_bytes / kFlows);
+  session.add("annotation_vs_table")
+      .param("flows", static_cast<double>(kFlows))
+      .metric("table_ns_per_pkt", table_ns)
+      .metric("annotation_ns_per_pkt", annotation_ns)
+      .metric("table_bytes_per_flow", table_bytes_per_flow)
+      .metric("annotation_wire_bytes_per_pkt", 16.0);
+  std::printf("annotations trade per-flow forwarder memory for per-packet\n"
+              "wire bytes and lose the pinning on any route-epoch bump.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,5 +307,6 @@ int main(int argc, char** argv) {
   ablation_labels_vs_source_routing(session);
   ablation_make_before_break(session);
   ablation_dht_failover(session);
+  ablation_annotation_vs_table(session);
   return 0;
 }

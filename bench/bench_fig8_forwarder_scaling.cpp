@@ -16,6 +16,13 @@
 //      per-worker traffic generator, so steady-state lookups take only
 //      uncontended locks.
 //
+// A third series (DESIGN.md §15) sweeps live-flow count 10^5 -> 10^7 across
+// the three data-plane read modes — epoch (lock-free batched SoA pipeline),
+// mutex (per-shard-lock ablation) and annotation (Active-Switching-style
+// steering affix, no per-packet table lookup) — reporting ns/pkt and
+// Mpps/core.  Packet counts and the flow-pinning digest are bit-identical
+// across modes and thread counts; the binary aborts if they are not.
+//
 // Flags: --threads N (sharded sweep up to N; default 8 capped at the host),
 // --json <path>, --smoke (see bench_json.hpp).  Absolute Mpps depends on
 // the host; the scaling *shape* is the reproduction target.
@@ -30,6 +37,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "common/check.hpp"
 #include "dataplane/forwarder.hpp"
 #include "dataplane/traffic_gen.hpp"
 
@@ -163,6 +171,228 @@ double run_sharded(std::size_t workers, std::uint32_t flows_total,
   return static_cast<double>(total) / elapsed;
 }
 
+// ---------------------------------------------------------------------------
+// Flow-scale sweep across data-plane read modes (DESIGN.md §15).
+
+struct SweepRun {
+  double pps{0.0};
+  std::uint64_t packets_forwarded{0};
+  std::uint64_t pinning_digest{0};
+};
+
+// 52 bits round-trip exactly through the JSON double in the bench record,
+// so bench_diff.py can gate the digest with an exact comparison.
+constexpr std::uint64_t kDigestMask = (std::uint64_t{1} << 52) - 1;
+
+std::uint64_t fnv1a_mix(std::uint64_t hash, std::uint64_t value) {
+  hash ^= value;
+  return hash * 1099511628211ULL;
+}
+
+/// FNV-1a over every flow's (vnf_instance, next_forwarder) pinning in flow
+/// order.  Pinning is a pure function of (forwarder id, flow key), so the
+/// digest is bit-identical across read modes and thread counts; any drift
+/// is a determinism bug.
+template <typename PinningFn>
+std::uint64_t pinning_digest(std::uint32_t flows, PinningFn&& pin_of) {
+  std::uint64_t digest = 14695981039346656037ULL;
+  for (std::uint32_t f = 0; f < flows; ++f) {
+    const FlowEntry entry = pin_of(f);
+    digest = fnv1a_mix(digest, entry.vnf_instance);
+    digest = fnv1a_mix(digest, entry.next_forwarder);
+  }
+  return digest & kDigestMask;
+}
+
+/// Per-worker RSS batches, one packet per owned flow (the materialization
+/// run_sharded uses, shared by all three sweep modes).
+std::vector<std::vector<Packet>> make_worker_batches(std::size_t workers,
+                                                     std::uint32_t flows) {
+  std::vector<std::vector<Packet>> batches(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    TrafficGenConfig config;
+    config.flow_count = flows;
+    config.seed = 42;
+    config.worker_count = static_cast<std::uint32_t>(workers);
+    config.worker_index = static_cast<std::uint32_t>(w);
+    PacketStream stream{config};
+    const std::size_t batch_size = stream.owned_flow_count();
+    batches[w].reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      Packet p = stream.next();
+      p.arrival_source = 50;
+      batches[w].push_back(p);
+    }
+  }
+  return batches;
+}
+
+/// Timed section shared by the sweep runners: every worker makes `passes`
+/// full passes over its batch, so the total packet count is exactly
+/// passes * flows — independent of the worker count (RSS partitions the
+/// flow set) and of the read mode (every packet hits an established pin).
+template <typename PassFn>
+SweepRun run_timed_passes(std::vector<std::vector<Packet>>& batches,
+                          std::size_t passes, PassFn&& run_pass) {
+  const std::size_t workers = batches.size();
+  std::vector<std::thread> threads;
+  std::vector<std::size_t> delivered(workers, 0);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&batches, &delivered, &run_pass, w, passes] {
+      std::size_t count = 0;
+      for (std::size_t pass = 0; pass < passes; ++pass) {
+        count += run_pass(batches[w]);
+      }
+      benchmark::DoNotOptimize(count);
+      delivered[w] = count;
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  SweepRun run;
+  for (const std::size_t d : delivered) run.packets_forwarded += d;
+  run.pps = static_cast<double>(run.packets_forwarded) / elapsed;
+  return run;
+}
+
+/// Flow-table modes: epoch (lock-free batched pipeline) or mutex (per-shard
+/// lock ablation), over `flows` preloaded flows.
+SweepRun run_flow_scale_table(ReadMode mode, std::size_t workers,
+                              std::uint32_t flows, std::size_t passes) {
+  Forwarder forwarder{1, flows * 2, workers};
+  forwarder.set_read_mode(mode);
+  install_rule(forwarder);
+  preload_flows(forwarder, flows, 42);
+  auto batches = make_worker_batches(workers, flows);
+
+  SweepRun run = run_timed_passes(batches, passes, [&](std::vector<Packet>& b) {
+    return forwarder.process_batch(b);
+  });
+
+  TrafficGenConfig config;
+  config.flow_count = flows;
+  config.seed = 42;
+  PacketStream stream{config};
+  run.pinning_digest = pinning_digest(flows, [&](std::uint32_t f) {
+    const auto entry =
+        forwarder.flow_table().find(Labels{1, 1}, stream.flow_tuple(f));
+    SWB_CHECK(entry.has_value()) << "flow " << f << " lost its pin";
+    return *entry;
+  });
+  return run;
+}
+
+/// Annotation mode: steering state rides in the packet (Active-Switching
+/// ablation) — no per-flow table entries, so the affix pass replaces the
+/// table modes' preload and later passes are the pure validate-and-forward
+/// fast path.
+SweepRun run_flow_scale_annotation(std::size_t workers, std::uint32_t flows,
+                                   std::size_t passes) {
+  Forwarder forwarder{1, /*flow_capacity=*/64, workers};
+  install_rule(forwarder);
+  auto batches = make_worker_batches(workers, flows);
+  for (auto& batch : batches) {
+    (void)forwarder.process_batch_annotated(batch);  // affix (untimed)
+  }
+
+  SweepRun run = run_timed_passes(batches, passes, [&](std::vector<Packet>& b) {
+    return forwarder.process_batch_annotated(b);
+  });
+
+  TrafficGenConfig config;
+  config.flow_count = flows;
+  config.seed = 42;
+  PacketStream stream{config};
+  run.pinning_digest = pinning_digest(flows, [&](std::uint32_t f) {
+    Packet probe;
+    probe.flow = stream.flow_tuple(f);
+    probe.labels = Labels{1, 1};
+    probe.arrival_source = 50;
+    (void)forwarder.process_annotated(probe);
+    SWB_CHECK(probe.steering.valid_for(forwarder.route_epoch()))
+        << "flow " << f << " not annotated";
+    return probe.steering.pinning;
+  });
+  return run;
+}
+
+/// The 10^5 -> 10^7 live-flow sweep over the three read modes.  Emits
+/// ns/pkt + Mpps/core (wall-clock, artifact-only) and packets_forwarded +
+/// pinning_digest (bit-deterministic, gated exact by bench_diff.py), plus
+/// an epoch-vs-mutex throughput ratio record per cell.  Aborts in-binary
+/// if packet counts or digests diverge across modes or thread counts.
+void flow_scale_sweep(swb_bench::Session& session) {
+  const std::size_t packets_target = session.scaled(4'000'000, 100, 40'000);
+
+  std::printf("\n-- flow-scale sweep: live flows x read mode (DESIGN.md §15) "
+              "--\n");
+  std::printf("%10s %8s %12s %12s %12s\n", "flows", "threads", "mode",
+              "ns/pkt", "Mpps/core");
+  for (const std::uint32_t flows_full : {100'000u, 1'000'000u, 10'000'000u}) {
+    const auto flows =
+        static_cast<std::uint32_t>(session.scaled(flows_full, 100, 1'000));
+    const std::size_t passes =
+        std::max<std::size_t>(packets_target / flows, 1);
+    bool have_reference = false;
+    std::uint64_t expect_packets = 0;
+    std::uint64_t expect_digest = 0;
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      double epoch_pps = 0.0;
+      double mutex_pps = 0.0;
+      const struct {
+        const char* name;
+        SweepRun run;
+      } rows[] = {
+          {"epoch", run_flow_scale_table(ReadMode::kEpochRead, threads, flows,
+                                         passes)},
+          {"mutex", run_flow_scale_table(ReadMode::kMutexRead, threads, flows,
+                                         passes)},
+          {"annotation", run_flow_scale_annotation(threads, flows, passes)},
+      };
+      for (const auto& [name, run] : rows) {
+        // Determinism contract: byte-identical results across read modes
+        // and thread counts (ISSUE: thread-count-independent results).
+        if (!have_reference) {
+          have_reference = true;
+          expect_packets = run.packets_forwarded;
+          expect_digest = run.pinning_digest;
+        }
+        SWB_CHECK_EQ(run.packets_forwarded, expect_packets)
+            << "mode " << name << " threads " << threads;
+        SWB_CHECK_EQ(run.pinning_digest, expect_digest)
+            << "mode " << name << " threads " << threads;
+
+        const double ns_per_pkt =
+            static_cast<double>(threads) * 1e9 / run.pps;
+        const double mpps_per_core =
+            run.pps / 1e6 / static_cast<double>(threads);
+        std::printf("%10u %8zu %12s %12.1f %12.2f\n", flows, threads, name,
+                    ns_per_pkt, mpps_per_core);
+        session.add("flow_scale_sweep")
+            .param("flows", flows)
+            .param("threads", static_cast<double>(threads))
+            .param("mode", name)
+            .metric("ns_per_pkt", ns_per_pkt)
+            .metric("mpps_per_core", mpps_per_core)
+            .metric("packets_forwarded",
+                    static_cast<double>(run.packets_forwarded))
+            .metric("pinning_digest",
+                    static_cast<double>(run.pinning_digest));
+        if (std::strcmp(name, "epoch") == 0) epoch_pps = run.pps;
+        if (std::strcmp(name, "mutex") == 0) mutex_pps = run.pps;
+      }
+      session.add("flow_scale_mode_ratio")
+          .param("flows", flows)
+          .param("threads", static_cast<double>(threads))
+          .metric("epoch_vs_mutex", epoch_pps / mutex_pps);
+    }
+  }
+}
+
 void BM_SingleCoreByFlows(benchmark::State& state) {
   const auto flows = static_cast<std::uint32_t>(state.range(0));
   Forwarder forwarder{1, flows * 2};
@@ -270,5 +500,6 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
   }
   print_figure8_tables(session, max_threads);
+  flow_scale_sweep(session);
   return 0;
 }

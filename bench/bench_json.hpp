@@ -58,10 +58,13 @@ inline std::string json_escape(const std::string& s) {
 }
 
 /// Formats a double as JSON (no NaN/Inf in JSON — clamp to null).
+/// %.17g round-trips any double exactly — bit-deterministic metrics
+/// (packet counts, pinning digests) are gated with exact comparisons by
+/// tools/bench_diff.py, so the JSON must not lose precision.
 inline std::string json_number(double v) {
   if (v != v || v > 1e308 || v < -1e308) return "null";
   char buf[40];
-  std::snprintf(buf, sizeof buf, "%.10g", v);
+  std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
 }
 

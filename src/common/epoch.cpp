@@ -1,0 +1,126 @@
+#include "common/epoch.hpp"
+
+#include "common/check.hpp"
+
+namespace switchboard::swb {
+
+namespace {
+
+/// Per-thread preferred reader slot: distinct threads start their claim
+/// scan at distinct indexes, so in steady state each thread's CAS lands
+/// on a slot no other thread touches.  The assignment order does not
+/// affect any observable result (slots are interchangeable), only cache
+/// behaviour.
+std::size_t preferred_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % EpochDomain::kMaxReaders;
+  return mine;
+}
+
+}  // namespace
+
+EpochDomain::~EpochDomain() {
+  SWB_CHECK_EQ(pinned_readers(), 0u)
+      << "EpochDomain destroyed with readers still pinned";
+  const MutexLock lock{retire_mutex_};
+  (void)reclaim_before(kUnpinned);   // no readers: everything is past grace
+}
+
+std::size_t EpochDomain::pin() {
+  // Claim a slot: CAS scan starting at this thread's preferred index.
+  const std::size_t start = preferred_slot();
+  std::size_t slot = kMaxReaders;
+  for (std::size_t attempt = 0; attempt < kMaxReaders * 1024; ++attempt) {
+    const std::size_t s = (start + attempt) % kMaxReaders;
+    bool expected = false;
+    if (slots_[s].claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acquire,
+            std::memory_order_relaxed)) {
+      slot = s;
+      break;
+    }
+  }
+  SWB_CHECK_LT(slot, kMaxReaders)
+      << "more than kMaxReaders concurrent epoch readers";
+
+  // Publish the epoch we observed, then re-check: if a writer advanced
+  // the global epoch in between, republish the newer value.  On exit the
+  // published pin is >= the epoch any in-flight writer will stamp its
+  // next retirement with (see the ordering contract in the header).
+  std::uint64_t observed = global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slots_[slot].pinned.store(observed, std::memory_order_seq_cst);
+    const std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+    if (now == observed) break;
+    observed = now;
+  }
+  return slot;
+}
+
+void EpochDomain::unpin(std::size_t slot) {
+  SWB_CHECK_LT(slot, kMaxReaders);
+  // Release order: every protected load this reader performed happens
+  // before the unpin becomes visible to a reclaiming writer.
+  slots_[slot].pinned.store(kUnpinned, std::memory_order_release);
+  slots_[slot].claimed.store(false, std::memory_order_release);
+}
+
+void EpochDomain::retire(void* object, void (*deleter)(void*)) {
+  const MutexLock lock{retire_mutex_};
+  const std::uint64_t stamp = global_epoch_.load(std::memory_order_seq_cst);
+  retired_.push_back(Retired{object, deleter, stamp});
+  // Advance the epoch (seq_cst: orders against reader pin publication).
+  // Writers are serialized by retire_mutex_, so load+store cannot lose
+  // an update.
+  global_epoch_.store(stamp + 1, std::memory_order_seq_cst);
+  (void)reclaim_before(min_pinned_epoch());
+}
+
+std::size_t EpochDomain::try_reclaim() {
+  const MutexLock lock{retire_mutex_};
+  return reclaim_before(min_pinned_epoch());
+}
+
+std::uint64_t EpochDomain::min_pinned_epoch() const {
+  std::uint64_t min = kUnpinned;
+  for (const ReaderSlot& slot : slots_) {
+    // seq_cst: must order after the global-epoch advance in retire() so
+    // a reader whose pin "raced ahead" of the advance is always seen.
+    const std::uint64_t pinned = slot.pinned.load(std::memory_order_seq_cst);
+    if (pinned < min) min = pinned;
+  }
+  return min;
+}
+
+std::size_t EpochDomain::reclaim_before(std::uint64_t horizon) {
+  // An object stamped at epoch E may still be referenced by readers
+  // pinned at epochs <= E; it is safe once every pinned epoch is > E.
+  std::size_t freed = 0;
+  std::size_t keep = 0;
+  for (Retired& r : retired_) {
+    if (r.epoch < horizon) {
+      r.deleter(r.object);
+      ++freed;
+    } else {
+      retired_[keep++] = r;
+    }
+  }
+  retired_.resize(keep);
+  return freed;
+}
+
+std::size_t EpochDomain::retired_count() const {
+  const MutexLock lock{retire_mutex_};
+  return retired_.size();
+}
+
+std::size_t EpochDomain::pinned_readers() const {
+  std::size_t count = 0;
+  for (const ReaderSlot& slot : slots_) {
+    if (slot.pinned.load(std::memory_order_acquire) != kUnpinned) ++count;
+  }
+  return count;
+}
+
+}  // namespace switchboard::swb

@@ -107,7 +107,7 @@ std::size_t DhtFlowTable::total_flows() const {
   for (std::size_t n = 0; n < shards_.size(); ++n) {
     if (!alive_[n]) continue;
     shards_[n]->for_each([&](const Labels& labels, const FiveTuple& tuple,
-                             FlowEntry&) {
+                             const FlowEntry&) {
       const auto current = owners(flow_hash(labels, tuple));
       if (!current.empty() && current.front() == n) ++total;
     });
@@ -128,7 +128,7 @@ void DhtFlowTable::re_replicate() {
   for (std::size_t n = 0; n < shards_.size(); ++n) {
     if (!alive_[n]) continue;
     shards_[n]->for_each([&](const Labels& labels, const FiveTuple& tuple,
-                             FlowEntry& entry) {
+                             const FlowEntry& entry) {
       all.push_back(Pending{labels, tuple, entry});
     });
     shards_[n]->clear();

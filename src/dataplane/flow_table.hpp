@@ -21,16 +21,8 @@
 
 namespace switchboard::dataplane {
 
-/// Compact id of a data-plane element. ~0 means "not set".
-using ElementId = std::uint32_t;
-inline constexpr ElementId kNoElement = ~ElementId{0};
-
-/// The per-connection state stored at a forwarder.
-struct FlowEntry {
-  ElementId vnf_instance{kNoElement};    // instance pinned to the flow
-  ElementId next_forwarder{kNoElement};  // forward direction next hop
-  ElementId prev_element{kNoElement};    // reverse direction next hop
-};
+// ElementId / kNoElement / FlowEntry live in packet.hpp: in annotation
+// mode the FlowEntry rides in the packet itself rather than in a table.
 
 class FlowTable {
  public:

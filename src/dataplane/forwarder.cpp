@@ -1,10 +1,19 @@
 #include "dataplane/forwarder.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/check.hpp"
 
 namespace switchboard::dataplane {
+
+namespace {
+
+/// SoA chunk width of the batch pipeline: matches the flow table's
+/// find_batch chunk so one epoch pin covers one prefetch wave.
+constexpr std::size_t kBatchChunk = 32;
+
+}  // namespace
 
 Forwarder::Forwarder(ElementId id, std::size_t flow_capacity,
                      std::size_t worker_count)
@@ -37,11 +46,11 @@ ForwarderCounters Forwarder::counters() const {
   return total;
 }
 
-ForwardAction Forwarder::process_from_wire(const Packet& packet) {
-  const FiveTuple key = canonical_tuple(packet);
-  ForwarderCounters& counters = cell_for(packet.labels, key);
-  ++counters.from_wire;
-  if (const std::optional<FlowEntry> entry = table_.find(packet.labels, key)) {
+ForwardAction Forwarder::wire_resolve(const Packet& packet,
+                                      const FiveTuple& key,
+                                      ForwarderCounters& counters,
+                                      const std::optional<FlowEntry>& entry) {
+  if (entry) {
     if (entry->vnf_instance != kNoElement) {
       return {ActionType::kDeliverToAttached, entry->vnf_instance};
     }
@@ -80,16 +89,151 @@ ForwardAction Forwarder::process_from_wire(const Packet& packet) {
   }
 
   const std::uint64_t selector = flow_selector(packet.labels, key);
-  FlowEntry entry;
-  entry.vnf_instance = rule->vnf_instances.pick(selector);
-  entry.next_forwarder = rule->next_forwarders.empty()
+  FlowEntry fresh;
+  fresh.vnf_instance = rule->vnf_instances.pick(selector);
+  fresh.next_forwarder = rule->next_forwarders.empty()
       ? kNoElement
       : rule->next_forwarders.pick(mix64(selector));
-  entry.prev_element = packet.arrival_source;
+  fresh.prev_element = packet.arrival_source;
   // insert_if_absent: if another worker raced us to the first packet, adopt
   // its pinning so every packet of the flow sees one consistent entry.
-  const FlowEntry stored = table_.insert_if_absent(packet.labels, key, entry);
+  FlowEntry stored = table_.insert_if_absent(packet.labels, key, fresh);
+  if (stored.vnf_instance == kNoElement) {
+    // The adopted entry was drained between our lookup miss and the
+    // insert.  Re-pin it exactly like the drained-hit path above — the
+    // pick is the same pure function of the flow key, so racing workers
+    // still write identical entries.
+    stored.vnf_instance = fresh.vnf_instance;
+    if (stored.next_forwarder == kNoElement) {
+      stored.next_forwarder = fresh.next_forwarder;
+    }
+    table_.insert(packet.labels, key, stored);
+  }
   return {ActionType::kDeliverToAttached, stored.vnf_instance};
+}
+
+ForwardAction Forwarder::process_from_wire(const Packet& packet) {
+  const FiveTuple key = canonical_tuple(packet);
+  ForwarderCounters& counters = cell_for(packet.labels, key);
+  ++counters.from_wire;
+  return wire_resolve(packet, key, counters, lookup(packet.labels, key));
+}
+
+std::size_t Forwarder::process_batch(std::span<const Packet> packets,
+                                     std::span<ForwardAction> actions) {
+  SWB_CHECK(actions.empty() || actions.size() == packets.size())
+      << "actions span must be empty or match the packet batch";
+  std::size_t delivered = 0;
+  if (read_mode_ == ReadMode::kMutexRead) {
+    // Mutex ablation: the pre-epoch per-packet loop (one lock per lookup).
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      const ForwardAction action = process_from_wire(packets[i]);
+      if (!actions.empty()) actions[i] = action;
+      if (action.type != ActionType::kDrop) ++delivered;
+    }
+    return delivered;
+  }
+
+  // Epoch mode: SoA pipeline.  find_batch hashes + prefetches + probes a
+  // chunk under one epoch pin; the act phase below then runs lock-free
+  // for hits and falls back to wire_resolve for misses and drained
+  // pinnings (both take the shard write lock, exactly like the
+  // per-packet path — so counters and actions stay byte-identical).
+  ShardedFlowTable::LookupRequest requests[kBatchChunk];
+  for (std::size_t base = 0; base < packets.size(); base += kBatchChunk) {
+    const std::size_t chunk = std::min(kBatchChunk, packets.size() - base);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const Packet& packet = packets[base + i];
+      requests[i].labels = packet.labels;
+      requests[i].tuple = canonical_tuple(packet);
+    }
+    table_.find_batch(std::span{requests, chunk});
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const Packet& packet = packets[base + i];
+      const ShardedFlowTable::LookupRequest& request = requests[i];
+      ForwarderCounters& counters = cell_for(packet.labels, request.tuple);
+      ++counters.from_wire;
+      ForwardAction action;
+      if (request.hit && request.entry.vnf_instance != kNoElement) {
+        // Hot path: resolved entirely inside the batch lookup.
+        action = {ActionType::kDeliverToAttached, request.entry.vnf_instance};
+      } else {
+        action = wire_resolve(
+            packet, request.tuple, counters,
+            request.hit ? std::optional<FlowEntry>{request.entry}
+                        : std::nullopt);
+      }
+      if (!actions.empty()) actions[base + i] = action;
+      if (action.type != ActionType::kDrop) ++delivered;
+    }
+  }
+  return delivered;
+}
+
+ForwardAction Forwarder::annotate(Packet& packet, const FiveTuple& key,
+                                  ForwarderCounters& counters) {
+  // Miss/stale path of the annotation mode: re-derive the pinning from
+  // the current rule and affix it.  The pick is the same pure function
+  // of (seed, flow key) the table modes use, so the annotation a packet
+  // ends up carrying equals the entry the flow table would hold.
+  ++counters.flow_misses;
+  if (packet.direction == Direction::kReverse) {
+    // Reverse packets need the forward path's affix (symmetric return
+    // rides the annotation); without one the flow is unknown — drop.
+    ++counters.drops;
+    return {ActionType::kDrop, kNoElement};
+  }
+  const LoadBalanceRule* rule = rules_.find(packet.labels);
+  if (rule == nullptr || rule->vnf_instances.empty()) {
+    ++counters.drops;
+    return {ActionType::kDrop, kNoElement};
+  }
+  const std::uint64_t selector = flow_selector(packet.labels, key);
+  FlowEntry pinning;
+  pinning.vnf_instance = rule->vnf_instances.pick(selector);
+  pinning.next_forwarder = rule->next_forwarders.empty()
+      ? kNoElement
+      : rule->next_forwarders.pick(mix64(selector));
+  pinning.prev_element = packet.arrival_source;
+  packet.steering = SteeringAnnotation{pinning, rules_.version()};
+  return {ActionType::kDeliverToAttached, pinning.vnf_instance};
+}
+
+ForwardAction Forwarder::process_annotated(Packet& packet) {
+  const FiveTuple key = canonical_tuple(packet);
+  ForwarderCounters& counters = cell_for(packet.labels, key);
+  ++counters.from_wire;
+  if (packet.steering.valid_for(rules_.version())) {
+    // Steering rides in the packet: no per-flow state touched at all.
+    return {ActionType::kDeliverToAttached,
+            packet.steering.pinning.vnf_instance};
+  }
+  return annotate(packet, key, counters);
+}
+
+std::size_t Forwarder::process_batch_annotated(
+    std::span<Packet> packets, std::span<ForwardAction> actions) {
+  SWB_CHECK(actions.empty() || actions.size() == packets.size())
+      << "actions span must be empty or match the packet batch";
+  // No table, no prefetch wave needed: the annotation IS the lookup.
+  const std::uint32_t version = rules_.version();
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    Packet& packet = packets[i];
+    const FiveTuple key = canonical_tuple(packet);
+    ForwarderCounters& counters = cell_for(packet.labels, key);
+    ++counters.from_wire;
+    ForwardAction action;
+    if (packet.steering.valid_for(version)) {
+      action = {ActionType::kDeliverToAttached,
+                packet.steering.pinning.vnf_instance};
+    } else {
+      action = annotate(packet, key, counters);
+    }
+    if (!actions.empty()) actions[i] = action;
+    if (action.type != ActionType::kDrop) ++delivered;
+  }
+  return delivered;
 }
 
 ForwardAction Forwarder::process_from_attached(Packet& packet) {
@@ -114,7 +258,7 @@ ForwardAction Forwarder::process_from_attached(Packet& packet) {
   ++counters.from_attached;
   if (reaffixed) ++counters.label_reaffixed;
 
-  std::optional<FlowEntry> entry = table_.find(packet.labels, key);
+  std::optional<FlowEntry> entry = lookup(packet.labels, key);
   if (!entry) {
     // First packet of a connection entering from an attached ingress edge.
     ++counters.flow_misses;
@@ -161,19 +305,6 @@ ForwardAction Forwarder::process_from_attached(Packet& packet) {
   return {ActionType::kSendToForwarder, target};
 }
 
-std::size_t Forwarder::process_batch(std::span<const Packet> packets,
-                                     std::span<ForwardAction> actions) {
-  SWB_CHECK(actions.empty() || actions.size() == packets.size())
-      << "actions span must be empty or match the packet batch";
-  std::size_t delivered = 0;
-  for (std::size_t i = 0; i < packets.size(); ++i) {
-    const ForwardAction action = process_from_wire(packets[i]);
-    if (!actions.empty()) actions[i] = action;
-    if (action.type != ActionType::kDrop) ++delivered;
-  }
-  return delivered;
-}
-
 bool Forwarder::complete_flow(const Labels& labels, const FiveTuple& tuple) {
   return table_.erase(labels, tuple);
 }
@@ -187,7 +318,7 @@ std::size_t Forwarder::migrate_flows(Forwarder& target, ElementId instance,
   };
   std::vector<Moved> moved;
   table_.for_each([&](const Labels& labels, const FiveTuple& tuple,
-                      FlowEntry& entry) {
+                      const FlowEntry& entry) {
     if (entry.vnf_instance == instance) {
       FlowEntry updated = entry;
       updated.vnf_instance = replacement;
@@ -202,8 +333,10 @@ std::size_t Forwarder::migrate_flows(Forwarder& target, ElementId instance,
 }
 
 std::size_t Forwarder::drain_element(ElementId dead) {
-  std::size_t drained = 0;
-  table_.for_each(
+  // update_each installs fresh immutable entries through the epoch
+  // domain, so lock-free readers racing a drain see either the old or
+  // the new pinning, never a torn one.
+  return table_.update_each(
       [&](const Labels&, const FiveTuple&, FlowEntry& entry) {
         bool touched = false;
         if (entry.vnf_instance == dead) {
@@ -216,9 +349,8 @@ std::size_t Forwarder::drain_element(ElementId dead) {
         }
         // prev_element is left alone: reverse packets keep flowing toward
         // the ingress while the forward pinning waits for its re-pick.
-        if (touched) ++drained;
+        return touched;
       });
-  return drained;
 }
 
 }  // namespace switchboard::dataplane

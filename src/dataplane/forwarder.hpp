@@ -31,7 +31,9 @@
 // single-threaded one (tested by forwarder_concurrency_test).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <unordered_map>
 
@@ -47,6 +49,12 @@ enum class ActionType : std::uint8_t {
   kSendToForwarder,     // tunnel to another forwarder
   kDrop,
 };
+
+/// How the wire-side hot path reads per-flow state (DESIGN.md §15).
+/// kEpochRead is the production path; kMutexRead is the pre-epoch
+/// design, kept as a benchmark ablation so fig8 can measure exactly what
+/// the lock-free read path buys.  Both produce byte-identical results.
+enum class ReadMode : std::uint8_t { kEpochRead, kMutexRead };
 
 struct ForwardAction {
   ActionType type{ActionType::kDrop};
@@ -79,6 +87,12 @@ class Forwarder {
   [[nodiscard]] ElementId id() const { return id_; }
   [[nodiscard]] std::size_t worker_count() const { return worker_count_; }
 
+  /// Flow-state read mode for the wire-side hot path.  Set it while
+  /// workers are quiesced (like rule installs); both modes yield
+  /// identical actions and counters.
+  void set_read_mode(ReadMode mode) { read_mode_ = mode; }
+  [[nodiscard]] ReadMode read_mode() const { return read_mode_; }
+
   /// Load-balancing rules, installed by the Local Switchboard.
   [[nodiscard]] RuleTable& rules() { return rules_; }
   [[nodiscard]] const RuleTable& rules() const { return rules_; }
@@ -105,12 +119,36 @@ class Forwarder {
   /// direction) or previous (reverse) element.
   ForwardAction process_from_attached(Packet& packet);
 
-  /// Wire-side batch entry point for worker threads: processes every packet
-  /// with process_from_wire.  When `actions` is non-empty it must match
-  /// `packets` in size and receives the per-packet actions.  Returns the
-  /// number of packets not dropped.
+  /// Wire-side batch entry point for worker threads.  In kEpochRead mode
+  /// this is a structure-of-arrays pipeline: hash every key in a chunk,
+  /// prefetch every probe-start bucket, resolve all lookups under ONE
+  /// epoch pin, then act — probe cache misses overlap instead of
+  /// serializing.  Actions and counters are byte-identical to calling
+  /// process_from_wire per packet (tested).  When `actions` is non-empty
+  /// it must match `packets` in size and receives the per-packet actions.
+  /// Returns the number of packets not dropped.
   std::size_t process_batch(std::span<const Packet> packets,
                             std::span<ForwardAction> actions = {});
+
+  /// Annotation-mode (Active-Switching ablation) wire-side entry point:
+  /// steering state rides in packet.steering instead of the flow table.
+  /// A valid annotation (route_epoch == rules().version()) is honoured
+  /// without touching any per-flow state; a missing or stale one is
+  /// re-derived from the current rule — a pure function of the flow key,
+  /// so re-picks converge on the pinning table mode would hold — and
+  /// written back into the packet.  Reverse packets without a valid
+  /// annotation drop (they need the forward path's affix), mirroring the
+  /// table modes' unknown-reverse-flow drop.
+  ForwardAction process_annotated(Packet& packet);
+
+  /// Batch form of process_annotated (mutates packets in place to affix
+  /// annotations).  Returns the number of packets not dropped.
+  std::size_t process_batch_annotated(std::span<Packet> packets,
+                                      std::span<ForwardAction> actions = {});
+
+  /// The route epoch annotations are validated against (the rule table's
+  /// current version).
+  [[nodiscard]] std::uint32_t route_epoch() const { return rules_.version(); }
 
   /// Connection teardown: drop the flow state.
   bool complete_flow(const Labels& labels, const FiveTuple& tuple);
@@ -148,6 +186,25 @@ class Forwarder {
                                                    : packet.flow.reversed();
   }
 
+  /// Flow lookup honouring read_mode_.
+  [[nodiscard]] std::optional<FlowEntry> lookup(const Labels& labels,
+                                                const FiveTuple& key) const {
+    return read_mode_ == ReadMode::kMutexRead ? table_.find_mutex(labels, key)
+                                              : table_.find(labels, key);
+  }
+
+  /// Everything process_from_wire does AFTER the flow lookup (hit-valid
+  /// deliver, drained re-pin, first-packet miss).  Shared with the batch
+  /// pipeline so both paths count and act identically.
+  ForwardAction wire_resolve(const Packet& packet, const FiveTuple& key,
+                             ForwarderCounters& counters,
+                             const std::optional<FlowEntry>& entry);
+
+  /// Re-derives a flow's pinning from the current rule: the annotation
+  /// mode's miss/stale path.  Pure function of (seed, flow key).
+  ForwardAction annotate(Packet& packet, const FiveTuple& key,
+                         ForwarderCounters& counters);
+
   /// Pick seed for a flow: pure function of (forwarder seed, flow key), so
   /// pinning is independent of packet order, thread count, and racing
   /// first packets.
@@ -178,6 +235,7 @@ class Forwarder {
   // deliberately carry no guard for the read-mostly packet path.
   ElementId id_;
   std::size_t worker_count_;
+  ReadMode read_mode_{ReadMode::kEpochRead};
   ShardedFlowTable table_;
   RuleTable rules_;
   std::vector<CounterCell> counter_cells_;   // one per shard

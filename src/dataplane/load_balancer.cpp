@@ -65,9 +65,13 @@ void RuleTable::install(const Labels& labels, LoadBalanceRule rule) {
   rule.check_invariants();
 #endif
   rules_[labels] = std::move(rule);
+  ++version_;
 }
 
-void RuleTable::remove(const Labels& labels) { rules_.erase(labels); }
+void RuleTable::remove(const Labels& labels) {
+  rules_.erase(labels);
+  ++version_;
+}
 
 const LoadBalanceRule* RuleTable::find(const Labels& labels) const {
   const auto it = rules_.find(labels);

@@ -73,6 +73,13 @@ class RuleTable {
   [[nodiscard]] LoadBalanceRule* find_mutable(const Labels& labels);
   [[nodiscard]] std::size_t size() const { return rules_.size(); }
 
+  /// ROUTE EPOCH: monotone version bumped by every install()/remove().
+  /// Steering annotations stamped with an older version are stale and
+  /// must be re-derived (packet.hpp SteeringAnnotation::valid_for).
+  /// Starts at 1 so the annotation default (kNoRouteEpoch == 0) never
+  /// validates.
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+
   /// Audits every installed rule (see LoadBalanceRule::check_invariants).
   void check_invariants() const;
 
@@ -85,6 +92,7 @@ class RuleTable {
     }
   };
   std::unordered_map<Labels, LoadBalanceRule, LabelsHash> rules_;
+  std::uint32_t version_{1};
 };
 
 }  // namespace switchboard::dataplane

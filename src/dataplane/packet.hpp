@@ -4,12 +4,36 @@
 // connection: the service-chain label (identifying customer + chain) and
 // the egress-site label.  Forwarders key their flow tables on
 // (labels, 5-tuple).
+//
+// The optional STEERING ANNOTATION implements the Active-Switching
+// ablation (St. John & Akella, PAPERS.md): the per-connection pinning a
+// forwarder would otherwise hold as flow-table state rides in the packet
+// itself, validated against the route epoch of the forwarder that affixed
+// it.  Wire format (DESIGN.md §15): a 16-byte shim after the label stack —
+// three element ids plus the 32-bit route epoch.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
 namespace switchboard::dataplane {
+
+/// Compact id of a data-plane element. ~0 means "not set".
+using ElementId = std::uint32_t;
+inline constexpr ElementId kNoElement = ~ElementId{0};
+
+/// The per-connection steering state pinned at a forwarder: the
+/// load-balancing selections made on the connection's first packet.
+/// Lives in the flow table (table modes) or in the packet's steering
+/// annotation (annotation mode).
+struct FlowEntry {
+  ElementId vnf_instance{kNoElement};    // instance pinned to the flow
+  ElementId next_forwarder{kNoElement};  // forward direction next hop
+  ElementId prev_element{kNoElement};    // reverse direction next hop
+
+  friend constexpr bool operator==(const FlowEntry&, const FlowEntry&) =
+      default;
+};
 
 struct FiveTuple {
   std::uint32_t src_ip{0};
@@ -37,6 +61,31 @@ struct Labels {
 
 enum class Direction : std::uint8_t { kForward, kReverse };
 
+/// Route epoch value meaning "no annotation affixed" (rule-table versions
+/// start at 1, so a default-constructed annotation never validates).
+inline constexpr std::uint32_t kNoRouteEpoch = 0;
+
+/// Active-Switching-style steering annotation: the flow's pinning plus
+/// the rule-table version it was derived from.  A forwarder honours the
+/// pinning only while the epoch matches its current rule version; a
+/// stale epoch (route update since the affix) triggers a re-pick, which
+/// is a pure function of the flow key and therefore converges on the
+/// same pinning the flow table would hold.
+struct SteeringAnnotation {
+  FlowEntry pinning;
+  std::uint32_t route_epoch{kNoRouteEpoch};
+
+  /// True when a forwarder whose rule version is `route_version` can act
+  /// on the pinning without consulting any per-flow state.
+  [[nodiscard]] constexpr bool valid_for(std::uint32_t route_version) const {
+    return route_epoch == route_version &&
+           pinning.vnf_instance != kNoElement;
+  }
+
+  friend constexpr bool operator==(const SteeringAnnotation&,
+                                   const SteeringAnnotation&) = default;
+};
+
 struct Packet {
   FiveTuple flow;
   Labels labels;
@@ -45,6 +94,8 @@ struct Packet {
   /// Data-plane element (forwarder or edge instance) the packet arrived
   /// from; used to learn the previous hop for symmetric return.
   std::uint32_t arrival_source{0};
+  /// Annotation-mode steering shim (ignored by the flow-table modes).
+  SteeringAnnotation steering;
 };
 
 /// 64-bit mix (splitmix64 finalizer) used by all data-plane hash tables.

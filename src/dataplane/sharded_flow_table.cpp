@@ -6,64 +6,284 @@
 
 namespace switchboard::dataplane {
 
+namespace {
+
+constexpr std::size_t kMinShardCapacity = 16;
+constexpr std::size_t kLookupChunk = 32;   // SoA batch width (find_batch)
+
+constexpr std::uint8_t kEmpty =
+    0;   // == SlotState::kEmpty; bytes for the atomic state field
+constexpr std::uint8_t kOccupied = 1;
+constexpr std::uint8_t kTombstone = 2;
+
+void prefetch_ro(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/3);
+#else
+  (void)address;
+#endif
+}
+
+}  // namespace
+
 ShardedFlowTable::ShardedFlowTable(std::size_t initial_capacity,
                                    std::size_t shard_count) {
   const std::size_t shards =
       std::bit_ceil(std::max<std::size_t>(shard_count, 1));
-  const std::size_t per_shard =
-      std::max<std::size_t>(initial_capacity / shards, 16);
+  per_shard_capacity_ = std::bit_ceil(
+      std::max<std::size_t>(initial_capacity / shards, kMinShardCapacity));
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(per_shard));
+    auto shard = std::make_unique<Shard>();
+    shard->buckets.store(new BucketArray{per_shard_capacity_},
+                         std::memory_order_release);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedFlowTable::~ShardedFlowTable() {
+  // Quiesced teardown: delete the live entries and the current arrays
+  // here; everything previously retired (old arrays, erased/overwritten
+  // entries) is freed by the epoch domain's destructor, which runs after
+  // this body and checks that no reader is still pinned.
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    BucketArray* array = shard->buckets.load(std::memory_order_acquire);
+    for (Slot& slot : array->slots) {
+      if (slot.state.load(std::memory_order_relaxed) == kOccupied) {
+        delete slot.entry.load(std::memory_order_relaxed);
+      }
+    }
+    delete array;
+  }
+}
+
+const FlowEntry* ShardedFlowTable::probe(const BucketArray& array,
+                                         const Labels& labels,
+                                         const FiveTuple& tuple,
+                                         std::uint64_t hash) {
+  // Termination: states only move empty->occupied->tombstone within an
+  // array generation, and the writer rehashes before occupancy can reach
+  // 100%, so every reachable array keeps at least one empty slot.
+  std::size_t index = hash & array.mask;
+  for (;;) {
+    const Slot& slot = array.slots[index];
+    const std::uint8_t state = slot.state.load(std::memory_order_acquire);
+    if (state == kEmpty) return nullptr;
+    if (state == kOccupied && slot.labels == labels && slot.tuple == tuple) {
+      // The acquire above synchronizes with the writer's empty->occupied
+      // (or tombstone->occupied) release-store, so the key fields and the
+      // entry pointer written before it are visible.
+      return slot.entry.load(std::memory_order_acquire);
+    }
+    index = (index + 1) & array.mask;
   }
 }
 
 std::optional<FlowEntry> ShardedFlowTable::find(const Labels& labels,
                                                 const FiveTuple& tuple) const {
-  const Shard& shard = shard_for(labels, tuple);
-  const swb::MutexLock lock{shard.mutex};
+  const std::uint64_t hash = flow_hash(labels, tuple);
+  const Shard& shard = shard_for_hash(hash);
   ++shard.stats.finds;
-  if (const FlowEntry* entry = shard.table.find(labels, tuple)) {
+  const swb::EpochGuard guard{epoch_};
+  const BucketArray& array = *shard.buckets.load(std::memory_order_acquire);
+  if (const FlowEntry* entry = probe(array, labels, tuple, hash)) {
+    ++shard.stats.hits;
+    return *entry;   // copied while the pin keeps the entry alive
+  }
+  return std::nullopt;
+}
+
+std::optional<FlowEntry> ShardedFlowTable::find_mutex(
+    const Labels& labels, const FiveTuple& tuple) const {
+  const std::uint64_t hash = flow_hash(labels, tuple);
+  const Shard& shard = shard_for_hash(hash);
+  ++shard.stats.finds;
+  const swb::MutexLock lock{shard.mutex};
+  const BucketArray& array = *shard.buckets.load(std::memory_order_acquire);
+  if (const FlowEntry* entry = probe(array, labels, tuple, hash)) {
     ++shard.stats.hits;
     return *entry;
   }
   return std::nullopt;
 }
 
+void ShardedFlowTable::find_batch(std::span<LookupRequest> batch) const {
+  // Structure-of-arrays phases per chunk: (1) hash every key and issue a
+  // prefetch for its probe-start slot, (2) probe.  By the time phase 2
+  // touches a slot its cacheline fetch has been in flight for the whole
+  // rest of phase 1 — at millions of live flows every probe start is a
+  // cache miss, and overlapping those misses is where the batch win
+  // comes from.  One epoch pin covers a whole chunk.
+  const BucketArray* arrays[kLookupChunk];
+  for (std::size_t base = 0; base < batch.size(); base += kLookupChunk) {
+    const std::size_t chunk = std::min(kLookupChunk, batch.size() - base);
+    const swb::EpochGuard guard{epoch_};
+    for (std::size_t i = 0; i < chunk; ++i) {
+      LookupRequest& request = batch[base + i];
+      request.hash = flow_hash(request.labels, request.tuple);
+      const Shard& shard = shard_for_hash(request.hash);
+      ++shard.stats.finds;
+      arrays[i] = shard.buckets.load(std::memory_order_acquire);
+      prefetch_ro(&arrays[i]->slots[request.hash & arrays[i]->mask]);
+    }
+    for (std::size_t i = 0; i < chunk; ++i) {
+      LookupRequest& request = batch[base + i];
+      const FlowEntry* entry =
+          probe(*arrays[i], request.labels, request.tuple, request.hash);
+      request.hit = entry != nullptr;
+      if (entry != nullptr) {
+        request.entry = *entry;
+        ++shard_for_hash(request.hash).stats.hits;
+      }
+    }
+  }
+}
+
+ShardedFlowTable::Slot* ShardedFlowTable::find_slot_locked(
+    BucketArray& array, const Labels& labels, const FiveTuple& tuple,
+    std::uint64_t hash) {
+  std::size_t index = hash & array.mask;
+  for (;;) {
+    Slot& slot = array.slots[index];
+    const std::uint8_t state = slot.state.load(std::memory_order_relaxed);
+    if (state == kEmpty) return nullptr;
+    if (state == kOccupied && slot.labels == labels && slot.tuple == tuple) {
+      return &slot;
+    }
+    index = (index + 1) & array.mask;
+  }
+}
+
+void ShardedFlowTable::insert_locked(Shard& shard, const Labels& labels,
+                                     const FiveTuple& tuple,
+                                     std::uint64_t hash,
+                                     const FlowEntry& entry) {
+  maybe_grow(shard);
+  BucketArray& array = *shard.buckets.load(std::memory_order_relaxed);
+  std::size_t index = hash & array.mask;
+  for (;;) {
+    Slot& slot = array.slots[index];
+    const std::uint8_t state = slot.state.load(std::memory_order_relaxed);
+    const bool matches =
+        state != kEmpty && slot.labels == labels && slot.tuple == tuple;
+    if (state == kOccupied && matches) {
+      // Overwrite: install a fresh immutable entry, retire the old one.
+      // Readers pinned before the swap keep dereferencing the retired
+      // entry until their grace period ends.
+      const FlowEntry* old = slot.entry.load(std::memory_order_relaxed);
+      slot.entry.store(new FlowEntry{entry}, std::memory_order_release);
+      epoch_.retire(const_cast<FlowEntry*>(old));
+      return;
+    }
+    if (state == kTombstone && matches) {
+      // Revive: this key's one slot in this array generation.  The fresh
+      // pointer must be installed BEFORE the tombstone->occupied flip —
+      // the slot's previous entry was retired at erase time and may
+      // already be freed.
+      slot.entry.store(new FlowEntry{entry}, std::memory_order_release);
+      slot.state.store(kOccupied, std::memory_order_release);
+      --shard.tombstones;
+      ++shard.live;
+      return;
+    }
+    if (state == kEmpty) {
+      // Fresh claim: keys first (plain, write-once), then the payload,
+      // then the release-store that makes the slot visible to readers.
+      slot.labels = labels;
+      slot.tuple = tuple;
+      slot.entry.store(new FlowEntry{entry}, std::memory_order_release);
+      slot.state.store(kOccupied, std::memory_order_release);
+      ++shard.live;
+      return;
+    }
+    index = (index + 1) & array.mask;
+  }
+}
+
+void ShardedFlowTable::maybe_grow(Shard& shard) {
+  BucketArray* old = shard.buckets.load(std::memory_order_relaxed);
+  // Grow at 70% occupancy counting tombstones (they lengthen probes just
+  // like live entries).  A tombstone-heavy shard rehashes to the same or
+  // a smaller power of two, purging them.
+  if ((shard.live + shard.tombstones + 1) * 10 <= old->slots.size() * 7) {
+    return;
+  }
+  const std::size_t capacity = std::bit_ceil(
+      std::max<std::size_t>((shard.live + 1) * 2, kMinShardCapacity));
+  auto* fresh = new BucketArray{capacity};
+  for (Slot& slot : old->slots) {
+    if (slot.state.load(std::memory_order_relaxed) != kOccupied) continue;
+    // Entries keep their identity across the rehash: only the pointer
+    // moves.  The fresh array is unpublished, so relaxed stores suffice —
+    // the release-publication below makes it visible wholesale.
+    std::size_t index = flow_hash(slot.labels, slot.tuple) & fresh->mask;
+    while (fresh->slots[index].state.load(std::memory_order_relaxed) !=
+           kEmpty) {
+      index = (index + 1) & fresh->mask;
+    }
+    Slot& target = fresh->slots[index];
+    target.labels = slot.labels;
+    target.tuple = slot.tuple;
+    target.entry.store(slot.entry.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    target.state.store(kOccupied, std::memory_order_relaxed);
+  }
+  shard.buckets.store(fresh, std::memory_order_release);
+  shard.tombstones = 0;
+  epoch_.retire(old);   // pinned readers may still be probing it
+}
+
 FlowEntry ShardedFlowTable::insert(const Labels& labels,
                                    const FiveTuple& tuple,
                                    const FlowEntry& entry) {
-  Shard& shard = shard_for(labels, tuple);
+  const std::uint64_t hash = flow_hash(labels, tuple);
+  Shard& shard = shard_for_hash(hash);
   const swb::MutexLock lock{shard.mutex};
   ++shard.stats.inserts;
-  return shard.table.insert(labels, tuple, entry);
+  insert_locked(shard, labels, tuple, hash, entry);
+  return entry;
 }
 
 FlowEntry ShardedFlowTable::insert_if_absent(const Labels& labels,
                                              const FiveTuple& tuple,
                                              const FlowEntry& entry) {
-  Shard& shard = shard_for(labels, tuple);
+  const std::uint64_t hash = flow_hash(labels, tuple);
+  Shard& shard = shard_for_hash(hash);
   const swb::MutexLock lock{shard.mutex};
-  if (const FlowEntry* existing = shard.table.find(labels, tuple)) {
-    return *existing;
+  BucketArray& array = *shard.buckets.load(std::memory_order_relaxed);
+  if (const Slot* slot = find_slot_locked(array, labels, tuple, hash)) {
+    return *slot->entry.load(std::memory_order_relaxed);
   }
   ++shard.stats.inserts;
-  return shard.table.insert(labels, tuple, entry);
+  insert_locked(shard, labels, tuple, hash, entry);
+  return entry;
 }
 
 bool ShardedFlowTable::erase(const Labels& labels, const FiveTuple& tuple) {
-  Shard& shard = shard_for(labels, tuple);
+  const std::uint64_t hash = flow_hash(labels, tuple);
+  Shard& shard = shard_for_hash(hash);
   const swb::MutexLock lock{shard.mutex};
-  const bool erased = shard.table.erase(labels, tuple);
-  if (erased) ++shard.stats.erases;
-  return erased;
+  BucketArray& array = *shard.buckets.load(std::memory_order_relaxed);
+  Slot* slot = find_slot_locked(array, labels, tuple, hash);
+  if (slot == nullptr) return false;
+  // Tombstone first (release: a reader that sees the tombstone sees a
+  // coherent slot), then retire the entry.  The pointer stays in place —
+  // readers that loaded `occupied` before the flip may still read it
+  // within their grace period; a revive replaces it before re-occupying.
+  slot->state.store(kTombstone, std::memory_order_release);
+  epoch_.retire(
+      const_cast<FlowEntry*>(slot->entry.load(std::memory_order_relaxed)));
+  ++shard.tombstones;
+  --shard.live;
+  ++shard.stats.erases;
+  return true;
 }
 
 std::size_t ShardedFlowTable::size() const {
   const auto guards = lock_all();
   std::size_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    total += shard->table.size();
+    total += shard->live;
   }
   return total;
 }
@@ -71,11 +291,10 @@ std::size_t ShardedFlowTable::size() const {
 std::size_t ShardedFlowTable::shard_size(std::size_t shard) const {
   SWB_CHECK_LT(shard, shards_.size());
   const swb::MutexLock lock{shards_[shard]->mutex};
-  return shards_[shard]->table.size();
+  return shards_[shard]->live;
 }
 
 ShardedFlowTable::Stats ShardedFlowTable::stats() const {
-  const auto guards = lock_all();
   Stats total;
   for (const std::unique_ptr<Shard>& shard : shards_) {
     total.finds += shard->stats.finds;
@@ -89,8 +308,51 @@ ShardedFlowTable::Stats ShardedFlowTable::stats() const {
 void ShardedFlowTable::clear() {
   const auto guards = lock_all();
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    shard->table.clear();
+    BucketArray* old = shard->buckets.load(std::memory_order_relaxed);
+    for (Slot& slot : old->slots) {
+      if (slot.state.load(std::memory_order_relaxed) == kOccupied) {
+        epoch_.retire(
+            const_cast<FlowEntry*>(slot.entry.load(std::memory_order_relaxed)));
+      }
+    }
+    shard->buckets.store(new BucketArray{per_shard_capacity_},
+                         std::memory_order_release);
+    epoch_.retire(old);
+    shard->live = 0;
+    shard->tombstones = 0;
   }
+}
+
+std::size_t ShardedFlowTable::update_each(
+    const std::function<bool(const Labels&, const FiveTuple&, FlowEntry&)>&
+        fn) {
+  const auto guards = lock_all();
+  std::size_t updated = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    BucketArray& array = *shard->buckets.load(std::memory_order_relaxed);
+    for (Slot& slot : array.slots) {
+      if (slot.state.load(std::memory_order_relaxed) != kOccupied) continue;
+      const FlowEntry* current = slot.entry.load(std::memory_order_relaxed);
+      FlowEntry draft = *current;
+      if (!fn(slot.labels, slot.tuple, draft)) continue;
+      slot.entry.store(new FlowEntry{draft}, std::memory_order_release);
+      epoch_.retire(const_cast<FlowEntry*>(current));
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+std::size_t ShardedFlowTable::memory_bytes() const {
+  const auto guards = lock_all();
+  std::size_t bytes = shards_.size() * sizeof(Shard);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const BucketArray& array =
+        *shard->buckets.load(std::memory_order_relaxed);
+    bytes += sizeof(BucketArray) + array.slots.size() * sizeof(Slot);
+    bytes += shard->live * sizeof(FlowEntry);
+  }
+  return bytes;
 }
 
 std::vector<std::unique_lock<std::mutex>> ShardedFlowTable::lock_all() const {
@@ -108,18 +370,45 @@ void ShardedFlowTable::check_invariants() const {
   const auto guards = lock_all();
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = *shards_[s];
-    shard.table.check_invariants();
-    // Sharding invariant: every key is in the shard its hash selects.
-    shard.table.for_each(
-        [&](const Labels& labels, const FiveTuple& tuple, const FlowEntry&) {
-          SWB_CHECK_EQ(rss_shard(flow_hash(labels, tuple), shards_.size()), s)
-              << "entry stored in the wrong shard";
-        });
-    // Counter agreement: live entries = inserts that created an entry minus
-    // successful erases.  insert() overwrites count as inserts too, so the
-    // table size can only be <= inserts - erases.
-    SWB_CHECK_LE(shard.table.size() + shard.stats.erases,
-                 shard.stats.inserts);
+    const BucketArray& array =
+        *shard.buckets.load(std::memory_order_acquire);
+    SWB_CHECK(std::has_single_bit(array.slots.size()))
+        << "bucket array capacity not a power of 2";
+    SWB_CHECK_EQ(array.mask, array.slots.size() - 1) << "mask out of sync";
+    std::size_t occupied = 0;
+    std::size_t tombstones = 0;
+    for (std::size_t i = 0; i < array.slots.size(); ++i) {
+      const Slot& slot = array.slots[i];
+      const std::uint8_t state = slot.state.load(std::memory_order_acquire);
+      if (state == kTombstone) {
+        ++tombstones;
+        continue;
+      }
+      if (state != kOccupied) continue;
+      ++occupied;
+      SWB_CHECK(slot.entry.load(std::memory_order_acquire) != nullptr)
+          << "occupied slot with null entry";
+      const std::uint64_t hash = flow_hash(slot.labels, slot.tuple);
+      // Sharding invariant: every key is in the shard its hash selects.
+      SWB_CHECK_EQ(rss_shard(hash, shards_.size()), s)
+          << "entry stored in the wrong shard";
+      // Probe reachability: no empty slot between the probe start and
+      // the slot actually holding the key.
+      for (std::size_t p = hash & array.mask; p != i;
+           p = (p + 1) & array.mask) {
+        SWB_CHECK(array.slots[p].state.load(std::memory_order_acquire) !=
+                  kEmpty)
+            << "occupied slot unreachable from its probe start";
+      }
+    }
+    SWB_CHECK_EQ(occupied, shard.live) << "live counter out of sync";
+    SWB_CHECK_EQ(tombstones, shard.tombstones)
+        << "tombstone counter out of sync";
+    // Counter agreement: live entries = inserts that created an entry
+    // minus successful erases.  insert() overwrites count as inserts too,
+    // so live can only be <= inserts - erases.
+    SWB_CHECK_LE(shard.live + shard.stats.erases.value(),
+                 shard.stats.inserts.value());
   }
 }
 

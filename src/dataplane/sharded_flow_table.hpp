@@ -1,39 +1,58 @@
-// Concurrent, sharded flow table: the multi-core backend for the forwarder
-// (Section 5: the paper's DPDK forwarder holds 512K flows *per core*;
-// Fig. 8 measures how throughput scales with cores).
+// Concurrent, sharded flow table with a LOCK-FREE READ PATH: the
+// multi-core backend for the forwarder (Section 5: the paper's DPDK
+// forwarder holds 512K flows *per core*; Fig. 8 measures how throughput
+// scales with cores).
 //
-// Layout: a power-of-two number of shards, each an independent
-// open-addressing `FlowTable` (the same probe logic as the single-core
-// table) guarded by its own mutex.  Keys are assigned to shards by the
-// *top* bits of the flow hash — the per-shard tables probe on the low bits,
-// so shard selection must not correlate with probe position.
+// Layout: a power-of-two number of shards.  Each shard owns an
+// open-addressing, linear-probing bucket array published through an
+// atomic pointer.  Keys are assigned to shards by the *top* bits of the
+// flow hash — the per-shard arrays probe on the low bits, so shard
+// selection must not correlate with probe position.
 //
-// Concurrency model (RSS-style, see Forwarder):
-//   * every operation is thread-safe on its own — it locks exactly the one
-//     shard that owns the key (find/insert/erase never touch two shards);
-//   * the intended steady state is contention-FREE: workers partition the
-//     shard space (worker w owns shards {s : s % workers == w}) and packets
-//     are steered to the worker owning their shard, so each shard mutex is
-//     only ever taken by one thread and stays in that core's cache;
-//   * whole-table operations (size(), stats(), for_each(),
-//     check_invariants(), clear()) lock ALL shards in ascending index
-//     order — the repo-wide lock order that makes them deadlock-free
-//     against each other and safe to run while workers are processing.
+// Read path (find / find_batch — the per-packet hot path): NO MUTEX.
+// A reader pins an epoch (swb::EpochGuard), acquire-loads the shard's
+// bucket array pointer, and probes.  Slot protocol:
+//   * `state` is an atomic byte: empty -> occupied (insert) and
+//     occupied -> tombstone (erase) are the only transitions inside one
+//     array generation; a slot's KEY FIELDS are written exactly once,
+//     before the empty->occupied release-store, so a reader that
+//     acquire-loads `occupied` always sees fully-written keys;
+//   * the payload is an atomic pointer to an IMMUTABLE heap FlowEntry —
+//     updates install a fresh pointer (whole-entry atomicity, no torn
+//     reads) and retire the old one through the epoch domain;
+//   * rehash builds a new array off-line, release-publishes it, and
+//     retires the old array; pinned readers keep probing the retired
+//     array safely until their grace period ends (see common/epoch.hpp).
+// A tombstone slot is revived only for the IDENTICAL key (fresh pointer
+// installed before the tombstone->occupied flip); a different key always
+// claims an empty slot, so keys are never rewritten while an array is
+// reachable.  Tombstones are purged at rehash.
 //
-// Per-shard counters (finds/hits/inserts/erases and the table's own size)
-// are plain integers mutated under the shard lock and aggregated on read.
+// Write path: per-key mutations (insert / insert_if_absent / erase) take
+// exactly ONE shard mutex (swb::Mutex + TSA, as before); whole-table
+// operations (size, clear, for_each, update_each, check_invariants) take
+// ALL shard locks in ascending index order — the repo-wide lock order.
+// Lock order with the epoch domain: shard mutex -> retire mutex (leaf).
+//
+// Counters: finds/hits are bumped by lock-free readers (RelaxedCounter);
+// inserts/erases under the shard lock use the same type so stats() needs
+// no lock.  Read them quiesced for exact totals.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/epoch.hpp"
+#include "common/stats.hpp"
 #include "common/thread_annotations.hpp"
-#include "dataplane/flow_table.hpp"
 #include "dataplane/packet.hpp"
 
 namespace switchboard::dataplane {
@@ -82,10 +101,24 @@ class ShardedFlowTable {
     std::uint64_t erases{0};
   };
 
+  /// One lookup of a structure-of-arrays batch (see find_batch): the
+  /// caller fills labels/tuple; find_batch fills hash, hit and (on hit)
+  /// entry.
+  struct LookupRequest {
+    Labels labels;
+    FiveTuple tuple;
+    std::uint64_t hash{0};
+    FlowEntry entry;
+    bool hit{false};
+  };
+
   /// `initial_capacity` is the *total* capacity hint, split evenly across
   /// shards.  `shard_count` rounds up to a power of two.
   explicit ShardedFlowTable(std::size_t initial_capacity = 1024,
                             std::size_t shard_count = 1);
+  ~ShardedFlowTable();
+  ShardedFlowTable(const ShardedFlowTable&) = delete;
+  ShardedFlowTable& operator=(const ShardedFlowTable&) = delete;
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] std::size_t shard_of(const Labels& labels,
@@ -93,10 +126,22 @@ class ShardedFlowTable {
     return rss_shard(flow_hash(labels, tuple), shards_.size());
   }
 
-  /// Looks up the entry, returning a copy (a pointer into a shard would
-  /// dangle once the shard lock is released).
+  /// Lock-free lookup (epoch-read): pins an epoch, probes the published
+  /// bucket array, returns a copy.  Never blocks on writers.
   [[nodiscard]] std::optional<FlowEntry> find(const Labels& labels,
                                               const FiveTuple& tuple) const;
+
+  /// Mutex-read ablation path: identical result to find(), but takes the
+  /// shard mutex like the pre-epoch table did.  Kept so bench_fig8 can
+  /// measure exactly what the lock-free read path buys.
+  [[nodiscard]] std::optional<FlowEntry> find_mutex(
+      const Labels& labels, const FiveTuple& tuple) const;
+
+  /// Batched lock-free lookup: one epoch pin per chunk, structure-of-
+  /// arrays phases (hash all keys, prefetch all probe starts, then
+  /// resolve) so bucket-array cache misses overlap instead of
+  /// serializing.  Results are identical to per-request find().
+  void find_batch(std::span<LookupRequest> batch) const;
 
   /// Inserts, overwriting any existing entry; returns the stored value.
   FlowEntry insert(const Labels& labels, const FiveTuple& tuple,
@@ -118,63 +163,144 @@ class ShardedFlowTable {
   /// Live entries in one shard.
   [[nodiscard]] std::size_t shard_size(std::size_t shard) const;
 
-  /// Operation counters aggregated over shards.
-  [[nodiscard]] Stats stats() const SWB_NO_THREAD_SAFETY_ANALYSIS;
+  /// Operation counters aggregated over shards.  Lock-free (relaxed
+  /// tallies); quiesce writers and readers for exact totals.
+  [[nodiscard]] Stats stats() const;
 
   void clear() SWB_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Visits every live entry under ALL shard locks (taken in index order);
   /// `fn` must not call back into this table.  Shards are visited in index
   /// order, entries within a shard in slot order — deterministic for a
-  /// quiesced table.
+  /// quiesced table.  READ-ONLY: entries are immutable once published —
+  /// use update_each() to mutate.
   // NO_THREAD_SAFETY_ANALYSIS: lock_all() acquires a *dynamic* set of
   // shard mutexes through std::unique_lock, which the analysis cannot
   // model (a capability must be a named lock expression).  The runtime
   // proof is the index-ordered lock_all() guards held for the whole walk.
-  template <typename Fn>   // Fn(const Labels&, const FiveTuple&, FlowEntry&)
-  void for_each(Fn&& fn) SWB_NO_THREAD_SAFETY_ANALYSIS {
-    const auto guards = lock_all();
-    for (const std::unique_ptr<Shard>& shard : shards_) {
-      shard->table.for_each(fn);
-    }
-  }
-  template <typename Fn>
+  template <typename Fn>   // Fn(const Labels&, const FiveTuple&, const FlowEntry&)
   void for_each(Fn&& fn) const SWB_NO_THREAD_SAFETY_ANALYSIS {
     const auto guards = lock_all();
     for (const std::unique_ptr<Shard>& shard : shards_) {
-      const FlowTable& table = shard->table;
-      table.for_each(fn);
+      const BucketArray& array =
+          *shard->buckets.load(std::memory_order_acquire);
+      for (const Slot& slot : array.slots) {
+        if (slot.state.load(std::memory_order_acquire) ==
+            static_cast<std::uint8_t>(SlotState::kOccupied)) {
+          fn(slot.labels, slot.tuple,
+             *slot.entry.load(std::memory_order_acquire));
+        }
+      }
     }
   }
 
+  /// In-place whole-table update (drain, rewrites): visits every live
+  /// entry under ALL shard locks with a mutable copy; when `fn` returns
+  /// true the copy is installed as a fresh immutable entry and the old
+  /// one is retired through the epoch domain (concurrent lock-free
+  /// readers see either the old or the new entry, never a torn one).
+  /// Returns the number of entries updated.
+  std::size_t update_each(
+      const std::function<bool(const Labels&, const FiveTuple&, FlowEntry&)>&
+          fn) SWB_NO_THREAD_SAFETY_ANALYSIS;
+
   /// Audits every shard's structural invariants plus the sharding invariant
-  /// itself: each key is stored in the shard its hash selects.  Takes all
-  /// shard locks in index order, so it is safe to run concurrently with
-  /// worker threads (PR 1's audit layer, extended to the threaded table).
+  /// itself: each key is stored in the shard its hash selects, occupied /
+  /// tombstone counts match the shard counters, every occupied slot holds
+  /// a non-null entry and is reachable from its probe start without
+  /// crossing an empty slot.  Takes all shard locks in index order, so it
+  /// is safe to run concurrently with worker threads.
   void check_invariants() const SWB_NO_THREAD_SAFETY_ANALYSIS;
 
- private:
-  struct Shard {
-    /// Lock-order contract (machine-checked per shard, runtime-checked
-    /// across shards): per-key operations take exactly ONE shard mutex;
-    /// whole-table operations take ALL of them in ascending index order
-    /// via lock_all().  No other acquisition order exists.
-    mutable swb::Mutex mutex;
-    FlowTable table SWB_GUARDED_BY(mutex);
-    /// find() tallies under the shard lock.
-    mutable Stats stats SWB_GUARDED_BY(mutex);
+  /// Resident bytes of the table proper: bucket arrays plus live entry
+  /// heap blocks (malloc overhead excluded).  For the annotation-mode
+  /// ablation: annotation mode keeps no per-flow bytes at all.
+  [[nodiscard]] std::size_t memory_bytes() const
+      SWB_NO_THREAD_SAFETY_ANALYSIS;
 
-    explicit Shard(std::size_t capacity) : table{capacity} {}
+  /// The table's reclamation domain (tests assert on retired/pinned
+  /// counts; benches may quiesce-reclaim between phases).
+  [[nodiscard]] swb::EpochDomain& epoch_domain() const { return epoch_; }
+
+ private:
+  enum class SlotState : std::uint8_t { kEmpty = 0, kOccupied = 1,
+                                        kTombstone = 2 };
+
+  /// One bucket.  Key fields are plain: they are written exactly once,
+  /// before the empty->occupied release-store, and never touched again
+  /// within the array generation (readers only load them after
+  /// acquire-loading state == occupied).
+  struct Slot {
+    std::atomic<std::uint8_t> state{
+        static_cast<std::uint8_t>(SlotState::kEmpty)};
+    Labels labels;
+    FiveTuple tuple;
+    std::atomic<const FlowEntry*> entry{nullptr};
   };
 
-  [[nodiscard]] Shard& shard_for(const Labels& labels,
-                                 const FiveTuple& tuple) {
-    return *shards_[shard_of(labels, tuple)];
+  /// A power-of-two probe array.  Published via Shard::buckets with
+  /// release order; retired (never freed in place) on rehash.  Does NOT
+  /// own the FlowEntry heap blocks — entry pointers migrate to the
+  /// replacement array on rehash.
+  struct BucketArray {
+    explicit BucketArray(std::size_t capacity)
+        : slots(capacity), mask{capacity - 1} {}
+    std::vector<Slot> slots;
+    std::size_t mask;
+  };
+
+  /// Lock-free tallies (readers bump finds/hits without the shard lock).
+  struct ShardStats {
+    RelaxedCounter finds;
+    RelaxedCounter hits;
+    RelaxedCounter inserts;
+    RelaxedCounter erases;
+  };
+
+  struct Shard {
+    /// Lock-order contract (machine-checked per shard, runtime-checked
+    /// across shards): per-key WRITES take exactly ONE shard mutex;
+    /// whole-table operations take ALL of them in ascending index order
+    /// via lock_all(); epoch_.retire() may be called with the shard mutex
+    /// held (retire_mutex_ is a leaf).  Reads take no lock at all.
+    mutable swb::Mutex mutex;
+    /// The published probe array; readers acquire-load it under an epoch
+    /// pin, the owning writer replaces it on rehash.
+    std::atomic<BucketArray*> buckets{nullptr};
+    std::size_t live SWB_GUARDED_BY(mutex){0};
+    std::size_t tombstones SWB_GUARDED_BY(mutex){0};
+    mutable ShardStats stats;
+  };
+
+  [[nodiscard]] Shard& shard_for_hash(std::uint64_t hash) {
+    return *shards_[rss_shard(hash, shards_.size())];
   }
-  [[nodiscard]] const Shard& shard_for(const Labels& labels,
-                                       const FiveTuple& tuple) const {
-    return *shards_[shard_of(labels, tuple)];
+  [[nodiscard]] const Shard& shard_for_hash(std::uint64_t hash) const {
+    return *shards_[rss_shard(hash, shards_.size())];
   }
+
+  /// Lock-free probe of one published array; returns the entry pointer
+  /// (valid while the caller's epoch pin is held) or nullptr.
+  [[nodiscard]] static const FlowEntry* probe(const BucketArray& array,
+                                              const Labels& labels,
+                                              const FiveTuple& tuple,
+                                              std::uint64_t hash);
+
+  /// Writer-side probe: the occupied slot holding the key, or nullptr.
+  [[nodiscard]] static Slot* find_slot_locked(BucketArray& array,
+                                              const Labels& labels,
+                                              const FiveTuple& tuple,
+                                              std::uint64_t hash);
+
+  /// Installs (labels, tuple) -> entry under the shard lock, growing
+  /// first if needed.  Handles overwrite / tombstone revive / fresh claim.
+  void insert_locked(Shard& shard, const Labels& labels,
+                     const FiveTuple& tuple, std::uint64_t hash,
+                     const FlowEntry& entry) SWB_REQUIRES(shard.mutex);
+
+  /// Rehashes the shard into a fresh array sized for its live count when
+  /// occupancy (live + tombstones) crosses the 70% growth threshold.
+  void maybe_grow(Shard& shard) SWB_REQUIRES(shard.mutex);
 
   /// Locks every shard in ascending index order (the global lock order).
   /// Deferred std::unique_lock acquisition over swb::Mutex::native() —
@@ -183,6 +309,10 @@ class ShardedFlowTable {
   [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lock_all() const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t per_shard_capacity_{16};
+  /// Reclamation domain shared by all shards (mutable: readers pin
+  /// through const find()).
+  mutable swb::EpochDomain epoch_;
 };
 
 }  // namespace switchboard::dataplane

@@ -371,6 +371,170 @@ TEST_F(ForwarderTest, MakeBeforeBreakRuleChangeKeepsExistingFlows) {
   EXPECT_EQ(fw_.process_from_wire(wire_packet(2)).element, 999u);
 }
 
+TEST_F(ForwarderTest, MutexReadModeMatchesEpochRead) {
+  Forwarder mutex_fw{1};
+  mutex_fw.set_read_mode(ReadMode::kMutexRead);
+  ASSERT_EQ(mutex_fw.read_mode(), ReadMode::kMutexRead);
+  LoadBalanceRule rule;
+  rule.vnf_instances.add(kVnf1, 1.0);
+  rule.vnf_instances.add(kVnf2, 1.0);
+  rule.next_forwarders.add(kNextFw, 1.0);
+  mutex_fw.rules().install(kLabels, std::move(rule));
+  // Same seed (same id), same flows: actions must agree packet by packet.
+  for (std::uint32_t f = 0; f < 200; ++f) {
+    EXPECT_EQ(mutex_fw.process_from_wire(wire_packet(f)),
+              fw_.process_from_wire(wire_packet(f)))
+        << f;
+  }
+  const ForwarderCounters a = fw_.counters();
+  const ForwarderCounters b = mutex_fw.counters();
+  EXPECT_EQ(a.from_wire.value(), b.from_wire.value());
+  EXPECT_EQ(a.flow_misses.value(), b.flow_misses.value());
+  EXPECT_EQ(a.drops.value(), b.drops.value());
+}
+
+TEST_F(ForwarderTest, BatchPipelineMatchesPerPacketPath) {
+  Forwarder single{1};
+  LoadBalanceRule rule;
+  rule.vnf_instances.add(kVnf1, 1.0);
+  rule.vnf_instances.add(kVnf2, 1.0);
+  rule.next_forwarders.add(kNextFw, 1.0);
+  single.rules().install(kLabels, std::move(rule));
+
+  // Mixed batch: first packets, repeats (hits), reverse packets with and
+  // without state, unknown labels — every wire_resolve branch.
+  std::vector<Packet> packets;
+  for (std::uint32_t f = 0; f < 100; ++f) packets.push_back(wire_packet(f));
+  for (std::uint32_t f = 0; f < 100; f += 2) {
+    packets.push_back(wire_packet(f));
+    packets.push_back(wire_packet(f, Direction::kReverse, kNextFw));
+  }
+  packets.push_back(wire_packet(500, Direction::kReverse));   // miss-drop
+  Packet unknown = wire_packet(7);
+  unknown.labels = Labels{99, 99};
+  packets.push_back(unknown);
+
+  std::vector<ForwardAction> batch_actions{packets.size()};
+  const std::size_t delivered = fw_.process_batch(packets, batch_actions);
+  std::size_t single_delivered = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const ForwardAction expect = single.process_from_wire(packets[i]);
+    EXPECT_EQ(batch_actions[i], expect) << i;
+    if (expect.type != ActionType::kDrop) ++single_delivered;
+  }
+  EXPECT_EQ(delivered, single_delivered);
+
+  // Byte-identical bookkeeping, not just actions.
+  const ForwarderCounters a = fw_.counters();
+  const ForwarderCounters b = single.counters();
+  EXPECT_EQ(a.from_wire.value(), b.from_wire.value());
+  EXPECT_EQ(a.flow_misses.value(), b.flow_misses.value());
+  EXPECT_EQ(a.drops.value(), b.drops.value());
+  const ShardedFlowTable::Stats sa = fw_.flow_table().stats();
+  const ShardedFlowTable::Stats sb = single.flow_table().stats();
+  EXPECT_EQ(sa.finds, sb.finds);
+  EXPECT_EQ(sa.hits, sb.hits);
+  EXPECT_EQ(sa.inserts, sb.inserts);
+  EXPECT_EQ(fw_.flow_table().size(), single.flow_table().size());
+}
+
+// ------------------------------------------------- annotation mode (§15)
+
+TEST_F(ForwarderTest, AnnotationAffixedOnFirstPacketAndHonoured) {
+  Packet p = wire_packet(1);
+  EXPECT_EQ(p.steering.route_epoch, kNoRouteEpoch);
+  const ForwardAction first = fw_.process_annotated(p);
+  EXPECT_EQ(first.type, ActionType::kDeliverToAttached);
+  // The affix: pinning + current route epoch now ride in the packet.
+  EXPECT_EQ(p.steering.route_epoch, fw_.route_epoch());
+  EXPECT_EQ(p.steering.pinning.vnf_instance, first.element);
+  EXPECT_EQ(p.steering.pinning.next_forwarder, kNextFw);
+  EXPECT_EQ(fw_.counters().flow_misses, 1u);
+
+  // Subsequent packets carrying the annotation touch no per-flow state:
+  // no additional misses, no flow-table entry ever created.
+  const ForwardAction again = fw_.process_annotated(p);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(fw_.counters().flow_misses, 1u);
+  EXPECT_EQ(fw_.flow_table().size(), 0u);
+}
+
+TEST_F(ForwarderTest, AnnotationPickEqualsTableModePick) {
+  // The annotation a flow gets equals the pinning table mode stores:
+  // both are the same pure function of (forwarder seed, flow key).
+  Forwarder table_fw{1};
+  LoadBalanceRule rule;
+  rule.vnf_instances.add(kVnf1, 1.0);
+  rule.vnf_instances.add(kVnf2, 1.0);
+  rule.next_forwarders.add(kNextFw, 1.0);
+  table_fw.rules().install(kLabels, std::move(rule));
+  for (std::uint32_t f = 0; f < 200; ++f) {
+    Packet p = wire_packet(f);
+    const ForwardAction annotated = fw_.process_annotated(p);
+    const ForwardAction table = table_fw.process_from_wire(wire_packet(f));
+    EXPECT_EQ(annotated, table) << f;
+    const auto entry = table_fw.flow_table().find(kLabels, make_tuple(f));
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(p.steering.pinning, *entry) << f;
+  }
+}
+
+TEST_F(ForwarderTest, StaleAnnotationIsRederivedAgainstNewEpoch) {
+  Packet p = wire_packet(1);
+  (void)fw_.process_annotated(p);
+  const std::uint32_t old_epoch = p.steering.route_epoch;
+
+  // A route update bumps the rule-table version: the annotation is stale.
+  LoadBalanceRule new_rule;
+  new_rule.vnf_instances.add(999, 1.0);
+  new_rule.next_forwarders.add(kNextFw, 1.0);
+  fw_.rules().install(kLabels, std::move(new_rule));
+  EXPECT_NE(fw_.route_epoch(), old_epoch);
+
+  const ForwardAction repicked = fw_.process_annotated(p);
+  EXPECT_EQ(repicked.type, ActionType::kDeliverToAttached);
+  EXPECT_EQ(repicked.element, 999u);   // re-derived from the new rule
+  EXPECT_EQ(p.steering.route_epoch, fw_.route_epoch());
+  EXPECT_EQ(fw_.counters().flow_misses, 2u);
+}
+
+TEST_F(ForwarderTest, AnnotationReverseWithoutAffixDrops) {
+  // Mirrors the table modes' unknown-reverse-flow drop.
+  Packet p = wire_packet(9, Direction::kReverse);
+  EXPECT_EQ(fw_.process_annotated(p).type, ActionType::kDrop);
+  EXPECT_EQ(fw_.counters().drops, 1u);
+}
+
+TEST_F(ForwarderTest, AnnotatedBatchMatchesPerPacket) {
+  std::vector<Packet> batch;
+  for (std::uint32_t f = 0; f < 100; ++f) batch.push_back(wire_packet(f));
+  std::vector<ForwardAction> first_pass{batch.size()};
+  EXPECT_EQ(fw_.process_batch_annotated(batch, first_pass), batch.size());
+  EXPECT_EQ(fw_.counters().flow_misses, 100u);   // every packet affixed
+
+  // The batch was annotated in place: a second pass is pure fast path —
+  // same actions, no new misses, still zero per-flow table state.
+  std::vector<ForwardAction> second_pass{batch.size()};
+  EXPECT_EQ(fw_.process_batch_annotated(batch, second_pass), batch.size());
+  EXPECT_EQ(fw_.counters().flow_misses, 100u);
+  EXPECT_EQ(fw_.flow_table().size(), 0u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(first_pass[i], second_pass[i]) << i;
+  }
+
+  // And the batch path agrees with per-packet process_annotated.
+  Forwarder reference{1};
+  LoadBalanceRule rule;
+  rule.vnf_instances.add(kVnf1, 1.0);
+  rule.vnf_instances.add(kVnf2, 1.0);
+  rule.next_forwarders.add(kNextFw, 1.0);
+  reference.rules().install(kLabels, std::move(rule));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Packet p = wire_packet(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(first_pass[i], reference.process_annotated(p)) << i;
+  }
+}
+
 // ------------------------------------------------------------ OvsForwarder
 
 TEST(OvsForwarder, BridgeIsDeterministic) {

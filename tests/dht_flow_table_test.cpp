@@ -132,7 +132,7 @@ TEST(MigrateFlows, MovesOnlyMatchingInstanceAndRepins) {
   }
   std::size_t pinned_100 = 0;
   source.flow_table().for_each(
-      [&](const Labels&, const FiveTuple&, FlowEntry& e) {
+      [&](const Labels&, const FiveTuple&, const FlowEntry& e) {
         if (e.vnf_instance == 100) ++pinned_100;
       });
   ASSERT_GT(pinned_100, 0u);
@@ -145,12 +145,12 @@ TEST(MigrateFlows, MovesOnlyMatchingInstanceAndRepins) {
 
   // Migrated flows keep affinity at the target under the new instance.
   target.flow_table().for_each(
-      [&](const Labels&, const FiveTuple&, FlowEntry& e) {
+      [&](const Labels&, const FiveTuple&, const FlowEntry& e) {
         EXPECT_EQ(e.vnf_instance, 300u);
       });
   // Remaining flows at the source are untouched (still instance 101).
   source.flow_table().for_each(
-      [&](const Labels&, const FiveTuple&, FlowEntry& e) {
+      [&](const Labels&, const FiveTuple&, const FlowEntry& e) {
         EXPECT_EQ(e.vnf_instance, 101u);
       });
 }

@@ -356,7 +356,7 @@ TEST(FaultConcurrency, DrainRacesPacketWorkers) {
   // Quiesced: one final drain leaves no pinning on the dead instance.
   forwarder.drain_element(100);
   forwarder.flow_table().for_each(
-      [](const Labels&, const FiveTuple&, FlowEntry& entry) {
+      [](const Labels&, const FiveTuple&, const FlowEntry& entry) {
         EXPECT_NE(entry.vnf_instance, ElementId{100});
       });
 }

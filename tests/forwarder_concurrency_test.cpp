@@ -36,7 +36,7 @@ std::map<std::uint32_t, std::tuple<ElementId, ElementId, ElementId>>
 pinnings_of(Forwarder& forwarder) {
   std::map<std::uint32_t, std::tuple<ElementId, ElementId, ElementId>> out;
   forwarder.flow_table().for_each(
-      [&](const Labels&, const FiveTuple& tuple, FlowEntry& entry) {
+      [&](const Labels&, const FiveTuple& tuple, const FlowEntry& entry) {
         out[tuple.src_ip] = {entry.vnf_instance, entry.next_forwarder,
                              entry.prev_element};
       });
@@ -210,7 +210,7 @@ TEST(ForwarderConcurrency, MigrateFlowsAcrossThreadedForwarders) {
   EXPECT_EQ(target.flow_table().size(), moved);
   std::size_t repinned = 0;
   target.flow_table().for_each(
-      [&](const Labels&, const FiveTuple&, FlowEntry& entry) {
+      [&](const Labels&, const FiveTuple&, const FlowEntry& entry) {
         EXPECT_EQ(entry.vnf_instance, 150u);
         ++repinned;
       });

@@ -1,0 +1,55 @@
+// lint.py --self-test fixture for M1: raw std::atomic accesses on
+// data-plane shared state must spell out their std::memory_order — the
+// seq_cst default hides the ordering contract the epoch-read protocol
+// (DESIGN.md §15) depends on.  Exercises both directions: defaulted
+// accesses are findings, explicitly-ordered accesses (including an
+// explicit seq_cst) are not, and one defaulted access is excused via the
+// inline escape as the negative control.  NOT compiled; scanned by the
+// determinism linter.
+#include <atomic>
+#include <cstdint>
+
+namespace lint_fixture {
+
+class EpochCounter {
+ public:
+  // Defaulted orderings: every one of these silently means seq_cst.
+  [[nodiscard]] std::uint64_t read_bad() const {
+    return epoch_.load();                              // expect-lint: M1
+  }
+  void publish_bad(std::uint64_t e) {
+    epoch_.store(e);                                   // expect-lint: M1
+    (void)epoch_.fetch_add(1);                         // expect-lint: M1
+  }
+  bool claim_bad(std::uint64_t& seen) {
+    return epoch_.compare_exchange_strong(seen,        // expect-lint: M1
+                                          seen + 1);
+  }
+
+  // Explicit orderings: the contract is visible — no findings.
+  [[nodiscard]] std::uint64_t read_ok() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  void publish_ok(std::uint64_t e) {
+    epoch_.store(e, std::memory_order_release);
+    (void)epoch_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  bool claim_ok(std::uint64_t& seen) {
+    return epoch_.compare_exchange_strong(seen, seen + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  // Negative control: a real M1 match excused visibly.  Test-only sanity
+  // counter with no ordering role; the self-test fails if this line
+  // produces a finding.
+  void bump_stat() {
+    (void)stat_.fetch_add(1);  // swb-lint: allow(M1): test-only tally
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> stat_{0};
+};
+
+}  // namespace lint_fixture

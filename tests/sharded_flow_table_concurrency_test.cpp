@@ -162,7 +162,7 @@ TEST(ShardedFlowTableConcurrency, ClearAndIterateUnderWrites) {
 
   for (int round = 0; round < 30; ++round) {
     std::size_t visited = 0;
-    table.for_each([&](const Labels&, const FiveTuple&, FlowEntry& entry) {
+    table.for_each([&](const Labels&, const FiveTuple&, const FlowEntry& entry) {
       // Value integrity under the all-shards lock.
       EXPECT_EQ(entry.vnf_instance, entry.next_forwarder);
       ++visited;

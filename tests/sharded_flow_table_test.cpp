@@ -143,7 +143,7 @@ TEST(ShardedFlowTable, ForEachVisitsEveryEntryOnce) {
     table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
   }
   std::set<std::uint32_t> seen;
-  table.for_each([&](const Labels&, const FiveTuple&, FlowEntry& entry) {
+  table.for_each([&](const Labels&, const FiveTuple&, const FlowEntry& entry) {
     EXPECT_TRUE(seen.insert(entry.vnf_instance).second);
   });
   EXPECT_EQ(seen.size(), 500u);
@@ -177,6 +177,124 @@ TEST(ShardedFlowTable, GrowsPerShardBeyondInitialCapacity) {
     EXPECT_EQ(e->vnf_instance, i);
   }
   table.check_invariants();
+}
+
+// ---------------------------------------------------- epoch-read protocol
+
+// The mutex ablation path and the lock-free path are the same lookup.
+TEST(ShardedFlowTable, FindMutexMatchesFind) {
+  ShardedFlowTable table{64, 4};
+  const Labels labels{1, 1};
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i + 1, i + 2});
+  }
+  for (std::uint32_t i = 1; i < 500; i += 3) {
+    (void)table.erase(labels, make_tuple(i));
+  }
+  for (std::uint32_t i = 0; i < 600; ++i) {
+    const auto epoch_read = table.find(labels, make_tuple(i));
+    const auto mutex_read = table.find_mutex(labels, make_tuple(i));
+    ASSERT_EQ(epoch_read.has_value(), mutex_read.has_value()) << i;
+    if (epoch_read) {
+      EXPECT_EQ(*epoch_read, *mutex_read) << i;
+    }
+  }
+}
+
+// find_batch resolves exactly like per-key find(), including misses, and
+// tallies the same stats.
+TEST(ShardedFlowTable, FindBatchMatchesSingleLookups) {
+  ShardedFlowTable table{64, 4};
+  const Labels labels{2, 2};
+  for (std::uint32_t i = 0; i < 300; i += 2) {   // odd keys stay absent
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+
+  std::vector<ShardedFlowTable::LookupRequest> batch{300};
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    batch[i].labels = labels;
+    batch[i].tuple = make_tuple(i);
+  }
+  const ShardedFlowTable::Stats before = table.stats();
+  table.find_batch(batch);
+  const ShardedFlowTable::Stats after = table.stats();
+  EXPECT_EQ(after.finds - before.finds, 300u);
+  EXPECT_EQ(after.hits - before.hits, 150u);
+
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(batch[i].hit, i % 2 == 0) << i;
+    EXPECT_EQ(batch[i].hash, flow_hash(labels, make_tuple(i)));
+    if (batch[i].hit) {
+      EXPECT_EQ(batch[i].entry.vnf_instance, i);
+    }
+  }
+}
+
+// Erase + re-insert of the SAME key revives its tombstone slot; the
+// revived entry is fresh, and rehash purges leftover tombstones.
+TEST(ShardedFlowTable, EraseReinsertRevivesKey) {
+  ShardedFlowTable table{64, 2};
+  const Labels labels{3, 3};
+  table.insert(labels, make_tuple(1), FlowEntry{10, 10, 10});
+  EXPECT_TRUE(table.erase(labels, make_tuple(1)));
+  EXPECT_FALSE(table.find(labels, make_tuple(1)).has_value());
+  table.insert(labels, make_tuple(1), FlowEntry{20, 20, 20});
+  const auto entry = table.find(labels, make_tuple(1));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->vnf_instance, 20u);
+  EXPECT_EQ(table.size(), 1u);
+  table.check_invariants();
+}
+
+// update_each rewrites entries in place (fresh immutable entries through
+// the epoch domain) and reports how many changed.
+TEST(ShardedFlowTable, UpdateEachRewritesMatchingEntries) {
+  ShardedFlowTable table{64, 4};
+  const Labels labels{4, 4};
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i % 2, i, i});
+  }
+  const std::size_t updated = table.update_each(
+      [](const Labels&, const FiveTuple&, FlowEntry& entry) {
+        if (entry.vnf_instance != 1) return false;
+        entry.vnf_instance = kNoElement;
+        return true;
+      });
+  EXPECT_EQ(updated, 50u);
+  std::size_t invalidated = 0;
+  table.for_each([&](const Labels&, const FiveTuple&, const FlowEntry& e) {
+    if (e.vnf_instance == kNoElement) ++invalidated;
+  });
+  EXPECT_EQ(invalidated, 50u);
+  table.check_invariants();
+}
+
+// Retired arrays and entries drain once the table is quiescent.
+TEST(ShardedFlowTable, QuiescentReclaimDrainsRetiredBacklog) {
+  ShardedFlowTable table{16, 2};
+  const Labels labels{5, 5};
+  for (std::uint32_t i = 0; i < 2000; ++i) {   // forces several rehashes
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  for (std::uint32_t i = 0; i < 2000; i += 2) {
+    (void)table.erase(labels, make_tuple(i));
+  }
+  (void)table.epoch_domain().try_reclaim();
+  EXPECT_EQ(table.epoch_domain().retired_count(), 0u);
+  EXPECT_EQ(table.epoch_domain().pinned_readers(), 0u);
+  table.check_invariants();
+}
+
+// memory_bytes reflects growth: more live flows, more resident bytes.
+TEST(ShardedFlowTable, MemoryBytesGrowsWithLiveFlows) {
+  ShardedFlowTable table{64, 4};
+  const Labels labels{6, 6};
+  const std::size_t empty_bytes = table.memory_bytes();
+  EXPECT_GT(empty_bytes, 0u);
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    table.insert(labels, make_tuple(i), FlowEntry{i, i, i});
+  }
+  EXPECT_GT(table.memory_bytes(), empty_bytes);
 }
 
 }  // namespace

@@ -18,10 +18,17 @@ Wall-clock series (the TE engine's `cached` / `parallel_build` /
 shared CI runners and are deliberately not part of the gate; they are
 tracked through the uploaded BENCH_pr.json artifact instead.
 
-A metric fails the gate when it moves more than `--tolerance`
-(default 25%) in its bad direction; moves in the good direction only
-get reported.  A gated record present in the baseline but missing from
-the current run fails too (a silently-dropped bench is a regression).
+A gated metric's spec is either a direction string ("up" / "down" /
+"exact") or a dict {"direction": ..., "tolerance": ...} overriding the
+global --tolerance for that metric (mode-vs-mode throughput ratios get a
+loose per-metric tolerance: the *shape* is gated, runner noise is not).
+
+A metric fails the gate when it moves more than its tolerance in its bad
+direction; moves in the good direction only get reported.  "exact"
+metrics (packet counts, pinning digests — bit-deterministic by
+construction) fail on ANY change.  A gated record present in the
+baseline but missing from the current run fails too (a silently-dropped
+bench is a regression).
 """
 
 from __future__ import annotations
@@ -30,7 +37,9 @@ import argparse
 import json
 import sys
 
-# (bench, record name) -> {metric: direction}; direction is the GOOD way.
+# (bench, record name) -> {metric: spec}.  A spec is either a direction
+# string ("up"/"down" = the GOOD way, "exact" = any change fails) or a
+# dict {"direction": ..., "tolerance": ...} with a per-metric tolerance.
 GATED = {
     ("bench_fig10_route_update", "route_update"): {
         "chain_create_ms": "down",
@@ -63,6 +72,20 @@ GATED = {
     ("bench_fig13_recovery", "controller_restart"): {
         "replay_ms": "down",
         "recovery_ms": "down",
+    },
+    # Flow-scale sweep (DESIGN.md §15): packet counts and the pinning
+    # digest are bit-deterministic across modes AND thread counts, so any
+    # drift is a correctness bug, not noise.  ns_per_pkt / mpps_per_core
+    # are wall-clock and stay artifact-only.
+    ("bench_fig8_forwarder_scaling", "flow_scale_sweep"): {
+        "packets_forwarded": "exact",
+        "pinning_digest": "exact",
+    },
+    # Epoch-read vs mutex-read throughput ratio: the gate only protects
+    # the shape (the lock-free path must not collapse relative to the
+    # mutex path); the loose tolerance absorbs oversubscribed runners.
+    ("bench_fig8_forwarder_scaling", "flow_scale_mode_ratio"): {
+        "epoch_vs_mutex": {"direction": "up", "tolerance": 0.6},
     },
 }
 
@@ -113,7 +136,13 @@ def main():
         if cur_metrics is None:
             failures.append(f"{describe(key)}: record missing from current run")
             continue
-        for metric, direction in sorted(gated.items()):
+        for metric, spec in sorted(gated.items()):
+            if isinstance(spec, dict):
+                direction = spec["direction"]
+                tolerance = spec.get("tolerance", args.tolerance)
+            else:
+                direction = spec
+                tolerance = args.tolerance
             if metric not in base_metrics:
                 continue  # baseline predates the metric; nothing to gate
             if metric not in cur_metrics:
@@ -122,10 +151,15 @@ def main():
             base = base_metrics[metric]
             cur = cur_metrics[metric]
             compared += 1
+            if direction == "exact":
+                if cur != base:
+                    failures.append(f"{describe(key)}: {metric} changed "
+                                    f"{base!r} -> {cur!r} (gated exact)")
+                continue
             delta = (cur - base) / max(abs(base), EPSILON)
             bad = -delta if direction == "up" else delta
             arrow = f"{base:.4g} -> {cur:.4g} ({delta:+.1%})"
-            if bad > args.tolerance:
+            if bad > tolerance:
                 failures.append(f"{describe(key)}: {metric} regressed {arrow}")
             elif abs(delta) > EPSILON:
                 print(f"ok   {describe(key)}: {metric} {arrow}")

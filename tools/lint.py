@@ -42,6 +42,14 @@ lack -Wthread-safety; clang enforces the real thing):
       unique_lock, lock_all, a SWB_REQUIRES/SWB_NO_THREAD_SAFETY_ANALYSIS
       declaration).  Scoped per header/source pair.
 
+  M1  a raw ``std::atomic`` access (``.load``/``.store``/``.exchange``/
+      ``.fetch_*``/``.compare_exchange_*``) on data-plane shared state
+      (``src/dataplane/``, ``src/common/epoch*``) without an explicit
+      ``std::memory_order`` argument.  The seq_cst default silently hides
+      the ordering contract; the epoch-read protocol (DESIGN.md §15) hangs
+      on acquire/release pairings, so every data-plane atomic must *state*
+      its ordering — even when the answer really is seq_cst.
+
 Escapes (both are printed, so suppressions stay visible):
 
   * inline, per line:  ``// swb-lint: allow(D1): why this one is safe``
@@ -97,6 +105,14 @@ PTR_KEY_RE = re.compile(
     r"\bstd\s*::\s*(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*|"
     r"\bstd\s*::\s*hash\s*<\s*(?:const\s+)?[\w:]*\s*\*\s*>|"
     r"\breinterpret_cast\s*<\s*std\s*::\s*uintptr_t\s*>")
+
+# M1: atomic member-function accesses that accept a memory_order argument.
+# Scoped to the lock-free data-plane files (and the self-test fixtures);
+# elsewhere a bare `.load(` is too often some other class's method.
+ATOMIC_OP_RE = re.compile(
+    r"[.]\s*(load|store|exchange|fetch_(?:add|sub|and|or|xor)|"
+    r"compare_exchange_(?:weak|strong))\s*\(")
+M1_SCOPE = ("src/dataplane/", "src/common/epoch", "tests/lint_selftest/")
 
 GUARDED_FIELD_RE = re.compile(r"\b(\w+)\s+SWB_GUARDED_BY\s*\(")
 REQUIRES_DECL_RE = re.compile(
@@ -346,6 +362,33 @@ def lint_determinism(rel: str, code: str, unordered: set) -> list:
     return problems
 
 
+def lint_atomics(rel: str, code: str) -> list:
+    """M1 over one file: atomic access without an explicit memory_order."""
+    if not rel.startswith(M1_SCOPE):
+        return []
+    problems = []
+    for m in ATOMIC_OP_RE.finditer(code):
+        # Balanced-paren argument list (calls can span lines).
+        depth = 1
+        i = m.end()
+        while i < len(code) and depth > 0:
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+            i += 1
+        if depth != 0:
+            continue
+        if "memory_order" not in code[m.end():i]:
+            problems.append(
+                (rel, line_of(code, m.start()), "M1",
+                 f"atomic .{m.group(1)}() without an explicit "
+                 "std::memory_order: the data plane states every ordering "
+                 "(DESIGN.md §15) — spell out seq_cst if that is what you "
+                 "mean"))
+    return problems
+
+
 def lint_guards(rel: str, code: str, guarded: set, exempt: set) -> list:
     """T1 over one file: guarded-field reference with no locking evidence.
     `guarded` and `exempt` are collected over the header/source pair."""
@@ -406,6 +449,7 @@ def scan(root: pathlib.Path, files: list, rules: str) -> tuple:
             found += lint_style(rel, path, code)
         if rules in ("determinism", "all"):
             found += lint_determinism(rel, code, unordered)
+            found += lint_atomics(rel, code)
             key = pair_key(path)
             found += lint_guards(rel, code, guarded_by_pair.get(key, set()),
                                  exempt_by_pair.get(key, set()))
