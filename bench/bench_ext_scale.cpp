@@ -4,11 +4,15 @@
 // SB-DP "should perform well in practice and scale to larger topologies" —
 // hence DP as the primary scheme with LP refining in the background.  This
 // benchmark measures both solvers' wall-clock across instance sizes, up to
-// the paper's full scale of 10,000 chains for SB-DP.
+// the paper's full scale of 10,000 chains for SB-DP, plus the LP engine's
+// own scaling story: sparse vs the dense reference, SB-LP at 1,000+
+// chains, and warm-started re-solves vs cold ones.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
 #include "bench_json.hpp"
+#include "common/check.hpp"
 #include "switchboard/switchboard.hpp"
 
 namespace {
@@ -19,6 +23,18 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+model::NetworkModel make_lp_instance(std::size_t chains) {
+  model::ScenarioParams params;
+  params.topology.core_count = 4;
+  params.topology.access_per_core = 1;
+  params.vnf_count = 6;
+  params.chain_count = chains;
+  params.coverage = 0.5;
+  params.total_chain_traffic = 150.0;
+  params.seed = 3;
+  return model::make_scenario(params);
 }
 
 }  // namespace
@@ -33,15 +49,7 @@ int main(int argc, char** argv) {
               "DP sec", "LP/DP");
   for (const std::size_t chains_full : {5, 10, 20, 40}) {
     const std::size_t chains = session.scaled(chains_full, 4, 5);
-    model::ScenarioParams params;
-    params.topology.core_count = 4;
-    params.topology.access_per_core = 1;
-    params.vnf_count = 6;
-    params.chain_count = chains;
-    params.coverage = 0.5;
-    params.total_chain_traffic = 150.0;
-    params.seed = 3;
-    const model::NetworkModel m = model::make_scenario(params);
+    const model::NetworkModel m = make_lp_instance(chains);
 
     auto start = std::chrono::steady_clock::now();
     te::LpRoutingOptions options;
@@ -93,8 +101,131 @@ int main(int argc, char** argv) {
         .metric("throughput", metrics.feasible_throughput)
         .metric("latency_ms", metrics.mean_latency_ms);
   }
+  // ---- sparse engine vs dense reference on the same LP -----------------
+  // Both engines solve the identical formulation; status parity and
+  // objective agreement (1e-6 relative) are asserted in-binary so the
+  // nightly run doubles as a large-instance correctness check.
+  std::printf("\n-- sparse simplex vs dense reference (same LP) --\n");
+  std::printf("%8s %12s %12s %10s\n", "chains", "sparse sec", "dense sec",
+              "speedup");
+  for (const std::size_t chains_full : {5, 10, 20, 40}) {
+    const std::size_t chains = session.scaled(chains_full, 4, 5);
+    const model::NetworkModel m = make_lp_instance(chains);
+    te::LpRoutingOptions options;
+    options.objective = te::LpObjective::kMaxThroughput;
+
+    auto start = std::chrono::steady_clock::now();
+    const te::LpRoutingResult sparse = te::solve_lp_routing(m, options);
+    const double sparse_sec = seconds_since(start);
+
+    options.simplex.algorithm = lp::SimplexAlgorithm::kDenseReference;
+    start = std::chrono::steady_clock::now();
+    const te::LpRoutingResult dense = te::solve_lp_routing(m, options);
+    const double dense_sec = seconds_since(start);
+
+    SWB_CHECK(sparse.status == dense.status)
+        << "sparse/dense status divergence at " << chains << " chains";
+    if (sparse.optimal()) {
+      SWB_CHECK(std::abs(sparse.objective - dense.objective) <=
+                1e-6 * (1.0 + std::abs(dense.objective)))
+          << "sparse=" << sparse.objective << " dense=" << dense.objective;
+    }
+    std::printf("%8zu %12.4f %12.4f %9.1fx\n", chains, sparse_sec, dense_sec,
+                dense_sec / sparse_sec);
+    session.add("lp_sparse_vs_dense")
+        .param("chains", static_cast<double>(chains))
+        .metric("sparse_sec", sparse_sec)
+        .metric("dense_sec", dense_sec)
+        .metric("speedup", dense_sec / sparse_sec)
+        .metric("status_optimal", sparse.optimal() ? 1.0 : 0.0);
+  }
+
+  // ---- SB-LP alone at large chain counts (sparse engine only) ----------
+  std::printf("\n-- SB-LP large-scale (sparse engine) --\n");
+  std::printf("%8s %12s %10s %12s %10s\n", "chains", "LP sec", "iters",
+              "refactors", "fill nnz");
+  for (const std::size_t chains_full : {200, 1000}) {
+    const std::size_t chains = session.scaled(chains_full, 50, 4);
+    const model::NetworkModel m = make_lp_instance(chains);
+    te::LpRoutingOptions options;
+    options.objective = te::LpObjective::kMaxThroughput;
+
+    const auto start = std::chrono::steady_clock::now();
+    const te::LpRoutingResult r = te::solve_lp_routing(m, options);
+    const double lp_sec = seconds_since(start);
+    SWB_CHECK(r.optimal()) << "large-scale SB-LP must solve to optimality";
+
+    std::printf("%8zu %12.3f %10zu %12zu %10zu\n", chains, lp_sec,
+                r.stats.iterations(), r.stats.refactorizations,
+                r.stats.basis_nonzeros);
+    session.add("lp_large_scale")
+        .param("chains", static_cast<double>(chains))
+        .metric("lp_sec", lp_sec)
+        .metric("status_optimal", 1.0)
+        .metric("objective", r.objective)
+        .metric("iterations", static_cast<double>(r.stats.iterations()))
+        .metric("refactorizations",
+                static_cast<double>(r.stats.refactorizations))
+        .metric("basis_nonzeros",
+                static_cast<double>(r.stats.basis_nonzeros));
+  }
+
+  // ---- warm-started background refinement vs cold re-solve -------------
+  // The paper's operational split keeps SB-LP refining in the background;
+  // after a small state change the warm re-solve from the previous basis
+  // should be far cheaper than solving from scratch.
+  std::printf("\n-- warm vs cold SB-LP re-solve (one rhs perturbation) --\n");
+  std::printf("%8s %12s %12s %10s %12s\n", "chains", "cold sec", "warm sec",
+              "speedup", "warm iters");
+  for (const std::size_t chains_full : {20, 40}) {
+    const std::size_t chains = session.scaled(chains_full, 4, 5);
+    model::NetworkModel m = make_lp_instance(chains);
+    te::TeEngine engine{m};
+    te::LpRoutingOptions options;
+    options.objective = te::LpObjective::kMaxThroughput;
+
+    // Cold refinement establishes the basis.
+    engine.refine_with_lp(options);
+    SWB_CHECK(engine.lp_refinement().optimal());
+
+    // Perturb one link's background traffic: same LP shape, one rhs moves.
+    const LinkId link{0};
+    m.set_background_traffic(link, m.background_traffic(link) + 1.0);
+
+    auto start = std::chrono::steady_clock::now();
+    const te::LpRoutingResult cold = te::solve_lp_routing(m, options);
+    const double cold_sec = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const te::LpRoutingResult& warm = engine.refine_with_lp(options);
+    const double warm_sec = seconds_since(start);
+
+    SWB_CHECK(cold.status == warm.status);
+    SWB_CHECK(warm.stats.warm_started)
+        << "warm refinement must reuse the previous basis";
+    if (cold.optimal()) {
+      SWB_CHECK(std::abs(cold.objective - warm.objective) <=
+                1e-6 * (1.0 + std::abs(cold.objective)))
+          << "cold=" << cold.objective << " warm=" << warm.objective;
+    }
+    std::printf("%8zu %12.4f %12.4f %9.1fx %12zu\n", chains, cold_sec,
+                warm_sec, cold_sec / std::max(warm_sec, 1e-9),
+                warm.stats.iterations());
+    session.add("lp_warm_vs_cold")
+        .param("chains", static_cast<double>(chains))
+        .metric("cold_sec", cold_sec)
+        .metric("warm_sec", warm_sec)
+        .metric("speedup", cold_sec / std::max(warm_sec, 1e-9))
+        .metric("warm_iterations",
+                static_cast<double>(warm.stats.iterations()))
+        .metric("cold_iterations",
+                static_cast<double>(cold.stats.iterations()));
+  }
+
   std::printf(
       "\nPaper: SB-LP ran for up to 3 hours on the tier-1 dataset; SB-DP's\n"
-      "simple heuristic makes it usable as the primary online scheme.\n");
+      "simple heuristic makes it usable as the primary online scheme.\n"
+      "The sparse warm-startable engine is what makes background SB-LP\n"
+      "refinement at 1,000+ chains practical in this reproduction.\n");
   return 0;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <utility>
+#include <vector>
 
 namespace switchboard::lp {
 namespace {
@@ -13,13 +15,15 @@ struct Fixing {
   double value;   // 0.0 or 1.0
 };
 
-Problem with_fixings(const Problem& base, const std::vector<Fixing>& fixings) {
-  Problem p = base;
-  for (const Fixing& f : fixings) {
-    p.add_constraint(Relation::kEqual, f.value, {{f.var, 1.0}}, "branch");
-  }
-  return p;
-}
+/// One branch-and-bound node: the bound fixings that define it plus the
+/// parent relaxation's basis, shared (not copied) between siblings and
+/// replayed as a warm start — the child LP differs from the parent's only
+/// by one variable's bounds, so the parent basis is usually a few pivots
+/// from the child's optimum.
+struct Node {
+  std::vector<Fixing> fixings;
+  std::shared_ptr<const Basis> warm;
+};
 
 }  // namespace
 
@@ -43,18 +47,33 @@ MipSolution solve_mip(const Problem& problem,
     return minimize ? bound < incumbent - slack : bound > incumbent + slack;
   };
 
-  // Depth-first stack of fixings.
-  std::vector<std::vector<Fixing>> stack;
+  // One working copy; branching applies and restores bounds in place
+  // instead of cloning the Problem per node.
+  Problem node_problem = problem;
+  for (const VarIndex v : binary_vars) {
+    node_problem.set_bounds(v, 0.0, 1.0);
+  }
+
+  std::vector<Node> stack;
   stack.push_back({});
   bool any_feasible = false;
 
   while (!stack.empty() && best.nodes_explored < options.max_nodes) {
-    const std::vector<Fixing> fixings = std::move(stack.back());
+    const Node node = std::move(stack.back());
     stack.pop_back();
     ++best.nodes_explored;
 
-    const Problem node = with_fixings(problem, fixings);
-    const Solution relax = solve(node, options.lp);
+    for (const Fixing& f : node.fixings) {
+      node_problem.set_bounds(f.var, f.value, f.value);
+    }
+    const Solution relax =
+        solve_simplex(node_problem, options.lp, node.warm.get());
+    for (const Fixing& f : node.fixings) {
+      node_problem.set_bounds(f.var, 0.0, 1.0);
+    }
+    best.lp_iterations += relax.stats.iterations();
+    if (relax.stats.warm_started) ++best.warm_started_nodes;
+
     if (relax.status == SolveStatus::kInfeasible) continue;
     if (relax.status == SolveStatus::kUnbounded) {
       best.status = SolveStatus::kUnbounded;
@@ -91,12 +110,16 @@ MipSolution solve_mip(const Problem& problem,
     }
 
     // Branch: explore the rounded-toward side first (DFS order means the
-    // later-pushed child is explored first).
+    // later-pushed child is explored first).  Both children warm-start
+    // from this node's final basis.
+    auto warm = relax.basis.empty()
+                    ? nullptr
+                    : std::make_shared<const Basis>(relax.basis);
     const double x = relax.values[branch_var];
-    std::vector<Fixing> lo = fixings;
-    lo.push_back({branch_var, 0.0});
-    std::vector<Fixing> hi = fixings;
-    hi.push_back({branch_var, 1.0});
+    Node lo{node.fixings, warm};
+    lo.fixings.push_back({branch_var, 0.0});
+    Node hi{node.fixings, std::move(warm)};
+    hi.fixings.push_back({branch_var, 1.0});
     if (x >= 0.5) {
       stack.push_back(std::move(lo));
       stack.push_back(std::move(hi));

@@ -26,6 +26,10 @@ struct MipSolution {
   double objective{0.0};
   std::vector<double> values;
   std::size_t nodes_explored{0};
+  /// Simplex work summed over every node relaxation.
+  std::size_t lp_iterations{0};
+  /// Nodes whose relaxation warm-started from the parent's basis.
+  std::size_t warm_started_nodes{0};
 
   [[nodiscard]] bool optimal() const {
     return status == SolveStatus::kOptimal;
@@ -33,8 +37,10 @@ struct MipSolution {
 };
 
 /// Solves `problem` where every variable listed in `binary_vars` must take
-/// a value in {0, 1}.  The problem must already contain the x <= 1 bound
-/// rows for those variables (the solver adds branching bounds on top).
+/// a value in {0, 1}.  The solver clamps those variables to [0, 1] via
+/// bounds itself (no x <= 1 rows needed) and branches by fixing bounds in
+/// place; each child node's relaxation warm-starts from its parent's
+/// optimal basis, so deep nodes typically re-solve in a handful of pivots.
 [[nodiscard]] MipSolution solve_mip(const Problem& problem,
                                     const std::vector<VarIndex>& binary_vars,
                                     const MipOptions& options = {});

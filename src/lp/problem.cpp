@@ -1,6 +1,7 @@
 #include "lp/problem.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
@@ -8,8 +9,33 @@ namespace switchboard::lp {
 
 VarIndex Problem::add_variable(double objective_coeff, std::string name) {
   objective_.push_back(objective_coeff);
+  lower_.push_back(0.0);
+  upper_.push_back(kInfinity);
   names_.push_back(std::move(name));
   return objective_.size() - 1;
+}
+
+void Problem::set_bounds(VarIndex var, double lower, double upper) {
+  SWB_CHECK(var < variable_count());
+  SWB_CHECK(std::isfinite(lower)) << "lower bound must be finite";
+  SWB_CHECK(lower <= upper) << "empty variable range";
+  lower_[var] = lower;
+  upper_[var] = upper;
+}
+
+void Problem::set_upper_bound(VarIndex var, double upper) {
+  SWB_CHECK(var < variable_count());
+  set_bounds(var, lower_[var], upper);
+}
+
+double Problem::lower_bound(VarIndex var) const {
+  SWB_DCHECK(var < variable_count());
+  return lower_[var];
+}
+
+double Problem::upper_bound(VarIndex var) const {
+  SWB_DCHECK(var < variable_count());
+  return upper_[var];
 }
 
 std::size_t Problem::add_constraint(Relation relation, double rhs,

@@ -1,0 +1,232 @@
+#include "lp/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace switchboard::lp {
+
+bool BasisLu::factorize(std::size_t m,
+                        const std::vector<const SparseColumn*>& cols,
+                        double singular_tol) {
+  SWB_CHECK(cols.size() == m);
+  m_ = m;
+  etas_.clear();
+  lcol_.assign(m, {});
+  ucol_.assign(m, {});
+  udiag_.assign(m, 0.0);
+  row_of_pos_.assign(m, 0);
+  pos_of_row_.assign(m, 0);
+  col_of_pos_.assign(m, 0);
+  pos_of_col_.assign(m, 0);
+  fill_nonzeros_ = 0;
+  if (m == 0) return true;
+
+  // Static fill-reducing order: fewest nonzeros first, index on ties.
+  std::vector<std::uint32_t> order(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    order[j] = static_cast<std::uint32_t>(j);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const std::size_t na = cols[a]->size();
+              const std::size_t nb = cols[b]->size();
+              return na != nb ? na < nb : a < b;
+            });
+
+  // pinv[row]: pivot position that claimed the row, or -1.  During the
+  // factorization L's columns are stored with ORIGINAL row indices (a row
+  // may be pivoted later); they are renumbered to pivot positions at the
+  // end so the solves run in triangular position space.
+  std::vector<std::int32_t> pinv(m, -1);
+  std::vector<std::vector<SparseEntry>> lraw(m);
+  work_.assign(m, 0.0);
+  visited_.assign(m, 0);
+  std::vector<std::uint32_t> topo;
+  topo.reserve(64);
+  stack_.clear();
+  stack_entry_.clear();
+
+  for (std::size_t k = 0; k < m; ++k) {
+    const SparseColumn& a = *cols[order[k]];
+    // --- symbolic: depth-first reach of a's rows through built L columns.
+    topo.clear();
+    for (const SparseEntry& e : a) {
+      SWB_CHECK(e.row < m);
+      if (visited_[e.row] != 0) continue;
+      // Iterative DFS with explicit (node, child cursor) stack.
+      stack_.assign(1, e.row);
+      stack_entry_.assign(1, 0);
+      visited_[e.row] = 1;
+      while (!stack_.empty()) {
+        const std::uint32_t r = stack_.back();
+        const std::int32_t j = pinv[r];
+        const std::vector<SparseEntry>* children =
+            j >= 0 ? &lraw[static_cast<std::size_t>(j)] : nullptr;
+        bool descended = false;
+        if (children != nullptr) {
+          std::uint32_t& cursor = stack_entry_.back();
+          while (cursor < children->size()) {
+            const std::uint32_t child = (*children)[cursor++].row;
+            if (visited_[child] == 0) {
+              visited_[child] = 1;
+              stack_.push_back(child);
+              stack_entry_.push_back(0);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          topo.push_back(r);
+          stack_.pop_back();
+          stack_entry_.pop_back();
+        }
+      }
+    }
+    // Reverse postorder = topological order: a node's value is final
+    // before any node it updates.
+    std::reverse(topo.begin(), topo.end());
+
+    // --- numeric: x = L^{-1} P a on the reached pattern.
+    for (const SparseEntry& e : a) work_[e.row] += e.value;
+    for (const std::uint32_t r : topo) {
+      const std::int32_t j = pinv[r];
+      if (j < 0) continue;
+      const double xr = work_[r];
+      if (xr == 0.0) continue;
+      for (const SparseEntry& e : lraw[static_cast<std::size_t>(j)]) {
+        work_[e.row] -= e.value * xr;
+      }
+    }
+
+    // --- pivot: partial pivoting over unpivoted rows, lowest row on ties.
+    std::uint32_t pivot_row = 0;
+    double pivot_mag = -1.0;
+    for (const std::uint32_t r : topo) {
+      if (pinv[r] >= 0) continue;
+      const double mag = std::abs(work_[r]);
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < singular_tol) {
+      for (const std::uint32_t r : topo) {
+        work_[r] = 0.0;
+        visited_[r] = 0;
+      }
+      return false;
+    }
+    const double pivot = work_[pivot_row];
+
+    // --- emit the U column (pivoted rows) and the L column (the rest).
+    std::vector<SparseEntry>& ucol = ucol_[k];
+    std::vector<SparseEntry>& lcol = lraw[k];
+    for (const std::uint32_t r : topo) {
+      const double v = work_[r];
+      work_[r] = 0.0;
+      visited_[r] = 0;
+      if (v == 0.0) continue;
+      if (pinv[r] >= 0) {
+        ucol.push_back({static_cast<std::uint32_t>(pinv[r]), v});
+      } else if (r != pivot_row) {
+        lcol.push_back({r, v / pivot});
+      }
+    }
+    pinv[pivot_row] = static_cast<std::int32_t>(k);
+    udiag_[k] = pivot;
+    row_of_pos_[k] = pivot_row;
+    col_of_pos_[k] = order[k];
+    pos_of_col_[order[k]] = static_cast<std::uint32_t>(k);
+    fill_nonzeros_ += ucol.size() + lcol.size() + 1;
+  }
+
+  for (std::size_t r = 0; r < m; ++r) {
+    pos_of_row_[r] = static_cast<std::uint32_t>(pinv[r]);
+  }
+  // Renumber L's rows into pivot-position space (now fully known).
+  for (std::size_t k = 0; k < m; ++k) {
+    lcol_[k] = std::move(lraw[k]);
+    for (SparseEntry& e : lcol_[k]) e.row = pos_of_row_[e.row];
+  }
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& x) {
+  SWB_DCHECK(x.size() == m_);
+  std::vector<double>& b = work_;
+  b.resize(m_);
+  // P: original rows -> pivot positions.
+  for (std::size_t k = 0; k < m_; ++k) b[k] = x[row_of_pos_[k]];
+  // L z = Pb (unit diagonal, forward).
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double xr = b[k];
+    if (xr == 0.0) continue;
+    for (const SparseEntry& e : lcol_[k]) b[e.row] -= e.value * xr;
+  }
+  // U w = z (backward).
+  for (std::size_t k = m_; k-- > 0;) {
+    const double wk = b[k] / udiag_[k];
+    b[k] = wk;
+    if (wk == 0.0) continue;
+    for (const SparseEntry& e : ucol_[k]) b[e.row] -= e.value * wk;
+  }
+  // Q: pivot positions -> basis positions.
+  for (std::size_t k = 0; k < m_; ++k) x[col_of_pos_[k]] = b[k];
+  // Eta file, oldest first: B_k^{-1} = E_k^{-1} ... E_1^{-1} B_0^{-1}.
+  for (const Eta& eta : etas_) {
+    const double xp = x[eta.pos] / eta.pivot;
+    x[eta.pos] = xp;
+    if (xp == 0.0) continue;
+    for (const SparseEntry& e : eta.other) x[e.row] -= e.value * xp;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& x) {
+  SWB_DCHECK(x.size() == m_);
+  // Eta file, newest first: solve E^T v = c per eta.
+  for (std::size_t i = etas_.size(); i-- > 0;) {
+    const Eta& eta = etas_[i];
+    double s = x[eta.pos];
+    for (const SparseEntry& e : eta.other) s -= e.value * x[e.row];
+    x[eta.pos] = s / eta.pivot;
+  }
+  std::vector<double>& b = work_;
+  b.resize(m_);
+  // Q^T: basis positions -> pivot positions.
+  for (std::size_t k = 0; k < m_; ++k) b[k] = x[col_of_pos_[k]];
+  // U^T v = b (U^T is lower triangular; gather along U's columns).
+  for (std::size_t k = 0; k < m_; ++k) {
+    double s = b[k];
+    for (const SparseEntry& e : ucol_[k]) s -= e.value * b[e.row];
+    b[k] = s / udiag_[k];
+  }
+  // L^T y = v (L^T is upper triangular, unit diagonal).
+  for (std::size_t k = m_; k-- > 0;) {
+    double s = b[k];
+    for (const SparseEntry& e : lcol_[k]) s -= e.value * b[e.row];
+    b[k] = s;
+  }
+  // P^T: pivot positions -> original rows.
+  for (std::size_t k = 0; k < m_; ++k) x[row_of_pos_[k]] = b[k];
+}
+
+bool BasisLu::push_eta(std::size_t pos, const std::vector<double>& w,
+                       double pivot_tol) {
+  SWB_DCHECK(pos < m_ && w.size() == m_);
+  if (std::abs(w[pos]) <= pivot_tol) return false;
+  Eta eta;
+  eta.pos = pos;
+  eta.pivot = w[pos];
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (i != pos && w[i] != 0.0) {
+      eta.other.push_back({static_cast<std::uint32_t>(i), w[i]});
+    }
+  }
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+}  // namespace switchboard::lp

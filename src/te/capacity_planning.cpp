@@ -192,7 +192,7 @@ std::vector<SiteId> plan_single_vnf_mip(model::NetworkModel& model,
   for (const SiteId site : candidates) {
     const VarIndex w = built.problem.add_variable(
         0.0, "w_site" + std::to_string(site.value()));
-    built.problem.add_constraint(Relation::kLessEqual, 1.0, {{w, 1.0}});
+    // solve_mip clamps binaries to [0, 1] via bounds itself; no row needed.
     count_terms.push_back({w, 1.0});
     w_vars.push_back(w);
   }

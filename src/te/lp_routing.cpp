@@ -43,12 +43,15 @@ BuiltLp build_routing_lp(const model::NetworkModel& model,
         for (std::size_t j = 0; j < sv.dests.size(); ++j) {
           const double delay =
               model.delay_ms(sv.sources[i].node, sv.dests[j].node);
-          // Unreachable pairs get a prohibitive coefficient rather than a
-          // hole in the index space (keeps var() arithmetic trivial).
-          const double coeff = std::isfinite(delay)
-              ? latency_sign * stage_traffic * delay
-              : (minimize ? 1e12 : -1e12);
-          problem.add_variable(coeff);
+          if (std::isfinite(delay)) {
+            problem.add_variable(latency_sign * stage_traffic * delay);
+          } else {
+            // Unreachable pair: keep the variable so var() arithmetic
+            // stays trivial, but pin it to zero via its bounds instead of
+            // a penalty coefficient (which distorted the objective).
+            const lp::VarIndex v = problem.add_variable(0.0);
+            problem.set_upper_bound(v, 0.0);
+          }
         }
       }
     }
@@ -75,7 +78,7 @@ BuiltLp build_routing_lp(const model::NetworkModel& model,
     for (const model::Chain& chain : chains) {
       const VarIndex t = problem.add_variable(chain.total_traffic(),
                                               "t_" + chain.name);
-      problem.add_constraint(Relation::kLessEqual, 1.0, {{t, 1.0}});
+      problem.set_upper_bound(t, 1.0);   // carried fraction t_c <= 1
       built.t_vars.push_back(t);
     }
   }
@@ -271,10 +274,13 @@ LpRoutingResult solve_lp_routing(const model::NetworkModel& model,
                                  const LpRoutingOptions& options) {
   detail::BuiltLp built = detail::build_routing_lp(model, options);
   LpRoutingResult result;
-  const lp::Solution solution = lp::solve(built.problem, options.simplex);
+  const lp::Solution solution =
+      lp::solve_simplex(built.problem, options.simplex, options.warm_start);
   result.status = solution.status;
+  result.stats = solution.stats;
   if (!solution.optimal()) return result;
   result.objective = solution.objective;
+  result.basis = solution.basis;
   detail::extract_routing(model, built, solution.values, options, result);
   return result;
 }

@@ -32,6 +32,10 @@ struct LpRoutingOptions {
   /// with their site ((m_sf / m_s) * a_s extra headroom).
   double cloud_capacity_budget{-1.0};
   lp::SimplexOptions simplex{};
+  /// Optional warm start: the Basis of a previous solve of the SAME
+  /// formulation (same model shape and objective — the variable and row
+  /// counts must match).  Mismatches silently fall back to a cold start.
+  const lp::Basis* warm_start{nullptr};
 };
 
 struct LpRoutingResult {
@@ -46,6 +50,11 @@ struct LpRoutingResult {
   /// Cloud capacity planning: chosen extra capacity per site (empty when
   /// planning was not requested).
   std::vector<double> extra_site_capacity;
+  /// Final simplex basis; feed back via LpRoutingOptions::warm_start to
+  /// re-solve after a small model change in a handful of pivots.
+  lp::Basis basis;
+  /// Solver work counters (iterations, refactorizations, warm-start use).
+  lp::SolverStats stats;
 
   [[nodiscard]] bool optimal() const {
     return status == lp::SolveStatus::kOptimal;

@@ -355,4 +355,16 @@ void TeEngine::check_invariants(double tolerance) const {
   }
 }
 
+const LpRoutingResult& TeEngine::refine_with_lp(LpRoutingOptions options) {
+  if (options.warm_start == nullptr && !lp_result_.basis.empty()) {
+    // Replay the previous refinement's basis.  solve_simplex validates the
+    // dimensions itself, so a model-shape change degrades to a cold solve
+    // instead of an error.
+    options.warm_start = &lp_result_.basis;
+  }
+  lp_result_ = solve_lp_routing(model_, options);
+  lp_refined_version_ = loads_.version();
+  return lp_result_;
+}
+
 }  // namespace switchboard::te

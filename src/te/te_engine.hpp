@@ -34,6 +34,7 @@
 #include "model/network_model.hpp"
 #include "te/dp_routing.hpp"
 #include "te/loads.hpp"
+#include "te/lp_routing.hpp"
 #include "te/routing_solution.hpp"
 
 namespace switchboard::te {
@@ -161,6 +162,26 @@ class TeEngine {
   /// was not told about through the methods above).
   void invalidate_cost_cache() { cache_.invalidate(); }
 
+  /// Background SB-LP refinement (the paper's split: SB-DP answers route
+  /// requests immediately, SB-LP re-optimizes the whole routing in the
+  /// background).  Solves the routing LP over the engine's model and
+  /// remembers the optimal basis: subsequent calls warm-start from it, so
+  /// a refinement after a small change re-solves in a few pivots instead
+  /// of from scratch.  An explicit `options.warm_start` wins over the
+  /// remembered basis; a formulation-shape change silently falls back to
+  /// a cold solve.  The result stays cached until the next call.
+  const LpRoutingResult& refine_with_lp(LpRoutingOptions options = {});
+
+  /// True when the loads advanced past the state the last refine_with_lp
+  /// call saw — i.e. a new refinement would observe different state.
+  [[nodiscard]] bool lp_refresh_due() const {
+    return loads_.version() != lp_refined_version_;
+  }
+  /// The last refine_with_lp result (default-constructed before any call).
+  [[nodiscard]] const LpRoutingResult& lp_refinement() const {
+    return lp_result_;
+  }
+
   [[nodiscard]] const DpResult& result() const { return result_; }
   [[nodiscard]] const Loads& loads() const { return loads_; }
   [[nodiscard]] const DpOptions& options() const { return options_; }
@@ -198,6 +219,8 @@ class TeEngine {
   EdgeCostCache cache_;
   DpScratch scratch_;
   std::vector<double> routed_fraction_;   // per chain id; kUntracked = none
+  LpRoutingResult lp_result_;             // last SB-LP refinement + basis
+  std::uint64_t lp_refined_version_{0};   // Loads version it was solved at
 };
 
 }  // namespace switchboard::te

@@ -140,6 +140,95 @@ TEST_P(LpDualityProperty, ScalingInvariance) {
   }
 }
 
+/// Random bounded LP exercising the nonbasic-at-upper machinery: mixed
+/// row relations plus finite upper bounds (and occasional shifted lower
+/// bounds) on a subset of the variables.
+Problem make_random_bounded_lp(Rng& rng) {
+  Problem p{rng.bernoulli(0.5) ? Sense::kMinimize : Sense::kMaximize};
+  const std::size_t vars = static_cast<std::size_t>(rng.uniform_int(2, 7));
+  const std::size_t rows = static_cast<std::size_t>(rng.uniform_int(2, 7));
+  for (std::size_t j = 0; j < vars; ++j) {
+    p.add_variable(rng.uniform(-4.0, 4.0));
+    // Finite upper bounds keep the instance bounded in both senses.
+    const double lower = rng.bernoulli(0.3) ? rng.uniform(0.0, 2.0) : 0.0;
+    p.set_bounds(j, lower, lower + rng.uniform(0.5, 6.0));
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    for (std::size_t j = 0; j < vars; ++j) {
+      if (rng.bernoulli(0.7)) terms.push_back({j, rng.uniform(-2.0, 3.0)});
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    const double roll = rng.uniform(0.0, 1.0);
+    const Relation rel = roll < 0.5   ? Relation::kLessEqual
+                         : roll < 0.8 ? Relation::kGreaterEqual
+                                      : Relation::kEqual;
+    p.add_constraint(rel, rng.uniform(-2.0, 6.0), std::move(terms));
+  }
+  return p;
+}
+
+class SparseDenseParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseDenseParity,
+                         ::testing::Range<std::uint64_t>(500, 560));
+
+TEST_P(SparseDenseParity, StatusAndObjectiveAgree) {
+  // The sparse bounded-variable engine and the dense reference (bounds
+  // expanded into rows) must agree on solvability, and on the optimal
+  // value to 1e-6 relative.
+  Rng rng{GetParam()};
+  const Problem p = make_random_bounded_lp(rng);
+  const Solution sparse = solve(p);
+  SimplexOptions dense_options;
+  dense_options.algorithm = SimplexAlgorithm::kDenseReference;
+  const Solution dense = solve(p, dense_options);
+  ASSERT_EQ(sparse.status, dense.status) << "sparse=" << to_string(sparse.status)
+                                         << " dense=" << to_string(dense.status);
+  if (sparse.optimal()) {
+    EXPECT_NEAR(sparse.objective, dense.objective,
+                1e-6 * (1.0 + std::abs(dense.objective)));
+  }
+}
+
+TEST_P(SparseDenseParity, SparseSolutionRespectsBounds) {
+  Rng rng{GetParam() + 5000};
+  const Problem p = make_random_bounded_lp(rng);
+  const Solution s = solve(p);
+  if (!s.optimal()) return;
+  for (std::size_t j = 0; j < p.variable_count(); ++j) {
+    EXPECT_GE(s.values[j], p.lower_bound(j) - 1e-7) << "var " << j;
+    EXPECT_LE(s.values[j], p.upper_bound(j) + 1e-7) << "var " << j;
+  }
+  // Every claimed-optimal basis names exactly row-count basic columns.
+  std::size_t basic = 0;
+  for (const VarStatus st : s.basis.variables) {
+    if (st == VarStatus::kBasic) ++basic;
+  }
+  for (const VarStatus st : s.basis.slacks) {
+    if (st == VarStatus::kBasic) ++basic;
+  }
+  EXPECT_EQ(basic, p.constraint_count());
+}
+
+TEST_P(SparseDenseParity, WarmStartFromOwnBasisIsANoOp) {
+  // Feeding a solve's final basis back in must skip phase 1, take zero
+  // pivots, and reproduce the identical optimum.
+  Rng rng{GetParam() + 9000};
+  const Problem p = make_random_bounded_lp(rng);
+  const Solution cold = solve(p);
+  if (!cold.optimal()) return;
+  const Solution warm = solve_simplex(p, {}, &cold.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.stats.warm_started);
+  EXPECT_TRUE(warm.stats.phase1_skipped);
+  EXPECT_EQ(warm.stats.iterations(), 0u);
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-9 * (1.0 + std::abs(cold.objective)));
+  EXPECT_EQ(warm.basis.variables, cold.basis.variables);
+  EXPECT_EQ(warm.basis.slacks, cold.basis.slacks);
+}
+
 TEST(LpStress, MediumSparseInstanceSolves) {
   // A transportation-style LP big enough to exercise refactorization.
   Rng rng{7};

@@ -272,6 +272,218 @@ TEST(Mip, FacilityLocationSmall) {
   EXPECT_NEAR(s.values[f0], 0.0, 1e-9);
 }
 
+// -------------------------------------------------- bounds and warm starts
+
+TEST(SimplexBounds, UpperBoundsWithoutRows) {
+  // max x + 2y  s.t.  x + y <= 10, x <= 3, y <= 4 (as bounds)
+  // -> x=3, y=4, obj=11; neither bound adds a constraint row.
+  Problem p{Sense::kMaximize};
+  const VarIndex x = p.add_variable(1.0);
+  const VarIndex y = p.add_variable(2.0);
+  p.set_upper_bound(x, 3.0);
+  p.set_upper_bound(y, 4.0);
+  p.add_constraint(Relation::kLessEqual, 10.0, {{x, 1.0}, {y, 1.0}});
+  ASSERT_EQ(p.constraint_count(), 1u);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 11.0, 1e-6);
+  EXPECT_NEAR(s.values[x], 3.0, 1e-6);
+  EXPECT_NEAR(s.values[y], 4.0, 1e-6);
+}
+
+TEST(SimplexBounds, AllVariablesEndAtUpperBound) {
+  // max x + y with x <= 2, y <= 5 and one slack row: both variables end
+  // nonbasic at their upper bounds (pure bound-flip solve, no pivots
+  // required to move them).
+  Problem p{Sense::kMaximize};
+  const VarIndex x = p.add_variable(1.0);
+  const VarIndex y = p.add_variable(1.0);
+  p.set_upper_bound(x, 2.0);
+  p.set_upper_bound(y, 5.0);
+  p.add_constraint(Relation::kLessEqual, 100.0, {{x, 1.0}, {y, 1.0}});
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 7.0, 1e-9);
+  EXPECT_EQ(s.basis.variables[x], VarStatus::kAtUpper);
+  EXPECT_EQ(s.basis.variables[y], VarStatus::kAtUpper);
+  EXPECT_GE(s.stats.bound_flips, 2u);
+}
+
+TEST(SimplexBounds, GeneralLowerBounds) {
+  // min x + y  s.t.  x + y >= 4, x in [1, 3], y in [2, 10] -> obj 4 at
+  // a point with x >= 1, y >= 2.
+  Problem p{Sense::kMinimize};
+  const VarIndex x = p.add_variable(1.0);
+  const VarIndex y = p.add_variable(1.0);
+  p.set_bounds(x, 1.0, 3.0);
+  p.set_bounds(y, 2.0, 10.0);
+  p.add_constraint(Relation::kGreaterEqual, 4.0, {{x, 1.0}, {y, 1.0}});
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 4.0, 1e-6);
+  EXPECT_GE(s.values[x], 1.0 - 1e-9);
+  EXPECT_GE(s.values[y], 2.0 - 1e-9);
+}
+
+TEST(SimplexBounds, FixedVariableViaEqualBounds) {
+  // x fixed at 2 by bounds; max x + y, y <= 3.
+  Problem p{Sense::kMaximize};
+  const VarIndex x = p.add_variable(1.0);
+  const VarIndex y = p.add_variable(1.0);
+  p.set_bounds(x, 2.0, 2.0);
+  p.set_upper_bound(y, 3.0);
+  p.add_constraint(Relation::kLessEqual, 10.0, {{x, 1.0}, {y, 1.0}});
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.objective, 5.0, 1e-6);
+}
+
+TEST(SimplexBounds, InfeasibleThroughBounds) {
+  // x <= 2 (bound) but a row demands x >= 5.
+  Problem p{Sense::kMinimize};
+  const VarIndex x = p.add_variable(1.0);
+  p.set_upper_bound(x, 2.0);
+  p.add_constraint(Relation::kGreaterEqual, 5.0, {{x, 1.0}});
+  EXPECT_EQ(solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexBounds, UnboundedAboveWithoutUpperBound) {
+  Problem p{Sense::kMaximize};
+  const VarIndex x = p.add_variable(1.0);
+  const VarIndex y = p.add_variable(0.0);
+  p.set_upper_bound(y, 1.0);
+  p.add_constraint(Relation::kGreaterEqual, 0.0, {{x, 1.0}, {y, 1.0}});
+  EXPECT_EQ(solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexWarmStart, OptimalBasisResolvesWithoutPivots) {
+  // Re-solving from the final basis must skip phase 1 and take zero
+  // phase-2 pivots (the basis is already optimal).
+  Problem p{Sense::kMaximize};
+  const VarIndex x = p.add_variable(3.0);
+  const VarIndex y = p.add_variable(2.0);
+  p.add_constraint(Relation::kLessEqual, 4.0, {{x, 1.0}, {y, 1.0}});
+  p.add_constraint(Relation::kLessEqual, 6.0, {{x, 1.0}, {y, 3.0}});
+  const Solution cold = solve(p);
+  ASSERT_TRUE(cold.optimal());
+
+  const Solution warm = solve_simplex(p, {}, &cold.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.stats.warm_started);
+  EXPECT_TRUE(warm.stats.phase1_skipped);
+  EXPECT_EQ(warm.stats.iterations(), 0u);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_EQ(warm.basis.variables, cold.basis.variables);
+  EXPECT_EQ(warm.basis.slacks, cold.basis.slacks);
+}
+
+TEST(SimplexWarmStart, RepairsInfeasibleBasisAfterRhsChange) {
+  // Tighten a rhs so the old optimal basis turns primal infeasible: the
+  // bounded phase 1 must repair it and land on the new optimum.
+  Problem p{Sense::kMaximize};
+  const VarIndex x = p.add_variable(3.0);
+  const VarIndex y = p.add_variable(2.0);
+  p.add_constraint(Relation::kLessEqual, 4.0, {{x, 1.0}, {y, 1.0}});
+  p.add_constraint(Relation::kLessEqual, 6.0, {{x, 1.0}, {y, 3.0}});
+  const Solution cold = solve(p);
+  ASSERT_TRUE(cold.optimal());
+
+  Problem tightened{Sense::kMaximize};
+  const VarIndex x2 = tightened.add_variable(3.0);
+  const VarIndex y2 = tightened.add_variable(2.0);
+  tightened.add_constraint(Relation::kLessEqual, 2.0, {{x2, 1.0}, {y2, 1.0}});
+  tightened.add_constraint(Relation::kLessEqual, 6.0, {{x2, 1.0}, {y2, 3.0}});
+  const Solution warm = solve_simplex(tightened, {}, &cold.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.stats.warm_started);
+  const Solution fresh = solve(tightened);
+  EXPECT_EQ(warm.status, fresh.status);
+  EXPECT_NEAR(warm.objective, fresh.objective, 1e-6);
+}
+
+TEST(SimplexWarmStart, MismatchedBasisFallsBackToCold) {
+  Problem p{Sense::kMaximize};
+  const VarIndex x = p.add_variable(1.0);
+  p.add_constraint(Relation::kLessEqual, 1.0, {{x, 1.0}});
+  Basis wrong;
+  wrong.variables = {VarStatus::kBasic, VarStatus::kBasic};   // wrong size
+  wrong.slacks = {VarStatus::kAtLower};
+  const Solution s = solve_simplex(p, {}, &wrong);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_FALSE(s.stats.warm_started);
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexWarmStart, RepeatedSolvesAreBitIdentical) {
+  Problem p{Sense::kMaximize};
+  const VarIndex x = p.add_variable(3.0);
+  const VarIndex y = p.add_variable(2.0);
+  p.set_upper_bound(y, 1.5);
+  p.add_constraint(Relation::kLessEqual, 4.0, {{x, 1.0}, {y, 1.0}});
+  p.add_constraint(Relation::kLessEqual, 6.0, {{x, 1.0}, {y, 3.0}});
+  const Solution a = solve(p);
+  const Solution b = solve(p);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.objective, b.objective);    // exact, not NEAR
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.basis.variables, b.basis.variables);
+  EXPECT_EQ(a.basis.slacks, b.basis.slacks);
+  EXPECT_EQ(a.stats.iterations(), b.stats.iterations());
+}
+
+// ------------------------------------------------- dense reference parity
+
+TEST(DenseReference, AgreesOnBoundedProblem) {
+  Problem p{Sense::kMaximize};
+  const VarIndex x = p.add_variable(1.0);
+  const VarIndex y = p.add_variable(2.0);
+  p.set_bounds(x, 0.5, 3.0);
+  p.set_upper_bound(y, 4.0);
+  p.add_constraint(Relation::kLessEqual, 6.0, {{x, 1.0}, {y, 1.0}});
+  const Solution sparse = solve(p);
+  SimplexOptions dense_options;
+  dense_options.algorithm = SimplexAlgorithm::kDenseReference;
+  const Solution dense = solve(p, dense_options);
+  ASSERT_EQ(sparse.status, dense.status);
+  ASSERT_TRUE(sparse.optimal());
+  EXPECT_NEAR(sparse.objective, dense.objective, 1e-6);
+  EXPECT_TRUE(dense.basis.empty());   // reference mode exposes no basis
+}
+
+TEST(DenseReference, AgreesOnInfeasibleAndUnbounded) {
+  Problem infeasible{Sense::kMinimize};
+  const VarIndex x = infeasible.add_variable(1.0);
+  infeasible.set_upper_bound(x, 2.0);
+  infeasible.add_constraint(Relation::kGreaterEqual, 5.0, {{x, 1.0}});
+  SimplexOptions dense_options;
+  dense_options.algorithm = SimplexAlgorithm::kDenseReference;
+  EXPECT_EQ(solve(infeasible, dense_options).status,
+            SolveStatus::kInfeasible);
+
+  Problem unbounded{Sense::kMaximize};
+  unbounded.add_variable(1.0);
+  EXPECT_EQ(solve(unbounded, dense_options).status, SolveStatus::kUnbounded);
+  EXPECT_EQ(solve(unbounded).status, SolveStatus::kUnbounded);
+}
+
+TEST(Mip, WarmStartsChildNodesFromParentBasis) {
+  // A knapsack with a fractional relaxation forces branching; every child
+  // node's LP should warm-start from its parent's basis.
+  Problem p{Sense::kMaximize};
+  const VarIndex a = p.add_variable(10.0);
+  const VarIndex b = p.add_variable(13.0);
+  const VarIndex c = p.add_variable(7.0);
+  p.add_constraint(Relation::kLessEqual, 10.0,
+                   {{a, 5.0}, {b, 7.0}, {c, 4.0}});
+  const MipSolution s = solve_mip(p, {a, b, c});
+  ASSERT_TRUE(s.optimal());
+  EXPECT_GT(s.nodes_explored, 1u);
+  EXPECT_GT(s.warm_started_nodes, 0u);
+  EXPECT_GT(s.lp_iterations, 0u);
+}
+
 TEST(Mip, HonorsAlreadyIntegralRelaxation) {
   Problem p{Sense::kMaximize};
   const VarIndex a = p.add_variable(1.0);

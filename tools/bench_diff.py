@@ -19,12 +19,16 @@ shared CI runners and are deliberately not part of the gate; they are
 tracked through the uploaded BENCH_pr.json artifact instead.
 
 A gated metric's spec is either a direction string ("up" / "down" /
-"exact") or a dict {"direction": ..., "tolerance": ...} overriding the
-global --tolerance for that metric (mode-vs-mode throughput ratios get a
-loose per-metric tolerance: the *shape* is gated, runner noise is not).
+"flat" / "exact") or a dict {"direction": ..., "tolerance": ...}
+overriding the global --tolerance for that metric (mode-vs-mode
+throughput ratios get a loose per-metric tolerance: the *shape* is
+gated, runner noise is not).
 
 A metric fails the gate when it moves more than its tolerance in its bad
-direction; moves in the good direction only get reported.  "exact"
+direction; moves in the good direction only get reported.  "flat"
+metrics have no good direction — they fail on a move beyond the
+tolerance EITHER way (LP objective values: a "better" objective than the
+baseline optimum is just as much a solver bug as a worse one).  "exact"
 metrics (packet counts, pinning digests — bit-deterministic by
 construction) fail on ANY change.  A gated record present in the
 baseline but missing from the current run fails too (a silently-dropped
@@ -86,6 +90,23 @@ GATED = {
     # mutex path); the loose tolerance absorbs oversubscribed runners.
     ("bench_fig8_forwarder_scaling", "flow_scale_mode_ratio"): {
         "epoch_vs_mutex": {"direction": "up", "tolerance": 0.6},
+    },
+    # LP engine gates (DESIGN.md §16).  Solve status is bit-deterministic;
+    # the optimal objective is FP-deterministic to far better than 1e-6 on
+    # any one toolchain, so it is gated flat with a tight tolerance (both
+    # "better" and "worse" values mean the solver broke).  The sparse/
+    # dense and warm/cold speedups are wall-clock shape gates with loose
+    # tolerances, like epoch_vs_mutex above.
+    ("bench_ext_scale", "lp_sparse_vs_dense"): {
+        "status_optimal": "exact",
+        "speedup": {"direction": "up", "tolerance": 0.6},
+    },
+    ("bench_ext_scale", "lp_large_scale"): {
+        "status_optimal": "exact",
+        "objective": {"direction": "flat", "tolerance": 1e-6},
+    },
+    ("bench_ext_scale", "lp_warm_vs_cold"): {
+        "speedup": {"direction": "up", "tolerance": 0.6},
     },
 }
 
@@ -157,7 +178,10 @@ def main():
                                     f"{base!r} -> {cur!r} (gated exact)")
                 continue
             delta = (cur - base) / max(abs(base), EPSILON)
-            bad = -delta if direction == "up" else delta
+            if direction == "flat":
+                bad = abs(delta)
+            else:
+                bad = -delta if direction == "up" else delta
             arrow = f"{base:.4g} -> {cur:.4g} ({delta:+.1%})"
             if bad > tolerance:
                 failures.append(f"{describe(key)}: {metric} regressed {arrow}")
