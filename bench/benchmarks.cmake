@@ -17,6 +17,7 @@ sb_add_bench(bench_fig11_e2e_comparison)
 sb_add_bench(bench_fig12_te_comparison)
 sb_add_bench(bench_fig13_ablation_planning)
 sb_add_bench(bench_fig13_recovery)
+sb_add_bench(bench_fig14_decentralization)
 sb_add_bench(bench_table2_edge_addition)
 sb_add_bench(bench_table3_shared_cache)
 sb_add_bench(bench_ablation_dataplane)

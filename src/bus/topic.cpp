@@ -33,4 +33,10 @@ Topic health_topic(SiteId site) {
   return Topic{"/health/site_" + std::to_string(site.value()), site};
 }
 
+Topic anycast_topic(SiteId from, SiteId to) {
+  return Topic{"/health/anycast/" + std::to_string(from.value()) + "_" +
+                   std::to_string(to.value()),
+               from};
+}
+
 }  // namespace switchboard::bus

@@ -45,4 +45,16 @@ struct Topic {
 /// retransmitted (see BusConfig::transient_prefix).
 [[nodiscard]] Topic health_topic(SiteId site);
 
+/// "/health/anycast/<from>_<to>" — one directed flooding edge of the
+/// SB-ANYCAST-D link-state protocol (DESIGN.md §17): site `from` floods
+/// its own and relayed announcements to site `to`, which alone subscribes.
+/// Deliberately a per-pair topic (not one broadcast topic): each copy is a
+/// distinct (from, to) wide-area send, so site-pair partitions cut exactly
+/// the flooding edges they would cut in a real network and announcements
+/// still reach a partitioned-from-the-origin site through relays.  The
+/// "/health/" prefix keeps announcements transient soft state: never
+/// retained, never retransmitted — staleness is handled by aging, not by
+/// the bus.
+[[nodiscard]] Topic anycast_topic(SiteId from, SiteId to);
+
 }  // namespace switchboard::bus

@@ -311,11 +311,21 @@ void GlobalSwitchboard::create_chain(const ChainSpec& spec,
           SWB_CHECK(rec != nullptr);
           te::DpOptions options = dp_options_;
           ensure_loads_current();   // resizes after late VNF registration
-          const te::SingleRoute route = te::find_single_route(
-              context_.model, context_.model.chain(chain_id), loads_,
-              options, 1.0, te::TeContext{nullptr, &scratch_});
+          std::optional<std::vector<SiteId>> vnf_sites;
+          if (te_mode_ == TeMode::kSbLp) vnf_sites = lp_route_sites(chain_id);
+          if (!vnf_sites) {
+            const te::SingleRoute route = te::find_single_route(
+                context_.model, context_.model.chain(chain_id), loads_,
+                options, 1.0, te::TeContext{nullptr, &scratch_});
+            if (route.found && route.admissible_fraction > 0) {
+              vnf_sites.emplace();
+              for (std::size_t z = 1; z <= rec->spec.vnfs.size(); ++z) {
+                vnf_sites->push_back(route.sites[z]);
+              }
+            }
+          }
           report.events.push_back({"route_computed", context_.sim.now()});
-          if (!route.found || route.admissible_fraction <= 0) {
+          if (!vnf_sites) {
             done(Result<CreationReport>{ErrorCode::kInfeasible,
                                         "no feasible wide-area route"});
             return;
@@ -323,9 +333,7 @@ void GlobalSwitchboard::create_chain(const ChainSpec& spec,
           RouteRecord route_record;
           route_record.id = RouteId{next_route_id_++};
           route_record.weight = 1.0;
-          for (std::size_t z = 1; z <= rec->spec.vnfs.size(); ++z) {
-            route_record.vnf_sites.push_back(route.sites[z]);
-          }
+          route_record.vnf_sites = std::move(*vnf_sites);
           report.route = route_record.id;
           commit_route(*rec, std::move(route_record), std::move(report),
                        std::move(done), {}, 0);
@@ -674,17 +682,25 @@ void GlobalSwitchboard::add_route(ChainId chain,
           route_record.vnf_sites = preferred_vnf_sites;
         } else {
           ensure_loads_current();
-          const te::SingleRoute route = te::find_single_route(
-              context_.model, context_.model.chain(chain), loads_,
-              dp_options_, 1.0, te::TeContext{nullptr, &scratch_});
-          if (!route.found) {
+          std::optional<std::vector<SiteId>> vnf_sites;
+          if (te_mode_ == TeMode::kSbLp) vnf_sites = lp_route_sites(chain);
+          if (!vnf_sites) {
+            const te::SingleRoute route = te::find_single_route(
+                context_.model, context_.model.chain(chain), loads_,
+                dp_options_, 1.0, te::TeContext{nullptr, &scratch_});
+            if (route.found) {
+              vnf_sites.emplace();
+              for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
+                vnf_sites->push_back(route.sites[z]);
+              }
+            }
+          }
+          if (!vnf_sites) {
             done(Result<CreationReport>{ErrorCode::kInfeasible,
                                         "no feasible additional route"});
             return;
           }
-          for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
-            route_record.vnf_sites.push_back(route.sites[z]);
-          }
+          route_record.vnf_sites = std::move(*vnf_sites);
         }
         report.events.push_back({"route_computed", context_.sim.now()});
         report.route = route_record.id;
@@ -856,6 +872,18 @@ bool GlobalSwitchboard::route_uses_link(const ChainRecord& record,
   return false;
 }
 
+std::optional<std::vector<SiteId>> GlobalSwitchboard::lp_route_sites(
+    ChainId chain) {
+  te::LpRoutingOptions options;
+  options.objective = te::LpObjective::kMaxThroughput;
+  if (lp_basis_valid_) options.warm_start = &lp_basis_;
+  te::LpRoutingResult result = te::solve_lp_routing(context_.model, options);
+  if (!result.optimal()) return std::nullopt;
+  lp_basis_ = std::move(result.basis);
+  lp_basis_valid_ = true;
+  return te::primary_route_sites(context_.model, result.routing, chain);
+}
+
 RecoveryReport GlobalSwitchboard::retire_routes(
     const std::function<bool(const ChainRecord&, const RouteRecord&)>&
         doomed) {
@@ -957,11 +985,21 @@ void GlobalSwitchboard::replace_route(ChainId chain) {
         SWB_CHECK(rec != nullptr);
         report.labels = rec->labels;
         ensure_loads_current();
-        const te::SingleRoute route = te::find_single_route(
-            context_.model, context_.model.chain(chain), loads_, dp_options_,
-            1.0, te::TeContext{nullptr, &scratch_});
+        std::optional<std::vector<SiteId>> vnf_sites;
+        if (te_mode_ == TeMode::kSbLp) vnf_sites = lp_route_sites(chain);
+        if (!vnf_sites) {
+          const te::SingleRoute route = te::find_single_route(
+              context_.model, context_.model.chain(chain), loads_,
+              dp_options_, 1.0, te::TeContext{nullptr, &scratch_});
+          if (route.found && route.admissible_fraction > 0) {
+            vnf_sites.emplace();
+            for (std::size_t z = 1; z <= rec->spec.vnfs.size(); ++z) {
+              vnf_sites->push_back(route.sites[z]);
+            }
+          }
+        }
         report.events.push_back({"route_computed", context_.sim.now()});
-        if (!route.found || route.admissible_fraction <= 0) {
+        if (!vnf_sites) {
           SB_LOG(kWarn) << "recovery: no feasible replacement route for "
                         << "chain " << chain;
           return;
@@ -969,9 +1007,7 @@ void GlobalSwitchboard::replace_route(ChainId chain) {
         RouteRecord route_record;
         route_record.id = RouteId{next_route_id_++};
         route_record.weight = 1.0;
-        for (std::size_t z = 1; z <= rec->spec.vnfs.size(); ++z) {
-          route_record.vnf_sites.push_back(route.sites[z]);
-        }
+        route_record.vnf_sites = std::move(*vnf_sites);
         report.route = route_record.id;
         commit_route(*rec, std::move(route_record), std::move(report),
                      [chain](Result<CreationReport> result) {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -39,6 +40,7 @@
 #include "control/state_journal.hpp"
 #include "control/vnf_controller.hpp"
 #include "te/dp_routing.hpp"
+#include "te/lp_routing.hpp"
 #include "te/te_engine.hpp"
 
 namespace switchboard::control {
@@ -154,6 +156,17 @@ class GlobalSwitchboard {
   [[nodiscard]] const te::Loads& loads() const { return loads_; }
   [[nodiscard]] te::DpOptions& dp_options() { return dp_options_; }
 
+  /// Route-compute mode for new and replacement routes.  kSbDp runs the
+  /// greedy DP against current loads (the default); kSbLp re-solves the
+  /// global max-throughput LP (warm-started from the previous basis) and
+  /// takes the chain's primary flow-decomposition path, falling back to
+  /// SB-DP when the LP carries none of the chain's traffic.  2PC retries
+  /// with excluded sites always use SB-DP — the LP formulation cannot
+  /// express per-site exclusions.
+  enum class TeMode { kSbDp, kSbLp };
+  void set_te_mode(TeMode mode) { te_mode_ = mode; }
+  [[nodiscard]] TeMode te_mode() const { return te_mode_; }
+
   /// Readiness callback target for Local Switchboards.
   void on_route_ready(ChainId chain, RouteId route, SiteId site);
 
@@ -266,6 +279,12 @@ class GlobalSwitchboard {
                                      const RouteRecord& route,
                                      LinkId link) const;
 
+  /// SB-LP compute path: LP re-solve (warm-started when a prior basis is
+  /// on hand) + flow decomposition for `chain`.  nullopt means the LP was
+  /// not optimal or carries none of the chain — fall back to SB-DP.
+  [[nodiscard]] std::optional<std::vector<SiteId>> lp_route_sites(
+      ChainId chain);
+
   void publish_routes(const ChainRecord& record);
 
   // --- load accounting ----------------------------------------------------
@@ -318,6 +337,11 @@ class GlobalSwitchboard {
   ModelShape loads_shape_{};
   te::DpOptions dp_options_;
   te::DpScratch scratch_;   // reusable buffers for find_single_route
+  TeMode te_mode_{TeMode::kSbDp};
+  /// Previous SB-LP basis, fed back as a warm start so steady-state route
+  /// recomputes converge in a handful of pivots.
+  lp::Basis lp_basis_;
+  bool lp_basis_valid_{false};
   std::uint32_t next_route_id_{0};
 
   StateJournal* journal_{nullptr};

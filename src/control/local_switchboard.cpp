@@ -49,6 +49,10 @@ void LocalSwitchboard::set_peer_lookup(PeerLookup lookup) {
   peer_lookup_ = std::move(lookup);
 }
 
+void LocalSwitchboard::set_route_observer(RouteObserver observer) {
+  route_observer_ = std::move(observer);
+}
+
 void LocalSwitchboard::start(const bus::Topic& routes_topic) {
   context_.bus.subscribe(site_, routes_topic, [this](const bus::Message& m) {
     const auto route = parse_route(m.payload);
@@ -187,6 +191,7 @@ void LocalSwitchboard::handle_route(const RouteAnnouncement& announcement) {
   PerChain& pc = chain_state(announcement);
   upsert(pc.routes, announcement,
          [](const RouteAnnouncement& r) { return r.route; });
+  if (route_observer_) route_observer_(announcement);
 
   // Set up this site's subscriptions.
   for (const RouteAnnouncement& route : pc.routes) {

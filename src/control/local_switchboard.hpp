@@ -45,6 +45,7 @@ class LocalSwitchboard {
  public:
   using ReadyCallback = std::function<void(ChainId, RouteId, SiteId)>;
   using PeerLookup = std::function<LocalSwitchboard*(SiteId)>;
+  using RouteObserver = std::function<void(const RouteAnnouncement&)>;
 
   LocalSwitchboard(ControlContext& context, SiteId site);
 
@@ -54,6 +55,10 @@ class LocalSwitchboard {
   void set_ready_callback(ReadyCallback callback);
   /// Peer Local Switchboards, for return-path RPCs in edge addition.
   void set_peer_lookup(PeerLookup lookup);
+  /// Observer of every accepted (non-fenced) route announcement — how the
+  /// site's AnycastRouter learns chain definitions without ever talking
+  /// to the Global Switchboard (DESIGN.md §17).
+  void set_route_observer(RouteObserver observer);
 
   /// Subscribes to the global routes topic (call once, before any chain
   /// is created).  `routes_topic` is Global Switchboard's announcement
@@ -155,6 +160,7 @@ class LocalSwitchboard {
   SiteId site_;
   ReadyCallback ready_callback_;
   PeerLookup peer_lookup_;
+  RouteObserver route_observer_;
   std::map<std::uint32_t, PerChain> chains_;          // by chain id
   std::vector<PendingEdgeAddition> pending_edges_;
   bool up_{true};

@@ -184,4 +184,51 @@ std::optional<RouteAnnouncement> parse_route(const std::string& payload) {
   return m;
 }
 
+std::string serialize(const AnycastAnnouncement& m) {
+  std::ostringstream out;
+  out << "type=anycast;origin=" << m.origin.value() << ";seq=" << m.seq
+      << ";pd=" << m.path_delay_ms << ";vnfs=";
+  for (std::size_t i = 0; i < m.entries.size(); ++i) {
+    if (i > 0) out << ',';
+    out << m.entries[i].vnf.value() << ':' << m.entries[i].live_instances
+        << ':' << m.entries[i].residual_capacity;
+  }
+  return out.str();
+}
+
+std::optional<AnycastAnnouncement> parse_anycast(const std::string& payload) {
+  const auto fields = parse_fields(payload);
+  std::uint64_t origin = 0;
+  AnycastAnnouncement m;
+  if (!get_u64(fields, "origin", origin) || !get_u64(fields, "seq", m.seq) ||
+      !get_double(fields, "pd", m.path_delay_ms)) {
+    return std::nullopt;
+  }
+  m.origin = SiteId{static_cast<SiteId::underlying_type>(origin)};
+  const auto vnfs_it = fields.find("vnfs");
+  if (vnfs_it == fields.end()) return std::nullopt;
+  std::istringstream vnfs_in{vnfs_it->second};
+  std::string entry;
+  while (std::getline(vnfs_in, entry, ',')) {
+    if (entry.empty()) continue;
+    const auto c1 = entry.find(':');
+    const auto c2 = entry.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      return std::nullopt;
+    }
+    AnycastVnfEntry e;
+    try {
+      e.vnf = VnfId{static_cast<VnfId::underlying_type>(
+          std::stoul(entry.substr(0, c1)))};
+      e.live_instances =
+          static_cast<std::uint32_t>(std::stoul(entry.substr(c1 + 1, c2 - c1 - 1)));
+      e.residual_capacity = std::stod(entry.substr(c2 + 1));
+    } catch (...) {
+      return std::nullopt;
+    }
+    m.entries.push_back(e);
+  }
+  return m;
+}
+
 }  // namespace switchboard::control

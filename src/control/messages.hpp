@@ -65,6 +65,29 @@ struct Heartbeat {
   std::vector<dataplane::ElementId> down_elements;
 };
 
+/// One VNF pool of an anycast link-state announcement: how many live
+/// instances the origin site currently runs and their summed residual
+/// capacity (instance capacity where configured, LB weight otherwise).
+struct AnycastVnfEntry {
+  VnfId vnf;
+  std::uint32_t live_instances{0};
+  double residual_capacity{0.0};
+};
+
+/// SB-ANYCAST-D link-state announcement (DESIGN.md §17), flooded
+/// site-to-site on the transient /health/anycast/ topics: the origin
+/// site's per-VNF liveness + residual capacity, sequence-numbered for
+/// dedup, with the propagation delay accumulated along the flooding path.
+/// Like heartbeats, announcements are soft state — never retained, never
+/// retransmitted — so receivers age entries out when they stop arriving.
+struct AnycastAnnouncement {
+  SiteId origin;
+  std::uint64_t seq{0};
+  /// Accumulated one-way delay (ms) from the origin along the flood path.
+  double path_delay_ms{0.0};
+  std::vector<AnycastVnfEntry> entries;
+};
+
 [[nodiscard]] std::string serialize(const InstanceAnnouncement& m);
 [[nodiscard]] std::string serialize(const ForwarderAnnouncement& m);
 [[nodiscard]] std::string serialize(const RouteAnnouncement& m);
@@ -78,6 +101,10 @@ struct Heartbeat {
 [[nodiscard]] std::optional<RouteAnnouncement> parse_route(
     const std::string& payload);
 [[nodiscard]] std::optional<Heartbeat> parse_heartbeat(
+    const std::string& payload);
+
+[[nodiscard]] std::string serialize(const AnycastAnnouncement& m);
+[[nodiscard]] std::optional<AnycastAnnouncement> parse_anycast(
     const std::string& payload);
 
 }  // namespace switchboard::control

@@ -1,5 +1,8 @@
 #include "core/deployment.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 #include "common/check.hpp"
 
 namespace switchboard::core {
@@ -9,6 +12,7 @@ Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
       model_{std::move(model)},
       faults_{sim_, config.fault_seed} {
   SWB_CHECK(!model_.sites().empty());
+  faults_.set_site_count(model_.sites().size());
 
   bus::BusConfig bus_config;
   bus_config.site_count = model_.sites().size();
@@ -34,6 +38,7 @@ Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
 
   global_ = std::make_unique<control::GlobalSwitchboard>(
       *context_, config_.controller_site);
+  global_->set_te_mode(config_.te_mode);
 
   detector_ = std::make_unique<control::FailureDetector>(
       *context_, config_.controller_site, config_.detector);
@@ -54,6 +59,24 @@ Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
     locals_.push_back(std::move(local));
   }
 
+  if (config_.enable_anycast) {
+    SWB_CHECK_LE(model_.sites().size(), dataplane::kMaxAnycastSites)
+        << "anycast visited-set bitmap cannot cover this many sites";
+    for (const model::CloudSite& site : model_.sites()) {
+      auto router = std::make_unique<control::AnycastRouter>(
+          *context_, site.id, config_.anycast);
+      // Chain knowledge rides the route announcements every site already
+      // receives — the router needs no channel of its own to the
+      // controller, which is what lets it outlive one.
+      locals_[site.id.value()]->set_route_observer(
+          [r = router.get()](const control::RouteAnnouncement& announcement) {
+            r->learn_route(announcement);
+          });
+      router->start();
+      anycast_routers_.push_back(std::move(router));
+    }
+  }
+
   sync_vnf_controllers();
 
   if (config_.durable_controller) {
@@ -66,6 +89,26 @@ Deployment::Deployment(model::NetworkModel model, DeploymentConfig config)
 control::LocalSwitchboard& Deployment::local(SiteId site) {
   SWB_CHECK(site.value() < locals_.size());
   return *locals_[site.value()];
+}
+
+control::AnycastRouter& Deployment::anycast_router(SiteId site) {
+  SWB_CHECK(site.value() < anycast_routers_.size())
+      << "anycast_router requires enable_anycast";
+  return *anycast_routers_[site.value()];
+}
+
+void Deployment::start_anycast() {
+  SWB_CHECK(!anycast_routers_.empty()) << "start_anycast without "
+                                          "enable_anycast";
+  for (auto& router : anycast_routers_) {
+    router->start_announcing();
+  }
+}
+
+void Deployment::stop_anycast() {
+  for (auto& router : anycast_routers_) {
+    router->stop_announcing();
+  }
 }
 
 control::VnfController& Deployment::vnf_controller(VnfId vnf) {
@@ -101,10 +144,17 @@ void Deployment::sync_vnf_controllers() {
 void Deployment::register_fault_targets() {
   for (const model::CloudSite& site : model_.sites()) {
     control::LocalSwitchboard* local = locals_[site.id.value()].get();
+    control::AnycastRouter* router =
+        site.id.value() < anycast_routers_.size()
+            ? anycast_routers_[site.id.value()].get()
+            : nullptr;
     faults_.register_target(
         "site:" + std::to_string(site.id.value()),
-        [this, local, site_id = site.id](bool up) {
+        [this, local, router, site_id = site.id](bool up) {
           local->set_up(up);
+          // The site's anycast router crashes and restores with it: its
+          // silence ages its entries out at every peer.
+          if (router != nullptr) router->set_up(up);
           // Reliable-bus retransmits toward a crashed site stop instead of
           // retrying against silence until exhaustion.
           if (!up) bus_->abandon_retransmits_to(site_id);
@@ -308,6 +358,144 @@ Deployment::WalkResult Deployment::inject_from(
     }
   }
   result.failure = "hop limit exceeded (routing loop?)";
+  return result;
+}
+
+Deployment::WalkResult Deployment::inject_anycast(
+    ChainId chain, const dataplane::FiveTuple& flow,
+    dataplane::Direction direction, std::uint16_t size_bytes) {
+  WalkResult result;
+  SWB_CHECK(!anycast_routers_.empty())
+      << "inject_anycast requires enable_anycast";
+
+  const bool forward = direction == dataplane::Direction::kForward;
+
+  // The whole walk works off router state only: chain knowledge was
+  // learned from bus-replicated route announcements, so a crashed or
+  // partitioned-away Global Switchboard changes nothing here.
+  dataplane::Packet packet;
+  packet.flow = forward ? flow : flow.reversed();
+  packet.direction = direction;
+  packet.size_bytes = size_bytes;
+  packet.anycast.hop_budget = config_.anycast.hop_budget;
+  packet.anycast.stage = 1;
+
+  // Stage order and endpoints come from the entry site's router.
+  const control::AnycastRouter::ChainInfo* info = nullptr;
+  for (const auto& router : anycast_routers_) {
+    info = router->chain_info(chain);
+    if (info != nullptr) break;
+  }
+  if (info == nullptr) {
+    result.failure = "chain unknown to anycast routers";
+    return result;
+  }
+  packet.labels = info->labels;
+  const SiteId start = forward ? info->ingress_site : info->egress_site;
+  const SiteId dest = forward ? info->egress_site : info->ingress_site;
+  std::vector<VnfId> stages = info->vnfs;
+  if (!forward) std::reverse(stages.begin(), stages.end());
+
+  SiteId current = start;
+  packet.anycast.mark_visited(current.value());
+  const auto site_hop = [this, &result](SiteId site, double hop_ms) {
+    // The path records the site's forwarder for wide-area hops; tests
+    // and benches only depend on the VNF-instance subsequence.
+    const std::vector<dataplane::ElementId> fwds =
+        elements_.forwarders_at(site);
+    if (!fwds.empty()) {
+      result.path.push_back(
+          {fwds.front(), control::ElementType::kForwarder, hop_ms});
+    }
+  };
+  site_hop(current, 0.0);
+
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const VnfId vnf = stages[i];
+    std::ostringstream tag;
+    tag << "chain=" << chain << " stage=" << packet.anycast.stage;
+    // Refuted candidates this stage: partitioned-away or stale-lie sites
+    // are excluded and the steering question re-asked.
+    std::uint64_t excluded = 0;
+    bool served = false;
+    while (!served) {
+      control::AnycastRouter& router = *anycast_routers_[current.value()];
+      const std::optional<SiteId> next = router.next_site(
+          vnf, current, packet.anycast.visited_sites | excluded, tag.str());
+      if (!next) {
+        std::ostringstream failure;
+        failure << "no reachable live instance of vnf " << vnf
+                << " for stage " << packet.anycast.stage;
+        result.failure = failure.str();
+        return result;
+      }
+      if (*next != current) {
+        if (faults_.partitioned(current, *next)) {
+          // The table still advertises a site the data plane cannot
+          // reach: steer around it.
+          excluded |= std::uint64_t{1} << next->value();
+          continue;
+        }
+        if (packet.anycast.hop_budget == 0) {
+          result.failure = "anycast hop budget exhausted";
+          return result;
+        }
+        --packet.anycast.hop_budget;
+        // next_site() may never return a visited site — the wire
+        // annotation makes loops structurally impossible.
+        SWB_CHECK(!packet.anycast.visited(next->value()))
+            << "anycast steering revisited site " << *next;
+        const double hop_ms = model_.delay_ms(model_.site(current).node,
+                                              model_.site(*next).node);
+        result.latency_ms += hop_ms;
+        current = *next;
+        packet.anycast.mark_visited(current.value());
+        site_hop(current, hop_ms);
+      }
+      // At the chosen site the registry is ground truth.  A remote entry
+      // may have lied (instances died since the last announcement heard);
+      // the site's own router refutes itself via its fresh local view, so
+      // re-asking from here steers onward without special casing.
+      std::vector<dataplane::ElementId> live;
+      for (const dataplane::ElementId id :
+           elements_.vnf_instances_at(current, vnf)) {
+        if (elements_.info(id).up) live.push_back(id);
+      }
+      if (live.empty()) continue;
+      const std::uint64_t pick =
+          dataplane::mix64(dataplane::flow_hash(packet.labels, packet.flow) ^
+                           packet.anycast.stage);
+      const dataplane::ElementId instance =
+          live[pick % live.size()];
+      result.latency_ms += config_.vnf_processing_ms;
+      result.path.push_back({instance, control::ElementType::kVnfInstance,
+                             config_.vnf_processing_ms});
+      packet.arrival_source = instance;
+      ++packet.anycast.stage;
+      served = true;
+    }
+  }
+
+  // Final segment to the chain's egress (ingress in reverse).  This hop is
+  // destination-routed — the egress-site label, not an anycast choice — so
+  // the visited check does not apply, but it still burns budget.
+  if (current != dest) {
+    if (faults_.partitioned(current, dest)) {
+      result.failure = "egress site unreachable (partitioned)";
+      return result;
+    }
+    if (packet.anycast.hop_budget == 0) {
+      result.failure = "anycast hop budget exhausted";
+      return result;
+    }
+    --packet.anycast.hop_budget;
+    const double hop_ms =
+        model_.delay_ms(model_.site(current).node, model_.site(dest).node);
+    result.latency_ms += hop_ms;
+    current = dest;
+    site_hop(current, hop_ms);
+  }
+  result.delivered = true;
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bus/message_bus.hpp"
+#include "control/anycast.hpp"
 #include "control/context.hpp"
 #include "control/edge_controller.hpp"
 #include "control/failure_detector.hpp"
@@ -47,6 +48,14 @@ struct DeploymentConfig {
   /// in-memory state.
   bool durable_controller{false};
   control::JournalConfig journal{};
+  /// Route-compute mode for the Global Switchboard (SB-DP or SB-LP).
+  control::GlobalSwitchboard::TeMode te_mode{
+      control::GlobalSwitchboard::TeMode::kSbDp};
+  /// SB-ANYCAST-D (DESIGN.md §17): run an AnycastRouter beside every
+  /// Local Switchboard and enable the inject_anycast() walk.  Routers
+  /// subscribe at construction; announcements start via start_anycast().
+  bool enable_anycast{false};
+  control::AnycastConfig anycast{};
 };
 
 class Deployment {
@@ -75,6 +84,15 @@ class Deployment {
   [[nodiscard]] control::StateJournal* state_journal() {
     return journal_.get();
   }
+
+  /// The site's AnycastRouter; requires `enable_anycast`.
+  [[nodiscard]] control::AnycastRouter& anycast_router(SiteId site);
+
+  /// Starts/stops the periodic announcement floods on every router
+  /// (requires `enable_anycast`).  Like heartbeats, announcements
+  /// self-reschedule — call stop_anycast() before draining the simulator.
+  void start_anycast();
+  void stop_anycast();
 
   /// Registers an edge service and its controller.
   EdgeServiceId create_edge_service(std::string name);
@@ -131,6 +149,19 @@ class Deployment {
                              dataplane::Direction::kForward,
                          std::uint16_t size_bytes = 64);
 
+  /// SB-ANYCAST-D walk (DESIGN.md §17): drives one packet through the
+  /// chain with per-stage steering answered by the AnycastRouters — no
+  /// installed rules and no Global Switchboard involvement.  Chain
+  /// knowledge comes from the starting site's router (learned from
+  /// bus-replicated route announcements); loops are impossible by the
+  /// hop-budget + visited-site annotation; steering routes around site
+  /// partitions and stale table entries by re-asking with the refuted
+  /// site excluded.  Requires `enable_anycast`.
+  WalkResult inject_anycast(ChainId chain, const dataplane::FiveTuple& flow,
+                            dataplane::Direction direction =
+                                dataplane::Direction::kForward,
+                            std::uint16_t size_bytes = 64);
+
  private:
   DeploymentConfig config_;
   model::NetworkModel model_;
@@ -143,6 +174,7 @@ class Deployment {
   std::unique_ptr<control::ControlContext> context_;
   std::unique_ptr<control::GlobalSwitchboard> global_;
   std::vector<std::unique_ptr<control::LocalSwitchboard>> locals_;
+  std::vector<std::unique_ptr<control::AnycastRouter>> anycast_routers_;
   std::vector<std::unique_ptr<control::VnfController>> vnf_controllers_;
   std::vector<std::unique_ptr<control::EdgeController>> edge_controllers_;
   std::unique_ptr<control::FailureDetector> detector_;

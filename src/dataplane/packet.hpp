@@ -86,6 +86,36 @@ struct SteeringAnnotation {
                                    const SteeringAnnotation&) = default;
 };
 
+/// Site count the anycast visited-set bitmap can express (one bit per
+/// site id; deployments beyond this fall back to centralized modes).
+inline constexpr std::uint32_t kMaxAnycastSites = 64;
+
+/// SB-ANYCAST-D loop-prevention shim (DESIGN.md §17), carried in the
+/// packet like the steering annotation's 16-byte shim: the next chain
+/// stage to serve, the remaining wide-area hop budget, and a bitmap of
+/// sites the packet already visited.  A steering decision may never pick
+/// a visited site (staying at the current site is free) and every
+/// wide-area hop burns one unit of budget, so no packet can loop or
+/// wander beyond hop_budget sites even under arbitrarily stale tables.
+struct AnycastAnnotation {
+  std::uint16_t stage{0};          // next VNF stage to serve (1-based)
+  std::uint16_t hop_budget{0};     // remaining wide-area hops
+  std::uint64_t visited_sites{0};  // bitmap over site ids
+
+  [[nodiscard]] constexpr bool visited(std::uint32_t site) const {
+    return site < kMaxAnycastSites &&
+           (visited_sites & (std::uint64_t{1} << site)) != 0;
+  }
+  constexpr void mark_visited(std::uint32_t site) {
+    if (site < kMaxAnycastSites) {
+      visited_sites |= std::uint64_t{1} << site;
+    }
+  }
+
+  friend constexpr bool operator==(const AnycastAnnotation&,
+                                   const AnycastAnnotation&) = default;
+};
+
 struct Packet {
   FiveTuple flow;
   Labels labels;
@@ -96,6 +126,8 @@ struct Packet {
   std::uint32_t arrival_source{0};
   /// Annotation-mode steering shim (ignored by the flow-table modes).
   SteeringAnnotation steering;
+  /// SB-ANYCAST-D loop-prevention shim (ignored by the centralized modes).
+  AnycastAnnotation anycast;
 };
 
 /// 64-bit mix (splitmix64 finalizer) used by all data-plane hash tables.

@@ -37,9 +37,11 @@ void ChaosSchedule::arm() {
                                    static_cast<double>(config_.mean_gap))));
     if (t >= config_.horizon) break;
     Duration outage = rng_.uniform_int(config_.min_outage, config_.max_outage);
-    // Clamp so the heal lands strictly before the horizon: the tail of the
-    // run is always fault-free, which convergence checks rely on.
-    outage = std::min<Duration>(outage, config_.horizon - t - 1);
+    if (config_.clamp_outages) {
+      // Clamp so the heal lands strictly before the horizon: the tail of
+      // the run is always fault-free, which convergence checks rely on.
+      outage = std::min<Duration>(outage, config_.horizon - t - 1);
+    }
     if (outage <= 0) continue;
 
     ChaosEvent event;
@@ -62,6 +64,7 @@ void ChaosSchedule::arm() {
       subject << a << "<->" << b;
       event.subject = subject.str();
       ++partitions_;
+      partition_victims_.emplace_back(a, b);
       const SimTime heal_at = t + outage;
       sim_.schedule_at(t, [this, a, b] { faults_.partition_sites(a, b); });
       sim_.schedule_at(heal_at, [this, a, b] { faults_.heal_sites(a, b); });
@@ -70,10 +73,27 @@ void ChaosSchedule::arm() {
       // crash/restore are idempotent, so overlapping outages of the same
       // target just extend nothing — the earlier restore wins.  That keeps
       // scripting simple and still deterministic.
+      crash_victims_.push_back(event.subject);
       faults_.crash_at(t, event.subject);
       faults_.restore_at(t + event.outage, event.subject);
     }
     plan_.push_back(std::move(event));
+  }
+  if (config_.heal_all_at_horizon) {
+    sim_.schedule_at(config_.horizon, [this] { heal_all(); });
+  }
+}
+
+void ChaosSchedule::heal_all() {
+  // Plan order, and only the schedule's own victims: a crash the *test*
+  // injected deliberately stays crashed.  Restores/heals of already-healed
+  // outages are idempotent no-ops that record nothing, so a fully-clamped
+  // plan's trace is unchanged by the teardown.
+  for (const std::string& target : crash_victims_) {
+    faults_.restore(target);
+  }
+  for (const auto& [a, b] : partition_victims_) {
+    faults_.heal_sites(a, b);
   }
 }
 
@@ -91,8 +111,10 @@ void ChaosSchedule::check_invariants() const {
   for (const ChaosEvent& event : plan_) {
     SWB_CHECK(!event.kind.empty());
     SWB_CHECK_GE(event.at, last) << "chaos plan not time-ordered";
-    SWB_CHECK_LT(event.at + event.outage, config_.horizon)
-        << "chaos outage outlives the horizon";
+    if (config_.clamp_outages) {
+      SWB_CHECK_LT(event.at + event.outage, config_.horizon)
+          << "chaos outage outlives the horizon";
+    }
     last = event.at;
   }
   SWB_CHECK_EQ(crashes_ + partitions_, plan_.size());

@@ -38,6 +38,16 @@ struct ChaosConfig {
   /// may be partitioned pairwise.
   std::vector<std::string> crash_targets;
   std::vector<SiteId> partition_sites;
+  /// Clamp every outage to heal strictly before `horizon` (the classic
+  /// guaranteed fault-free tail).  With clamping off, outages keep their
+  /// drawn duration and may still be active at the horizon — pair with
+  /// heal_all_at_horizon so soaks still end converged.
+  bool clamp_outages{true};
+  /// Schedule a heal_all() teardown at `horizon`: every outage this
+  /// schedule caused and that is still active is healed in one step, so
+  /// soaks can assert post-chaos convergence without hand-listing active
+  /// outages.  A no-op when everything already healed (clamped plans).
+  bool heal_all_at_horizon{true};
 };
 
 /// One pre-drawn outage, for inspection and plan determinism checks.
@@ -64,8 +74,14 @@ class ChaosSchedule {
   [[nodiscard]] std::size_t crashes_planned() const { return crashes_; }
   [[nodiscard]] std::size_t partitions_planned() const { return partitions_; }
 
-  /// Audits the plan: events ordered, inside the window, and every outage
-  /// healed before the horizon.
+  /// End-of-run teardown: restores every target this schedule crashed and
+  /// heals every partition it created, in plan order.  Idempotent (both
+  /// primitives are), touches nothing the schedule did not cause, and is
+  /// scheduled automatically at `horizon` when heal_all_at_horizon is set.
+  void heal_all();
+
+  /// Audits the plan: events ordered, inside the window, and (with
+  /// clamping on) every outage healed before the horizon.
   void check_invariants() const;
 
  private:
@@ -74,6 +90,10 @@ class ChaosSchedule {
   ChaosConfig config_;
   Rng rng_;
   std::vector<ChaosEvent> plan_;
+  /// The schedule's own victims, in plan order — exactly what heal_all()
+  /// may touch.
+  std::vector<std::string> crash_victims_;
+  std::vector<std::pair<SiteId, SiteId>> partition_victims_;
   std::size_t crashes_{0};
   std::size_t partitions_{0};
   bool armed_{false};

@@ -89,6 +89,56 @@ bool FaultInjector::partitioned(SiteId a, SiteId b) const {
   return partitions_.contains(canonical(a, b));
 }
 
+void FaultInjector::set_site_count(std::size_t count) {
+  const swb::MutexLock lock{mutex_};
+  site_count_ = count;
+}
+
+void FaultInjector::isolate_site(SiteId site) {
+  const swb::MutexLock lock{mutex_};
+  SWB_CHECK(site_count_ > 0) << "isolate_site requires set_site_count()";
+  SWB_CHECK_LT(site.value(), site_count_);
+  bool changed = false;
+  for (std::size_t other = 0; other < site_count_; ++other) {
+    const SiteId peer{static_cast<SiteId::underlying_type>(other)};
+    if (peer == site) continue;
+    if (partitions_.insert(canonical(site, peer)).second) {
+      std::ostringstream subject;
+      subject << site << "<->" << peer;
+      record("partition", subject.str());
+      changed = true;
+    }
+  }
+  if (changed) {
+    std::ostringstream subject;
+    subject << "site " << site;
+    record("isolate", subject.str());
+  }
+}
+
+void FaultInjector::heal_site(SiteId site) {
+  const swb::MutexLock lock{mutex_};
+  bool changed = false;
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    if (it->first == site.value() || it->second == site.value()) {
+      std::ostringstream subject;
+      subject << SiteId{static_cast<SiteId::underlying_type>(it->first)}
+              << "<->"
+              << SiteId{static_cast<SiteId::underlying_type>(it->second)};
+      record("heal", subject.str());
+      it = partitions_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) {
+    std::ostringstream subject;
+    subject << "site " << site;
+    record("heal-site", subject.str());
+  }
+}
+
 void FaultInjector::register_target(const std::string& name, StateFn apply) {
   SWB_CHECK(apply != nullptr);
   StateFn reapply;

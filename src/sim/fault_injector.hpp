@@ -108,6 +108,25 @@ class FaultInjector {
   void partition_sites_for(SiteId a, SiteId b, Duration duration);
   [[nodiscard]] bool partitioned(SiteId a, SiteId b) const;
 
+  /// Declares how many sites exist (site ids 0..count-1); required by
+  /// isolate_site/heal_site.  Deployment wires this automatically.
+  void set_site_count(std::size_t count);
+  [[nodiscard]] std::size_t site_count() const {
+    const swb::MutexLock lock{mutex_};
+    return site_count_;
+  }
+
+  /// Partitions `site` from every other site in one call (amputation —
+  /// e.g. cutting the controller site away from the whole data plane).
+  /// Idempotent: already-cut pairs add nothing; each newly-cut pair is
+  /// trace-recorded as a "partition", plus one "isolate" marker when any
+  /// pair actually changed.  Requires set_site_count().
+  void isolate_site(SiteId site);
+  /// Heals every partition involving `site` (whether created by
+  /// isolate_site or pairwise).  Idempotent; newly-healed pairs record
+  /// "heal" plus one "heal-site" marker when any pair changed.
+  void heal_site(SiteId site);
+
   // --- crash/restore targets ---------------------------------------------
   /// Registers (or re-registers) a crashable target.  Re-registering an
   /// existing name keeps its current up/down state and re-applies it
@@ -174,6 +193,7 @@ class FaultInjector {
   mutable swb::Mutex mutex_;
   Rng rng_ SWB_GUARDED_BY(mutex_);
   MessageFaultConfig message_faults_ SWB_GUARDED_BY(mutex_);
+  std::size_t site_count_ SWB_GUARDED_BY(mutex_){0};
   std::set<SitePair> partitions_ SWB_GUARDED_BY(mutex_);
   std::map<std::string, Target> targets_ SWB_GUARDED_BY(mutex_);
   std::vector<FaultEvent> trace_ SWB_GUARDED_BY(mutex_);

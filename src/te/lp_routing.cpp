@@ -285,4 +285,34 @@ LpRoutingResult solve_lp_routing(const model::NetworkModel& model,
   return result;
 }
 
+std::optional<std::vector<SiteId>> primary_route_sites(
+    const model::NetworkModel& model, const ChainRouting& routing,
+    ChainId chain) {
+  if (!routing.has_chain(chain)) return std::nullopt;
+  const model::Chain& spec = model.chain(chain);
+  const std::size_t stages = spec.vnfs.size();
+  if (routing.stage_count(chain) < stages) return std::nullopt;
+
+  std::vector<SiteId> sites;
+  sites.reserve(stages);
+  NodeId current = spec.ingress;
+  for (std::size_t z = 1; z <= stages; ++z) {
+    const StageFlow* best = nullptr;
+    for (const StageFlow& flow : routing.flows(chain, z)) {
+      if (flow.src != current || flow.fraction <= 0.0) continue;
+      if (best == nullptr || flow.fraction > best->fraction ||
+          (flow.fraction == best->fraction &&
+           flow.dst.value() < best->dst.value())) {
+        best = &flow;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    const std::optional<SiteId> site = model.site_at(best->dst);
+    if (!site.has_value()) return std::nullopt;   // not a deployment site
+    sites.push_back(*site);
+    current = best->dst;
+  }
+  return sites;
+}
+
 }  // namespace switchboard::te

@@ -11,6 +11,9 @@
 // site compute capacity (Eq. 4), and the MLU bound on every link (Eq. 6-7).
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "lp/simplex.hpp"
 #include "model/network_model.hpp"
 #include "te/routing_solution.hpp"
@@ -63,5 +66,16 @@ struct LpRoutingResult {
 
 [[nodiscard]] LpRoutingResult solve_lp_routing(
     const model::NetworkModel& model, const LpRoutingOptions& options = {});
+
+/// Flow decomposition for a live SB-LP controller (DESIGN.md §17): the
+/// chain's primary per-stage site sequence — starting at the chain's
+/// ingress, each VNF stage follows the max-fraction outgoing flow of the
+/// LP routing (ties broken by lower destination node id, so the result is
+/// deterministic).  Returns one site per VNF stage, or nullopt when the
+/// routing carries none of the chain's traffic along a connected path
+/// (the caller should fall back to SB-DP).
+[[nodiscard]] std::optional<std::vector<SiteId>> primary_route_sites(
+    const model::NetworkModel& model, const ChainRouting& routing,
+    ChainId chain);
 
 }  // namespace switchboard::te

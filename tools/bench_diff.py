@@ -77,6 +77,19 @@ GATED = {
         "replay_ms": "down",
         "recovery_ms": "down",
     },
+    # Decentralization chaos window (DESIGN.md §17): everything here is
+    # simulated-time deterministic for the fixed fault seed.  Packet
+    # counts and the anycast steering-trace digest are bit-deterministic
+    # (gated exact); availability must never drop (the controller-dead
+    # survival claim IS this metric); re-convergence and announcement
+    # overhead must not grow.
+    ("bench_fig14_decentralization", "decentralization"): {
+        "packets_forwarded": "exact",
+        "availability": "up",
+        "reconverge_ms": "down",
+        "announce_messages": "down",
+        "trace_digest": "exact",
+    },
     # Flow-scale sweep (DESIGN.md §15): packet counts and the pinning
     # digest are bit-deterministic across modes AND thread counts, so any
     # drift is a correctness bug, not noise.  ns_per_pkt / mpps_per_core
