@@ -150,11 +150,20 @@ void MessageBus::reliable_attempt(
 }
 
 void MessageBus::abandon_retransmits_to(SiteId site) {
+  abandon_retransmits_to(site, "");
+}
+
+void MessageBus::abandon_retransmits_to(SiteId site,
+                                        const std::string& topic_prefix) {
   std::uint64_t abandoned = 0;
   {
     const swb::MutexLock lock{reliable_mutex_};
     for (const std::shared_ptr<ReliableMessage>& message : reliable_) {
       if (message->done || message->to != site) continue;
+      if (!topic_prefix.empty() &&
+          !message->topic_path.starts_with(topic_prefix)) {
+        continue;
+      }
       message->done = true;
       ++abandoned;
       // Cancel the retry timer instead of letting it fire as a no-op: a

@@ -150,6 +150,15 @@ class MessageBus {
   /// when the partition heals.
   void abandon_retransmits_to(SiteId site);
 
+  /// Prefix-scoped variant for crashed *controller* targets: writes off
+  /// only the pending reliable copies toward `site` whose topic path
+  /// starts with `topic_prefix` (e.g. the replication stream toward a
+  /// dead controller replica).  The rest of the site's traffic — routes,
+  /// instance announcements — keeps its retry budget, because the site
+  /// itself is still alive.  An empty prefix matches everything
+  /// (equivalent to the single-argument overload).
+  void abandon_retransmits_to(SiteId site, const std::string& topic_prefix);
+
   /// Reliable copies still awaiting an ack, a retry verdict, or reaping
   /// (tests: bounds retransmit-state growth).
   [[nodiscard]] std::size_t reliable_in_flight() const;

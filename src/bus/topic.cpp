@@ -39,4 +39,24 @@ Topic anycast_topic(SiteId from, SiteId to) {
                from};
 }
 
+Topic replication_stream_topic(std::uint32_t from_replica,
+                               std::uint32_t to_replica,
+                               SiteId publisher_site) {
+  return Topic{"/ctl/repl/" + std::to_string(from_replica) + "_" +
+                   std::to_string(to_replica),
+               publisher_site};
+}
+
+Topic replication_ack_topic(std::uint32_t from_replica,
+                            std::uint32_t to_replica, SiteId publisher_site) {
+  return Topic{"/ctl/repl/ack/" + std::to_string(from_replica) + "_" +
+                   std::to_string(to_replica),
+               publisher_site};
+}
+
+Topic replica_health_topic(std::uint32_t replica, SiteId publisher_site) {
+  return Topic{"/health/ctl/replica_" + std::to_string(replica),
+               publisher_site};
+}
+
 }  // namespace switchboard::bus

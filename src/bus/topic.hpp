@@ -57,4 +57,25 @@ struct Topic {
 /// the bus.
 [[nodiscard]] Topic anycast_topic(SiteId from, SiteId to);
 
+/// "/ctl/repl/<from>_<to>" — the directed journal-replication stream from
+/// controller replica `from` to replica `to` (DESIGN.md §18).  NOT under
+/// "/health/": replication frames are control state, so they ride the
+/// reliable bus (acked, retransmitted) and survive transient loss.
+/// `publisher_site` is the site hosting replica `from`.
+[[nodiscard]] Topic replication_stream_topic(std::uint32_t from_replica,
+                                             std::uint32_t to_replica,
+                                             SiteId publisher_site);
+
+/// "/ctl/repl/ack/<from>_<to>" — cumulative durable-apply acknowledgements
+/// from replica `from` back to replica `to` (the quorum barrier's input).
+[[nodiscard]] Topic replication_ack_topic(std::uint32_t from_replica,
+                                          std::uint32_t to_replica,
+                                          SiteId publisher_site);
+
+/// "/health/ctl/replica_<r>" — liveness heartbeats of controller replica
+/// `r`, watched by every peer replica's failure detector.  Transient like
+/// site heartbeats: never retained, never retransmitted.
+[[nodiscard]] Topic replica_health_topic(std::uint32_t replica,
+                                         SiteId publisher_site);
+
 }  // namespace switchboard::bus

@@ -32,21 +32,26 @@ void FailureDetector::set_element_down_callback(ElementCallback callback) {
 }
 
 void FailureDetector::watch_site(SiteId site) {
+  watch_heartbeats(site, bus::health_topic(site));
+}
+
+void FailureDetector::watch_heartbeats(SiteId key, const bus::Topic& topic) {
   {
     const swb::MutexLock lock{mutex_};
-    if (sites_.count(site.value()) != 0) return;
+    if (sites_.count(key.value()) != 0) return;
     SiteState state;
     state.last_beat = context_.sim.now();
-    sites_[site.value()] = state;
+    sites_[key.value()] = state;
   }
   // Subscribe outside the lock: health topics are transient (never
   // retained) so no replay fires here, but the bus takes its own locks.
-  context_.bus.subscribe(
-      home_site_, bus::health_topic(site), [this](const bus::Message& message) {
-        if (const auto beat = parse_heartbeat(message.payload)) {
-          on_heartbeat(*beat);
-        }
-      });
+  context_.bus.subscribe(home_site_, topic,
+                         [this](const bus::Message& message) {
+                           if (const auto beat =
+                                   parse_heartbeat(message.payload)) {
+                             on_heartbeat(*beat);
+                           }
+                         });
 }
 
 void FailureDetector::start() {

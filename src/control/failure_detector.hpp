@@ -56,6 +56,14 @@ class FailureDetector {
   /// Idempotent.  The silence clock starts now (grace for slow starters).
   void watch_site(SiteId site);
 
+  /// General form: watches heartbeats on an arbitrary transient topic,
+  /// keyed by `key` (the Heartbeat's `site` field must carry the same
+  /// key).  This is how controller-replica liveness rides the same sweep
+  /// as site liveness (DESIGN.md §18): replicas beat on
+  /// /health/ctl/replica_<r> under a synthetic SiteId key that cannot
+  /// collide with real sites.  Idempotent per key.
+  void watch_heartbeats(SiteId key, const bus::Topic& topic);
+
   /// Starts the periodic sweep.  Self-rescheduling: call stop() before
   /// draining the simulator to completion.  Idempotent.
   void start();

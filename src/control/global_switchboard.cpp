@@ -517,16 +517,24 @@ void GlobalSwitchboard::start_prepare_round(
   journal_append(pair_record("prep", chain_id, route.id));
   inflight_[{chain_id.value(), route.id.value()}].prepared = true;
 
-  // Commit round.
+  // Commit round — behind the quorum barrier: with replication on, the
+  // prep record must be durable on a quorum before any participant hears
+  // commit, or a failed-over leader could abort a round whose
+  // participants already committed.
   const std::uint64_t commit_ep = epoch_;
-  context_.sim.schedule(
-      context_.timings.controller_rpc + context_.timings.controller_processing,
-      [this, commit_ep, chain_id, route, report,
-       done = std::move(done)]() mutable {
-        if (!up_ || commit_ep != epoch_) return;
-        start_commit_round(chain_id, std::move(route), std::move(report),
-                           std::move(done), /*rpc_retry=*/0);
-      });
+  after_quorum([this, commit_ep, chain_id, route = std::move(route),
+                report = std::move(report), done = std::move(done)]() mutable {
+    if (!up_ || commit_ep != epoch_) return;
+    context_.sim.schedule(
+        context_.timings.controller_rpc +
+            context_.timings.controller_processing,
+        [this, commit_ep, chain_id, route = std::move(route),
+         report = std::move(report), done = std::move(done)]() mutable {
+          if (!up_ || commit_ep != epoch_) return;
+          start_commit_round(chain_id, std::move(route), std::move(report),
+                             std::move(done), /*rpc_retry=*/0);
+        });
+  });
 }
 
 void GlobalSwitchboard::start_commit_round(ChainId chain_id, RouteRecord route,
@@ -561,18 +569,29 @@ void GlobalSwitchboard::start_commit_round(ChainId chain_id, RouteRecord route,
       SB_LOG(kWarn) << "2pc: commit for chain " << chain_id << " route "
                     << route.id << " gave up after " << rpc_retry
                     << " retries";
-      for (std::size_t z = 1; z <= rec2->spec.vnfs.size(); ++z) {
-        VnfController* controller =
-            vnf_controllers_[rec2->spec.vnfs[z - 1].value()];
-        if (!controller->up()) continue;
-        controller->abort(chain_id, route.id, epoch_);
-        controller->release(chain_id, route.id, epoch_);
-      }
+      // Journal the abort and make it quorum-durable BEFORE releasing the
+      // participants: an abort the standbys never saw would make a
+      // failed-over leader re-drive this prepared round against
+      // participants that already rolled back.
       journal_append(pair_record("abort", chain_id, route.id));
       inflight_.erase({chain_id.value(), route.id.value()});
-      done(Result<CreationReport>{
-          ErrorCode::kUnavailable,
-          "2PC commit: participant unreachable after retries"});
+      const std::uint64_t abort_ep = epoch_;
+      after_quorum([this, abort_ep, chain_id, route_id = route.id,
+                    done = std::move(done)]() mutable {
+        if (!up_ || abort_ep != epoch_) return;
+        const ChainRecord* rec3 = find_record(chain_id);
+        SWB_CHECK(rec3 != nullptr);
+        for (std::size_t z = 1; z <= rec3->spec.vnfs.size(); ++z) {
+          VnfController* controller =
+              vnf_controllers_[rec3->spec.vnfs[z - 1].value()];
+          if (!controller->up()) continue;
+          controller->abort(chain_id, route_id, epoch_);
+          controller->release(chain_id, route_id, epoch_);
+        }
+        done(Result<CreationReport>{
+            ErrorCode::kUnavailable,
+            "2PC commit: participant unreachable after retries"});
+      });
       return;
     }
     const std::uint64_t ep = epoch_;
@@ -594,6 +613,9 @@ void GlobalSwitchboard::start_commit_round(ChainId chain_id, RouteRecord route,
   journal_append(pair_record("commit", chain_id, route.id));
   inflight_.erase({chain_id.value(), route.id.value()});
 
+  // Apply to memory synchronously with the append — a snapshot cut while
+  // the quorum barrier below is pending must already reflect this commit,
+  // or its log truncation would lose the route.
   ensure_loads_current();
   rec2->routes.push_back(route);
   // Route weights rebalance equally (Fig. 10: the new route takes
@@ -611,28 +633,44 @@ void GlobalSwitchboard::start_commit_round(ChainId chain_id, RouteRecord route,
     r.weight = weight;
   }
 
-  publish_routes(*rec2);
-  report.events.push_back({"routes_published", context_.sim.now()});
+  // Acknowledgment — behind the quorum barrier: routes are published,
+  // edge instances announced, readiness tracked, and `done` armed only
+  // once a quorum of replicas has the commit record durable.  rec2 is
+  // re-found inside the resume: chains_ may reallocate while the barrier
+  // is pending.
+  const std::uint64_t activate_ep = epoch_;
+  after_quorum([this, activate_ep, chain_id, route = std::move(route),
+                report = std::move(report), done = std::move(done)]() mutable {
+    if (!up_ || activate_ep != epoch_) return;
+    ChainRecord* rec2 = nullptr;
+    for (ChainRecord& r : chains_) {
+      if (r.id == chain_id) rec2 = &r;
+    }
+    SWB_CHECK(rec2 != nullptr);
 
-  // Edge controllers allocate + announce instances (Fig. 4 step 4).
-  edge_controllers_[rec2->spec.ingress_service.value()]
-      ->announce_edge_instance(chain_id, rec2->labels.egress_site,
-                               rec2->ingress_site);
-  edge_controllers_[rec2->spec.egress_service.value()]
-      ->announce_edge_instance(chain_id, rec2->labels.egress_site,
-                               rec2->egress_site);
+    publish_routes(*rec2);
+    report.events.push_back({"routes_published", context_.sim.now()});
 
-  // Track readiness of every involved site.
-  PendingActivation pending;
-  pending.chain = chain_id;
-  pending.route = route.id;
-  pending.waiting_sites = involved_sites(*rec2, route);
-  pending.report = std::move(report);
-  pending.done = std::move(done);
-  pending_.push_back(std::move(pending));
+    // Edge controllers allocate + announce instances (Fig. 4 step 4).
+    edge_controllers_[rec2->spec.ingress_service.value()]
+        ->announce_edge_instance(chain_id, rec2->labels.egress_site,
+                                 rec2->ingress_site);
+    edge_controllers_[rec2->spec.egress_service.value()]
+        ->announce_edge_instance(chain_id, rec2->labels.egress_site,
+                                 rec2->egress_site);
+
+    // Track readiness of every involved site.
+    PendingActivation pending;
+    pending.chain = chain_id;
+    pending.route = route.id;
+    pending.waiting_sites = involved_sites(*rec2, route);
+    pending.report = std::move(report);
+    pending.done = std::move(done);
+    pending_.push_back(std::move(pending));
 #ifndef NDEBUG
-  check_invariants();
+    check_invariants();
 #endif
+  });
 }
 
 void GlobalSwitchboard::add_route(ChainId chain,
@@ -820,23 +858,37 @@ RecoveryReport GlobalSwitchboard::on_instance_down(VnfId vnf, SiteId site) {
   // computation (replacements and future chains) avoids the site, and a
   // participant prepare there votes abort.
   context_.model.set_vnf_site_capacity(vnf, site, 0.0);
-  // Drain trigger: weight-0 instance re-announcements make the fronting
-  // forwarder's Local Switchboard invalidate pinned flows and make
-  // upstream sites drop the forwarder from their next-hop choices.
-  if (vnf.value() < vnf_controllers_.size() &&
-      vnf_controllers_[vnf.value()] != nullptr &&
-      vnf_controllers_[vnf.value()]->up()) {
-    vnf_controllers_[vnf.value()]->reannounce_instances(site);
-  }
-  return retire_routes(
-      [vnf, site](const ChainRecord& record, const RouteRecord& route) {
-        for (std::size_t z = 0; z < route.vnf_sites.size(); ++z) {
-          if (record.spec.vnfs[z] == vnf && route.vnf_sites[z] == site) {
-            return true;
+  // The recovery actions — the drain trigger (weight-0 instance
+  // re-announcements that invalidate pinned flows) and the route
+  // retirements — wait on the quorum barrier: a failed-over leader must
+  // know the pool transition it is retiring routes for.  Without a gate
+  // this runs synchronously and the report is returned to the caller;
+  // behind a gate the report is empty (the actions settle later — the
+  // detector's post-failover resync re-reports still-down pools, so a
+  // dropped barrier self-heals).
+  auto actions = [this, vnf, site]() -> RecoveryReport {
+    if (vnf.value() < vnf_controllers_.size() &&
+        vnf_controllers_[vnf.value()] != nullptr &&
+        vnf_controllers_[vnf.value()]->up()) {
+      vnf_controllers_[vnf.value()]->reannounce_instances(site);
+    }
+    return retire_routes(
+        [vnf, site](const ChainRecord& record, const RouteRecord& route) {
+          for (std::size_t z = 0; z < route.vnf_sites.size(); ++z) {
+            if (record.spec.vnfs[z] == vnf && route.vnf_sites[z] == site) {
+              return true;
+            }
           }
-        }
-        return false;
-      });
+          return false;
+        });
+  };
+  if (quorum_gate_ == nullptr) return actions();
+  const std::uint64_t ep = epoch_;
+  quorum_gate_([this, ep, actions] {
+    if (!up_ || ep != epoch_) return;
+    actions();
+  });
+  return RecoveryReport{};
 }
 
 RecoveryReport GlobalSwitchboard::on_link_down(LinkId link) {
@@ -1064,9 +1116,47 @@ void GlobalSwitchboard::enable_durability(StateJournal* journal) {
 void GlobalSwitchboard::journal_append(const std::string& record) {
   if (journal_ == nullptr) return;
   journal_->append(record);
+  // The replication stream taps every append, in order, right here.
+  if (journal_observer_) journal_observer_(record);
   if (journal_->wants_snapshot()) {
-    journal_->write_snapshot(encode_snapshot());
+    if (compaction_gate_) {
+      // Replicated mode: the snapshot is first installed on a quorum of
+      // followers; the gate calls compact_journal_now() on their ack.
+      compaction_gate_();
+    } else {
+      journal_->write_snapshot(encode_snapshot());
+    }
   }
+}
+
+void GlobalSwitchboard::set_journal_observer(
+    std::function<void(const std::string&)> observer) {
+  journal_observer_ = std::move(observer);
+}
+
+void GlobalSwitchboard::set_quorum_gate(
+    std::function<void(std::function<void()>)> gate) {
+  quorum_gate_ = std::move(gate);
+}
+
+void GlobalSwitchboard::set_compaction_gate(std::function<void()> gate) {
+  compaction_gate_ = std::move(gate);
+}
+
+void GlobalSwitchboard::after_quorum(std::function<void()> resume) {
+  if (quorum_gate_ == nullptr) {
+    resume();   // single-controller mode: no barrier, identical timing
+    return;
+  }
+  quorum_gate_(std::move(resume));
+}
+
+void GlobalSwitchboard::compact_journal_now() {
+  if (journal_ == nullptr) return;
+  // Re-encode at call time: records appended while the replicated install
+  // was in flight are part of the state by now, so truncation loses
+  // nothing.
+  journal_->write_snapshot(encode_snapshot());
 }
 
 std::vector<std::string> GlobalSwitchboard::encode_snapshot() const {
@@ -1203,7 +1293,22 @@ ColdStartReport GlobalSwitchboard::cold_start() {
   SWB_CHECK(journal_ != nullptr) << "cold_start requires enable_durability";
   SB_LOG(kInfo) << "durability: cold start from journal '"
                 << journal_->config().name << "'";
+  return restart_from_journal(journal_->replay_cost());
+}
 
+ColdStartReport GlobalSwitchboard::warm_failover(StateJournal* journal) {
+  SWB_CHECK(journal != nullptr);
+  journal_ = journal;
+  SB_LOG(kInfo) << "replication: warm failover onto journal '"
+                << journal_->config().name << "'";
+  // The promoted standby applied every record as it arrived: the rebuild
+  // below is bookkeeping, not recovery — no replay cost is charged, the
+  // resolution sweep runs one tick out.
+  return restart_from_journal(sim::Duration{0});
+}
+
+ColdStartReport GlobalSwitchboard::restart_from_journal(
+    sim::Duration charged_replay_cost) {
   // Amnesia: every volatile structure is forgotten, including the epoch —
   // it is recovered from the journal below.
   chains_.clear();
@@ -1237,7 +1342,7 @@ ColdStartReport GlobalSwitchboard::cold_start() {
 
   // The new incarnation outranks everything the journal has seen; persist
   // the bump so a second crash recovers a still-higher epoch.
-  report.replay_cost = journal_->replay_cost();
+  report.replay_cost = charged_replay_cost;
   epoch_ = max_epoch + 1;
   up_ = true;
   report.epoch = epoch_;
@@ -1362,12 +1467,17 @@ void GlobalSwitchboard::on_instance_up(VnfId vnf, SiteId site) {
   record << "t=poolup;vnf=" << vnf.value() << ";site=" << site.value();
   journal_append(record.str());
   dead_pools_.erase(it);
-  // Re-announce the pool so Local Switchboards rebalance onto it.
-  if (vnf.value() < vnf_controllers_.size() &&
-      vnf_controllers_[vnf.value()] != nullptr &&
-      vnf_controllers_[vnf.value()]->up()) {
-    vnf_controllers_[vnf.value()]->reannounce_instances(site);
-  }
+  // Re-announce the pool so Local Switchboards rebalance onto it — behind
+  // the quorum barrier, like the pool-down drain.
+  const std::uint64_t ep = epoch_;
+  after_quorum([this, ep, vnf, site] {
+    if (!up_ || ep != epoch_) return;
+    if (vnf.value() < vnf_controllers_.size() &&
+        vnf_controllers_[vnf.value()] != nullptr &&
+        vnf_controllers_[vnf.value()]->up()) {
+      vnf_controllers_[vnf.value()]->reannounce_instances(site);
+    }
+  });
 }
 
 }  // namespace switchboard::control

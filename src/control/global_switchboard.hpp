@@ -194,6 +194,46 @@ class GlobalSwitchboard {
     return last_cold_start_;
   }
 
+  /// --- replication hooks (DESIGN.md §18; driven by a ReplicaGroup) -------
+  /// Observer of every journaled record, invoked right after the local
+  /// append — the leader-side tap the replication stream rides on.
+  void set_journal_observer(std::function<void(const std::string&)> observer);
+
+  /// Quorum barrier: when set, the coordinator acknowledges a journaled
+  /// state change (prep -> commit round, commit -> activation, pool
+  /// transitions) only after the gate releases the given resume closure —
+  /// the ReplicaGroup releases it once a quorum of replicas durably
+  /// appended the record.  Resumes are epoch-guarded: a gate released
+  /// after a failover no-ops.
+  void set_quorum_gate(
+      std::function<void(std::function<void()>)> gate);
+
+  /// Compaction gate: when set, the journal's wants_snapshot() trigger is
+  /// handed to the gate instead of compacting inline — the ReplicaGroup
+  /// replicates the snapshot to followers first and calls
+  /// compact_journal_now() once a quorum installed it (log truncation
+  /// fenced on follower ack).
+  void set_compaction_gate(std::function<void()> gate);
+
+  /// Re-encodes the current state and compacts the journal immediately
+  /// (re-encoding at call time, so records appended while a replicated
+  /// snapshot install was in flight are never lost to truncation).
+  void compact_journal_now();
+
+  /// Full state in journal-record grammar — what a snapshot install
+  /// streams to followers.
+  [[nodiscard]] std::vector<std::string> snapshot_state() const {
+    return encode_snapshot();
+  }
+
+  /// Leader failover onto a hot standby: re-points the coordinator at the
+  /// promoted replica's journal and rebuilds from it like cold_start(),
+  /// but charges NO replay cost — the standby applied every record as it
+  /// arrived, so promotion is an epoch bump plus the §13 resolution
+  /// sweep (re-drive prepared 2PC, abort unprepared, reconcile,
+  /// re-publish), scheduled one tick out.
+  ColdStartReport warm_failover(StateJournal* journal);
+
   /// A previously-failed VNF pool at `site` is back: restores the
   /// capacity zeroed by on_instance_down and re-announces the pool so
   /// Local Switchboards rebalance onto it.
@@ -316,8 +356,18 @@ class GlobalSwitchboard {
       const ChainRecord& record, const RouteRecord& route) const;
 
   // --- durability internals ----------------------------------------------
-  /// Appends one record; compacts into a snapshot when the journal asks.
+  /// Appends one record; notifies the journal observer; compacts into a
+  /// snapshot when the journal asks (or defers to the compaction gate).
   void journal_append(const std::string& record);
+  /// Runs `resume` behind the quorum gate when one is set, synchronously
+  /// otherwise (single-controller mode keeps its exact pre-replication
+  /// timing).  Callers epoch-guard inside `resume`.
+  void after_quorum(std::function<void()> resume);
+  /// Shared body of cold_start() and warm_failover(): rebuild from
+  /// journal_, bump the epoch, schedule the resolution sweep after
+  /// `settle_delay` (replay cost for cold starts, one tick for warm
+  /// promotions).
+  ColdStartReport restart_from_journal(sim::Duration charged_replay_cost);
   /// Full state in journal-record grammar (replayable via replay_record).
   [[nodiscard]] std::vector<std::string> encode_snapshot() const;
   void replay_record(const std::string& record, std::uint64_t& max_epoch);
@@ -345,6 +395,10 @@ class GlobalSwitchboard {
   std::uint32_t next_route_id_{0};
 
   StateJournal* journal_{nullptr};
+  /// Replication hooks (unset in single-controller mode; see DESIGN.md §18).
+  std::function<void(const std::string&)> journal_observer_;
+  std::function<void(std::function<void()>)> quorum_gate_;
+  std::function<void()> compaction_gate_;
   bool up_{true};
   /// Incarnation epoch, starting at 1 and bumped by every cold start.
   /// Carried on every route announcement and participant RPC.

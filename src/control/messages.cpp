@@ -231,4 +231,44 @@ std::optional<AnycastAnnouncement> parse_anycast(const std::string& payload) {
   return m;
 }
 
+std::string serialize(const ReplicationFrame& m) {
+  std::ostringstream out;
+  out << "type=repl;k=" << static_cast<unsigned>(m.kind)
+      << ";from=" << m.from << ";ep=" << m.epoch << ";seq=" << m.seq
+      << ";dg=" << m.digest << ";body=";
+  for (std::size_t i = 0; i < m.records.size(); ++i) {
+    if (i > 0) out << '\n';
+    out << m.records[i];
+  }
+  return out.str();
+}
+
+std::optional<ReplicationFrame> parse_replication(const std::string& payload) {
+  // The body carries raw journal records, which embed ';' and '=' freely —
+  // it is always the LAST field, split off verbatim before the k=v parse.
+  const std::string marker = ";body=";
+  const auto body_at = payload.find(marker);
+  if (body_at == std::string::npos) return std::nullopt;
+  const auto fields = parse_fields(payload.substr(0, body_at));
+  std::uint64_t kind = 0;
+  std::uint64_t from = 0;
+  ReplicationFrame m;
+  if (!get_u64(fields, "k", kind) || !get_u64(fields, "from", from) ||
+      !get_u64(fields, "ep", m.epoch) || !get_u64(fields, "seq", m.seq) ||
+      !get_u64(fields, "dg", m.digest) ||
+      kind > static_cast<std::uint64_t>(ReplicationKind::kSnapshotAck)) {
+    return std::nullopt;
+  }
+  m.kind = static_cast<ReplicationKind>(kind);
+  m.from = static_cast<std::uint32_t>(from);
+  const std::string body = payload.substr(body_at + marker.size());
+  std::istringstream body_in{body};
+  std::string record;
+  while (std::getline(body_in, record)) {
+    if (record.empty()) return std::nullopt;
+    m.records.push_back(record);
+  }
+  return m;
+}
+
 }  // namespace switchboard::control

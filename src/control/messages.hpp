@@ -107,4 +107,36 @@ struct AnycastAnnouncement {
 [[nodiscard]] std::optional<AnycastAnnouncement> parse_anycast(
     const std::string& payload);
 
+/// Journal-replication frames on the /ctl/repl/ topics (DESIGN.md §18).
+enum class ReplicationKind : std::uint8_t {
+  kRecord = 0,           // leader -> follower: one journal record
+  kSnapshotInstall = 1,  // leader -> follower: full snapshot, resets state
+  kAck = 2,              // follower -> leader: cumulative durable seq
+  kSnapshotAck = 3,      // follower -> leader: snapshot install durable
+};
+
+struct ReplicationFrame {
+  ReplicationKind kind{ReplicationKind::kRecord};
+  /// Sender replica id.
+  std::uint32_t from{0};
+  /// Leader epoch the frame belongs to; receivers fence older epochs.
+  std::uint64_t epoch{0};
+  /// kRecord: position of this record in the leader's stream (1-based).
+  /// kAck: highest contiguously applied-and-durable seq at the follower.
+  /// kSnapshotInstall / kSnapshotAck: the install's id (stream seq at the
+  /// moment the snapshot was cut; applies reset the follower to it).
+  std::uint64_t seq{0};
+  /// FNV-1a applied-record digest — the sender's for acks (divergence
+  /// check), the leader's post-install digest for snapshot installs.
+  std::uint64_t digest{0};
+  /// Journal records: exactly one for kRecord, the full snapshot for
+  /// kSnapshotInstall, empty for acks.  Serialized as the LAST field
+  /// ('\n'-joined): records embed ';' and '=' freely but never '\n'.
+  std::vector<std::string> records;
+};
+
+[[nodiscard]] std::string serialize(const ReplicationFrame& m);
+[[nodiscard]] std::optional<ReplicationFrame> parse_replication(
+    const std::string& payload);
+
 }  // namespace switchboard::control

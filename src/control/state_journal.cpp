@@ -18,6 +18,22 @@ void StateJournal::append(const std::string& record) {
   // Lock across store write + counter bump so a record is committed and
   // counted atomically (journal mutex_ -> store mutex_, see header).
   const swb::MutexLock lock{mutex_};
+  if (!sealed_) {
+    // A crash mid-append can leave the blob ending in an unterminated
+    // record; appending onto it would fuse two records into one corrupt
+    // line.  Truncate the torn tail permanently before the first write —
+    // it was never durably committed, so dropping it is the only safe
+    // interpretation.
+    sealed_ = true;
+    const std::string bytes = store_.read(log_blob());
+    if (!bytes.empty() && bytes.back() != '\n') {
+      const std::size_t last = bytes.rfind('\n');
+      store_.write(log_blob(), last == std::string::npos
+                                   ? std::string{}
+                                   : bytes.substr(0, last + 1));
+      ++torn_records_dropped_;
+    }
+  }
   store_.append(log_blob(), record + "\n");
   ++appends_;
   ++appends_since_snapshot_;
@@ -38,6 +54,7 @@ void StateJournal::write_snapshot(const std::vector<std::string>& records) {
     bytes += '\n';
   }
   const swb::MutexLock lock{mutex_};
+  sealed_ = true;   // the log is truncated below; no torn tail survives
   records_compacted_ += appends_since_snapshot_;
   store_.write(snap_blob(), bytes);
   store_.write(log_blob(), "");
@@ -45,12 +62,21 @@ void StateJournal::write_snapshot(const std::vector<std::string>& records) {
   ++snapshots_taken_;
 }
 
-std::vector<std::string> StateJournal::split_lines(const std::string& bytes) {
+std::vector<std::string> StateJournal::split_lines(
+    const std::string& bytes) const {
   std::vector<std::string> lines;
   std::size_t begin = 0;
   while (begin < bytes.size()) {
     const std::size_t end = bytes.find('\n', begin);
-    SWB_CHECK(end != std::string::npos) << "unterminated journal record";
+    if (end == std::string::npos) {
+      // A crash mid-append leaves a torn trailing record: the final line
+      // never got its terminator.  Everything before it was committed
+      // whole, so replay proceeds on those; the torn tail is shed and
+      // counted rather than failing the entire recovery.
+      const swb::MutexLock lock{mutex_};
+      ++torn_records_dropped_;
+      break;
+    }
     lines.push_back(bytes.substr(begin, end - begin));
     begin = end + 1;
   }

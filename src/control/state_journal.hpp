@@ -39,7 +39,10 @@ class StateJournal {
  public:
   StateJournal(sim::DurableStore& store, JournalConfig config = {});
 
-  /// Appends one record (no embedded newlines) to the log.
+  /// Appends one record (no embedded newlines) to the log.  The first
+  /// append after construction seals any torn trailing record left by a
+  /// crash mid-append — truncating it rather than letting the new record
+  /// concatenate onto the unterminated tail into one corrupt line.
   void append(const std::string& record);
 
   /// Replaces the snapshot with `records` and truncates the log.  Called
@@ -73,17 +76,27 @@ class StateJournal {
     const swb::MutexLock lock{mutex_};
     return records_compacted_;
   }
+  /// Torn trailing records (a final line with no terminator — the blob
+  /// tail of a crash mid-append) dropped during replay instead of
+  /// failing the whole recovery.
+  [[nodiscard]] std::uint64_t torn_records_dropped() const {
+    const swb::MutexLock lock{mutex_};
+    return torn_records_dropped_;
+  }
   [[nodiscard]] const JournalConfig& config() const { return config_; }
-
-  /// Audits persisted framing: no empty records, every line terminated.
-  void check_invariants() const;
-
- private:
+  /// Blob names inside the durable store — for tests and tools that
+  /// inspect or corrupt the persisted bytes directly.
   [[nodiscard]] std::string log_blob() const { return config_.name + ".log"; }
   [[nodiscard]] std::string snap_blob() const {
     return config_.name + ".snap";
   }
-  static std::vector<std::string> split_lines(const std::string& bytes);
+
+  /// Audits persisted framing: no empty records among the replayable
+  /// (terminated) lines; a torn trailing record is tolerated and counted.
+  void check_invariants() const;
+
+ private:
+  std::vector<std::string> split_lines(const std::string& bytes) const;
 
   sim::DurableStore& store_;
   JournalConfig config_;
@@ -96,6 +109,11 @@ class StateJournal {
   std::uint64_t appends_since_snapshot_ SWB_GUARDED_BY(mutex_){0};
   std::uint64_t snapshots_taken_ SWB_GUARDED_BY(mutex_){0};
   std::uint64_t records_compacted_ SWB_GUARDED_BY(mutex_){0};
+  /// mutable: bumped from the const replay readers when they shed a torn
+  /// trailing record.
+  mutable std::uint64_t torn_records_dropped_ SWB_GUARDED_BY(mutex_){0};
+  /// First append already checked the blob for a torn tail.
+  bool sealed_ SWB_GUARDED_BY(mutex_){false};
 };
 
 }  // namespace switchboard::control

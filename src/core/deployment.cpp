@@ -238,6 +238,71 @@ void Deployment::stop_recovery() {
   }
 }
 
+void Deployment::enable_replication(std::uint32_t replicas) {
+  SWB_CHECK(replication_ == nullptr) << "enable_replication called twice";
+  SWB_CHECK(!config_.durable_controller)
+      << "durable_controller and enable_replication are mutually "
+         "exclusive: the replica group owns the journals";
+  SWB_CHECK(config_.reliable_bus)
+      << "replication streams over /ctl/ topics and needs the reliable bus";
+  SWB_CHECK_GE(replicas, 1u);
+
+  const std::size_t site_count = model_.sites().size();
+  std::vector<SiteId> sites;
+  sites.reserve(replicas);
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    sites.push_back(SiteId{static_cast<SiteId::underlying_type>(
+        (config_.controller_site.value() + r) % site_count)});
+  }
+  replication_ = std::make_unique<control::ReplicaGroup>(
+      *context_, *global_, durable_store_, std::move(sites),
+      config_.replication);
+  replication_->start();
+
+  // Crash-with-amnesia targets: a crashed replica's process state is gone;
+  // restore re-syncs it (follower: snapshot install from the live leader;
+  // un-elected leader: cold_start from its own journal).  In-flight
+  // retransmits toward the dead replica's stream are abandoned so the
+  // reliable bus does not retry against silence until exhaustion.
+  for (std::uint32_t r = 0; r < replication_->replica_count(); ++r) {
+    const SiteId site = replication_->site_of(r);
+    faults_.register_amnesia_target(
+        "controller:replica" + std::to_string(r),
+        [this, r, site](bool up) {
+          if (up) return;   // restore goes through the reset path below
+          replication_->crash_replica(r);
+          bus_->abandon_retransmits_to(site, "/ctl/repl/");
+        },
+        [this, r] {
+          replication_->restore_replica(r);
+          detector_->resync();
+          replication_->detector().resync();
+        });
+  }
+  // "controller:leader" resolves to whoever leads when the fault FIRES —
+  // scripted chaos (ChaosSchedule) can kill successive leaders without
+  // knowing election outcomes in advance.  The victim is pinned so the
+  // paired restore revives the replica the crash actually took down.
+  faults_.register_amnesia_target(
+      "controller:leader",
+      [this](bool up) {
+        if (up) return;
+        leader_victim_ = replication_->leader();
+        replication_->crash_replica(leader_victim_);
+        bus_->abandon_retransmits_to(replication_->site_of(leader_victim_),
+                                     "/ctl/repl/");
+      },
+      [this] {
+        replication_->restore_replica(leader_victim_);
+        detector_->resync();
+        replication_->detector().resync();
+      });
+}
+
+void Deployment::stop_replication() {
+  if (replication_ != nullptr) replication_->stop();
+}
+
 std::vector<dataplane::ElementId> Deployment::WalkResult::vnf_instances()
     const {
   std::vector<dataplane::ElementId> instances;

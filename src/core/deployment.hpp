@@ -15,6 +15,7 @@
 #include "control/failure_detector.hpp"
 #include "control/global_switchboard.hpp"
 #include "control/local_switchboard.hpp"
+#include "control/replication.hpp"
 #include "control/state_journal.hpp"
 #include "control/vnf_controller.hpp"
 #include "model/network_model.hpp"
@@ -56,6 +57,9 @@ struct DeploymentConfig {
   /// subscribe at construction; announcements start via start_anycast().
   bool enable_anycast{false};
   control::AnycastConfig anycast{};
+  /// Replicated controller (DESIGN.md §18): journals, quorum, detector
+  /// timing, and repair policy for enable_replication().
+  control::ReplicationConfig replication{};
 };
 
 class Deployment {
@@ -83,6 +87,25 @@ class Deployment {
   /// The controller journal, or nullptr without `durable_controller`.
   [[nodiscard]] control::StateJournal* state_journal() {
     return journal_.get();
+  }
+
+  /// Replicated controller (DESIGN.md §18): builds a ReplicaGroup of
+  /// `replicas` controller incarnations — replica 0 at `controller_site`,
+  /// replica r at site (controller_site + r) mod site_count — starts
+  /// journal streaming + quorum gating + leader heartbeats, and registers
+  /// the crash-with-amnesia fault targets "controller:replica<r>" plus the
+  /// "controller:leader" alias (resolved to the current leader at fault
+  /// FIRE time, so scripted chaos can always target whoever leads).
+  /// Call once, before chain creation; mutually exclusive with
+  /// `durable_controller` (the group owns the journals).  Replication
+  /// implies a reliable bus for /ctl/ topics — requires `reliable_bus`.
+  void enable_replication(std::uint32_t replicas);
+  /// Stops replica heartbeats + the group's failure detector so the
+  /// simulator can drain (parallel to stop_recovery()).
+  void stop_replication();
+  /// The replica group, or nullptr without enable_replication().
+  [[nodiscard]] control::ReplicaGroup* replica_group() {
+    return replication_.get();
   }
 
   /// The site's AnycastRouter; requires `enable_anycast`.
@@ -178,6 +201,10 @@ class Deployment {
   std::vector<std::unique_ptr<control::VnfController>> vnf_controllers_;
   std::vector<std::unique_ptr<control::EdgeController>> edge_controllers_;
   std::unique_ptr<control::FailureDetector> detector_;
+  std::unique_ptr<control::ReplicaGroup> replication_;
+  /// Leader pinned when the "controller:leader" alias target fires, so the
+  /// paired restore revives the same replica the crash took down.
+  std::uint32_t leader_victim_{0};
 };
 
 }  // namespace switchboard::core

@@ -70,6 +70,12 @@ void ChaosSchedule::arm() {
       sim_.schedule_at(heal_at, [this, a, b] { faults_.heal_sites(a, b); });
     }
     if (event.kind == "crash") {
+      // Targets must exist when the plan is armed; their *meaning* is
+      // resolved when the fault fires (crash_at looks the name up then),
+      // which is what lets alias targets like "controller:leader" pick
+      // whoever holds the role at crash time.
+      SWB_CHECK(faults_.has_target(event.subject))
+          << "chaos crash target '" << event.subject << "' not registered";
       // crash/restore are idempotent, so overlapping outages of the same
       // target just extend nothing — the earlier restore wins.  That keeps
       // scripting simple and still deterministic.

@@ -348,6 +348,38 @@ TEST(ReliableBus, AbandonStopsRetransmitsTowardCrashedSite) {
   EXPECT_EQ(bus.stats().lost_messages, 0u);
 }
 
+TEST(ReliableBus, PrefixAbandonWritesOffOnlyMatchingTopics) {
+  // A crashed controller replica silences only its replication stream;
+  // the site's other reliable traffic (route pushes to a co-located
+  // Local Switchboard) must keep retrying.  The prefix overload scopes
+  // the write-off to one topic family.
+  sim::Simulator sim;
+  BusConfig config = make_config(2);
+  config.reliable_delivery = true;
+  config.fault_hook = [](SiteId, SiteId to, const std::string&) {
+    sim::MessageVerdict verdict;
+    verdict.drop = to == SiteId{1};
+    return verdict;
+  };
+  ProxyBus bus{sim, config};
+  bus.subscribe(SiteId{1}, Topic{"/ctl/repl/0_1", SiteId{0}},
+                [](const Message&) {});
+  bus.subscribe(SiteId{1}, Topic{"/routes", SiteId{0}}, [](const Message&) {});
+  bus.publish(Topic{"/ctl/repl/0_1", SiteId{0}}, "frame");
+  bus.publish(Topic{"/routes", SiteId{0}}, "r1");
+
+  sim.run_until(sim::from_ms(50.0));
+  EXPECT_EQ(bus.reliable_in_flight(), 2u);
+  bus.abandon_retransmits_to(SiteId{1}, "/ctl/repl/");
+  EXPECT_EQ(bus.reliable_in_flight(), 1u);   // the route copy survives
+  sim.run();
+
+  EXPECT_EQ(bus.stats().abandoned_retransmits, 1u);
+  // The surviving route copy burns its budget against the dead site.
+  EXPECT_EQ(bus.stats().retransmits, config.max_retransmits);
+  EXPECT_EQ(bus.stats().lost_messages, 1u);
+}
+
 TEST(ReliableBus, FinishedEntriesAreReapedNotAccumulated) {
   sim::Simulator sim;
   BusConfig config = make_config(2);

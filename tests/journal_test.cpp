@@ -157,6 +157,56 @@ TEST(StateJournal, SnapshotCompactsTheLog) {
   journal.check_invariants();
 }
 
+TEST(StateJournal, TornTrailingRecordIsDroppedAndCounted) {
+  // A crash mid-append leaves the last log record unterminated; replay
+  // must shed exactly that record (its write never durably completed),
+  // keep every record before it, and count the drop.
+  sim::DurableStore store;
+  StateJournal writer{store, {.name = "j", .snapshot_interval = 0}};
+  writer.append("t=epoch;n=1");
+  writer.append("t=nri;n=0");
+  store.append(writer.log_blob(), "t=chain;id=7");   // no trailing '\n'
+
+  StateJournal reader{store, {.name = "j", .snapshot_interval = 0}};
+  const auto log = reader.log_records();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "t=epoch;n=1");
+  EXPECT_EQ(log[1], "t=nri;n=0");
+  EXPECT_EQ(reader.torn_records_dropped(), 1u);
+
+  // The next append re-terminates the blob: the torn bytes stay dead (a
+  // second read still drops one torn record, never a merged frankenstein
+  // record), and the new record survives.
+  reader.append("t=nri;n=1");
+  const auto log2 = reader.log_records();
+  ASSERT_EQ(log2.size(), 3u);
+  EXPECT_EQ(log2[2], "t=nri;n=1");
+  reader.check_invariants();
+}
+
+TEST(StateJournal, SnapshotAtExactIntervalBoundary) {
+  // wants_snapshot() must trip exactly AT the interval, not one past it,
+  // and the appends_since_snapshot counter must reset so the next window
+  // is a full interval wide.
+  sim::DurableStore store;
+  StateJournal journal{store, {.name = "j", .snapshot_interval = 2}};
+  journal.append("r1");
+  EXPECT_FALSE(journal.wants_snapshot());
+  journal.append("r2");
+  EXPECT_TRUE(journal.wants_snapshot());
+  journal.write_snapshot({"s1"});
+  EXPECT_FALSE(journal.wants_snapshot());
+  EXPECT_EQ(journal.appends_since_snapshot(), 0u);
+
+  journal.append("r3");
+  EXPECT_FALSE(journal.wants_snapshot());
+  journal.append("r4");
+  EXPECT_TRUE(journal.wants_snapshot());
+  EXPECT_EQ(journal.snapshots_taken(), 1u);
+  EXPECT_EQ(journal.records_compacted(), 2u);
+  journal.check_invariants();
+}
+
 TEST(StateJournal, ReplayCostScalesWithPersistedRecords) {
   sim::DurableStore store;
   StateJournal journal{store,

@@ -77,6 +77,16 @@ GATED = {
         "replay_ms": "down",
         "recovery_ms": "down",
     },
+    # Replicated failover (DESIGN.md §18): all simulated-time deterministic
+    # for the fixed fault seed.  The hot window must not grow (a slower
+    # promotion means the standby started replaying or the fence round
+    # got slower); detection tracks the suspicion threshold; elections is
+    # bit-deterministic (exactly one leader death is scripted).
+    ("bench_fig13_recovery", "failover"): {
+        "detection_ms": "down",
+        "hot_failover_ms": "down",
+        "elections": "exact",
+    },
     # Decentralization chaos window (DESIGN.md §17): everything here is
     # simulated-time deterministic for the fixed fault seed.  Packet
     # counts and the anycast steering-trace digest are bit-deterministic
